@@ -1,0 +1,128 @@
+//! Criterion benchmarks of the pipeline's stage costs.
+//!
+//! The paper runs FBDetect on "capacity equivalent to hundreds of servers,
+//! analyzing approximately 800,000 time series". These benches measure the
+//! per-series cost of each stage so the ordering argument of §5.1 (fast
+//! filters first) and the overall capacity claim can be sanity-checked.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fbd_cluster::som::{SelfOrganizingMap, SomConfig};
+use fbd_fleet::spec::{Event, SeriesSpec};
+use fbd_profiler::callgraph::uniform_service_graph;
+use fbd_profiler::sample::TraceSampler;
+use fbd_stats::sax::{encode, SaxConfig};
+use fbd_stats::stl::{decompose, StlConfig};
+use fbd_stats::{cusum, em};
+use fbd_tsdb::{MetricKind, SeriesId, WindowedData};
+use fbdetect_core::change_point::ChangePointDetector;
+use fbdetect_core::config::{DetectorConfig, Threshold};
+use fbdetect_core::types::{Regression, RegressionKind};
+use fbdetect_core::went_away::WentAwayDetector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn step_series(len: usize) -> Vec<f64> {
+    SeriesSpec::flat(len, 1.0, 0.05)
+        .with_event(Event::Step {
+            at: len * 3 / 4,
+            delta: 0.3,
+        })
+        .generate(7)
+        .unwrap()
+}
+
+fn windows_of(values: &[f64]) -> WindowedData {
+    let h = values.len() * 2 / 3;
+    let a = values.len() * 2 / 9;
+    WindowedData {
+        historic: values[..h].to_vec(),
+        analysis: values[h..h + a].to_vec(),
+        extended: values[h + a..].to_vec(),
+        analysis_start: h as u64 * 60,
+        analysis_end: (h + a) as u64 * 60,
+    }
+}
+
+fn regression_of(values: &[f64]) -> Regression {
+    let w = windows_of(values);
+    let cp = values.len() * 3 / 4 - 1;
+    Regression {
+        series: SeriesId::new("svc", MetricKind::GCpu, "x"),
+        kind: RegressionKind::ShortTerm,
+        change_index: cp,
+        change_time: cp as u64 * 60,
+        mean_before: 1.0,
+        mean_after: 1.3,
+        windows: w,
+        root_cause_candidates: vec![],
+    }
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let values = step_series(900);
+    let windows = windows_of(&values);
+    let config = DetectorConfig::new(
+        "bench",
+        fbd_tsdb::WindowConfig {
+            historic: 600 * 60,
+            analysis: 200 * 60,
+            extended: 100 * 60,
+            rerun_interval: 100 * 60,
+        },
+        Threshold::Absolute(0.1),
+    );
+    let sid = SeriesId::new("svc", MetricKind::GCpu, "x");
+
+    c.bench_function("cusum_change_point_900", |b| {
+        b.iter(|| cusum::detect_change_point(&values).unwrap())
+    });
+    c.bench_function("em_fit_two_segment_900", |b| {
+        b.iter(|| em::fit_two_segment(&values, 50).unwrap())
+    });
+    let detector = ChangePointDetector::from_config(&config);
+    c.bench_function("change_point_detector_full_900", |b| {
+        b.iter(|| detector.detect(&sid, &windows, 54_000).unwrap())
+    });
+    let went_away = WentAwayDetector::from_config(&config);
+    let regression = regression_of(&values);
+    c.bench_function("went_away_evaluate_900", |b| {
+        b.iter(|| went_away.evaluate(&regression).unwrap())
+    });
+    c.bench_function("sax_encode_900", |b| {
+        b.iter(|| encode(&values, SaxConfig::default()).unwrap())
+    });
+    c.bench_function("stl_decompose_900_period24", |b| {
+        b.iter(|| decompose(&values, StlConfig::for_period(24)).unwrap())
+    });
+    // SOM over a realistic dedup batch.
+    let features: Vec<Vec<f64>> = (0..256)
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * 31 + j * 7) % 97) as f64 + (i / 64) as f64 * 100.0)
+                .collect()
+        })
+        .collect();
+    c.bench_function("som_train_assign_256x9", |b| {
+        b.iter(|| {
+            let som = SelfOrganizingMap::train(&features, SomConfig::default()).unwrap();
+            som.assign(&features).unwrap()
+        })
+    });
+    // Stack sampling throughput.
+    let graph = uniform_service_graph(1_000, 1.0).unwrap();
+    let sampler = TraceSampler::new(&graph).unwrap();
+    c.bench_function("stack_sampling_1k_traces", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| sampler.sample_n(&mut rng, 1_000, 0, 0),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stages
+}
+criterion_main!(benches);

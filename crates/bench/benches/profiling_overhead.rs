@@ -1,0 +1,28 @@
+//! Criterion benchmark for §6.6: micro-benchmark iteration time with and
+//! without simulated stack sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbd_profiler::overhead::{build_dataset, run_iteration, SamplingCost, Sink};
+
+fn bench_overhead(c: &mut Criterion) {
+    let records = build_dataset(400);
+    let mut group = c.benchmark_group("pyperf_overhead");
+    for (name, samples) in [
+        ("no_profiling", 0usize),
+        ("worst_case_1_per_sec", 2),
+        ("extreme_10_per_sec", 20),
+    ] {
+        group.bench_function(name, |b| {
+            let mut sink = Sink::new();
+            b.iter(|| run_iteration(&records, &mut sink, samples, SamplingCost::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Ablation: SOM vs K-means vs hierarchical clustering for dedup
+//! (§5.5.1, "Discussion of alternatives").
+//!
+//! The paper chose SOM because its single hyperparameter has a robust
+//! setting (`L = ⌈n^(1/4)⌉`) across workloads, while K requires knowing the
+//! cluster count and the hierarchical cut level depends on the data
+//! distribution (Silhouette-guided selection "often does not converge").
+//! Here batches with known group structure are clustered by all three;
+//! quality is the fraction of ground-truth pairs kept together minus the
+//! fraction of cross-group pairs wrongly merged (pairwise F-style score).
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin ablation_clustering`
+
+use fbd_bench::render_table;
+use fbd_cluster::hierarchical::agglomerative;
+use fbd_cluster::kmeans::kmeans;
+use fbd_cluster::silhouette::silhouette_score;
+use fbd_cluster::som::{cluster_by_cell, SelfOrganizingMap, SomConfig};
+
+/// Generates a batch of feature vectors with `groups` ground-truth groups
+/// of varying sizes, heterogeneous spreads, near-neighbour group pairs,
+/// and a few outliers — the messy distribution production batches have.
+/// Returns (features, labels).
+fn batch(groups: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for g in 0..groups {
+        // Group sizes vary 2..10 — the "varying number of regressions".
+        let size = 2 + (g * 3 + seed as usize) % 9;
+        // Groups come in near pairs: even/odd ids sit close together.
+        let pair = (g / 2) as f64;
+        let offset = if g % 2 == 0 { 0.0 } else { 3.0 };
+        let centre = [
+            (pair * 13.7).sin() * 40.0 + offset,
+            (pair * 7.3).cos() * 40.0 - offset,
+            pair * 5.0 + offset,
+        ];
+        // Spread varies 4x between groups.
+        let spread = 0.4 + (g % 4) as f64 * 0.4;
+        for m in 0..size {
+            let mut z = (g as u64 * 1_000 + m as u64) ^ seed;
+            let mut jitter = || {
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                ((z >> 33) % 1000) as f64 / 1000.0 - 0.5
+            };
+            features.push(vec![
+                centre[0] + jitter() * spread,
+                centre[1] + jitter() * spread,
+                centre[2] + jitter() * spread * 0.5,
+            ]);
+            labels.push(g);
+        }
+    }
+    // A few singleton outliers (their own labels).
+    for o in 0..(groups / 5).max(1) {
+        let v = 200.0 + o as f64 * 37.0;
+        features.push(vec![v, -v, v * 0.5]);
+        labels.push(groups + o);
+    }
+    (features, labels)
+}
+
+/// Pairwise clustering quality in [−1, 1]: recall of within-group pairs
+/// minus the false-merge rate of cross-group pairs.
+fn pair_quality(assignments: &[usize], truth: &[usize]) -> f64 {
+    let n = truth.len();
+    let (mut same_kept, mut same_total) = (0usize, 0usize);
+    let (mut cross_merged, mut cross_total) = (0usize, 0usize);
+    for i in 0..n {
+        for j in i + 1..n {
+            if truth[i] == truth[j] {
+                same_total += 1;
+                if assignments[i] == assignments[j] {
+                    same_kept += 1;
+                }
+            } else {
+                cross_total += 1;
+                if assignments[i] == assignments[j] {
+                    cross_merged += 1;
+                }
+            }
+        }
+    }
+    same_kept as f64 / same_total.max(1) as f64 - cross_merged as f64 / cross_total.max(1) as f64
+}
+
+fn main() {
+    println!("Clustering ablation: SOM vs K-means vs hierarchical\n");
+    let batches: Vec<(usize, u64)> = vec![(3, 1), (8, 2), (15, 3), (25, 4), (40, 5)];
+    let mut rows = Vec::new();
+    let mut som_total = 0.0;
+    let mut best_alternative_total = 0.0;
+    for (groups, seed) in &batches {
+        let (features, truth) = batch(*groups, *seed);
+        let n = features.len();
+        // SOM with the paper's automatic rule.
+        let som = SelfOrganizingMap::train(&features, SomConfig::default()).unwrap();
+        let som_cells = som.assign(&features).unwrap();
+        let som_clusters = cluster_by_cell(&som_cells);
+        let mut som_assign = vec![0usize; n];
+        for (c, members) in som_clusters.iter().enumerate() {
+            for &m in members {
+                som_assign[m] = c;
+            }
+        }
+        let som_q = pair_quality(&som_assign, &truth);
+        // K-means with a fixed guess (K = 10, as an operator might set) —
+        // there is no per-batch oracle for K in production.
+        let k_fixed = 10.min(n);
+        let km = kmeans(&features, k_fixed, 100, 7).unwrap();
+        let km_q = pair_quality(&km.assignments, &truth);
+        // Hierarchical with Silhouette-selected cut over a small grid.
+        let dendrogram = agglomerative(&features).unwrap();
+        let mut best_cut_q = f64::MIN;
+        let mut best_sil = f64::MIN;
+        let mut chosen_q = f64::MIN;
+        for cut in [0.2, 0.5, 1.0, 2.0, 4.0] {
+            let labels = dendrogram.cut(cut);
+            let q = pair_quality(&labels, &truth);
+            best_cut_q = best_cut_q.max(q);
+            if let Ok(sil) = silhouette_score(&features, &labels) {
+                if sil > best_sil {
+                    best_sil = sil;
+                    chosen_q = q;
+                }
+            }
+        }
+        if chosen_q == f64::MIN {
+            chosen_q = 0.0;
+        }
+        som_total += som_q;
+        best_alternative_total += km_q.max(chosen_q);
+        rows.push(vec![
+            format!("{groups} groups / {n} items"),
+            format!("{som_q:.3}"),
+            format!("{km_q:.3}"),
+            format!("{chosen_q:.3}"),
+            format!("{best_cut_q:.3}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "batch",
+                "SOM (auto L)",
+                "K-means (K=10)",
+                "hier. (silhouette cut)",
+                "hier. (oracle cut)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\npaper's narrative: SOM's single automatic rule stays strong as the\n\
+         number of regressions varies; fixed-K and silhouette-guided cuts\n\
+         degrade on batches unlike the ones they were tuned for (the oracle\n\
+         cut column shows hierarchical *could* do well with per-batch tuning,\n\
+         which production cannot provide)."
+    );
+    assert!(
+        som_total >= best_alternative_total - 1.0,
+        "SOM should be competitive without tuning: {som_total:.2} vs {best_alternative_total:.2}"
+    );
+    assert!(
+        som_total / batches.len() as f64 >= 0.6,
+        "SOM average quality degraded: {:.2}",
+        som_total / batches.len() as f64
+    );
+}

@@ -1,0 +1,279 @@
+//! Ablation: the three design iterations of the went-away detector
+//! (§5.2.2).
+//!
+//! - **v1**: inverse-CUSUM compensation — filter when a post-change inverse
+//!   shift compensates the regression. Fails on true regressions followed
+//!   by a temporary dip.
+//! - **v2**: Mann-Kendall decreasing trend + comparison against a
+//!   historical window. Fails when the chosen baseline window contains a
+//!   spike (Figure 7).
+//! - **v3** (shipped): SAX pattern comparison + the full predicate.
+//!
+//! Each iteration is scored on four scenario families; higher is better.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin ablation_went_away`
+
+use fbd_bench::render_table;
+use fbd_fleet::spec::{Event, SeriesSpec};
+use fbd_stats::descriptive;
+use fbd_stats::trend::{mann_kendall, TrendDirection};
+use fbd_tsdb::WindowedData;
+use fbd_tsdb::{MetricKind, SeriesId};
+use fbdetect_core::config::{DetectorConfig, Threshold};
+use fbdetect_core::types::{Regression, RegressionKind};
+use fbdetect_core::went_away::WentAwayDetector;
+
+const LEN: usize = 900;
+const H: usize = 600;
+const A: usize = 200;
+
+/// Wraps a raw series into the Regression type at change point `cp`.
+fn regression(values: &[f64], cp: usize) -> Regression {
+    let historic = values[..H].to_vec();
+    let analysis = values[H..H + A].to_vec();
+    let extended = values[H + A..].to_vec();
+    let before = &values[..=cp];
+    let after = &values[cp + 1..(H + A).min(values.len())];
+    Regression {
+        series: SeriesId::new("svc", MetricKind::GCpu, "x"),
+        kind: RegressionKind::ShortTerm,
+        change_index: cp,
+        change_time: cp as u64 * 60,
+        mean_before: descriptive::mean(before).unwrap(),
+        mean_after: descriptive::mean(after).unwrap_or(values[cp]),
+        windows: WindowedData {
+            historic,
+            analysis,
+            extended,
+            analysis_start: H as u64 * 60,
+            analysis_end: (H + A) as u64 * 60,
+        },
+        root_cause_candidates: vec![],
+    }
+}
+
+/// v1: inverse-CUSUM compensation check — "find an inverse regression and
+/// check whether its magnitude sufficiently compensates" (§5.2.2, first
+/// iteration). Scans every split of the post-change window for the most
+/// negative mean shift. Returns `true` to KEEP.
+fn v1_keep(r: &Regression) -> bool {
+    let data = r.windows.all();
+    let post = &data[r.change_index + 1..];
+    if post.len() < 8 {
+        return true;
+    }
+    let mut prefix = Vec::with_capacity(post.len() + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &v in post {
+        acc += v;
+        prefix.push(acc);
+    }
+    let n = post.len();
+    let mut worst_drop = 0.0f64;
+    for split in 4..n - 4 {
+        let before = prefix[split] / split as f64;
+        let after = (prefix[n] - prefix[split]) / (n - split) as f64;
+        worst_drop = worst_drop.min(after - before);
+    }
+    // Filter when an inverse shift compensates at least half the original.
+    !(worst_drop < 0.0 && worst_drop.abs() >= 0.5 * r.magnitude().abs())
+}
+
+/// v2: Mann-Kendall decreasing + compare end values against a historical
+/// window (deliberately the paper's "window that happens to contain a
+/// spike" hazard: the window with the historic maximum is chosen).
+fn v2_keep(r: &Regression) -> bool {
+    let data = r.windows.all();
+    let post = &data[r.change_index + 1..];
+    if post.len() < 8 {
+        return true;
+    }
+    let trend = mann_kendall(post, 0.05).map(|m| m.direction);
+    let decreasing = matches!(trend, Ok(TrendDirection::Decreasing));
+    // Baseline: the 30-sample historic window around the historic maximum —
+    // a plausible but hazardous choice.
+    let historic = &r.windows.historic;
+    let max_at = historic
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let lo = max_at.saturating_sub(15);
+    let hi = (max_at + 15).min(historic.len());
+    let baseline = descriptive::mean(&historic[lo..hi]).unwrap();
+    let tail = &post[post.len().saturating_sub(10)..];
+    let tail_mean = descriptive::mean(tail).unwrap();
+    // "Recovered to the normal level" -> filter.
+    if decreasing && tail_mean <= baseline {
+        return false;
+    }
+    // Regression persists only if the end stays above the (spiky) baseline.
+    tail_mean > baseline
+}
+
+struct Scenario {
+    name: &'static str,
+    /// Ground truth: should the detector keep it?
+    keep_truth: bool,
+    series: Vec<(Vec<f64>, usize)>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // (1) Persistent step.
+    let mut series = Vec::new();
+    for s in 0..20 {
+        let v = SeriesSpec::flat(LEN, 1.0, 0.03)
+            .with_event(Event::Step {
+                at: 660,
+                delta: 0.5,
+            })
+            .generate(s)
+            .unwrap();
+        series.push((v, 659));
+    }
+    out.push(Scenario {
+        name: "persistent step (true regression)",
+        keep_truth: true,
+        series,
+    });
+    // (2) Step followed by a temporary dip (v1's trap).
+    let mut series = Vec::new();
+    for s in 0..20 {
+        let v = SeriesSpec::flat(LEN, 1.0, 0.03)
+            .with_event(Event::Step {
+                at: 660,
+                delta: 0.5,
+            })
+            .with_event(Event::Transient {
+                at: 700,
+                duration: 150,
+                delta: -0.45,
+            })
+            .generate(100 + s)
+            .unwrap();
+        series.push((v, 659));
+    }
+    out.push(Scenario {
+        name: "step + temporary dip (still true)",
+        keep_truth: true,
+        series,
+    });
+    // (3) Figure 7: historic spike + final true step (v2's trap).
+    let mut series = Vec::new();
+    for s in 0..20 {
+        let v = SeriesSpec::flat(LEN, 1.0, 0.03)
+            .with_event(Event::Transient {
+                at: 300,
+                duration: 40,
+                delta: 0.8,
+            })
+            .with_event(Event::Step {
+                at: 700,
+                delta: 0.5,
+            })
+            .generate(200 + s)
+            .unwrap();
+        series.push((v, 699));
+    }
+    out.push(Scenario {
+        name: "historic spike + final step (Fig 7)",
+        keep_truth: true,
+        series,
+    });
+    // (4) Pure transient (everyone should filter).
+    let mut series = Vec::new();
+    for s in 0..20 {
+        let v = SeriesSpec::flat(LEN, 1.0, 0.03)
+            .with_event(Event::Transient {
+                at: 660,
+                duration: 120,
+                delta: 0.5,
+            })
+            .generate(300 + s)
+            .unwrap();
+        series.push((v, 659));
+    }
+    out.push(Scenario {
+        name: "transient that recovers (false)",
+        keep_truth: false,
+        series,
+    });
+    out
+}
+
+fn main() {
+    let config = DetectorConfig::new(
+        "ablation",
+        fbd_bench::suite_windows(LEN),
+        Threshold::Absolute(0.1),
+    );
+    let v3 = WentAwayDetector::from_config(&config);
+    println!("Went-away detector ablation (correct decisions out of 20 per cell)\n");
+    let mut rows = Vec::new();
+    let mut totals = [0usize; 3];
+    for scenario in scenarios() {
+        let mut correct = [0usize; 3];
+        for (values, cp) in &scenario.series {
+            let r = regression(values, *cp);
+            let verdicts = [
+                v1_keep(&r),
+                v2_keep(&r),
+                v3.evaluate(&r).map(|v| v.keep).unwrap_or(true),
+            ];
+            for (i, &keep) in verdicts.iter().enumerate() {
+                if keep == scenario.keep_truth {
+                    correct[i] += 1;
+                }
+            }
+        }
+        for (t, c) in totals.iter_mut().zip(&correct) {
+            *t += c;
+        }
+        rows.push(vec![
+            scenario.name.to_string(),
+            if scenario.keep_truth {
+                "keep"
+            } else {
+                "filter"
+            }
+            .to_string(),
+            format!("{}", correct[0]),
+            format!("{}", correct[1]),
+            format!("{}", correct[2]),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".to_string(),
+        String::new(),
+        format!("{}", totals[0]),
+        format!("{}", totals[1]),
+        format!("{}", totals[2]),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "truth",
+                "v1 inverse-CUSUM",
+                "v2 MK+window",
+                "v3 SAX (shipped)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\npaper's narrative: v1 is fooled by post-regression dips, v2 by spiky\n\
+         baselines; the SAX-based third iteration handles all scenarios."
+    );
+    assert!(totals[2] >= totals[0], "v3 must beat v1 overall");
+    assert!(totals[2] >= totals[1], "v3 must beat v2 overall");
+    assert!(
+        totals[2] >= 70,
+        "v3 should be nearly perfect, got {}",
+        totals[2]
+    );
+}

@@ -1,0 +1,86 @@
+//! Appendix A.2: the detection-threshold model Δ ≈ √(s²/n₂) · T_critical.
+//!
+//! Empirically measures the smallest detectable mean shift for a grid of
+//! (variance, sample-count) settings — the smallest Δ for which the
+//! two-sample t-test rejects H0 at 99% in the majority of trials — and
+//! compares it against the analytic expression. Also demonstrates the two
+//! scaling laws of §2: Δ ∝ 1/√n and Δ ∝ σ.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin appendix_threshold`
+
+use fbd_bench::render_table;
+use fbd_fleet::spec::SeriesSpec;
+use fbd_stats::distributions::student_t_critical;
+use fbd_stats::hypothesis::{detection_threshold, two_sample_t_test};
+
+/// Fraction of 20 trials in which the shift `delta` is detected.
+fn detection_rate(variance: f64, n: usize, delta: f64, seed: u64) -> f64 {
+    let std = variance.sqrt();
+    let mut hits = 0;
+    let trials = 20;
+    for t in 0..trials {
+        let before = SeriesSpec::flat(4 * n, 1.0, std)
+            .generate(seed + t)
+            .unwrap();
+        let after = SeriesSpec::flat(n, 1.0 + delta, std)
+            .generate(seed + 1_000 + t)
+            .unwrap();
+        let test = two_sample_t_test(&before, &after, 0.01).unwrap();
+        if test.reject_null && test.statistic < 0.0 {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+/// Smallest delta (by bisection) detected in >= 50% of trials.
+fn empirical_threshold(variance: f64, n: usize, seed: u64) -> f64 {
+    let mut lo = 0.0;
+    let mut hi = 20.0 * (variance / n as f64).sqrt();
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if detection_rate(variance, n, mid, seed) >= 0.5 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+fn main() {
+    println!("Appendix A.2: Δ_threshold ≈ √(s²/n₂) · T_critical (99% confidence)\n");
+    let mut rows = Vec::new();
+    for &variance in &[0.01, 0.0001] {
+        for &n in &[100usize, 400, 1_600] {
+            let t_crit = student_t_critical(0.01, (5 * n - 2) as f64);
+            let theory = detection_threshold(variance, n, t_crit).unwrap();
+            let measured = empirical_threshold(variance, n, (n as u64) * 7 + 1);
+            rows.push(vec![
+                format!("{variance}"),
+                format!("{n}"),
+                format!("{theory:.5}"),
+                format!("{measured:.5}"),
+                format!("{:.2}", measured / theory),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["σ²", "n₂", "theory Δ", "measured Δ", "ratio"], &rows)
+    );
+    println!(
+        "\nscaling checks (paper §2):\n\
+         - quadrupling n halves Δ (rows within each σ² block);\n\
+         - dividing σ² by 100 divides Δ by 10 (across blocks) — the\n\
+           subroutine-level variance reduction that makes 0.005% reachable."
+    );
+    // The measured/theory ratio should be O(1) across the grid.
+    for row in &rows {
+        let ratio: f64 = row[4].parse().unwrap();
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "measured threshold far from theory: {row:?}"
+        );
+    }
+}

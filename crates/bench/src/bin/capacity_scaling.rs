@@ -1,0 +1,99 @@
+//! Capacity check: can this pipeline scan 800,000 series on "hundreds of
+//! servers" (§5.1)?
+//!
+//! Measures end-to-end scan throughput (series/second) on this machine for
+//! a realistic series mix, then extrapolates: how many cores are needed to
+//! re-scan 800K series at FrontFaaS-small's 2-hour re-run interval? The
+//! paper says FBDetect "utilizes capacity equivalent to hundreds of
+//! servers" — the extrapolation should land in the same order of magnitude
+//! (noting its series are longer and its filters run more often).
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin capacity_scaling`
+
+use fbd_bench::{render_table, suite_config, suite_scan_time, CADENCE};
+use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
+use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore};
+use fbdetect_core::{Pipeline, ScanContext, Threshold};
+use std::time::Instant;
+
+const LEN: usize = 900;
+
+fn main() {
+    let n_series: usize = std::env::var("SERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    // A production-like mix: mostly quiet, some transients, a few
+    // regressions.
+    let suite_cfg = SuiteConfig {
+        clean: n_series * 7 / 10,
+        regressions: n_series / 100,
+        gradual: 0,
+        transients: n_series / 4,
+        seasonal: n_series / 25,
+        len: LEN,
+        change_fraction: 0.75,
+        relative_magnitude_range: (0.01, 0.2),
+        base: 1.0,
+        noise_std: 0.002,
+        ..Default::default()
+    };
+    let suite = labelled_suite(&suite_cfg, 777).unwrap();
+    let store = TsdbStore::new();
+    let mut ids = Vec::with_capacity(suite.len());
+    for (i, s) in suite.iter().enumerate() {
+        let id = SeriesId::new("svc", MetricKind::GCpu, format!("s{i:06}"));
+        store.insert_series(id.clone(), TimeSeries::from_values(0, CADENCE, &s.values));
+        ids.push(id);
+    }
+    println!("scanning {} series of {LEN} samples each...\n", suite.len());
+    let mut rows = Vec::new();
+    let mut single_thread_rate = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let mut pipeline = Pipeline::new(suite_config(LEN, Threshold::Absolute(0.01))).unwrap();
+        pipeline.threads = threads;
+        let start = Instant::now();
+        let out = pipeline
+            .scan(&store, &ids, suite_scan_time(LEN), &ScanContext::default())
+            .unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        let rate = suite.len() as f64 / elapsed;
+        if threads == 1 {
+            single_thread_rate = rate;
+        }
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{elapsed:.2} s"),
+            format!("{rate:.0} series/s"),
+            format!("{}", out.funnel.change_points),
+            format!("{}", out.reports.len()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "threads",
+                "scan time",
+                "throughput",
+                "change points",
+                "reports"
+            ],
+            &rows
+        )
+    );
+    // Extrapolation: 800K series every 2 hours (FrontFaaS small).
+    let series_per_core_per_rescan = single_thread_rate * 2.0 * 3_600.0;
+    let cores_needed = (800_000.0 / series_per_core_per_rescan).ceil();
+    println!(
+        "\nextrapolation: one core re-scans {series_per_core_per_rescan:.0} series per \
+         2-hour interval,\nso 800,000 series need ~{cores_needed:.0} core(s) of steady \
+         detection compute\n(the paper's production windows hold 10+ days of data and \
+         every stage runs at\nfull fidelity, hence its 'hundreds of servers'; the point \
+         is the per-series cost\nis milliseconds, not seconds)."
+    );
+    assert!(
+        single_thread_rate > 50.0,
+        "scan throughput suspiciously low: {single_thread_rate:.0} series/s"
+    );
+}

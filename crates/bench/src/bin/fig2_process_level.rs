@@ -1,0 +1,72 @@
+//! Figure 2: averaging m process-level CPU series reveals the tiny shift
+//! only at impractical fleet sizes.
+//!
+//! Two server generations (μ=40% σ²=0.01 with a 0.003% shift; μ=60%
+//! σ²=0.02 with a 0.007% shift); the averaged series is plotted for
+//! m ∈ {500K, 5M, 50M} and the shift's signal-to-noise reported.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin fig2_process_level`
+
+use fbd_bench::{render_table, sparkline};
+use fbd_fleet::lln::{averaged_fleet_series, shift_signal_to_noise, FIGURE2_POPULATIONS};
+use fbd_stats::{cusum, hypothesis};
+
+fn regenerate(m: u64, len: usize, change_at: usize, seed: u64) -> Vec<f64> {
+    averaged_fleet_series(&FIGURE2_POPULATIONS, m, len, change_at, seed, 0)
+        .expect("valid populations")
+}
+
+fn main() {
+    let len = 1_000;
+    let change_at = len / 2;
+    println!("Figure 2: process-level fleet averages (shift at midpoint)\n");
+    let mut rows = Vec::new();
+    for (i, m) in [500_000u64, 5_000_000, 50_000_000].into_iter().enumerate() {
+        let avg = averaged_fleet_series(&FIGURE2_POPULATIONS, m, len, change_at, 10 + i as u64, 0)
+            .expect("valid populations");
+        println!("  m = {m:>11}: {}", sparkline(&avg, 72));
+        let snr = shift_signal_to_noise(&avg, change_at).unwrap();
+        let cp = cusum::detect_change_point(&avg).unwrap();
+        // Reliability across five independent seeds: the change point must
+        // be located within ±2% of the truth and pass the likelihood-ratio
+        // test each time. Low-m averages locate it only by luck.
+        let mut reliable = 0;
+        for extra in 0..5u64 {
+            let trial = regenerate(m, len, change_at, 40 + i as u64 * 5 + extra);
+            let Ok(tcp) = cusum::detect_change_point(&trial) else {
+                continue;
+            };
+            let located = (tcp.index as i64 - change_at as i64).unsigned_abs() < len as u64 / 50;
+            if located
+                && hypothesis::likelihood_ratio_test(&trial, tcp.index, 0.01)
+                    .map(|t| t.reject_null)
+                    .unwrap_or(false)
+            {
+                reliable += 1;
+            }
+        }
+        rows.push(vec![
+            format!("{m}"),
+            format!("{snr:.2}"),
+            format!("{}", cp.index),
+            format!("{reliable}/5"),
+        ]);
+    }
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "m (servers)",
+                "shift SNR",
+                "CUSUM change point",
+                "reliably located"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "paper's shape: only m = 50,000,000 makes the 0.005% shift detectable,\n\
+         which is impractical — motivating subroutine-level measurement (Figure 3)."
+    );
+}

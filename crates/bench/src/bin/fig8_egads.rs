@@ -1,0 +1,174 @@
+//! Figure 8: FBDetect vs Yahoo EGADS on the same windows.
+//!
+//! Test data mirrors §6.5: a small set of positive series (true
+//! regressions) and a large set of negatives (noise, transients,
+//! seasonality). FBDetect runs its full short-term pipeline; each EGADS
+//! algorithm (adaptive kernel density, extreme low density, K-Sigma) is
+//! swept across sensitivities to trace its FPR/FNR trade-off curve.
+//! For fairness, EGADS sees the same historical window and the combined
+//! analysis+extended windows, as in the paper.
+//!
+//! Scale with `SCALE=4 ... --bin fig8_egads` (default ~1,200 negatives;
+//! the paper used 35K).
+
+use fbd_bench::{render_table, suite_config, suite_scan_time, suite_windows};
+use fbd_egads::{AdaptiveKernelDensity, EgadsDetector, ExtremeLowDensity, KSigma};
+use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
+use fbd_tsdb::{window::extract_windows, MetricKind, SeriesId};
+use fbdetect_core::change_point::ChangePointDetector;
+use fbdetect_core::seasonality::SeasonalityDetector;
+use fbdetect_core::went_away::WentAwayDetector;
+use fbdetect_core::Threshold;
+
+const LEN: usize = 900;
+
+fn main() {
+    let scale: usize = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    // Positives: 100 true regressions; negatives: noise + transients +
+    // seasonal series.
+    let suite_cfg = SuiteConfig {
+        clean: 700 * scale,
+        regressions: 100,
+        gradual: 0,
+        transients: 400 * scale,
+        seasonal: 100 * scale,
+        len: LEN,
+        change_fraction: 0.75,
+        relative_magnitude_range: (0.001, 0.15),
+        base: 1.0,
+        noise_std: 0.0005,
+    };
+    let suite = labelled_suite(&suite_cfg, 2024).unwrap();
+    let positives = fbd_bench::true_regression_indices(&suite);
+    let negatives = suite.len() - positives.len();
+    println!(
+        "test data: {} positives, {} negatives\n",
+        positives.len(),
+        negatives
+    );
+
+    // --- FBDetect: the per-series detection filters (change point ->
+    // went-away -> seasonality -> threshold). Deduplication merges reports
+    // of one root cause but does not change per-series verdicts, so the
+    // fair per-series comparison — matching what EGADS judges — excludes
+    // it. ---
+    let config = suite_config(LEN, Threshold::Absolute(0.0008));
+    let change_point = ChangePointDetector::from_config(&config);
+    let went_away = WentAwayDetector::from_config(&config);
+    let seasonality = SeasonalityDetector::from_config(&config);
+    let now = suite_scan_time(LEN);
+    let mut fp = 0usize;
+    let mut fn_count = 0usize;
+    for (i, labelled) in suite.iter().enumerate() {
+        let ts = fbd_tsdb::TimeSeries::from_values(0, fbd_bench::CADENCE, &labelled.values);
+        let id = SeriesId::new("svc", MetricKind::GCpu, format!("s{i:05}"));
+        let windows = extract_windows(&ts, &config.windows, now).expect("windows cover suite");
+        let verdict = match change_point.detect(&id, &windows, now).unwrap() {
+            None => false,
+            Some(r) => {
+                went_away.evaluate(&r).unwrap().keep
+                    && seasonality.evaluate(&r).unwrap().keep
+                    && config.threshold.is_met(r.mean_before, r.mean_after)
+            }
+        };
+        match (verdict, positives.contains(&i)) {
+            (true, false) => fp += 1,
+            (false, true) => fn_count += 1,
+            _ => {}
+        }
+    }
+    let fbdetect_fpr = fp as f64 / negatives as f64;
+    let fbdetect_fnr = fn_count as f64 / positives.len() as f64;
+    println!("FBDetect: FPR = {fbdetect_fpr:.5}, FNR = {fbdetect_fnr:.3}  (paper: 0.00088, ~0)\n");
+
+    // --- EGADS algorithms, swept across sensitivities. ---
+    let windows_cfg = suite_windows(LEN);
+    let mut rows = Vec::new();
+    let now = suite_scan_time(LEN);
+    let series_windows: Vec<(usize, Vec<f64>, Vec<f64>)> = suite
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let ts = fbd_tsdb::TimeSeries::from_values(0, fbd_bench::CADENCE, &s.values);
+            let w = extract_windows(&ts, &windows_cfg, now).expect("windows cover suite");
+            // EGADS merges analysis and extended windows (§6.5).
+            let analysis = w.analysis_and_extended();
+            (i, w.historic, analysis)
+        })
+        .collect();
+    let mut best_ok: Option<(String, f64, f64)> = None;
+    for (name, detectors) in [
+        (
+            "adaptive kernel density",
+            (0..6)
+                .map(|i| {
+                    Box::new(AdaptiveKernelDensity::new(0.2 + i as f64 * 0.8))
+                        as Box<dyn EgadsDetector>
+                })
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "extreme low density",
+            (0..6)
+                .map(|i| {
+                    Box::new(ExtremeLowDensity::new(0.05 + i as f64 * 0.6))
+                        as Box<dyn EgadsDetector>
+                })
+                .collect(),
+        ),
+        (
+            "K-Sigma",
+            (0..6)
+                .map(|i| Box::new(KSigma::new(1.0 + i as f64 * 6.0)) as Box<dyn EgadsDetector>)
+                .collect(),
+        ),
+    ] {
+        for (si, detector) in detectors.iter().enumerate() {
+            let mut fp = 0usize;
+            let mut fn_count = 0usize;
+            for (i, historical, analysis) in &series_windows {
+                let verdict = detector.detect(historical, analysis);
+                let is_positive = positives.contains(i);
+                match (verdict.anomalous, is_positive) {
+                    (true, false) => fp += 1,
+                    (false, true) => fn_count += 1,
+                    _ => {}
+                }
+            }
+            let fpr = fp as f64 / negatives as f64;
+            let fnr = fn_count as f64 / positives.len() as f64;
+            rows.push(vec![
+                name.to_string(),
+                format!("{si}"),
+                format!("{fpr:.4}"),
+                format!("{fnr:.3}"),
+            ]);
+            // Track whether any EGADS point beats FBDetect on both axes.
+            if fpr <= fbdetect_fpr && fnr <= fbdetect_fnr + 1e-12 {
+                best_ok = Some((name.to_string(), fpr, fnr));
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["EGADS algorithm", "sensitivity#", "FPR", "FNR"], &rows)
+    );
+    println!(
+        "\npaper's shape: every EGADS curve trades FPR against FNR — none\n\
+         reaches FBDetect's corner of simultaneously low FPR and low FNR."
+    );
+    match best_ok {
+        None => println!("confirmed: no EGADS point dominates FBDetect ✓"),
+        Some((name, fpr, fnr)) => println!(
+            "NOTE: {name} reached FPR={fpr:.4}, FNR={fnr:.3} (ties FBDetect on this workload)"
+        ),
+    }
+    assert!(fbdetect_fnr <= 0.1, "FBDetect FNR too high: {fbdetect_fnr}");
+    assert!(
+        fbdetect_fpr <= 0.02,
+        "FBDetect FPR too high: {fbdetect_fpr}"
+    );
+}

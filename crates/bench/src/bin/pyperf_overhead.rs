@@ -1,0 +1,145 @@
+//! §6.6: PyPerf profiling overhead on the serialize/compress/write
+//! micro-benchmark.
+//!
+//! The paper: at one sample per server per 30 minutes no overhead is
+//! observable; at the worst-case one sample per second the micro-benchmark
+//! loses about 0.8% of throughput. The simulated capture's per-sample cost
+//! is calibrated so the worst-case rate reproduces the paper's measured
+//! ~0.8% (the real cost includes eBPF probe execution, interpreter
+//! perturbation, and cache pollution that a pure stack walk would
+//! understate — see DESIGN.md); the experiment then shows how overhead
+//! scales across sampling rates, with the production rate unobservable.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin pyperf_overhead`
+
+use fbd_bench::render_table;
+use fbd_profiler::overhead::{
+    build_dataset, run_iteration, simulated_stack_capture, SamplingCost, Sink,
+};
+use std::time::Instant;
+
+const CAPTURE_COST: SamplingCost = SamplingCost {
+    stack_depth: 64,
+    per_frame_work: 400,
+};
+
+/// Paired A/B measurement with per-iteration alternation: baseline and
+/// profiled iterations interleave one-for-one, so CPU-frequency drift and
+/// co-tenant noise hit both sides equally. The profiled side spreads its
+/// capture budget evenly via an accumulator instead of bursting once per
+/// second. Returns (baseline_its_per_sec, profiled_its_per_sec).
+fn paired_throughput(
+    records: &[fbd_profiler::overhead::Record],
+    captures_per_iteration: f64,
+    total_pairs: usize,
+) -> (f64, f64) {
+    let mut sink = Sink::new();
+    // Warm-up.
+    for _ in 0..50 {
+        run_iteration(records, &mut sink, 0, CAPTURE_COST);
+    }
+    let mut base_secs = 0.0;
+    let mut prof_secs = 0.0;
+    let mut acc = 0.0f64;
+    for _ in 0..total_pairs {
+        let t0 = Instant::now();
+        run_iteration(records, &mut sink, 0, CAPTURE_COST);
+        base_secs += t0.elapsed().as_secs_f64();
+        acc += captures_per_iteration;
+        let fire = acc as usize;
+        acc -= fire as f64;
+        let t1 = Instant::now();
+        run_iteration(records, &mut sink, fire, CAPTURE_COST);
+        prof_secs += t1.elapsed().as_secs_f64();
+    }
+    std::hint::black_box(sink.checksum());
+    let n = total_pairs as f64;
+    (n / base_secs, n / prof_secs)
+}
+
+fn main() {
+    let records = build_dataset(400);
+    let total_pairs: usize = std::env::var("PAIRS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let repetitions: usize = std::env::var("REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    // Calibration: measure the baseline iteration rate and one capture's
+    // cost, then size the worst-case (1 sample/sec) budget to the paper's
+    // ~0.8% of wall time.
+    let (baseline, _) = paired_throughput(&records, 0.0, 200);
+    let capture_start = Instant::now();
+    let probe = 10_000;
+    for _ in 0..probe {
+        simulated_stack_capture(CAPTURE_COST);
+    }
+    let capture_secs = capture_start.elapsed().as_secs_f64() / probe as f64;
+    // 0.8% of wall time spent capturing => captures per iteration.
+    let iteration_secs = 1.0 / baseline.max(1.0);
+    let worst_case_captures_per_iteration = 0.008 * iteration_secs / capture_secs;
+    println!(
+        "calibration: baseline = {baseline:.0} it/s, capture = {:.1} µs, \
+         worst-case budget = {worst_case_captures_per_iteration:.3} captures/iteration\n",
+        capture_secs * 1e6
+    );
+    // The production 1/30min rate amortizes one capture over 30 minutes of
+    // iterations — per-iteration budget ~ capture_secs/1800s of work.
+    let production_captures_per_iteration = iteration_secs / 1_800.0 / capture_secs;
+    let cases: [(&str, f64); 4] = [
+        ("no profiling", 0.0),
+        (
+            "1 sample / 30 min (production)",
+            production_captures_per_iteration,
+        ),
+        (
+            "1 sample / sec (worst case)",
+            worst_case_captures_per_iteration,
+        ),
+        (
+            "4 samples / sec (beyond production)",
+            4.0 * worst_case_captures_per_iteration,
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut worst_case_overhead = 0.0;
+    for (name, budget) in cases {
+        // Median of several repetitions: co-tenant machine noise can swamp
+        // a sub-percent signal in any single run.
+        let mut overheads = Vec::with_capacity(repetitions);
+        let mut last_prof = 0.0;
+        for _ in 0..repetitions {
+            let (base, prof) = paired_throughput(&records, budget, total_pairs);
+            overheads.push((base - prof) / base * 100.0);
+            last_prof = prof;
+        }
+        overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let overhead = overheads[overheads.len() / 2];
+        if name.contains("worst case") {
+            worst_case_overhead = overhead;
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{last_prof:.0} it/s"),
+            format!("{overhead:+.2}%"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["configuration", "throughput", "overhead vs paired baseline"],
+            &rows
+        )
+    );
+    println!(
+        "\npaper's shape: no observable overhead at the production rate; about\n\
+         0.8% at the worst-case per-second rate used only on tiny services.\n\
+         worst-case measured here: {worst_case_overhead:+.2}%"
+    );
+    assert!(
+        (-1.0..4.0).contains(&worst_case_overhead),
+        "worst-case overhead {worst_case_overhead:.2}% outside the expected band"
+    );
+}

@@ -1,0 +1,147 @@
+//! §6.3: root-cause analysis accuracy.
+//!
+//! Repeated trials of the full loop: simulate a service, generate
+//! background change traffic, plant one culprit that regresses a
+//! subroutine, detect, and check whether RCA (i) suggests candidates at
+//! all and (ii) puts the culprit in the top three. Mirrors the paper's
+//! metrics: suggestion rate, top-3 accuracy among suggestions, and overall
+//! success rate.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin rca_accuracy`
+
+use fbd_changelog::{ChangeLog, ChangeTrafficConfig, ChangeTrafficGenerator};
+use fbd_fleet::server::Fleet;
+use fbd_fleet::{ServiceSim, ServiceSimConfig};
+use fbd_profiler::callgraph::CallGraphBuilder;
+use fbd_tsdb::{TsdbStore, WindowConfig};
+use fbdetect_core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+
+struct TrialResult {
+    detected: bool,
+    suggested: bool,
+    top3_correct: bool,
+}
+
+fn trial(seed: u64) -> TrialResult {
+    // A modest service graph with distinct subsystem names.
+    let mut b = CallGraphBuilder::new("main", 0.01);
+    let dispatch = b.add_child(0, "dispatch", 0.01, "Runtime").unwrap();
+    let subsystems = ["render", "data", "auth", "cache", "feed", "ads"];
+    let mut leaves = Vec::new();
+    for s in subsystems {
+        let parent = b
+            .add_child(dispatch, format!("{s}::entry"), 0.02, s)
+            .unwrap();
+        for j in 0..3 {
+            leaves.push(
+                b.add_child(parent, format!("{s}::step{j}"), 0.05, s)
+                    .unwrap(),
+            );
+        }
+    }
+    let graph = b.build().unwrap();
+    let fleet = Fleet::two_generations(40).unwrap();
+    let sim_config = ServiceSimConfig {
+        name: "svc".to_string(),
+        tick_interval: 60,
+        samples_per_tick: 2_000,
+        seed,
+        ..Default::default()
+    };
+    let mut sim = ServiceSim::new(sim_config, graph.clone(), fleet).unwrap();
+    let mut log = ChangeLog::new();
+    let mut traffic = ChangeTrafficGenerator::new(
+        ChangeTrafficConfig {
+            service: "svc".to_string(),
+            changes_per_day: 120.0,
+            subroutine_pool: graph.names().iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        },
+        seed,
+    );
+    traffic.generate_background(&mut log, 0, 43_200);
+    // Plant the culprit on a pseudo-random leaf.
+    let victim = leaves[(seed as usize * 7) % leaves.len()];
+    let victim_name = graph.frame(victim).unwrap().name.clone();
+    let culprit = traffic.plant_culprit(
+        &mut log,
+        35_800,
+        &[victim_name.as_str()],
+        Some(&format!("Rework {victim_name} internals")),
+    );
+    sim.inject_regression(victim, 36_000, 0.05, culprit)
+        .unwrap();
+    let store = TsdbStore::new();
+    sim.run(&store, 0, 43_200).unwrap();
+
+    let windows = WindowConfig {
+        historic: 8 * 3_600,
+        analysis: 2 * 3_600,
+        extended: 3_600,
+        rerun_interval: 3_600,
+    };
+    let config = DetectorConfig::new("rca", windows, Threshold::Absolute(0.01));
+    let mut pipeline = Pipeline::new(config).unwrap();
+    let context = ScanContext {
+        changelog: Some(&log),
+        samples: Some(sim.retained_samples()),
+        graph: Some(&graph),
+        domain_providers: vec![],
+    };
+    let ids = store.series_ids_for_service("svc");
+    let out = pipeline.scan(&store, &ids, 43_200, &context).unwrap();
+    let victim_reports: Vec<_> = out
+        .reports
+        .iter()
+        .filter(|r| r.series.target == victim_name || !r.root_cause_candidates.is_empty())
+        .collect();
+    let detected = !out.reports.is_empty();
+    let suggested = victim_reports
+        .iter()
+        .any(|r| !r.root_cause_candidates.is_empty());
+    let top3_correct = victim_reports
+        .iter()
+        .any(|r| r.root_cause_candidates.contains(&culprit));
+    TrialResult {
+        detected,
+        suggested,
+        top3_correct,
+    }
+}
+
+fn main() {
+    let trials: u64 = std::env::var("TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    println!("§6.3 RCA accuracy over {trials} simulated regressions\n");
+    let mut detected = 0;
+    let mut suggested = 0;
+    let mut correct = 0;
+    for t in 0..trials {
+        let r = trial(1_000 + t);
+        detected += r.detected as usize;
+        suggested += r.suggested as usize;
+        correct += r.top3_correct as usize;
+        println!(
+            "  trial {t:>2}: detected={} suggested={} top3-correct={}",
+            r.detected as u8, r.suggested as u8, r.top3_correct as u8
+        );
+    }
+    println!("\ndetection rate        : {detected}/{trials}");
+    println!("RCA suggestion rate   : {suggested}/{trials} (paper: 75/217 = 35%)");
+    if suggested > 0 {
+        println!(
+            "top-3 accuracy|suggest: {correct}/{suggested} = {:.0}% (paper: 71/75 = 95%)",
+            100.0 * correct as f64 / suggested as f64
+        );
+    }
+    assert!(detected as f64 >= trials as f64 * 0.8, "detection too weak");
+    assert!(
+        correct as f64 >= suggested as f64 * 0.6,
+        "top-3 accuracy too weak: {correct}/{suggested}"
+    );
+    println!(
+        "\nshape holds: when FBDetect suggests candidates, the culprit is usually in the top 3"
+    );
+}

@@ -1,0 +1,341 @@
+//! Table 3: effectiveness of individual techniques in filtering out
+//! spurious change points.
+//!
+//! Simulates a scaled-down "month" of monitoring: a large population of
+//! series dominated by transient issues (the paper's environment, where
+//! 99.7% of change points are transient), plus seasonal series, clustered
+//! true regressions across correlated subroutines and metrics, cost-shift
+//! pairs, and sub-threshold shifts. The pipeline runs over two overlapping
+//! scans (exercising SameRegressionMerger) and the per-stage funnel is
+//! printed in the paper's "1/x" reduction format.
+//!
+//! Scale with `SCALE=4 cargo run --release -p fbd-bench --bin table3_funnel`
+//! (default SCALE=1 ≈ 2,000 series).
+
+use fbd_bench::{reduction, render_table, CADENCE};
+use fbd_fleet::seasonality::SeasonalProfile;
+use fbd_fleet::spec::{Event, SeriesSpec};
+use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+use fbdetect_core::cost_shift::{CostDomainProvider, CustomDomain};
+use fbdetect_core::types::FunnelCounters;
+use fbdetect_core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+
+const LEN: usize = 900;
+
+fn windows() -> WindowConfig {
+    WindowConfig {
+        historic: 600 * CADENCE,
+        analysis: 200 * CADENCE,
+        extended: 100 * CADENCE,
+        rerun_interval: 100 * CADENCE,
+    }
+}
+
+struct Population {
+    store: TsdbStore,
+    ids: Vec<SeriesId>,
+    shift_pairs: Vec<(String, String)>,
+}
+
+/// Builds the short-term scan population.
+fn build_short_term(scale: usize) -> Population {
+    let store = TsdbStore::new();
+    let mut ids = Vec::new();
+    let mut shift_pairs = Vec::new();
+    let put = |store: &TsdbStore, ids: &mut Vec<SeriesId>, name: String, metric, values: &[f64]| {
+        let id = SeriesId::new("FrontFaaS", metric, name);
+        store.insert_series(id.clone(), TimeSeries::from_values(0, CADENCE, values));
+        ids.push(id);
+    };
+    let mut seed = 0u64;
+    let mut next_seed = || {
+        seed += 1;
+        seed
+    };
+    // Transient-dominated background: dips and spikes at varied offsets in
+    // the analysis window, recovering before the series end.
+    for i in 0..2400 * scale {
+        let at = 610 + (i * 7) % 70;
+        let duration = 15 + (i * 13) % 65;
+        let delta = if i % 2 == 0 { 0.4 } else { -0.4 } * (1.0 + (i % 5) as f64 * 0.2);
+        let spec = SeriesSpec::flat(LEN, 1.0, 0.02).with_event(Event::Transient {
+            at,
+            duration,
+            delta,
+        });
+        put(
+            &store,
+            &mut ids,
+            format!("transient{i:05}"),
+            MetricKind::GCpu,
+            &spec.generate(next_seed()).unwrap(),
+        );
+    }
+    // Plain noise.
+    for i in 0..500 * scale {
+        let spec = SeriesSpec::flat(LEN, 1.0, 0.02);
+        put(
+            &store,
+            &mut ids,
+            format!("noise{i:05}"),
+            MetricKind::GCpu,
+            &spec.generate(next_seed()).unwrap(),
+        );
+    }
+    // Seasonal series (hourly cadence spans a 24-sample daily cycle here).
+    for i in 0..120 * scale {
+        let mut spec = SeriesSpec::flat(LEN, 1.0, 0.01).with_seasonality(SeasonalProfile {
+            diurnal_amplitude: 0.10 + (i % 4) as f64 * 0.03,
+            weekly_amplitude: 0.0,
+            phase: i as u64 * 1_800,
+        });
+        spec.interval = 3_600;
+        put(
+            &store,
+            &mut ids,
+            format!("seasonal{i:05}"),
+            MetricKind::GCpu,
+            &spec.generate(next_seed()).unwrap(),
+        );
+    }
+    // Clustered true regressions: each cluster = one root cause regressing
+    // several callers of one subroutine plus a correlated latency metric.
+    // Distinct per-cluster name roots keep unrelated clusters textually
+    // dissimilar, as distinct subsystems are in production.
+    const MODULES: [&str; 10] = [
+        "render",
+        "feed",
+        "adserve",
+        "authn",
+        "cachelayer",
+        "dbquery",
+        "diskio",
+        "network",
+        "gcwork",
+        "rpcstack",
+    ];
+    for c in 0..10 * scale {
+        let at = 660 + (c * 11) % 60;
+        let module = MODULES[c % MODULES.len()];
+        for member in 0..6 {
+            let spec = SeriesSpec::flat(LEN, 1.0, 0.02).with_event(Event::Step { at, delta: 0.3 });
+            put(
+                &store,
+                &mut ids,
+                format!("{module}{c:03}::caller{member}::{module}_hot"),
+                MetricKind::GCpu,
+                &spec.generate(next_seed()).unwrap(),
+            );
+        }
+        let spec = SeriesSpec::flat(LEN, 5.0, 0.1).with_event(Event::Step { at, delta: 1.5 });
+        put(
+            &store,
+            &mut ids,
+            format!("{module}{c:03}::{module}_hot"),
+            MetricKind::Latency,
+            &spec.generate(next_seed()).unwrap(),
+        );
+    }
+    // Cost-shift pairs: destination steps up, source steps down equally.
+    for p in 0..20 * scale {
+        let at = 650 + (p * 17) % 80;
+        let up = SeriesSpec::flat(LEN, 1.0, 0.01).with_event(Event::Step { at, delta: 0.25 });
+        let down = SeriesSpec::flat(LEN, 1.0, 0.01).with_event(Event::Step { at, delta: -0.25 });
+        let dest = format!("shift{p:03}::dest");
+        let src = format!("shift{p:03}::src");
+        put(
+            &store,
+            &mut ids,
+            dest.clone(),
+            MetricKind::GCpu,
+            &up.generate(next_seed()).unwrap(),
+        );
+        put(
+            &store,
+            &mut ids,
+            src.clone(),
+            MetricKind::GCpu,
+            &down.generate(next_seed()).unwrap(),
+        );
+        shift_pairs.push((dest, src));
+    }
+    // Sub-threshold shifts: real but too small to matter.
+    for i in 0..30 * scale {
+        let spec = SeriesSpec::flat(LEN, 1.0, 0.005).with_event(Event::Step {
+            at: 660 + (i * 5) % 60,
+            delta: 0.02,
+        });
+        put(
+            &store,
+            &mut ids,
+            format!("tiny{i:05}"),
+            MetricKind::GCpu,
+            &spec.generate(next_seed()).unwrap(),
+        );
+    }
+    Population {
+        store,
+        ids,
+        shift_pairs,
+    }
+}
+
+/// Builds the long-term scan population: gradual ramps plus background.
+fn build_long_term(scale: usize) -> Population {
+    let store = TsdbStore::new();
+    let mut ids = Vec::new();
+    let mut seed = 10_000u64;
+    let mut next_seed = || {
+        seed += 1;
+        seed
+    };
+    let mut put = |name: String, values: &[f64]| {
+        let id = SeriesId::new("FrontFaaS", MetricKind::GCpu, name);
+        store.insert_series(id.clone(), TimeSeries::from_values(0, CADENCE, values));
+        ids.push(id);
+    };
+    for i in 0..30 * scale {
+        let spec = SeriesSpec::flat(LEN, 1.0, 0.02).with_event(Event::Ramp {
+            start: 400,
+            end: 800,
+            delta: 0.3 + (i % 4) as f64 * 0.1,
+        });
+        put(format!("drift{i:04}"), &spec.generate(next_seed()).unwrap());
+    }
+    for i in 0..60 * scale {
+        let spec = SeriesSpec::flat(LEN, 1.0, 0.02);
+        put(format!("noise{i:04}"), &spec.generate(next_seed()).unwrap());
+    }
+    Population {
+        store,
+        ids,
+        shift_pairs: Vec::new(),
+    }
+}
+
+fn run(population: &Population, config: DetectorConfig, scans: &[u64]) -> (FunnelCounters, usize) {
+    let mut pipeline = Pipeline::new(config).unwrap();
+    // Cost domain: each shift pair forms its own domain.
+    let pairs = population.shift_pairs.clone();
+    let domain = CustomDomain {
+        label: "shift-pairs".to_string(),
+        f: move |subroutine: &str| {
+            pairs
+                .iter()
+                .find(|(d, s)| d == subroutine || s == subroutine)
+                .map(|(d, s)| vec![d.clone(), s.clone()])
+        },
+    };
+    let providers: Vec<&dyn CostDomainProvider> = vec![&domain];
+    let context = ScanContext {
+        domain_providers: providers,
+        ..Default::default()
+    };
+    let mut funnel = FunnelCounters::default();
+    let mut reports = 0;
+    for &now in scans {
+        let out = pipeline
+            .scan(&population.store, &population.ids, now, &context)
+            .unwrap();
+        funnel.accumulate(&out.funnel);
+        reports += out.reports.len();
+    }
+    (funnel, reports)
+}
+
+fn main() {
+    let scale: usize = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    println!("Table 3 funnel, SCALE={scale}\n");
+    let scan_times = [
+        (LEN as u64 - 100) * CADENCE,
+        LEN as u64 * CADENCE, // Overlapping re-scan.
+    ];
+
+    // Short-term path.
+    let population = build_short_term(scale);
+    println!(
+        "short-term population: {} series, {} scans",
+        population.ids.len(),
+        scan_times.len()
+    );
+    let mut cfg = DetectorConfig::new("FrontFaaS short", windows(), Threshold::Absolute(0.1));
+    cfg.long_term_enabled = false;
+    let (short, short_reports) = run(&population, cfg, &scan_times);
+
+    // Long-term path.
+    let long_population = build_long_term(scale);
+    println!(
+        "long-term population : {} series, {} scans",
+        long_population.ids.len(),
+        scan_times.len()
+    );
+    let mut cfg = DetectorConfig::new("FrontFaaS long", windows(), Threshold::Absolute(0.1));
+    cfg.long_term_enabled = true;
+    // Long-term only: raise the short-term LRT significance to zero effect
+    // is not possible; instead filter short-term candidates via threshold on
+    // the long population (ramps rarely form sharp change points anyway).
+    let (long, long_reports) = run(&long_population, cfg, &scan_times);
+
+    let rows = vec![
+        vec![
+            "# change points detected".to_string(),
+            format!("{}", short.change_points),
+            format!("{}", long.change_points),
+        ],
+        vec![
+            "after went-away detection".to_string(),
+            reduction(short.change_points, short.after_went_away),
+            "——".to_string(),
+        ],
+        vec![
+            "after seasonality detection".to_string(),
+            reduction(short.change_points, short.after_seasonality),
+            "——".to_string(),
+        ],
+        vec![
+            "after threshold filtering".to_string(),
+            reduction(short.change_points, short.after_threshold),
+            reduction(long.change_points, long.after_threshold),
+        ],
+        vec![
+            "after SameRegressionMerger".to_string(),
+            reduction(short.change_points, short.after_same_merger),
+            reduction(long.change_points, long.after_same_merger),
+        ],
+        vec![
+            "after SOMDedup".to_string(),
+            reduction(short.change_points, short.after_som_dedup),
+            reduction(long.change_points, long.after_som_dedup),
+        ],
+        vec![
+            "after cost-shift analysis".to_string(),
+            reduction(short.change_points, short.after_cost_shift),
+            reduction(long.change_points, long.after_cost_shift),
+        ],
+        vec![
+            "after PairwiseDedup".to_string(),
+            reduction(short.change_points, short.after_pairwise_dedup),
+            reduction(long.change_points, long.after_pairwise_dedup),
+        ],
+    ];
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &["stage", "short-term regression", "long-term regression"],
+            &rows
+        )
+    );
+    println!("final reports: short-term = {short_reports}, long-term = {long_reports}");
+    println!(
+        "\npaper's shape: the went-away detector is the single most effective\n\
+         filter; each later stage removes a further slice; overall reduction\n\
+         is several orders of magnitude from raw change points to reports."
+    );
+    // Sanity: the funnel must be strictly effective.
+    assert!(short.change_points > 20 * short.after_pairwise_dedup.max(1));
+    assert!(short.after_went_away < short.change_points / 2);
+}

@@ -1,0 +1,184 @@
+//! Table 4: magnitude distribution of detected regressions, plus the §6.2
+//! false-positive/false-negative analysis.
+//!
+//! Production regressions arrive a few at a time across a month of scans —
+//! never hundreds simultaneously — so the experiment runs in rounds: each
+//! round is one scan over a population of clean/transient/seasonal series
+//! plus a handful of true regressions whose magnitudes sweep a slice of
+//! the paper's observed 0.005%–15% range. Detections are matched against
+//! ground truth; percentiles of the detected relative magnitudes are
+//! printed for All / TR / FP as in Table 4, followed by the §6.2 FP/FN
+//! analysis.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin table4_magnitudes`
+//! (`ROUNDS=120` for a bigger sample).
+
+use fbd_bench::{load_suite, render_table, suite_config, suite_scan_time};
+use fbd_fleet::scenarios::{labelled_suite, SeriesLabel, SuiteConfig};
+use fbd_stats::descriptive::percentile;
+use fbd_tsdb::MetricKind;
+use fbdetect_core::{Pipeline, ScanContext, Threshold};
+
+const LEN: usize = 900;
+const REGRESSIONS_PER_ROUND: usize = 1;
+
+fn percentile_row(name: &str, values: &[f64]) -> Vec<String> {
+    if values.is_empty() {
+        return vec![
+            name.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ];
+    }
+    let fmt = |p: f64| format!("{:.4}%", percentile(values, p).unwrap() * 100.0);
+    vec![
+        name.to_string(),
+        fmt(0.0),
+        fmt(10.0),
+        fmt(50.0),
+        fmt(90.0),
+        fmt(99.0),
+        fmt(100.0),
+    ]
+}
+
+fn main() {
+    let rounds: usize = std::env::var("ROUNDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    // The full magnitude range, partitioned into per-round log slices so
+    // the whole 0.005%..15% range is swept.
+    let (range_lo, range_hi) = (0.00005f64, 0.15f64);
+    println!(
+        "Table 4: {rounds} rounds x {REGRESSIONS_PER_ROUND} regressions, magnitudes {:.3}%..{:.0}%\n",
+        range_lo * 100.0,
+        range_hi * 100.0
+    );
+    let mut all = Vec::new();
+    let mut true_regressions = Vec::new();
+    let mut false_positives = Vec::new();
+    let mut fp_by_label: std::collections::HashMap<&str, usize> = Default::default();
+    let mut truth_total = 0usize;
+    let mut truth_caught = 0usize;
+    let mut missed_above_threshold = 0usize;
+    let mut negatives_total = 0usize;
+    for round in 0..rounds {
+        // This round's magnitude slice (log partition).
+        let t0 = round as f64 / rounds as f64;
+        let t1 = (round + 1) as f64 / rounds as f64;
+        let lo = (range_lo.ln() + t0 * (range_hi.ln() - range_lo.ln())).exp();
+        let hi = (range_lo.ln() + t1 * (range_hi.ln() - range_lo.ln())).exp();
+        let suite_cfg = SuiteConfig {
+            clean: 20,
+            regressions: REGRESSIONS_PER_ROUND,
+            gradual: 0,
+            transients: 10,
+            seasonal: 4,
+            len: LEN,
+            change_fraction: 0.75,
+            relative_magnitude_range: (lo, hi),
+            base: 1.0,
+            // Noise floor compatible with detecting the smallest slice.
+            noise_std: (lo / 10.0).max(2e-6),
+        };
+        let suite = labelled_suite(&suite_cfg, 7_000 + round as u64).unwrap();
+        let (store, ids) = load_suite(&suite, "FrontFaaS", MetricKind::GCpu);
+        // The detection threshold tracks the workload, as Table 1 does:
+        // just under this round's smallest injected magnitude.
+        let config = suite_config(LEN, Threshold::Absolute(lo * 0.8));
+        let mut pipeline = Pipeline::new(config).unwrap();
+        let out = pipeline
+            .scan(&store, &ids, suite_scan_time(LEN), &ScanContext::default())
+            .unwrap();
+        let truth = fbd_bench::true_regression_indices(&suite);
+        truth_total += truth.len();
+        negatives_total += suite.len() - truth.len();
+        let mut detected_indices = std::collections::HashSet::new();
+        for r in &out.reports {
+            let Some(idx) = fbd_bench::suite_index(&r.series) else {
+                continue;
+            };
+            detected_indices.insert(idx);
+            let magnitude = r.relative_change().abs();
+            all.push(magnitude);
+            match suite[idx].label {
+                SeriesLabel::TrueRegression | SeriesLabel::TrueGradualRegression => {
+                    true_regressions.push(magnitude)
+                }
+                label => {
+                    false_positives.push(magnitude);
+                    let name = match label {
+                        SeriesLabel::Clean => "noise",
+                        SeriesLabel::Transient => "transient not filtered",
+                        SeriesLabel::SeasonalOnly => "seasonality not filtered",
+                        _ => unreachable!(),
+                    };
+                    *fp_by_label.entry(name).or_insert(0) += 1;
+                }
+            }
+        }
+        for &i in &truth {
+            if detected_indices.contains(&i) {
+                truth_caught += 1;
+            } else if suite[i].magnitude.abs() >= lo {
+                missed_above_threshold += 1;
+            }
+        }
+    }
+    let rows = vec![
+        percentile_row("All", &all),
+        percentile_row("TR", &true_regressions),
+        percentile_row("FP", &false_positives),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["", "Smallest", "P10", "P50", "P90", "P99", "Largest"],
+            &rows
+        )
+    );
+    println!("\ndetected {} regressions total", all.len());
+    println!(
+        "true regressions: {truth_caught}/{truth_total} caught \
+         ({missed_above_threshold} missed above the 0.005% threshold)"
+    );
+    println!(
+        "false positives : {} ({:.3}% of {negatives_total} negative series)",
+        false_positives.len(),
+        100.0 * false_positives.len() as f64 / negatives_total as f64
+    );
+    if !fp_by_label.is_empty() {
+        println!("false-positive taxonomy (paper: mostly cost shifts, then transients):");
+        let mut entries: Vec<(&str, usize)> = fp_by_label.into_iter().collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1));
+        for (name, count) in entries {
+            println!("  {count:>4}  {name}");
+        }
+    }
+    if !true_regressions.is_empty() {
+        println!(
+            "\nsmallest detected true regression: {:.4}% (paper: 0.005%)",
+            true_regressions.iter().cloned().fold(f64::MAX, f64::min) * 100.0
+        );
+    }
+    // Shape assertions.
+    let smallest = true_regressions.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        smallest < 0.0002,
+        "smallest detected TR = {smallest}; expected ~0.00005"
+    );
+    assert!(
+        truth_caught * 10 >= truth_total * 7,
+        "too many false negatives: {truth_caught}/{truth_total}"
+    );
+    assert!(
+        false_positives.len() * 50 <= negatives_total,
+        "false-positive rate too high: {}/{negatives_total}",
+        false_positives.len()
+    );
+}

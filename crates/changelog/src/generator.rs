@@ -1,0 +1,251 @@
+//! Generator for realistic synthetic change traffic.
+//!
+//! FrontFaaS receives thousands of code commits every workday from tens of
+//! thousands of developers (§3). The generator fabricates that traffic:
+//! innocuous changes touching random subroutines, with configurable rates,
+//! plus explicitly planted "culprit" changes whose ids the caller records
+//! as ground truth for evaluating root-cause analysis.
+
+use crate::change::{Change, ChangeId, ChangeKind};
+use crate::log::ChangeLog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for synthetic change traffic.
+#[derive(Debug, Clone)]
+pub struct ChangeTrafficConfig {
+    /// Service name stamped on every change.
+    pub service: String,
+    /// Mean number of changes per day.
+    pub changes_per_day: f64,
+    /// Fraction of changes that are configuration changes.
+    pub config_fraction: f64,
+    /// Subroutine names changes may touch.
+    pub subroutine_pool: Vec<String>,
+    /// Mean number of subroutines modified per code change.
+    pub mean_subroutines_per_change: f64,
+}
+
+impl Default for ChangeTrafficConfig {
+    fn default() -> Self {
+        ChangeTrafficConfig {
+            service: "FrontFaaS".to_string(),
+            changes_per_day: 1000.0,
+            config_fraction: 0.15,
+            subroutine_pool: (0..500).map(|i| format!("subroutine_{i:05}")).collect(),
+            mean_subroutines_per_change: 2.0,
+        }
+    }
+}
+
+/// Generates synthetic change traffic into a [`ChangeLog`].
+#[derive(Debug)]
+pub struct ChangeTrafficGenerator {
+    config: ChangeTrafficConfig,
+    rng: StdRng,
+    next_id: ChangeId,
+}
+
+const TITLE_VERBS: &[&str] = &[
+    "Refactor",
+    "Optimize",
+    "Fix",
+    "Extend",
+    "Simplify",
+    "Migrate",
+    "Clean up",
+    "Harden",
+    "Loosen constraints for",
+    "Add caching to",
+];
+const TITLE_NOUNS: &[&str] = &[
+    "request handling",
+    "serialization",
+    "retry logic",
+    "cache eviction",
+    "input validation",
+    "logging",
+    "pagination",
+    "rate limiting",
+    "batching",
+    "error paths",
+];
+
+impl ChangeTrafficGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(config: ChangeTrafficConfig, seed: u64) -> Self {
+        ChangeTrafficGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 1,
+        }
+    }
+
+    /// Next change id that will be assigned.
+    pub fn peek_next_id(&self) -> ChangeId {
+        self.next_id
+    }
+
+    /// Generates background change traffic covering `[start, end)` seconds
+    /// and records it into `log`. Returns the ids generated.
+    pub fn generate_background(
+        &mut self,
+        log: &mut ChangeLog,
+        start: u64,
+        end: u64,
+    ) -> Vec<ChangeId> {
+        let span_days = (end.saturating_sub(start)) as f64 / 86_400.0;
+        let expected = (self.config.changes_per_day * span_days).round() as usize;
+        let mut ids = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            let deploy_time = self.rng.gen_range(start..end.max(start + 1));
+            ids.push(self.emit(log, deploy_time, None, None));
+        }
+        ids
+    }
+
+    /// Plants a specific change at `deploy_time` modifying `subroutines`,
+    /// with an optional descriptive title. Returns its id — the caller's
+    /// ground truth.
+    pub fn plant_culprit(
+        &mut self,
+        log: &mut ChangeLog,
+        deploy_time: u64,
+        subroutines: &[&str],
+        title: Option<&str>,
+    ) -> ChangeId {
+        self.emit(
+            log,
+            deploy_time,
+            Some(subroutines.iter().map(|s| s.to_string()).collect()),
+            title,
+        )
+    }
+
+    fn emit(
+        &mut self,
+        log: &mut ChangeLog,
+        deploy_time: u64,
+        subroutines: Option<Vec<String>>,
+        title: Option<&str>,
+    ) -> ChangeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let kind = if subroutines.is_none() && self.rng.gen::<f64>() < self.config.config_fraction {
+            ChangeKind::Config
+        } else {
+            ChangeKind::Code
+        };
+        let modified_subroutines = match (&kind, subroutines) {
+            (_, Some(subs)) => subs,
+            (ChangeKind::Config, None) => Vec::new(),
+            (ChangeKind::Code, None) => {
+                let count = 1 + self
+                    .rng
+                    .gen_range(0.0..self.config.mean_subroutines_per_change * 2.0)
+                    as usize;
+                (0..count)
+                    .map(|_| {
+                        let i = self.rng.gen_range(0..self.config.subroutine_pool.len());
+                        self.config.subroutine_pool[i].clone()
+                    })
+                    .collect()
+            }
+        };
+        let title = title.map(str::to_string).unwrap_or_else(|| {
+            format!(
+                "{} {}",
+                TITLE_VERBS[self.rng.gen_range(0..TITLE_VERBS.len())],
+                TITLE_NOUNS[self.rng.gen_range(0..TITLE_NOUNS.len())]
+            )
+        });
+        let files = modified_subroutines
+            .iter()
+            .map(|s| format!("{}.src", s.replace("::", "_")))
+            .collect();
+        let summary = format!(
+            "{} touching {} subroutine(s)",
+            match kind {
+                ChangeKind::Code => "Code change",
+                ChangeKind::Config => "Configuration change",
+            },
+            modified_subroutines.len()
+        );
+        let author = format!("dev{:04}", self.rng.gen_range(0..10_000));
+        log.record(Change {
+            id,
+            kind,
+            service: self.config.service.clone(),
+            deploy_time,
+            modified_subroutines,
+            title,
+            summary,
+            files,
+            author,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_traffic_volume() {
+        let mut log = ChangeLog::new();
+        let mut g = ChangeTrafficGenerator::new(ChangeTrafficConfig::default(), 1);
+        let ids = g.generate_background(&mut log, 0, 86_400);
+        // 1000/day configured.
+        assert_eq!(ids.len(), 1000);
+        assert_eq!(log.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = ChangeLog::new();
+        let mut b = ChangeLog::new();
+        ChangeTrafficGenerator::new(ChangeTrafficConfig::default(), 7)
+            .generate_background(&mut a, 0, 3600);
+        ChangeTrafficGenerator::new(ChangeTrafficConfig::default(), 7)
+            .generate_background(&mut b, 0, 3600);
+        assert_eq!(a.all(), b.all());
+    }
+
+    #[test]
+    fn culprit_is_recorded_with_exact_fields() {
+        let mut log = ChangeLog::new();
+        let mut g = ChangeTrafficGenerator::new(ChangeTrafficConfig::default(), 1);
+        let id = g.plant_culprit(&mut log, 500, &["hot::path"], Some("Add expensive check"));
+        let c = log.get(id).unwrap();
+        assert_eq!(c.deploy_time, 500);
+        assert!(c.modifies("hot::path"));
+        assert_eq!(c.title, "Add expensive check");
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut log = ChangeLog::new();
+        let mut g = ChangeTrafficGenerator::new(ChangeTrafficConfig::default(), 2);
+        let ids = g.generate_background(&mut log, 0, 7200);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn config_changes_have_no_subroutines() {
+        let mut log = ChangeLog::new();
+        let cfg = ChangeTrafficConfig {
+            config_fraction: 1.0,
+            ..Default::default()
+        };
+        let mut g = ChangeTrafficGenerator::new(cfg, 3);
+        g.generate_background(&mut log, 0, 86_400);
+        assert!(log
+            .all()
+            .iter()
+            .all(|c| c.kind == ChangeKind::Config && c.modified_subroutines.is_empty()));
+    }
+}

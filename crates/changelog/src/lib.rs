@@ -1,0 +1,18 @@
+//! Synthetic code/configuration change log for the FBDetect reproduction.
+//!
+//! Root-cause analysis (§5.6) ranks the code or configuration changes
+//! deployed immediately before a regression. Production FBDetect reads
+//! Meta's change-management systems; this crate is the stand-in: a stream
+//! of [`Change`] records with deploy times, modified subroutines, and
+//! textual descriptions, plus a generator that fabricates realistic change
+//! traffic (thousands of commits per day on FrontFaaS, §3) with controlled
+//! ground truth.
+#![warn(missing_docs)]
+
+pub mod change;
+pub mod generator;
+pub mod log;
+
+pub use change::{Change, ChangeId, ChangeKind};
+pub use generator::{ChangeTrafficConfig, ChangeTrafficGenerator};
+pub use log::ChangeLog;

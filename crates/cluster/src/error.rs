@@ -1,0 +1,39 @@
+//! Error type for the clustering substrate.
+
+use std::fmt;
+
+/// Errors produced by clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No items to cluster.
+    EmptyInput,
+    /// Feature vectors had inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the first row.
+        expected: usize,
+        /// Dimensionality of the offending row.
+        actual: usize,
+    },
+    /// A parameter was out of range (e.g. k = 0).
+    InvalidParameter(&'static str),
+    /// Input contained NaN or infinite values.
+    NonFiniteInput,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyInput => write!(f, "no items to cluster"),
+            ClusterError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {actual}"
+                )
+            }
+            ClusterError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ClusterError::NonFiniteInput => write!(f, "features contain NaN or infinity"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

@@ -1,0 +1,220 @@
+//! Agglomerative hierarchical clustering — the second alternative the paper
+//! evaluated (§5.5.1).
+//!
+//! The paper found that the cut level "depends on the data distribution"
+//! and that Silhouette-scored automatic cut selection "often does not
+//! converge to an optimal value". Implemented here (average linkage, cut by
+//! distance) for the ablation bench.
+
+use crate::features::{check_matrix, distance, normalize_columns};
+use crate::Result;
+
+/// A merge step in the dendrogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeStep {
+    /// First merged cluster id.
+    pub left: usize,
+    /// Second merged cluster id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Id assigned to the merged cluster.
+    pub merged_id: usize,
+}
+
+/// A complete agglomerative clustering (the dendrogram).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n_items: usize,
+    steps: Vec<MergeStep>,
+}
+
+impl Dendrogram {
+    /// Merge steps in order of increasing distance.
+    pub fn steps(&self) -> &[MergeStep] {
+        &self.steps
+    }
+
+    /// Cuts the dendrogram at `max_distance`: merges with larger linkage are
+    /// undone. Returns a cluster index per item, compacted to `0..k`.
+    pub fn cut(&self, max_distance: f64) -> Vec<usize> {
+        // Union-find over items, replaying merges under the cut.
+        let mut parent: Vec<usize> = (0..self.n_items).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        // Cluster ids above n_items refer to earlier merge results; track a
+        // representative item for every cluster id.
+        let mut representative: Vec<usize> = (0..self.n_items).collect();
+        for step in &self.steps {
+            if step.distance > max_distance {
+                break;
+            }
+            let a = representative[step.left];
+            let b = representative[step.right];
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            parent[rb] = ra;
+            representative.push(ra);
+        }
+        // Compact roots to 0..k in first-seen order.
+        let mut labels = Vec::with_capacity(self.n_items);
+        let mut seen: Vec<usize> = Vec::new();
+        for i in 0..self.n_items {
+            let root = find(&mut parent, i);
+            let label = match seen.iter().position(|&r| r == root) {
+                Some(p) => p,
+                None => {
+                    seen.push(root);
+                    seen.len() - 1
+                }
+            };
+            labels.push(label);
+        }
+        labels
+    }
+
+    /// Number of clusters at a given cut.
+    pub fn cluster_count_at(&self, max_distance: f64) -> usize {
+        self.cut(max_distance)
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+}
+
+/// Builds the dendrogram with average linkage over normalized features.
+pub fn agglomerative(items: &[Vec<f64>]) -> Result<Dendrogram> {
+    check_matrix(items)?;
+    let mut data = items.to_vec();
+    normalize_columns(&mut data)?;
+    let n = data.len();
+    // Active clusters: (cluster_id, member item indices).
+    let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut next_id = n;
+    let mut steps = Vec::with_capacity(n.saturating_sub(1));
+    // Precompute pairwise item distances.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = distance(&data[i], &data[j]);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let linkage = |a: &[usize], b: &[usize], dist: &[f64]| -> f64 {
+        let mut sum = 0.0;
+        for &i in a {
+            for &j in b {
+                sum += dist[i * n + j];
+            }
+        }
+        sum / (a.len() * b.len()) as f64
+    };
+    while active.len() > 1 {
+        let mut best = (0usize, 1usize);
+        let mut best_d = f64::INFINITY;
+        for i in 0..active.len() {
+            for j in i + 1..active.len() {
+                let d = linkage(&active[i].1, &active[j].1, &dist);
+                if d < best_d {
+                    best_d = d;
+                    best = (i, j);
+                }
+            }
+        }
+        let (i, j) = best;
+        let (right_id, right_members) = active.remove(j);
+        let (left_id, mut left_members) = active.remove(i);
+        left_members.extend(right_members);
+        steps.push(MergeStep {
+            left: left_id,
+            right: right_id,
+            distance: best_d,
+            merged_id: next_id,
+        });
+        active.push((next_id, left_members));
+        next_id += 1;
+    }
+    Ok(Dendrogram { n_items: n, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterError;
+
+    fn blobs(centers: &[f64], per: usize) -> Vec<Vec<f64>> {
+        let mut items = Vec::new();
+        for &c in centers {
+            for j in 0..per {
+                items.push(vec![c + j as f64 * 0.01]);
+            }
+        }
+        items
+    }
+
+    #[test]
+    fn merge_distances_nondecreasing() {
+        let items = blobs(&[0.0, 10.0, 20.0], 4);
+        let d = agglomerative(&items).unwrap();
+        let mut prev = 0.0;
+        for s in d.steps() {
+            assert!(s.distance >= prev - 1e-9);
+            prev = s.distance;
+        }
+        assert_eq!(d.steps().len(), items.len() - 1);
+    }
+
+    #[test]
+    fn cut_recovers_blobs() {
+        let items = blobs(&[0.0, 10.0], 5);
+        let d = agglomerative(&items).unwrap();
+        // A mid-range cut yields exactly two clusters matching the blobs.
+        let labels = d.cut(0.5);
+        assert_eq!(labels.iter().copied().max().unwrap(), 1);
+        assert!(labels[..5].iter().all(|&l| l == labels[0]));
+        assert!(labels[5..].iter().all(|&l| l == labels[5]));
+    }
+
+    #[test]
+    fn cut_zero_gives_singletons_cut_inf_gives_one() {
+        let items = blobs(&[0.0, 5.0], 3);
+        let d = agglomerative(&items).unwrap();
+        assert_eq!(d.cluster_count_at(-1.0), 6);
+        assert_eq!(d.cluster_count_at(f64::INFINITY), 1);
+    }
+
+    #[test]
+    fn cut_level_sensitivity() {
+        // The paper's complaint: nearby cut levels give very different
+        // cluster counts on uneven data.
+        let items = blobs(&[0.0, 1.0, 10.0], 3);
+        let d = agglomerative(&items).unwrap();
+        let counts: Vec<usize> = [0.05, 0.3, 1.0, 3.0]
+            .iter()
+            .map(|&c| d.cluster_count_at(c))
+            .collect();
+        // Strictly decreasing through at least three distinct values.
+        let mut distinct = counts.clone();
+        distinct.dedup();
+        assert!(distinct.len() >= 3, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(matches!(agglomerative(&[]), Err(ClusterError::EmptyInput)));
+    }
+
+    #[test]
+    fn single_item() {
+        let d = agglomerative(&[vec![1.0]]).unwrap();
+        assert!(d.steps().is_empty());
+        assert_eq!(d.cut(1.0), vec![0]);
+    }
+}

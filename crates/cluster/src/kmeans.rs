@@ -1,0 +1,192 @@
+//! K-means clustering — the "KNN" alternative the paper evaluated (§5.5.1).
+//!
+//! The paper rejects K-style clustering for deduplication because
+//! "determining the number of clusters (K) beforehand is impractical due to
+//! the varying number of regressions, and iterating over different K values
+//! is computationally expensive". This implementation exists so the
+//! ablation bench can demonstrate exactly that sensitivity.
+
+use crate::features::{check_matrix, normalize_columns, squared_distance};
+use crate::{ClusterError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A k-means clustering result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index per item.
+    pub assignments: Vec<usize>,
+    /// Final centroids (normalized feature space).
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations until convergence (or the budget).
+    pub iterations: usize,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Runs Lloyd's k-means with k-means++-style seeding.
+pub fn kmeans(
+    items: &[Vec<f64>],
+    k: usize,
+    max_iterations: usize,
+    seed: u64,
+) -> Result<KMeansResult> {
+    let dim = check_matrix(items)?;
+    if k == 0 || k > items.len() {
+        return Err(ClusterError::InvalidParameter("k must be in 1..=n_items"));
+    }
+    if max_iterations == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "max_iterations must be positive",
+        ));
+    }
+    let mut data = items.to_vec();
+    normalize_columns(&mut data)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // k-means++ seeding: first centroid uniform, rest proportional to D².
+    let mut centroids: Vec<Vec<f64>> = vec![data[rng.gen_range(0..data.len())].clone()];
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|x| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(x, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(data[rng.gen_range(0..data.len())].clone());
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = 0;
+        for (i, &d) in d2.iter().enumerate() {
+            pick -= d;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(data[chosen].clone());
+    }
+    let mut assignments = vec![0usize; data.len()];
+    let mut iterations = 0;
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, x) in data.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = squared_distance(x, c);
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (x, &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(x) {
+                *s += v;
+            }
+        }
+        for (ci, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                centroids[ci] = sum.iter().map(|s| s / count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = data
+        .iter()
+        .zip(&assignments)
+        .map(|(x, &a)| squared_distance(x, &centroids[a]))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        iterations,
+        inertia,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], per: usize) -> Vec<Vec<f64>> {
+        let mut items = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for j in 0..per {
+                let jitter = ((ci * per + j) % 7) as f64 * 0.01;
+                items.push(vec![cx + jitter, cy + jitter]);
+            }
+        }
+        items
+    }
+
+    #[test]
+    fn correct_k_separates_blobs() {
+        let items = blobs(&[(0.0, 0.0), (10.0, 10.0)], 10);
+        let r = kmeans(&items, 2, 100, 1).unwrap();
+        let first = r.assignments[0];
+        assert!(r.assignments[..10].iter().all(|&a| a == first));
+        assert!(r.assignments[10..].iter().all(|&a| a != first));
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn wrong_k_splits_or_merges() {
+        // k=3 on two blobs: some blob must be split (more clusters used
+        // than natural groups) — the sensitivity the paper complains about.
+        let items = blobs(&[(0.0, 0.0), (10.0, 10.0)], 10);
+        let r = kmeans(&items, 3, 100, 1).unwrap();
+        let mut used: Vec<usize> = r.assignments.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert!(used.len() >= 2);
+        // And k=1 on two blobs yields huge inertia vs k=2.
+        let r1 = kmeans(&items, 1, 100, 1).unwrap();
+        let r2 = kmeans(&items, 2, 100, 1).unwrap();
+        assert!(r1.inertia > 5.0 * r2.inertia.max(1e-9));
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        let items = blobs(&[(0.0, 0.0)], 3);
+        assert!(kmeans(&items, 0, 10, 1).is_err());
+        assert!(kmeans(&items, 4, 10, 1).is_err());
+        assert!(kmeans(&items, 1, 0, 1).is_err());
+        assert!(kmeans(&[], 1, 10, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let items = blobs(&[(0.0, 0.0), (5.0, 5.0)], 8);
+        let a = kmeans(&items, 2, 50, 9).unwrap();
+        let b = kmeans(&items, 2, 50, 9).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let items = vec![vec![1.0, 1.0]; 5];
+        let r = kmeans(&items, 2, 50, 3).unwrap();
+        assert_eq!(r.assignments.len(), 5);
+        assert!(r.inertia < 1e-9);
+    }
+}

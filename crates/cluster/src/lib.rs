@@ -1,0 +1,24 @@
+//! Clustering substrate for regression deduplication (§5.5).
+//!
+//! FBDetect deduplicates regressions in two passes: **SOMDedup** uses a
+//! Self-Organizing Map for O(n) shallow clustering, and **PairwiseDedup**
+//! applies accurate pairwise comparison to the survivors. The paper also
+//! discusses — and rejects — K-means-style clustering and hierarchical
+//! clustering with Silhouette-scored cut levels (§5.5.1 "Discussion of
+//! alternatives"); both are implemented here so the ablation bench can
+//! reproduce that comparison.
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod features;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod pairwise;
+pub mod silhouette;
+pub mod som;
+
+pub use error::ClusterError;
+pub use som::{som_grid_side, SelfOrganizingMap, SomConfig};
+
+/// Convenience alias used by fallible routines in this crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,111 @@
+//! Silhouette score for clustering quality (§5.5.1).
+//!
+//! The paper "attempted to automate cut-level selection by testing different
+//! values and evaluating their Silhouette scores … however, these scores
+//! often do not converge to an optimal value". Implemented for the
+//! clustering ablation.
+
+use crate::features::{check_matrix, distance, normalize_columns};
+use crate::{ClusterError, Result};
+
+/// Mean silhouette score over all items, in `[-1, 1]`.
+///
+/// Items in singleton clusters contribute a score of 0 (the usual
+/// convention). Returns an error when all items share one cluster, where
+/// the score is undefined.
+pub fn silhouette_score(items: &[Vec<f64>], labels: &[usize]) -> Result<f64> {
+    check_matrix(items)?;
+    if labels.len() != items.len() {
+        return Err(ClusterError::InvalidParameter(
+            "labels length must match items",
+        ));
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return Err(ClusterError::InvalidParameter(
+            "silhouette needs at least two clusters",
+        ));
+    }
+    let mut data = items.to_vec();
+    normalize_columns(&mut data)?;
+    let n = data.len();
+    let mut cluster_sizes = vec![0usize; k];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        if cluster_sizes[own] <= 1 {
+            continue; // Contributes 0.
+        }
+        // Mean distance to own cluster (a) and nearest other cluster (b).
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += distance(&data[i], &data[j]);
+        }
+        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let items = vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![10.0],
+            vec![10.1],
+            vec![10.2],
+        ];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let s = silhouette_score(&items, &labels).unwrap();
+        assert!(s > 0.9, "score = {s}");
+    }
+
+    #[test]
+    fn wrong_assignment_scores_low() {
+        let items = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+        // Mix the blobs across labels.
+        let labels = vec![0, 1, 0, 1];
+        let s = silhouette_score(&items, &labels).unwrap();
+        assert!(s < 0.1, "score = {s}");
+    }
+
+    #[test]
+    fn single_cluster_undefined() {
+        let items = vec![vec![0.0], vec![1.0]];
+        assert!(silhouette_score(&items, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let items = vec![vec![0.0], vec![5.0], vec![5.1]];
+        let labels = vec![0, 1, 1];
+        let s = silhouette_score(&items, &labels).unwrap();
+        // Two good members plus one zero-contribution singleton.
+        assert!(s > 0.5);
+    }
+
+    #[test]
+    fn label_length_mismatch() {
+        let items = vec![vec![0.0]];
+        assert!(silhouette_score(&items, &[0, 1]).is_err());
+    }
+}

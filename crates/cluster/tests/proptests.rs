@@ -1,0 +1,93 @@
+//! Property-based tests for the clustering substrate.
+
+use fbd_cluster::features::{distance, normalize_columns, squared_distance};
+use fbd_cluster::hierarchical::agglomerative;
+use fbd_cluster::kmeans::kmeans;
+use fbd_cluster::pairwise::PairwiseClusterer;
+use fbd_cluster::som::{cluster_by_cell, som_grid_side, SelfOrganizingMap, SomConfig};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-1e3f64..1e3, dim..=dim), 2..rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grid_rule_is_fourth_root(n in 1usize..100_000) {
+        let side = som_grid_side(n);
+        prop_assert!(side >= 1);
+        prop_assert!((side as f64).powi(4) >= n as f64);
+        prop_assert!(((side - 1) as f64).powi(4) < n as f64 || side == 1);
+    }
+
+    #[test]
+    fn som_assignments_partition_items(items in matrix(30, 3)) {
+        let som = SelfOrganizingMap::train(&items, SomConfig::default()).unwrap();
+        let cells = som.assign(&items).unwrap();
+        prop_assert_eq!(cells.len(), items.len());
+        prop_assert!(cells.iter().all(|&c| c < som.side() * som.side()));
+        let clusters = cluster_by_cell(&cells);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, items.len());
+    }
+
+    #[test]
+    fn kmeans_assignments_in_range(items in matrix(30, 2), k in 1usize..5) {
+        let k = k.min(items.len());
+        let r = kmeans(&items, k, 50, 1).unwrap();
+        prop_assert!(r.assignments.iter().all(|&a| a < k));
+        prop_assert!(r.inertia >= 0.0);
+    }
+
+    #[test]
+    fn kmeans_inertia_decreases_with_k(items in matrix(40, 2)) {
+        if items.len() >= 6 {
+            let r1 = kmeans(&items, 1, 60, 2).unwrap();
+            let r3 = kmeans(&items, 3, 60, 2).unwrap();
+            prop_assert!(r3.inertia <= r1.inertia + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dendrogram_cut_monotone(items in matrix(20, 2)) {
+        let d = agglomerative(&items).unwrap();
+        let mut prev = usize::MAX;
+        for cut in [0.0, 0.5, 1.0, 2.0, 8.0, f64::INFINITY] {
+            let count = d.cluster_count_at(cut);
+            prop_assert!(count <= prev);
+            prev = count;
+        }
+        prop_assert_eq!(d.cluster_count_at(f64::INFINITY), 1);
+    }
+
+    #[test]
+    fn pairwise_groups_cover_all_items(vals in prop::collection::vec(-50.0f64..50.0, 1..40)) {
+        let mut c = PairwiseClusterer::new(0.9);
+        let n = vals.len();
+        c.add_all(vals, |a: &f64, b: &f64| 1.0 - (a - b).abs());
+        let total: usize = c.groups().iter().map(|g| g.members.len()).sum();
+        prop_assert_eq!(total, n);
+        prop_assert!(c.groups().iter().all(|g| !g.members.is_empty()));
+    }
+
+    #[test]
+    fn normalization_bounds_distances(items in matrix(20, 3)) {
+        let mut m = items.clone();
+        normalize_columns(&mut m).unwrap();
+        for row in &m {
+            for v in row {
+                // Z-scores over n ≤ 20 samples cannot exceed √(n−1).
+                prop_assert!(v.abs() <= (m.len() as f64).sqrt() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_axioms(a in prop::collection::vec(-1e3f64..1e3, 4), b in prop::collection::vec(-1e3f64..1e3, 4)) {
+        prop_assert!((distance(&a, &b) - distance(&b, &a)).abs() < 1e-9);
+        prop_assert_eq!(distance(&a, &a), 0.0);
+        prop_assert!((distance(&a, &b).powi(2) - squared_distance(&a, &b)).abs() < 1e-6);
+    }
+}

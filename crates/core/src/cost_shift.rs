@@ -1,0 +1,440 @@
+//! The cost-shift detector (§5.4, Figure 1(b)).
+//!
+//! Subroutine-level metrics create false positives when refactoring merely
+//! moves code between subroutines. A *cost domain* is a group of
+//! subroutines within which a shift is likely: the upstream callers of the
+//! regressed subroutine, its class, subroutines sharing a metadata or
+//! endpoint prefix, or the set modified by one commit. Given a regression
+//! and a domain, the detector applies three rules:
+//!
+//! 1. a domain that did not exist before the regression cannot host a
+//!    shift;
+//! 2. a domain whose cost dwarfs the regression is excluded (its seasonal
+//!    wiggle alone would swamp the signal);
+//! 3. when the domain's total cost change is negligible relative to the
+//!    regression's change, the regression is a cost shift — filtered.
+
+use crate::config::DetectorConfig;
+use crate::types::Regression;
+use crate::Result;
+use fbd_changelog::ChangeLog;
+use fbd_profiler::callgraph::CallGraph;
+use fbd_stats::descriptive;
+
+/// Names the subroutines forming one cost domain for a regressed
+/// subroutine.
+pub trait CostDomainProvider {
+    /// Human-readable provider name (for reports).
+    fn name(&self) -> &str;
+    /// Domain members for `subroutine`, or `None` when the provider does
+    /// not apply. The regressed subroutine itself should be included.
+    fn domain_of(&self, subroutine: &str) -> Option<Vec<String>>;
+}
+
+/// Domain = the regressed subroutine's upstream callers (from the call
+/// graph): refactoring commonly moves code between a callee and its
+/// callers.
+pub struct UpstreamCallerDomain<'a> {
+    /// The service's call graph.
+    pub graph: &'a CallGraph,
+}
+
+impl CostDomainProvider for UpstreamCallerDomain<'_> {
+    fn name(&self) -> &str {
+        "upstream-callers"
+    }
+
+    fn domain_of(&self, subroutine: &str) -> Option<Vec<String>> {
+        let id = self.graph.frame_by_name(subroutine).ok()?;
+        let path = self.graph.path_to_root(id).ok()?;
+        if path.len() < 2 {
+            return None;
+        }
+        // The immediate caller's inclusive subtree covers the subroutine
+        // and its siblings — where moved code would reappear.
+        let parent = path[path.len() - 2];
+        let mut members: Vec<String> = self
+            .graph
+            .descendants(parent)
+            .ok()?
+            .into_iter()
+            .filter_map(|f| self.graph.frame(f).ok().map(|fr| fr.name.clone()))
+            .collect();
+        members.push(self.graph.frame(parent).ok()?.name.clone());
+        Some(members)
+    }
+}
+
+/// Domain = all subroutines in the same class.
+pub struct ClassDomain<'a> {
+    /// The service's call graph.
+    pub graph: &'a CallGraph,
+}
+
+impl CostDomainProvider for ClassDomain<'_> {
+    fn name(&self) -> &str {
+        "same-class"
+    }
+
+    fn domain_of(&self, subroutine: &str) -> Option<Vec<String>> {
+        let id = self.graph.frame_by_name(subroutine).ok()?;
+        let class = &self.graph.frame(id).ok()?.class;
+        if class.is_empty() {
+            return None;
+        }
+        let members: Vec<String> = self
+            .graph
+            .frames_in_class(class)
+            .into_iter()
+            .filter_map(|f| self.graph.frame(f).ok().map(|fr| fr.name.clone()))
+            .collect();
+        if members.len() < 2 {
+            None
+        } else {
+            Some(members)
+        }
+    }
+}
+
+/// Domain = subroutines whose name shares a prefix with the regressed one
+/// (used for endpoints with matching name prefixes and metadata prefixes).
+pub struct PrefixDomain {
+    /// All known subroutine/endpoint names.
+    pub universe: Vec<String>,
+    /// Prefix length in characters.
+    pub prefix_len: usize,
+}
+
+impl CostDomainProvider for PrefixDomain {
+    fn name(&self) -> &str {
+        "name-prefix"
+    }
+
+    fn domain_of(&self, subroutine: &str) -> Option<Vec<String>> {
+        let prefix: String = subroutine.chars().take(self.prefix_len).collect();
+        if prefix.is_empty() {
+            return None;
+        }
+        let members: Vec<String> = self
+            .universe
+            .iter()
+            .filter(|n| n.starts_with(&prefix))
+            .cloned()
+            .collect();
+        if members.len() < 2 {
+            None
+        } else {
+            Some(members)
+        }
+    }
+}
+
+/// Domain = all subroutines modified by the same code commit(s) around the
+/// regression time.
+pub struct CommitDomain<'a> {
+    /// The change log.
+    pub log: &'a ChangeLog,
+    /// Search window around the regression, `[start, end)`.
+    pub window: (u64, u64),
+}
+
+impl CostDomainProvider for CommitDomain<'_> {
+    fn name(&self) -> &str {
+        "commit-modified"
+    }
+
+    fn domain_of(&self, subroutine: &str) -> Option<Vec<String>> {
+        let changes =
+            self.log
+                .modifying_subroutine_between(subroutine, self.window.0, self.window.1);
+        if changes.is_empty() {
+            return None;
+        }
+        let mut members: Vec<String> = changes
+            .iter()
+            .flat_map(|c| c.modified_subroutines.iter().cloned())
+            .collect();
+        members.sort();
+        members.dedup();
+        if members.len() < 2 {
+            None
+        } else {
+            Some(members)
+        }
+    }
+}
+
+/// A custom domain from a user-supplied closure (the paper's "developers
+/// can create custom detectors for specific cost domains").
+pub struct CustomDomain<F>
+where
+    F: Fn(&str) -> Option<Vec<String>>,
+{
+    /// Provider name.
+    pub label: String,
+    /// The domain function.
+    pub f: F,
+}
+
+impl<F> CostDomainProvider for CustomDomain<F>
+where
+    F: Fn(&str) -> Option<Vec<String>>,
+{
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn domain_of(&self, subroutine: &str) -> Option<Vec<String>> {
+        (self.f)(subroutine)
+    }
+}
+
+/// Result of checking one regression against one domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostShiftVerdict {
+    /// The domain did not exist before the regression: not a shift.
+    DomainIsNew,
+    /// The domain's cost dwarfs the regression: excluded, inconclusive.
+    DomainExcluded,
+    /// The domain's total barely moved while the subroutine jumped: the
+    /// regression is a cost shift — filter it.
+    CostShift,
+    /// The domain's total moved along with the subroutine: a real
+    /// regression (within this domain).
+    NotACostShift,
+}
+
+/// The cost-shift detector.
+#[derive(Debug, Clone)]
+pub struct CostShiftDetector {
+    exclusion_ratio: f64,
+    negligible_fraction: f64,
+}
+
+impl CostShiftDetector {
+    /// Creates a detector from the pipeline configuration.
+    pub fn from_config(config: &DetectorConfig) -> Self {
+        CostShiftDetector {
+            exclusion_ratio: config.cost_domain_exclusion_ratio,
+            negligible_fraction: config.cost_shift_negligible_fraction,
+        }
+    }
+
+    /// Applies the three §5.4 rules given the regression and the domain's
+    /// summed cost series split at the same change point.
+    ///
+    /// `domain_before`/`domain_after` are the domain's total-cost values
+    /// before/after the regression's change point.
+    pub fn check(
+        &self,
+        regression: &Regression,
+        domain_before: &[f64],
+        domain_after: &[f64],
+    ) -> Result<CostShiftVerdict> {
+        if domain_before.is_empty() || domain_after.is_empty() {
+            return Ok(CostShiftVerdict::DomainIsNew);
+        }
+        let before_mean = descriptive::mean(domain_before)?;
+        let after_mean = descriptive::mean(domain_after)?;
+        let regression_change = regression.magnitude().abs();
+        // Rule 1: a domain with ~no cost before the regression is new.
+        if before_mean.abs() < regression_change * 1e-3 {
+            return Ok(CostShiftVerdict::DomainIsNew);
+        }
+        // Rule 2: a domain whose scale dwarfs the regression is excluded —
+        // its own variation would hide the signal.
+        if regression_change <= 0.0 || before_mean.abs() > self.exclusion_ratio * regression_change
+        {
+            return Ok(CostShiftVerdict::DomainExcluded);
+        }
+        // Rule 3: negligible domain change relative to the regression's
+        // change means cost merely moved within the domain.
+        let domain_change = (after_mean - before_mean).abs();
+        if domain_change < self.negligible_fraction * regression_change {
+            Ok(CostShiftVerdict::CostShift)
+        } else {
+            Ok(CostShiftVerdict::NotACostShift)
+        }
+    }
+
+    /// Convenience: runs [`check`](Self::check) against every applicable
+    /// provider, where `domain_series` resolves a member list to the
+    /// domain's (before, after) summed values. The regression is filtered
+    /// when **any** domain says [`CostShiftVerdict::CostShift`].
+    pub fn is_cost_shift<F>(
+        &self,
+        regression: &Regression,
+        subroutine: &str,
+        providers: &[&dyn CostDomainProvider],
+        mut domain_series: F,
+    ) -> Result<bool>
+    where
+        F: FnMut(&[String]) -> Option<(Vec<f64>, Vec<f64>)>,
+    {
+        for provider in providers {
+            let Some(members) = provider.domain_of(subroutine) else {
+                continue;
+            };
+            let Some((before, after)) = domain_series(&members) else {
+                continue;
+            };
+            if self.check(regression, &before, &after)? == CostShiftVerdict::CostShift {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegressionKind;
+    use fbd_profiler::callgraph::CallGraphBuilder;
+    use fbd_tsdb::{MetricKind, SeriesId, WindowedData};
+
+    fn regression(mean_before: f64, mean_after: f64) -> Regression {
+        Regression {
+            series: SeriesId::new("svc", MetricKind::GCpu, "B"),
+            kind: RegressionKind::ShortTerm,
+            change_index: 10,
+            change_time: 100,
+            mean_before,
+            mean_after,
+            windows: WindowedData {
+                historic: vec![mean_before; 10],
+                analysis: vec![mean_after; 10],
+                extended: vec![],
+                analysis_start: 0,
+                analysis_end: 1,
+            },
+            root_cause_candidates: vec![],
+        }
+    }
+
+    fn detector() -> CostShiftDetector {
+        CostShiftDetector {
+            exclusion_ratio: 100.0,
+            negligible_fraction: 0.25,
+        }
+    }
+
+    #[test]
+    fn figure1b_cost_shift_is_filtered() {
+        // Subroutine gains 0.0002 gCPU; the domain total is unchanged.
+        let r = regression(0.0002, 0.0004);
+        let domain_before = vec![0.0007; 20];
+        let domain_after = vec![0.0007; 20];
+        assert_eq!(
+            detector().check(&r, &domain_before, &domain_after).unwrap(),
+            CostShiftVerdict::CostShift
+        );
+    }
+
+    #[test]
+    fn real_regression_moves_the_domain_too() {
+        let r = regression(0.0002, 0.0004);
+        let domain_before = vec![0.0007; 20];
+        let domain_after = vec![0.0009; 20]; // Domain grew by the shift.
+        assert_eq!(
+            detector().check(&r, &domain_before, &domain_after).unwrap(),
+            CostShiftVerdict::NotACostShift
+        );
+    }
+
+    #[test]
+    fn huge_domain_is_excluded() {
+        // Paper's example: a 20% CPU domain cannot adjudicate a 0.005%
+        // regression.
+        let r = regression(0.00005, 0.0001);
+        let domain_before = vec![0.20; 20];
+        let domain_after = vec![0.20; 20];
+        assert_eq!(
+            detector().check(&r, &domain_before, &domain_after).unwrap(),
+            CostShiftVerdict::DomainExcluded
+        );
+    }
+
+    #[test]
+    fn new_domain_is_not_a_shift() {
+        let r = regression(0.0, 0.001);
+        // No historical presence.
+        let domain_before = vec![0.0; 20];
+        let domain_after = vec![0.001; 20];
+        assert_eq!(
+            detector().check(&r, &domain_before, &domain_after).unwrap(),
+            CostShiftVerdict::DomainIsNew
+        );
+        assert_eq!(
+            detector().check(&r, &[], &[0.1]).unwrap(),
+            CostShiftVerdict::DomainIsNew
+        );
+    }
+
+    #[test]
+    fn class_domain_provider() {
+        let mut b = CallGraphBuilder::new("main", 0.1);
+        let a = b.add_child(0, "Widget::load", 1.0, "Widget").unwrap();
+        b.add_child(0, "Widget::save", 1.0, "Widget").unwrap();
+        b.add_child(a, "Other::thing", 1.0, "Other").unwrap();
+        let g = b.build().unwrap();
+        let p = ClassDomain { graph: &g };
+        let d = p.domain_of("Widget::load").unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&"Widget::save".to_string()));
+        // A single-member class gives no usable domain.
+        assert!(p.domain_of("Other::thing").is_none());
+    }
+
+    #[test]
+    fn upstream_caller_domain_provider() {
+        let mut b = CallGraphBuilder::new("main", 0.1);
+        let h = b.add_child(0, "handler", 0.5, "H").unwrap();
+        b.add_child(h, "encode", 1.0, "H").unwrap();
+        b.add_child(h, "decode", 1.0, "H").unwrap();
+        let g = b.build().unwrap();
+        let p = UpstreamCallerDomain { graph: &g };
+        let d = p.domain_of("encode").unwrap();
+        assert!(d.contains(&"handler".to_string()));
+        assert!(d.contains(&"decode".to_string()));
+    }
+
+    #[test]
+    fn prefix_domain_provider() {
+        let p = PrefixDomain {
+            universe: vec![
+                "api/user/get".to_string(),
+                "api/user/set".to_string(),
+                "api/feed/get".to_string(),
+            ],
+            prefix_len: 8,
+        };
+        let d = p.domain_of("api/user/get").unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(p.domain_of("api/feed/get").is_none()); // Only one member.
+    }
+
+    #[test]
+    fn is_cost_shift_queries_all_providers() {
+        let r = regression(0.001, 0.002);
+        let provider = CustomDomain {
+            label: "test".to_string(),
+            f: |_s: &str| Some(vec!["a".to_string(), "b".to_string()]),
+        };
+        let providers: Vec<&dyn CostDomainProvider> = vec![&provider];
+        // Domain total unchanged -> shift.
+        let shifted = detector()
+            .is_cost_shift(&r, "a", &providers, |_| {
+                Some((vec![0.005; 10], vec![0.005; 10]))
+            })
+            .unwrap();
+        assert!(shifted);
+        // Domain total moved -> not a shift.
+        let real = detector()
+            .is_cost_shift(&r, "a", &providers, |_| {
+                Some((vec![0.005; 10], vec![0.006; 10]))
+            })
+            .unwrap();
+        assert!(!real);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regression deduplication (§5.5).
+//!
+//! A single code change can regress many metrics at once; deduplication
+//! merges those into one report. Two passes: [`som_dedup`] is the fast O(n)
+//! SOM-based pass within one analysis window and metric type; [`pairwise_dedup`]
+//! is the accurate pairwise pass across windows and metric types.
+//! [`same_merger`] removes literal duplicates of the same regression seen in
+//! multiple overlapping analysis windows (the "SameRegressionMerger" row of
+//! Table 3). [`features`] extracts the clustering feature vectors.
+
+pub mod features;
+pub mod pairwise_dedup;
+pub mod same_merger;
+pub mod som_dedup;

@@ -1,0 +1,146 @@
+//! SameRegressionMerger: drops re-detections of the same regression across
+//! overlapping analysis windows (Table 3).
+//!
+//! FBDetect re-scans every re-run interval, and the analysis windows
+//! overlap, so one regression surfaces in several consecutive scans. The
+//! merger keys each regression by (series, change time bucketed to the
+//! re-run interval) and keeps only the first sighting.
+
+use crate::types::Regression;
+use fbd_tsdb::SeriesId;
+use std::collections::HashSet;
+
+/// Stateful duplicate suppressor; hold one per pipeline across scans.
+#[derive(Debug, Default)]
+pub struct SameRegressionMerger {
+    /// Tolerance: change times within this many seconds of a previously
+    /// seen regression of the same series count as the same regression.
+    tolerance: u64,
+    seen: HashSet<(SeriesId, u64)>,
+}
+
+impl SameRegressionMerger {
+    /// Creates a merger with the given time tolerance (typically the
+    /// re-run interval).
+    pub fn new(tolerance: u64) -> Self {
+        SameRegressionMerger {
+            tolerance: tolerance.max(1),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Number of distinct regressions seen so far.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Returns `true` when the regression is new (and records it); `false`
+    /// when it duplicates a previously seen one.
+    pub fn is_new(&mut self, regression: &Regression) -> bool {
+        let bucket = regression.change_time / self.tolerance;
+        // A change time near a bucket edge may fall into the neighbour
+        // bucket on the next scan; check both neighbours.
+        for b in [bucket.saturating_sub(1), bucket, bucket + 1] {
+            if self.seen.contains(&(regression.series.clone(), b)) {
+                // Record this bucket too so drifting estimates keep
+                // matching in later scans.
+                self.seen.insert((regression.series.clone(), bucket));
+                return false;
+            }
+        }
+        self.seen.insert((regression.series.clone(), bucket));
+        true
+    }
+
+    /// Retains only the new regressions from a batch.
+    pub fn filter_new(&mut self, batch: Vec<Regression>) -> Vec<Regression> {
+        batch.into_iter().filter(|r| self.is_new(r)).collect()
+    }
+
+    /// Forgets regressions older than `cutoff` (bucketed), bounding memory
+    /// on long-running pipelines.
+    pub fn forget_before(&mut self, cutoff: u64) {
+        let cutoff_bucket = cutoff / self.tolerance;
+        self.seen.retain(|(_, b)| *b >= cutoff_bucket);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegressionKind;
+    use fbd_tsdb::{MetricKind, WindowedData};
+
+    fn regression(target: &str, change_time: u64) -> Regression {
+        Regression {
+            series: SeriesId::new("svc", MetricKind::GCpu, target),
+            kind: RegressionKind::ShortTerm,
+            change_index: 0,
+            change_time,
+            mean_before: 1.0,
+            mean_after: 2.0,
+            windows: WindowedData {
+                historic: vec![1.0; 4],
+                analysis: vec![2.0; 4],
+                extended: vec![],
+                analysis_start: 0,
+                analysis_end: 1,
+            },
+            root_cause_candidates: vec![],
+        }
+    }
+
+    #[test]
+    fn first_sighting_is_new() {
+        let mut m = SameRegressionMerger::new(3_600);
+        assert!(m.is_new(&regression("a", 1_000)));
+        assert_eq!(m.seen_count(), 1);
+    }
+
+    #[test]
+    fn resighting_in_next_scan_is_duplicate() {
+        let mut m = SameRegressionMerger::new(3_600);
+        assert!(m.is_new(&regression("a", 1_000)));
+        // Same change point estimate, next scan.
+        assert!(!m.is_new(&regression("a", 1_000)));
+        // Slightly drifted estimate, still the same regression.
+        assert!(!m.is_new(&regression("a", 2_500)));
+    }
+
+    #[test]
+    fn different_series_are_independent() {
+        let mut m = SameRegressionMerger::new(3_600);
+        assert!(m.is_new(&regression("a", 1_000)));
+        assert!(m.is_new(&regression("b", 1_000)));
+    }
+
+    #[test]
+    fn far_apart_changes_are_distinct() {
+        let mut m = SameRegressionMerger::new(3_600);
+        assert!(m.is_new(&regression("a", 1_000)));
+        assert!(m.is_new(&regression("a", 1_000 + 10 * 3_600)));
+    }
+
+    #[test]
+    fn filter_new_batch() {
+        let mut m = SameRegressionMerger::new(3_600);
+        let batch = vec![
+            regression("a", 100),
+            regression("a", 150),
+            regression("b", 100),
+        ];
+        let kept = m.filter_new(batch);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn forgetting_frees_old_entries() {
+        let mut m = SameRegressionMerger::new(100);
+        m.is_new(&regression("a", 100));
+        m.is_new(&regression("b", 10_000));
+        m.forget_before(5_000);
+        assert_eq!(m.seen_count(), 1);
+        // The forgotten one is "new" again.
+        assert!(m.is_new(&regression("a", 100)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the detection pipeline.
+
+use std::fmt;
+
+/// Errors produced by the detection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// A statistics routine failed.
+    Stats(String),
+    /// A time-series store operation failed.
+    Tsdb(String),
+    /// A clustering operation failed.
+    Cluster(String),
+    /// A profiler operation failed.
+    Profiler(String),
+    /// Configuration was invalid.
+    InvalidConfig(&'static str),
+    /// Not enough data for the requested analysis.
+    InsufficientData(&'static str),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Stats(e) => write!(f, "stats error: {e}"),
+            DetectError::Tsdb(e) => write!(f, "tsdb error: {e}"),
+            DetectError::Cluster(e) => write!(f, "cluster error: {e}"),
+            DetectError::Profiler(e) => write!(f, "profiler error: {e}"),
+            DetectError::InvalidConfig(what) => write!(f, "invalid config: {what}"),
+            DetectError::InsufficientData(what) => write!(f, "insufficient data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+impl From<fbd_stats::StatsError> for DetectError {
+    fn from(e: fbd_stats::StatsError) -> Self {
+        DetectError::Stats(e.to_string())
+    }
+}
+
+impl From<fbd_tsdb::TsdbError> for DetectError {
+    fn from(e: fbd_tsdb::TsdbError) -> Self {
+        DetectError::Tsdb(e.to_string())
+    }
+}
+
+impl From<fbd_cluster::ClusterError> for DetectError {
+    fn from(e: fbd_cluster::ClusterError) -> Self {
+        DetectError::Cluster(e.to_string())
+    }
+}
+
+impl From<fbd_profiler::ProfilerError> for DetectError {
+    fn from(e: fbd_profiler::ProfilerError) -> Self {
+        DetectError::Profiler(e.to_string())
+    }
+}

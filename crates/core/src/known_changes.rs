@@ -1,0 +1,201 @@
+//! Correlating regressions with planned operational changes (§8).
+//!
+//! "Planned capacity changes also trigger false positives, so we plan to
+//! correlate regressions with these known changes." This module implements
+//! that future-work item: operators register planned changes (capacity
+//! resizes, region failovers, experiment ramp-ups) with a time window and
+//! the services/metrics they are expected to move; a regression whose
+//! change point falls inside a matching window is annotated as *explained*
+//! and can be suppressed from reports.
+
+use crate::types::Regression;
+use fbd_tsdb::MetricKind;
+
+/// A planned operational change registered by an operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedChange {
+    /// Operator-facing description (e.g. "us-east capacity -20%").
+    pub description: String,
+    /// Window in which effects are expected, `[start, end)` seconds.
+    pub start: u64,
+    /// End of the expected-effects window.
+    pub end: u64,
+    /// Affected services; empty = all services.
+    pub services: Vec<String>,
+    /// Metric kinds the change is expected to move; empty = all kinds.
+    pub metrics: Vec<MetricKind>,
+    /// Expected direction: `true` when the metric is expected to increase.
+    /// `None` when either direction is expected.
+    pub expect_increase: Option<bool>,
+}
+
+impl PlannedChange {
+    /// Whether this planned change explains the given regression.
+    pub fn explains(&self, regression: &Regression) -> bool {
+        if regression.change_time < self.start || regression.change_time >= self.end {
+            return false;
+        }
+        if !self.services.is_empty() && !self.services.contains(&regression.series.service) {
+            return false;
+        }
+        if !self.metrics.is_empty() && !self.metrics.contains(&regression.series.metric) {
+            return false;
+        }
+        match self.expect_increase {
+            None => true,
+            Some(expect_up) => (regression.magnitude() > 0.0) == expect_up,
+        }
+    }
+}
+
+/// A registry of planned changes with suppression queries.
+#[derive(Debug, Clone, Default)]
+pub struct PlannedChangeRegistry {
+    changes: Vec<PlannedChange>,
+}
+
+impl PlannedChangeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a planned change.
+    pub fn register(&mut self, change: PlannedChange) {
+        self.changes.push(change);
+    }
+
+    /// Number of registered changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// The first planned change explaining the regression, if any.
+    pub fn explanation(&self, regression: &Regression) -> Option<&PlannedChange> {
+        self.changes.iter().find(|c| c.explains(regression))
+    }
+
+    /// Splits a report batch into (unexplained, explained-with-reason).
+    pub fn partition(
+        &self,
+        reports: Vec<Regression>,
+    ) -> (Vec<Regression>, Vec<(Regression, String)>) {
+        let mut unexplained = Vec::new();
+        let mut explained = Vec::new();
+        for r in reports {
+            match self.explanation(&r) {
+                Some(c) => explained.push((r, c.description.clone())),
+                None => unexplained.push(r),
+            }
+        }
+        (unexplained, explained)
+    }
+
+    /// Drops planned changes whose windows ended before `cutoff`.
+    pub fn expire_before(&mut self, cutoff: u64) {
+        self.changes.retain(|c| c.end > cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegressionKind;
+    use fbd_tsdb::{SeriesId, WindowedData};
+
+    fn regression(service: &str, metric: MetricKind, change_time: u64, up: bool) -> Regression {
+        let (before, after) = if up { (1.0, 2.0) } else { (2.0, 1.0) };
+        Regression {
+            series: SeriesId::new(service, metric, "x"),
+            kind: RegressionKind::ShortTerm,
+            change_index: 5,
+            change_time,
+            mean_before: before,
+            mean_after: after,
+            windows: WindowedData {
+                historic: vec![before; 5],
+                analysis: vec![after; 5],
+                extended: vec![],
+                analysis_start: 0,
+                analysis_end: 1,
+            },
+            root_cause_candidates: vec![],
+        }
+    }
+
+    fn capacity_change() -> PlannedChange {
+        PlannedChange {
+            description: "us-east capacity -20%".into(),
+            start: 1_000,
+            end: 2_000,
+            services: vec!["web".into()],
+            metrics: vec![MetricKind::Cpu],
+            expect_increase: Some(true),
+        }
+    }
+
+    #[test]
+    fn explains_matching_regression() {
+        let c = capacity_change();
+        assert!(c.explains(&regression("web", MetricKind::Cpu, 1_500, true)));
+    }
+
+    #[test]
+    fn window_service_metric_and_direction_all_matter() {
+        let c = capacity_change();
+        // Outside the window.
+        assert!(!c.explains(&regression("web", MetricKind::Cpu, 999, true)));
+        assert!(!c.explains(&regression("web", MetricKind::Cpu, 2_000, true)));
+        // Wrong service.
+        assert!(!c.explains(&regression("db", MetricKind::Cpu, 1_500, true)));
+        // Wrong metric.
+        assert!(!c.explains(&regression("web", MetricKind::Memory, 1_500, true)));
+        // Wrong direction.
+        assert!(!c.explains(&regression("web", MetricKind::Cpu, 1_500, false)));
+    }
+
+    #[test]
+    fn empty_filters_match_everything() {
+        let c = PlannedChange {
+            description: "global maintenance".into(),
+            start: 0,
+            end: 10_000,
+            services: vec![],
+            metrics: vec![],
+            expect_increase: None,
+        };
+        assert!(c.explains(&regression("anything", MetricKind::Latency, 5, false)));
+    }
+
+    #[test]
+    fn partition_splits_reports() {
+        let mut reg = PlannedChangeRegistry::new();
+        reg.register(capacity_change());
+        let reports = vec![
+            regression("web", MetricKind::Cpu, 1_500, true), // Explained.
+            regression("web", MetricKind::Cpu, 5_000, true), // Not.
+        ];
+        let (unexplained, explained) = reg.partition(reports);
+        assert_eq!(unexplained.len(), 1);
+        assert_eq!(explained.len(), 1);
+        assert_eq!(explained[0].1, "us-east capacity -20%");
+        assert_eq!(unexplained[0].change_time, 5_000);
+    }
+
+    #[test]
+    fn expiry_drops_stale_changes() {
+        let mut reg = PlannedChangeRegistry::new();
+        reg.register(capacity_change());
+        reg.expire_before(3_000);
+        assert!(reg.is_empty());
+        let mut reg = PlannedChangeRegistry::new();
+        reg.register(capacity_change());
+        reg.expire_before(1_500);
+        assert_eq!(reg.len(), 1);
+    }
+}

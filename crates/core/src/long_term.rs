@@ -1,0 +1,242 @@
+//! Long-term (gradual) regression detection (§5.3).
+//!
+//! Three steps, in the *opposite* order of the short-term path:
+//!
+//! 1. **Seasonality decomposition** first: STL splits the series and the
+//!    detector works on the trend alone (smoothing helps gradual changes,
+//!    hurts sudden ones — hence the ordering difference);
+//! 2. **Regression detection** on the trend: baseline = max(mean at start
+//!    of analysis window, mean at start of historic window); current =
+//!    min(mean at end of analysis window, mean at end of extended window);
+//!    report when `current - baseline` clears the threshold;
+//! 3. **Change-point location**: fit a line to the normalized trend; a low
+//!    RMSE means a gradual change starting at the beginning of the trend,
+//!    otherwise a dynamic-programming search with normal loss finds the
+//!    variance-minimizing partition point.
+
+use crate::config::{DetectorConfig, Threshold};
+use crate::types::{Regression, RegressionKind};
+use crate::Result;
+use fbd_stats::acf;
+use fbd_stats::changepoint::optimal_single_split;
+use fbd_stats::descriptive;
+use fbd_stats::regression::linear_fit;
+use fbd_stats::stl::{decompose, StlConfig};
+use fbd_tsdb::{SeriesId, Timestamp, WindowedData};
+
+/// The long-term regression detector.
+#[derive(Debug, Clone)]
+pub struct LongTermDetector {
+    threshold: Threshold,
+    rmse_fraction: f64,
+    acf_threshold: f64,
+    max_period: usize,
+}
+
+impl LongTermDetector {
+    /// Creates a detector from the pipeline configuration.
+    pub fn from_config(config: &DetectorConfig) -> Self {
+        LongTermDetector {
+            threshold: config.threshold,
+            rmse_fraction: config.long_term_rmse_fraction,
+            acf_threshold: config.seasonality_acf_threshold,
+            max_period: config.max_seasonal_period,
+        }
+    }
+
+    /// Scans one series' windows for a gradual regression.
+    pub fn detect(
+        &self,
+        series: &SeriesId,
+        windows: &WindowedData,
+        _now: Timestamp,
+    ) -> Result<Option<Regression>> {
+        let data = windows.all();
+        if data.len() < 16 {
+            return Ok(None);
+        }
+        // Step 1: seasonality decomposition; the trend is the subject.
+        let period = acf::find_seasonality(&data, 2, self.max_period, self.acf_threshold)?
+            .map(|s| s.period)
+            .unwrap_or(0);
+        let trend = if period >= 2 && data.len() >= period * 2 {
+            decompose(&data, StlConfig::for_period(period))?.trend
+        } else {
+            // No seasonality: a wide Loess smooth stands in for the trend.
+            fbd_stats::stl::loess_smooth(&data, 0.3, &vec![1.0; data.len()])?
+        };
+        // Step 2: regression detection on the trend alone.
+        let h_len = windows.historic.len();
+        let a_len = windows.analysis.len();
+        if a_len < 4 {
+            return Ok(None);
+        }
+        let edge = (a_len / 4).max(2).min(a_len);
+        let start_of_historic = descriptive::mean(&trend[..edge.min(h_len).max(1)])?;
+        let start_of_analysis = descriptive::mean(&trend[h_len..(h_len + edge).min(trend.len())])?;
+        let baseline = start_of_historic.max(start_of_analysis);
+        let analysis_end = (h_len + a_len).min(trend.len());
+        let end_of_analysis =
+            descriptive::mean(&trend[analysis_end.saturating_sub(edge)..analysis_end])?;
+        let end_of_series = descriptive::mean(&trend[trend.len().saturating_sub(edge)..])?;
+        let current = if windows.extended.is_empty() {
+            end_of_analysis
+        } else {
+            end_of_analysis.min(end_of_series)
+        };
+        if !self.threshold.is_met(baseline, current) {
+            return Ok(None);
+        }
+        // Step 3: change-point location.
+        let mut normalized = trend.clone();
+        let cp = match descriptive::z_normalize(&mut normalized) {
+            Ok(_) => {
+                let fit = linear_fit(&normalized)?;
+                let trend_std = 1.0; // Normalized.
+                if fit.rmse < self.rmse_fraction * trend_std {
+                    // Gradual change: the change point is the beginning of
+                    // the trend.
+                    0
+                } else {
+                    optimal_single_split(&trend)?.index
+                }
+            }
+            Err(_) => 0, // Constant trend cannot reach here, but be safe.
+        };
+        let mean_before = descriptive::mean(&trend[..(cp + 1).min(trend.len())])?;
+        let span = windows.analysis_end.saturating_sub(windows.analysis_start);
+        let change_time = if cp <= h_len {
+            windows.analysis_start
+        } else {
+            windows.analysis_start + span * (cp - h_len) as u64 / a_len.max(1) as u64
+        };
+        Ok(Some(Regression {
+            series: series.clone(),
+            kind: RegressionKind::LongTerm,
+            change_index: cp,
+            change_time,
+            mean_before: mean_before.min(baseline),
+            mean_after: current,
+            windows: windows.clone(),
+            root_cause_candidates: Vec::new(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_tsdb::MetricKind;
+
+    fn sid() -> SeriesId {
+        SeriesId::new("svc", MetricKind::GCpu, "foo")
+    }
+
+    fn windows(historic: Vec<f64>, analysis: Vec<f64>, extended: Vec<f64>) -> WindowedData {
+        WindowedData {
+            historic,
+            analysis,
+            extended,
+            analysis_start: 10_000,
+            analysis_end: 20_000,
+        }
+    }
+
+    fn detector(threshold: f64) -> LongTermDetector {
+        LongTermDetector {
+            threshold: Threshold::Absolute(threshold),
+            rmse_fraction: 0.35,
+            acf_threshold: 0.4,
+            max_period: 30,
+        }
+    }
+
+    fn noisy(n: usize, mean: f64, amp: f64, phase: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = (i as u64 ^ phase).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                mean + (((z >> 33) % 1000) as f64 / 1000.0 - 0.5) * amp
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_gradual_ramp() {
+        // The mean drifts up across the analysis window.
+        let historic = noisy(200, 1.0, 0.05, 1);
+        let analysis: Vec<f64> = (0..200)
+            .map(|i| 1.0 + 0.5 * i as f64 / 200.0)
+            .zip(noisy(200, 0.0, 0.05, 2))
+            .map(|(a, b)| a + b)
+            .collect();
+        let w = windows(historic, analysis, vec![]);
+        let r = detector(0.2).detect(&sid(), &w, 0).unwrap().unwrap();
+        assert_eq!(r.kind, RegressionKind::LongTerm);
+        assert!(r.magnitude() > 0.2, "magnitude = {}", r.magnitude());
+    }
+
+    #[test]
+    fn flat_series_not_reported() {
+        let w = windows(noisy(200, 1.0, 0.05, 1), noisy(200, 1.0, 0.05, 2), vec![]);
+        assert!(detector(0.05).detect(&sid(), &w, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn conservative_baseline_uses_max_of_starts() {
+        // The historic window starts HIGH and decays; the analysis window
+        // then rises back to the historic start. Conservative baselining
+        // (max of starts) must not report this as a regression.
+        let historic: Vec<f64> = (0..200).map(|i| 2.0 - 0.5 * i as f64 / 200.0).collect();
+        let analysis: Vec<f64> = (0..200).map(|i| 1.5 + 0.5 * i as f64 / 200.0).collect();
+        let w = windows(historic, analysis, vec![]);
+        assert!(detector(0.1).detect(&sid(), &w, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn conservative_current_uses_min_of_ends() {
+        // The analysis window ends high but the extended window shows the
+        // value fell back: min-of-ends suppresses the report.
+        let historic = noisy(200, 1.0, 0.02, 1);
+        let analysis: Vec<f64> = (0..100).map(|i| 1.0 + 0.6 * i as f64 / 100.0).collect();
+        let extended = noisy(100, 1.0, 0.02, 2);
+        let w = windows(historic, analysis, extended);
+        assert!(detector(0.2).detect(&sid(), &w, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn sudden_step_gets_dp_change_point() {
+        // A sharp step (poor linear fit) should locate the change point at
+        // the step, not at the series start.
+        let mut data = noisy(300, 1.0, 0.02, 1);
+        for v in data[200..].iter_mut() {
+            *v += 1.0;
+        }
+        let historic = data[..150].to_vec();
+        let analysis = data[150..].to_vec();
+        let w = windows(historic, analysis, vec![]);
+        let r = detector(0.3).detect(&sid(), &w, 0).unwrap().unwrap();
+        assert!(
+            (185..=215).contains(&r.change_index),
+            "cp = {}",
+            r.change_index
+        );
+    }
+
+    #[test]
+    fn gradual_ramp_gets_start_change_point() {
+        let data: Vec<f64> = (0..400).map(|i| 1.0 + i as f64 / 400.0).collect();
+        let historic = data[..200].to_vec();
+        let analysis = data[200..].to_vec();
+        let w = windows(historic, analysis, vec![]);
+        let r = detector(0.2).detect(&sid(), &w, 0).unwrap().unwrap();
+        assert_eq!(r.change_index, 0);
+    }
+
+    #[test]
+    fn short_series_ignored() {
+        let w = windows(vec![1.0; 4], vec![1.0; 4], vec![]);
+        assert!(detector(0.1).detect(&sid(), &w, 0).unwrap().is_none());
+    }
+}

@@ -1,0 +1,556 @@
+//! The FBDetect workflow (Figure 6).
+//!
+//! Orchestrates the detectors in the paper's fast-filters-first order:
+//! change-point detection → went-away → seasonality → threshold →
+//! SameRegressionMerger → SOMDedup → cost-shift → PairwiseDedup → root
+//! cause analysis. The long-term path (§5.3) skips the went-away and
+//! seasonality filters (STL is built into it) and joins at threshold
+//! filtering. Per-stage [`FunnelCounters`] reproduce Table 3.
+//!
+//! Series scanning is embarrassingly parallel; the expensive per-series
+//! detection step fans out across threads with `crossbeam::scope`, matching
+//! the paper's "scanning different time series in parallel".
+
+use crate::change_point::ChangePointDetector;
+use crate::config::DetectorConfig;
+use crate::cost_shift::{CostDomainProvider, CostShiftDetector};
+use crate::dedup::pairwise_dedup::{MergeRule, PairwiseDedup, RuleCombination};
+use crate::dedup::same_merger::SameRegressionMerger;
+use crate::dedup::som_dedup::{som_dedup, SomDedupConfig};
+use crate::long_term::LongTermDetector;
+use crate::root_cause::{RcaContext, RootCauseAnalyzer};
+use crate::seasonality::SeasonalityDetector;
+use crate::types::{FunnelCounters, Regression};
+use crate::went_away::WentAwayDetector;
+use crate::{DetectError, Result};
+use fbd_changelog::ChangeLog;
+use fbd_cluster::pairwise::Group;
+use fbd_profiler::callgraph::CallGraph;
+use fbd_profiler::gcpu::stack_trace_overlap;
+use fbd_profiler::sample::StackSample;
+use fbd_tsdb::{MetricKind, SeriesId, Timestamp, TsdbStore, WindowedData};
+
+/// External evidence handed to a scan.
+#[derive(Default)]
+pub struct ScanContext<'a> {
+    /// The change log, for root-cause candidates and commit cost domains.
+    pub changelog: Option<&'a ChangeLog>,
+    /// Stack samples spanning the scan window, for gCPU attribution and
+    /// stack-overlap dedup features.
+    pub samples: Option<&'a [StackSample]>,
+    /// The service's call graph, for cost domains and RCA.
+    pub graph: Option<&'a CallGraph>,
+    /// Cost-domain providers to consult (§5.4).
+    pub domain_providers: Vec<&'a dyn CostDomainProvider>,
+}
+
+/// The result of one pipeline scan.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// Final regression reports (representatives, root-caused when
+    /// possible).
+    pub reports: Vec<Regression>,
+    /// Per-stage funnel counters (Table 3).
+    pub funnel: FunnelCounters,
+}
+
+/// One instance of the FBDetect pipeline for a workload configuration.
+pub struct Pipeline {
+    config: DetectorConfig,
+    change_point: ChangePointDetector,
+    went_away: WentAwayDetector,
+    seasonality: SeasonalityDetector,
+    long_term: LongTermDetector,
+    cost_shift: CostShiftDetector,
+    merger: SameRegressionMerger,
+    rca: RootCauseAnalyzer,
+    /// Groups from prior PairwiseDedup rounds (the incremental state of
+    /// §5.5.2).
+    existing_groups: Vec<Group<Regression>>,
+    /// Number of detection worker threads.
+    pub threads: usize,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from a workload configuration.
+    pub fn new(config: DetectorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Pipeline {
+            change_point: ChangePointDetector::from_config(&config),
+            went_away: WentAwayDetector::from_config(&config),
+            seasonality: SeasonalityDetector::from_config(&config),
+            long_term: LongTermDetector::from_config(&config),
+            cost_shift: CostShiftDetector::from_config(&config),
+            merger: SameRegressionMerger::new(config.windows.rerun_interval),
+            rca: RootCauseAnalyzer::from_config(&config),
+            existing_groups: Vec::new(),
+            threads: 4,
+            config,
+        })
+    }
+
+    /// The configuration this pipeline runs with.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Accumulated PairwiseDedup groups across scans.
+    pub fn groups(&self) -> &[Group<Regression>] {
+        &self.existing_groups
+    }
+
+    /// Flips series whose *decrease* means a regression (throughput) so
+    /// that, per §5.2, an increase always means a regression.
+    fn orient(windows: &mut WindowedData, metric: MetricKind) {
+        if metric == MetricKind::Throughput {
+            for v in windows
+                .historic
+                .iter_mut()
+                .chain(windows.analysis.iter_mut())
+                .chain(windows.extended.iter_mut())
+            {
+                *v = -*v;
+            }
+        }
+    }
+
+    /// Scans the given series at time `now`, returning the surviving
+    /// reports and the per-stage funnel.
+    pub fn scan(
+        &mut self,
+        store: &TsdbStore,
+        series: &[SeriesId],
+        now: Timestamp,
+        context: &ScanContext<'_>,
+    ) -> Result<ScanOutcome> {
+        let mut funnel = FunnelCounters::default();
+        // --- Stage 1: change-point detection, parallel across series. ---
+        let (short, long) = self.detect_parallel(store, series, now)?;
+        funnel.change_points = short.len() + long.len();
+        // --- Stage 2: went-away detection (short-term only). ---
+        let mut kept_short = Vec::with_capacity(short.len());
+        for r in short {
+            if self.went_away.evaluate(&r)?.keep {
+                kept_short.push(r);
+            }
+        }
+        funnel.after_went_away = kept_short.len() + long.len();
+        // --- Stage 3: seasonality detection (short-term only). ---
+        let mut deseasoned = Vec::with_capacity(kept_short.len());
+        for r in kept_short {
+            if self.seasonality.evaluate(&r)?.keep {
+                deseasoned.push(r);
+            }
+        }
+        funnel.after_seasonality = deseasoned.len() + long.len();
+        // --- Stage 4: threshold filtering (Table 1). ---
+        let mut thresholded: Vec<Regression> = deseasoned
+            .into_iter()
+            .chain(long)
+            .filter(|r| self.config.threshold.is_met(r.mean_before, r.mean_after))
+            .collect();
+        funnel.after_threshold = thresholded.len();
+        // --- Stage 5: SameRegressionMerger. ---
+        thresholded = self.merger.filter_new(thresholded);
+        funnel.after_same_merger = thresholded.len();
+        // --- Stage 6: SOMDedup. ---
+        let som_config = SomDedupConfig {
+            importance_weights: self.config.importance_weights,
+            rca_lookback: self.config.rca_lookback,
+            seed: 0xDED0,
+        };
+        let popularity = {
+            let samples = context.samples;
+            let regs = &thresholded;
+            move |i: usize| -> f64 {
+                let (Some(samples), Some(graph)) = (samples, context.graph) else {
+                    return 0.0;
+                };
+                let Ok(frame) = graph.frame_by_name(&regs[i].series.target) else {
+                    return 0.0;
+                };
+                if samples.is_empty() {
+                    return 0.0;
+                }
+                samples.iter().filter(|s| s.contains(frame)).count() as f64 / samples.len() as f64
+            }
+        };
+        let groups = som_dedup(&thresholded, context.changelog, &som_config, popularity)?;
+        let mut representatives: Vec<Regression> = groups
+            .iter()
+            .map(|g| thresholded[g.representative].clone())
+            .collect();
+        funnel.after_som_dedup = representatives.len();
+        // --- Stage 7: cost-shift analysis (gCPU regressions only). ---
+        if !context.domain_providers.is_empty() {
+            let mut kept = Vec::with_capacity(representatives.len());
+            for r in representatives {
+                let filtered = r.series.metric == MetricKind::GCpu
+                    && self.is_cost_shift(store, &r, now, context)?;
+                if !filtered {
+                    kept.push(r);
+                }
+            }
+            representatives = kept;
+        }
+        funnel.after_cost_shift = representatives.len();
+        // --- Stage 8: PairwiseDedup into the accumulated groups. ---
+        let corpus: Vec<String> = representatives
+            .iter()
+            .map(|r| r.metric_id())
+            .chain(
+                self.existing_groups
+                    .iter()
+                    .flat_map(|g| g.members.iter().map(|m| m.metric_id())),
+            )
+            .collect();
+        // Default rule: correlation alone over-merges step-shaped series
+        // (any two steps in the same window correlate), so require agreeing
+        // text evidence. Workloads override via `config.pairwise_rule`
+        // (§5.5.2's user-defined rules).
+        let rule = self.config.pairwise_rule.unwrap_or(MergeRule {
+            min_correlation: Some(self.config.pairwise_min_correlation),
+            min_text_similarity: Some(self.config.pairwise_min_text_similarity),
+            min_stack_overlap: None,
+            combination: RuleCombination::All,
+        });
+        let mut engine = PairwiseDedup::new(rule, &corpus);
+        if let (Some(samples), Some(graph)) = (context.samples, context.graph) {
+            // Stack overlap resolves names through the graph.
+            let samples = samples.to_vec();
+            let name_to_frame: std::collections::HashMap<String, usize> = graph
+                .names()
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.to_string(), i))
+                .collect();
+            engine = engine.with_overlap(move |a, b| {
+                match (name_to_frame.get(a), name_to_frame.get(b)) {
+                    (Some(&fa), Some(&fb)) => stack_trace_overlap(&samples, fa, fb).unwrap_or(0.0),
+                    _ => 0.0,
+                }
+            });
+        }
+        let prior_group_count = self.existing_groups.len();
+        let all_groups = engine.dedup(
+            representatives.clone(),
+            std::mem::take(&mut self.existing_groups),
+        );
+        let new_groups = all_groups.len().saturating_sub(prior_group_count);
+        self.existing_groups = all_groups;
+        funnel.after_pairwise_dedup = new_groups;
+        // The reports are the representatives of the groups founded in this
+        // scan (merged ones were duplicates of known regressions).
+        let mut reports: Vec<Regression> = self.existing_groups[prior_group_count..]
+            .iter()
+            .map(|g| g.representative().clone())
+            .collect();
+        // --- Stage 9: root cause analysis. ---
+        if let Some(log) = context.changelog {
+            for r in reports.iter_mut() {
+                let (before, after) = split_samples(context.samples, r.change_time);
+                let rca_context = RcaContext {
+                    samples_before: before,
+                    samples_after: after,
+                    graph: context.graph,
+                };
+                let ranked = self.rca.analyze(r, log, &rca_context)?;
+                r.root_cause_candidates = ranked.into_iter().map(|c| c.change_id).collect();
+            }
+        }
+        Ok(ScanOutcome { reports, funnel })
+    }
+
+    /// Stage-1 detection fanned out over worker threads.
+    fn detect_parallel(
+        &self,
+        store: &TsdbStore,
+        series: &[SeriesId],
+        now: Timestamp,
+    ) -> Result<(Vec<Regression>, Vec<Regression>)> {
+        let threads = self.threads.clamp(1, 64);
+        let chunk = series.len().div_ceil(threads).max(1);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for slice in series.chunks(chunk) {
+                handles.push(scope.spawn(move |_| {
+                    let mut short = Vec::new();
+                    let mut long = Vec::new();
+                    for id in slice {
+                        let Ok(mut windows) = store.windows(id, &self.config.windows, now) else {
+                            continue;
+                        };
+                        Self::orient(&mut windows, id.metric);
+                        if let Ok(Some(r)) = self.change_point.detect(id, &windows, now) {
+                            short.push(r);
+                        }
+                        if self.config.long_term_enabled {
+                            if let Ok(Some(r)) = self.long_term.detect(id, &windows, now) {
+                                long.push(r);
+                            }
+                        }
+                    }
+                    (short, long)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("detection worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .map_err(|_| DetectError::Stats("detection thread pool panicked".to_string()))?;
+        let mut short = Vec::new();
+        let mut long = Vec::new();
+        for (s, l) in results {
+            short.extend(s);
+            long.extend(l);
+        }
+        // Deterministic order regardless of thread interleaving.
+        short.sort_by(|a, b| a.series.cmp(&b.series));
+        long.sort_by(|a, b| a.series.cmp(&b.series));
+        Ok((short, long))
+    }
+
+    /// Sums the cost domain's gCPU series and applies the §5.4 rules.
+    fn is_cost_shift(
+        &self,
+        store: &TsdbStore,
+        regression: &Regression,
+        now: Timestamp,
+        context: &ScanContext<'_>,
+    ) -> Result<bool> {
+        let subroutine = regression.series.target.clone();
+        let service = regression.series.service.clone();
+        let windows_config = self.config.windows;
+        let cp = regression.change_index;
+        self.cost_shift.is_cost_shift(
+            regression,
+            &subroutine,
+            &context.domain_providers,
+            |members| {
+                // Sum the members' windows, aligned with the regression's.
+                let mut sum: Option<Vec<f64>> = None;
+                for m in members {
+                    let id = SeriesId::new(service.clone(), MetricKind::GCpu, m.clone());
+                    let w = store.windows(&id, &windows_config, now).ok()?;
+                    let values = w.all();
+                    match sum.as_mut() {
+                        None => sum = Some(values),
+                        Some(acc) => {
+                            if acc.len() != values.len() {
+                                return None;
+                            }
+                            for (a, v) in acc.iter_mut().zip(values) {
+                                *a += v;
+                            }
+                        }
+                    }
+                }
+                let total = sum?;
+                if cp + 1 >= total.len() {
+                    return None;
+                }
+                let (before, after) = total.split_at(cp + 1);
+                Some((before.to_vec(), after.to_vec()))
+            },
+        )
+    }
+}
+
+/// Splits retained stack samples at the regression's change time.
+fn split_samples(
+    samples: Option<&[StackSample]>,
+    change_time: Timestamp,
+) -> (&[StackSample], &[StackSample]) {
+    let Some(samples) = samples else {
+        return (&[], &[]);
+    };
+    let split = samples.partition_point(|s| s.timestamp < change_time);
+    samples.split_at(split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Threshold;
+    use fbd_tsdb::WindowConfig;
+
+    fn test_config(threshold: f64) -> DetectorConfig {
+        let windows = WindowConfig {
+            historic: 3_000,
+            analysis: 1_000,
+            extended: 500,
+            rerun_interval: 500,
+        };
+        DetectorConfig::new("test", windows, Threshold::Absolute(threshold))
+    }
+
+    fn fill_series(store: &TsdbStore, id: &SeriesId, len: u64, f: impl Fn(u64) -> f64) {
+        for t in 0..len {
+            store.append(id, t * 10, f(t * 10)).unwrap();
+        }
+    }
+
+    fn noise(t: u64, scale: f64) -> f64 {
+        let mut z = t.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (((z >> 33) % 1000) as f64 / 1000.0 - 0.5) * scale
+    }
+
+    #[test]
+    fn end_to_end_step_regression_detected() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "hot");
+        // 4500 seconds of data at 10s cadence; step at t=3800.
+        fill_series(&store, &id, 450, |t| {
+            if t >= 3_800 {
+                0.02 + noise(t, 0.001)
+            } else {
+                0.01 + noise(t, 0.001)
+            }
+        });
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let out = p
+            .scan(
+                &store,
+                std::slice::from_ref(&id),
+                4_500,
+                &ScanContext::default(),
+            )
+            .unwrap();
+        assert_eq!(out.reports.len(), 1, "funnel = {:?}", out.funnel);
+        let r = &out.reports[0];
+        assert_eq!(r.series, id);
+        assert!((r.magnitude() - 0.01).abs() < 0.003);
+    }
+
+    #[test]
+    fn transient_is_filtered_end_to_end() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "hot");
+        // A dip that recovers within the analysis+extended region.
+        fill_series(&store, &id, 450, |t| {
+            if (3_500..3_900).contains(&t) {
+                0.03 + noise(t, 0.001)
+            } else {
+                0.01 + noise(t, 0.001)
+            }
+        });
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let out = p
+            .scan(&store, &[id], 4_500, &ScanContext::default())
+            .unwrap();
+        assert!(out.reports.is_empty(), "funnel = {:?}", out.funnel);
+        assert!(out.funnel.change_points >= 1);
+    }
+
+    #[test]
+    fn quiet_series_produces_nothing() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "calm");
+        fill_series(&store, &id, 450, |t| 0.01 + noise(t, 0.001));
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let out = p
+            .scan(&store, &[id], 4_500, &ScanContext::default())
+            .unwrap();
+        assert!(out.reports.is_empty());
+        assert_eq!(out.funnel.change_points, 0);
+    }
+
+    #[test]
+    fn rescans_are_deduplicated_by_merger() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "hot");
+        fill_series(&store, &id, 500, |t| {
+            if t >= 3_800 {
+                0.02 + noise(t, 0.001)
+            } else {
+                0.01 + noise(t, 0.001)
+            }
+        });
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let first = p
+            .scan(
+                &store,
+                std::slice::from_ref(&id),
+                4_500,
+                &ScanContext::default(),
+            )
+            .unwrap();
+        let second = p
+            .scan(&store, &[id], 5_000, &ScanContext::default())
+            .unwrap();
+        assert_eq!(first.reports.len(), 1);
+        assert!(
+            second.reports.is_empty(),
+            "second funnel = {:?}",
+            second.funnel
+        );
+    }
+
+    #[test]
+    fn threshold_suppresses_small_shifts() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "hot");
+        fill_series(&store, &id, 450, |t| {
+            if t >= 3_800 {
+                0.012 + noise(t, 0.0005)
+            } else {
+                0.01 + noise(t, 0.0005)
+            }
+        });
+        // Threshold far above the injected 0.002 shift.
+        let mut p = Pipeline::new(test_config(0.05)).unwrap();
+        let out = p
+            .scan(&store, &[id], 4_500, &ScanContext::default())
+            .unwrap();
+        assert!(out.reports.is_empty());
+        assert!(out.funnel.after_threshold == 0);
+    }
+
+    #[test]
+    fn throughput_drop_counts_as_regression() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::Throughput, "");
+        fill_series(&store, &id, 450, |t| {
+            if t >= 3_800 {
+                80.0 + noise(t, 2.0)
+            } else {
+                100.0 + noise(t, 2.0)
+            }
+        });
+        let mut p = Pipeline::new(test_config(5.0)).unwrap();
+        let out = p
+            .scan(&store, &[id], 4_500, &ScanContext::default())
+            .unwrap();
+        assert_eq!(out.reports.len(), 1, "funnel = {:?}", out.funnel);
+    }
+
+    #[test]
+    fn funnel_counters_are_monotone() {
+        let store = TsdbStore::new();
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            let id = SeriesId::new("svc", MetricKind::GCpu, format!("s{i}"));
+            let step = i % 3 == 0;
+            fill_series(&store, &id, 450, move |t| {
+                let base = if step && t >= 3_800 { 0.02 } else { 0.01 };
+                base + noise(t ^ i, 0.001)
+            });
+            ids.push(id);
+        }
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let out = p
+            .scan(&store, &ids, 4_500, &ScanContext::default())
+            .unwrap();
+        let f = out.funnel;
+        assert!(f.change_points >= f.after_went_away);
+        assert!(f.after_went_away >= f.after_seasonality);
+        assert!(f.after_seasonality >= f.after_threshold);
+        assert!(f.after_threshold >= f.after_same_merger);
+        assert!(f.after_same_merger >= f.after_som_dedup);
+        assert!(f.after_som_dedup >= f.after_cost_shift);
+        assert!(f.after_cost_shift >= f.after_pairwise_dedup);
+    }
+}

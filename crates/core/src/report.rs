@@ -1,0 +1,125 @@
+//! Human-readable regression reports.
+//!
+//! Production FBDetect files tickets; this module renders the equivalent
+//! plain-text report: the regressed metric, magnitude, timing, and ranked
+//! root-cause candidates.
+
+use crate::types::{Regression, RegressionKind};
+use fbd_changelog::ChangeLog;
+use std::fmt::Write as _;
+
+/// Renders one regression as a report block.
+pub fn render(regression: &Regression, log: Option<&ChangeLog>) -> String {
+    let mut out = String::new();
+    let kind = match regression.kind {
+        RegressionKind::ShortTerm => "short-term",
+        RegressionKind::LongTerm => "long-term",
+    };
+    let _ = writeln!(out, "REGRESSION [{kind}] {}", regression.metric_id());
+    let _ = writeln!(
+        out,
+        "  change at t={} (index {})",
+        regression.change_time, regression.change_index
+    );
+    let _ = writeln!(
+        out,
+        "  mean: {:.6} -> {:.6}  (absolute {:+.6}, relative {:+.2}%)",
+        regression.mean_before,
+        regression.mean_after,
+        regression.magnitude(),
+        regression.relative_change() * 100.0
+    );
+    if regression.root_cause_candidates.is_empty() {
+        let _ = writeln!(out, "  root cause: no high-confidence candidates");
+    } else {
+        let _ = writeln!(out, "  root-cause candidates (ranked):");
+        for (rank, id) in regression.root_cause_candidates.iter().enumerate() {
+            match log.and_then(|l| l.get(*id)) {
+                Some(change) => {
+                    let _ = writeln!(
+                        out,
+                        "    {}. change #{id}: \"{}\" by {} (deployed t={})",
+                        rank + 1,
+                        change.title,
+                        change.author,
+                        change.deploy_time
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    {}. change #{id}", rank + 1);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a batch of regressions with a summary header.
+pub fn render_batch(regressions: &[Regression], log: Option<&ChangeLog>) -> String {
+    let mut out = format!("{} regression(s) reported\n", regressions.len());
+    for r in regressions {
+        out.push_str(&render(r, log));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_changelog::{Change, ChangeKind};
+    use fbd_tsdb::{MetricKind, SeriesId, WindowedData};
+
+    fn regression(candidates: Vec<u64>) -> Regression {
+        Regression {
+            series: SeriesId::new("svc", MetricKind::GCpu, "hot"),
+            kind: RegressionKind::ShortTerm,
+            change_index: 5,
+            change_time: 1_234,
+            mean_before: 0.01,
+            mean_after: 0.02,
+            windows: WindowedData {
+                historic: vec![0.01; 5],
+                analysis: vec![0.02; 5],
+                extended: vec![],
+                analysis_start: 0,
+                analysis_end: 1,
+            },
+            root_cause_candidates: candidates,
+        }
+    }
+
+    #[test]
+    fn report_contains_key_fields() {
+        let text = render(&regression(vec![]), None);
+        assert!(text.contains("svc::hot.gcpu"));
+        assert!(text.contains("t=1234"));
+        assert!(text.contains("+0.010000"));
+        assert!(text.contains("no high-confidence candidates"));
+    }
+
+    #[test]
+    fn report_resolves_change_titles() {
+        let mut log = ChangeLog::new();
+        log.record(Change {
+            id: 42,
+            kind: ChangeKind::Code,
+            service: "svc".into(),
+            deploy_time: 1_200,
+            modified_subroutines: vec!["hot".into()],
+            title: "Add expensive check".into(),
+            summary: String::new(),
+            files: vec![],
+            author: "dev7".into(),
+        });
+        let text = render(&regression(vec![42]), Some(&log));
+        assert!(text.contains("Add expensive check"));
+        assert!(text.contains("dev7"));
+        assert!(text.contains("1. change #42"));
+    }
+
+    #[test]
+    fn batch_header_counts() {
+        let text = render_batch(&[regression(vec![]), regression(vec![])], None);
+        assert!(text.starts_with("2 regression(s)"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Continuous monitoring: the re-run loop (Table 1's "Re-run Interval").
+//!
+//! Production FBDetect periodically re-scans every workload at its
+//! configured interval. [`MonitoringScheduler`] drives one pipeline over
+//! simulated time: scans fire every `rerun_interval`, reports accumulate,
+//! planned-change suppression applies (§8), and per-report **detection
+//! latency** — change-point time to first report — is tracked, the
+//! timeliness metric behind the paper's window-length trade-offs (§6.2).
+
+use crate::known_changes::PlannedChangeRegistry;
+use crate::pipeline::{Pipeline, ScanContext};
+use crate::types::Regression;
+use crate::Result;
+use fbd_tsdb::{SeriesId, Timestamp, TsdbStore};
+
+/// One report with its detection timing.
+#[derive(Debug, Clone)]
+pub struct TimedReport {
+    /// The regression.
+    pub regression: Regression,
+    /// Scan time that produced the report.
+    pub reported_at: Timestamp,
+    /// `reported_at - change_time`: how long the regression ran before
+    /// FBDetect reported it.
+    pub detection_latency: u64,
+}
+
+/// The accumulated outcome of a monitoring run.
+#[derive(Debug, Clone, Default)]
+pub struct MonitoringOutcome {
+    /// All reports, in report order.
+    pub reports: Vec<TimedReport>,
+    /// Reports suppressed because a planned change explained them, with
+    /// the explanation.
+    pub suppressed: Vec<(Regression, String)>,
+    /// Number of scans performed.
+    pub scans: usize,
+    /// Accumulated funnel across all scans.
+    pub funnel: crate::types::FunnelCounters,
+}
+
+impl MonitoringOutcome {
+    /// Median detection latency across reports, if any.
+    pub fn median_latency(&self) -> Option<u64> {
+        if self.reports.is_empty() {
+            return None;
+        }
+        let mut latencies: Vec<u64> = self.reports.iter().map(|r| r.detection_latency).collect();
+        latencies.sort_unstable();
+        Some(latencies[latencies.len() / 2])
+    }
+}
+
+/// Drives a pipeline over simulated time.
+pub struct MonitoringScheduler {
+    pipeline: Pipeline,
+    planned: PlannedChangeRegistry,
+}
+
+impl MonitoringScheduler {
+    /// Wraps a pipeline.
+    pub fn new(pipeline: Pipeline) -> Self {
+        MonitoringScheduler {
+            pipeline,
+            planned: PlannedChangeRegistry::new(),
+        }
+    }
+
+    /// The planned-change registry (mutable, for operator registration).
+    pub fn planned_changes_mut(&mut self) -> &mut PlannedChangeRegistry {
+        &mut self.planned
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Runs scans from `start` to `end` at the pipeline's re-run interval,
+    /// scanning `series` in `store` each time.
+    pub fn run(
+        &mut self,
+        store: &TsdbStore,
+        series: &[SeriesId],
+        start: Timestamp,
+        end: Timestamp,
+        context: &ScanContext<'_>,
+    ) -> Result<MonitoringOutcome> {
+        let interval = self.pipeline.config().windows.rerun_interval.max(1);
+        let mut outcome = MonitoringOutcome::default();
+        let mut now = start;
+        while now <= end {
+            let scan = self.pipeline.scan(store, series, now, context)?;
+            outcome.scans += 1;
+            outcome.funnel.accumulate(&scan.funnel);
+            let (kept, suppressed) = self.planned.partition(scan.reports);
+            outcome.suppressed.extend(suppressed);
+            for regression in kept {
+                let detection_latency = now.saturating_sub(regression.change_time);
+                outcome.reports.push(TimedReport {
+                    regression,
+                    reported_at: now,
+                    detection_latency,
+                });
+            }
+            now += interval;
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DetectorConfig, Threshold};
+    use crate::known_changes::PlannedChange;
+    use fbd_tsdb::{MetricKind, TimeSeries, WindowConfig};
+
+    fn noisy(t: u64, scale: f64) -> f64 {
+        let mut z = t.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (((z >> 33) % 1000) as f64 / 1000.0 - 0.5) * scale
+    }
+
+    fn step_store(step_at: u64, total: u64) -> (TsdbStore, SeriesId) {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "hot");
+        let values: Vec<f64> = (0..total / 10)
+            .map(|i| {
+                let t = i * 10;
+                if t >= step_at {
+                    0.02 + noisy(t, 0.001)
+                } else {
+                    0.01 + noisy(t, 0.001)
+                }
+            })
+            .collect();
+        store.insert_series(id.clone(), TimeSeries::from_values(0, 10, &values));
+        (store, id)
+    }
+
+    fn config() -> DetectorConfig {
+        DetectorConfig::new(
+            "sched",
+            WindowConfig {
+                historic: 3_000,
+                analysis: 1_000,
+                extended: 500,
+                rerun_interval: 500,
+            },
+            Threshold::Absolute(0.005),
+        )
+    }
+
+    #[test]
+    fn reports_once_with_latency() {
+        let (store, id) = step_store(5_200, 8_000);
+        let mut scheduler = MonitoringScheduler::new(Pipeline::new(config()).unwrap());
+        let outcome = scheduler
+            .run(&store, &[id], 5_000, 8_000, &ScanContext::default())
+            .unwrap();
+        assert!(outcome.scans >= 6);
+        assert_eq!(outcome.reports.len(), 1, "funnel = {:?}", outcome.funnel);
+        let report = &outcome.reports[0];
+        // Reported within a few re-run intervals of the change.
+        assert!(
+            report.detection_latency <= 2_000,
+            "latency = {}",
+            report.detection_latency
+        );
+        assert_eq!(outcome.median_latency(), Some(report.detection_latency));
+    }
+
+    #[test]
+    fn planned_change_suppresses_report() {
+        let (store, id) = step_store(5_200, 8_000);
+        let mut scheduler = MonitoringScheduler::new(Pipeline::new(config()).unwrap());
+        scheduler.planned_changes_mut().register(PlannedChange {
+            description: "capacity drain".into(),
+            start: 5_000,
+            end: 6_000,
+            services: vec!["svc".into()],
+            metrics: vec![],
+            expect_increase: Some(true),
+        });
+        let outcome = scheduler
+            .run(&store, &[id], 5_000, 8_000, &ScanContext::default())
+            .unwrap();
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.suppressed.len(), 1);
+        assert_eq!(outcome.suppressed[0].1, "capacity drain");
+    }
+
+    #[test]
+    fn quiet_store_reports_nothing() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "calm");
+        let values: Vec<f64> = (0..800).map(|i| 0.01 + noisy(i * 10, 0.001)).collect();
+        store.insert_series(id.clone(), TimeSeries::from_values(0, 10, &values));
+        let mut scheduler = MonitoringScheduler::new(Pipeline::new(config()).unwrap());
+        let outcome = scheduler
+            .run(&store, &[id], 5_000, 8_000, &ScanContext::default())
+            .unwrap();
+        assert!(outcome.reports.is_empty());
+        assert!(outcome.median_latency().is_none());
+    }
+}

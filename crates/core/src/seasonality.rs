@@ -1,0 +1,221 @@
+//! The seasonality detector (§5.2.3).
+//!
+//! Removes seasonality and re-checks whether the regression persists. The
+//! flow: an autocorrelation gate decides whether seasonality is present at
+//! all; if so, STL decomposes the series, the seasonal component is
+//! removed, and a pseudo z-score — the deseasonalized median shift across
+//! the change point normalized by the residual standard deviation — is
+//! computed in both the analysis and the extended window. The regression is
+//! attributed to seasonality (filtered) only when *both* z-scores fall
+//! below the threshold.
+
+use crate::config::DetectorConfig;
+use crate::types::Regression;
+use crate::Result;
+use fbd_stats::acf;
+use fbd_stats::descriptive;
+use fbd_stats::stl::{decompose, StlConfig};
+
+/// Outcome of the seasonality check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeasonalityVerdict {
+    /// Whether significant seasonality was found (ACF gate).
+    pub seasonal: bool,
+    /// Pseudo z-score within the analysis window (NaN when not seasonal).
+    pub z_analysis: f64,
+    /// Pseudo z-score including the extended window (NaN when not
+    /// seasonal or the extended window is empty).
+    pub z_extended: f64,
+    /// `true` keeps the regression; `false` filters it as seasonal.
+    pub keep: bool,
+}
+
+/// The seasonality detector.
+#[derive(Debug, Clone)]
+pub struct SeasonalityDetector {
+    acf_threshold: f64,
+    z_threshold: f64,
+    max_period: usize,
+}
+
+impl SeasonalityDetector {
+    /// Creates a detector from the pipeline configuration.
+    pub fn from_config(config: &DetectorConfig) -> Self {
+        SeasonalityDetector {
+            acf_threshold: config.seasonality_acf_threshold,
+            z_threshold: config.seasonality_z_threshold,
+            max_period: config.max_seasonal_period,
+        }
+    }
+
+    /// Evaluates the check; `verdict.keep == true` means the regression is
+    /// not explained by seasonality.
+    pub fn evaluate(&self, regression: &Regression) -> Result<SeasonalityVerdict> {
+        let data = regression.windows.all();
+        let cp = regression.change_index;
+        // ACF gate: no significant periodicity, nothing to remove.
+        let Some(season) = acf::find_seasonality(&data, 2, self.max_period, self.acf_threshold)?
+        else {
+            return Ok(SeasonalityVerdict {
+                seasonal: false,
+                z_analysis: f64::NAN,
+                z_extended: f64::NAN,
+                keep: true,
+            });
+        };
+        if data.len() < season.period * 2 || cp + 2 >= data.len() || cp < 2 {
+            return Ok(SeasonalityVerdict {
+                seasonal: true,
+                z_analysis: f64::NAN,
+                z_extended: f64::NAN,
+                keep: true,
+            });
+        }
+        let decomposition = decompose(&data, StlConfig::for_period(season.period))?;
+        let deseasonalized = decomposition.deseasonalized();
+        let residual_std = descriptive::std_dev(&decomposition.residual)?.max(1e-12);
+        // z over the analysis window region.
+        let analysis_end =
+            (regression.windows.historic.len() + regression.windows.analysis.len()).min(data.len());
+        let z_analysis = self.z_score(&deseasonalized[..analysis_end], cp, residual_std)?;
+        // z including the extended window (when present).
+        let z_extended = if regression.windows.extended.is_empty() {
+            z_analysis
+        } else {
+            self.z_score(&deseasonalized, cp, residual_std)?
+        };
+        // Filter only when BOTH windows say the deseasonalized shift is
+        // insignificant.
+        let keep = !(z_analysis.abs() < self.z_threshold && z_extended.abs() < self.z_threshold);
+        Ok(SeasonalityVerdict {
+            seasonal: true,
+            z_analysis,
+            z_extended,
+            keep,
+        })
+    }
+
+    /// Median shift across `cp`, normalized by the residual deviation.
+    fn z_score(&self, deseasonalized: &[f64], cp: usize, residual_std: f64) -> Result<f64> {
+        if cp + 2 >= deseasonalized.len() {
+            return Ok(f64::NAN);
+        }
+        let before = descriptive::median(&deseasonalized[..=cp])?;
+        let after = descriptive::median(&deseasonalized[cp + 1..])?;
+        Ok((after - before) / residual_std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegressionKind;
+    use fbd_tsdb::{MetricKind, SeriesId, WindowedData};
+
+    fn regression_from(
+        historic: Vec<f64>,
+        analysis: Vec<f64>,
+        extended: Vec<f64>,
+        change_index: usize,
+        mean_before: f64,
+        mean_after: f64,
+    ) -> Regression {
+        Regression {
+            series: SeriesId::new("svc", MetricKind::Cpu, ""),
+            kind: RegressionKind::ShortTerm,
+            change_index,
+            change_time: 0,
+            mean_before,
+            mean_after,
+            windows: WindowedData {
+                historic,
+                analysis,
+                extended,
+                analysis_start: 0,
+                analysis_end: 1,
+            },
+            root_cause_candidates: vec![],
+        }
+    }
+
+    fn detector() -> SeasonalityDetector {
+        SeasonalityDetector {
+            acf_threshold: 0.4,
+            z_threshold: 2.0,
+            max_period: 30,
+        }
+    }
+
+    fn sine(n: usize, period: usize, amp: f64, base: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| base + amp * (i as f64 / period as f64 * std::f64::consts::TAU).sin())
+            .collect()
+    }
+
+    #[test]
+    fn seasonal_upswing_is_filtered() {
+        // A pure daily cycle: a "regression" caught on the rising edge must
+        // be attributed to seasonality.
+        let full = sine(480, 24, 1.0, 10.0);
+        let historic = full[..380].to_vec();
+        let analysis = full[380..440].to_vec();
+        let extended = full[440..].to_vec();
+        // Pretend the change point is where the cycle last crossed upward.
+        let r = regression_from(historic, analysis, extended, 390, 10.0, 10.8);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(v.seasonal);
+        assert!(!v.keep, "verdict = {v:?}");
+    }
+
+    #[test]
+    fn real_step_on_seasonal_series_is_kept() {
+        // Seasonality plus a genuine +2 step late in the series.
+        let mut full = sine(480, 24, 1.0, 10.0);
+        for v in full[400..].iter_mut() {
+            *v += 2.0;
+        }
+        let historic = full[..380].to_vec();
+        let analysis = full[380..440].to_vec();
+        let extended = full[440..].to_vec();
+        let r = regression_from(historic, analysis, extended, 399, 10.0, 12.0);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(v.seasonal);
+        assert!(v.keep, "verdict = {v:?}");
+        assert!(v.z_analysis > 2.0 || v.z_extended > 2.0);
+    }
+
+    #[test]
+    fn non_seasonal_series_passes_through() {
+        let noise: Vec<f64> = (0..300)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                1.0 + ((z >> 33) % 100) as f64 / 1000.0
+            })
+            .collect();
+        let historic = noise[..200].to_vec();
+        let analysis = noise[200..].to_vec();
+        let r = regression_from(historic, analysis, vec![], 220, 1.0, 1.05);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(!v.seasonal);
+        assert!(v.keep);
+        assert!(v.z_analysis.is_nan());
+    }
+
+    #[test]
+    fn both_windows_must_be_quiet_to_filter() {
+        // Seasonal series whose extended window carries a true step: the
+        // extended z-score alone must keep the regression.
+        let mut full = sine(480, 24, 1.0, 10.0);
+        for v in full[440..].iter_mut() {
+            *v += 3.0;
+        }
+        let historic = full[..380].to_vec();
+        let analysis = full[380..440].to_vec();
+        let extended = full[440..].to_vec();
+        let r = regression_from(historic, analysis, extended, 400, 10.0, 10.5);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(v.keep, "verdict = {v:?}");
+    }
+}

@@ -1,0 +1,362 @@
+//! The went-away detector (§5.2.2).
+//!
+//! Filters out transient regressions that recover on their own — the false
+//! positive of Figure 1(c), which accounts for up to 99.7% of raw change
+//! points. This is the paper's third-iteration design: a regression is kept
+//! only when
+//!
+//! ```text
+//! NewPattern OR (SignificantRegression AND LastingTrend AND NOT RegressionGoneAway)
+//! ```
+//!
+//! where the terms are computed over SAX string representations (N=20
+//! buckets, 3% validity), the Mann-Kendall trend test, Theil-Sen slopes,
+//! and a MAD-based regression threshold with the 1.4826 normality constant
+//! and a 1.5 coefficient.
+
+use crate::config::DetectorConfig;
+use crate::types::Regression;
+use crate::Result;
+use fbd_stats::acf;
+use fbd_stats::descriptive;
+use fbd_stats::sax::{encode_in_range, SaxConfig};
+use fbd_stats::trend::{mann_kendall, theil_sen, TrendDirection};
+
+/// Term-by-term breakdown of the went-away predicate, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WentAwayVerdict {
+    /// The post-regression pattern differs from anything in history.
+    pub new_pattern: bool,
+    /// The regression magnitude is significant.
+    pub significant: bool,
+    /// The regression persists (no substantial recovery trend).
+    pub lasting: bool,
+    /// The final data points have returned to the baseline.
+    pub gone_away: bool,
+    /// The overall decision: `true` keeps the regression.
+    pub keep: bool,
+}
+
+/// The went-away detector.
+#[derive(Debug, Clone)]
+pub struct WentAwayDetector {
+    sax: SaxConfig,
+    regression_coefficient: f64,
+    new_pattern_fraction: f64,
+    seasonality_acf_threshold: f64,
+    max_seasonal_period: usize,
+}
+
+impl WentAwayDetector {
+    /// Creates a detector from the pipeline configuration.
+    pub fn from_config(config: &DetectorConfig) -> Self {
+        WentAwayDetector {
+            sax: config.sax,
+            regression_coefficient: config.regression_coefficient,
+            new_pattern_fraction: config.new_pattern_fraction,
+            seasonality_acf_threshold: config.seasonality_acf_threshold,
+            max_seasonal_period: config.max_seasonal_period,
+        }
+    }
+
+    /// Evaluates the predicate; `verdict.keep == true` means the regression
+    /// survives this filter.
+    pub fn evaluate(&self, regression: &Regression) -> Result<WentAwayVerdict> {
+        let data = regression.windows.all();
+        let historic = &regression.windows.historic;
+        let cp = regression.change_index.min(data.len().saturating_sub(1));
+        let post: Vec<f64> = data[(cp + 1).min(data.len())..].to_vec();
+        if post.len() < 4 || historic.len() < 4 {
+            // Too little evidence to refute; keep the candidate.
+            return Ok(WentAwayVerdict {
+                new_pattern: false,
+                significant: true,
+                lasting: true,
+                gone_away: false,
+                keep: true,
+            });
+        }
+        let magnitude = regression.magnitude();
+        // §5.2: an *increase* means a regression (series are oriented
+        // upstream). A non-positive shift is an improvement — filter it.
+        if magnitude <= 0.0 {
+            return Ok(WentAwayVerdict {
+                new_pattern: false,
+                significant: false,
+                lasting: false,
+                gone_away: true,
+                keep: false,
+            });
+        }
+        // SAX over the combined value range, with validity defined by the
+        // historic window ("a letter is valid if its number of occurrences
+        // exceeds a predefined threshold").
+        let range_min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let range_max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let reference = encode_in_range(historic, range_min, range_max, self.sax)?;
+        let post_sax = reference.encode_with_same_buckets(&post)?;
+
+        // --- NewPattern ---
+        let post_mean = descriptive::mean(&post)?;
+        let lowest_valid_edge = reference
+            .smallest_valid_symbol()
+            .map(|s| range_min + s as f64 * reference.bucket_width());
+        let new_pattern = post_sax.invalid_fraction() > self.new_pattern_fraction
+            && lowest_valid_edge.is_none_or(|edge| post_mean >= edge);
+
+        // --- SignificantRegression ---
+        // Largest post letter vs. largest valid historic letter.
+        let analysis_end = historic.len() + regression.windows.analysis.len();
+        let post_analysis: Vec<f64> =
+            data[(cp + 1).min(data.len())..analysis_end.min(data.len())].to_vec();
+        let post_analysis_sax = if post_analysis.is_empty() {
+            post_sax.clone()
+        } else {
+            reference.encode_with_same_buckets(&post_analysis)?
+        };
+        let letter_ok = match reference.largest_valid_symbol() {
+            Some(largest_valid) => post_analysis_sax.largest_symbol() >= largest_valid,
+            None => true,
+        };
+        // P90(post) must exceed P95(historic) and P90 of the previous
+        // period (the tail of the historic window, one post-length long).
+        let p90_post = descriptive::percentile(&post, 90.0)?;
+        let p95_hist = descriptive::percentile(historic, 95.0)?;
+        let prev_len = post.len().min(historic.len());
+        let prev_slice = &historic[historic.len() - prev_len..];
+        let p90_prev = descriptive::percentile(prev_slice, 90.0)?;
+        let significant = letter_ok && p90_post > p95_hist && p90_post > p90_prev;
+
+        // Seasonal period, if any: trend and tail checks must not mistake
+        // a diurnal trough for a recovery.
+        let period = acf::find_seasonality(
+            &data,
+            2,
+            self.max_seasonal_period.min(post.len() / 2),
+            self.seasonality_acf_threshold,
+        )
+        .unwrap_or(None)
+        .map(|s| s.period)
+        .unwrap_or(0);
+        // --- LastingTrend ---
+        // Threshold = coefficient × MAD(historic) × 1.4826 (§5.2.2).
+        let regression_threshold = self.regression_coefficient
+            * descriptive::mad(historic)?
+            * descriptive::MAD_NORMALITY_CONSTANT;
+        let mk_post = mann_kendall(&post, 0.05)?;
+        let analysis_window: Vec<f64> = data[historic.len()..analysis_end.min(data.len())].to_vec();
+        let mk_analysis = if analysis_window.len() >= 4 {
+            mann_kendall(&analysis_window, 0.05)?.direction
+        } else {
+            TrendDirection::None
+        };
+        let lasting = match mk_post.direction {
+            TrendDirection::Decreasing => {
+                // A recovery trend: the regression is lasting only if the
+                // projected recovery is small relative to the shift — and a
+                // projected recovery must be corroborated by the final level
+                // actually approaching the baseline (a seasonal downswing
+                // projects a recovery that never materializes).
+                let slope = theil_sen(&post)?.slope;
+                let projected_recovery = slope.abs() * post.len() as f64;
+                let corroboration_len = (post.len() / 10).max(5).max(period).min(post.len());
+                let level_tail = descriptive::mean(&post[post.len() - corroboration_len..])?;
+                let level_recovered = level_tail < regression.mean_before + 0.5 * magnitude;
+                !(projected_recovery >= 0.5 * magnitude.abs() && level_recovered)
+            }
+            TrendDirection::Increasing => {
+                // Still rising. Use the lower of the two window slopes "to
+                // avoid over- or under-estimation" and require the total
+                // rise to clear the MAD threshold.
+                let slope_post = theil_sen(&post)?.slope;
+                let slope_analysis = if mk_analysis == TrendDirection::Increasing {
+                    theil_sen(&analysis_window)?.slope
+                } else {
+                    slope_post
+                };
+                let slope = slope_post.min(slope_analysis);
+                slope * post.len() as f64 + magnitude >= regression_threshold
+            }
+            TrendDirection::None => {
+                // A plateau at the new level: lasting when the level shift
+                // itself clears the threshold.
+                (post_mean - regression.mean_before) >= regression_threshold.min(magnitude * 0.5)
+            }
+        };
+
+        // --- RegressionGoneAway ---
+        // Final sanity check on the last few data points. With seasonality
+        // present, the tail must span one full period so a trough alone
+        // cannot read as a recovery.
+        let tail_len = (post.len() / 10).max(5).max(period).min(post.len());
+        let tail = &post[post.len() - tail_len..];
+        let tail_mean = descriptive::mean(tail)?;
+        let gone_away = tail_mean <= regression.mean_before + 0.25 * magnitude;
+
+        // RegressionGoneAway is "the final sanity check": a series whose
+        // last data points are back at the baseline is never reported, even
+        // when its excursion formed a new pattern.
+        let keep = (new_pattern || (significant && lasting)) && !gone_away;
+        Ok(WentAwayVerdict {
+            new_pattern,
+            significant,
+            lasting,
+            gone_away,
+            keep,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegressionKind;
+    use fbd_tsdb::{MetricKind, SeriesId, WindowedData};
+
+    fn noisy(n: usize, mean: f64, amp: f64, phase: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = (i as u64 ^ phase).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                mean + (((z >> 33) % 1000) as f64 / 1000.0 - 0.5) * amp
+            })
+            .collect()
+    }
+
+    fn regression(
+        historic: Vec<f64>,
+        analysis: Vec<f64>,
+        extended: Vec<f64>,
+        change_index: usize,
+        mean_before: f64,
+        mean_after: f64,
+    ) -> Regression {
+        Regression {
+            series: SeriesId::new("svc", MetricKind::GCpu, "foo"),
+            kind: RegressionKind::ShortTerm,
+            change_index,
+            change_time: 0,
+            mean_before,
+            mean_after,
+            windows: WindowedData {
+                historic,
+                analysis,
+                extended,
+                analysis_start: 0,
+                analysis_end: 100,
+            },
+            root_cause_candidates: vec![],
+        }
+    }
+
+    fn detector() -> WentAwayDetector {
+        WentAwayDetector {
+            sax: SaxConfig::default(),
+            regression_coefficient: 1.5,
+            new_pattern_fraction: 0.5,
+            seasonality_acf_threshold: 0.4,
+            max_seasonal_period: 26,
+        }
+    }
+
+    #[test]
+    fn persistent_step_is_kept() {
+        let historic = noisy(300, 1.0, 0.1, 1);
+        let mut analysis = noisy(30, 1.0, 0.1, 2);
+        analysis.extend(noisy(70, 1.5, 0.1, 3));
+        let extended = noisy(100, 1.5, 0.1, 4);
+        let r = regression(historic, analysis, extended, 329, 1.0, 1.5);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(v.keep, "verdict = {v:?}");
+        assert!(!v.gone_away);
+    }
+
+    #[test]
+    fn recovered_transient_is_filtered() {
+        // Figure 1(c): a dip/spike that recovers inside the extended window.
+        let historic = noisy(300, 1.0, 0.1, 1);
+        let mut analysis = noisy(30, 1.0, 0.1, 2);
+        analysis.extend(noisy(40, 1.6, 0.1, 3));
+        let mut extended = noisy(30, 1.3, 0.1, 4);
+        extended.extend(noisy(70, 1.0, 0.1, 5));
+        let r = regression(historic, analysis, extended, 329, 1.0, 1.6);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(!v.keep, "verdict = {v:?}");
+        assert!(v.gone_away);
+    }
+
+    #[test]
+    fn figure7_spike_in_history_does_not_mask_final_regression() {
+        // A historical spike higher than the final regression level: the
+        // spike's bucket is invalid (outlier), so the SAX letter test still
+        // recognizes the final level as significant.
+        let mut historic = noisy(280, 10.0, 0.3, 1);
+        for v in historic[100..112].iter_mut() {
+            *v += 4.0;
+        }
+        let mut analysis = noisy(30, 10.0, 0.3, 2);
+        analysis.extend(noisy(70, 12.0, 0.3, 3));
+        let extended = noisy(60, 12.0, 0.3, 4);
+        let r = regression(historic, analysis, extended, 309, 10.0, 12.0);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(v.keep, "verdict = {v:?}");
+    }
+
+    #[test]
+    fn new_pattern_triggers_on_unprecedented_level() {
+        // Post values far above anything historical: most letters invalid.
+        let historic = noisy(300, 1.0, 0.1, 1);
+        let analysis = noisy(100, 3.0, 0.1, 2);
+        let extended = noisy(50, 3.0, 0.1, 3);
+        let r = regression(historic, analysis, extended, 299, 1.0, 3.0);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(v.new_pattern);
+        assert!(v.keep);
+    }
+
+    #[test]
+    fn new_low_pattern_is_not_a_regression() {
+        // A new pattern BELOW the historical range is a cost drop, not a
+        // regression ("unless the average value is lower than the lowest
+        // valid bucket").
+        let historic = noisy(300, 2.0, 0.1, 1);
+        let analysis = noisy(100, 0.5, 0.05, 2);
+        let extended = noisy(50, 0.5, 0.05, 3);
+        let r = regression(historic, analysis, extended, 299, 2.0, 0.5);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(!v.new_pattern, "verdict = {v:?}");
+        assert!(!v.keep);
+    }
+
+    #[test]
+    fn recovering_trend_is_filtered() {
+        // Post window trends steadily back toward the baseline.
+        let historic = noisy(300, 1.0, 0.05, 1);
+        let mut analysis = noisy(20, 1.0, 0.05, 2);
+        analysis.extend((0..80).map(|i| 1.5 - 0.55 * i as f64 / 80.0));
+        let extended: Vec<f64> = (0..50).map(|i| 0.95 + 0.001 * (i % 3) as f64).collect();
+        let r = regression(historic, analysis, extended, 319, 1.0, 1.5);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(!v.keep, "verdict = {v:?}");
+    }
+
+    #[test]
+    fn short_post_window_is_kept_conservatively() {
+        let historic = noisy(100, 1.0, 0.1, 1);
+        let analysis = vec![1.5, 1.5];
+        let r = regression(historic, analysis, vec![], 99, 1.0, 1.5);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(v.keep);
+    }
+
+    #[test]
+    fn tiny_shift_below_noise_is_filtered() {
+        // A "regression" smaller than the noise floor: not significant.
+        let historic = noisy(300, 1.0, 0.2, 1);
+        let analysis = noisy(100, 1.005, 0.2, 7);
+        let r = regression(historic, analysis, vec![], 299, 1.0, 1.005);
+        let v = detector().evaluate(&r).unwrap();
+        assert!(!v.significant || !v.keep, "verdict = {v:?}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the detection pipeline's invariants.
+
+use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+use fbdetect_core::change_point::ChangePointDetector;
+use fbdetect_core::config::{DetectorConfig, Threshold};
+use fbdetect_core::dedup::same_merger::SameRegressionMerger;
+use fbdetect_core::types::{Regression, RegressionKind};
+use fbdetect_core::went_away::WentAwayDetector;
+use fbdetect_core::{Pipeline, ScanContext};
+use proptest::prelude::*;
+
+fn config(threshold: f64) -> DetectorConfig {
+    DetectorConfig::new(
+        "prop",
+        WindowConfig {
+            historic: 200,
+            analysis: 80,
+            extended: 40,
+            rerun_interval: 40,
+        },
+        Threshold::Absolute(threshold),
+    )
+}
+
+fn noisy_series(len: usize, base: f64, noise: f64, seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let mut z = (i as u64 ^ seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            base + (((z >> 33) % 1000) as f64 / 1000.0 - 0.5) * noise
+        })
+        .collect()
+}
+
+fn regression_from_values(values: &[f64], cp: usize) -> Regression {
+    let h = values.len() * 5 / 8;
+    let a = values.len() / 4;
+    Regression {
+        series: SeriesId::new("svc", MetricKind::GCpu, "x"),
+        kind: RegressionKind::ShortTerm,
+        change_index: cp.min(values.len() - 2),
+        change_time: cp as u64,
+        mean_before: values[..=cp.min(values.len() - 2)].iter().sum::<f64>()
+            / (cp.min(values.len() - 2) + 1) as f64,
+        mean_after: values[cp.min(values.len() - 2) + 1..].iter().sum::<f64>()
+            / (values.len() - cp.min(values.len() - 2) - 1) as f64,
+        windows: fbd_tsdb::WindowedData {
+            historic: values[..h].to_vec(),
+            analysis: values[h..h + a].to_vec(),
+            extended: values[h + a..].to_vec(),
+            analysis_start: h as u64,
+            analysis_end: (h + a) as u64,
+        },
+        root_cause_candidates: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn change_point_detector_never_fires_outside_analysis(
+        seed in 0u64..500,
+        step_at in 0usize..200usize,
+        delta in 0.5f64..3.0,
+    ) {
+        // A step inside the HISTORIC region must never produce a candidate.
+        let mut values = noisy_series(320, 1.0, 0.05, seed);
+        for v in values.iter_mut().skip(step_at) {
+            *v += delta;
+        }
+        let cfg = config(0.1);
+        let detector = ChangePointDetector::from_config(&cfg);
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "x");
+        store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &values));
+        let w = store.windows(&id, &cfg.windows, 320).unwrap();
+        if let Some(r) = detector.detect(&id, &w, 320).unwrap() {
+            prop_assert!(r.change_index + 1 >= w.historic.len());
+            prop_assert!(r.change_index < w.historic.len() + w.analysis.len());
+        }
+    }
+
+    #[test]
+    fn went_away_filters_improvements(seed in 0u64..200) {
+        // A downward step is an improvement; never keep it.
+        let mut values = noisy_series(320, 2.0, 0.05, seed);
+        for v in values.iter_mut().skip(220) {
+            *v -= 0.5;
+        }
+        let r = regression_from_values(&values, 219);
+        let cfg = config(0.1);
+        let wa = WentAwayDetector::from_config(&cfg);
+        prop_assert!(!wa.evaluate(&r).unwrap().keep);
+    }
+
+    #[test]
+    fn went_away_keeps_large_persistent_steps(seed in 0u64..200) {
+        let mut values = noisy_series(320, 1.0, 0.05, seed);
+        for v in values.iter_mut().skip(220) {
+            *v += 1.0;
+        }
+        let r = regression_from_values(&values, 219);
+        let cfg = config(0.1);
+        let wa = WentAwayDetector::from_config(&cfg);
+        prop_assert!(wa.evaluate(&r).unwrap().keep);
+    }
+
+    #[test]
+    fn merger_idempotent(times in prop::collection::vec(0u64..10_000, 1..30)) {
+        let mut m = SameRegressionMerger::new(100);
+        let mut first_pass = 0;
+        for &t in &times {
+            let values = vec![1.0; 16];
+            let mut r = regression_from_values(&values, 7);
+            r.change_time = t;
+            if m.is_new(&r) {
+                first_pass += 1;
+            }
+        }
+        // Replaying the same regressions yields zero new ones.
+        let mut second_pass = 0;
+        for &t in &times {
+            let values = vec![1.0; 16];
+            let mut r = regression_from_values(&values, 7);
+            r.change_time = t;
+            if m.is_new(&r) {
+                second_pass += 1;
+            }
+        }
+        prop_assert!(first_pass >= 1);
+        prop_assert_eq!(second_pass, 0);
+    }
+
+    #[test]
+    fn funnel_is_monotone_for_arbitrary_mixes(
+        seeds in prop::collection::vec(0u64..10_000, 1..12),
+        threshold in 0.01f64..0.5,
+    ) {
+        let store = TsdbStore::new();
+        let mut ids = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut values = noisy_series(320, 1.0, 0.05, seed);
+            match seed % 3 {
+                0 => {
+                    for v in values.iter_mut().skip(230) {
+                        *v += 0.4;
+                    }
+                }
+                1 => {
+                    let end = 280.min(values.len());
+                    for v in values[230..end].iter_mut() {
+                        *v += 0.6;
+                    }
+                }
+                _ => {}
+            }
+            let id = SeriesId::new("svc", MetricKind::GCpu, format!("s{i}"));
+            store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &values));
+            ids.push(id);
+        }
+        let mut p = Pipeline::new(config(threshold)).unwrap();
+        let out = p.scan(&store, &ids, 320, &ScanContext::default()).unwrap();
+        let f = out.funnel;
+        prop_assert!(f.change_points >= f.after_went_away);
+        prop_assert!(f.after_went_away >= f.after_seasonality);
+        prop_assert!(f.after_seasonality >= f.after_threshold);
+        prop_assert!(f.after_threshold >= f.after_same_merger);
+        prop_assert!(f.after_same_merger >= f.after_som_dedup);
+        prop_assert!(f.after_som_dedup >= f.after_cost_shift);
+        prop_assert!(f.after_cost_shift >= f.after_pairwise_dedup);
+        prop_assert!(out.reports.len() <= f.after_cost_shift);
+    }
+
+    #[test]
+    fn thresholds_partition_detections(seed in 0u64..200) {
+        // A report produced at a high threshold is also produced at a lower
+        // threshold (same data, same config otherwise).
+        let store = TsdbStore::new();
+        let mut values = noisy_series(320, 1.0, 0.03, seed);
+        for v in values.iter_mut().skip(230) {
+            *v += 0.5;
+        }
+        let id = SeriesId::new("svc", MetricKind::GCpu, "x");
+        store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &values));
+        let mut high = Pipeline::new(config(0.4)).unwrap();
+        let mut low = Pipeline::new(config(0.05)).unwrap();
+        let high_out = high
+            .scan(&store, std::slice::from_ref(&id), 320, &ScanContext::default())
+            .unwrap();
+        let low_out = low.scan(&store, &[id], 320, &ScanContext::default()).unwrap();
+        if !high_out.reports.is_empty() {
+            prop_assert!(!low_out.reports.is_empty());
+        }
+    }
+}

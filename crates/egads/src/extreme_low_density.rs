@@ -1,0 +1,123 @@
+//! The extreme-low-density EGADS detector.
+//!
+//! A histogram-based density model: flags the analysis window when its
+//! points fall into value buckets that held almost no historical mass.
+//! Cheaper than the kernel detector but more sensitive to transient spikes
+//! — "EGADS algorithm 2" in Figure 8.
+
+use crate::{EgadsDetector, EgadsVerdict};
+
+/// Extreme-low-density detector.
+///
+/// `sensitivity` in `(0, 1]` is the historical-mass threshold under which a
+/// bucket counts as "extreme low density" (larger = more anomalies).
+#[derive(Debug, Clone, Copy)]
+pub struct ExtremeLowDensity {
+    sensitivity: f64,
+}
+
+const BUCKETS: usize = 40;
+
+impl ExtremeLowDensity {
+    /// Creates a detector with the given sensitivity.
+    pub fn new(sensitivity: f64) -> Self {
+        ExtremeLowDensity { sensitivity }
+    }
+}
+
+impl EgadsDetector for ExtremeLowDensity {
+    fn name(&self) -> &'static str {
+        "extreme low density"
+    }
+
+    fn detect(&self, historical: &[f64], analysis: &[f64]) -> EgadsVerdict {
+        if historical.len() < 2 || analysis.is_empty() {
+            return EgadsVerdict {
+                anomalous: false,
+                score: 0.0,
+            };
+        }
+        let lo = historical.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = historical.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / BUCKETS as f64).max(1e-12);
+        let mut hist_mass = [0usize; BUCKETS];
+        for &v in historical {
+            let b = (((v - lo) / width) as usize).min(BUCKETS - 1);
+            hist_mass[b] += 1;
+        }
+        let mass_threshold = (historical.len() as f64 * 0.02 * self.sensitivity).max(1.0) as usize;
+        // An analysis point is "extreme" when outside the historical range
+        // or inside a bucket with almost no historical mass.
+        let extreme = analysis
+            .iter()
+            .filter(|&&v| {
+                if v < lo || v > hi {
+                    return true;
+                }
+                let b = (((v - lo) / width) as usize).min(BUCKETS - 1);
+                hist_mass[b] < mass_threshold
+            })
+            .count();
+        let fraction = extreme as f64 / analysis.len() as f64;
+        EgadsVerdict {
+            anomalous: fraction > 0.3,
+            score: fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = (i as u64 ^ seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z >> 33) % 1000) as f64 / 1000.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flags_out_of_range_window() {
+        let hist = noise(300, 1);
+        let analysis: Vec<f64> = noise(40, 2).iter().map(|v| v + 3.0).collect();
+        assert!(
+            ExtremeLowDensity::new(1.0)
+                .detect(&hist, &analysis)
+                .anomalous
+        );
+    }
+
+    #[test]
+    fn quiet_on_in_range_window() {
+        let hist = noise(300, 1);
+        let analysis = noise(40, 7);
+        assert!(
+            !ExtremeLowDensity::new(0.5)
+                .detect(&hist, &analysis)
+                .anomalous
+        );
+    }
+
+    #[test]
+    fn more_sensitive_flags_more() {
+        // A window that drifts only slightly: high sensitivity flags it,
+        // low does not.
+        let hist = noise(300, 1);
+        let analysis: Vec<f64> = noise(40, 7).iter().map(|v| v * 0.2 + 0.9).collect();
+        let lax = ExtremeLowDensity::new(0.05).detect(&hist, &analysis);
+        let sensitive = ExtremeLowDensity::new(10.0).detect(&hist, &analysis);
+        assert!(sensitive.score >= lax.score);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let d = ExtremeLowDensity::new(1.0);
+        assert!(!d.detect(&[1.0], &[2.0]).anomalous);
+        assert!(!d.detect(&[1.0, 2.0], &[]).anomalous);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for the fleet simulator.
+
+use std::fmt;
+
+/// Errors produced by the fleet simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+    /// An event referenced a point outside the series.
+    EventOutOfRange {
+        /// Index the event referenced.
+        at: usize,
+        /// Length of the series.
+        len: usize,
+    },
+    /// A propagation from an underlying substrate.
+    Profiler(String),
+    /// A propagation from the time-series store.
+    Tsdb(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidConfig(what) => write!(f, "invalid config: {what}"),
+            FleetError::EventOutOfRange { at, len } => {
+                write!(f, "event at index {at} outside series of length {len}")
+            }
+            FleetError::Profiler(e) => write!(f, "profiler error: {e}"),
+            FleetError::Tsdb(e) => write!(f, "tsdb error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<fbd_profiler::ProfilerError> for FleetError {
+    fn from(e: fbd_profiler::ProfilerError) -> Self {
+        FleetError::Profiler(e.to_string())
+    }
+}
+
+impl From<fbd_tsdb::TsdbError> for FleetError {
+    fn from(e: fbd_tsdb::TsdbError) -> Self {
+        FleetError::Tsdb(e.to_string())
+    }
+}

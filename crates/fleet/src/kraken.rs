@@ -1,0 +1,226 @@
+//! Kraken-style per-server maximum-throughput benchmarking — the substrate
+//! behind Capacity Triage (§3).
+//!
+//! "CT relies on Kraken to benchmark a service's per-server maximum
+//! throughput. If this maximum throughput unexpectedly drops, it is a
+//! regression on the supply side. If the total peak requests to a service's
+//! all servers unexpectedly increase, it is a regression on the demand
+//! side." Kraken live-tests production servers by shifting traffic onto
+//! them until saturation; this module simulates that probing: each probe
+//! returns the server's saturation throughput, which is inversely
+//! proportional to per-request CPU cost (generation multiplier × code-cost
+//! factor), minus measurement noise.
+
+use crate::noise::NormalSampler;
+use crate::seasonality::SeasonalProfile;
+use crate::server::Fleet;
+use crate::{FleetError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A Kraken-style load-test harness over a fleet.
+#[derive(Debug)]
+pub struct KrakenBench {
+    fleet: Fleet,
+    /// Saturation throughput of a reference-generation server at code-cost
+    /// factor 1.0 (requests/second).
+    pub base_max_throughput: f64,
+    /// Relative measurement noise per probe (Kraken probes are noisy).
+    pub probe_noise: f64,
+    rng: StdRng,
+    normal: NormalSampler,
+}
+
+impl KrakenBench {
+    /// Creates a harness.
+    pub fn new(fleet: Fleet, base_max_throughput: f64, seed: u64) -> Result<Self> {
+        if base_max_throughput <= 0.0 {
+            return Err(FleetError::InvalidConfig(
+                "base max throughput must be positive",
+            ));
+        }
+        Ok(KrakenBench {
+            fleet,
+            base_max_throughput,
+            probe_noise: 0.02,
+            rng: StdRng::seed_from_u64(seed),
+            normal: NormalSampler::new(),
+        })
+    }
+
+    /// Probes one server's saturation throughput.
+    ///
+    /// `code_cost_factor` scales per-request CPU cost (1.0 = the deployed
+    /// baseline; a 10% CPU regression is 1.1 and cuts max throughput ~9%).
+    pub fn probe_server(&mut self, server_index: usize, code_cost_factor: f64) -> Result<f64> {
+        if code_cost_factor <= 0.0 {
+            return Err(FleetError::InvalidConfig("cost factor must be positive"));
+        }
+        let server = *self
+            .fleet
+            .servers()
+            .get(server_index)
+            .ok_or(FleetError::InvalidConfig("server index out of range"))?;
+        let generation = self.fleet.generation_of(&server);
+        let ideal = self.base_max_throughput / (generation.cpu_multiplier * code_cost_factor);
+        let noisy = self
+            .normal
+            .sample(&mut self.rng, ideal, ideal * self.probe_noise);
+        Ok(noisy.max(0.0))
+    }
+
+    /// Probes a rotating subset of servers and returns the fleet's mean
+    /// per-server max throughput — one point of the CT-supply series.
+    pub fn probe_fleet(&mut self, probes: usize, code_cost_factor: f64) -> Result<f64> {
+        if probes == 0 {
+            return Err(FleetError::InvalidConfig("probes must be positive"));
+        }
+        let n = self.fleet.len();
+        let mut sum = 0.0;
+        for i in 0..probes {
+            let idx = (i * 2_654_435_761) % n;
+            sum += self.probe_server(idx, code_cost_factor)?;
+        }
+        Ok(sum / probes as f64)
+    }
+
+    /// Produces the CT-supply time series: `points` probes of the fleet at
+    /// `interval`-second cadence, with the code cost following
+    /// `cost_factor_at(t)` (inject a supply regression by raising it).
+    pub fn supply_series<F>(
+        &mut self,
+        start: u64,
+        interval: u64,
+        points: usize,
+        probes_per_point: usize,
+        cost_factor_at: F,
+    ) -> Result<Vec<(u64, f64)>>
+    where
+        F: Fn(u64) -> f64,
+    {
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let t = start + i as u64 * interval;
+            out.push((t, self.probe_fleet(probes_per_point, cost_factor_at(t))?));
+        }
+        Ok(out)
+    }
+}
+
+/// Produces the CT-demand time series: total peak requests across the
+/// service's servers, with diurnal seasonality and an injectable demand
+/// shift (an unexpected increase is a demand-side regression).
+pub fn demand_series<F>(
+    base_peak: f64,
+    seasonal: SeasonalProfile,
+    start: u64,
+    interval: u64,
+    points: usize,
+    seed: u64,
+    demand_factor_at: F,
+) -> Result<Vec<(u64, f64)>>
+where
+    F: Fn(u64) -> f64,
+{
+    if base_peak <= 0.0 {
+        return Err(FleetError::InvalidConfig("base peak must be positive"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = NormalSampler::new();
+    let mut out = Vec::with_capacity(points);
+    for i in 0..points {
+        let t = start + i as u64 * interval;
+        let mean = base_peak * seasonal.factor(t) * demand_factor_at(t);
+        out.push((t, normal.sample(&mut rng, mean, base_peak * 0.01).max(0.0)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerGeneration;
+
+    fn fleet() -> Fleet {
+        Fleet::homogeneous(
+            16,
+            ServerGeneration {
+                cpu_multiplier: 1.0,
+                noise_std: 0.05,
+                regression_multiplier: 1.0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probe_scales_inversely_with_cost() {
+        let mut k = KrakenBench::new(fleet(), 1_000.0, 1).unwrap();
+        let base = k.probe_fleet(64, 1.0).unwrap();
+        let regressed = k.probe_fleet(64, 1.25).unwrap();
+        let ratio = regressed / base;
+        assert!((ratio - 0.8).abs() < 0.03, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn old_hardware_is_slower() {
+        let mixed = Fleet::two_generations(100).unwrap();
+        let mut k = KrakenBench::new(mixed, 1_000.0, 2).unwrap();
+        let slow = k.probe_server(99, 1.0).unwrap(); // Generation 1, 1.2x cost.
+        let fast = k.probe_server(0, 1.0).unwrap(); // Generation 0, 0.8x cost.
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn supply_series_shows_injected_regression() {
+        let mut k = KrakenBench::new(fleet(), 1_000.0, 3).unwrap();
+        let series = k
+            .supply_series(
+                0,
+                3_600,
+                48,
+                32,
+                |t| if t >= 36 * 3_600 { 1.12 } else { 1.0 },
+            )
+            .unwrap();
+        let before: f64 = series[..36].iter().map(|p| p.1).sum::<f64>() / 36.0;
+        let after: f64 = series[36..].iter().map(|p| p.1).sum::<f64>() / 12.0;
+        // A 12% cost increase cuts supply by ~10.7%.
+        let drop = (before - after) / before;
+        assert!((drop - 0.107).abs() < 0.02, "drop = {drop}");
+    }
+
+    #[test]
+    fn demand_series_shows_shift_over_seasonality() {
+        let series = demand_series(10_000.0, SeasonalProfile::TYPICAL, 0, 3_600, 96, 4, |t| {
+            if t >= 72 * 3_600 {
+                1.3
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        let before: f64 = series[..72].iter().map(|p| p.1).sum::<f64>() / 72.0;
+        let after: f64 = series[72..].iter().map(|p| p.1).sum::<f64>() / 24.0;
+        assert!(after / before > 1.15, "ratio = {}", after / before);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(KrakenBench::new(fleet(), 0.0, 1).is_err());
+        let mut k = KrakenBench::new(fleet(), 100.0, 1).unwrap();
+        assert!(k.probe_server(999, 1.0).is_err());
+        assert!(k.probe_server(0, 0.0).is_err());
+        assert!(k.probe_fleet(0, 1.0).is_err());
+        assert!(demand_series(0.0, SeasonalProfile::FLAT, 0, 1, 1, 1, |_| 1.0).is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut k = KrakenBench::new(fleet(), 1_000.0, 9).unwrap();
+            k.supply_series(0, 60, 10, 8, |_| 1.0).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,39 @@
+//! Fleet and workload simulator for the FBDetect reproduction.
+//!
+//! FBDetect's evaluation is gated on Meta's production fleet; this crate is
+//! the synthetic equivalent (see DESIGN.md). It generates the time series
+//! and stack-trace samples the detection pipeline consumes, with the same
+//! statistical structure the paper describes:
+//!
+//! - mixed server generations with distinct performance (§2, Figure 2);
+//! - Gaussian measurement noise and diurnal/weekly seasonality (§5.2.3);
+//! - transient issues — server failures, maintenance, load spikes, rolling
+//!   updates, canary tests, traffic shifts (§1, Figure 1(c));
+//! - injected step and gradual regressions with ground truth (§5.2, §5.3);
+//! - cost shifts between subroutines (§5.4, Figure 1(b));
+//! - full service simulation with stack-trace sampling and per-subroutine
+//!   gCPU series (§4);
+//! - the §2 feasibility simulations (Figures 1(a), 2, and 3).
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod kraken;
+pub mod lln;
+pub mod mesh;
+pub mod noise;
+pub mod scenarios;
+pub mod seasonality;
+pub mod server;
+pub mod service;
+pub mod spec;
+pub mod tao;
+pub mod transient;
+
+pub use error::FleetError;
+pub use noise::NormalSampler;
+pub use server::{Server, ServerGeneration};
+pub use service::{ServiceSim, ServiceSimConfig};
+pub use spec::{Event, SeriesSpec};
+
+/// Convenience alias used by fallible routines in this crate.
+pub type Result<T> = std::result::Result<T, FleetError>;

@@ -1,0 +1,257 @@
+//! The §2 feasibility simulations (Figures 1(a), 2, and 3).
+//!
+//! Figure 2 averages the CPU series of `m` servers (up to 50,000,000) drawn
+//! from two hardware generations with a mid-series regression; Figure 3
+//! repeats the experiment at the subroutine level, where the per-subroutine
+//! variance is `k` times smaller, so 1000× fewer servers suffice.
+//!
+//! Materializing 50M series is pointless: the average of `m` IID normal
+//! series is itself normal with variance `σ²/m` (Appendix A.1), so for
+//! large `m` we sample the average directly. A brute-force path exists for
+//! small `m` and the tests confirm the two agree.
+
+use crate::noise::NormalSampler;
+use crate::{FleetError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One server population in the §2 simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Population {
+    /// Fraction of the fleet in this population.
+    pub fraction: f64,
+    /// Mean CPU before the change (e.g. 0.40 = 40%).
+    pub mean: f64,
+    /// Per-sample variance (the paper uses 0.01 and 0.02).
+    pub variance: f64,
+    /// Mean shift after the change point (e.g. 0.00003 = 0.003%).
+    pub regression: f64,
+}
+
+/// The paper's Figure 2 populations: half the fleet at μ=40% σ²=0.01 with a
+/// 0.003% regression, half at μ=60% σ²=0.02 with a 0.007% regression.
+pub const FIGURE2_POPULATIONS: [Population; 2] = [
+    Population {
+        fraction: 0.5,
+        mean: 0.40,
+        variance: 0.01,
+        regression: 0.00003,
+    },
+    Population {
+        fraction: 0.5,
+        mean: 0.60,
+        variance: 0.02,
+        regression: 0.00007,
+    },
+];
+
+/// Simulates the average of `m` per-server series of length `len`, with the
+/// regression applied from `change_at` onward.
+///
+/// For `m ≤ brute_force_limit` every server series is materialized and
+/// averaged (values clamped to `[0, 1]` as in the paper); beyond that the
+/// average is sampled directly from its exact distribution.
+pub fn averaged_fleet_series(
+    populations: &[Population],
+    m: u64,
+    len: usize,
+    change_at: usize,
+    seed: u64,
+    brute_force_limit: u64,
+) -> Result<Vec<f64>> {
+    if populations.is_empty() {
+        return Err(FleetError::InvalidConfig("no populations"));
+    }
+    let frac_sum: f64 = populations.iter().map(|p| p.fraction).sum();
+    if (frac_sum - 1.0).abs() > 1e-6 {
+        return Err(FleetError::InvalidConfig(
+            "population fractions must sum to 1",
+        ));
+    }
+    if m == 0 || len == 0 {
+        return Err(FleetError::InvalidConfig("m and len must be positive"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler = NormalSampler::new();
+    if m <= brute_force_limit {
+        // Materialize every server.
+        let mut acc = vec![0.0f64; len];
+        let mut produced = 0u64;
+        for (pi, p) in populations.iter().enumerate() {
+            let count = if pi + 1 == populations.len() {
+                m - produced
+            } else {
+                (p.fraction * m as f64).round() as u64
+            };
+            for _ in 0..count {
+                for (i, slot) in acc.iter_mut().enumerate() {
+                    let mean = if i >= change_at {
+                        p.mean + p.regression
+                    } else {
+                        p.mean
+                    };
+                    *slot += sampler.sample_clamped(&mut rng, mean, p.variance.sqrt(), 0.0, 1.0);
+                }
+            }
+            produced += count;
+        }
+        Ok(acc.into_iter().map(|v| v / m as f64).collect())
+    } else {
+        // Sample the average directly: mean = Σ f_p μ_p, var = Σ f_p σ_p² / m.
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut mean = 0.0;
+            let mut var = 0.0;
+            for p in populations {
+                let mu = if i >= change_at {
+                    p.mean + p.regression
+                } else {
+                    p.mean
+                };
+                mean += p.fraction * mu;
+                var += p.fraction * p.variance;
+            }
+            let avg_std = (var / m as f64).sqrt();
+            out.push(sampler.sample(&mut rng, mean, avg_std));
+        }
+        Ok(out)
+    }
+}
+
+/// The subroutine-level variant (Figure 3): the process-level CPU is
+/// distributed across `k` subroutines, so the *monitored subroutine's* mean
+/// and variance are `1/k` of the process values (Expression 2) — but the
+/// regression lands wholly in that one subroutine. The fleet-average
+/// variance becomes `σ²/(k·m)` while the shift magnitude is unchanged,
+/// which is why `k = 1000` subroutines let Figure 3 match Figure 2 with
+/// 1000× fewer servers.
+pub fn averaged_subroutine_series(
+    populations: &[Population],
+    k: usize,
+    m: u64,
+    len: usize,
+    change_at: usize,
+    seed: u64,
+    brute_force_limit: u64,
+) -> Result<Vec<f64>> {
+    if k == 0 {
+        return Err(FleetError::InvalidConfig("k must be positive"));
+    }
+    let scaled: Vec<Population> = populations
+        .iter()
+        .map(|p| Population {
+            fraction: p.fraction,
+            mean: p.mean / k as f64,
+            variance: p.variance / k as f64,
+            // The regression is concentrated in this subroutine.
+            regression: p.regression,
+        })
+        .collect();
+    averaged_fleet_series(&scaled, m, len, change_at, seed, brute_force_limit)
+}
+
+/// Measures the detectability of the mid-series shift in an averaged
+/// series: `(mean_after − mean_before) / std_of_residuals`. Values above ~2
+/// mean the regression is visually and statistically evident.
+pub fn shift_signal_to_noise(series: &[f64], change_at: usize) -> Result<f64> {
+    if change_at == 0 || change_at >= series.len() {
+        return Err(FleetError::InvalidConfig("change point out of range"));
+    }
+    let (before, after) = series.split_at(change_at);
+    let mb = before.iter().sum::<f64>() / before.len() as f64;
+    let ma = after.iter().sum::<f64>() / after.len() as f64;
+    let ss: f64 = before.iter().map(|v| (v - mb) * (v - mb)).sum::<f64>()
+        + after.iter().map(|v| (v - ma) * (v - ma)).sum::<f64>();
+    let pooled_std = (ss / series.len() as f64).sqrt();
+    if pooled_std <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok((ma - mb) / pooled_std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_and_brute_force_agree() {
+        let m = 200;
+        let len = 400;
+        let brute =
+            averaged_fleet_series(&FIGURE2_POPULATIONS, m, len, len / 2, 1, u64::MAX).unwrap();
+        let analytic = averaged_fleet_series(&FIGURE2_POPULATIONS, m, len, len / 2, 2, 0).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // Same population mean (±noise) and comparable spread.
+        assert!((mean(&brute) - mean(&analytic)).abs() < 0.005);
+        let spread = |v: &[f64]| {
+            let m = mean(v);
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let ratio = spread(&brute) / spread(&analytic);
+        assert!((0.5..2.0).contains(&ratio), "spread ratio = {ratio}");
+    }
+
+    #[test]
+    fn noise_shrinks_with_m() {
+        // Figure 2's visual: larger fleets average away the noise.
+        let len = 500;
+        let snr_small = shift_signal_to_noise(
+            &averaged_fleet_series(&FIGURE2_POPULATIONS, 500_000, len, len / 2, 3, 0).unwrap(),
+            len / 2,
+        )
+        .unwrap();
+        let snr_large = shift_signal_to_noise(
+            &averaged_fleet_series(&FIGURE2_POPULATIONS, 50_000_000, len, len / 2, 3, 0).unwrap(),
+            len / 2,
+        )
+        .unwrap();
+        assert!(snr_large > snr_small * 3.0, "{snr_small} vs {snr_large}");
+        // At 50M servers the 0.005% shift is clearly detectable.
+        assert!(snr_large > 2.0, "snr_large = {snr_large}");
+    }
+
+    #[test]
+    fn subroutine_level_needs_1000x_fewer_servers() {
+        // Figure 3: k=1000 subroutines, m=50,000 servers matches the
+        // detectability of m=50,000,000 at the process level.
+        let len = 500;
+        let process = shift_signal_to_noise(
+            &averaged_fleet_series(&FIGURE2_POPULATIONS, 50_000_000, len, len / 2, 5, 0).unwrap(),
+            len / 2,
+        )
+        .unwrap();
+        let subroutine = shift_signal_to_noise(
+            &averaged_subroutine_series(&FIGURE2_POPULATIONS, 1_000, 50_000, len, len / 2, 5, 0)
+                .unwrap(),
+            len / 2,
+        )
+        .unwrap();
+        // Equal within statistical noise (identical in expectation).
+        let ratio = subroutine / process;
+        assert!((0.5..2.0).contains(&ratio), "ratio = {ratio}");
+        assert!(subroutine > 2.0);
+    }
+
+    #[test]
+    fn single_server_regression_invisible() {
+        // Figure 1(a): one server, 0.005% shift, σ²=0.01 — SNR ≈ 0.
+        let pops = [Population {
+            fraction: 1.0,
+            mean: 0.5,
+            variance: 0.01,
+            regression: 0.00005,
+        }];
+        let series = averaged_fleet_series(&pops, 1, 1_000, 500, 7, u64::MAX).unwrap();
+        let snr = shift_signal_to_noise(&series, 500).unwrap();
+        assert!(snr.abs() < 0.2, "snr = {snr}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(averaged_fleet_series(&[], 10, 10, 5, 1, 0).is_err());
+        assert!(averaged_fleet_series(&FIGURE2_POPULATIONS, 0, 10, 5, 1, 0).is_err());
+        assert!(averaged_subroutine_series(&FIGURE2_POPULATIONS, 0, 10, 10, 5, 1, 0).is_err());
+        assert!(shift_signal_to_noise(&[1.0, 2.0], 0).is_err());
+        assert!(shift_signal_to_noise(&[1.0, 2.0], 2).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Service meshes: groups of services that work together (§3, AdServing).
+//!
+//! "AdServing is a group of ultra-large services that work together to
+//! serve ads." A regression rarely stays inside one service: a slow
+//! downstream dependency inflates its callers' latency, and a single root
+//! cause then surfaces as anomalies across several services' metrics — the
+//! situation PairwiseDedup exists to merge (§5.5.2). [`ServiceMesh`] steps
+//! several [`ServiceSim`]s in lockstep and propagates each callee's
+//! code-cost factor into its callers' latency.
+
+use crate::service::ServiceSim;
+use crate::{FleetError, Result};
+use fbd_tsdb::TsdbStore;
+
+/// A directed call edge: `caller` invokes `callee` (indices into the mesh).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallEdge {
+    /// Index of the calling service.
+    pub caller: usize,
+    /// Index of the called service.
+    pub callee: usize,
+    /// How strongly the callee's slowdown shows in the caller's latency
+    /// (1.0 = the caller waits on the callee for its whole request).
+    pub coupling: f64,
+}
+
+/// A group of services stepped together with cross-service propagation.
+pub struct ServiceMesh {
+    services: Vec<ServiceSim>,
+    edges: Vec<CallEdge>,
+}
+
+impl ServiceMesh {
+    /// Creates a mesh over the given services.
+    ///
+    /// All services must share one tick interval (they advance in
+    /// lockstep).
+    pub fn new(services: Vec<ServiceSim>) -> Result<Self> {
+        if services.is_empty() {
+            return Err(FleetError::InvalidConfig("mesh needs services"));
+        }
+        let tick = services[0].tick_interval();
+        if services.iter().any(|s| s.tick_interval() != tick) {
+            return Err(FleetError::InvalidConfig(
+                "mesh services must share a tick interval",
+            ));
+        }
+        Ok(ServiceMesh {
+            services,
+            edges: Vec::new(),
+        })
+    }
+
+    /// Adds a call edge.
+    pub fn add_edge(&mut self, edge: CallEdge) -> Result<()> {
+        if edge.caller >= self.services.len() || edge.callee >= self.services.len() {
+            return Err(FleetError::InvalidConfig("edge index out of range"));
+        }
+        if edge.caller == edge.callee {
+            return Err(FleetError::InvalidConfig("self edges are not allowed"));
+        }
+        if edge.coupling < 0.0 || !edge.coupling.is_finite() {
+            return Err(FleetError::InvalidConfig("coupling must be non-negative"));
+        }
+        self.edges.push(edge);
+        Ok(())
+    }
+
+    /// Access to a member service (for injections and endpoints).
+    pub fn service_mut(&mut self, index: usize) -> Result<&mut ServiceSim> {
+        self.services
+            .get_mut(index)
+            .ok_or(FleetError::InvalidConfig("service index out of range"))
+    }
+
+    /// The member services.
+    pub fn services(&self) -> &[ServiceSim] {
+        &self.services
+    }
+
+    /// The downstream latency factor a caller observes: 1 plus the coupled
+    /// excess cost of every callee (`coupling × (weight_factor − 1)`).
+    fn downstream_factor(&self, caller: usize) -> f64 {
+        let mut factor = 1.0;
+        for e in self.edges.iter().filter(|e| e.caller == caller) {
+            let excess = (self.services[e.callee].weight_factor() - 1.0).max(0.0);
+            factor += e.coupling * excess;
+        }
+        factor
+    }
+
+    /// Runs all services in lockstep over `[start, end)`.
+    pub fn run(&mut self, store: &TsdbStore, start: u64, end: u64) -> Result<()> {
+        if end <= start {
+            return Err(FleetError::InvalidConfig("end must exceed start"));
+        }
+        let tick = self.services[0].tick_interval();
+        let mut now = start;
+        while now < end {
+            // Downstream factors are computed against the callees' state at
+            // the top of the tick (they mutate during step).
+            let factors: Vec<f64> = (0..self.services.len())
+                .map(|i| self.downstream_factor(i))
+                .collect();
+            for (service, factor) in self.services.iter_mut().zip(&factors) {
+                service.step(store, now, *factor)?;
+            }
+            now += tick;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Fleet;
+    use crate::service::ServiceSimConfig;
+    use fbd_profiler::callgraph::uniform_service_graph;
+    use fbd_tsdb::{MetricKind, SeriesId};
+
+    fn sim(name: &str, seed: u64) -> ServiceSim {
+        let graph = uniform_service_graph(10, 1.0).unwrap();
+        let fleet = Fleet::two_generations(10).unwrap();
+        ServiceSim::new(
+            ServiceSimConfig {
+                name: name.to_string(),
+                samples_per_tick: 500,
+                seed,
+                ..Default::default()
+            },
+            graph,
+            fleet,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn downstream_regression_raises_caller_latency() {
+        let mut frontend = sim("frontend", 1);
+        let backend = sim("backend", 2);
+        // Regress the backend by 20% total weight at mid-run.
+        let victim = frontend.graph().frame_by_name("subroutine_00000").unwrap();
+        let mut mesh = ServiceMesh::new(vec![frontend, backend]).unwrap();
+        mesh.add_edge(CallEdge {
+            caller: 0,
+            callee: 1,
+            coupling: 1.0,
+        })
+        .unwrap();
+        mesh.service_mut(1)
+            .unwrap()
+            .inject_regression(victim, 30_000, 0.2, 7)
+            .unwrap();
+        let store = TsdbStore::new();
+        mesh.run(&store, 0, 60_000).unwrap();
+        // The FRONTEND's latency rises ~20% after the BACKEND regression.
+        let lat = store
+            .get(&SeriesId::new("frontend", MetricKind::Latency, ""))
+            .unwrap()
+            .values();
+        let boundary = 500; // 30_000 / 60.
+        let before: f64 = lat[..boundary].iter().sum::<f64>() / boundary as f64;
+        let after: f64 =
+            lat[boundary + 5..].iter().sum::<f64>() / (lat.len() - boundary - 5) as f64;
+        assert!(
+            (after / before - 1.2).abs() < 0.05,
+            "latency ratio = {}",
+            after / before
+        );
+        // The frontend's own CPU stays flat — nothing changed in its code.
+        let cpu = store
+            .get(&SeriesId::new("frontend", MetricKind::Cpu, ""))
+            .unwrap()
+            .values();
+        let c_before: f64 = cpu[..boundary].iter().sum::<f64>() / boundary as f64;
+        let c_after: f64 = cpu[boundary..].iter().sum::<f64>() / (cpu.len() - boundary) as f64;
+        assert!((c_after - c_before).abs() < 0.02);
+    }
+
+    #[test]
+    fn uncoupled_services_are_independent() {
+        let frontend = sim("f", 3);
+        let mut backend = sim("b", 4);
+        let victim = backend.graph().frame_by_name("subroutine_00001").unwrap();
+        backend.inject_regression(victim, 30_000, 0.3, 9).unwrap();
+        let mesh_services = vec![frontend, backend];
+        let mut mesh = ServiceMesh::new(mesh_services).unwrap();
+        // No edges: the frontend must not move.
+        let store = TsdbStore::new();
+        mesh.run(&store, 0, 60_000).unwrap();
+        let lat = store
+            .get(&SeriesId::new("f", MetricKind::Latency, ""))
+            .unwrap()
+            .values();
+        let before: f64 = lat[..500].iter().sum::<f64>() / 500.0;
+        let after: f64 = lat[500..].iter().sum::<f64>() / (lat.len() - 500) as f64;
+        assert!((after - before).abs() < 0.1);
+    }
+
+    #[test]
+    fn invalid_configuration_rejected() {
+        assert!(ServiceMesh::new(vec![]).is_err());
+        let mut mesh = ServiceMesh::new(vec![sim("a", 1), sim("b", 2)]).unwrap();
+        assert!(mesh
+            .add_edge(CallEdge {
+                caller: 0,
+                callee: 9,
+                coupling: 1.0
+            })
+            .is_err());
+        assert!(mesh
+            .add_edge(CallEdge {
+                caller: 0,
+                callee: 0,
+                coupling: 1.0
+            })
+            .is_err());
+        assert!(mesh
+            .add_edge(CallEdge {
+                caller: 0,
+                callee: 1,
+                coupling: -1.0
+            })
+            .is_err());
+        assert!(mesh.service_mut(5).is_err());
+        let store = TsdbStore::new();
+        assert!(mesh.run(&store, 10, 10).is_err());
+    }
+
+    #[test]
+    fn mismatched_tick_intervals_rejected() {
+        let a = sim("a", 1);
+        let graph = uniform_service_graph(5, 1.0).unwrap();
+        let fleet = Fleet::two_generations(4).unwrap();
+        let b = ServiceSim::new(
+            ServiceSimConfig {
+                name: "b".to_string(),
+                tick_interval: 30,
+                samples_per_tick: 100,
+                ..Default::default()
+            },
+            graph,
+            fleet,
+        )
+        .unwrap();
+        assert!(ServiceMesh::new(vec![a, b]).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Gaussian noise generation (Box-Muller over the `rand` crate).
+
+use rand::Rng;
+
+/// Samples standard-normal deviates with the Box-Muller transform, caching
+/// the spare deviate between calls.
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal deviate.
+    pub fn standard<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box-Muller: two uniforms -> two independent normals.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a normal deviate with the given mean and standard deviation.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard(rng)
+    }
+
+    /// Draws a normal deviate clamped to `[lo, hi]` — the paper's §2
+    /// simulation caps CPU-usage samples within `[0, 1]`.
+    pub fn sample_clamped<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        mean: f64,
+        std_dev: f64,
+        lo: f64,
+        hi: f64,
+    ) -> f64 {
+        self.sample(rng, mean, std_dev).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = NormalSampler::new();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.standard(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn scaled_sampling() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = NormalSampler::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sampler.sample(&mut rng, 10.0, 2.0))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn clamping_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = NormalSampler::new();
+        for _ in 0..10_000 {
+            let v = sampler.sample_clamped(&mut rng, 0.5, 0.5, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut s = NormalSampler::new();
+            (0..10).map(|_| s.standard(&mut rng)).collect::<Vec<f64>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,375 @@
+//! Canned evaluation scenarios.
+//!
+//! Each function reproduces the data behind one of the paper's figures or
+//! feeds one of the evaluation benches: the three challenge cases of
+//! Figure 1, the spike-then-regression series of Figure 7, and labelled
+//! series suites (with ground truth) for the Table 3 filtering funnel, the
+//! Table 4 magnitude distribution, and the §6.5 EGADS comparison.
+
+use crate::seasonality::SeasonalProfile;
+use crate::spec::{Event, SeriesSpec};
+use crate::Result;
+
+/// Ground-truth label for a generated series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesLabel {
+    /// No regression: pure noise (possibly with seasonality).
+    Clean,
+    /// A true step regression at the recorded index.
+    TrueRegression,
+    /// A true gradual regression.
+    TrueGradualRegression,
+    /// A transient issue that recovers — must be filtered (Figure 1(c)).
+    Transient,
+    /// Pure seasonality strong enough to look like a shift.
+    SeasonalOnly,
+}
+
+/// A generated series with its ground truth.
+#[derive(Debug, Clone)]
+pub struct LabelledSeries {
+    /// The samples.
+    pub values: Vec<f64>,
+    /// What the series truly contains.
+    pub label: SeriesLabel,
+    /// Index of the true change point, when applicable.
+    pub change_at: Option<usize>,
+    /// Magnitude of the true mean shift, when applicable.
+    pub magnitude: f64,
+}
+
+/// Figure 1(a): a single-server CPU series with an invisible 0.005%
+/// regression. μ=50%, σ²=0.01, clamped to `[0, 1]`, shift mid-series.
+pub fn figure1a(len: usize, seed: u64) -> Result<LabelledSeries> {
+    let mut spec = SeriesSpec::flat(len, 0.5, 0.1);
+    spec.clamp = Some((0.0, 1.0));
+    let spec = spec.with_event(Event::Step {
+        at: len / 2,
+        delta: 0.00005,
+    });
+    Ok(LabelledSeries {
+        values: spec.generate(seed)?,
+        label: SeriesLabel::TrueRegression,
+        change_at: Some(len / 2),
+        magnitude: 0.00005,
+    })
+}
+
+/// Figure 1(b): a subroutine-level cost-shift false positive. Returns the
+/// *destination* subroutine's gCPU series (a visible step) plus the source
+/// subroutine's series (an equal drop) — the pair the cost-shift detector
+/// inspects.
+pub fn figure1b(len: usize, seed: u64) -> Result<(LabelledSeries, LabelledSeries)> {
+    let at = len * 3 / 4;
+    let gained =
+        SeriesSpec::flat(len, 0.0002, 0.00004).with_event(Event::Step { at, delta: 0.0002 });
+    let lost =
+        SeriesSpec::flat(len, 0.0005, 0.00004).with_event(Event::Step { at, delta: -0.0002 });
+    Ok((
+        LabelledSeries {
+            values: gained.generate(seed)?,
+            label: SeriesLabel::Clean, // A cost shift is NOT a regression.
+            change_at: Some(at),
+            magnitude: 0.0002,
+        },
+        LabelledSeries {
+            values: lost.generate(seed.wrapping_add(1))?,
+            label: SeriesLabel::Clean,
+            change_at: Some(at),
+            magnitude: -0.0002,
+        },
+    ))
+}
+
+/// Figure 1(c): a throughput drop caused by a transient issue that later
+/// recovers — a false positive the went-away detector must filter.
+pub fn figure1c(len: usize, seed: u64) -> Result<LabelledSeries> {
+    let drop_at = len * 7 / 10;
+    let duration = len / 5;
+    let spec = SeriesSpec::flat(len, 100.0, 3.0).with_event(Event::Transient {
+        at: drop_at,
+        duration,
+        delta: -40.0,
+    });
+    Ok(LabelledSeries {
+        values: spec.generate(seed)?,
+        label: SeriesLabel::Transient,
+        change_at: Some(drop_at),
+        magnitude: -40.0,
+    })
+}
+
+/// Figure 7: a historical spike (transient) followed by a true regression
+/// at the end of the series. The went-away detector must not use the spike
+/// window as a baseline and must report the final regression.
+pub fn figure7(len: usize, seed: u64) -> Result<LabelledSeries> {
+    let spike_at = len / 3;
+    let regression_at = len * 4 / 5;
+    let spec = SeriesSpec::flat(len, 10.0, 0.3)
+        .with_event(Event::Transient {
+            at: spike_at,
+            duration: len / 20,
+            delta: 4.0,
+        })
+        .with_event(Event::Step {
+            at: regression_at,
+            delta: 2.0,
+        });
+    Ok(LabelledSeries {
+        values: spec.generate(seed)?,
+        label: SeriesLabel::TrueRegression,
+        change_at: Some(regression_at),
+        magnitude: 2.0,
+    })
+}
+
+/// Parameters for a labelled evaluation suite.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Series per category.
+    pub clean: usize,
+    /// True step regressions.
+    pub regressions: usize,
+    /// True gradual regressions.
+    pub gradual: usize,
+    /// Transient false positives.
+    pub transients: usize,
+    /// Seasonal-only series.
+    pub seasonal: usize,
+    /// Samples per series.
+    pub len: usize,
+    /// Index (fraction of len) where injected changes land.
+    pub change_fraction: f64,
+    /// Regression magnitudes are drawn log-uniformly from this range,
+    /// relative to the base level (the paper observes 0.005%–15%, Table 4).
+    pub relative_magnitude_range: (f64, f64),
+    /// Base level of every series.
+    pub base: f64,
+    /// Noise standard deviation.
+    pub noise_std: f64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            clean: 200,
+            regressions: 50,
+            gradual: 10,
+            transients: 100,
+            seasonal: 40,
+            len: 600,
+            change_fraction: 0.75,
+            relative_magnitude_range: (0.00005, 0.15),
+            base: 1.0,
+            noise_std: 0.02,
+        }
+    }
+}
+
+/// Generates a labelled suite of series for end-to-end evaluation.
+pub fn labelled_suite(config: &SuiteConfig, seed: u64) -> Result<Vec<LabelledSeries>> {
+    let mut out = Vec::new();
+    let change_at = (config.len as f64 * config.change_fraction) as usize;
+    let (lo, hi) = config.relative_magnitude_range;
+    let mut k = 0u64;
+    let mut next_seed = || {
+        k += 1;
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k)
+    };
+    // Log-uniform magnitude from a hash of the index.
+    let magnitude = |i: usize, n: usize| -> f64 {
+        let t = if n <= 1 {
+            0.5
+        } else {
+            i as f64 / (n - 1) as f64
+        };
+        (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+    };
+    for _ in 0..config.clean {
+        let spec = SeriesSpec::flat(config.len, config.base, config.noise_std);
+        out.push(LabelledSeries {
+            values: spec.generate(next_seed())?,
+            label: SeriesLabel::Clean,
+            change_at: None,
+            magnitude: 0.0,
+        });
+    }
+    for i in 0..config.regressions {
+        let delta = config.base * magnitude(i, config.regressions);
+        let spec =
+            SeriesSpec::flat(config.len, config.base, config.noise_std).with_event(Event::Step {
+                at: change_at,
+                delta,
+            });
+        out.push(LabelledSeries {
+            values: spec.generate(next_seed())?,
+            label: SeriesLabel::TrueRegression,
+            change_at: Some(change_at),
+            magnitude: delta,
+        });
+    }
+    for i in 0..config.gradual {
+        let delta = config.base * magnitude(i, config.gradual);
+        let spec =
+            SeriesSpec::flat(config.len, config.base, config.noise_std).with_event(Event::Ramp {
+                start: config.len / 4,
+                end: config.len * 3 / 4,
+                delta,
+            });
+        out.push(LabelledSeries {
+            values: spec.generate(next_seed())?,
+            label: SeriesLabel::TrueGradualRegression,
+            change_at: Some(config.len / 4),
+            magnitude: delta,
+        });
+    }
+    for i in 0..config.transients {
+        // Transients are *large* relative to true regressions — that is what
+        // makes them deceptive (Figure 1(c)).
+        let delta = config.base * (0.1 + 0.4 * (i % 5) as f64 / 5.0);
+        let sign = if i % 2 == 0 { -1.0 } else { 1.0 };
+        let duration = config.len / 20 + (i % 7) * config.len / 50;
+        let spec = SeriesSpec::flat(config.len, config.base, config.noise_std).with_event(
+            Event::Transient {
+                at: change_at.min(config.len - duration - 1),
+                duration,
+                delta: sign * delta,
+            },
+        );
+        out.push(LabelledSeries {
+            values: spec.generate(next_seed())?,
+            label: SeriesLabel::Transient,
+            change_at: Some(change_at.min(config.len - duration - 1)),
+            magnitude: sign * delta,
+        });
+    }
+    for i in 0..config.seasonal {
+        let profile = SeasonalProfile {
+            diurnal_amplitude: 0.05 + 0.1 * (i % 4) as f64 / 4.0,
+            weekly_amplitude: 0.02,
+            phase: (i as u64) * 3_600,
+        };
+        let mut spec =
+            SeriesSpec::flat(config.len, config.base, config.noise_std).with_seasonality(profile);
+        // Hourly cadence so the daily cycle spans 24 samples.
+        spec.interval = 3_600;
+        out.push(LabelledSeries {
+            values: spec.generate(next_seed())?,
+            label: SeriesLabel::SeasonalOnly,
+            change_at: None,
+            magnitude: 0.0,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1a_shift_is_invisible_in_noise() {
+        let s = figure1a(1_000, 1).unwrap();
+        assert_eq!(s.label, SeriesLabel::TrueRegression);
+        // The 0.005% shift is three orders below the noise std.
+        let std = {
+            let m = s.values.iter().sum::<f64>() / s.values.len() as f64;
+            (s.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / s.values.len() as f64).sqrt()
+        };
+        assert!(std > 100.0 * s.magnitude);
+    }
+
+    #[test]
+    fn figure1b_total_is_conserved() {
+        let (gained, lost) = figure1b(800, 2).unwrap();
+        let sum_before: f64 = gained.values[..600]
+            .iter()
+            .zip(&lost.values[..600])
+            .map(|(a, b)| a + b)
+            .sum::<f64>()
+            / 600.0;
+        let sum_after: f64 = gained.values[600..]
+            .iter()
+            .zip(&lost.values[600..])
+            .map(|(a, b)| a + b)
+            .sum::<f64>()
+            / 200.0;
+        assert!((sum_before - sum_after).abs() < 0.0001);
+    }
+
+    #[test]
+    fn figure1c_recovers() {
+        let s = figure1c(1_000, 3).unwrap();
+        let start: f64 = s.values[..400].iter().sum::<f64>() / 400.0;
+        let end: f64 = s.values[920..].iter().sum::<f64>() / 80.0;
+        assert!((start - end).abs() < 2.0);
+        // But the dip is deep while active.
+        let mid: f64 = s.values[720..880].iter().sum::<f64>() / 160.0;
+        assert!(start - mid > 20.0);
+    }
+
+    #[test]
+    fn figure7_has_spike_and_final_step() {
+        let s = figure7(1_000, 4).unwrap();
+        let baseline: f64 = s.values[..300].iter().sum::<f64>() / 300.0;
+        let end: f64 = s.values[850..].iter().sum::<f64>() / 150.0;
+        assert!(end - baseline > 1.5);
+        let spike_max = s.values[330..340].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(spike_max > baseline + 3.0);
+    }
+
+    #[test]
+    fn suite_counts_and_labels() {
+        let cfg = SuiteConfig {
+            clean: 5,
+            regressions: 4,
+            gradual: 3,
+            transients: 2,
+            seasonal: 1,
+            ..Default::default()
+        };
+        let suite = labelled_suite(&cfg, 9).unwrap();
+        assert_eq!(suite.len(), 15);
+        let count = |l: SeriesLabel| suite.iter().filter(|s| s.label == l).count();
+        assert_eq!(count(SeriesLabel::Clean), 5);
+        assert_eq!(count(SeriesLabel::TrueRegression), 4);
+        assert_eq!(count(SeriesLabel::TrueGradualRegression), 3);
+        assert_eq!(count(SeriesLabel::Transient), 2);
+        assert_eq!(count(SeriesLabel::SeasonalOnly), 1);
+    }
+
+    #[test]
+    fn suite_magnitudes_span_configured_range() {
+        let cfg = SuiteConfig {
+            regressions: 20,
+            ..Default::default()
+        };
+        let suite = labelled_suite(&cfg, 11).unwrap();
+        let mags: Vec<f64> = suite
+            .iter()
+            .filter(|s| s.label == SeriesLabel::TrueRegression)
+            .map(|s| s.magnitude)
+            .collect();
+        let min = mags.iter().cloned().fold(f64::MAX, f64::min);
+        let max = mags.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((min - 0.00005).abs() / 0.00005 < 0.01);
+        assert!((max - 0.15).abs() / 0.15 < 0.01);
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let cfg = SuiteConfig {
+            clean: 3,
+            regressions: 2,
+            gradual: 1,
+            transients: 1,
+            seasonal: 1,
+            ..Default::default()
+        };
+        let a = labelled_suite(&cfg, 5).unwrap();
+        let b = labelled_suite(&cfg, 5).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.values, y.values);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Full service simulation: call graph + fleet + profiler + metrics.
+//!
+//! [`ServiceSim`] drives everything end-to-end the way production does: at
+//! every tick it collects stack-trace samples across all servers, derives
+//! per-subroutine gCPU values, and appends gCPU / CPU / throughput /
+//! latency / error-rate series into a [`fbd_tsdb::TsdbStore`]. Code changes
+//! are injected as scheduled call-graph mutations — weight increases (true
+//! regressions) and cost shifts (the false positives of §5.4) — with ground
+//! truth retained for evaluation.
+
+use crate::noise::NormalSampler;
+use crate::seasonality::SeasonalProfile;
+use crate::server::Fleet;
+use crate::transient::TransientSchedule;
+use crate::{FleetError, Result};
+use fbd_changelog::ChangeId;
+use fbd_profiler::callgraph::{CallGraph, FrameId};
+use fbd_profiler::gcpu::GcpuTable;
+use fbd_profiler::sample::{StackSample, TraceSampler};
+use fbd_tsdb::{MetricKind, SeriesId, TsdbStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A scheduled call-graph mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphMutation {
+    /// Increase a subroutine's self weight — a true regression.
+    WeightDelta {
+        /// Affected frame.
+        frame: FrameId,
+        /// Self-weight increase (absolute units of the graph).
+        delta: f64,
+    },
+    /// Move self weight between subroutines — a cost shift (no total change).
+    CostShift {
+        /// Weight source.
+        from: FrameId,
+        /// Weight destination.
+        to: FrameId,
+        /// Amount moved.
+        amount: f64,
+    },
+}
+
+/// Ground truth about one injected change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionRecord {
+    /// The change id blamed for the mutation (links to the change log).
+    pub change_id: ChangeId,
+    /// When the mutation takes effect.
+    pub at: u64,
+    /// What was mutated.
+    pub mutation: GraphMutation,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceSimConfig {
+    /// Service name stamped on series ids.
+    pub name: String,
+    /// Seconds between ticks (one gCPU data point per tick).
+    pub tick_interval: u64,
+    /// Stack-trace samples collected per tick across the whole fleet.
+    pub samples_per_tick: usize,
+    /// Mean service-level CPU utilization in `[0, 1]`.
+    pub base_cpu: f64,
+    /// Noise standard deviation on the service CPU series.
+    pub cpu_noise_std: f64,
+    /// Base throughput (requests/sec, fleet-wide).
+    pub base_throughput: f64,
+    /// Seasonality applied to CPU and throughput.
+    pub seasonal: SeasonalProfile,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServiceSimConfig {
+    fn default() -> Self {
+        ServiceSimConfig {
+            name: "svc".to_string(),
+            tick_interval: 60,
+            samples_per_tick: 1_000,
+            base_cpu: 0.5,
+            cpu_noise_std: 0.01,
+            base_throughput: 10_000.0,
+            seasonal: SeasonalProfile::FLAT,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct ServiceSim {
+    config: ServiceSimConfig,
+    graph: CallGraph,
+    fleet: Fleet,
+    transients: TransientSchedule,
+    injections: Vec<InjectionRecord>,
+    applied: usize,
+    rng: StdRng,
+    sampler: Option<TraceSampler>,
+    normal: NormalSampler,
+    /// Registered endpoints: name -> frames whose samples aggregate into
+    /// the endpoint's end-to-end cost (§3), including async helpers.
+    endpoints: Vec<(String, Vec<FrameId>)>,
+    /// Metadata scopes: (scope name, annotated frame, measured frame).
+    /// Emits the measured frame's gCPU restricted to samples whose trace
+    /// contains the annotated frame — `SetFrameMetadata()` detection (§3).
+    metadata_scopes: Vec<(String, FrameId, FrameId)>,
+    /// Retained stack samples from the most recent run (for RCA and
+    /// overlap features). Bounded by `max_retained_samples`.
+    retained_samples: Vec<StackSample>,
+    /// Cap on retained samples (oldest evicted first).
+    pub max_retained_samples: usize,
+}
+
+impl ServiceSim {
+    /// Creates a simulator.
+    pub fn new(config: ServiceSimConfig, graph: CallGraph, fleet: Fleet) -> Result<Self> {
+        if config.tick_interval == 0 {
+            return Err(FleetError::InvalidConfig("tick interval is zero"));
+        }
+        if config.samples_per_tick == 0 {
+            return Err(FleetError::InvalidConfig("samples per tick is zero"));
+        }
+        let seed = config.seed;
+        Ok(ServiceSim {
+            config,
+            graph,
+            fleet,
+            transients: TransientSchedule::new(),
+            injections: Vec::new(),
+            applied: 0,
+            rng: StdRng::seed_from_u64(seed),
+            sampler: None,
+            normal: NormalSampler::new(),
+            endpoints: Vec::new(),
+            metadata_scopes: Vec::new(),
+            retained_samples: Vec::new(),
+            max_retained_samples: 2_000_000,
+        })
+    }
+
+    /// The call graph (current, post-applied-mutations state).
+    pub fn graph(&self) -> &CallGraph {
+        &self.graph
+    }
+
+    /// The transient-issue schedule (mutable so callers can populate it).
+    pub fn transients_mut(&mut self) -> &mut TransientSchedule {
+        &mut self.transients
+    }
+
+    /// Ground truth of all scheduled injections.
+    pub fn injections(&self) -> &[InjectionRecord] {
+        &self.injections
+    }
+
+    /// Stack samples retained from simulation (most recent run).
+    pub fn retained_samples(&self) -> &[StackSample] {
+        &self.retained_samples
+    }
+
+    /// Registers an endpoint whose end-to-end cost aggregates the samples
+    /// of all listed frames — synchronous entry points and asynchronous
+    /// helpers alike (§3 end-to-end tracing).
+    pub fn register_endpoint(
+        &mut self,
+        name: impl Into<String>,
+        frames: Vec<FrameId>,
+    ) -> Result<()> {
+        for &f in &frames {
+            self.graph.frame(f)?;
+        }
+        self.endpoints.push((name.into(), frames));
+        Ok(())
+    }
+
+    /// Registers a metadata scope — the simulator-side equivalent of the
+    /// `annotated` frame calling `SetFrameMetadata(scope)`. Emits a gCPU
+    /// series for `measured` restricted to samples inside the scope, so
+    /// regressions affecting only one request category are detectable (§3).
+    pub fn register_metadata_scope(
+        &mut self,
+        scope: impl Into<String>,
+        annotated: FrameId,
+        measured: FrameId,
+    ) -> Result<()> {
+        self.graph.frame(annotated)?;
+        self.graph.frame(measured)?;
+        self.metadata_scopes
+            .push((scope.into(), annotated, measured));
+        Ok(())
+    }
+
+    /// Schedules a step regression: `frame` gains `delta` self weight at
+    /// time `at`, blamed on `change_id`.
+    pub fn inject_regression(
+        &mut self,
+        frame: FrameId,
+        at: u64,
+        delta: f64,
+        change_id: ChangeId,
+    ) -> Result<()> {
+        self.graph.frame(frame)?;
+        self.injections.push(InjectionRecord {
+            change_id,
+            at,
+            mutation: GraphMutation::WeightDelta { frame, delta },
+        });
+        self.injections.sort_by_key(|r| r.at);
+        Ok(())
+    }
+
+    /// Schedules a cost shift from `from` to `to` at time `at`.
+    pub fn inject_cost_shift(
+        &mut self,
+        from: FrameId,
+        to: FrameId,
+        at: u64,
+        amount: f64,
+        change_id: ChangeId,
+    ) -> Result<()> {
+        self.graph.frame(from)?;
+        self.graph.frame(to)?;
+        self.injections.push(InjectionRecord {
+            change_id,
+            at,
+            mutation: GraphMutation::CostShift { from, to, amount },
+        });
+        self.injections.sort_by_key(|r| r.at);
+        Ok(())
+    }
+
+    fn apply_due_mutations(&mut self, now: u64) -> Result<bool> {
+        let mut any = false;
+        while self.applied < self.injections.len() && self.injections[self.applied].at <= now {
+            let record = self.injections[self.applied].clone();
+            match record.mutation {
+                GraphMutation::WeightDelta { frame, delta } => {
+                    self.graph.adjust_self_weight(frame, delta)?;
+                }
+                GraphMutation::CostShift { from, to, amount } => {
+                    self.graph.shift_cost(from, to, amount)?;
+                }
+            }
+            self.applied += 1;
+            any = true;
+        }
+        Ok(any)
+    }
+
+    /// Runs the simulation over `[start, end)`, appending series to `store`.
+    ///
+    /// Emitted series (all tagged with the service name):
+    /// - `GCpu` per subroutine (target = subroutine name);
+    /// - `EndpointCost` per registered endpoint;
+    /// - `GCpu` with a `meta:` target per metadata scope;
+    /// - `Cpu`, `Throughput`, `Latency`, `ErrorRate` service-wide.
+    pub fn run(&mut self, store: &TsdbStore, start: u64, end: u64) -> Result<()> {
+        if end <= start {
+            return Err(FleetError::InvalidConfig("end must exceed start"));
+        }
+        let mut now = start;
+        while now < end {
+            self.step(store, now, 1.0)?;
+            now += self.config.tick_interval;
+        }
+        Ok(())
+    }
+
+    /// The current total graph weight relative to a 1.0-normalized base —
+    /// the code-cost factor other services in a mesh observe.
+    pub fn weight_factor(&self) -> f64 {
+        self.graph.total_weight()
+    }
+
+    /// The tick interval configured for this simulator.
+    pub fn tick_interval(&self) -> u64 {
+        self.config.tick_interval
+    }
+
+    /// Advances one tick at time `now`.
+    ///
+    /// `downstream_factor` multiplies this service's latency, modelling the
+    /// extra wait caused by regressed downstream dependencies (1.0 = none);
+    /// a service mesh passes its callees' [`weight_factor`](Self::weight_factor)
+    /// here.
+    pub fn step(&mut self, store: &TsdbStore, now: u64, downstream_factor: f64) -> Result<()> {
+        let names: Vec<String> = self.graph.names().iter().map(|s| s.to_string()).collect();
+        let gcpu_ids: Vec<SeriesId> = names
+            .iter()
+            .map(|n| SeriesId::new(&self.config.name, MetricKind::GCpu, n.clone()))
+            .collect();
+        let endpoint_ids: Vec<SeriesId> = self
+            .endpoints
+            .iter()
+            .map(|(name, _)| {
+                SeriesId::new(&self.config.name, MetricKind::EndpointCost, name.clone())
+            })
+            .collect();
+        let scope_ids: Vec<SeriesId> = self
+            .metadata_scopes
+            .iter()
+            .map(|(scope, _, _)| {
+                SeriesId::new(&self.config.name, MetricKind::GCpu, format!("meta:{scope}"))
+            })
+            .collect();
+        let cpu_id = SeriesId::new(&self.config.name, MetricKind::Cpu, "");
+        let tput_id = SeriesId::new(&self.config.name, MetricKind::Throughput, "");
+        let lat_id = SeriesId::new(&self.config.name, MetricKind::Latency, "");
+        let err_id = SeriesId::new(&self.config.name, MetricKind::ErrorRate, "");
+        // Apply due mutations and (re)build the sampler.
+        if self.apply_due_mutations(now)? || self.sampler.is_none() {
+            self.sampler = Some(TraceSampler::new(&self.graph)?);
+        }
+        let sampler = self.sampler.as_ref().expect("built above");
+        // Collect this tick's stack samples across the fleet.
+        let server_count = self.fleet.len() as u32;
+        let mut tick_samples = Vec::with_capacity(self.config.samples_per_tick);
+        for i in 0..self.config.samples_per_tick {
+            let server = (i as u32).wrapping_mul(2654435761) % server_count;
+            tick_samples.push(sampler.sample(&mut self.rng, now, server));
+        }
+        // Per-subroutine gCPU for this tick.
+        let table = GcpuTable::from_samples(&tick_samples)
+            .map_err(|e| FleetError::Profiler(e.to_string()))?;
+        for (frame, id) in gcpu_ids.iter().enumerate() {
+            store.append(id, now, table.gcpu(frame))?;
+        }
+        // Endpoint-level aggregated cost: the fraction of samples that
+        // belong to any of the endpoint's frames.
+        for ((_, frames), id) in self.endpoints.iter().zip(&endpoint_ids) {
+            let hits = tick_samples
+                .iter()
+                .filter(|s| frames.iter().any(|&f| s.contains(f)))
+                .count();
+            store.append(id, now, hits as f64 / tick_samples.len() as f64)?;
+        }
+        // Metadata-scoped gCPU: the measured frame's cost among samples
+        // whose trace carries the annotated frame.
+        for ((_, annotated, measured), id) in self.metadata_scopes.iter().zip(&scope_ids) {
+            let in_scope = tick_samples.iter().filter(|s| s.contains(*annotated));
+            let (mut scoped, mut hits) = (0usize, 0usize);
+            for s in in_scope {
+                scoped += 1;
+                if s.contains(*measured) {
+                    hits += 1;
+                }
+            }
+            let value = if scoped == 0 {
+                0.0
+            } else {
+                hits as f64 / scoped as f64
+            };
+            store.append(id, now, value)?;
+        }
+        // Service-level metrics: per-generation CPU averaged fleet-wide.
+        let seasonal = self.config.seasonal.factor(now);
+        let t_cpu = self.transients.cpu_factor(now);
+        let t_tput = self.transients.throughput_factor(now);
+        let t_err = self.transients.error_rate_delta(now);
+        // Regressions raise the graph's total weight; service CPU scales
+        // with it relative to the initial weight of 1.0-normalized base.
+        let weight_factor = self.graph.total_weight();
+        let mut cpu_sum = 0.0;
+        for g in self.fleet.generations() {
+            let mean = self.config.base_cpu * g.cpu_multiplier * seasonal * t_cpu * weight_factor;
+            cpu_sum += self.normal.sample_clamped(
+                &mut self.rng,
+                mean,
+                self.config.cpu_noise_std,
+                0.0,
+                1.0,
+            );
+        }
+        let cpu = cpu_sum / self.fleet.generations().len() as f64;
+        store.append(&cpu_id, now, cpu)?;
+        let tput = self.normal.sample(
+            &mut self.rng,
+            self.config.base_throughput * seasonal * t_tput,
+            self.config.base_throughput * 0.01,
+        );
+        store.append(&tput_id, now, tput.max(0.0))?;
+        let latency = self.normal.sample(
+            &mut self.rng,
+            5.0 * t_cpu * weight_factor * downstream_factor,
+            0.1,
+        );
+        store.append(&lat_id, now, latency.max(0.0))?;
+        let err = self
+            .normal
+            .sample(&mut self.rng, 0.001 + t_err, 0.0002)
+            .clamp(0.0, 1.0);
+        store.append(&err_id, now, err)?;
+        // Retain samples for RCA, bounded.
+        if self.retained_samples.len() + tick_samples.len() > self.max_retained_samples {
+            let overflow =
+                self.retained_samples.len() + tick_samples.len() - self.max_retained_samples;
+            self.retained_samples
+                .drain(..overflow.min(self.retained_samples.len()));
+        }
+        self.retained_samples.extend(tick_samples);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerGeneration;
+    use fbd_profiler::callgraph::uniform_service_graph;
+
+    fn small_sim(samples_per_tick: usize) -> (ServiceSim, TsdbStore) {
+        let graph = uniform_service_graph(20, 1.0).unwrap();
+        let fleet = Fleet::homogeneous(
+            10,
+            ServerGeneration {
+                cpu_multiplier: 1.0,
+                noise_std: 0.05,
+                regression_multiplier: 1.0,
+            },
+        )
+        .unwrap();
+        let config = ServiceSimConfig {
+            samples_per_tick,
+            tick_interval: 60,
+            ..Default::default()
+        };
+        (
+            ServiceSim::new(config, graph, fleet).unwrap(),
+            TsdbStore::new(),
+        )
+    }
+
+    #[test]
+    fn emits_expected_series() {
+        let (mut sim, store) = small_sim(200);
+        sim.run(&store, 0, 600).unwrap();
+        // 22 graph frames + 4 service-wide series.
+        assert_eq!(store.series_count(), 26);
+        let cpu = store
+            .get(&SeriesId::new("svc", MetricKind::Cpu, ""))
+            .unwrap();
+        assert_eq!(cpu.len(), 10);
+    }
+
+    #[test]
+    fn gcpu_matches_graph_expectation() {
+        let (mut sim, store) = small_sim(2_000);
+        sim.run(&store, 0, 60 * 100).unwrap();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "subroutine_00000");
+        let series = store.get(&id).unwrap();
+        let mean: f64 = series.values().iter().sum::<f64>() / series.len() as f64;
+        // Each of 20 leaves holds 5% of the weight.
+        assert!((mean - 0.05).abs() < 0.005, "mean gCPU = {mean}");
+    }
+
+    #[test]
+    fn injected_regression_steps_gcpu() {
+        let (mut sim, store) = small_sim(5_000);
+        let frame = sim.graph().frame_by_name("subroutine_00003").unwrap();
+        sim.inject_regression(frame, 60 * 50, 0.05, 77).unwrap();
+        sim.run(&store, 0, 60 * 100).unwrap();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "subroutine_00003");
+        let v = store.get(&id).unwrap().values();
+        let before: f64 = v[..50].iter().sum::<f64>() / 50.0;
+        let after: f64 = v[50..].iter().sum::<f64>() / 50.0;
+        // Weight goes 0.05 -> 0.10 of a total that grows to 1.05:
+        // expected gCPU after ≈ 0.0952.
+        assert!((before - 0.05).abs() < 0.01, "before = {before}");
+        assert!((after - 0.0952).abs() < 0.012, "after = {after}");
+    }
+
+    #[test]
+    fn cost_shift_preserves_total_cpu() {
+        let (mut sim, store) = small_sim(5_000);
+        let from = sim.graph().frame_by_name("subroutine_00001").unwrap();
+        let to = sim.graph().frame_by_name("subroutine_00002").unwrap();
+        sim.inject_cost_shift(from, to, 60 * 50, 0.04, 88).unwrap();
+        sim.run(&store, 0, 60 * 100).unwrap();
+        let v_to = store
+            .get(&SeriesId::new("svc", MetricKind::GCpu, "subroutine_00002"))
+            .unwrap()
+            .values();
+        let after_to: f64 = v_to[55..].iter().sum::<f64>() / (v_to.len() - 55) as f64;
+        // Destination roughly doubles (0.05 -> 0.09 of unchanged total).
+        assert!(after_to > 0.075, "after_to = {after_to}");
+        // Service CPU stays flat: compare halves.
+        let cpu = store
+            .get(&SeriesId::new("svc", MetricKind::Cpu, ""))
+            .unwrap()
+            .values();
+        let c_before: f64 = cpu[..50].iter().sum::<f64>() / 50.0;
+        let c_after: f64 = cpu[50..].iter().sum::<f64>() / 50.0;
+        assert!((c_after - c_before).abs() < 0.01);
+    }
+
+    #[test]
+    fn ground_truth_is_recorded() {
+        let (mut sim, _) = small_sim(100);
+        let f = sim.graph().frame_by_name("subroutine_00000").unwrap();
+        sim.inject_regression(f, 100, 0.01, 5).unwrap();
+        assert_eq!(sim.injections().len(), 1);
+        assert_eq!(sim.injections()[0].change_id, 5);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let graph = uniform_service_graph(5, 1.0).unwrap();
+        let fleet = Fleet::homogeneous(
+            2,
+            ServerGeneration {
+                cpu_multiplier: 1.0,
+                noise_std: 0.1,
+                regression_multiplier: 1.0,
+            },
+        )
+        .unwrap();
+        let bad = ServiceSimConfig {
+            tick_interval: 0,
+            ..Default::default()
+        };
+        assert!(ServiceSim::new(bad, graph.clone(), fleet.clone()).is_err());
+        let bad = ServiceSimConfig {
+            samples_per_tick: 0,
+            ..Default::default()
+        };
+        assert!(ServiceSim::new(bad, graph, fleet).is_err());
+    }
+
+    #[test]
+    fn retained_samples_capped() {
+        let (mut sim, store) = small_sim(100);
+        sim.max_retained_samples = 250;
+        sim.run(&store, 0, 60 * 10).unwrap();
+        assert_eq!(sim.retained_samples().len(), 250);
+    }
+}

@@ -1,0 +1,244 @@
+//! TAO-style per-data-type I/O monitoring (§3).
+//!
+//! "For its traffic from FrontFaaS and PythonFaaS, FBDetect detects
+//! regressions in subroutines, endpoints, and per-data-type I/Os. For other
+//! traffic, FBDetect detects regressions in query-processing throughput."
+//!
+//! This module simulates a graph database's I/O accounting: each request
+//! from an upstream service touches a mix of data types (user nodes,
+//! association edges, media blobs, …); a code change upstream can shift the
+//! mix or inflate the I/O count of one data type. The per-data-type I/O
+//! rate series are what the pipeline scans.
+
+use crate::noise::NormalSampler;
+use crate::seasonality::SeasonalProfile;
+use crate::{FleetError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One data type served by the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataType {
+    /// Name, e.g. `"assoc_friend"`.
+    pub name: String,
+    /// Baseline I/O operations per second from this upstream.
+    pub base_rate: f64,
+}
+
+/// An injected per-data-type I/O regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoRegression {
+    /// Index into the data-type table.
+    pub data_type: usize,
+    /// Start time (seconds).
+    pub at: u64,
+    /// Multiplicative rate increase (0.25 = +25% I/Os — e.g. a dropped
+    /// cache layer upstream).
+    pub rate_increase: f64,
+}
+
+/// One generated series: data-type name plus `(timestamp, rate)` points.
+pub type NamedSeries = (String, Vec<(u64, f64)>);
+
+/// Simulates per-data-type I/O rates for one upstream's traffic.
+#[derive(Debug)]
+pub struct TaoIoSim {
+    data_types: Vec<DataType>,
+    regressions: Vec<IoRegression>,
+    seasonal: SeasonalProfile,
+    noise_fraction: f64,
+    rng: StdRng,
+    normal: NormalSampler,
+}
+
+impl TaoIoSim {
+    /// Creates a simulator.
+    pub fn new(data_types: Vec<DataType>, seasonal: SeasonalProfile, seed: u64) -> Result<Self> {
+        if data_types.is_empty() {
+            return Err(FleetError::InvalidConfig("no data types"));
+        }
+        if data_types.iter().any(|d| d.base_rate <= 0.0) {
+            return Err(FleetError::InvalidConfig("base rates must be positive"));
+        }
+        Ok(TaoIoSim {
+            data_types,
+            regressions: Vec::new(),
+            seasonal,
+            noise_fraction: 0.01,
+            rng: StdRng::seed_from_u64(seed),
+            normal: NormalSampler::new(),
+        })
+    }
+
+    /// The data-type table.
+    pub fn data_types(&self) -> &[DataType] {
+        &self.data_types
+    }
+
+    /// Schedules an I/O regression.
+    pub fn inject(&mut self, regression: IoRegression) -> Result<()> {
+        if regression.data_type >= self.data_types.len() {
+            return Err(FleetError::InvalidConfig("data type index out of range"));
+        }
+        if regression.rate_increase <= -1.0 {
+            return Err(FleetError::InvalidConfig("rate cannot go negative"));
+        }
+        self.regressions.push(regression);
+        Ok(())
+    }
+
+    /// The expected (noise-free) I/O rate of a data type at time `t`.
+    pub fn expected_rate(&self, data_type: usize, t: u64) -> f64 {
+        let base = self.data_types[data_type].base_rate;
+        let mut factor = 1.0;
+        for r in &self.regressions {
+            if r.data_type == data_type && t >= r.at {
+                factor *= 1.0 + r.rate_increase;
+            }
+        }
+        base * factor * self.seasonal.factor(t)
+    }
+
+    /// Samples every data type's I/O rate at time `t`; returns
+    /// `(name, rate)` pairs in table order.
+    pub fn sample_rates(&mut self, t: u64) -> Vec<(String, f64)> {
+        (0..self.data_types.len())
+            .map(|d| {
+                let mean = self.expected_rate(d, t);
+                let rate = self
+                    .normal
+                    .sample(&mut self.rng, mean, mean * self.noise_fraction)
+                    .max(0.0);
+                (self.data_types[d].name.clone(), rate)
+            })
+            .collect()
+    }
+
+    /// Generates full series for all data types over `[start, end)` at the
+    /// given cadence: one `(timestamps, per-type values)` bundle.
+    pub fn generate(&mut self, start: u64, end: u64, interval: u64) -> Result<Vec<NamedSeries>> {
+        if end <= start || interval == 0 {
+            return Err(FleetError::InvalidConfig("bad time range"));
+        }
+        let mut series: Vec<NamedSeries> = self
+            .data_types
+            .iter()
+            .map(|d| (d.name.clone(), Vec::new()))
+            .collect();
+        let mut t = start;
+        while t < end {
+            for (i, (_, rate)) in self.sample_rates(t).into_iter().enumerate() {
+                series[i].1.push((t, rate));
+            }
+            t += interval;
+        }
+        Ok(series)
+    }
+}
+
+/// A standard TAO-ish data-type mix for tests and benches.
+pub fn standard_data_types() -> Vec<DataType> {
+    vec![
+        DataType {
+            name: "node_user".to_string(),
+            base_rate: 50_000.0,
+        },
+        DataType {
+            name: "assoc_friend".to_string(),
+            base_rate: 120_000.0,
+        },
+        DataType {
+            name: "assoc_like".to_string(),
+            base_rate: 200_000.0,
+        },
+        DataType {
+            name: "node_media".to_string(),
+            base_rate: 30_000.0,
+        },
+        DataType {
+            name: "node_comment".to_string(),
+            base_rate: 80_000.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_track_baseline() {
+        let mut sim = TaoIoSim::new(standard_data_types(), SeasonalProfile::FLAT, 1).unwrap();
+        let rates = sim.sample_rates(0);
+        assert_eq!(rates.len(), 5);
+        assert!((rates[0].1 - 50_000.0).abs() < 2_500.0);
+    }
+
+    #[test]
+    fn injected_regression_raises_one_type_only() {
+        let mut sim = TaoIoSim::new(standard_data_types(), SeasonalProfile::FLAT, 2).unwrap();
+        sim.inject(IoRegression {
+            data_type: 1,
+            at: 1_000,
+            rate_increase: 0.3,
+        })
+        .unwrap();
+        assert!((sim.expected_rate(1, 999) - 120_000.0).abs() < 1e-6);
+        assert!((sim.expected_rate(1, 1_000) - 156_000.0).abs() < 1e-6);
+        assert!((sim.expected_rate(2, 5_000) - 200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stacked_regressions_compound() {
+        let mut sim = TaoIoSim::new(standard_data_types(), SeasonalProfile::FLAT, 3).unwrap();
+        for at in [100, 200] {
+            sim.inject(IoRegression {
+                data_type: 0,
+                at,
+                rate_increase: 0.1,
+            })
+            .unwrap();
+        }
+        assert!((sim.expected_rate(0, 300) - 50_000.0 * 1.21).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generate_produces_full_series() {
+        let mut sim = TaoIoSim::new(standard_data_types(), SeasonalProfile::FLAT, 4).unwrap();
+        let series = sim.generate(0, 600, 60).unwrap();
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().all(|(_, pts)| pts.len() == 10));
+        assert_eq!(series[0].1[3].0, 180);
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(TaoIoSim::new(vec![], SeasonalProfile::FLAT, 1).is_err());
+        assert!(TaoIoSim::new(
+            vec![DataType {
+                name: "x".into(),
+                base_rate: 0.0
+            }],
+            SeasonalProfile::FLAT,
+            1
+        )
+        .is_err());
+        let mut sim = TaoIoSim::new(standard_data_types(), SeasonalProfile::FLAT, 1).unwrap();
+        assert!(sim
+            .inject(IoRegression {
+                data_type: 99,
+                at: 0,
+                rate_increase: 0.1
+            })
+            .is_err());
+        assert!(sim
+            .inject(IoRegression {
+                data_type: 0,
+                at: 0,
+                rate_increase: -1.5
+            })
+            .is_err());
+        assert!(sim.generate(10, 10, 60).is_err());
+        assert!(sim.generate(0, 10, 0).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Endpoint-level end-to-end tracing (§3).
+//!
+//! "An endpoint is a user-facing URL. As an endpoint request may involve
+//! asynchronous and concurrent processing across multiple threads, we use
+//! end-to-end tracing to aggregate the costs of all subroutines involved."
+//!
+//! This module models a distributed trace: a request produces *spans* on
+//! several threads, each span carrying the stack samples attributed to it.
+//! The endpoint's aggregated cost sums every span — synchronous and
+//! asynchronous — so a regression in an async helper thread still surfaces
+//! at the endpoint level even though no single synchronous stack contains
+//! it.
+
+use crate::callgraph::FrameId;
+use crate::sample::StackSample;
+use crate::{ProfilerError, Result};
+use std::collections::HashMap;
+
+/// One span of a distributed trace: work done on one thread on behalf of a
+/// request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Executing thread.
+    pub thread: u32,
+    /// Stack samples attributed to this span.
+    pub samples: Vec<StackSample>,
+}
+
+/// A complete end-to-end trace of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndToEndTrace {
+    /// The user-facing endpoint (URL).
+    pub endpoint: String,
+    /// Trace id (unique per request).
+    pub trace_id: u64,
+    /// All spans, across threads.
+    pub spans: Vec<Span>,
+}
+
+impl EndToEndTrace {
+    /// Total sample count across all spans — the endpoint's aggregate cost
+    /// in sampling units.
+    pub fn total_samples(&self) -> usize {
+        self.spans.iter().map(|s| s.samples.len()).sum()
+    }
+
+    /// Sample count attributable to a specific subroutine across all spans.
+    pub fn samples_containing(&self, frame: FrameId) -> usize {
+        self.spans
+            .iter()
+            .flat_map(|s| &s.samples)
+            .filter(|s| s.contains(frame))
+            .count()
+    }
+}
+
+/// Aggregated per-endpoint costs over a batch of traces.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointCostTable {
+    costs: HashMap<String, usize>,
+    total: usize,
+}
+
+impl EndpointCostTable {
+    /// Aggregates a batch of end-to-end traces.
+    pub fn from_traces(traces: &[EndToEndTrace]) -> Result<Self> {
+        if traces.is_empty() {
+            return Err(ProfilerError::NoSamples);
+        }
+        let mut costs: HashMap<String, usize> = HashMap::new();
+        let mut total = 0usize;
+        for t in traces {
+            let c = t.total_samples();
+            *costs.entry(t.endpoint.clone()).or_insert(0) += c;
+            total += c;
+        }
+        Ok(EndpointCostTable { costs, total })
+    }
+
+    /// The endpoint's normalized cost: its share of all samples — the
+    /// endpoint-level analogue of gCPU.
+    pub fn normalized_cost(&self, endpoint: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.costs.get(endpoint).copied().unwrap_or(0) as f64 / self.total as f64
+        }
+    }
+
+    /// Raw sample count for an endpoint.
+    pub fn cost(&self, endpoint: &str) -> usize {
+        self.costs.get(endpoint).copied().unwrap_or(0)
+    }
+
+    /// All endpoints with their normalized costs, sorted by name.
+    pub fn all(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .costs
+            .keys()
+            .map(|e| (e.clone(), self.normalized_cost(e)))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Total samples across all endpoints.
+    pub fn total_samples(&self) -> usize {
+        self.total
+    }
+}
+
+/// Endpoints whose names share a prefix form a cost domain (§5.4: "a
+/// detector … considers endpoints with matching name prefixes").
+pub fn endpoints_with_prefix<'a>(
+    table: &'a EndpointCostTable,
+    prefix: &str,
+) -> Vec<(&'a String, usize)> {
+    table
+        .costs
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .map(|(name, &cost)| (name, cost))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(trace: &[FrameId]) -> StackSample {
+        StackSample {
+            trace: trace.to_vec(),
+            timestamp: 0,
+            server: 0,
+            metadata: vec![],
+        }
+    }
+
+    fn trace(endpoint: &str, id: u64, span_sizes: &[usize]) -> EndToEndTrace {
+        EndToEndTrace {
+            endpoint: endpoint.to_string(),
+            trace_id: id,
+            spans: span_sizes
+                .iter()
+                .enumerate()
+                .map(|(t, &n)| Span {
+                    thread: t as u32,
+                    samples: vec![sample(&[0, t]); n],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregates_across_threads() {
+        // The request spends 3 samples on the sync thread and 5 on an async
+        // helper: endpoint cost must be 8, not 3.
+        let t = trace("api/feed", 1, &[3, 5]);
+        assert_eq!(t.total_samples(), 8);
+    }
+
+    #[test]
+    fn normalized_costs_sum_to_one() {
+        let traces = vec![
+            trace("api/feed", 1, &[4]),
+            trace("api/feed", 2, &[4]),
+            trace("api/profile", 3, &[2]),
+        ];
+        let table = EndpointCostTable::from_traces(&traces).unwrap();
+        assert!((table.normalized_cost("api/feed") - 0.8).abs() < 1e-12);
+        assert!((table.normalized_cost("api/profile") - 0.2).abs() < 1e-12);
+        let sum: f64 = table.all().iter().map(|(_, c)| c).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn async_regression_surfaces_at_endpoint_level() {
+        // Before: async span costs 2; after: async span costs 6. The
+        // endpoint's aggregate cost reflects the async regression.
+        let before = EndpointCostTable::from_traces(&[
+            trace("api/feed", 1, &[3, 2]),
+            trace("api/other", 2, &[5]),
+        ])
+        .unwrap();
+        let after = EndpointCostTable::from_traces(&[
+            trace("api/feed", 3, &[3, 6]),
+            trace("api/other", 4, &[5]),
+        ])
+        .unwrap();
+        assert!(after.normalized_cost("api/feed") > before.normalized_cost("api/feed") + 0.1);
+    }
+
+    #[test]
+    fn subroutine_attribution_spans_threads() {
+        let mut t = trace("api/feed", 1, &[2, 2]);
+        // Frame 9 appears only in the async span.
+        t.spans[1].samples = vec![sample(&[0, 9]), sample(&[0, 1])];
+        assert_eq!(t.samples_containing(9), 1);
+    }
+
+    #[test]
+    fn prefix_domain() {
+        let table = EndpointCostTable::from_traces(&[
+            trace("api/user/get", 1, &[1]),
+            trace("api/user/set", 2, &[1]),
+            trace("internal/gc", 3, &[1]),
+        ])
+        .unwrap();
+        let domain = endpoints_with_prefix(&table, "api/user/");
+        assert_eq!(domain.len(), 2);
+    }
+
+    #[test]
+    fn empty_traces_error() {
+        assert!(EndpointCostTable::from_traces(&[]).is_err());
+    }
+}

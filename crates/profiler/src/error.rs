@@ -1,0 +1,35 @@
+//! Error type for the profiling substrate.
+
+use std::fmt;
+
+/// Errors produced by the profiling substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfilerError {
+    /// A frame id did not resolve to a known subroutine.
+    UnknownFrame(usize),
+    /// A subroutine name did not resolve.
+    UnknownSubroutine(String),
+    /// The call graph is empty or has zero total weight.
+    EmptyCallGraph,
+    /// A weight was negative or non-finite.
+    InvalidWeight(&'static str),
+    /// A stack reconstruction failed (malformed virtual call stack).
+    MalformedStack(&'static str),
+    /// No samples available for the requested computation.
+    NoSamples,
+}
+
+impl fmt::Display for ProfilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfilerError::UnknownFrame(id) => write!(f, "unknown frame id {id}"),
+            ProfilerError::UnknownSubroutine(name) => write!(f, "unknown subroutine {name}"),
+            ProfilerError::EmptyCallGraph => write!(f, "call graph is empty"),
+            ProfilerError::InvalidWeight(what) => write!(f, "invalid weight: {what}"),
+            ProfilerError::MalformedStack(what) => write!(f, "malformed stack: {what}"),
+            ProfilerError::NoSamples => write!(f, "no stack samples available"),
+        }
+    }
+}
+
+impl std::error::Error for ProfilerError {}

@@ -1,0 +1,37 @@
+//! Stack-trace profiling substrate for the FBDetect reproduction.
+//!
+//! Production FBDetect derives each subroutine's relative CPU usage (gCPU)
+//! from periodic stack-trace samples collected fleet-wide by eBPF or
+//! language-runtime profilers (§4). This crate provides:
+//!
+//! - a weighted call-graph model of a service's code ([`callgraph`]);
+//! - a sampler that draws stack traces from that model the way a wall-clock
+//!   profiler would ([`sample`]);
+//! - gCPU derivation, popularity scores, and stack-trace overlap
+//!   ([`gcpu`]);
+//! - frame metadata annotation, the `SetFrameMetadata()` facility (§3)
+//!   ([`metadata`]);
+//! - **PyPerf**: reconstruction of end-to-end Python stacks by walking the
+//!   CPython virtual call stack and mapping `_PyEval_EvalFrameDefault`
+//!   frames to Python functions (Figure 5), plus a Scalene-style
+//!   approximation baseline ([`pyperf`]);
+//! - the CPU-intensive micro-benchmark used to measure profiling overhead
+//!   (§6.6) ([`overhead`]).
+#![warn(missing_docs)]
+
+pub mod callgraph;
+pub mod endpoint;
+pub mod error;
+pub mod gcpu;
+pub mod metadata;
+pub mod overhead;
+pub mod pyperf;
+pub mod sample;
+
+pub use callgraph::{CallGraph, CallGraphBuilder, FrameId};
+pub use error::ProfilerError;
+pub use gcpu::GcpuTable;
+pub use sample::{StackSample, StackTrace, TraceSampler};
+
+/// Convenience alias used by fallible routines in this crate.
+pub type Result<T> = std::result::Result<T, ProfilerError>;

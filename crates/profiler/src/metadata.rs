@@ -1,0 +1,144 @@
+//! Frame metadata annotation — `SetFrameMetadata()` (§3).
+//!
+//! A subroutine can annotate its stack frame to provide additional context,
+//! enabling detection of regressions that occur only under certain
+//! conditions (e.g. requests on behalf of a specific category of users).
+//! This module provides an annotator that decorates sampled stacks and
+//! grouping helpers keyed by metadata prefix — which also serve as a cost
+//! domain for the cost-shift detector (§5.4).
+
+use crate::callgraph::FrameId;
+use crate::sample::StackSample;
+use std::collections::HashMap;
+
+/// Attaches metadata to frames when they appear in sampled traces.
+///
+/// Mirrors the production flow: the *running code* calls
+/// `SetFrameMetadata()`, so the annotation is a property of the frame at
+/// sample time. The simulator registers annotations up front and applies
+/// them to each captured sample.
+#[derive(Debug, Clone, Default)]
+pub struct FrameAnnotator {
+    annotations: HashMap<FrameId, String>,
+}
+
+impl FrameAnnotator {
+    /// Creates an empty annotator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers metadata for a frame — the simulator-side equivalent of
+    /// that subroutine calling `SetFrameMetadata(metadata)`.
+    pub fn set_frame_metadata(&mut self, frame: FrameId, metadata: impl Into<String>) {
+        self.annotations.insert(frame, metadata.into());
+    }
+
+    /// Removes a frame's metadata.
+    pub fn clear_frame_metadata(&mut self, frame: FrameId) {
+        self.annotations.remove(&frame);
+    }
+
+    /// Decorates a sample with the registered annotations for every frame
+    /// present in its trace.
+    pub fn annotate(&self, sample: &mut StackSample) {
+        for (idx, frame) in sample.trace.iter().enumerate() {
+            if let Some(meta) = self.annotations.get(frame) {
+                sample.metadata.push((idx, meta.clone()));
+            }
+        }
+    }
+
+    /// Decorates a whole batch.
+    pub fn annotate_all(&self, samples: &mut [StackSample]) {
+        for s in samples.iter_mut() {
+            self.annotate(s);
+        }
+    }
+}
+
+/// Groups samples by the metadata value found at any frame, truncated to
+/// `prefix_len` characters — the metadata-prefix cost domain (§5.4).
+pub fn group_by_metadata_prefix(
+    samples: &[StackSample],
+    prefix_len: usize,
+) -> HashMap<String, Vec<usize>> {
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, s) in samples.iter().enumerate() {
+        for (_, meta) in &s.metadata {
+            let prefix: String = meta.chars().take(prefix_len).collect();
+            let entry = groups.entry(prefix).or_default();
+            if entry.last() != Some(&i) {
+                entry.push(i);
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(trace: &[FrameId]) -> StackSample {
+        StackSample {
+            trace: trace.to_vec(),
+            timestamp: 0,
+            server: 0,
+            metadata: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn annotations_attach_to_matching_frames() {
+        let mut ann = FrameAnnotator::new();
+        ann.set_frame_metadata(2, "user:vip");
+        let mut s = sample(&[0, 1, 2]);
+        ann.annotate(&mut s);
+        assert_eq!(s.metadata, vec![(2, "user:vip".to_string())]);
+    }
+
+    #[test]
+    fn no_annotation_for_absent_frames() {
+        let mut ann = FrameAnnotator::new();
+        ann.set_frame_metadata(9, "x");
+        let mut s = sample(&[0, 1]);
+        ann.annotate(&mut s);
+        assert!(s.metadata.is_empty());
+    }
+
+    #[test]
+    fn clear_removes_annotation() {
+        let mut ann = FrameAnnotator::new();
+        ann.set_frame_metadata(1, "x");
+        ann.clear_frame_metadata(1);
+        let mut s = sample(&[0, 1]);
+        ann.annotate(&mut s);
+        assert!(s.metadata.is_empty());
+    }
+
+    #[test]
+    fn grouping_by_prefix() {
+        let mut ann = FrameAnnotator::new();
+        ann.set_frame_metadata(1, "user:vip");
+        ann.set_frame_metadata(2, "user:free");
+        ann.set_frame_metadata(3, "batch:nightly");
+        let mut samples = vec![sample(&[0, 1]), sample(&[0, 2]), sample(&[0, 3])];
+        ann.annotate_all(&mut samples);
+        let groups = group_by_metadata_prefix(&samples, 5);
+        assert_eq!(groups.get("user:").map(Vec::len), Some(2));
+        assert_eq!(groups.get("batch").map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn sample_in_one_group_once() {
+        let mut ann = FrameAnnotator::new();
+        ann.set_frame_metadata(1, "user:a");
+        ann.set_frame_metadata(2, "user:b");
+        // One sample containing both annotated frames.
+        let mut samples = vec![sample(&[0, 1, 2])];
+        ann.annotate_all(&mut samples);
+        let groups = group_by_metadata_prefix(&samples, 5);
+        assert_eq!(groups.get("user:").map(Vec::len), Some(1));
+    }
+}

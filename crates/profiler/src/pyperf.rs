@@ -1,0 +1,296 @@
+//! PyPerf: end-to-end Python stack reconstruction (§4, Figure 5).
+//!
+//! Sampling an interpreted program captures the *interpreter's* stack, not
+//! the program's. For CPython the captured system stack interleaves:
+//!
+//! 1. CPython-internal C calls,
+//! 2. one `_PyEval_EvalFrameDefault` call per active Python frame, and
+//! 3. native C/C++ library calls invoked by the Python code.
+//!
+//! CPython separately maintains a *virtual call stack* (VCS): a linked list
+//! of frames, each recording the running Python subroutine. PyPerf's key
+//! insight is that each `_PyEval_EvalFrameDefault` call maps precisely to
+//! one VCS frame, so an eBPF probe can walk the VCS and splice Python
+//! function names into the native stack, producing a precise end-to-end
+//! trace across Python and the C/C++ libraries it invokes.
+//!
+//! This module models those two stacks and performs the merge, plus a
+//! Scalene-style baseline that only sees Python frames and must
+//! *approximate* native time (the limitation §4 contrasts against).
+
+use crate::{ProfilerError, Result};
+
+/// One frame on the sampled native (system) stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NativeFrame {
+    /// The process entry point.
+    Start,
+    /// A CPython-internal C function (e.g. `call_function`).
+    CPythonInternal(String),
+    /// One `_PyEval_EvalFrameDefault` invocation — executes exactly one
+    /// Python frame.
+    PyEvalFrameDefault,
+    /// A native C/C++ library function invoked by Python code.
+    CLibrary(String),
+}
+
+/// One frame of CPython's virtual call stack: the Python subroutine and its
+/// source location, as the eBPF probe reads them from frame objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcsFrame {
+    /// Python function name (e.g. `"handler.process"`).
+    pub function: String,
+    /// Source file and line (e.g. `"handler.py:42"`).
+    pub source: String,
+}
+
+/// A captured pair of stacks, as the kernel probe sees them: the native
+/// stack bottom-up (index 0 = `_start`) and the VCS outermost-first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedStacks {
+    /// Native system stack, bottom (oldest) first.
+    pub system: Vec<NativeFrame>,
+    /// Virtual call stack, outermost Python frame first.
+    pub vcs: Vec<VcsFrame>,
+}
+
+/// A frame of the merged, end-to-end stack trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergedFrame {
+    /// A native frame retained from the system stack prefix or a C-library
+    /// leaf.
+    Native(String),
+    /// A Python subroutine spliced in from the VCS.
+    Python(String),
+}
+
+impl MergedFrame {
+    /// The frame's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            MergedFrame::Native(n) | MergedFrame::Python(n) => n,
+        }
+    }
+}
+
+/// Reconstructs the end-to-end stack trace from a captured pair (Figure 5).
+///
+/// Rules:
+/// - native frames *before* the first `_PyEval_EvalFrameDefault` are kept
+///   (the process prologue);
+/// - each `_PyEval_EvalFrameDefault` is replaced by the corresponding VCS
+///   frame, in order;
+/// - CPython-internal frames *between* eval frames are interpreter plumbing
+///   and are dropped;
+/// - native C-library frames above the last eval are kept (they are real
+///   work the Python code invoked).
+///
+/// # Examples
+///
+/// ```
+/// use fbd_profiler::pyperf::*;
+/// let captured = CapturedStacks {
+///     system: vec![
+///         NativeFrame::Start,
+///         NativeFrame::CPythonInternal("pymain_run".into()),
+///         NativeFrame::PyEvalFrameDefault,
+///         NativeFrame::CPythonInternal("call_function".into()),
+///         NativeFrame::PyEvalFrameDefault,
+///         NativeFrame::CLibrary("zlib_compress".into()),
+///     ],
+///     vcs: vec![
+///         VcsFrame { function: "main".into(), source: "app.py:1".into() },
+///         VcsFrame { function: "save".into(), source: "app.py:9".into() },
+///     ],
+/// };
+/// let merged = reconstruct(&captured).unwrap();
+/// let names: Vec<&str> = merged.iter().map(|f| f.name()).collect();
+/// assert_eq!(names, vec!["_start", "pymain_run", "main", "save", "zlib_compress"]);
+/// ```
+pub fn reconstruct(captured: &CapturedStacks) -> Result<Vec<MergedFrame>> {
+    let eval_count = captured
+        .system
+        .iter()
+        .filter(|f| matches!(f, NativeFrame::PyEvalFrameDefault))
+        .count();
+    if eval_count != captured.vcs.len() {
+        return Err(ProfilerError::MalformedStack(
+            "eval-frame count does not match VCS length",
+        ));
+    }
+    let mut merged = Vec::with_capacity(captured.system.len());
+    let mut vcs_iter = captured.vcs.iter();
+    let mut seen_eval = false;
+    for frame in &captured.system {
+        match frame {
+            NativeFrame::Start => merged.push(MergedFrame::Native("_start".to_string())),
+            NativeFrame::CPythonInternal(name) => {
+                // Interpreter plumbing between Python frames is dropped;
+                // the prologue before any Python code is kept.
+                if !seen_eval {
+                    merged.push(MergedFrame::Native(name.clone()));
+                }
+            }
+            NativeFrame::PyEvalFrameDefault => {
+                seen_eval = true;
+                let vcs_frame = vcs_iter
+                    .next()
+                    .expect("counts verified above; VCS cannot run out");
+                merged.push(MergedFrame::Python(vcs_frame.function.clone()));
+            }
+            NativeFrame::CLibrary(name) => merged.push(MergedFrame::Native(name.clone())),
+        }
+    }
+    Ok(merged)
+}
+
+/// The Scalene-style view: only the Python frames, with native leaf time
+/// *attributed to* the innermost Python frame rather than reported exactly.
+///
+/// Returns `(python_frames, native_leaf_attributed)`: the Python-only stack
+/// and whether native-library time was folded into the leaf.
+pub fn scalene_view(captured: &CapturedStacks) -> (Vec<String>, bool) {
+    let python: Vec<String> = captured.vcs.iter().map(|f| f.function.clone()).collect();
+    let has_native_leaf = captured
+        .system
+        .iter()
+        .rev()
+        .take_while(|f| !matches!(f, NativeFrame::PyEvalFrameDefault))
+        .any(|f| matches!(f, NativeFrame::CLibrary(_)));
+    (python, has_native_leaf)
+}
+
+/// Synthesizes the captured stacks for a Python call chain executing with
+/// an optional native-library leaf — a generator for tests and simulations.
+///
+/// `python_chain` is outermost-first; each Python frame contributes one
+/// `_PyEval_EvalFrameDefault` preceded (after the first) by a
+/// `call_function` internal frame, matching CPython's real layout.
+pub fn synthesize_stacks(python_chain: &[&str], native_leaf: Option<&str>) -> CapturedStacks {
+    let mut system = vec![
+        NativeFrame::Start,
+        NativeFrame::CPythonInternal("pymain_run".to_string()),
+    ];
+    for (i, _) in python_chain.iter().enumerate() {
+        if i > 0 {
+            system.push(NativeFrame::CPythonInternal("call_function".to_string()));
+        }
+        system.push(NativeFrame::PyEvalFrameDefault);
+    }
+    if let Some(leaf) = native_leaf {
+        system.push(NativeFrame::CLibrary(leaf.to_string()));
+    }
+    let vcs = python_chain
+        .iter()
+        .enumerate()
+        .map(|(i, name)| VcsFrame {
+            function: name.to_string(),
+            source: format!("module.py:{}", 10 * (i + 1)),
+        })
+        .collect();
+    CapturedStacks { system, vcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_reconstruction() {
+        // Figure 5: system stack with two eval frames and a C-lib leaf maps
+        // to [_start, ..., Py-funX, ..., Py-funZ, C-lib-foo].
+        let captured = synthesize_stacks(&["Py-funX", "Py-funZ"], Some("C-lib-foo"));
+        let merged = reconstruct(&captured).unwrap();
+        let names: Vec<&str> = merged.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec!["_start", "pymain_run", "Py-funX", "Py-funZ", "C-lib-foo"]
+        );
+    }
+
+    #[test]
+    fn python_frames_marked_as_python() {
+        let captured = synthesize_stacks(&["a", "b"], None);
+        let merged = reconstruct(&captured).unwrap();
+        let py: Vec<&str> = merged
+            .iter()
+            .filter_map(|f| match f {
+                MergedFrame::Python(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(py, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn deep_chain_reconstructs_in_order() {
+        let chain: Vec<String> = (0..50).map(|i| format!("f{i}")).collect();
+        let refs: Vec<&str> = chain.iter().map(String::as_str).collect();
+        let captured = synthesize_stacks(&refs, None);
+        let merged = reconstruct(&captured).unwrap();
+        let py: Vec<&str> = merged
+            .iter()
+            .filter_map(|f| match f {
+                MergedFrame::Python(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(py, refs);
+    }
+
+    #[test]
+    fn mismatched_vcs_is_malformed() {
+        let mut captured = synthesize_stacks(&["a", "b"], None);
+        captured.vcs.pop();
+        assert!(matches!(
+            reconstruct(&captured),
+            Err(ProfilerError::MalformedStack(_))
+        ));
+    }
+
+    #[test]
+    fn pure_native_stack_passes_through() {
+        let captured = CapturedStacks {
+            system: vec![
+                NativeFrame::Start,
+                NativeFrame::CPythonInternal("gc_collect".to_string()),
+            ],
+            vcs: vec![],
+        };
+        let merged = reconstruct(&captured).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert!(matches!(merged[0], MergedFrame::Native(_)));
+    }
+
+    #[test]
+    fn internal_frames_between_evals_dropped() {
+        let captured = synthesize_stacks(&["outer", "inner"], None);
+        // The synthesized stack contains a call_function between the evals.
+        assert!(captured
+            .system
+            .iter()
+            .any(|f| matches!(f, NativeFrame::CPythonInternal(n) if n == "call_function")));
+        let merged = reconstruct(&captured).unwrap();
+        assert!(!merged.iter().any(|f| f.name() == "call_function"));
+    }
+
+    #[test]
+    fn scalene_loses_native_leaf() {
+        // PyPerf reports the C library precisely; the Scalene-style view
+        // only knows "some native time under the innermost Python frame".
+        let captured = synthesize_stacks(&["save"], Some("zlib_compress"));
+        let merged = reconstruct(&captured).unwrap();
+        assert_eq!(merged.last().unwrap().name(), "zlib_compress");
+        let (python, attributed) = scalene_view(&captured);
+        assert_eq!(python, vec!["save"]);
+        assert!(attributed);
+        assert!(!python.iter().any(|f| f == "zlib_compress"));
+    }
+
+    #[test]
+    fn scalene_no_native_leaf() {
+        let captured = synthesize_stacks(&["f"], None);
+        let (_, attributed) = scalene_view(&captured);
+        assert!(!attributed);
+    }
+}

@@ -1,0 +1,182 @@
+//! Autocorrelation for seasonality presence checks (§5.2.3).
+//!
+//! Before running STL, FBDetect applies the autocorrelation function and only
+//! treats a series as seasonal if the correlation at some lag is significant.
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::{Result, StatsError};
+
+/// Autocorrelation of `data` at a single `lag`.
+///
+/// Uses the standard biased estimator normalized by the lag-0 variance, so
+/// values lie in `[-1, 1]`.
+pub fn autocorrelation(data: &[f64], lag: usize) -> Result<f64> {
+    ensure_len(data, lag + 2)?;
+    ensure_finite(data)?;
+    if lag == 0 {
+        return Ok(1.0);
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let denom: f64 = data.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if denom == 0.0 {
+        return Err(StatsError::Degenerate("zero variance in autocorrelation"));
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (data[i] - mean) * (data[i + lag] - mean))
+        .sum();
+    Ok(num / denom)
+}
+
+/// Autocorrelations for all lags `1..=max_lag`.
+pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    (1..=max_lag)
+        .map(|lag| autocorrelation(data, lag))
+        .collect()
+}
+
+/// Detected seasonality, if any.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Seasonality {
+    /// The dominant period in samples.
+    pub period: usize,
+    /// Autocorrelation at that period.
+    pub strength: f64,
+}
+
+/// Searches for a dominant seasonal period via the ACF.
+///
+/// Scans lags `min_period..=max_lag` for local ACF maxima exceeding
+/// `threshold` (the significance bound `~1.96/√n` is a common choice; the
+/// detector uses a stricter default). Returns the strongest peak.
+///
+/// # Examples
+///
+/// ```
+/// let data: Vec<f64> = (0..200)
+///     .map(|i| (i as f64 / 20.0 * std::f64::consts::TAU).sin())
+///     .collect();
+/// let s = fbd_stats::acf::find_seasonality(&data, 2, 60, 0.3).unwrap();
+/// assert_eq!(s.unwrap().period, 20);
+/// ```
+pub fn find_seasonality(
+    data: &[f64],
+    min_period: usize,
+    max_lag: usize,
+    threshold: f64,
+) -> Result<Option<Seasonality>> {
+    if min_period < 2 {
+        return Err(StatsError::InvalidParameter("min_period must be >= 2"));
+    }
+    let max_lag = max_lag.min(data.len().saturating_sub(2));
+    if max_lag < min_period {
+        return Ok(None);
+    }
+    let correlations = acf(data, max_lag)?;
+    let mut best: Option<Seasonality> = None;
+    for lag in min_period..=max_lag {
+        let c = correlations[lag - 1];
+        if c < threshold {
+            continue;
+        }
+        // Require a local maximum so harmonics of smaller peaks don't win on
+        // plateaus.
+        let prev = if lag >= 2 {
+            correlations[lag - 2]
+        } else {
+            f64::MIN
+        };
+        let next = if lag < max_lag {
+            correlations[lag]
+        } else {
+            f64::MIN
+        };
+        if c >= prev && c >= next {
+            match best {
+                Some(b) if b.strength >= c => {}
+                _ => {
+                    best = Some(Seasonality {
+                        period: lag,
+                        strength: c,
+                    })
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(autocorrelation(&data, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn sine_peaks_at_period() {
+        let data: Vec<f64> = (0..240)
+            .map(|i| (i as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let s = find_seasonality(&data, 2, 72, 0.3).unwrap().unwrap();
+        assert_eq!(s.period, 24);
+        assert!(s.strength > 0.85, "strength = {}", s.strength);
+    }
+
+    #[test]
+    fn white_noise_has_no_seasonality() {
+        // SplitMix-style bit mixing gives properly decorrelated noise.
+        let data: Vec<f64> = (0..300)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let h = z ^ (z >> 31);
+                ((h >> 33) % 1000) as f64 / 1000.0 - 0.5
+            })
+            .collect();
+        let s = find_seasonality(&data, 2, 100, 0.3).unwrap();
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn trend_does_not_register_as_short_seasonality() {
+        // A pure linear trend produces high ACF at all lags but no local
+        // peaks in short lags (monotone decreasing ACF).
+        let data: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let s = find_seasonality(&data, 2, 50, 0.95).unwrap();
+        // Only the first lag can be a "peak"; period should not be mid-range.
+        if let Some(s) = s {
+            assert!(s.period <= 3, "unexpected period {}", s.period);
+        }
+    }
+
+    #[test]
+    fn anticorrelated_at_half_period() {
+        let data: Vec<f64> = (0..240)
+            .map(|i| (i as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let c = autocorrelation(&data, 12).unwrap();
+        assert!(c < -0.7, "half-period ACF = {c}");
+    }
+
+    #[test]
+    fn constant_series_degenerate() {
+        let data = vec![5.0; 50];
+        assert!(matches!(
+            autocorrelation(&data, 3),
+            Err(StatsError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn acf_returns_requested_lags() {
+        let data: Vec<f64> = (0..50).map(|i| (i % 5) as f64).collect();
+        let v = acf(&data, 10).unwrap();
+        assert_eq!(v.len(), 10);
+        assert!(v.iter().all(|c| (-1.0001..=1.0001).contains(c)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Descriptive statistics: means, variances, percentiles, and the median
+//! absolute deviation used by the went-away detector's regression threshold
+//! (§5.2.2: `coefficient × median × 1.4826`).
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::{Result, StatsError};
+
+/// Normality constant that scales the MAD to estimate the standard deviation
+/// of normally distributed data (paper §5.2.2).
+pub const MAD_NORMALITY_CONSTANT: f64 = 1.4826;
+
+/// Arithmetic mean of `data`.
+///
+/// # Examples
+///
+/// ```
+/// let m = fbd_stats::descriptive::mean(&[1.0, 2.0, 3.0]).unwrap();
+/// assert_eq!(m, 2.0);
+/// ```
+pub fn mean(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance (denominator `n - 1`).
+pub fn variance(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    let m = data.iter().sum::<f64>() / data.len() as f64;
+    let ss: f64 = data.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok(ss / (data.len() - 1) as f64)
+}
+
+/// Population variance (denominator `n`), used by the normal-loss
+/// change-point search where the MLE variance is required.
+pub fn population_variance(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    let m = data.iter().sum::<f64>() / data.len() as f64;
+    let ss: f64 = data.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok(ss / data.len() as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(data: &[f64]) -> Result<f64> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Median of `data` (average of the two central order statistics for even
+/// lengths).
+pub fn median(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Ok(sorted[n / 2])
+    } else {
+        Ok(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]))
+    }
+}
+
+/// Percentile of `data` using linear interpolation between order statistics.
+///
+/// `p` must be in `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter(
+            "percentile must be in [0, 100]",
+        ));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Median absolute deviation around the median.
+///
+/// Multiply by [`MAD_NORMALITY_CONSTANT`] to obtain a robust estimate of the
+/// standard deviation under normality.
+pub fn mad(data: &[f64]) -> Result<f64> {
+    let med = median(data)?;
+    let deviations: Vec<f64> = data.iter().map(|v| (v - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Robust standard-deviation estimate: `MAD × 1.4826`.
+pub fn robust_std(data: &[f64]) -> Result<f64> {
+    mad(data).map(|m| m * MAD_NORMALITY_CONSTANT)
+}
+
+/// Minimum of `data`.
+pub fn min(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    Ok(data.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum of `data`.
+pub fn max(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    Ok(data.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Z-normalizes `data` in place: subtracts the mean and divides by the
+/// sample standard deviation. Required by SAX (§5.2.2).
+///
+/// Returns the `(mean, std_dev)` used, or an error if the variance is zero.
+pub fn z_normalize(data: &mut [f64]) -> Result<(f64, f64)> {
+    let m = mean(data)?;
+    let s = std_dev(data)?;
+    if s == 0.0 {
+        return Err(StatsError::Degenerate("zero variance in z-normalization"));
+    }
+    for v in data.iter_mut() {
+        *v = (*v - m) / s;
+    }
+    Ok((m, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data).unwrap(), 5.0);
+        // Sample variance of this classic example is 32/7.
+        assert!((variance(&data).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((population_variance(&data).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert_eq!(median(&[7.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 5.0);
+        assert_eq!(percentile(&data, 50.0).unwrap(), 3.0);
+        assert_eq!(percentile(&data, 25.0).unwrap(), 2.0);
+        assert_eq!(percentile(&data, 90.0).unwrap(), 4.6);
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range() {
+        assert!(matches!(
+            percentile(&[1.0], 101.0),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn mad_matches_hand_computation() {
+        // Median = 2, deviations = [1, 0, 1, 3], MAD = 1.
+        let data = [1.0, 2.0, 3.0, 5.0];
+        assert_eq!(mad(&data).unwrap(), 1.0);
+        assert!((robust_std(&data).unwrap() - 1.4826).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_robust_to_outlier() {
+        let clean = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let dirty = [1.0, 2.0, 3.0, 4.0, 1000.0];
+        // MAD barely moves, while the standard deviation explodes.
+        assert!((mad(&clean).unwrap() - mad(&dirty).unwrap()).abs() <= 1.0);
+        assert!(std_dev(&dirty).unwrap() > 100.0 * std_dev(&clean).unwrap());
+    }
+
+    #[test]
+    fn z_normalize_gives_zero_mean_unit_std() {
+        let mut data = vec![1.0, 5.0, 3.0, 9.0, 7.0];
+        z_normalize(&mut data).unwrap();
+        assert!(mean(&data).unwrap().abs() < 1e-12);
+        assert!((std_dev(&data).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_rejects_constant_series() {
+        let mut data = vec![2.0; 10];
+        assert!(matches!(
+            z_normalize(&mut data),
+            Err(StatsError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(median(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn nan_inputs_error() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
+    }
+}

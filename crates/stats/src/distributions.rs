@@ -1,0 +1,221 @@
+//! Cumulative distribution functions and critical values.
+//!
+//! FBDetect's hypothesis tests need the normal, chi-squared, and Student's t
+//! distributions: the likelihood-ratio test (§5.2.1) thresholds a chi-squared
+//! statistic at significance 0.01, the Mann-Kendall test (§5.2.2) uses a
+//! normal approximation, and the analytic detection-threshold model
+//! (Appendix A.2) uses Student's t.
+
+use crate::special::{erf, regularized_beta, regularized_gamma_p};
+
+/// Standard normal cumulative distribution function `Φ(z)`.
+///
+/// # Examples
+///
+/// ```
+/// let p = fbd_stats::distributions::normal_cdf(0.0);
+/// assert!((p - 0.5).abs() < 1e-8);
+/// ```
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a standard normal statistic.
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    2.0 * (1.0 - normal_cdf(z.abs()))
+}
+
+/// Inverse of the standard normal CDF (the quantile function).
+///
+/// Uses the Acklam rational approximation refined with one Halley step,
+/// accurate to about 1e-9 for `p` in `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly between 0 and 1.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1");
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step using the erf-based CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Chi-squared cumulative distribution function with `dof` degrees of freedom.
+pub fn chi_squared_cdf(x: f64, dof: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        regularized_gamma_p(dof / 2.0, x / 2.0)
+    }
+}
+
+/// Upper-tail p-value for a chi-squared statistic.
+pub fn chi_squared_p_value(x: f64, dof: f64) -> f64 {
+    (1.0 - chi_squared_cdf(x, dof)).clamp(0.0, 1.0)
+}
+
+/// Student's t cumulative distribution function with `dof` degrees of freedom.
+pub fn student_t_cdf(t: f64, dof: f64) -> f64 {
+    if dof <= 0.0 {
+        return f64::NAN;
+    }
+    let x = dof / (dof + t * t);
+    let p = 0.5 * regularized_beta(dof / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided p-value for a Student's t statistic.
+pub fn student_t_two_sided_p(t: f64, dof: f64) -> f64 {
+    2.0 * (1.0 - student_t_cdf(t.abs(), dof))
+}
+
+/// Two-sided critical value of Student's t at significance `alpha`.
+///
+/// Found by bisection on the CDF; accurate to about 1e-8.
+pub fn student_t_critical(alpha: f64, dof: f64) -> f64 {
+    let target = 1.0 - alpha / 2.0;
+    let (mut lo, mut hi) = (0.0, 1e3);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, dof) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Upper-tail critical value of the chi-squared distribution at
+/// significance `alpha` (i.e. `P(X > critical) = alpha`).
+pub fn chi_squared_critical(alpha: f64, dof: f64) -> f64 {
+    let target = 1.0 - alpha;
+    let (mut lo, mut hi) = (0.0, 1e4);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi_squared_cdf(mid, dof) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for z in [0.5, 1.0, 1.96, 2.5] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(2.576) - 0.995).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-7, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn chi_squared_known_critical_values() {
+        // Standard table values.
+        assert!((chi_squared_critical(0.05, 1.0) - 3.841).abs() < 5e-3);
+        assert!((chi_squared_critical(0.01, 1.0) - 6.635).abs() < 5e-3);
+        assert!((chi_squared_critical(0.05, 10.0) - 18.307).abs() < 5e-2);
+    }
+
+    #[test]
+    fn student_t_known_critical_values() {
+        // Two-sided 0.05 with large dof approaches 1.96.
+        assert!((student_t_critical(0.05, 1e6) - 1.96).abs() < 1e-2);
+        // Two-sided 0.05 with 10 dof is 2.228.
+        assert!((student_t_critical(0.05, 10.0) - 2.228).abs() < 5e-3);
+        // Two-sided 0.01 with 30 dof is 2.750.
+        assert!((student_t_critical(0.01, 30.0) - 2.750).abs() < 5e-3);
+    }
+
+    #[test]
+    fn student_t_cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -50..50 {
+            let t = i as f64 * 0.1;
+            let p = student_t_cdf(t, 5.0);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn p_values_in_unit_interval() {
+        for x in [0.1, 1.0, 10.0, 100.0] {
+            let p = chi_squared_p_value(x, 1.0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        for t in [-5.0, -1.0, 0.0, 1.0, 5.0] {
+            let p = student_t_two_sided_p(t, 12.0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Expectation-Maximization refinement of a two-segment mean model (§5.2.1).
+//!
+//! FBDetect applies CUSUM and EM *iteratively*: CUSUM proposes a change
+//! point, EM refines the two segment means by soft-assigning each sample to
+//! the "before" or "after" regime, and the process repeats until the change
+//! point with the maximum likelihood is found or the iteration budget is
+//! exhausted. This module implements that loop.
+
+use crate::cusum;
+use crate::error::{ensure_finite, ensure_len};
+use crate::{Result, StatsError};
+
+/// A fitted two-segment mean model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoSegmentFit {
+    /// Change-point index: segment one is `0..=change_point`, segment two is
+    /// `change_point+1..`.
+    pub change_point: usize,
+    /// Mean of the first segment.
+    pub mean_before: f64,
+    /// Mean of the second segment.
+    pub mean_after: f64,
+    /// Shared variance estimate under the two-mean model.
+    pub variance: f64,
+    /// Log-likelihood of the data under the fitted model.
+    pub log_likelihood: f64,
+    /// Number of CUSUM+EM refinement iterations performed.
+    pub iterations: usize,
+}
+
+/// Log-likelihood of `data` under a single Gaussian (the H0 model).
+pub fn single_mean_log_likelihood(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    Ok(gaussian_log_likelihood(n, var))
+}
+
+/// Log-likelihood of a Gaussian MLE fit given sample count and MLE variance.
+fn gaussian_log_likelihood(n: f64, var: f64) -> f64 {
+    // Guard against zero variance: use a floor so the likelihood stays
+    // finite; constant series are handled by the hypothesis test upstream.
+    let var = var.max(1e-300);
+    -0.5 * n * ((2.0 * std::f64::consts::PI * var).ln() + 1.0)
+}
+
+/// Log-likelihood of `data` split at `cp` with per-segment means and a
+/// pooled variance (the H1 model).
+pub fn two_mean_log_likelihood(data: &[f64], cp: usize) -> Result<f64> {
+    ensure_len(data, 4)?;
+    if cp + 2 > data.len() || cp == 0 {
+        return Err(StatsError::InvalidParameter(
+            "change point must leave both segments non-empty",
+        ));
+    }
+    let (a, b) = data.split_at(cp + 1);
+    let ma = a.iter().sum::<f64>() / a.len() as f64;
+    let mb = b.iter().sum::<f64>() / b.len() as f64;
+    let ss: f64 = a.iter().map(|v| (v - ma) * (v - ma)).sum::<f64>()
+        + b.iter().map(|v| (v - mb) * (v - mb)).sum::<f64>();
+    let n = data.len() as f64;
+    Ok(gaussian_log_likelihood(n, ss / n))
+}
+
+/// Fits a two-segment mean model by iterating CUSUM and EM.
+///
+/// Starting from the CUSUM change-point estimate, each iteration performs a
+/// local EM-style refinement: given the current segment means, every
+/// candidate change point near the current one is scored by likelihood and
+/// the best is adopted. Iteration stops when the change point is stable or
+/// `max_iterations` is reached.
+///
+/// # Examples
+///
+/// ```
+/// let mut data = vec![1.0, 1.1, 0.9, 1.0, 1.05, 0.95, 1.0, 1.0];
+/// data.extend([2.0, 2.1, 1.9, 2.0, 2.05, 1.95, 2.0, 2.0]);
+/// let fit = fbd_stats::em::fit_two_segment(&data, 50).unwrap();
+/// assert_eq!(fit.change_point, 7);
+/// assert!((fit.mean_after - fit.mean_before - 1.0).abs() < 0.1);
+/// ```
+pub fn fit_two_segment(data: &[f64], max_iterations: usize) -> Result<TwoSegmentFit> {
+    ensure_len(data, 4)?;
+    ensure_finite(data)?;
+    let initial = cusum::detect_change_point(data)?;
+    let mut cp = initial.index.clamp(1, data.len() - 3);
+    let mut iterations = 0;
+    // Search radius shrinks as the estimate stabilizes.
+    let mut radius = (data.len() / 4).max(2);
+    loop {
+        iterations += 1;
+        let lo = cp.saturating_sub(radius).max(1);
+        let hi = (cp + radius).min(data.len() - 3);
+        let mut best_cp = cp;
+        let mut best_ll = two_mean_log_likelihood(data, cp)?;
+        for cand in lo..=hi {
+            let ll = two_mean_log_likelihood(data, cand)?;
+            if ll > best_ll {
+                best_ll = ll;
+                best_cp = cand;
+            }
+        }
+        let converged = best_cp == cp;
+        cp = best_cp;
+        if converged || iterations >= max_iterations {
+            break;
+        }
+        radius = (radius / 2).max(2);
+    }
+    let (a, b) = data.split_at(cp + 1);
+    let mean_before = a.iter().sum::<f64>() / a.len() as f64;
+    let mean_after = b.iter().sum::<f64>() / b.len() as f64;
+    let ss: f64 = a
+        .iter()
+        .map(|v| (v - mean_before) * (v - mean_before))
+        .sum::<f64>()
+        + b.iter()
+            .map(|v| (v - mean_after) * (v - mean_after))
+            .sum::<f64>();
+    let n = data.len() as f64;
+    let variance = ss / n;
+    Ok(TwoSegmentFit {
+        change_point: cp,
+        mean_before,
+        mean_after,
+        variance,
+        log_likelihood: gaussian_log_likelihood(n, variance),
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_series(n1: usize, m1: f64, n2: usize, m2: f64, noise: f64) -> Vec<f64> {
+        (0..n1 + n2)
+            .map(|i| {
+                let base = if i < n1 { m1 } else { m2 };
+                // SplitMix-style bit mixing for decorrelated jitter.
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let h = z ^ (z >> 31);
+                let jitter = (((h >> 33) % 997) as f64 / 997.0 - 0.5) * noise;
+                base + jitter
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_step_is_found() {
+        let data = step_series(40, 1.0, 40, 2.0, 0.0);
+        let fit = fit_two_segment(&data, 100).unwrap();
+        assert_eq!(fit.change_point, 39);
+        assert!((fit.mean_before - 1.0).abs() < 1e-12);
+        assert!((fit.mean_after - 2.0).abs() < 1e-12);
+        assert!(fit.variance < 1e-20);
+    }
+
+    #[test]
+    fn noisy_step_is_found_near_truth() {
+        let data = step_series(100, 5.0, 100, 5.5, 0.3);
+        let fit = fit_two_segment(&data, 100).unwrap();
+        assert!(
+            (95..=105).contains(&fit.change_point),
+            "cp = {}",
+            fit.change_point
+        );
+        assert!((fit.mean_after - fit.mean_before - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn two_mean_beats_single_mean_on_step_data() {
+        let data = step_series(50, 0.0, 50, 1.0, 0.2);
+        let fit = fit_two_segment(&data, 100).unwrap();
+        let h0 = single_mean_log_likelihood(&data).unwrap();
+        assert!(fit.log_likelihood > h0 + 10.0);
+    }
+
+    #[test]
+    fn single_and_two_mean_similar_on_flat_data() {
+        let data = step_series(100, 3.0, 0, 0.0, 0.1);
+        let fit = fit_two_segment(&data, 100).unwrap();
+        let h0 = single_mean_log_likelihood(&data).unwrap();
+        // The two-mean model always fits at least as well, but only barely.
+        assert!(fit.log_likelihood >= h0 - 1e-9);
+        assert!(fit.log_likelihood - h0 < 5.0);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let data = step_series(200, 1.0, 200, 1.2, 0.5);
+        let fit = fit_two_segment(&data, 1).unwrap();
+        assert_eq!(fit.iterations, 1);
+    }
+
+    #[test]
+    fn invalid_change_point_rejected() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!(two_mean_log_likelihood(&data, 0).is_err());
+        assert!(two_mean_log_likelihood(&data, 3).is_err());
+        assert!(two_mean_log_likelihood(&data, 1).is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! Discrete Fourier features for clustering (§5.5.1).
+//!
+//! SOMDedup represents each regression with "typical time-series metrics like
+//! Fourier frequencies, variance, change points". This module computes the
+//! DFT magnitude spectrum and compact spectral features (dominant
+//! frequencies, spectral energy) for use as clustering inputs.
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::Result;
+
+/// Magnitudes of the first `n/2` DFT coefficients (excluding DC).
+///
+/// A direct O(n²) DFT — the pipeline applies it to analysis windows of at
+/// most a few thousand samples, where this is fast enough and dependency-free.
+pub fn magnitude_spectrum(data: &[f64]) -> Result<Vec<f64>> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let half = n / 2;
+    let mut mags = Vec::with_capacity(half);
+    for k in 1..=half {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (t, &x) in data.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64;
+            let centered = x - mean;
+            re += centered * angle.cos();
+            im += centered * angle.sin();
+        }
+        mags.push((re * re + im * im).sqrt() / n as f64);
+    }
+    Ok(mags)
+}
+
+/// Compact spectral features for clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralFeatures {
+    /// Indices (1-based DFT bin) of the `top_k` strongest frequencies.
+    pub dominant_bins: Vec<usize>,
+    /// Their magnitudes, same order.
+    pub dominant_magnitudes: Vec<f64>,
+    /// Total spectral energy (sum of squared magnitudes).
+    pub energy: f64,
+    /// Fraction of energy in the lowest quartile of frequencies — high for
+    /// trend/step series, low for fast oscillation.
+    pub low_frequency_fraction: f64,
+}
+
+/// Extracts [`SpectralFeatures`] with the `top_k` dominant bins.
+pub fn spectral_features(data: &[f64], top_k: usize) -> Result<SpectralFeatures> {
+    let mags = magnitude_spectrum(data)?;
+    let energy: f64 = mags.iter().map(|m| m * m).sum();
+    let quarter = (mags.len() / 4).max(1);
+    let low_energy: f64 = mags[..quarter].iter().map(|m| m * m).sum();
+    let mut indexed: Vec<(usize, f64)> =
+        mags.iter().enumerate().map(|(i, &m)| (i + 1, m)).collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite magnitudes"));
+    let top = indexed.into_iter().take(top_k);
+    let (dominant_bins, dominant_magnitudes) = top.fold(
+        (Vec::new(), Vec::new()),
+        |(mut bins, mut mags), (bin, mag)| {
+            bins.push(bin);
+            mags.push(mag);
+            (bins, mags)
+        },
+    );
+    Ok(SpectralFeatures {
+        dominant_bins,
+        dominant_magnitudes,
+        energy,
+        low_frequency_fraction: if energy > 0.0 {
+            low_energy / energy
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_sine_has_single_peak() {
+        // 8 full cycles over 128 samples -> bin 8 dominates.
+        let data: Vec<f64> = (0..128)
+            .map(|i| (i as f64 * 8.0 / 128.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let f = spectral_features(&data, 1).unwrap();
+        assert_eq!(f.dominant_bins[0], 8);
+    }
+
+    #[test]
+    fn constant_series_zero_energy() {
+        let data = vec![3.0; 64];
+        let f = spectral_features(&data, 3).unwrap();
+        assert!(f.energy < 1e-20);
+    }
+
+    #[test]
+    fn step_concentrates_low_frequency() {
+        let mut data = vec![0.0; 64];
+        data.extend(vec![1.0; 64]);
+        let f = spectral_features(&data, 4).unwrap();
+        assert!(
+            f.low_frequency_fraction > 0.8,
+            "lf = {}",
+            f.low_frequency_fraction
+        );
+        assert_eq!(f.dominant_bins[0], 1);
+    }
+
+    #[test]
+    fn fast_oscillation_is_high_frequency() {
+        let data: Vec<f64> = (0..128)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let f = spectral_features(&data, 1).unwrap();
+        assert!(f.low_frequency_fraction < 0.1);
+        assert_eq!(f.dominant_bins[0], 64);
+    }
+
+    #[test]
+    fn parseval_energy_relation() {
+        // Spectrum energy tracks time-domain variance for a sine.
+        let data: Vec<f64> = (0..256)
+            .map(|i| 2.0 * (i as f64 * 4.0 / 256.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let f = spectral_features(&data, 1).unwrap();
+        // A sine of amplitude A has its DFT magnitude A/2 in one bin (for
+        // our 1/n normalization).
+        assert!((f.dominant_magnitudes[0] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn spectrum_length_is_half() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(magnitude_spectrum(&data).unwrap().len(), 50);
+    }
+}

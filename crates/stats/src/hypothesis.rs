@@ -1,0 +1,185 @@
+//! Hypothesis tests used to validate change points (§5.2.1, Appendix A.2).
+//!
+//! After CUSUM+EM proposes a change point, FBDetect runs a likelihood-ratio
+//! chi-squared test at significance 0.01: H0 says the series has a single
+//! mean, H1 says the means differ before and after the change point. The
+//! Student's t-test implements the analytic detection-threshold model of
+//! Appendix A.2.
+
+use crate::distributions::{chi_squared_p_value, student_t_two_sided_p};
+use crate::em::{single_mean_log_likelihood, two_mean_log_likelihood};
+use crate::error::ensure_len;
+use crate::{Result, StatsError};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (chi-squared or t, depending on the test).
+    pub statistic: f64,
+    /// The p-value of the statistic under the null hypothesis.
+    pub p_value: f64,
+    /// Whether the null hypothesis is rejected at the requested significance.
+    pub reject_null: bool,
+}
+
+/// Likelihood-ratio test for a single change point (paper §5.2.1).
+///
+/// H0: one mean; H1: different means before/after index `change_point`.
+/// The statistic `2(ℓ₁ − ℓ₀)` is asymptotically chi-squared with 2 extra
+/// degrees of freedom (the second mean and the change-point location).
+///
+/// # Examples
+///
+/// ```
+/// let mut data = vec![1.0; 50];
+/// data.extend(vec![2.0; 50]);
+/// for (i, v) in data.iter_mut().enumerate() {
+///     *v += ((i * 7919) % 100) as f64 / 1000.0; // Small deterministic noise.
+/// }
+/// let t = fbd_stats::hypothesis::likelihood_ratio_test(&data, 49, 0.01).unwrap();
+/// assert!(t.reject_null);
+/// ```
+pub fn likelihood_ratio_test(
+    data: &[f64],
+    change_point: usize,
+    significance: f64,
+) -> Result<TestResult> {
+    if !(0.0..1.0).contains(&significance) || significance == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "significance must be in (0, 1)",
+        ));
+    }
+    let ll0 = single_mean_log_likelihood(data)?;
+    let ll1 = two_mean_log_likelihood(data, change_point)?;
+    let statistic = (2.0 * (ll1 - ll0)).max(0.0);
+    // Two additional free parameters in H1: the second mean and the
+    // change-point location.
+    let p_value = chi_squared_p_value(statistic, 2.0);
+    Ok(TestResult {
+        statistic,
+        p_value,
+        reject_null: p_value < significance,
+    })
+}
+
+/// Two-sample Student's t-test with pooled variance (Appendix A.2).
+///
+/// Tests H0: `mean(a) == mean(b)` against the two-sided alternative.
+pub fn two_sample_t_test(a: &[f64], b: &[f64], significance: f64) -> Result<TestResult> {
+    ensure_len(a, 2)?;
+    ensure_len(b, 2)?;
+    if !(0.0..1.0).contains(&significance) || significance == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "significance must be in (0, 1)",
+        ));
+    }
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let ma = a.iter().sum::<f64>() / na;
+    let mb = b.iter().sum::<f64>() / nb;
+    let ssa: f64 = a.iter().map(|v| (v - ma) * (v - ma)).sum();
+    let ssb: f64 = b.iter().map(|v| (v - mb) * (v - mb)).sum();
+    let dof = na + nb - 2.0;
+    let pooled = ((ssa + ssb) / dof).max(1e-300);
+    let statistic = (ma - mb) / (pooled * (1.0 / na + 1.0 / nb)).sqrt();
+    let p_value = student_t_two_sided_p(statistic, dof);
+    Ok(TestResult {
+        statistic,
+        p_value,
+        reject_null: p_value < significance,
+    })
+}
+
+/// Minimum detectable mean difference for a given sample size and variance
+/// (Appendix A.2, Expression 7): `Δ ≈ √(s²/n₂) × T_critical`.
+///
+/// `t_critical` is the two-sided critical value at the desired confidence.
+pub fn detection_threshold(sample_variance: f64, n_after: usize, t_critical: f64) -> Result<f64> {
+    if n_after == 0 {
+        return Err(StatsError::InvalidParameter("n_after must be positive"));
+    }
+    if sample_variance < 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "variance must be non-negative",
+        ));
+    }
+    Ok((sample_variance / n_after as f64).sqrt() * t_critical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::student_t_critical;
+
+    fn noisy_step(n1: usize, m1: f64, n2: usize, m2: f64, noise: f64) -> Vec<f64> {
+        (0..n1 + n2)
+            .map(|i| {
+                let base = if i < n1 { m1 } else { m2 };
+                base + (((i * 104729) % 1009) as f64 / 1009.0 - 0.5) * noise
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lrt_rejects_on_clear_step() {
+        let data = noisy_step(60, 0.0, 60, 1.0, 0.3);
+        let t = likelihood_ratio_test(&data, 59, 0.01).unwrap();
+        assert!(t.reject_null);
+        assert!(t.p_value < 1e-6);
+    }
+
+    #[test]
+    fn lrt_accepts_on_flat_noise() {
+        let data = noisy_step(120, 0.0, 0, 0.0, 0.3);
+        let t = likelihood_ratio_test(&data, 59, 0.01).unwrap();
+        assert!(!t.reject_null, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn lrt_rejects_invalid_significance() {
+        let data = noisy_step(20, 0.0, 20, 1.0, 0.1);
+        assert!(likelihood_ratio_test(&data, 19, 0.0).is_err());
+        assert!(likelihood_ratio_test(&data, 19, 1.0).is_err());
+    }
+
+    #[test]
+    fn t_test_detects_mean_difference() {
+        let a = noisy_step(100, 10.0, 0, 0.0, 0.5);
+        let b = noisy_step(100, 10.3, 0, 0.0, 0.5);
+        let t = two_sample_t_test(&a, &b, 0.01).unwrap();
+        assert!(t.reject_null);
+        assert!(t.statistic < 0.0); // a's mean is smaller.
+    }
+
+    #[test]
+    fn t_test_accepts_identical_distributions() {
+        let a = noisy_step(50, 5.0, 0, 0.0, 0.4);
+        let b = noisy_step(50, 5.0, 0, 0.0, 0.4);
+        let t = two_sample_t_test(&a, &b, 0.01).unwrap();
+        assert!(!t.reject_null);
+    }
+
+    #[test]
+    fn detection_threshold_scales_with_inverse_sqrt_n() {
+        // Δ ∝ √(σ²/n): quadrupling n halves the threshold.
+        let tc = student_t_critical(0.01, 1e5);
+        let d1 = detection_threshold(0.01, 1_000, tc).unwrap();
+        let d2 = detection_threshold(0.01, 4_000, tc).unwrap();
+        assert!((d1 / d2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detection_threshold_scales_with_sigma() {
+        // Reducing variance by k reduces the threshold by √k (paper §2).
+        let tc = student_t_critical(0.01, 1e5);
+        let d1 = detection_threshold(0.01, 1_000, tc).unwrap();
+        let d2 = detection_threshold(0.01 / 100.0, 1_000, tc).unwrap();
+        assert!((d1 / d2 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detection_threshold_validates_inputs() {
+        assert!(detection_threshold(0.01, 0, 2.0).is_err());
+        assert!(detection_threshold(-1.0, 10, 2.0).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Moving-average smoothing — the seasonality-handling alternative the paper
+//! evaluated and rejected in favour of STL (§5.2.3, "Discussion of
+//! alternatives"). Kept as a substrate so the ablation bench can compare the
+//! two, and used for general smoothing elsewhere.
+
+use crate::error::{ensure_finite, ensure_len};
+use crate::{Result, StatsError};
+
+/// Centred moving average with the given window (window must be odd and at
+/// most the series length).
+pub fn centered_moving_average(data: &[f64], window: usize) -> Result<Vec<f64>> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    if window == 0 || window.is_multiple_of(2) {
+        return Err(StatsError::InvalidParameter(
+            "window must be odd and positive",
+        ));
+    }
+    if window > data.len() {
+        return Err(StatsError::TooFewSamples {
+            required: window,
+            actual: data.len(),
+        });
+    }
+    let half = window / 2;
+    let n = data.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let slice = &data[lo..hi];
+        out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    Ok(out)
+}
+
+/// Trailing (causal) moving average: each output is the mean of the last
+/// `window` samples up to and including the current one.
+pub fn trailing_moving_average(data: &[f64], window: usize) -> Result<Vec<f64>> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    if window == 0 {
+        return Err(StatsError::InvalidParameter("window must be positive"));
+    }
+    let mut out = Vec::with_capacity(data.len());
+    let mut sum = 0.0;
+    for (i, &v) in data.iter().enumerate() {
+        sum += v;
+        if i >= window {
+            sum -= data[i - window];
+        }
+        let count = (i + 1).min(window);
+        out.push(sum / count as f64);
+    }
+    Ok(out)
+}
+
+/// Moving-average seasonal decomposition: the seasonal component is the
+/// series minus a period-length centred moving average, averaged by phase.
+///
+/// Returns `(seasonal, deseasonalized)`.
+pub fn moving_average_deseasonalize(data: &[f64], period: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+    if period < 2 {
+        return Err(StatsError::InvalidParameter("period must be >= 2"));
+    }
+    ensure_len(data, period * 2)?;
+    ensure_finite(data)?;
+    // Use an odd window spanning roughly one period.
+    let window = if period % 2 == 1 { period } else { period + 1 };
+    let trend = centered_moving_average(data, window)?;
+    let detrended: Vec<f64> = data.iter().zip(&trend).map(|(d, t)| d - t).collect();
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_count = vec![0usize; period];
+    for (i, &v) in detrended.iter().enumerate() {
+        phase_sum[i % period] += v;
+        phase_count[i % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_count)
+        .map(|(s, c)| if *c > 0 { s / *c as f64 } else { 0.0 })
+        .collect();
+    // Centre to zero mean so the level stays in the deseasonalized series.
+    let grand: f64 = phase_mean.iter().sum::<f64>() / period as f64;
+    for v in phase_mean.iter_mut() {
+        *v -= grand;
+    }
+    let seasonal: Vec<f64> = (0..data.len()).map(|i| phase_mean[i % period]).collect();
+    let deseasonalized: Vec<f64> = data.iter().zip(&seasonal).map(|(d, s)| d - s).collect();
+    Ok((seasonal, deseasonalized))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_ma_smooths_constant_exactly() {
+        let data = vec![4.0; 20];
+        let out = centered_moving_average(&data, 5).unwrap();
+        assert!(out.iter().all(|&v| (v - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn centered_ma_rejects_even_window() {
+        assert!(centered_moving_average(&[1.0, 2.0, 3.0], 2).is_err());
+        assert!(centered_moving_average(&[1.0, 2.0, 3.0], 0).is_err());
+    }
+
+    #[test]
+    fn centered_ma_reduces_alternating_noise() {
+        let data: Vec<f64> = (0..40)
+            .map(|i| 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let out = centered_moving_average(&data, 5).unwrap();
+        // Interior points smooth close to 1.0.
+        for &v in &out[3..37] {
+            assert!((v - 1.0).abs() < 0.15, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn trailing_ma_is_causal() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let out = trailing_moving_average(&data, 2).unwrap();
+        assert_eq!(out, vec![1.0, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn trailing_ma_window_one_is_identity() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(trailing_moving_average(&data, 1).unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn deseasonalize_removes_square_wave() {
+        let data: Vec<f64> = (0..120)
+            .map(|i| 10.0 + if (i / 6) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let (_, des) = moving_average_deseasonalize(&data, 12).unwrap();
+        let spread = des.iter().cloned().fold(f64::MIN, f64::max)
+            - des.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.0, "spread = {spread}");
+    }
+
+    #[test]
+    fn deseasonalize_preserves_step() {
+        let mut data: Vec<f64> = (0..240)
+            .map(|i| (i as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        for v in data.iter_mut().skip(120) {
+            *v += 3.0;
+        }
+        let (_, des) = moving_average_deseasonalize(&data, 24).unwrap();
+        let before: f64 = des[..100].iter().sum::<f64>() / 100.0;
+        let after: f64 = des[140..].iter().sum::<f64>() / (des.len() - 140) as f64;
+        assert!((after - before - 3.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,333 @@
+//! Seasonal-Trend decomposition using Loess (STL) (§5.2.3, §5.3).
+//!
+//! The seasonality detector and long-term path both decompose a time series
+//! into `seasonal + trend + residual`. This is a from-scratch STL in the
+//! spirit of Cleveland et al. (1990): an inner loop alternates cycle-subseries
+//! smoothing (seasonal component) with Loess smoothing of the deseasonalized
+//! series (trend component), and an optional outer loop downweights outliers
+//! by robustness weights derived from the residuals.
+
+use crate::descriptive;
+use crate::error::{ensure_finite, ensure_len};
+use crate::{Result, StatsError};
+
+/// A completed STL decomposition; all three components have the input length
+/// and satisfy `data[i] = seasonal[i] + trend[i] + residual[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StlDecomposition {
+    /// The periodic component.
+    pub seasonal: Vec<f64>,
+    /// The low-frequency component.
+    pub trend: Vec<f64>,
+    /// What remains: `data - seasonal - trend`.
+    pub residual: Vec<f64>,
+}
+
+impl StlDecomposition {
+    /// The deseasonalized series, `trend + residual`.
+    pub fn deseasonalized(&self) -> Vec<f64> {
+        self.trend
+            .iter()
+            .zip(&self.residual)
+            .map(|(t, r)| t + r)
+            .collect()
+    }
+}
+
+/// STL parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StlConfig {
+    /// Seasonal period in samples (e.g. 24 for hourly data with a daily
+    /// cycle). Must be at least 2.
+    pub period: usize,
+    /// Inner-loop iterations (2 suffices with robustness off).
+    pub inner_iterations: usize,
+    /// Outer robustness iterations (0 disables robustness weighting).
+    pub outer_iterations: usize,
+    /// Loess bandwidth for the trend as a fraction of the series length,
+    /// in `(0, 1]`. Larger values give a smoother trend.
+    pub trend_fraction: f64,
+}
+
+impl StlConfig {
+    /// A reasonable default for a given period: two inner iterations, one
+    /// robustness pass, and a trend bandwidth of 1.5 periods (in the spirit
+    /// of the STL paper's `n_t ≥ 1.5 n_p` guidance).
+    pub fn for_period(period: usize) -> Self {
+        StlConfig {
+            period,
+            inner_iterations: 2,
+            outer_iterations: 1,
+            trend_fraction: 0.25,
+        }
+    }
+}
+
+/// Decomposes `data` into seasonal, trend, and residual components.
+///
+/// Requires at least two full periods of data.
+///
+/// # Examples
+///
+/// ```
+/// use fbd_stats::stl::{decompose, StlConfig};
+/// // A sine seasonal pattern on a slow upward trend.
+/// let data: Vec<f64> = (0..96)
+///     .map(|i| (i as f64 / 24.0 * std::f64::consts::TAU).sin() + 0.01 * i as f64)
+///     .collect();
+/// let d = decompose(&data, StlConfig::for_period(24)).unwrap();
+/// // The components reconstruct the series exactly.
+/// for i in 0..data.len() {
+///     let sum = d.seasonal[i] + d.trend[i] + d.residual[i];
+///     assert!((sum - data[i]).abs() < 1e-9);
+/// }
+/// ```
+pub fn decompose(data: &[f64], config: StlConfig) -> Result<StlDecomposition> {
+    if config.period < 2 {
+        return Err(StatsError::InvalidParameter("period must be at least 2"));
+    }
+    ensure_len(data, config.period * 2)?;
+    ensure_finite(data)?;
+    if !(0.0..=1.0).contains(&config.trend_fraction) || config.trend_fraction == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "trend_fraction must be in (0, 1]",
+        ));
+    }
+    let n = data.len();
+    let mut seasonal = vec![0.0; n];
+    let mut trend = vec![0.0; n];
+    let mut robustness = vec![1.0; n];
+    let outer = config.outer_iterations + 1;
+    for outer_pass in 0..outer {
+        for _ in 0..config.inner_iterations.max(1) {
+            // Step 1: detrend.
+            let detrended: Vec<f64> = data.iter().zip(&trend).map(|(d, t)| d - t).collect();
+            // Step 2: cycle-subseries smoothing -> seasonal estimate.
+            seasonal = cycle_subseries_means(&detrended, config.period, &robustness);
+            // Step 3: centre the seasonal component so it has zero mean over
+            // each full period (keeps level in the trend, not the seasonal).
+            center_seasonal(&mut seasonal, config.period);
+            // Step 4: deseasonalize and smooth for the trend.
+            let deseasonalized: Vec<f64> = data.iter().zip(&seasonal).map(|(d, s)| d - s).collect();
+            trend = loess_smooth(&deseasonalized, config.trend_fraction, &robustness)?;
+        }
+        // Outer loop: recompute robustness weights from residuals.
+        if outer_pass + 1 < outer {
+            let residual: Vec<f64> = (0..n).map(|i| data[i] - seasonal[i] - trend[i]).collect();
+            robustness = robustness_weights(&residual)?;
+        }
+    }
+    let residual: Vec<f64> = (0..n).map(|i| data[i] - seasonal[i] - trend[i]).collect();
+    Ok(StlDecomposition {
+        seasonal,
+        trend,
+        residual,
+    })
+}
+
+/// Smooths each cycle subseries (all points at the same phase) with a
+/// robustness-weighted mean, then broadcasts the smoothed value back.
+fn cycle_subseries_means(data: &[f64], period: usize, weights: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_weight = vec![0.0; period];
+    for (i, (&v, &w)) in data.iter().zip(weights).enumerate() {
+        phase_sum[i % period] += v * w;
+        phase_weight[i % period] += w;
+    }
+    let phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_weight)
+        .map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 })
+        .collect();
+    (0..n).map(|i| phase_mean[i % period]).collect()
+}
+
+/// Removes the per-period mean from the seasonal component.
+fn center_seasonal(seasonal: &mut [f64], period: usize) {
+    if seasonal.len() < period {
+        return;
+    }
+    let mean: f64 = seasonal[..period].iter().sum::<f64>() / period as f64;
+    for v in seasonal.iter_mut() {
+        *v -= mean;
+    }
+}
+
+/// Loess smoothing with a tricube kernel and local linear regression.
+///
+/// `fraction` selects the bandwidth as a fraction of the series length.
+/// `robustness` multiplies the kernel weights (all 1.0 disables it).
+pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<Vec<f64>> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    if robustness.len() != data.len() {
+        return Err(StatsError::InvalidParameter(
+            "robustness weights length mismatch",
+        ));
+    }
+    let n = data.len();
+    let window = ((fraction * n as f64).ceil() as usize).clamp(3, n);
+    let half = window / 2;
+    let mut smoothed = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // The window is index-driven.
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (lo + window).min(n);
+        let lo = hi.saturating_sub(window);
+        // Tricube weights over the window.
+        let max_dist = ((i - lo).max(hi - 1 - i)).max(1) as f64;
+        let mut sw = 0.0;
+        let mut swx = 0.0;
+        let mut swy = 0.0;
+        let mut swxx = 0.0;
+        let mut swxy = 0.0;
+        for j in lo..hi {
+            let d = (j as f64 - i as f64).abs() / max_dist;
+            let tri = (1.0 - d.powi(3)).powi(3).max(0.0);
+            let w = tri * robustness[j];
+            let x = j as f64;
+            sw += w;
+            swx += w * x;
+            swy += w * data[j];
+            swxx += w * x * x;
+            swxy += w * x * data[j];
+        }
+        let denom = sw * swxx - swx * swx;
+        let value = if denom.abs() < 1e-12 || sw == 0.0 {
+            if sw > 0.0 {
+                swy / sw
+            } else {
+                data[i]
+            }
+        } else {
+            let slope = (sw * swxy - swx * swy) / denom;
+            let intercept = (swy - slope * swx) / sw;
+            intercept + slope * i as f64
+        };
+        smoothed.push(value);
+    }
+    Ok(smoothed)
+}
+
+/// Bisquare robustness weights from residuals: `(1 - (|r|/6·MAD)²)²`,
+/// clamped to zero outside.
+fn robustness_weights(residual: &[f64]) -> Result<Vec<f64>> {
+    let abs: Vec<f64> = residual.iter().map(|r| r.abs()).collect();
+    let s = descriptive::median(&abs)?.max(1e-12) * 6.0;
+    Ok(residual
+        .iter()
+        .map(|r| {
+            let u = (r.abs() / s).min(1.0);
+            (1.0 - u * u).powi(2)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal_series(n: usize, period: usize, amp: f64, trend_per_step: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                amp * (i as f64 / period as f64 * std::f64::consts::TAU).sin()
+                    + trend_per_step * i as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn components_sum_to_input() {
+        let data = seasonal_series(120, 24, 2.0, 0.05);
+        let d = decompose(&data, StlConfig::for_period(24)).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..data.len() {
+            let sum = d.seasonal[i] + d.trend[i] + d.residual[i];
+            assert!((sum - data[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_seasonal_amplitude() {
+        let data = seasonal_series(240, 24, 3.0, 0.0);
+        let d = decompose(&data, StlConfig::for_period(24)).unwrap();
+        let max_seasonal = d.seasonal.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            (max_seasonal - 3.0).abs() < 0.5,
+            "max seasonal = {max_seasonal}"
+        );
+    }
+
+    #[test]
+    fn trend_follows_linear_drift() {
+        let data = seasonal_series(240, 24, 1.0, 0.1);
+        let d = decompose(&data, StlConfig::for_period(24)).unwrap();
+        // The trend at the end should be about 0.1 * 239 = 23.9, within loess
+        // edge-effect tolerance.
+        let end_trend = *d.trend.last().unwrap();
+        assert!((end_trend - 23.9).abs() < 3.0, "end trend = {end_trend}");
+        // And the trend should be increasing overall.
+        assert!(d.trend.last().unwrap() > &(d.trend[0] + 15.0));
+    }
+
+    #[test]
+    fn deseasonalized_removes_cycle() {
+        let data = seasonal_series(240, 24, 5.0, 0.0);
+        let d = decompose(&data, StlConfig::for_period(24)).unwrap();
+        let des = d.deseasonalized();
+        let spread = des.iter().cloned().fold(f64::MIN, f64::max)
+            - des.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 2.0, "deseasonalized spread = {spread}");
+    }
+
+    #[test]
+    fn step_survives_into_deseasonalized() {
+        // A seasonal pattern with a mid-series +2 step: the step must land in
+        // trend+residual, not be absorbed by the seasonal component.
+        let mut data = seasonal_series(240, 24, 1.0, 0.0);
+        for v in data.iter_mut().skip(120) {
+            *v += 2.0;
+        }
+        let d = decompose(&data, StlConfig::for_period(24)).unwrap();
+        let des = d.deseasonalized();
+        let before: f64 = des[..100].iter().sum::<f64>() / 100.0;
+        let after: f64 = des[140..].iter().sum::<f64>() / (des.len() - 140) as f64;
+        assert!(
+            (after - before - 2.0).abs() < 0.5,
+            "shift = {}",
+            after - before
+        );
+    }
+
+    #[test]
+    fn robustness_downweights_outlier() {
+        let mut data = seasonal_series(240, 24, 1.0, 0.0);
+        data[100] += 50.0;
+        let cfg = StlConfig {
+            outer_iterations: 2,
+            ..StlConfig::for_period(24)
+        };
+        let d = decompose(&data, cfg).unwrap();
+        // The spike should be in the residual, not smeared into the trend.
+        assert!(d.residual[100] > 30.0);
+        assert!(d.trend[100] < 10.0);
+    }
+
+    #[test]
+    fn rejects_short_series_and_bad_period() {
+        let data = vec![1.0; 10];
+        assert!(decompose(&data, StlConfig::for_period(24)).is_err());
+        assert!(decompose(&data, StlConfig::for_period(1)).is_err());
+    }
+
+    #[test]
+    fn loess_reproduces_line() {
+        let data: Vec<f64> = (0..50).map(|i| 2.0 + 0.3 * i as f64).collect();
+        let w = vec![1.0; 50];
+        let s = loess_smooth(&data, 0.3, &w).unwrap();
+        for (a, b) in s.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

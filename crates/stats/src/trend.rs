@@ -1,0 +1,225 @@
+//! Trend statistics: the Mann-Kendall test and Theil-Sen slope estimator
+//! (§5.2.2).
+//!
+//! The went-away detector uses Mann-Kendall to decide whether a regression
+//! trend persists after a change point, and Theil-Sen to measure the trend's
+//! slope and intercept robustly.
+
+use crate::distributions::normal_two_sided_p;
+use crate::error::{ensure_finite, ensure_len};
+use crate::Result;
+
+/// Direction of a monotonic trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendDirection {
+    /// Statistically significant upward trend.
+    Increasing,
+    /// Statistically significant downward trend.
+    Decreasing,
+    /// No significant monotonic trend.
+    None,
+}
+
+/// Result of the Mann-Kendall trend test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannKendallResult {
+    /// The S statistic: the number of concordant minus discordant pairs.
+    pub s: i64,
+    /// The normalized Z statistic (with tie correction).
+    pub z: f64,
+    /// Two-sided p-value of Z under the null of no trend.
+    pub p_value: f64,
+    /// Detected direction at the requested significance.
+    pub direction: TrendDirection,
+}
+
+/// Mann-Kendall test for a monotonic trend.
+///
+/// # Examples
+///
+/// ```
+/// use fbd_stats::trend::{mann_kendall, TrendDirection};
+/// let data: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
+/// let r = mann_kendall(&data, 0.05).unwrap();
+/// assert_eq!(r.direction, TrendDirection::Increasing);
+/// ```
+pub fn mann_kendall(data: &[f64], significance: f64) -> Result<MannKendallResult> {
+    ensure_len(data, 4)?;
+    ensure_finite(data)?;
+    let n = data.len();
+    let mut s: i64 = 0;
+    for i in 0..n - 1 {
+        for j in i + 1..n {
+            s += match data[j].partial_cmp(&data[i]).expect("finite") {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+        }
+    }
+    // Variance with tie correction: Var(S) = [n(n-1)(2n+5) - Σ t(t-1)(2t+5)] / 18.
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut tie_term = 0.0;
+    let mut run = 1usize;
+    for i in 1..=n {
+        if i < n && sorted[i] == sorted[i - 1] {
+            run += 1;
+        } else {
+            if run > 1 {
+                let t = run as f64;
+                tie_term += t * (t - 1.0) * (2.0 * t + 5.0);
+            }
+            run = 1;
+        }
+    }
+    let nf = n as f64;
+    let var_s = (nf * (nf - 1.0) * (2.0 * nf + 5.0) - tie_term) / 18.0;
+    let z = if var_s <= 0.0 {
+        0.0
+    } else if s > 0 {
+        (s as f64 - 1.0) / var_s.sqrt()
+    } else if s < 0 {
+        (s as f64 + 1.0) / var_s.sqrt()
+    } else {
+        0.0
+    };
+    let p_value = normal_two_sided_p(z);
+    let direction = if p_value < significance {
+        if s > 0 {
+            TrendDirection::Increasing
+        } else {
+            TrendDirection::Decreasing
+        }
+    } else {
+        TrendDirection::None
+    };
+    Ok(MannKendallResult {
+        s,
+        z,
+        p_value,
+        direction,
+    })
+}
+
+/// A robust line fit from the Theil-Sen estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheilSenFit {
+    /// Median of all pairwise slopes.
+    pub slope: f64,
+    /// Median of `y_i - slope * i`.
+    pub intercept: f64,
+}
+
+/// Theil-Sen slope estimator over equally spaced samples (x = index).
+///
+/// Computes the median of all pairwise slopes `(y_j - y_i)/(j - i)`, which is
+/// robust to up to ~29% outliers.
+pub fn theil_sen(data: &[f64]) -> Result<TheilSenFit> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    let n = data.len();
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n - 1 {
+        for j in i + 1..n {
+            slopes.push((data[j] - data[i]) / (j - i) as f64);
+        }
+    }
+    slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let slope = median_of_sorted(&slopes);
+    let mut intercepts: Vec<f64> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| y - slope * i as f64)
+        .collect();
+    intercepts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let intercept = median_of_sorted(&intercepts);
+    Ok(TheilSenFit { slope, intercept })
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mann_kendall_finds_increase() {
+        let data: Vec<f64> = (0..30)
+            .map(|i| i as f64 + ((i * 37) % 7) as f64 * 0.1)
+            .collect();
+        let r = mann_kendall(&data, 0.05).unwrap();
+        assert_eq!(r.direction, TrendDirection::Increasing);
+        assert!(r.s > 0);
+    }
+
+    #[test]
+    fn mann_kendall_finds_decrease() {
+        let data: Vec<f64> = (0..30).map(|i| 100.0 - i as f64).collect();
+        let r = mann_kendall(&data, 0.05).unwrap();
+        assert_eq!(r.direction, TrendDirection::Decreasing);
+        assert!(r.s < 0);
+    }
+
+    #[test]
+    fn mann_kendall_no_trend_on_alternating() {
+        let data: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
+        let r = mann_kendall(&data, 0.05).unwrap();
+        assert_eq!(r.direction, TrendDirection::None);
+    }
+
+    #[test]
+    fn mann_kendall_handles_ties() {
+        let data = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 5.0];
+        let r = mann_kendall(&data, 0.05).unwrap();
+        assert_eq!(r.direction, TrendDirection::Increasing);
+    }
+
+    #[test]
+    fn mann_kendall_constant_series() {
+        let data = vec![5.0; 20];
+        let r = mann_kendall(&data, 0.05).unwrap();
+        assert_eq!(r.s, 0);
+        assert_eq!(r.direction, TrendDirection::None);
+    }
+
+    #[test]
+    fn theil_sen_exact_line() {
+        let data: Vec<f64> = (0..20).map(|i| 3.0 + 0.5 * i as f64).collect();
+        let fit = theil_sen(&data).unwrap();
+        assert!((fit.slope - 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theil_sen_robust_to_outliers() {
+        let mut data: Vec<f64> = (0..30).map(|i| 1.0 + 0.2 * i as f64).collect();
+        data[5] = 100.0;
+        data[20] = -50.0;
+        let fit = theil_sen(&data).unwrap();
+        assert!((fit.slope - 0.2).abs() < 0.05, "slope = {}", fit.slope);
+    }
+
+    #[test]
+    fn theil_sen_flat_series() {
+        let data = vec![7.0; 10];
+        let fit = theil_sen(&data).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 7.0);
+    }
+
+    #[test]
+    fn short_inputs_error() {
+        assert!(mann_kendall(&[1.0, 2.0], 0.05).is_err());
+        assert!(theil_sen(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the statistical substrate.
+
+use fbd_stats::{
+    changepoint, cusum, descriptive, distributions, fourier, regression, sax, smoothing, stl, text,
+    trend,
+};
+use proptest::prelude::*;
+
+fn finite_series(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, min_len..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_within_min_max(data in finite_series(1, 200)) {
+        let m = descriptive::mean(&data).unwrap();
+        let lo = descriptive::min(&data).unwrap();
+        let hi = descriptive::max(&data).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_non_negative(data in finite_series(2, 200)) {
+        prop_assert!(descriptive::variance(&data).unwrap() >= 0.0);
+        prop_assert!(descriptive::population_variance(&data).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn percentiles_monotone(data in finite_series(1, 100)) {
+        let p10 = descriptive::percentile(&data, 10.0).unwrap();
+        let p50 = descriptive::percentile(&data, 50.0).unwrap();
+        let p90 = descriptive::percentile(&data, 90.0).unwrap();
+        prop_assert!(p10 <= p50 + 1e-9);
+        prop_assert!(p50 <= p90 + 1e-9);
+    }
+
+    #[test]
+    fn median_equals_p50(data in finite_series(1, 100)) {
+        let med = descriptive::median(&data).unwrap();
+        let p50 = descriptive::percentile(&data, 50.0).unwrap();
+        prop_assert!((med - p50).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mad_invariant_under_shift(data in finite_series(3, 100), shift in -1e3f64..1e3) {
+        let m1 = descriptive::mad(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|v| v + shift).collect();
+        let m2 = descriptive::mad(&shifted).unwrap();
+        prop_assert!((m1 - m2).abs() < 1e-6 * (1.0 + m1.abs()));
+    }
+
+    #[test]
+    fn cusum_series_ends_near_zero(data in finite_series(2, 200)) {
+        let s = cusum::cusum_series(&data).unwrap();
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(s.last().unwrap().abs() < 1e-6 * scale * data.len() as f64);
+    }
+
+    #[test]
+    fn change_point_in_bounds(data in finite_series(4, 200)) {
+        let r = cusum::detect_change_point(&data).unwrap();
+        prop_assert!(r.index < data.len() - 1);
+    }
+
+    #[test]
+    fn injected_step_is_found(
+        n1 in 20usize..60,
+        n2 in 20usize..60,
+        base in -100.0f64..100.0,
+        step in 1.0f64..50.0,
+    ) {
+        let mut data = vec![base; n1];
+        data.extend(vec![base + step; n2]);
+        let r = cusum::detect_change_point(&data).unwrap();
+        prop_assert_eq!(r.index, n1 - 1);
+        prop_assert!((r.mean_shift - step).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_split_cost_never_exceeds_unsplit(data in finite_series(4, 150)) {
+        let r = changepoint::optimal_single_split(&data).unwrap();
+        prop_assert!(r.cost <= r.unsplit_cost + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&r.gain()));
+    }
+
+    #[test]
+    fn theil_sen_shift_invariance(data in finite_series(3, 60), shift in -1e3f64..1e3) {
+        let f1 = trend::theil_sen(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|v| v + shift).collect();
+        let f2 = trend::theil_sen(&shifted).unwrap();
+        prop_assert!((f1.slope - f2.slope).abs() < 1e-6 * (1.0 + f1.slope.abs()));
+    }
+
+    #[test]
+    fn mann_kendall_antisymmetry(data in finite_series(4, 60)) {
+        let up = trend::mann_kendall(&data, 0.05).unwrap();
+        let negated: Vec<f64> = data.iter().map(|v| -v).collect();
+        let down = trend::mann_kendall(&negated, 0.05).unwrap();
+        prop_assert_eq!(up.s, -down.s);
+    }
+
+    #[test]
+    fn sax_symbols_in_range(data in finite_series(1, 100), buckets in 1usize..30) {
+        let cfg = sax::SaxConfig { buckets, validity_fraction: 0.03 };
+        let s = sax::encode(&data, cfg).unwrap();
+        prop_assert!(s.symbols.iter().all(|&x| (x as usize) < buckets));
+        prop_assert_eq!(s.histogram.iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn sax_reencode_own_data_matches(data in finite_series(2, 100)) {
+        let cfg = sax::SaxConfig { buckets: 10, validity_fraction: 0.0 };
+        let s = sax::encode(&data, cfg).unwrap();
+        let re = s.encode_with_same_buckets(&data).unwrap();
+        prop_assert_eq!(&s.symbols, &re.symbols);
+    }
+
+    #[test]
+    fn pearson_bounds(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100)) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Ok(r) = regression::pearson(&a, &b) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(data in finite_series(3, 80)) {
+        if let Ok(fit) = regression::linear_fit(&data) {
+            // Residuals sum to ~0 for OLS with intercept.
+            let resid_sum: f64 = data
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| y - fit.predict(i as f64))
+                .sum();
+            let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            prop_assert!(resid_sum.abs() < 1e-6 * scale * data.len() as f64);
+        }
+    }
+
+    #[test]
+    fn stl_reconstruction(data in finite_series(48, 150)) {
+        let cfg = stl::StlConfig::for_period(12);
+        let d = stl::decompose(&data, cfg).unwrap();
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (i, &value) in data.iter().enumerate() {
+            let sum = d.seasonal[i] + d.trend[i] + d.residual[i];
+            prop_assert!((sum - value).abs() < 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn moving_average_bounded_by_extremes(data in finite_series(5, 100)) {
+        let out = smoothing::centered_moving_average(&data, 5).unwrap();
+        let lo = descriptive::min(&data).unwrap();
+        let hi = descriptive::max(&data).unwrap();
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    #[test]
+    fn spectrum_non_negative(data in finite_series(4, 128)) {
+        let mags = fourier::magnitude_spectrum(&data).unwrap();
+        prop_assert!(mags.iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn cosine_similarity_symmetric(a in "[a-z]{1,20}", b in "[a-z]{1,20}") {
+        let model = text::TfIdf::fit(&[a.as_str(), b.as_str()], &[2, 3]);
+        let s1 = model.similarity(&a, &b);
+        let s2 = model.similarity(&b, &a);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&s1));
+    }
+
+    #[test]
+    fn normal_cdf_monotone(z1 in -5.0f64..5.0, z2 in -5.0f64..5.0) {
+        let (lo, hi) = if z1 < z2 { (z1, z2) } else { (z2, z1) };
+        prop_assert!(distributions::normal_cdf(lo) <= distributions::normal_cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn t_critical_decreases_with_alpha(dof in 2.0f64..200.0) {
+        let t01 = distributions::student_t_critical(0.01, dof);
+        let t05 = distributions::student_t_critical(0.05, dof);
+        prop_assert!(t01 > t05);
+    }
+}

@@ -1,0 +1,146 @@
+//! Fleet-wide aggregation of many per-server series.
+//!
+//! The paper's §2 simulations average the per-server time series of `m`
+//! servers to demonstrate the Law of Large Numbers (Figures 2 and 3). These
+//! helpers perform that pointwise averaging and related cross-series
+//! reductions.
+
+use crate::series::TimeSeries;
+use crate::{Result, TsdbError};
+
+/// Pointwise mean of equal-length value vectors.
+///
+/// All inputs must be the same length; returns an error otherwise or when
+/// the input is empty.
+pub fn mean_of_series(series: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let Some(first) = series.first() else {
+        return Err(TsdbError::EmptyWindow("aggregate input"));
+    };
+    let n = first.len();
+    if n == 0 {
+        return Err(TsdbError::EmptyWindow("aggregate input"));
+    }
+    if series.iter().any(|s| s.len() != n) {
+        return Err(TsdbError::InvalidRange);
+    }
+    let mut out = vec![0.0; n];
+    for s in series {
+        for (o, v) in out.iter_mut().zip(s) {
+            *o += v;
+        }
+    }
+    let m = series.len() as f64;
+    for o in out.iter_mut() {
+        *o /= m;
+    }
+    Ok(out)
+}
+
+/// Pointwise sum of equal-length value vectors.
+pub fn sum_of_series(series: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let mean = mean_of_series(series)?;
+    let m = series.len() as f64;
+    Ok(mean.into_iter().map(|v| v * m).collect())
+}
+
+/// Aligns several [`TimeSeries`] onto a common bucketed grid and averages
+/// them: each series is downsampled to `bucket`-second resolution, then the
+/// bucket values present in *all* series are averaged.
+pub fn aligned_mean(series: &[TimeSeries], bucket: u64) -> Result<TimeSeries> {
+    if series.is_empty() {
+        return Err(TsdbError::EmptyWindow("aggregate input"));
+    }
+    use std::collections::BTreeMap;
+    let mut sums: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+    for s in series {
+        let d = s.downsample(bucket)?;
+        for p in d.points() {
+            // Snap to the global grid so different start offsets align.
+            let key = p.timestamp / bucket * bucket;
+            let e = sums.entry(key).or_insert((0.0, 0));
+            e.0 += p.value;
+            e.1 += 1;
+        }
+    }
+    let full = series.len();
+    let mut out = TimeSeries::new();
+    for (t, (sum, count)) in sums {
+        if count == full {
+            out.append(t, sum / count as f64)
+                .expect("BTreeMap iterates in order");
+        }
+    }
+    if out.is_empty() {
+        return Err(TsdbError::EmptyWindow("aligned mean"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_two_series() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 4.0, 5.0];
+        assert_eq!(mean_of_series(&[a, b]).unwrap(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sum_of_series_works() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(sum_of_series(&[a, b]).unwrap(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_rejects_mismatched_lengths() {
+        assert!(mean_of_series(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(mean_of_series(&[]).is_err());
+        assert!(mean_of_series(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        // m deterministic noisy series; the averaged variance should shrink
+        // roughly like 1/m (Law of Large Numbers, Appendix A.1).
+        let make = |seed: u64| -> Vec<f64> {
+            (0..500u64)
+                .map(|i| {
+                    let mut z = (i ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    ((z >> 33) % 1000) as f64 / 1000.0
+                })
+                .collect()
+        };
+        let one = make(1);
+        let many: Vec<Vec<f64>> = (0..64).map(make).collect();
+        let avg = mean_of_series(&many).unwrap();
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&avg) < var(&one) / 16.0);
+    }
+
+    #[test]
+    fn aligned_mean_over_common_buckets() {
+        let a = TimeSeries::from_values(0, 1, &[1.0, 1.0, 3.0, 3.0]);
+        let b = TimeSeries::from_values(0, 1, &[3.0, 3.0, 5.0, 5.0]);
+        let m = aligned_mean(&[a, b], 2).unwrap();
+        assert_eq!(m.values(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn aligned_mean_skips_partial_buckets() {
+        let a = TimeSeries::from_values(0, 1, &[1.0, 1.0]);
+        let b = TimeSeries::from_values(0, 1, &[3.0, 3.0, 5.0, 5.0]);
+        let m = aligned_mean(&[a, b], 2).unwrap();
+        // Only the first bucket is present in both series.
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.values(), vec![2.0]);
+    }
+}

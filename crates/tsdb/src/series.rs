@@ -1,0 +1,220 @@
+//! A single append-only time series.
+
+use crate::types::{DataPoint, Timestamp};
+use crate::{Result, TsdbError};
+
+/// An append-only, timestamp-ordered series of samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<DataPoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Builds a series from `(timestamp, value)` pairs; the pairs must be in
+    /// non-decreasing timestamp order.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Timestamp, f64)>) -> Result<Self> {
+        let mut s = TimeSeries::new();
+        for (t, v) in pairs {
+            s.append(t, v)?;
+        }
+        Ok(s)
+    }
+
+    /// Builds a series from values sampled at a fixed interval starting at
+    /// `start`.
+    pub fn from_values(start: Timestamp, interval: Timestamp, values: &[f64]) -> Self {
+        let points = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| DataPoint::new(start + i as Timestamp * interval, v))
+            .collect();
+        TimeSeries { points }
+    }
+
+    /// Appends a sample; timestamps must be non-decreasing.
+    pub fn append(&mut self, timestamp: Timestamp, value: f64) -> Result<()> {
+        if let Some(last) = self.points.last() {
+            if timestamp < last.timestamp {
+                return Err(TsdbError::OutOfOrderAppend {
+                    last: last.timestamp,
+                    attempted: timestamp,
+                });
+            }
+        }
+        self.points.push(DataPoint::new(timestamp, value));
+        Ok(())
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points, in timestamp order.
+    pub fn points(&self) -> &[DataPoint] {
+        &self.points
+    }
+
+    /// All values, in timestamp order.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// Timestamp of the first point.
+    pub fn first_timestamp(&self) -> Option<Timestamp> {
+        self.points.first().map(|p| p.timestamp)
+    }
+
+    /// Timestamp of the last point.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.points.last().map(|p| p.timestamp)
+    }
+
+    /// Points with timestamps in `[start, end)`.
+    pub fn range(&self, start: Timestamp, end: Timestamp) -> Result<&[DataPoint]> {
+        if start >= end {
+            return Err(TsdbError::InvalidRange);
+        }
+        let lo = self.points.partition_point(|p| p.timestamp < start);
+        let hi = self.points.partition_point(|p| p.timestamp < end);
+        Ok(&self.points[lo..hi])
+    }
+
+    /// Values with timestamps in `[start, end)`.
+    pub fn values_in(&self, start: Timestamp, end: Timestamp) -> Result<Vec<f64>> {
+        Ok(self.range(start, end)?.iter().map(|p| p.value).collect())
+    }
+
+    /// Drops all points older than `cutoff` (exclusive). Returns how many
+    /// points were removed.
+    pub fn expire_before(&mut self, cutoff: Timestamp) -> usize {
+        let keep_from = self.points.partition_point(|p| p.timestamp < cutoff);
+        self.points.drain(..keep_from).count()
+    }
+
+    /// Downsamples by averaging points into buckets of `bucket` seconds
+    /// aligned to the first timestamp. Returns a new series with one point
+    /// per non-empty bucket, timestamped at the bucket start.
+    pub fn downsample(&self, bucket: Timestamp) -> Result<TimeSeries> {
+        if bucket == 0 {
+            return Err(TsdbError::InvalidRange);
+        }
+        let Some(start) = self.first_timestamp() else {
+            return Ok(TimeSeries::new());
+        };
+        let mut out = TimeSeries::new();
+        let mut bucket_start = start;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for p in &self.points {
+            while p.timestamp >= bucket_start + bucket {
+                if count > 0 {
+                    out.append(bucket_start, sum / count as f64)?;
+                    sum = 0.0;
+                    count = 0;
+                }
+                bucket_start += bucket;
+            }
+            sum += p.value;
+            count += 1;
+        }
+        if count > 0 {
+            out.append(bucket_start, sum / count as f64)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_query() {
+        let mut s = TimeSeries::new();
+        for i in 0..10 {
+            s.append(i * 10, i as f64).unwrap();
+        }
+        assert_eq!(s.len(), 10);
+        let r = s.range(20, 50).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].value, 2.0);
+        assert_eq!(s.values_in(0, 1000).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn rejects_out_of_order() {
+        let mut s = TimeSeries::new();
+        s.append(100, 1.0).unwrap();
+        assert!(matches!(
+            s.append(50, 2.0),
+            Err(TsdbError::OutOfOrderAppend { .. })
+        ));
+        // Equal timestamps are allowed (multiple servers reporting at once).
+        assert!(s.append(100, 3.0).is_ok());
+    }
+
+    #[test]
+    fn range_validation() {
+        let s = TimeSeries::from_values(0, 1, &[1.0, 2.0]);
+        assert!(matches!(s.range(5, 5), Err(TsdbError::InvalidRange)));
+        assert!(matches!(s.range(6, 5), Err(TsdbError::InvalidRange)));
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let s = TimeSeries::from_values(0, 10, &[1.0, 2.0, 3.0]);
+        let r = s.range(0, 20).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn expire_removes_old_points() {
+        let mut s = TimeSeries::from_values(0, 1, &[1.0, 2.0, 3.0, 4.0]);
+        let removed = s.expire_before(2);
+        assert_eq!(removed, 2);
+        assert_eq!(s.first_timestamp(), Some(2));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn downsample_averages_buckets() {
+        let s = TimeSeries::from_values(0, 1, &[1.0, 3.0, 5.0, 7.0]);
+        let d = s.downsample(2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.points()[0].value, 2.0);
+        assert_eq!(d.points()[1].value, 6.0);
+    }
+
+    #[test]
+    fn downsample_skips_empty_buckets() {
+        let s = TimeSeries::from_pairs([(0, 1.0), (1, 1.0), (10, 5.0)]).unwrap();
+        let d = s.downsample(2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.points()[1].timestamp, 10);
+    }
+
+    #[test]
+    fn downsample_zero_bucket_errors() {
+        let s = TimeSeries::from_values(0, 1, &[1.0]);
+        assert!(s.downsample(0).is_err());
+    }
+
+    #[test]
+    fn from_pairs_roundtrip() {
+        let s = TimeSeries::from_pairs([(5, 1.5), (6, 2.5)]).unwrap();
+        assert_eq!(s.values(), vec![1.5, 2.5]);
+        assert_eq!(s.first_timestamp(), Some(5));
+        assert_eq!(s.last_timestamp(), Some(6));
+    }
+}

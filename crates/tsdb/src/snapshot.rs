@@ -1,0 +1,191 @@
+//! Store snapshots: serialize a whole store to a compact line-oriented
+//! format and restore it.
+//!
+//! The bench harness and examples generate expensive simulations; snapshots
+//! let a generated store be persisted and reloaded without rerunning the
+//! simulator. The format is deliberately simple and versioned: one header
+//! line, then one line per series (`service\tmetric\ttarget\tt:v,t:v,...`).
+
+use crate::series::TimeSeries;
+use crate::store::TsdbStore;
+use crate::types::{MetricKind, SeriesId};
+use crate::{Result, TsdbError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+const HEADER: &str = "fbdetect-tsdb-snapshot v1";
+
+fn metric_from_name(name: &str) -> Option<MetricKind> {
+    Some(match name {
+        "gcpu" => MetricKind::GCpu,
+        "endpoint_cost" => MetricKind::EndpointCost,
+        "cpu" => MetricKind::Cpu,
+        "memory" => MetricKind::Memory,
+        "throughput" => MetricKind::Throughput,
+        "latency" => MetricKind::Latency,
+        "error_rate" => MetricKind::ErrorRate,
+        "coredumps" => MetricKind::CoredumpCount,
+        "application" => MetricKind::Application,
+        _ => return None,
+    })
+}
+
+/// Writes a snapshot of the whole store.
+pub fn write_snapshot<W: Write>(store: &TsdbStore, mut writer: W) -> Result<()> {
+    let io_err = |_| TsdbError::InvalidWindowConfig("snapshot write failed");
+    writeln!(writer, "{HEADER}").map_err(io_err)?;
+    for id in store.series_ids() {
+        let series = store.get(&id)?;
+        write!(
+            writer,
+            "{}\t{}\t{}\t",
+            id.service,
+            id.metric.name(),
+            id.target
+        )
+        .map_err(io_err)?;
+        let mut first = true;
+        for p in series.points() {
+            if !first {
+                write!(writer, ",").map_err(io_err)?;
+            }
+            first = false;
+            write!(writer, "{}:{}", p.timestamp, p.value).map_err(io_err)?;
+        }
+        writeln!(writer).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot into a fresh store.
+pub fn read_snapshot<R: Read>(reader: R) -> Result<TsdbStore> {
+    let parse_err = TsdbError::InvalidWindowConfig("malformed snapshot");
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or(parse_err.clone())?
+        .map_err(|_| parse_err.clone())?;
+    if header != HEADER {
+        return Err(TsdbError::InvalidWindowConfig("unknown snapshot version"));
+    }
+    let store = TsdbStore::new();
+    for line in lines {
+        let line = line.map_err(|_| parse_err.clone())?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.splitn(4, '\t');
+        let service = fields.next().ok_or(parse_err.clone())?;
+        let metric = fields
+            .next()
+            .and_then(metric_from_name)
+            .ok_or(parse_err.clone())?;
+        let target = fields.next().ok_or(parse_err.clone())?;
+        let points = fields.next().ok_or(parse_err.clone())?;
+        let mut series = TimeSeries::new();
+        if !points.is_empty() {
+            for pair in points.split(',') {
+                let (t, v) = pair.split_once(':').ok_or(parse_err.clone())?;
+                let t: u64 = t.parse().map_err(|_| parse_err.clone())?;
+                let v: f64 = v.parse().map_err(|_| parse_err.clone())?;
+                series.append(t, v)?;
+            }
+        }
+        store.insert_series(SeriesId::new(service, metric, target), series);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_store() -> TsdbStore {
+        let store = TsdbStore::new();
+        store
+            .append(&SeriesId::new("svc", MetricKind::GCpu, "foo"), 10, 0.125)
+            .unwrap();
+        store
+            .append(&SeriesId::new("svc", MetricKind::GCpu, "foo"), 20, 0.25)
+            .unwrap();
+        store
+            .append(&SeriesId::new("other", MetricKind::Throughput, ""), 5, 1e6)
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = demo_store();
+        let mut buf = Vec::new();
+        write_snapshot(&store, &mut buf).unwrap();
+        let restored = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(restored.series_count(), store.series_count());
+        for id in store.series_ids() {
+            assert_eq!(restored.get(&id).unwrap(), store.get(&id).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_float_precision() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("s", MetricKind::GCpu, "x");
+        // Values that are not exactly representable in short decimal.
+        for (t, v) in [(0u64, 0.1f64), (1, 1.0 / 3.0), (2, 5e-17)] {
+            store.append(&id, t, v).unwrap();
+        }
+        let mut buf = Vec::new();
+        write_snapshot(&store, &mut buf).unwrap();
+        let restored = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(restored.get(&id).unwrap(), store.get(&id).unwrap());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(read_snapshot("nope\n".as_bytes()).is_err());
+        assert!(read_snapshot("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let text = format!("{HEADER}\nsvc\tgcpu\tfoo\tnot-a-point\n");
+        assert!(read_snapshot(text.as_bytes()).is_err());
+        let text = format!("{HEADER}\nsvc\tnosuchmetric\tfoo\t1:2\n");
+        assert!(read_snapshot(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn all_metric_kinds_roundtrip() {
+        use MetricKind::*;
+        let store = TsdbStore::new();
+        for (i, m) in [
+            GCpu,
+            EndpointCost,
+            Cpu,
+            Memory,
+            Throughput,
+            Latency,
+            ErrorRate,
+            CoredumpCount,
+            Application,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            store
+                .append(&SeriesId::new("s", m, format!("t{i}")), 0, i as f64)
+                .unwrap();
+        }
+        let mut buf = Vec::new();
+        write_snapshot(&store, &mut buf).unwrap();
+        let restored = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(restored.series_count(), 9);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let mut buf = Vec::new();
+        write_snapshot(&TsdbStore::new(), &mut buf).unwrap();
+        let restored = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(restored.series_count(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Concurrent store mapping series ids to time series.
+
+use crate::series::TimeSeries;
+use crate::types::{SeriesId, Timestamp};
+use crate::window::{extract_windows, WindowConfig, WindowedData};
+use crate::{Result, TsdbError};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe in-memory time-series store.
+///
+/// Writers (the fleet simulator's collectors) append samples concurrently
+/// with readers (the detection pipeline scanning windows). The store is
+/// sharded by series id hash to keep lock contention low.
+#[derive(Debug, Default)]
+pub struct TsdbStore {
+    shards: Vec<RwLock<BTreeMap<SeriesId, TimeSeries>>>,
+}
+
+const SHARD_COUNT: usize = 16;
+
+impl TsdbStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TsdbStore {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Creates a store wrapped in an [`Arc`] for sharing across threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn shard(&self, id: &SeriesId) -> &RwLock<BTreeMap<SeriesId, TimeSeries>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        id.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Appends a sample, creating the series on first write.
+    pub fn append(&self, id: &SeriesId, timestamp: Timestamp, value: f64) -> Result<()> {
+        let mut shard = self.shard(id).write();
+        shard
+            .entry(id.clone())
+            .or_default()
+            .append(timestamp, value)
+    }
+
+    /// Inserts (or replaces) a whole series.
+    pub fn insert_series(&self, id: SeriesId, series: TimeSeries) {
+        self.shard(&id).write().insert(id, series);
+    }
+
+    /// Returns a clone of the series, or an error if absent.
+    pub fn get(&self, id: &SeriesId) -> Result<TimeSeries> {
+        self.shard(id)
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))
+    }
+
+    /// Whether a series exists.
+    pub fn contains(&self, id: &SeriesId) -> bool {
+        self.shard(id).read().contains_key(id)
+    }
+
+    /// All series ids, sorted.
+    pub fn series_ids(&self) -> Vec<SeriesId> {
+        let mut ids: Vec<SeriesId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Series ids belonging to one service, sorted.
+    pub fn series_ids_for_service(&self, service: &str) -> Vec<SeriesId> {
+        let mut ids: Vec<SeriesId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .keys()
+                    .filter(|id| id.service == service)
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of stored series.
+    pub fn series_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Extracts detection windows for one series at scan time `now`.
+    pub fn windows(
+        &self,
+        id: &SeriesId,
+        config: &WindowConfig,
+        now: Timestamp,
+    ) -> Result<WindowedData> {
+        let shard = self.shard(id).read();
+        let series = shard
+            .get(id)
+            .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))?;
+        extract_windows(series, config, now)
+    }
+
+    /// Applies a retention policy: drops points older than `cutoff` in all
+    /// series and removes series that become empty. Returns the number of
+    /// points removed.
+    pub fn expire_before(&self, cutoff: Timestamp) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|_, series| {
+                removed += series.expire_before(cutoff);
+                !series.is_empty()
+            });
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MetricKind;
+
+    fn id(target: &str) -> SeriesId {
+        SeriesId::new("svc", MetricKind::GCpu, target)
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let store = TsdbStore::new();
+        store.append(&id("a"), 1, 0.5).unwrap();
+        store.append(&id("a"), 2, 0.6).unwrap();
+        let s = store.get(&id("a")).unwrap();
+        assert_eq!(s.values(), vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn missing_series_errors() {
+        let store = TsdbStore::new();
+        assert!(matches!(
+            store.get(&id("nope")),
+            Err(TsdbError::SeriesNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn series_listing_by_service() {
+        let store = TsdbStore::new();
+        store
+            .append(&SeriesId::new("a", MetricKind::Cpu, ""), 0, 1.0)
+            .unwrap();
+        store
+            .append(&SeriesId::new("b", MetricKind::Cpu, ""), 0, 1.0)
+            .unwrap();
+        store
+            .append(&SeriesId::new("a", MetricKind::Memory, ""), 0, 1.0)
+            .unwrap();
+        assert_eq!(store.series_count(), 3);
+        assert_eq!(store.series_ids_for_service("a").len(), 2);
+        assert_eq!(store.series_ids().len(), 3);
+    }
+
+    #[test]
+    fn windows_through_store() {
+        let store = TsdbStore::new();
+        for t in 0..200u64 {
+            store.append(&id("w"), t, t as f64).unwrap();
+        }
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        let w = store.windows(&id("w"), &cfg, 150).unwrap();
+        assert_eq!(w.historic.len(), 100);
+        assert_eq!(w.analysis.len(), 50);
+    }
+
+    #[test]
+    fn retention_drops_points_and_empty_series() {
+        let store = TsdbStore::new();
+        store.append(&id("old"), 10, 1.0).unwrap();
+        store.append(&id("new"), 100, 1.0).unwrap();
+        let removed = store.expire_before(50);
+        assert_eq!(removed, 1);
+        assert!(!store.contains(&id("old")));
+        assert!(store.contains(&id("new")));
+    }
+
+    #[test]
+    fn concurrent_appends() {
+        let store = TsdbStore::shared();
+        let mut handles = Vec::new();
+        for worker in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let sid = id(&format!("t{worker}"));
+                for t in 0..1000u64 {
+                    store.append(&sid, t, t as f64).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.series_count(), 8);
+        for worker in 0..8 {
+            assert_eq!(store.get(&id(&format!("t{worker}"))).unwrap().len(), 1000);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Detection windows (Figure 4).
+//!
+//! FBDetect divides a series into three parts relative to the scan time:
+//! the *historic window* (the comparison baseline), the *analysis window*
+//! (where regressions are reported), and the *extended window* (used to
+//! evaluate whether an observed regression persists or disappears). Each
+//! workload configures its own window lengths and re-run interval (Table 1).
+
+use crate::series::TimeSeries;
+use crate::types::Timestamp;
+use crate::{Result, TsdbError};
+
+/// Seconds in one hour.
+pub const HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const DAY: u64 = 24 * HOUR;
+
+/// Lengths of the three detection windows plus the re-run interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Baseline window length in seconds (Table 1 "Historical Window").
+    pub historic: u64,
+    /// Analysis window length in seconds.
+    pub analysis: u64,
+    /// Extended window length in seconds; zero disables it (Table 1 "N/A").
+    pub extended: u64,
+    /// How often the detector re-scans, in seconds.
+    pub rerun_interval: u64,
+}
+
+impl WindowConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.historic == 0 {
+            return Err(TsdbError::InvalidWindowConfig("historic window is zero"));
+        }
+        if self.analysis == 0 {
+            return Err(TsdbError::InvalidWindowConfig("analysis window is zero"));
+        }
+        if self.rerun_interval == 0 {
+            return Err(TsdbError::InvalidWindowConfig("re-run interval is zero"));
+        }
+        Ok(())
+    }
+
+    /// Total span covered by all windows.
+    pub fn total_span(&self) -> u64 {
+        self.historic + self.analysis + self.extended
+    }
+}
+
+/// Data extracted for one detection scan.
+///
+/// Window layout relative to the scan time `now` (Figure 4): the extended
+/// window ends at `now`, preceded by the analysis window, preceded by the
+/// historic window. When the extended window is disabled the analysis
+/// window ends at `now`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedData {
+    /// Values in the historic window, time-ordered.
+    pub historic: Vec<f64>,
+    /// Values in the analysis window, time-ordered.
+    pub analysis: Vec<f64>,
+    /// Values in the extended window (empty when disabled).
+    pub extended: Vec<f64>,
+    /// Start of the analysis window.
+    pub analysis_start: Timestamp,
+    /// End of the analysis window.
+    pub analysis_end: Timestamp,
+}
+
+impl WindowedData {
+    /// Analysis plus extended values, the "post-historic" region.
+    pub fn analysis_and_extended(&self) -> Vec<f64> {
+        let mut v = self.analysis.clone();
+        v.extend_from_slice(&self.extended);
+        v
+    }
+
+    /// Historic plus analysis plus extended — the whole scan region.
+    pub fn all(&self) -> Vec<f64> {
+        let mut v = self.historic.clone();
+        v.extend_from_slice(&self.analysis);
+        v.extend_from_slice(&self.extended);
+        v
+    }
+}
+
+/// Extracts the three windows from `series` for a scan at time `now`.
+///
+/// Returns an error when the historic or analysis window holds no data;
+/// an empty extended window is allowed (it may simply not have elapsed).
+pub fn extract_windows(
+    series: &TimeSeries,
+    config: &WindowConfig,
+    now: Timestamp,
+) -> Result<WindowedData> {
+    config.validate()?;
+    let extended_start = now.saturating_sub(config.extended);
+    let analysis_end = extended_start;
+    let analysis_start = analysis_end.saturating_sub(config.analysis);
+    let historic_start = analysis_start.saturating_sub(config.historic);
+    let historic = if analysis_start > historic_start {
+        series
+            .values_in(historic_start, analysis_start)
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let analysis = if analysis_end > analysis_start {
+        series
+            .values_in(analysis_start, analysis_end)
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let extended = if now > extended_start {
+        series.values_in(extended_start, now).unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    if historic.is_empty() {
+        return Err(TsdbError::EmptyWindow("historic"));
+    }
+    if analysis.is_empty() {
+        return Err(TsdbError::EmptyWindow("analysis"));
+    }
+    Ok(WindowedData {
+        historic,
+        analysis,
+        extended,
+        analysis_start,
+        analysis_end,
+    })
+}
+
+/// Table 1 window configurations, for convenience in tests and benches.
+pub mod presets {
+    use super::{WindowConfig, DAY, HOUR};
+
+    /// FrontFaaS large-regression configuration (3% threshold).
+    pub const FRONTFAAS_LARGE: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: 3 * HOUR,
+        extended: 0,
+        rerun_interval: 30 * 60,
+    };
+    /// FrontFaaS small-regression configuration (0.005% threshold).
+    pub const FRONTFAAS_SMALL: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: 4 * HOUR,
+        extended: 6 * HOUR,
+        rerun_interval: 2 * HOUR,
+    };
+    /// PythonFaaS large-regression configuration.
+    pub const PYTHONFAAS_LARGE: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: 6 * HOUR,
+        extended: 0,
+        rerun_interval: HOUR,
+    };
+    /// PythonFaaS small-regression configuration.
+    pub const PYTHONFAAS_SMALL: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: 6 * HOUR,
+        extended: 6 * HOUR,
+        rerun_interval: 4 * HOUR,
+    };
+    /// TAO (FrontFaaS traffic) configuration.
+    pub const TAO_FRONTFAAS: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: 4 * HOUR,
+        extended: DAY,
+        rerun_interval: 2 * HOUR,
+    };
+    /// TAO (non-FrontFaaS traffic) configuration.
+    pub const TAO_OTHER: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: DAY,
+        extended: 6 * HOUR,
+        rerun_interval: HOUR,
+    };
+    /// AdServing short configuration.
+    pub const ADSERVING_SHORT: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: DAY,
+        extended: 12 * HOUR,
+        rerun_interval: 6 * HOUR,
+    };
+    /// AdServing long configuration.
+    pub const ADSERVING_LONG: WindowConfig = WindowConfig {
+        historic: 16 * DAY,
+        analysis: 9 * DAY,
+        extended: 0,
+        rerun_interval: DAY,
+    };
+    /// Invoicer configuration (small service, long windows).
+    pub const INVOICER: WindowConfig = WindowConfig {
+        historic: 14 * DAY,
+        analysis: DAY,
+        extended: DAY,
+        rerun_interval: 12 * HOUR,
+    };
+    /// Capacity-Triage supply-side short configuration.
+    pub const CT_SUPPLY_SHORT: WindowConfig = WindowConfig {
+        historic: 7 * DAY,
+        analysis: DAY,
+        extended: DAY,
+        rerun_interval: 12 * HOUR,
+    };
+    /// Capacity-Triage supply-side long configuration.
+    pub const CT_SUPPLY_LONG: WindowConfig = WindowConfig {
+        historic: 10 * DAY,
+        analysis: 7 * DAY,
+        extended: DAY,
+        rerun_interval: 12 * HOUR,
+    };
+    /// Capacity-Triage demand-side configuration.
+    pub const CT_DEMAND: WindowConfig = WindowConfig {
+        historic: 7 * DAY,
+        analysis: DAY,
+        extended: 0,
+        rerun_interval: 12 * HOUR,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_covering(total_seconds: u64, interval: u64) -> TimeSeries {
+        let n = (total_seconds / interval) as usize;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        TimeSeries::from_values(0, interval, &values)
+    }
+
+    #[test]
+    fn windows_partition_the_scan_region() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 25,
+            rerun_interval: 10,
+        };
+        let s = series_covering(200, 1);
+        let w = extract_windows(&s, &cfg, 200).unwrap();
+        assert_eq!(w.historic.len(), 100);
+        assert_eq!(w.analysis.len(), 50);
+        assert_eq!(w.extended.len(), 25);
+        // Historic ends where analysis begins; analysis ends where extended
+        // begins.
+        assert_eq!(*w.historic.last().unwrap() + 1.0, w.analysis[0]);
+        assert_eq!(*w.analysis.last().unwrap() + 1.0, w.extended[0]);
+        assert_eq!(w.analysis_start, 125);
+        assert_eq!(w.analysis_end, 175);
+    }
+
+    #[test]
+    fn disabled_extended_window_is_empty() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        let s = series_covering(200, 1);
+        let w = extract_windows(&s, &cfg, 150).unwrap();
+        assert!(w.extended.is_empty());
+        assert_eq!(w.analysis_end, 150);
+    }
+
+    #[test]
+    fn empty_analysis_window_errors() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        // The series ends long before the analysis window.
+        let s = series_covering(40, 1);
+        let err = extract_windows(&s, &cfg, 150).unwrap_err();
+        assert_eq!(err, TsdbError::EmptyWindow("analysis"));
+    }
+
+    #[test]
+    fn empty_historic_window_errors() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        // Data exists only inside the analysis region.
+        let s = TimeSeries::from_values(110, 1, &[1.0; 30]);
+        let err = extract_windows(&s, &cfg, 150).unwrap_err();
+        assert_eq!(err, TsdbError::EmptyWindow("historic"));
+    }
+
+    #[test]
+    fn zero_window_config_rejected() {
+        let bad = WindowConfig {
+            historic: 0,
+            analysis: 10,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        assert!(bad.validate().is_err());
+        let s = series_covering(100, 1);
+        assert!(extract_windows(&s, &bad, 100).is_err());
+    }
+
+    #[test]
+    fn presets_are_valid_and_match_table1() {
+        use presets::*;
+        for cfg in [
+            FRONTFAAS_LARGE,
+            FRONTFAAS_SMALL,
+            PYTHONFAAS_LARGE,
+            PYTHONFAAS_SMALL,
+            TAO_FRONTFAAS,
+            TAO_OTHER,
+            ADSERVING_SHORT,
+            ADSERVING_LONG,
+            INVOICER,
+            CT_SUPPLY_SHORT,
+            CT_SUPPLY_LONG,
+            CT_DEMAND,
+        ] {
+            cfg.validate().unwrap();
+        }
+        assert_eq!(FRONTFAAS_SMALL.historic, 10 * DAY);
+        assert_eq!(FRONTFAAS_SMALL.analysis, 4 * HOUR);
+        assert_eq!(FRONTFAAS_SMALL.extended, 6 * HOUR);
+        assert_eq!(INVOICER.historic, 14 * DAY);
+        assert_eq!(ADSERVING_LONG.analysis, 9 * DAY);
+    }
+
+    #[test]
+    fn analysis_and_extended_concatenates() {
+        let cfg = WindowConfig {
+            historic: 10,
+            analysis: 5,
+            extended: 5,
+            rerun_interval: 1,
+        };
+        let s = series_covering(20, 1);
+        let w = extract_windows(&s, &cfg, 20).unwrap();
+        let both = w.analysis_and_extended();
+        assert_eq!(both.len(), 10);
+        assert_eq!(w.all().len(), 20);
+    }
+}

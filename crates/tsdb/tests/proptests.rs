@@ -1,0 +1,110 @@
+//! Property-based tests for the time-series store.
+
+use fbd_tsdb::aggregate::{aligned_mean, mean_of_series};
+use fbd_tsdb::window::{extract_windows, WindowConfig};
+use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore};
+use proptest::prelude::*;
+
+fn values(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e9f64..1e9, min_len..max_len)
+}
+
+proptest! {
+    #[test]
+    fn from_values_roundtrip(vals in values(1, 200), start in 0u64..1_000, step in 1u64..100) {
+        let s = TimeSeries::from_values(start, step, &vals);
+        prop_assert_eq!(s.len(), vals.len());
+        prop_assert_eq!(s.values(), vals.clone());
+        prop_assert_eq!(s.first_timestamp(), Some(start));
+        prop_assert_eq!(
+            s.last_timestamp(),
+            Some(start + (vals.len() as u64 - 1) * step)
+        );
+    }
+
+    #[test]
+    fn range_returns_only_in_bounds(vals in values(1, 100), lo in 0u64..200, span in 1u64..200) {
+        let s = TimeSeries::from_values(0, 2, &vals);
+        let points = s.range(lo, lo + span).unwrap();
+        prop_assert!(points.iter().all(|p| p.timestamp >= lo && p.timestamp < lo + span));
+    }
+
+    #[test]
+    fn expire_then_len_consistent(vals in values(1, 100), cutoff in 0u64..300) {
+        let mut s = TimeSeries::from_values(0, 3, &vals);
+        let before = s.len();
+        let removed = s.expire_before(cutoff);
+        prop_assert_eq!(before, s.len() + removed);
+        prop_assert!(s.points().iter().all(|p| p.timestamp >= cutoff));
+    }
+
+    #[test]
+    fn downsample_preserves_mean(vals in values(4, 200), bucket in 1u64..50) {
+        let s = TimeSeries::from_values(0, 1, &vals);
+        let d = s.downsample(bucket).unwrap();
+        // Weighted mean of bucket means equals the overall mean.
+        let original_mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for p in d.points() {
+            let bucket_n = s
+                .range(p.timestamp, p.timestamp + bucket)
+                .unwrap()
+                .len() as f64;
+            weighted += p.value * bucket_n;
+            weight += bucket_n;
+        }
+        let scale = vals.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!((weighted / weight - original_mean).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn windows_partition_counts(
+        historic in 10u64..100,
+        analysis in 5u64..50,
+        extended in 0u64..30,
+    ) {
+        let total = historic + analysis + extended;
+        let vals: Vec<f64> = (0..total).map(|i| i as f64).collect();
+        let s = TimeSeries::from_values(0, 1, &vals);
+        let cfg = WindowConfig { historic, analysis, extended, rerun_interval: 1 };
+        let w = extract_windows(&s, &cfg, total).unwrap();
+        prop_assert_eq!(w.historic.len() as u64, historic);
+        prop_assert_eq!(w.analysis.len() as u64, analysis);
+        prop_assert_eq!(w.extended.len() as u64, extended);
+        prop_assert_eq!(w.all().len() as u64, total);
+    }
+
+    #[test]
+    fn store_roundtrips_series(vals in values(1, 50), target in "[a-z]{1,8}") {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, target);
+        store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &vals));
+        prop_assert_eq!(store.get(&id).unwrap().values(), vals);
+        prop_assert!(store.contains(&id));
+        prop_assert_eq!(store.series_count(), 1);
+    }
+
+    #[test]
+    fn mean_of_series_bounded(
+        rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 5), 1..10)
+    ) {
+        let mean = mean_of_series(&rows).unwrap();
+        for (i, m) in mean.iter().enumerate() {
+            let col: Vec<f64> = rows.iter().map(|r| r[i]).collect();
+            let lo = col.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = col.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(*m >= lo - 1e-9 && *m <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn aligned_mean_of_identical_series_is_identity(vals in values(4, 60)) {
+        let a = TimeSeries::from_values(0, 1, &vals);
+        let b = TimeSeries::from_values(0, 1, &vals);
+        let m = aligned_mean(&[a, b], 2).unwrap();
+        // Every bucket mean equals the per-series bucket mean.
+        let d = TimeSeries::from_values(0, 1, &vals).downsample(2).unwrap();
+        prop_assert_eq!(m.values(), d.values());
+    }
+}

@@ -1,0 +1,109 @@
+//! Continuous monitoring with the re-run scheduler: detection latency and
+//! planned-change suppression.
+//!
+//! Simulates a service under continuous scanning (Table 1's re-run
+//! intervals). Two events happen: an operator-registered capacity drain
+//! (expected CPU increase — suppressed per §8's planned-change
+//! correlation) and a genuine code regression (reported, with detection
+//! latency measured).
+//!
+//! Run with: `cargo run --release --example continuous_monitoring`
+
+use fbdetect::core::known_changes::PlannedChange;
+use fbdetect::core::scheduler::MonitoringScheduler;
+use fbdetect::core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::spec::{Event, SeriesSpec};
+use fbdetect::tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+
+fn main() {
+    let store = TsdbStore::new();
+    let cadence = 10u64;
+    let len = 1_200usize; // 12,000 seconds of data.
+
+    // The service's gCPU series: a genuine regression at t = 9,000.
+    let hot = SeriesSpec::flat(len, 0.010, 0.0008).with_event(Event::Step {
+        at: 900,
+        delta: 0.012,
+    });
+    let hot_id = SeriesId::new("web", MetricKind::GCpu, "checkout::submit");
+    store.insert_series(
+        hot_id.clone(),
+        TimeSeries::from_values(0, cadence, &hot.generate(1).unwrap()),
+    );
+
+    // Service CPU: rises at t = 6,000 because of a *planned* capacity
+    // drain (fewer servers, same load).
+    let cpu = SeriesSpec::flat(len, 0.50, 0.01).with_event(Event::Step {
+        at: 600,
+        delta: 0.10,
+    });
+    let cpu_id = SeriesId::new("web", MetricKind::Cpu, "");
+    store.insert_series(
+        cpu_id.clone(),
+        TimeSeries::from_values(0, cadence, &cpu.generate(2).unwrap()),
+    );
+
+    let config = DetectorConfig::new(
+        "web",
+        WindowConfig {
+            historic: 4_000,
+            analysis: 1_200,
+            extended: 600,
+            rerun_interval: 600,
+        },
+        Threshold::Absolute(0.005),
+    );
+    let mut scheduler = MonitoringScheduler::new(Pipeline::new(config).unwrap());
+    scheduler.planned_changes_mut().register(PlannedChange {
+        description: "planned capacity drain: web tier -15%".to_string(),
+        start: 5_500,
+        end: 7_000,
+        services: vec!["web".to_string()],
+        metrics: vec![MetricKind::Cpu],
+        expect_increase: Some(true),
+    });
+
+    let outcome = scheduler
+        .run(
+            &store,
+            &[hot_id, cpu_id],
+            6_000,
+            12_000,
+            &ScanContext::default(),
+        )
+        .unwrap();
+
+    println!("scans performed : {}", outcome.scans);
+    println!("change points   : {}", outcome.funnel.change_points);
+    println!("suppressed      : {}", outcome.suppressed.len());
+    for (r, why) in &outcome.suppressed {
+        println!("  - {} explained by \"{why}\"", r.metric_id());
+    }
+    println!("reported        : {}", outcome.reports.len());
+    for r in &outcome.reports {
+        println!(
+            "  - {} at t={} (detection latency {}s, magnitude {:+.4})",
+            r.regression.metric_id(),
+            r.regression.change_time,
+            r.detection_latency,
+            r.regression.magnitude()
+        );
+    }
+    if let Some(latency) = outcome.median_latency() {
+        println!("median detection latency: {latency}s");
+    }
+
+    // The capacity drain is suppressed; the code regression is reported.
+    assert_eq!(outcome.reports.len(), 1);
+    assert!(outcome.reports[0]
+        .regression
+        .metric_id()
+        .contains("checkout"));
+    assert!(
+        outcome
+            .suppressed
+            .iter()
+            .any(|(r, _)| r.series.metric == MetricKind::Cpu),
+        "the planned capacity change should be suppressed, not reported"
+    );
+}

@@ -1,0 +1,145 @@
+//! FrontFaaS-style monitoring: a full service simulation end to end.
+//!
+//! Simulates a serverless-platform service — a weighted call graph sampled
+//! by a fleet-wide profiler, background change traffic, an injected true
+//! regression blamed on a specific commit, a cost-shift refactor, and
+//! transient issues — then runs the detection pipeline and prints which
+//! regressions survive and what root causes are suggested.
+//!
+//! Run with: `cargo run --release --example frontfaas_monitoring`
+
+use fbdetect::changelog::{ChangeLog, ChangeTrafficConfig, ChangeTrafficGenerator};
+use fbdetect::core::cost_shift::{ClassDomain, CostDomainProvider, UpstreamCallerDomain};
+use fbdetect::core::{report, DetectorConfig, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::server::Fleet;
+use fbdetect::fleet::transient::{TransientIssue, TransientKind};
+use fbdetect::fleet::{ServiceSim, ServiceSimConfig};
+use fbdetect::profiler::callgraph::CallGraphBuilder;
+use fbdetect::tsdb::{TsdbStore, WindowConfig};
+
+fn main() {
+    // --- Build the service: a dispatch tree with named subsystems. ---
+    let mut b = CallGraphBuilder::new("main", 0.01);
+    let dispatch = b.add_child(0, "dispatch", 0.01, "Runtime").unwrap();
+    let render = b
+        .add_child(dispatch, "Render::page", 0.30, "Render")
+        .unwrap();
+    b.add_child(render, "Render::header", 0.10, "Render")
+        .unwrap();
+    let body = b.add_child(render, "Render::body", 0.20, "Render").unwrap();
+    b.add_child(body, "Render::widgets", 0.08, "Render")
+        .unwrap();
+    let data = b.add_child(dispatch, "Data::fetch", 0.20, "Data").unwrap();
+    b.add_child(data, "Data::cache_lookup", 0.12, "Data")
+        .unwrap();
+    let serialize = b.add_child(data, "Data::serialize", 0.05, "Data").unwrap();
+    b.add_child(dispatch, "Auth::check", 0.08, "Auth").unwrap();
+    let log_frame = b.add_child(dispatch, "Log::write", 0.06, "Log").unwrap();
+    let graph = b.build().unwrap();
+
+    // --- Fleet and simulator. ---
+    let fleet = Fleet::two_generations(200).unwrap();
+    let sim_config = ServiceSimConfig {
+        name: "FrontFaaS".to_string(),
+        tick_interval: 60,
+        samples_per_tick: 4_000,
+        base_cpu: 0.5,
+        ..Default::default()
+    };
+    let mut sim = ServiceSim::new(sim_config, graph.clone(), fleet).unwrap();
+
+    // --- Change traffic with two planted culprits. ---
+    let mut log = ChangeLog::new();
+    let mut traffic = ChangeTrafficGenerator::new(
+        ChangeTrafficConfig {
+            service: "FrontFaaS".to_string(),
+            changes_per_day: 200.0,
+            subroutine_pool: graph.names().iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        },
+        7,
+    );
+    let day = 86_400;
+    traffic.generate_background(&mut log, 0, day);
+    // A true regression: Data::serialize gets 60% more expensive at t=68000.
+    let culprit = traffic.plant_culprit(
+        &mut log,
+        67_900,
+        &["Data::serialize"],
+        Some("Switch serializer to schema-validating mode"),
+    );
+    sim.inject_regression(serialize, 68_000, 0.03, culprit)
+        .unwrap();
+    // A cost shift: work moves from Log::write to Render::widgets (a
+    // refactor) — the pipeline must NOT report this.
+    let refactor = traffic.plant_culprit(
+        &mut log,
+        67_900,
+        &["Log::write", "Render::widgets"],
+        Some("Move inline logging into widget renderer"),
+    );
+    let widgets = graph.frame_by_name("Render::widgets").unwrap();
+    sim.inject_cost_shift(log_frame, widgets, 68_000, 0.03, refactor)
+        .unwrap();
+    // A transient load spike that recovers — must be filtered.
+    sim.transients_mut().add(TransientIssue {
+        kind: TransientKind::LoadSpike,
+        start: 50_000,
+        duration: 1_800,
+        severity: 0.8,
+    });
+
+    // --- Run one day of simulation. ---
+    println!(
+        "simulating one day of FrontFaaS ({} frames)...",
+        graph.len()
+    );
+    let store = TsdbStore::new();
+    sim.run(&store, 0, day).unwrap();
+    println!("stored {} series", store.series_count());
+
+    // --- Detect. ---
+    let windows = WindowConfig {
+        historic: 16 * 3_600,
+        analysis: 4 * 3_600,
+        extended: 2 * 3_600,
+        rerun_interval: 2 * 3_600,
+    };
+    let config = DetectorConfig::new("FrontFaaS", windows, Threshold::Absolute(0.005));
+    let mut pipeline = Pipeline::new(config).unwrap();
+    let upstream = UpstreamCallerDomain { graph: &graph };
+    let class = ClassDomain { graph: &graph };
+    let providers: Vec<&dyn CostDomainProvider> = vec![&upstream, &class];
+    let context = ScanContext {
+        changelog: Some(&log),
+        samples: Some(sim.retained_samples()),
+        graph: Some(&graph),
+        domain_providers: providers,
+    };
+    let ids = store.series_ids_for_service("FrontFaaS");
+    let outcome = pipeline.scan(&store, &ids, day, &context).unwrap();
+
+    println!("\n--- funnel (of {} series) ---", ids.len());
+    println!("change points   : {}", outcome.funnel.change_points);
+    println!("after went-away : {}", outcome.funnel.after_went_away);
+    println!("after seasonal  : {}", outcome.funnel.after_seasonality);
+    println!("after threshold : {}", outcome.funnel.after_threshold);
+    println!("after SOM dedup : {}", outcome.funnel.after_som_dedup);
+    println!("after cost-shift: {}", outcome.funnel.after_cost_shift);
+    println!("after pairwise  : {}", outcome.funnel.after_pairwise_dedup);
+    println!("\n{}", report::render_batch(&outcome.reports, Some(&log)));
+
+    // The serializer regression must be reported; the cost shift must not.
+    let reported: Vec<String> = outcome
+        .reports
+        .iter()
+        .map(|r| r.series.target.clone())
+        .collect();
+    assert!(
+        reported.iter().any(|t| t.contains("serialize")
+            || t.contains("Data::fetch")
+            || t.contains("dispatch")),
+        "the serializer regression chain should be reported, got {reported:?}"
+    );
+    println!("culprit change id: #{culprit} — suggested candidates shown above");
+}

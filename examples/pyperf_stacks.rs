@@ -1,0 +1,74 @@
+//! PyPerf end-to-end Python stack reconstruction (§4, Figure 5).
+//!
+//! Shows how PyPerf merges the sampled CPython system stack with the
+//! interpreter's virtual call stack to produce a precise end-to-end trace —
+//! and what the Scalene-style approximation loses.
+//!
+//! Run with: `cargo run --example pyperf_stacks`
+
+use fbdetect::profiler::pyperf::{
+    reconstruct, scalene_view, synthesize_stacks, CapturedStacks, MergedFrame, NativeFrame,
+    VcsFrame,
+};
+
+fn main() {
+    // A Python request handler that ends up inside a native zlib call.
+    let captured = synthesize_stacks(
+        &[
+            "wsgi_app",
+            "handle_request",
+            "render_response",
+            "compress_body",
+        ],
+        Some("zlib_deflate"),
+    );
+
+    println!("--- sampled system stack (what eBPF sees) ---");
+    for f in &captured.system {
+        match f {
+            NativeFrame::Start => println!("  _start"),
+            NativeFrame::CPythonInternal(n) => println!("  [cpython] {n}"),
+            NativeFrame::PyEvalFrameDefault => println!("  _PyEval_EvalFrameDefault"),
+            NativeFrame::CLibrary(n) => println!("  [native] {n}"),
+        }
+    }
+
+    println!("\n--- virtual call stack (walked from its head) ---");
+    for f in &captured.vcs {
+        println!("  {} @ {}", f.function, f.source);
+    }
+
+    let merged = reconstruct(&captured).expect("well-formed capture");
+    println!("\n--- PyPerf merged end-to-end stack ---");
+    for f in &merged {
+        match f {
+            MergedFrame::Native(n) => println!("  [native] {n}"),
+            MergedFrame::Python(n) => println!("  [python] {n}"),
+        }
+    }
+
+    let (python_only, native_attributed) = scalene_view(&captured);
+    println!("\n--- Scalene-style approximation ---");
+    for f in &python_only {
+        println!("  [python] {f}");
+    }
+    println!(
+        "  (native leaf time {}: the zlib frame itself is invisible)",
+        if native_attributed {
+            "folded into compress_body"
+        } else {
+            "absent"
+        }
+    );
+
+    // A malformed capture (VCS out of sync) is rejected, not misattributed.
+    let broken = CapturedStacks {
+        system: captured.system.clone(),
+        vcs: vec![VcsFrame {
+            function: "only_one".to_string(),
+            source: "x.py:1".to_string(),
+        }],
+    };
+    assert!(reconstruct(&broken).is_err());
+    println!("\nmalformed VCS is rejected rather than misattributed ✓");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: detect a step regression in a single gCPU series.
+//!
+//! Builds a time series with an injected 0.01 (absolute gCPU) step, runs
+//! one pipeline scan, and prints the resulting report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fbdetect::core::{report, DetectorConfig, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::spec::{Event, SeriesSpec};
+use fbdetect::tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+
+fn main() {
+    // 1. Synthesize a gCPU series: base 1% gCPU, noise, step +1% at sample
+    //    380 of 450 (inside the analysis window).
+    let spec = SeriesSpec::flat(450, 0.010, 0.001).with_event(Event::Step {
+        at: 380,
+        delta: 0.010,
+    });
+    let values = spec.generate(42).expect("valid spec");
+
+    // 2. Load it into the store at a 10-second cadence.
+    let store = TsdbStore::new();
+    let id = SeriesId::new("my-service", MetricKind::GCpu, "request_handler");
+    store.insert_series(id.clone(), TimeSeries::from_values(0, 10, &values));
+
+    // 3. Configure the detector: 3000s historic, 1000s analysis, 500s
+    //    extended window, 0.5% absolute threshold.
+    let windows = WindowConfig {
+        historic: 3_000,
+        analysis: 1_000,
+        extended: 500,
+        rerun_interval: 500,
+    };
+    let config = DetectorConfig::new("quickstart", windows, Threshold::Absolute(0.005));
+    let mut pipeline = Pipeline::new(config).expect("valid config");
+
+    // 4. Scan at t = 4500 (the end of the series).
+    let outcome = pipeline
+        .scan(&store, &[id], 4_500, &ScanContext::default())
+        .expect("scan succeeds");
+
+    // 5. Report.
+    println!("--- funnel ---");
+    println!("change points detected : {}", outcome.funnel.change_points);
+    println!(
+        "after went-away filter : {}",
+        outcome.funnel.after_went_away
+    );
+    println!(
+        "after seasonality      : {}",
+        outcome.funnel.after_seasonality
+    );
+    println!(
+        "after threshold        : {}",
+        outcome.funnel.after_threshold
+    );
+    println!("final reports          : {}", outcome.reports.len());
+    println!();
+    print!("{}", report::render_batch(&outcome.reports, None));
+    assert_eq!(outcome.reports.len(), 1, "the injected step must be caught");
+}

@@ -1,0 +1,64 @@
+//! # fbdetect — a reproduction of FBDetect (SOSP 2024)
+//!
+//! FBDetect is Meta's in-production performance-regression detection
+//! system, able to catch regressions as small as **0.005%** of CPU usage in
+//! noisy production environments. This workspace reproduces the complete
+//! system in Rust: the detection pipeline, every statistical substrate it
+//! depends on, a fleet simulator standing in for Meta's production
+//! environment, the EGADS baseline it is compared against, and a benchmark
+//! harness regenerating every table and figure of the paper's evaluation.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! - [`core`] — the detection pipeline (change-point, went-away,
+//!   seasonality, cost-shift, SOMDedup/PairwiseDedup, root-cause analysis);
+//! - [`stats`] — CUSUM, EM, SAX, STL, Mann-Kendall, Theil-Sen, TF-IDF and
+//!   the rest of the statistics toolbox;
+//! - [`tsdb`] — the in-memory time-series store with Figure 4 windows;
+//! - [`profiler`] — stack-trace sampling, gCPU derivation, and PyPerf;
+//! - [`fleet`] — the synthetic production environment;
+//! - [`changelog`] — the synthetic code/configuration change stream;
+//! - [`cluster`] — SOM, pairwise, and alternative clustering algorithms;
+//! - [`egads`] — the Yahoo EGADS baseline detectors.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fbdetect::core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+//! use fbdetect::tsdb::{MetricKind, SeriesId, TsdbStore, WindowConfig};
+//!
+//! // Store a gCPU series with a step regression at t = 3800.
+//! let store = TsdbStore::new();
+//! let id = SeriesId::new("my-service", MetricKind::GCpu, "hot_function");
+//! for t in 0..450u64 {
+//!     let ts = t * 10;
+//!     let noise = ((t * 2_654_435_761) % 97) as f64 * 1e-5;
+//!     let base = if ts >= 3_800 { 0.020 } else { 0.010 };
+//!     store.append(&id, ts, base + noise).unwrap();
+//! }
+//!
+//! // Configure windows and threshold, then scan.
+//! let windows = WindowConfig {
+//!     historic: 3_000,
+//!     analysis: 1_000,
+//!     extended: 500,
+//!     rerun_interval: 500,
+//! };
+//! let config = DetectorConfig::new("demo", windows, Threshold::Absolute(0.005));
+//! let mut pipeline = Pipeline::new(config).unwrap();
+//! let outcome = pipeline
+//!     .scan(&store, &[id], 4_500, &ScanContext::default())
+//!     .unwrap();
+//! assert_eq!(outcome.reports.len(), 1);
+//! assert!((outcome.reports[0].magnitude() - 0.010).abs() < 0.004);
+//! ```
+#![warn(missing_docs)]
+
+pub use fbd_changelog as changelog;
+pub use fbd_cluster as cluster;
+pub use fbd_egads as egads;
+pub use fbd_fleet as fleet;
+pub use fbd_profiler as profiler;
+pub use fbd_stats as stats;
+pub use fbd_tsdb as tsdb;
+pub use fbdetect_core as core;

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: fleet simulation -> tsdb -> detection
+//! pipeline -> reports, exercising the public API the way the examples do.
+
+use fbdetect::changelog::{ChangeLog, ChangeTrafficConfig, ChangeTrafficGenerator};
+use fbdetect::core::cost_shift::{ClassDomain, CostDomainProvider, UpstreamCallerDomain};
+use fbdetect::core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::server::Fleet;
+use fbdetect::fleet::{ServiceSim, ServiceSimConfig};
+use fbdetect::profiler::callgraph::{CallGraph, CallGraphBuilder};
+use fbdetect::tsdb::{TsdbStore, WindowConfig};
+
+fn service_graph() -> CallGraph {
+    let mut b = CallGraphBuilder::new("main", 0.01);
+    let dispatch = b.add_child(0, "dispatch", 0.01, "Runtime").unwrap();
+    b.add_child(dispatch, "Render::page", 0.3, "Render")
+        .unwrap();
+    b.add_child(dispatch, "Render::body", 0.2, "Render")
+        .unwrap();
+    b.add_child(dispatch, "Data::fetch", 0.2, "Data").unwrap();
+    b.add_child(dispatch, "Data::serialize", 0.1, "Data")
+        .unwrap();
+    b.add_child(dispatch, "Auth::check", 0.1, "Auth").unwrap();
+    b.add_child(dispatch, "Log::write", 0.08, "Log").unwrap();
+    b.build().unwrap()
+}
+
+fn simulate(
+    inject: impl FnOnce(&mut ServiceSim, &CallGraph, &mut ChangeLog, &mut ChangeTrafficGenerator),
+) -> (TsdbStore, ServiceSim, ChangeLog, CallGraph) {
+    let graph = service_graph();
+    let fleet = Fleet::two_generations(50).unwrap();
+    let config = ServiceSimConfig {
+        name: "svc".to_string(),
+        tick_interval: 60,
+        samples_per_tick: 3_000,
+        ..Default::default()
+    };
+    let mut sim = ServiceSim::new(config, graph.clone(), fleet).unwrap();
+    let mut log = ChangeLog::new();
+    let mut traffic = ChangeTrafficGenerator::new(
+        ChangeTrafficConfig {
+            service: "svc".to_string(),
+            changes_per_day: 50.0,
+            subroutine_pool: graph.names().iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        },
+        3,
+    );
+    traffic.generate_background(&mut log, 0, 43_200);
+    inject(&mut sim, &graph, &mut log, &mut traffic);
+    let store = TsdbStore::new();
+    sim.run(&store, 0, 43_200).unwrap();
+    (store, sim, log, graph)
+}
+
+fn detector_config() -> DetectorConfig {
+    let windows = WindowConfig {
+        historic: 8 * 3_600,
+        analysis: 2 * 3_600,
+        extended: 3_600,
+        rerun_interval: 3_600,
+    };
+    DetectorConfig::new("itest", windows, Threshold::Absolute(0.01))
+}
+
+#[test]
+fn injected_regression_is_detected_and_root_caused() {
+    let (store, sim, log, graph) = simulate(|sim, graph, log, traffic| {
+        let frame = graph.frame_by_name("Data::serialize").unwrap();
+        let culprit = traffic.plant_culprit(
+            log,
+            35_900,
+            &["Data::serialize"],
+            Some("Enable schema validation in serializer"),
+        );
+        sim.inject_regression(frame, 36_000, 0.05, culprit).unwrap();
+    });
+    let mut pipeline = Pipeline::new(detector_config()).unwrap();
+    let context = ScanContext {
+        changelog: Some(&log),
+        samples: Some(sim.retained_samples()),
+        graph: Some(&graph),
+        domain_providers: vec![],
+    };
+    let ids = store.series_ids_for_service("svc");
+    let outcome = pipeline.scan(&store, &ids, 43_200, &context).unwrap();
+    assert!(!outcome.reports.is_empty(), "funnel = {:?}", outcome.funnel);
+    // The regressed subroutine (or its ancestors, pre-dedup) is reported,
+    // and at least one report carries the culprit among its candidates.
+    let culprit_id = sim.injections()[0].change_id;
+    let any_root_caused = outcome
+        .reports
+        .iter()
+        .any(|r| r.root_cause_candidates.contains(&culprit_id));
+    assert!(
+        any_root_caused,
+        "culprit #{culprit_id} not among candidates: {:?}",
+        outcome
+            .reports
+            .iter()
+            .map(|r| (&r.series.target, &r.root_cause_candidates))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn cost_shift_refactor_is_filtered() {
+    let (store, sim, log, graph) = simulate(|sim, graph, log, traffic| {
+        let from = graph.frame_by_name("Log::write").unwrap();
+        let to = graph.frame_by_name("Auth::check").unwrap();
+        let refactor = traffic.plant_culprit(
+            log,
+            35_900,
+            &["Log::write", "Auth::check"],
+            Some("Inline logging into auth path"),
+        );
+        sim.inject_cost_shift(from, to, 36_000, 0.05, refactor)
+            .unwrap();
+    });
+    let upstream = UpstreamCallerDomain { graph: &graph };
+    let class = ClassDomain { graph: &graph };
+    let providers: Vec<&dyn CostDomainProvider> = vec![&upstream, &class];
+    let mut pipeline = Pipeline::new(detector_config()).unwrap();
+    let context = ScanContext {
+        changelog: Some(&log),
+        samples: Some(sim.retained_samples()),
+        graph: Some(&graph),
+        domain_providers: providers,
+    };
+    let ids = store.series_ids_for_service("svc");
+    let outcome = pipeline.scan(&store, &ids, 43_200, &context).unwrap();
+    // Auth::check's apparent regression is a cost shift; it must not be
+    // reported even though its gCPU jumped.
+    assert!(
+        !outcome
+            .reports
+            .iter()
+            .any(|r| r.series.target == "Auth::check"),
+        "cost shift leaked through: {:?}",
+        outcome
+            .reports
+            .iter()
+            .map(|r| &r.series.target)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn clean_service_reports_nothing() {
+    let (store, sim, log, graph) = simulate(|_, _, _, _| {});
+    let mut pipeline = Pipeline::new(detector_config()).unwrap();
+    let context = ScanContext {
+        changelog: Some(&log),
+        samples: Some(sim.retained_samples()),
+        graph: Some(&graph),
+        domain_providers: vec![],
+    };
+    let ids = store.series_ids_for_service("svc");
+    let outcome = pipeline.scan(&store, &ids, 43_200, &context).unwrap();
+    assert!(
+        outcome.reports.is_empty(),
+        "false positives on a clean service: {:?}",
+        outcome
+            .reports
+            .iter()
+            .map(|r| (&r.series.target, r.magnitude()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn repeated_scans_do_not_rereport() {
+    let (store, sim, log, graph) = simulate(|sim, graph, log, traffic| {
+        let frame = graph.frame_by_name("Render::page").unwrap();
+        let culprit = traffic.plant_culprit(log, 35_900, &["Render::page"], None);
+        sim.inject_regression(frame, 36_000, 0.08, culprit).unwrap();
+    });
+    let mut pipeline = Pipeline::new(detector_config()).unwrap();
+    let context = ScanContext {
+        changelog: Some(&log),
+        samples: Some(sim.retained_samples()),
+        graph: Some(&graph),
+        domain_providers: vec![],
+    };
+    let ids = store.series_ids_for_service("svc");
+    let first = pipeline.scan(&store, &ids, 40_000, &context).unwrap();
+    let second = pipeline.scan(&store, &ids, 43_200, &context).unwrap();
+    assert!(!first.reports.is_empty());
+    assert!(
+        second.reports.is_empty(),
+        "re-reported: {:?}",
+        second
+            .reports
+            .iter()
+            .map(|r| &r.series.target)
+            .collect::<Vec<_>>()
+    );
+}

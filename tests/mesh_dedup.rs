@@ -1,0 +1,140 @@
+//! Cross-service regression deduplication over a service mesh.
+//!
+//! A backend regression inflates the frontend's latency (§3 AdServing-style
+//! service groups); PairwiseDedup with a correlation-driven user rule
+//! (§5.5.2) merges the two anomalies into one report, so developers get one
+//! ticket for one root cause.
+
+use fbdetect::core::dedup::pairwise_dedup::{MergeRule, RuleCombination};
+use fbdetect::core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::mesh::{CallEdge, ServiceMesh};
+use fbdetect::fleet::server::Fleet;
+use fbdetect::fleet::{ServiceSim, ServiceSimConfig};
+use fbdetect::profiler::callgraph::uniform_service_graph;
+use fbdetect::tsdb::{MetricKind, SeriesId, TsdbStore, WindowConfig};
+
+fn sim(name: &str, seed: u64) -> ServiceSim {
+    let graph = uniform_service_graph(10, 1.0).unwrap();
+    let fleet = Fleet::two_generations(20).unwrap();
+    ServiceSim::new(
+        ServiceSimConfig {
+            name: name.to_string(),
+            samples_per_tick: 2_000,
+            seed,
+            ..Default::default()
+        },
+        graph,
+        fleet,
+    )
+    .unwrap()
+}
+
+#[test]
+fn cross_service_anomalies_merge_into_one_report() {
+    let frontend = sim("frontend", 1);
+    let backend = sim("backend", 2);
+    let victim = backend.graph().frame_by_name("subroutine_00003").unwrap();
+    let mut mesh = ServiceMesh::new(vec![frontend, backend]).unwrap();
+    mesh.add_edge(CallEdge {
+        caller: 0,
+        callee: 1,
+        coupling: 1.0,
+    })
+    .unwrap();
+    // A 25% backend regression at t = 36,000.
+    mesh.service_mut(1)
+        .unwrap()
+        .inject_regression(victim, 36_000, 0.25, 42)
+        .unwrap();
+    let store = TsdbStore::new();
+    mesh.run(&store, 0, 43_200).unwrap();
+
+    // Scan BOTH services' series with a correlation-driven merge rule: in
+    // a mesh, time-correlated anomalies across services share a root cause.
+    let windows = WindowConfig {
+        historic: 8 * 3_600,
+        analysis: 2 * 3_600,
+        extended: 3_600,
+        rerun_interval: 3_600,
+    };
+    let mut config = DetectorConfig::new("mesh", windows, Threshold::Relative(0.04));
+    config.pairwise_rule = Some(MergeRule {
+        min_correlation: Some(0.85),
+        min_text_similarity: None,
+        min_stack_overlap: None,
+        combination: RuleCombination::All,
+    });
+    let mut pipeline = Pipeline::new(config).unwrap();
+    let mut ids = store.series_ids_for_service("frontend");
+    ids.extend(store.series_ids_for_service("backend"));
+    let out = pipeline
+        .scan(&store, &ids, 43_200, &ScanContext::default())
+        .unwrap();
+
+    // Both the backend gCPU/latency anomalies and the frontend latency
+    // anomaly exist pre-dedup, but a single report reaches developers.
+    assert!(
+        out.funnel.after_threshold >= 2,
+        "both services should show anomalies: {:?}",
+        out.funnel
+    );
+    assert_eq!(
+        out.reports.len(),
+        1,
+        "one root cause, one report; got {:?}",
+        out.reports
+            .iter()
+            .map(|r| r.metric_id())
+            .collect::<Vec<_>>()
+    );
+    // The group behind the report holds members from both services.
+    let group = pipeline
+        .groups()
+        .iter()
+        .max_by_key(|g| g.members.len())
+        .unwrap();
+    let services: std::collections::HashSet<&str> = group
+        .members
+        .iter()
+        .map(|m| m.series.service.as_str())
+        .collect();
+    assert!(
+        services.contains("frontend") && services.contains("backend"),
+        "the merged group should span services: {services:?}"
+    );
+}
+
+#[test]
+fn without_mesh_edges_frontend_stays_quiet() {
+    let frontend = sim("frontend", 5);
+    let backend = sim("backend", 6);
+    let victim = backend.graph().frame_by_name("subroutine_00003").unwrap();
+    let mut mesh = ServiceMesh::new(vec![frontend, backend]).unwrap();
+    mesh.service_mut(1)
+        .unwrap()
+        .inject_regression(victim, 36_000, 0.25, 42)
+        .unwrap();
+    let store = TsdbStore::new();
+    mesh.run(&store, 0, 43_200).unwrap();
+    let windows = WindowConfig {
+        historic: 8 * 3_600,
+        analysis: 2 * 3_600,
+        extended: 3_600,
+        rerun_interval: 3_600,
+    };
+    let config = DetectorConfig::new("mesh", windows, Threshold::Relative(0.04));
+    let mut pipeline = Pipeline::new(config).unwrap();
+    let ids = store.series_ids_for_service("frontend");
+    let out = pipeline
+        .scan(&store, &ids, 43_200, &ScanContext::default())
+        .unwrap();
+    assert!(
+        out.reports.is_empty(),
+        "uncoupled frontend must not regress: {:?}",
+        out.reports
+            .iter()
+            .map(|r| r.metric_id())
+            .collect::<Vec<_>>()
+    );
+    let _ = SeriesId::new("frontend", MetricKind::Latency, "");
+}

@@ -1,0 +1,345 @@
+//! Integration tests for the workload families of §3: endpoint-level
+//! detection, the Invoicer small-service configuration, TAO per-data-type
+//! I/O regressions, Capacity Triage via Kraken, and metadata-annotated
+//! measurement.
+
+use fbdetect::core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::kraken::{demand_series, KrakenBench};
+use fbdetect::fleet::seasonality::SeasonalProfile;
+use fbdetect::fleet::server::{Fleet, ServerGeneration};
+use fbdetect::fleet::tao::{standard_data_types, IoRegression, TaoIoSim};
+use fbdetect::fleet::{ServiceSim, ServiceSimConfig};
+use fbdetect::profiler::callgraph::CallGraphBuilder;
+use fbdetect::profiler::gcpu::gcpu_filtered;
+use fbdetect::profiler::metadata::FrameAnnotator;
+use fbdetect::tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+
+fn windows() -> WindowConfig {
+    WindowConfig {
+        historic: 8 * 3_600,
+        analysis: 2 * 3_600,
+        extended: 3_600,
+        rerun_interval: 3_600,
+    }
+}
+
+#[test]
+fn endpoint_level_detection_catches_async_regression() {
+    // The endpoint's synchronous entry is cheap and stable; its async
+    // helper regresses. Endpoint-level aggregation must expose it.
+    let mut b = CallGraphBuilder::new("main", 0.02);
+    let dispatch = b.add_child(0, "dispatch", 0.02, "Runtime").unwrap();
+    let sync_entry = b.add_child(dispatch, "feed::handler", 0.2, "Feed").unwrap();
+    let async_helper = b
+        .add_child(dispatch, "feed::async_ranker", 0.2, "Feed")
+        .unwrap();
+    b.add_child(dispatch, "other::work", 0.5, "Other").unwrap();
+    let graph = b.build().unwrap();
+    let fleet = Fleet::two_generations(20).unwrap();
+    let mut sim = ServiceSim::new(
+        ServiceSimConfig {
+            name: "FrontFaaS".to_string(),
+            samples_per_tick: 4_000,
+            ..Default::default()
+        },
+        graph,
+        fleet,
+    )
+    .unwrap();
+    sim.register_endpoint("url:/feed", vec![sync_entry, async_helper])
+        .unwrap();
+    sim.inject_regression(async_helper, 36_000, 0.12, 1)
+        .unwrap();
+    let store = TsdbStore::new();
+    sim.run(&store, 0, 43_200).unwrap();
+    let id = SeriesId::new("FrontFaaS", MetricKind::EndpointCost, "url:/feed");
+    let series = store.get(&id).unwrap();
+    let v = series.values();
+    let boundary = (36_000 / 60) as usize;
+    let before: f64 = v[..boundary].iter().sum::<f64>() / boundary as f64;
+    let after: f64 = v[boundary + 5..].iter().sum::<f64>() / (v.len() - boundary - 5) as f64;
+    assert!(
+        after - before > 0.05,
+        "endpoint cost must rise: {before:.3} -> {after:.3}"
+    );
+    // And the pipeline catches it on the endpoint series.
+    let mut pipeline = Pipeline::new(DetectorConfig::new(
+        "ep",
+        windows(),
+        Threshold::Absolute(0.03),
+    ))
+    .unwrap();
+    let out = pipeline
+        .scan(&store, &[id], 43_200, &ScanContext::default())
+        .unwrap();
+    assert_eq!(out.reports.len(), 1, "funnel = {:?}", out.funnel);
+}
+
+#[test]
+fn invoicer_small_service_with_dense_sampling() {
+    // Invoicer: 16 servers, ~1 sample/server/second (dense), long windows,
+    // 0.5% gCPU threshold (§3). A 1% regression must be caught.
+    let graph = fbdetect::profiler::callgraph::uniform_service_graph(50, 1.0).unwrap();
+    let fleet = Fleet::homogeneous(
+        16,
+        ServerGeneration {
+            cpu_multiplier: 1.0,
+            noise_std: 0.05,
+            regression_multiplier: 1.0,
+        },
+    )
+    .unwrap();
+    let mut sim = ServiceSim::new(
+        ServiceSimConfig {
+            name: "Invoicer".to_string(),
+            tick_interval: 60,
+            // 16 servers x 1 sample/sec x 60 s.
+            samples_per_tick: 960,
+            ..Default::default()
+        },
+        graph.clone(),
+        fleet,
+    )
+    .unwrap();
+    let victim = graph.frame_by_name("subroutine_00007").unwrap();
+    // Each subroutine holds 2% gCPU; +0.01 weight is a +0.97% gCPU shift.
+    sim.inject_regression(victim, 36_000, 0.01, 9).unwrap();
+    let store = TsdbStore::new();
+    sim.run(&store, 0, 43_200).unwrap();
+    let mut pipeline = Pipeline::new(DetectorConfig::new(
+        "Invoicer",
+        windows(),
+        Threshold::Absolute(0.005),
+    ))
+    .unwrap();
+    let ids = store.series_ids_for_service("Invoicer");
+    let out = pipeline
+        .scan(&store, &ids, 43_200, &ScanContext::default())
+        .unwrap();
+    assert!(
+        out.reports
+            .iter()
+            .any(|r| r.series.target == "subroutine_00007"),
+        "Invoicer regression missed: {:?}",
+        out.reports
+            .iter()
+            .map(|r| &r.series.target)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn tao_per_data_type_io_regression() {
+    // One data type's I/O rate jumps 8% (e.g. an upstream cache removed);
+    // the pipeline must flag that type and only that type.
+    let mut sim = TaoIoSim::new(standard_data_types(), SeasonalProfile::FLAT, 11).unwrap();
+    sim.inject(IoRegression {
+        data_type: 2, // assoc_like.
+        at: 36_000,
+        rate_increase: 0.08,
+    })
+    .unwrap();
+    let store = TsdbStore::new();
+    let mut ids = Vec::new();
+    for (name, points) in sim.generate(0, 43_200, 60).unwrap() {
+        let id = SeriesId::new("TAO", MetricKind::Application, format!("io:{name}"));
+        store.insert_series(id.clone(), TimeSeries::from_pairs(points).unwrap());
+        ids.push(id);
+    }
+    let mut pipeline = Pipeline::new(DetectorConfig::new(
+        "TAO",
+        windows(),
+        Threshold::Relative(0.05),
+    ))
+    .unwrap();
+    let out = pipeline
+        .scan(&store, &ids, 43_200, &ScanContext::default())
+        .unwrap();
+    let targets: Vec<&str> = out
+        .reports
+        .iter()
+        .map(|r| r.series.target.as_str())
+        .collect();
+    assert_eq!(targets, vec!["io:assoc_like"], "got {targets:?}");
+}
+
+#[test]
+fn capacity_triage_supply_and_demand() {
+    // Supply side: Kraken probing shows a 12% max-throughput drop.
+    let fleet = Fleet::two_generations(64).unwrap();
+    let mut kraken = KrakenBench::new(fleet, 2_000.0, 21).unwrap();
+    let supply = kraken
+        .supply_series(0, 3_600, 12 * 24, 32, |t| {
+            if t >= 10 * 86_400 {
+                1.14
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+    let store = TsdbStore::new();
+    let supply_id = SeriesId::new("svc", MetricKind::Throughput, "kraken-max");
+    store.insert_series(supply_id.clone(), TimeSeries::from_pairs(supply).unwrap());
+    // Demand side: peak requests jump 20% over diurnal seasonality.
+    let demand = demand_series(
+        50_000.0,
+        SeasonalProfile::TYPICAL,
+        0,
+        3_600,
+        12 * 24,
+        22,
+        |t| if t >= 10 * 86_400 { 1.2 } else { 1.0 },
+    )
+    .unwrap();
+    let demand_id = SeriesId::new("svc", MetricKind::Application, "peak-demand");
+    store.insert_series(demand_id.clone(), TimeSeries::from_pairs(demand).unwrap());
+    // CT configuration: 5% relative threshold, day-scale windows.
+    let ct_windows = WindowConfig {
+        historic: 7 * 86_400,
+        analysis: 86_400,
+        extended: 86_400,
+        rerun_interval: 12 * 3_600,
+    };
+    let mut pipeline = Pipeline::new(DetectorConfig::new(
+        "CT",
+        ct_windows,
+        Threshold::Relative(0.05),
+    ))
+    .unwrap();
+    let out = pipeline
+        .scan(
+            &store,
+            &[supply_id.clone(), demand_id.clone()],
+            12 * 86_400,
+            &ScanContext::default(),
+        )
+        .unwrap();
+    let targets: Vec<&str> = out
+        .reports
+        .iter()
+        .map(|r| r.series.target.as_str())
+        .collect();
+    assert!(
+        targets.contains(&"kraken-max"),
+        "supply regression missed: {targets:?}"
+    );
+    assert!(
+        targets.contains(&"peak-demand"),
+        "demand regression missed: {targets:?}"
+    );
+}
+
+#[test]
+fn metadata_annotated_measurement() {
+    // SetFrameMetadata: a regression that only affects a specific user
+    // category is visible in the metadata-scoped gCPU but not the overall
+    // one (§3). Construct samples directly.
+    use fbdetect::profiler::sample::StackSample;
+    let mut annotator = FrameAnnotator::new();
+    annotator.set_frame_metadata(7, "user_category:enterprise");
+    let make = |n_vip_hot: usize, n_vip_cold: usize, n_other: usize| -> Vec<StackSample> {
+        let mut samples = Vec::new();
+        for _ in 0..n_vip_hot {
+            samples.push(StackSample {
+                trace: vec![0, 7, 9],
+                timestamp: 0,
+                server: 0,
+                metadata: vec![],
+            });
+        }
+        for _ in 0..n_vip_cold {
+            samples.push(StackSample {
+                trace: vec![0, 7],
+                timestamp: 0,
+                server: 0,
+                metadata: vec![],
+            });
+        }
+        for _ in 0..n_other {
+            samples.push(StackSample {
+                trace: vec![0, 3],
+                timestamp: 0,
+                server: 0,
+                metadata: vec![],
+            });
+        }
+        annotator.annotate_all(&mut samples);
+        samples
+    };
+    // Before: 10% of enterprise samples hit subroutine 9. After: 50%.
+    let before = make(10, 90, 900);
+    let after = make(50, 50, 900);
+    let is_enterprise = |s: &StackSample| {
+        s.metadata
+            .iter()
+            .any(|(_, m)| m.starts_with("user_category:"))
+    };
+    let scoped_before = gcpu_filtered(&before, 9, is_enterprise).unwrap();
+    let scoped_after = gcpu_filtered(&after, 9, is_enterprise).unwrap();
+    assert!((scoped_before - 0.1).abs() < 1e-9);
+    assert!((scoped_after - 0.5).abs() < 1e-9);
+    // Overall gCPU of subroutine 9 moves only 4% absolute (10/1000 ->
+    // 50/1000): the metadata scope amplifies the relative signal 5x vs
+    // 1.25x... the scoped relative change is what makes it detectable.
+    let overall_before = gcpu_filtered(&before, 9, |_| true).unwrap();
+    let overall_after = gcpu_filtered(&after, 9, |_| true).unwrap();
+    let scoped_relative = scoped_after / scoped_before;
+    let overall_relative = overall_after / overall_before;
+    assert!((scoped_relative - overall_relative).abs() < 1e-9);
+    assert!(scoped_after - scoped_before > 5.0 * (overall_after - overall_before));
+}
+
+#[test]
+fn metadata_scope_series_expose_category_regressions() {
+    // A regression in a frame reached only under a metadata scope is far
+    // more visible in the scoped series than overall (§3
+    // metadata-annotated regressions).
+    let mut b = CallGraphBuilder::new("main", 0.02);
+    let dispatch = b.add_child(0, "dispatch", 0.02, "Runtime").unwrap();
+    let vip = b.add_child(dispatch, "vip::entry", 0.05, "Vip").unwrap();
+    let vip_hot = b.add_child(vip, "vip::render", 0.05, "Vip").unwrap();
+    b.add_child(dispatch, "bulk::work", 0.9, "Bulk").unwrap();
+    let graph = b.build().unwrap();
+    let fleet = Fleet::two_generations(20).unwrap();
+    let mut sim = ServiceSim::new(
+        ServiceSimConfig {
+            name: "svc".to_string(),
+            samples_per_tick: 6_000,
+            ..Default::default()
+        },
+        graph,
+        fleet,
+    )
+    .unwrap();
+    sim.register_metadata_scope("user:vip", vip, vip_hot)
+        .unwrap();
+    sim.inject_regression(vip_hot, 36_000, 0.05, 1).unwrap();
+    let store = TsdbStore::new();
+    sim.run(&store, 0, 43_200).unwrap();
+    // The scoped series moves from ~0.5 to ~0.66 of scope samples; the
+    // overall gCPU of vip::render moves only ~0.05 absolute.
+    let scoped = store
+        .get(&SeriesId::new("svc", MetricKind::GCpu, "meta:user:vip"))
+        .unwrap()
+        .values();
+    let boundary = 600usize;
+    let before: f64 = scoped[..boundary].iter().sum::<f64>() / boundary as f64;
+    let after: f64 =
+        scoped[boundary + 5..].iter().sum::<f64>() / (scoped.len() - boundary - 5) as f64;
+    assert!(
+        after - before > 0.1,
+        "scoped series must move strongly: {before:.3} -> {after:.3}"
+    );
+    // And the pipeline flags the scoped series.
+    let mut pipeline = Pipeline::new(DetectorConfig::new(
+        "meta",
+        windows(),
+        Threshold::Absolute(0.05),
+    ))
+    .unwrap();
+    let id = SeriesId::new("svc", MetricKind::GCpu, "meta:user:vip");
+    let out = pipeline
+        .scan(&store, &[id], 43_200, &ScanContext::default())
+        .unwrap();
+    assert_eq!(out.reports.len(), 1, "funnel = {:?}", out.funnel);
+}
