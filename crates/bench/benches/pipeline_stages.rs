@@ -40,6 +40,7 @@ fn windows_of(values: &[f64]) -> WindowedData {
         extended: values[h + a..].to_vec(),
         analysis_start: h as u64 * 60,
         analysis_end: (h + a) as u64 * 60,
+        ..Default::default()
     }
 }
 

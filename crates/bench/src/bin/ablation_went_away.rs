@@ -47,6 +47,7 @@ fn regression(values: &[f64], cp: usize) -> Regression {
             extended,
             analysis_start: H as u64 * 60,
             analysis_end: (H + A) as u64 * 60,
+            ..Default::default()
         },
         root_cause_candidates: vec![],
     }

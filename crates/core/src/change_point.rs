@@ -105,6 +105,7 @@ mod tests {
             extended,
             analysis_start: 1_000,
             analysis_end: 2_000,
+            ..Default::default()
         }
     }
 

@@ -307,6 +307,7 @@ mod tests {
                 extended: vec![],
                 analysis_start: 0,
                 analysis_end: 1,
+                ..Default::default()
             },
             root_cause_candidates: vec![],
         }

@@ -103,6 +103,7 @@ mod tests {
                 extended: vec![],
                 analysis_start: 0,
                 analysis_end: 100,
+                ..Default::default()
             },
             root_cause_candidates: vec![],
         }

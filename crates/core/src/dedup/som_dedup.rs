@@ -13,6 +13,7 @@
 //! ```
 
 use crate::dedup::features::{feature_vector, root_cause_bitmap};
+use crate::error::DetectError;
 use crate::types::Regression;
 use crate::Result;
 use fbd_changelog::ChangeLog;
@@ -159,9 +160,9 @@ where
                     popularity(b),
                     bitmaps[b] != 0,
                 );
-                sa.partial_cmp(&sb).expect("finite scores")
+                sa.total_cmp(&sb)
             })
-            .expect("non-empty cluster");
+            .ok_or(DetectError::Internal("SOM produced an empty cluster"))?;
         groups.push(DedupGroup {
             representative,
             members,
@@ -197,6 +198,7 @@ mod tests {
                 extended: vec![],
                 analysis_start: 0,
                 analysis_end: 100,
+                ..Default::default()
             },
             root_cause_candidates: vec![],
         }

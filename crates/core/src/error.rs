@@ -17,6 +17,11 @@ pub enum DetectError {
     InvalidConfig(&'static str),
     /// Not enough data for the requested analysis.
     InsufficientData(&'static str),
+    /// A detection task panicked; the payload is the panic message.
+    Panic(String),
+    /// An internal invariant did not hold (surfaced as an error instead of
+    /// panicking on a fallible path).
+    Internal(&'static str),
 }
 
 impl fmt::Display for DetectError {
@@ -28,6 +33,8 @@ impl fmt::Display for DetectError {
             DetectError::Profiler(e) => write!(f, "profiler error: {e}"),
             DetectError::InvalidConfig(what) => write!(f, "invalid config: {what}"),
             DetectError::InsufficientData(what) => write!(f, "insufficient data: {what}"),
+            DetectError::Panic(payload) => write!(f, "detection task panicked: {payload}"),
+            DetectError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

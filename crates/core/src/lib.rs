@@ -32,6 +32,7 @@ pub mod error;
 pub mod known_changes;
 pub mod long_term;
 pub mod pipeline;
+pub mod quarantine;
 pub mod report;
 pub mod root_cause;
 pub mod scheduler;
@@ -41,8 +42,9 @@ pub mod went_away;
 
 pub use config::{DetectorConfig, Threshold};
 pub use error::DetectError;
-pub use pipeline::{Pipeline, ScanContext, ScanOutcome};
-pub use types::{FunnelCounters, Regression, RegressionKind};
+pub use pipeline::{Pipeline, ScanBudget, ScanContext, ScanOutcome};
+pub use quarantine::{FaultKind, Quarantine, QuarantineConfig};
+pub use types::{FunnelCounters, Regression, RegressionKind, ScanHealth};
 
 /// Convenience alias used by fallible routines in this crate.
 pub type Result<T> = std::result::Result<T, DetectError>;

@@ -139,6 +139,7 @@ mod tests {
             extended,
             analysis_start: 10_000,
             analysis_end: 20_000,
+            ..Default::default()
         }
     }
 

@@ -10,6 +10,12 @@
 //! Series scanning is embarrassingly parallel; the expensive per-series
 //! detection step fans out across threads with `crossbeam::scope`, matching
 //! the paper's "scanning different time series in parallel".
+//!
+//! The scan acts as a fault-tolerant *supervisor*: each per-series
+//! detection task runs under `catch_unwind`, failing series are parked in a
+//! [`Quarantine`] with exponential backoff, a per-scan [`ScanBudget`] sheds
+//! the expensive dedup stages when the deadline is blown, and every scan
+//! reports [`ScanHealth`] telemetry alongside its regression reports.
 
 use crate::change_point::ChangePointDetector;
 use crate::config::DetectorConfig;
@@ -18,9 +24,10 @@ use crate::dedup::pairwise_dedup::{MergeRule, PairwiseDedup, RuleCombination};
 use crate::dedup::same_merger::SameRegressionMerger;
 use crate::dedup::som_dedup::{som_dedup, SomDedupConfig};
 use crate::long_term::LongTermDetector;
+use crate::quarantine::{FaultKind, Quarantine, QuarantineConfig};
 use crate::root_cause::{RcaContext, RootCauseAnalyzer};
 use crate::seasonality::SeasonalityDetector;
-use crate::types::{FunnelCounters, Regression};
+use crate::types::{FunnelCounters, Regression, ScanHealth};
 use crate::went_away::WentAwayDetector;
 use crate::{DetectError, Result};
 use fbd_changelog::ChangeLog;
@@ -29,6 +36,10 @@ use fbd_profiler::callgraph::CallGraph;
 use fbd_profiler::gcpu::stack_trace_overlap;
 use fbd_profiler::sample::StackSample;
 use fbd_tsdb::{MetricKind, SeriesId, Timestamp, TsdbStore, WindowedData};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// External evidence handed to a scan.
 #[derive(Default)]
@@ -52,6 +63,81 @@ pub struct ScanOutcome {
     pub reports: Vec<Regression>,
     /// Per-stage funnel counters (Table 3).
     pub funnel: FunnelCounters,
+    /// Fleet-health telemetry for this scan.
+    pub health: ScanHealth,
+}
+
+/// Per-scan resource and data-quality budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanBudget {
+    /// Wall-clock deadline for one scan. When the cheap stages
+    /// (change-point through SameRegressionMerger) have already consumed
+    /// the deadline, the scan finishes in degraded mode: the expensive
+    /// SOMDedup / cost-shift / PairwiseDedup / RCA stages are shed and the
+    /// outcome is flagged via [`ScanHealth::degraded`]. `None` disables
+    /// the deadline.
+    pub deadline: Option<Duration>,
+    /// Window-coverage fraction below which a series is counted as
+    /// partial in [`ScanHealth`].
+    pub min_coverage: f64,
+    /// Minimum fraction of finite values required in the historic and
+    /// analysis windows; sparser series are treated as data-quality faults
+    /// and quarantined.
+    pub min_finite_fraction: f64,
+}
+
+impl Default for ScanBudget {
+    fn default() -> Self {
+        ScanBudget {
+            deadline: None,
+            min_coverage: 0.5,
+            min_finite_fraction: 0.5,
+        }
+    }
+}
+
+/// A fault-injection hook called for every series before detection.
+///
+/// Used by chaos drills and tests: a hook that panics for selected series
+/// exercises the supervisor's panic isolation exactly where a buggy
+/// detector would.
+pub type ChaosHook = Arc<dyn Fn(&SeriesId) + Send + Sync>;
+
+/// Per-series outcome inside the supervised detection fan-out. The `Ok`
+/// payload is boxed: regressions are large and faults are the common case
+/// at scale, so the enum stays small.
+enum SeriesScan {
+    Ok(Box<SeriesDetections>),
+    NoData(String),
+    BadData(String),
+    Error(DetectError),
+}
+
+/// Detections for one healthy series.
+struct SeriesDetections {
+    short: Option<Regression>,
+    long: Option<Regression>,
+    partial: bool,
+}
+
+/// Aggregated result of the supervised detection stage.
+#[derive(Default)]
+struct DetectBatch {
+    short: Vec<Regression>,
+    long: Vec<Regression>,
+    partial: usize,
+    faults: Vec<(SeriesId, FaultKind, String)>,
+}
+
+/// Renders a caught panic payload for quarantine records.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One instance of the FBDetect pipeline for a workload configuration.
@@ -67,6 +153,12 @@ pub struct Pipeline {
     /// Groups from prior PairwiseDedup rounds (the incremental state of
     /// §5.5.2).
     existing_groups: Vec<Group<Regression>>,
+    /// Failing series parked with exponential backoff.
+    quarantine: Quarantine,
+    /// Per-scan deadline and data-quality floors.
+    pub budget: ScanBudget,
+    /// Optional fault-injection hook (chaos drills).
+    chaos_hook: Option<ChaosHook>,
     /// Number of detection worker threads.
     pub threads: usize,
 }
@@ -84,6 +176,12 @@ impl Pipeline {
             merger: SameRegressionMerger::new(config.windows.rerun_interval),
             rca: RootCauseAnalyzer::from_config(&config),
             existing_groups: Vec::new(),
+            quarantine: Quarantine::new(
+                QuarantineConfig::default(),
+                config.windows.rerun_interval,
+            ),
+            budget: ScanBudget::default(),
+            chaos_hook: None,
             threads: 4,
             config,
         })
@@ -97,6 +195,28 @@ impl Pipeline {
     /// Accumulated PairwiseDedup groups across scans.
     pub fn groups(&self) -> &[Group<Regression>] {
         &self.existing_groups
+    }
+
+    /// The quarantine registry of failing series.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// Replaces the quarantine backoff policy (keeps the re-run interval).
+    pub fn set_quarantine_config(&mut self, config: QuarantineConfig) {
+        self.quarantine = Quarantine::new(config, self.config.windows.rerun_interval);
+    }
+
+    /// Installs a fault-injection hook called for every series before
+    /// detection. A hook that panics simulates a buggy detector; the
+    /// supervisor must isolate it.
+    pub fn set_chaos_hook(&mut self, hook: ChaosHook) {
+        self.chaos_hook = Some(hook);
+    }
+
+    /// Removes the fault-injection hook.
+    pub fn clear_chaos_hook(&mut self) {
+        self.chaos_hook = None;
     }
 
     /// Flips series whose *decrease* means a regression (throughput) so
@@ -115,7 +235,12 @@ impl Pipeline {
     }
 
     /// Scans the given series at time `now`, returning the surviving
-    /// reports and the per-stage funnel.
+    /// reports, the per-stage funnel, and scan-health telemetry.
+    ///
+    /// The scan is supervised: per-series panics and errors are isolated,
+    /// counted in [`ScanHealth`], and parked in the [`Quarantine`]; an
+    /// `Err` return is reserved for infrastructure failures (e.g. the
+    /// thread pool itself dying).
     pub fn scan(
         &mut self,
         store: &TsdbStore,
@@ -123,23 +248,91 @@ impl Pipeline {
         now: Timestamp,
         context: &ScanContext<'_>,
     ) -> Result<ScanOutcome> {
+        let scan_started = Instant::now();
         let mut funnel = FunnelCounters::default();
-        // --- Stage 1: change-point detection, parallel across series. ---
-        let (short, long) = self.detect_parallel(store, series, now)?;
+        let mut health = ScanHealth {
+            series_total: series.len(),
+            ..ScanHealth::default()
+        };
+        // --- Quarantine gate: skip series parked under backoff. ---
+        let admitted: Vec<SeriesId>;
+        let eligible: &[SeriesId] = if self.quarantine.is_empty() {
+            series
+        } else {
+            admitted = series
+                .iter()
+                .filter(|id| !self.quarantine.is_quarantined(id, now))
+                .cloned()
+                .collect();
+            health.series_quarantined = series.len() - admitted.len();
+            &admitted
+        };
+        // --- Stage 1: change-point detection, parallel across series,
+        // each series isolated under `catch_unwind`. ---
+        let batch = self.detect_parallel(store, eligible, now)?;
+        health.series_scanned = eligible.len().saturating_sub(batch.faults.len());
+        health.series_partial = batch.partial;
+        for (_, kind, _) in &batch.faults {
+            match kind {
+                FaultKind::Panic => health.panicked += 1,
+                FaultKind::DetectorError => health.errored += 1,
+                FaultKind::NoData | FaultKind::DataQuality => health.series_skipped += 1,
+            }
+        }
+        // Re-admit series that recovered, then record this scan's faults.
+        if !self.quarantine.is_empty() {
+            let faulted: HashSet<&SeriesId> = batch.faults.iter().map(|(id, _, _)| id).collect();
+            for id in eligible {
+                if !faulted.contains(id) {
+                    self.quarantine.record_success(id);
+                }
+            }
+        }
+        for (id, kind, detail) in &batch.faults {
+            self.quarantine.record_failure(id, *kind, detail.clone(), now);
+        }
+        let (short, long) = (batch.short, batch.long);
         funnel.change_points = short.len() + long.len();
-        // --- Stage 2: went-away detection (short-term only). ---
+        // --- Stage 2: went-away detection (short-term only). A filter
+        // error drops the candidate and quarantines its series. ---
         let mut kept_short = Vec::with_capacity(short.len());
         for r in short {
-            if self.went_away.evaluate(&r)?.keep {
-                kept_short.push(r);
+            match self.went_away.evaluate(&r) {
+                Ok(v) => {
+                    if v.keep {
+                        kept_short.push(r);
+                    }
+                }
+                Err(e) => {
+                    health.errored += 1;
+                    self.quarantine.record_failure(
+                        &r.series,
+                        FaultKind::DetectorError,
+                        e.to_string(),
+                        now,
+                    );
+                }
             }
         }
         funnel.after_went_away = kept_short.len() + long.len();
         // --- Stage 3: seasonality detection (short-term only). ---
         let mut deseasoned = Vec::with_capacity(kept_short.len());
         for r in kept_short {
-            if self.seasonality.evaluate(&r)?.keep {
-                deseasoned.push(r);
+            match self.seasonality.evaluate(&r) {
+                Ok(v) => {
+                    if v.keep {
+                        deseasoned.push(r);
+                    }
+                }
+                Err(e) => {
+                    health.errored += 1;
+                    self.quarantine.record_failure(
+                        &r.series,
+                        FaultKind::DetectorError,
+                        e.to_string(),
+                        now,
+                    );
+                }
             }
         }
         funnel.after_seasonality = deseasoned.len() + long.len();
@@ -153,6 +346,28 @@ impl Pipeline {
         // --- Stage 5: SameRegressionMerger. ---
         thresholded = self.merger.filter_new(thresholded);
         funnel.after_same_merger = thresholded.len();
+        // --- Budget check: the cheap, high-recall stages are done. If the
+        // deadline is already blown, shed the expensive dedup/RCA stages
+        // and ship the thresholded candidates as-is (graceful
+        // degradation: noisier output beats no output). ---
+        if self
+            .budget
+            .deadline
+            .is_some_and(|d| scan_started.elapsed() >= d)
+        {
+            health.skip_stage("som_dedup");
+            health.skip_stage("cost_shift");
+            health.skip_stage("pairwise_dedup");
+            health.skip_stage("root_cause");
+            funnel.after_som_dedup = thresholded.len();
+            funnel.after_cost_shift = thresholded.len();
+            funnel.after_pairwise_dedup = thresholded.len();
+            return Ok(ScanOutcome {
+                reports: thresholded,
+                funnel,
+                health,
+            });
+        }
         // --- Stage 6: SOMDedup. ---
         let som_config = SomDedupConfig {
             importance_weights: self.config.importance_weights,
@@ -175,18 +390,34 @@ impl Pipeline {
                 samples.iter().filter(|s| s.contains(frame)).count() as f64 / samples.len() as f64
             }
         };
-        let groups = som_dedup(&thresholded, context.changelog, &som_config, popularity)?;
-        let mut representatives: Vec<Regression> = groups
-            .iter()
-            .map(|g| thresholded[g.representative].clone())
-            .collect();
+        // A batch-stage failure degrades to pass-through rather than
+        // aborting the scan: every candidate is its own representative.
+        let mut representatives: Vec<Regression> =
+            match som_dedup(&thresholded, context.changelog, &som_config, popularity) {
+                Ok(groups) => groups
+                    .iter()
+                    .map(|g| thresholded[g.representative].clone())
+                    .collect(),
+                Err(_) => {
+                    health.stage_errors += 1;
+                    health.skip_stage("som_dedup");
+                    thresholded
+                }
+            };
         funnel.after_som_dedup = representatives.len();
-        // --- Stage 7: cost-shift analysis (gCPU regressions only). ---
+        // --- Stage 7: cost-shift analysis (gCPU regressions only). An
+        // analysis error fails open (the regression is kept). ---
         if !context.domain_providers.is_empty() {
             let mut kept = Vec::with_capacity(representatives.len());
             for r in representatives {
                 let filtered = r.series.metric == MetricKind::GCpu
-                    && self.is_cost_shift(store, &r, now, context)?;
+                    && match self.is_cost_shift(store, &r, now, context) {
+                        Ok(is_shift) => is_shift,
+                        Err(_) => {
+                            health.stage_errors += 1;
+                            false
+                        }
+                    };
                 if !filtered {
                     kept.push(r);
                 }
@@ -245,7 +476,8 @@ impl Pipeline {
             .iter()
             .map(|g| g.representative().clone())
             .collect();
-        // --- Stage 9: root cause analysis. ---
+        // --- Stage 9: root cause analysis. An RCA failure leaves the
+        // report un-attributed rather than losing it. ---
         if let Some(log) = context.changelog {
             for r in reports.iter_mut() {
                 let (before, after) = split_samples(context.samples, r.change_time);
@@ -254,61 +486,134 @@ impl Pipeline {
                     samples_after: after,
                     graph: context.graph,
                 };
-                let ranked = self.rca.analyze(r, log, &rca_context)?;
-                r.root_cause_candidates = ranked.into_iter().map(|c| c.change_id).collect();
+                match self.rca.analyze(r, log, &rca_context) {
+                    Ok(ranked) => {
+                        r.root_cause_candidates =
+                            ranked.into_iter().map(|c| c.change_id).collect();
+                    }
+                    Err(_) => health.stage_errors += 1,
+                }
             }
         }
-        Ok(ScanOutcome { reports, funnel })
+        Ok(ScanOutcome {
+            reports,
+            funnel,
+            health,
+        })
     }
 
-    /// Stage-1 detection fanned out over worker threads.
+    /// Runs detection for one series. Never called outside the
+    /// `catch_unwind` isolation in [`Pipeline::detect_parallel`].
+    fn detect_one(&self, store: &TsdbStore, id: &SeriesId, now: Timestamp) -> SeriesScan {
+        if let Some(hook) = &self.chaos_hook {
+            hook(id);
+        }
+        let mut windows = match store.windows(id, &self.config.windows, now) {
+            Ok(w) => w,
+            Err(e) => return SeriesScan::NoData(e.to_string()),
+        };
+        // Data-quality gate: a window drowned in non-finite values (a NaN
+        // burst from a broken collector) is a fault, not an input.
+        for (name, values) in [("historic", &windows.historic), ("analysis", &windows.analysis)] {
+            let finite = values.iter().filter(|v| v.is_finite()).count();
+            if (finite as f64) < self.budget.min_finite_fraction * values.len() as f64 {
+                return SeriesScan::BadData(format!(
+                    "{name} window: only {finite}/{} finite values",
+                    values.len()
+                ));
+            }
+        }
+        let partial = windows.coverage.is_partial(self.budget.min_coverage);
+        Self::orient(&mut windows, id.metric);
+        let short = match self.change_point.detect(id, &windows, now) {
+            Ok(r) => r,
+            Err(e) => return SeriesScan::Error(e),
+        };
+        let long = if self.config.long_term_enabled {
+            match self.long_term.detect(id, &windows, now) {
+                Ok(r) => r,
+                Err(e) => return SeriesScan::Error(e),
+            }
+        } else {
+            None
+        };
+        SeriesScan::Ok(Box::new(SeriesDetections {
+            short,
+            long,
+            partial,
+        }))
+    }
+
+    /// Stage-1 detection fanned out over worker threads, with each series
+    /// supervised: a panicking or erroring detector loses that series
+    /// only, never the scan.
     fn detect_parallel(
         &self,
         store: &TsdbStore,
         series: &[SeriesId],
         now: Timestamp,
-    ) -> Result<(Vec<Regression>, Vec<Regression>)> {
+    ) -> Result<DetectBatch> {
         let threads = self.threads.clamp(1, 64);
         let chunk = series.len().div_ceil(threads).max(1);
-        let results = crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for slice in series.chunks(chunk) {
                 handles.push(scope.spawn(move |_| {
-                    let mut short = Vec::new();
-                    let mut long = Vec::new();
+                    let mut part = DetectBatch::default();
                     for id in slice {
-                        let Ok(mut windows) = store.windows(id, &self.config.windows, now) else {
-                            continue;
-                        };
-                        Self::orient(&mut windows, id.metric);
-                        if let Ok(Some(r)) = self.change_point.detect(id, &windows, now) {
-                            short.push(r);
-                        }
-                        if self.config.long_term_enabled {
-                            if let Ok(Some(r)) = self.long_term.detect(id, &windows, now) {
-                                long.push(r);
+                        match catch_unwind(AssertUnwindSafe(|| self.detect_one(store, id, now))) {
+                            Ok(SeriesScan::Ok(detections)) => {
+                                part.short.extend(detections.short);
+                                part.long.extend(detections.long);
+                                part.partial += usize::from(detections.partial);
+                            }
+                            Ok(SeriesScan::NoData(detail)) => {
+                                part.faults.push((id.clone(), FaultKind::NoData, detail));
+                            }
+                            Ok(SeriesScan::BadData(detail)) => {
+                                part.faults
+                                    .push((id.clone(), FaultKind::DataQuality, detail));
+                            }
+                            Ok(SeriesScan::Error(e)) => {
+                                part.faults.push((
+                                    id.clone(),
+                                    FaultKind::DetectorError,
+                                    e.to_string(),
+                                ));
+                            }
+                            Err(payload) => {
+                                part.faults.push((
+                                    id.clone(),
+                                    FaultKind::Panic,
+                                    panic_message(payload),
+                                ));
                             }
                         }
                     }
-                    (short, long)
+                    part
                 }));
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("detection worker panicked"))
+                .map(|h| h.join())
                 .collect::<Vec<_>>()
         })
-        .map_err(|_| DetectError::Stats("detection thread pool panicked".to_string()))?;
-        let mut short = Vec::new();
-        let mut long = Vec::new();
-        for (s, l) in results {
-            short.extend(s);
-            long.extend(l);
+        .map_err(|_| DetectError::Panic("detection thread pool panicked".to_string()))?;
+        let mut batch = DetectBatch::default();
+        for worker in joined {
+            // Per-series panics are already caught; a worker dying here
+            // means the supervisor loop itself broke.
+            let part = worker.map_err(panic_message).map_err(DetectError::Panic)?;
+            batch.short.extend(part.short);
+            batch.long.extend(part.long);
+            batch.partial += part.partial;
+            batch.faults.extend(part.faults);
         }
         // Deterministic order regardless of thread interleaving.
-        short.sort_by(|a, b| a.series.cmp(&b.series));
-        long.sort_by(|a, b| a.series.cmp(&b.series));
-        Ok((short, long))
+        batch.short.sort_by(|a, b| a.series.cmp(&b.series));
+        batch.long.sort_by(|a, b| a.series.cmp(&b.series));
+        batch.faults.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(batch)
     }
 
     /// Sums the cost domain's gCPU series and applies the §5.4 rules.
@@ -525,6 +830,155 @@ mod tests {
             .scan(&store, &[id], 4_500, &ScanContext::default())
             .unwrap();
         assert_eq!(out.reports.len(), 1, "funnel = {:?}", out.funnel);
+    }
+
+    #[test]
+    fn panicking_detector_is_isolated_and_quarantined() {
+        let store = TsdbStore::new();
+        let hot = SeriesId::new("svc", MetricKind::GCpu, "hot");
+        let calm = SeriesId::new("svc", MetricKind::GCpu, "calm");
+        let poison = SeriesId::new("svc", MetricKind::GCpu, "poison");
+        fill_series(&store, &hot, 450, |t| {
+            if t >= 3_800 {
+                0.02 + noise(t, 0.001)
+            } else {
+                0.01 + noise(t, 0.001)
+            }
+        });
+        fill_series(&store, &calm, 450, |t| 0.01 + noise(t, 0.001));
+        fill_series(&store, &poison, 450, |t| 0.01 + noise(t, 0.001));
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        p.set_chaos_hook(std::sync::Arc::new(|id: &SeriesId| {
+            assert!(id.target != "poison", "injected detector bug");
+        }));
+        let out = p
+            .scan(
+                &store,
+                &[hot.clone(), calm, poison.clone()],
+                4_500,
+                &ScanContext::default(),
+            )
+            .expect("a panicking series must not abort the scan");
+        // The healthy regression is still caught.
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].series, hot);
+        // The panic is counted and the series parked.
+        assert_eq!(out.health.panicked, 1);
+        assert_eq!(out.health.series_scanned, 2);
+        let entry = p.quarantine().entry(&poison).expect("poison quarantined");
+        assert_eq!(entry.kind, crate::quarantine::FaultKind::Panic);
+        assert!(entry.detail.contains("injected detector bug"));
+        assert!(p.quarantine().is_quarantined(&poison, 4_500));
+        // Within the backoff span the series is skipped entirely.
+        let out2 = p
+            .scan(&store, &[poison.clone()], 4_600, &ScanContext::default())
+            .unwrap();
+        assert_eq!(out2.health.series_quarantined, 1);
+        assert_eq!(out2.health.panicked, 0);
+        // After the hook is fixed and the backoff expires, it is
+        // re-admitted on the next successful scan.
+        p.clear_chaos_hook();
+        let out3 = p
+            .scan(&store, &[poison.clone()], 5_000, &ScanContext::default())
+            .unwrap();
+        assert_eq!(out3.health.series_scanned, 1);
+        assert!(p.quarantine().entry(&poison).is_none());
+    }
+
+    #[test]
+    fn zero_deadline_sheds_expensive_stages() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "hot");
+        fill_series(&store, &id, 450, |t| {
+            if t >= 3_800 {
+                0.02 + noise(t, 0.001)
+            } else {
+                0.01 + noise(t, 0.001)
+            }
+        });
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        p.budget.deadline = Some(std::time::Duration::ZERO);
+        let out = p
+            .scan(&store, &[id], 4_500, &ScanContext::default())
+            .unwrap();
+        assert!(out.health.degraded);
+        assert_eq!(
+            out.health.stages_skipped,
+            vec!["som_dedup", "cost_shift", "pairwise_dedup", "root_cause"]
+        );
+        // Degraded mode still ships the thresholded candidates.
+        assert_eq!(out.reports.len(), 1, "funnel = {:?}", out.funnel);
+        // Funnel counters stay monotone through the shed stages.
+        assert_eq!(out.funnel.after_pairwise_dedup, out.funnel.after_same_merger);
+    }
+
+    #[test]
+    fn nan_burst_is_a_data_quality_fault() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "broken-collector");
+        // The analysis window [3000, 4000) is drowned in NaN.
+        fill_series(&store, &id, 450, |t| {
+            if (3_000..4_000).contains(&t) {
+                f64::NAN
+            } else {
+                0.01 + noise(t, 0.001)
+            }
+        });
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let out = p
+            .scan(
+                &store,
+                std::slice::from_ref(&id),
+                4_500,
+                &ScanContext::default(),
+            )
+            .unwrap();
+        assert!(out.reports.is_empty());
+        assert_eq!(out.health.series_skipped, 1);
+        assert_eq!(out.health.series_scanned, 0);
+        let entry = p.quarantine().entry(&id).unwrap();
+        assert_eq!(entry.kind, crate::quarantine::FaultKind::DataQuality);
+    }
+
+    #[test]
+    fn missing_data_is_skipped_and_quarantined() {
+        let store = TsdbStore::new();
+        let empty = SeriesId::new("svc", MetricKind::GCpu, "empty");
+        store.insert_series(empty.clone(), fbd_tsdb::TimeSeries::new());
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let out = p
+            .scan(
+                &store,
+                std::slice::from_ref(&empty),
+                4_500,
+                &ScanContext::default(),
+            )
+            .unwrap();
+        assert_eq!(out.health.series_skipped, 1);
+        assert_eq!(
+            p.quarantine().entry(&empty).unwrap().kind,
+            crate::quarantine::FaultKind::NoData
+        );
+    }
+
+    #[test]
+    fn sparse_series_counts_as_partial() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "gappy");
+        // 10s cadence, but 70% of the analysis window's samples dropped.
+        for t in 0..450u64 {
+            let ts = t * 10;
+            if (3_000..4_000).contains(&ts) && ts % 100 != 0 {
+                continue;
+            }
+            store.append(&id, ts, 0.01 + noise(ts, 0.001)).unwrap();
+        }
+        let mut p = Pipeline::new(test_config(0.005)).unwrap();
+        let out = p
+            .scan(&store, &[id], 4_500, &ScanContext::default())
+            .unwrap();
+        assert_eq!(out.health.series_partial, 1);
+        assert_eq!(out.health.series_scanned, 1);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Series quarantine with deterministic exponential backoff.
+//!
+//! At production scale some fraction of the ~800,000 monitored series is
+//! always broken — collectors emitting garbage, detectors hitting
+//! pathological inputs, even panicking on them. Aborting a whole scan for
+//! one bad series is unacceptable, but so is burning a full detection pass
+//! on a series that has failed the last ten scans. The [`Quarantine`]
+//! registry records per-series failures and parks failing series for an
+//! exponentially growing number of re-run intervals, re-admitting them on
+//! the first successful scan.
+//!
+//! Backoff is keyed entirely on the *simulated* scan timestamps the
+//! scheduler already runs on — no wall clock — so quarantine decisions are
+//! deterministic and reproducible in tests.
+
+use fbd_tsdb::{SeriesId, Timestamp};
+use std::collections::HashMap;
+
+/// Why a series was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The detector panicked on this series (caught by the supervisor).
+    Panic,
+    /// The detector returned an error.
+    DetectorError,
+    /// Window extraction found no usable data.
+    NoData,
+    /// The series' data failed quality checks (e.g. a non-finite burst).
+    DataQuality,
+}
+
+/// Backoff policy for quarantined series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineConfig {
+    /// Re-run intervals to skip after the first failure.
+    pub initial_backoff: u64,
+    /// Multiplier applied for each additional consecutive failure.
+    pub growth: u64,
+    /// Cap on skipped intervals. This bounds how long a series can be
+    /// parked, so no series is ever lost forever.
+    pub max_backoff: u64,
+}
+
+impl Default for QuarantineConfig {
+    /// Retry after 1 interval, doubling up to 32 intervals.
+    fn default() -> Self {
+        QuarantineConfig {
+            initial_backoff: 1,
+            growth: 2,
+            max_backoff: 32,
+        }
+    }
+}
+
+/// The failure record for one quarantined series.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry {
+    /// The most recent fault.
+    pub kind: FaultKind,
+    /// Human-readable detail of the most recent fault (panic payload,
+    /// error message).
+    pub detail: String,
+    /// Consecutive failures without an intervening success.
+    pub consecutive_failures: u64,
+    /// Total failures recorded for this series while quarantined.
+    pub total_failures: u64,
+    /// Scan time of the most recent failure.
+    pub last_failure_at: Timestamp,
+    /// First scan time at which the series is eligible to run again.
+    pub eligible_at: Timestamp,
+}
+
+/// Registry of failing series and their backoff state.
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    config: QuarantineConfig,
+    rerun_interval: u64,
+    entries: HashMap<SeriesId, QuarantineEntry>,
+}
+
+impl Quarantine {
+    /// Builds a registry for a pipeline re-running every `rerun_interval`
+    /// simulated seconds.
+    pub fn new(config: QuarantineConfig, rerun_interval: u64) -> Self {
+        Quarantine {
+            config,
+            rerun_interval: rerun_interval.max(1),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The backoff policy in force.
+    pub fn config(&self) -> &QuarantineConfig {
+        &self.config
+    }
+
+    /// Number of re-run intervals skipped after `consecutive_failures`
+    /// consecutive failures: `initial * growth^(n-1)`, capped at
+    /// `max_backoff`.
+    pub fn backoff_intervals(&self, consecutive_failures: u64) -> u64 {
+        let cap = self.config.max_backoff.max(1);
+        let mut backoff = self.config.initial_backoff.max(1);
+        for _ in 1..consecutive_failures {
+            backoff = backoff.saturating_mul(self.config.growth.max(1));
+            if backoff >= cap {
+                return cap;
+            }
+        }
+        backoff.min(cap)
+    }
+
+    /// Records a failure observed at scan time `now` and parks the series
+    /// until its backoff expires. Returns the updated entry.
+    pub fn record_failure(
+        &mut self,
+        id: &SeriesId,
+        kind: FaultKind,
+        detail: impl Into<String>,
+        now: Timestamp,
+    ) -> &QuarantineEntry {
+        let entry = self
+            .entries
+            .entry(id.clone())
+            .or_insert_with(|| QuarantineEntry {
+                kind,
+                detail: String::new(),
+                consecutive_failures: 0,
+                total_failures: 0,
+                last_failure_at: now,
+                eligible_at: now,
+            });
+        entry.kind = kind;
+        entry.detail = detail.into();
+        entry.consecutive_failures += 1;
+        entry.total_failures += 1;
+        entry.last_failure_at = now;
+        let skip = {
+            let cap = self.config.max_backoff.max(1);
+            let mut backoff = self.config.initial_backoff.max(1);
+            for _ in 1..entry.consecutive_failures {
+                backoff = backoff.saturating_mul(self.config.growth.max(1));
+                if backoff >= cap {
+                    backoff = cap;
+                    break;
+                }
+            }
+            backoff.min(cap)
+        };
+        entry.eligible_at = now.saturating_add(skip.saturating_mul(self.rerun_interval));
+        entry
+    }
+
+    /// Re-admits a series after a successful scan. Returns whether the
+    /// series had been quarantined.
+    pub fn record_success(&mut self, id: &SeriesId) -> bool {
+        self.entries.remove(id).is_some()
+    }
+
+    /// Whether the series should be skipped at scan time `now`.
+    pub fn is_quarantined(&self, id: &SeriesId, now: Timestamp) -> bool {
+        self.entries.get(id).is_some_and(|e| now < e.eligible_at)
+    }
+
+    /// The failure record for a series, if any.
+    pub fn entry(&self, id: &SeriesId) -> Option<&QuarantineEntry> {
+        self.entries.get(id)
+    }
+
+    /// All failure records.
+    pub fn entries(&self) -> impl Iterator<Item = (&SeriesId, &QuarantineEntry)> {
+        self.entries.iter()
+    }
+
+    /// Number of series with failure records (quarantined or awaiting
+    /// their retry).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no series has a failure record.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of series parked (ineligible) at scan time `now`.
+    pub fn quarantined_count(&self, now: Timestamp) -> usize {
+        self.entries
+            .values()
+            .filter(|e| now < e.eligible_at)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_tsdb::MetricKind;
+
+    fn id(n: &str) -> SeriesId {
+        SeriesId::new("svc", MetricKind::GCpu, n)
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let q = Quarantine::new(QuarantineConfig::default(), 100);
+        assert_eq!(q.backoff_intervals(1), 1);
+        assert_eq!(q.backoff_intervals(2), 2);
+        assert_eq!(q.backoff_intervals(3), 4);
+        assert_eq!(q.backoff_intervals(4), 8);
+        assert_eq!(q.backoff_intervals(6), 32);
+        // Capped thereafter, even for absurd failure counts.
+        assert_eq!(q.backoff_intervals(7), 32);
+        assert_eq!(q.backoff_intervals(10_000), 32);
+    }
+
+    #[test]
+    fn failures_park_for_growing_spans() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 100);
+        let s = id("bad");
+        q.record_failure(&s, FaultKind::Panic, "boom", 1_000);
+        assert!(q.is_quarantined(&s, 1_000));
+        assert!(q.is_quarantined(&s, 1_099));
+        // Eligible exactly at the end of the backoff span.
+        assert!(!q.is_quarantined(&s, 1_100));
+        // A second failure at the retry parks for two intervals.
+        q.record_failure(&s, FaultKind::Panic, "boom", 1_100);
+        assert!(q.is_quarantined(&s, 1_200));
+        assert!(!q.is_quarantined(&s, 1_300));
+        let e = q.entry(&s).unwrap();
+        assert_eq!(e.consecutive_failures, 2);
+        assert_eq!(e.total_failures, 2);
+        assert_eq!(e.eligible_at, 1_300);
+    }
+
+    #[test]
+    fn success_readmits_immediately() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 100);
+        let s = id("flaky");
+        for i in 0..5 {
+            q.record_failure(&s, FaultKind::DetectorError, "err", i * 100);
+        }
+        assert!(q.is_quarantined(&s, 500));
+        assert!(q.record_success(&s));
+        assert!(!q.is_quarantined(&s, 500));
+        assert!(q.entry(&s).is_none());
+        // A fresh failure starts the schedule over.
+        q.record_failure(&s, FaultKind::DetectorError, "err", 1_000);
+        assert_eq!(q.entry(&s).unwrap().consecutive_failures, 1);
+        assert!(!q.is_quarantined(&s, 1_100));
+    }
+
+    #[test]
+    fn unknown_series_are_never_quarantined() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 100);
+        assert!(!q.is_quarantined(&id("x"), 0));
+        assert!(!q.record_success(&id("x")));
+        assert_eq!(q.quarantined_count(0), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn latest_fault_kind_and_detail_are_kept() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 100);
+        let s = id("bad");
+        q.record_failure(&s, FaultKind::NoData, "empty window", 0);
+        q.record_failure(&s, FaultKind::Panic, "index out of bounds", 100);
+        let e = q.entry(&s).unwrap();
+        assert_eq!(e.kind, FaultKind::Panic);
+        assert_eq!(e.detail, "index out of bounds");
+    }
+
+    #[test]
+    fn degenerate_configs_still_bound_backoff() {
+        // Zero growth/backoff values are treated as 1: always retry on the
+        // next interval, never park forever.
+        let q = Quarantine::new(
+            QuarantineConfig {
+                initial_backoff: 0,
+                growth: 0,
+                max_backoff: 0,
+            },
+            100,
+        );
+        assert_eq!(q.backoff_intervals(1), 1);
+        assert_eq!(q.backoff_intervals(50), 1);
+    }
+
+    #[test]
+    fn timestamps_never_overflow() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), u64::MAX);
+        let s = id("edge");
+        q.record_failure(&s, FaultKind::Panic, "late in time", u64::MAX - 10);
+        assert_eq!(q.entry(&s).unwrap().eligible_at, u64::MAX);
+    }
+
+    #[test]
+    fn quarantined_count_tracks_eligibility() {
+        let mut q = Quarantine::new(QuarantineConfig::default(), 100);
+        q.record_failure(&id("a"), FaultKind::Panic, "", 0);
+        q.record_failure(&id("b"), FaultKind::Panic, "", 0);
+        q.record_failure(&id("b"), FaultKind::Panic, "", 100);
+        assert_eq!(q.quarantined_count(50), 2);
+        // `a` is eligible at 100; `b` is parked until 300.
+        assert_eq!(q.quarantined_count(100), 1);
+        assert_eq!(q.quarantined_count(300), 0);
+        assert_eq!(q.len(), 2);
+    }
+}

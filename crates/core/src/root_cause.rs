@@ -96,7 +96,7 @@ impl RootCauseAnalyzer {
                 factors: [attribution, text, timing],
             });
         }
-        ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
         if ranked
             .first()
             .is_none_or(|c| c.score < self.confidence_threshold)
@@ -344,6 +344,7 @@ mod tests {
                 extended: vec![],
                 analysis_start: 10_000,
                 analysis_end: 10_100,
+                ..Default::default()
             },
             root_cause_candidates: vec![],
         }

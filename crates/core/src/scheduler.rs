@@ -37,6 +37,9 @@ pub struct MonitoringOutcome {
     pub scans: usize,
     /// Accumulated funnel across all scans.
     pub funnel: crate::types::FunnelCounters,
+    /// Accumulated scan-health telemetry across all scans: series
+    /// scanned/skipped/quarantined, panics isolated, stages shed.
+    pub health: crate::types::ScanHealth,
 }
 
 impl MonitoringOutcome {
@@ -76,6 +79,12 @@ impl MonitoringScheduler {
         &self.pipeline
     }
 
+    /// The wrapped pipeline, mutable (budget, quarantine policy, chaos
+    /// hooks).
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
+    }
+
     /// Runs scans from `start` to `end` at the pipeline's re-run interval,
     /// scanning `series` in `store` each time.
     pub fn run(
@@ -93,6 +102,7 @@ impl MonitoringScheduler {
             let scan = self.pipeline.scan(store, series, now, context)?;
             outcome.scans += 1;
             outcome.funnel.accumulate(&scan.funnel);
+            outcome.health.accumulate(&scan.health);
             let (kept, suppressed) = self.planned.partition(scan.reports);
             outcome.suppressed.extend(suppressed);
             for regression in kept {
@@ -190,6 +200,49 @@ mod tests {
         assert!(outcome.reports.is_empty());
         assert_eq!(outcome.suppressed.len(), 1);
         assert_eq!(outcome.suppressed[0].1, "capacity drain");
+    }
+
+    #[test]
+    fn quarantine_backoff_limits_retries_across_reruns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let (store, id) = step_store(5_200, 8_000);
+        let poison = SeriesId::new("svc", MetricKind::GCpu, "poison");
+        store.insert_series(
+            poison.clone(),
+            TimeSeries::from_values(0, 10, &vec![0.01; 800]),
+        );
+        let mut scheduler = MonitoringScheduler::new(Pipeline::new(config()).unwrap());
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let seen = attempts.clone();
+        scheduler
+            .pipeline_mut()
+            .set_chaos_hook(Arc::new(move |sid: &SeriesId| {
+                if sid.target == "poison" {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    panic!("always broken");
+                }
+            }));
+        // 7 scans at t = 5000, 5500, …, 8000 (interval 500).
+        let outcome = scheduler
+            .run(
+                &store,
+                &[id, poison.clone()],
+                5_000,
+                8_000,
+                &ScanContext::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.scans, 7);
+        // Exponential backoff (1, 2, 4 intervals): attempts at 5000, 5500,
+        // 6500 only — the remaining four scans skip the parked series.
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        assert_eq!(outcome.health.panicked, 3);
+        assert_eq!(outcome.health.series_quarantined, 4);
+        // The healthy series' regression is still reported.
+        assert_eq!(outcome.reports.len(), 1, "funnel = {:?}", outcome.funnel);
+        let entry = scheduler.pipeline().quarantine().entry(&poison).unwrap();
+        assert_eq!(entry.consecutive_failures, 3);
     }
 
     #[test]

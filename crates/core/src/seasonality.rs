@@ -133,6 +133,7 @@ mod tests {
                 extended,
                 analysis_start: 0,
                 analysis_end: 1,
+                ..Default::default()
             },
             root_cause_candidates: vec![],
         }

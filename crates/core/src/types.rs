@@ -68,6 +68,65 @@ impl Regression {
     }
 }
 
+/// Fleet-health telemetry for one scan (or accumulated across a
+/// monitoring run).
+///
+/// The scan supervisor isolates per-series failures instead of aborting,
+/// so the outcome of a scan is no longer just reports — it is reports
+/// *plus* an account of which series could not be scanned and which
+/// pipeline stages were shed under budget pressure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanHealth {
+    /// Series requested for this scan.
+    pub series_total: usize,
+    /// Series that completed detection (including partial-data ones).
+    pub series_scanned: usize,
+    /// Series skipped because their windows held no usable data.
+    pub series_skipped: usize,
+    /// Series scanned on windows sparser than the coverage floor.
+    pub series_partial: usize,
+    /// Series skipped because they are parked in quarantine.
+    pub series_quarantined: usize,
+    /// Detector panics caught and isolated by the supervisor.
+    pub panicked: usize,
+    /// Per-series detector errors (detection and filter stages).
+    pub errored: usize,
+    /// Batch-stage errors survived by degrading (SOMDedup, RCA, …).
+    pub stage_errors: usize,
+    /// Pipeline stages skipped this scan (deduplicated, in stage order).
+    pub stages_skipped: Vec<&'static str>,
+    /// Whether the scan shed stages (budget pressure or stage failure).
+    pub degraded: bool,
+}
+
+impl ScanHealth {
+    /// Adds another scan's health into this one (for monitoring runs).
+    pub fn accumulate(&mut self, other: &ScanHealth) {
+        self.series_total += other.series_total;
+        self.series_scanned += other.series_scanned;
+        self.series_skipped += other.series_skipped;
+        self.series_partial += other.series_partial;
+        self.series_quarantined += other.series_quarantined;
+        self.panicked += other.panicked;
+        self.errored += other.errored;
+        self.stage_errors += other.stage_errors;
+        for stage in &other.stages_skipped {
+            if !self.stages_skipped.contains(stage) {
+                self.stages_skipped.push(stage);
+            }
+        }
+        self.degraded |= other.degraded;
+    }
+
+    /// Marks a stage as skipped (idempotent) and flags degradation.
+    pub fn skip_stage(&mut self, stage: &'static str) {
+        if !self.stages_skipped.contains(&stage) {
+            self.stages_skipped.push(stage);
+        }
+        self.degraded = true;
+    }
+}
+
 /// Per-stage counters for the filtering funnel (Table 3).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FunnelCounters {
@@ -132,6 +191,7 @@ mod tests {
                 extended: vec![after; 5],
                 analysis_start: 900,
                 analysis_end: 1100,
+                ..Default::default()
             },
             root_cause_candidates: vec![],
         }

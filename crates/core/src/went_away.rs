@@ -245,6 +245,7 @@ mod tests {
                 extended,
                 analysis_start: 0,
                 analysis_end: 100,
+                ..Default::default()
             },
             root_cause_candidates: vec![],
         }

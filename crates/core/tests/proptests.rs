@@ -6,7 +6,7 @@ use fbdetect_core::config::{DetectorConfig, Threshold};
 use fbdetect_core::dedup::same_merger::SameRegressionMerger;
 use fbdetect_core::types::{Regression, RegressionKind};
 use fbdetect_core::went_away::WentAwayDetector;
-use fbdetect_core::{Pipeline, ScanContext};
+use fbdetect_core::{FaultKind, Pipeline, Quarantine, QuarantineConfig, ScanContext};
 use proptest::prelude::*;
 
 fn config(threshold: f64) -> DetectorConfig {
@@ -51,6 +51,7 @@ fn regression_from_values(values: &[f64], cp: usize) -> Regression {
             extended: values[h + a..].to_vec(),
             analysis_start: h as u64,
             analysis_end: (h + a) as u64,
+            ..Default::default()
         },
         root_cause_candidates: vec![],
     }
@@ -193,5 +194,43 @@ proptest! {
         if !high_out.reports.is_empty() {
             prop_assert!(!low_out.reports.is_empty());
         }
+    }
+
+    #[test]
+    fn quarantine_never_loses_a_series_forever(
+        gaps in prop::collection::vec(0u64..50, 1..40),
+        initial in 1u64..4,
+        growth in 1u64..4,
+        max_backoff in 1u64..16,
+    ) {
+        // No failure sequence may park a series past max_backoff re-run
+        // intervals: quarantine is backoff, not a blocklist.
+        let interval = 500u64;
+        let mut q = Quarantine::new(
+            QuarantineConfig {
+                initial_backoff: initial,
+                growth,
+                max_backoff,
+            },
+            interval,
+        );
+        let id = SeriesId::new("svc", MetricKind::GCpu, "flaky");
+        let mut now = 0u64;
+        for &gap in &gaps {
+            now += gap * interval;
+            // The scheduler only retries (and can only re-fail) once the
+            // series is eligible again.
+            if !q.is_quarantined(&id, now) {
+                let entry = q.record_failure(&id, FaultKind::DetectorError, "prop", now);
+                prop_assert!(entry.eligible_at <= now + max_backoff * interval);
+            }
+        }
+        // However many failures accumulated, the series becomes scannable
+        // again within max_backoff intervals of the last one.
+        prop_assert!(!q.is_quarantined(&id, now + max_backoff * interval));
+        // And one success fully re-admits it.
+        q.record_success(&id);
+        prop_assert!(q.entry(&id).is_none());
+        prop_assert!(!q.is_quarantined(&id, 0));
     }
 }

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod kraken;
 pub mod lln;
 pub mod mesh;
@@ -30,6 +31,7 @@ pub mod tao;
 pub mod transient;
 
 pub use error::FleetError;
+pub use fault::{DataFault, DataFaultKind, FaultSchedule};
 pub use noise::NormalSampler;
 pub use server::{Server, ServerGeneration};
 pub use service::{ServiceSim, ServiceSimConfig};

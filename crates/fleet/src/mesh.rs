@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn downstream_regression_raises_caller_latency() {
-        let mut frontend = sim("frontend", 1);
+        let frontend = sim("frontend", 1);
         let backend = sim("backend", 2);
         // Regress the backend by 20% total weight at mid-run.
         let victim = frontend.graph().frame_by_name("subroutine_00000").unwrap();

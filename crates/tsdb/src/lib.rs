@@ -20,7 +20,7 @@ pub use error::TsdbError;
 pub use series::TimeSeries;
 pub use store::TsdbStore;
 pub use types::{DataPoint, MetricKind, SeriesId, Timestamp};
-pub use window::{WindowConfig, WindowedData};
+pub use window::{WindowConfig, WindowCoverage, WindowedData};
 
 /// Convenience alias used by fallible routines in this crate.
 pub type Result<T> = std::result::Result<T, TsdbError>;

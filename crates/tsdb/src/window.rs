@@ -49,13 +49,57 @@ impl WindowConfig {
     }
 }
 
+/// How completely each window was populated, relative to the series'
+/// observed sample cadence.
+///
+/// Collectors drop samples, arrive late, or start mid-window; rather than
+/// silently handing truncated windows to the detectors, window extraction
+/// reports what fraction of the expected samples each window actually
+/// holds. A fraction of `1.0` means the window is as dense as the series'
+/// steady-state cadence predicts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowCoverage {
+    /// Fraction of expected historic samples present, in `[0, 1]`.
+    pub historic: f64,
+    /// Fraction of expected analysis samples present, in `[0, 1]`.
+    pub analysis: f64,
+    /// Fraction of expected extended samples present, in `[0, 1]`;
+    /// `1.0` when the extended window is disabled.
+    pub extended: f64,
+}
+
+impl Default for WindowCoverage {
+    /// Full coverage — the assumption before any gaps are observed.
+    fn default() -> Self {
+        WindowCoverage {
+            historic: 1.0,
+            analysis: 1.0,
+            extended: 1.0,
+        }
+    }
+}
+
+impl WindowCoverage {
+    /// Whether the historic or analysis window is sparser than
+    /// `min_fraction`. The extended window is excluded: it ends at the scan
+    /// time, so it is routinely mid-fill under ingestion lag.
+    pub fn is_partial(&self, min_fraction: f64) -> bool {
+        self.historic < min_fraction || self.analysis < min_fraction
+    }
+
+    /// The sparsest of the three window fractions.
+    pub fn min_fraction(&self) -> f64 {
+        self.historic.min(self.analysis).min(self.extended)
+    }
+}
+
 /// Data extracted for one detection scan.
 ///
 /// Window layout relative to the scan time `now` (Figure 4): the extended
 /// window ends at `now`, preceded by the analysis window, preceded by the
 /// historic window. When the extended window is disabled the analysis
 /// window ends at `now`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowedData {
     /// Values in the historic window, time-ordered.
     pub historic: Vec<f64>,
@@ -67,6 +111,8 @@ pub struct WindowedData {
     pub analysis_start: Timestamp,
     /// End of the analysis window.
     pub analysis_end: Timestamp,
+    /// How completely each window was populated.
+    pub coverage: WindowCoverage,
 }
 
 impl WindowedData {
@@ -86,10 +132,42 @@ impl WindowedData {
     }
 }
 
+/// Estimates the series' sample cadence over `[start, end)` as the smallest
+/// positive gap between consecutive timestamps. Dropped samples only widen
+/// gaps and duplicated timestamps produce zero gaps, so the minimum positive
+/// gap is robust to both. Returns `None` when no two distinct timestamps
+/// exist in the range.
+fn estimate_cadence(series: &TimeSeries, start: Timestamp, end: Timestamp) -> Option<u64> {
+    let points = series.range(start, end).ok()?;
+    points
+        .windows(2)
+        .map(|w| w[1].timestamp - w[0].timestamp)
+        .filter(|&gap| gap > 0)
+        .min()
+}
+
+/// Coverage fraction: samples present vs. expected at the given cadence.
+fn coverage_fraction(present: usize, window_seconds: u64, cadence: Option<u64>) -> f64 {
+    if window_seconds == 0 {
+        return 1.0;
+    }
+    let Some(cadence) = cadence else {
+        // Cadence unknown (at most one distinct timestamp in the whole
+        // region): coverage cannot be judged, so report only empty/non-empty.
+        return if present == 0 { 0.0 } else { 1.0 };
+    };
+    let expected = (window_seconds as f64 / cadence as f64).max(1.0);
+    (present as f64 / expected).min(1.0)
+}
+
 /// Extracts the three windows from `series` for a scan at time `now`.
 ///
-/// Returns an error when the historic or analysis window holds no data;
-/// an empty extended window is allowed (it may simply not have elapsed).
+/// Returns an error only when the historic or analysis window holds *no*
+/// data at all (there is nothing to detect on); an empty extended window is
+/// allowed (it may simply not have elapsed). Sparse windows — collectors
+/// dropping samples, late-arriving data, series that start mid-window — are
+/// returned with explicit [`WindowCoverage`] instead of being silently
+/// truncated, so callers can decide how much missing data they tolerate.
 pub fn extract_windows(
     series: &TimeSeries,
     config: &WindowConfig,
@@ -125,12 +203,31 @@ pub fn extract_windows(
     if analysis.is_empty() {
         return Err(TsdbError::EmptyWindow("analysis"));
     }
+    let cadence = estimate_cadence(series, historic_start, now.max(historic_start + 1));
+    let coverage = WindowCoverage {
+        historic: coverage_fraction(
+            historic.len(),
+            analysis_start.saturating_sub(historic_start),
+            cadence,
+        ),
+        analysis: coverage_fraction(
+            analysis.len(),
+            analysis_end.saturating_sub(analysis_start),
+            cadence,
+        ),
+        extended: if config.extended == 0 {
+            1.0
+        } else {
+            coverage_fraction(extended.len(), now.saturating_sub(extended_start), cadence)
+        },
+    };
     Ok(WindowedData {
         historic,
         analysis,
         extended,
         analysis_start,
         analysis_end,
+        coverage,
     })
 }
 
@@ -334,6 +431,89 @@ mod tests {
         assert_eq!(FRONTFAAS_SMALL.extended, 6 * HOUR);
         assert_eq!(INVOICER.historic, 14 * DAY);
         assert_eq!(ADSERVING_LONG.analysis, 9 * DAY);
+    }
+
+    #[test]
+    fn full_windows_report_full_coverage() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 25,
+            rerun_interval: 10,
+        };
+        let s = series_covering(200, 1);
+        let w = extract_windows(&s, &cfg, 200).unwrap();
+        assert_eq!(w.coverage, WindowCoverage::default());
+        assert!(!w.coverage.is_partial(0.9));
+        assert_eq!(w.coverage.min_fraction(), 1.0);
+    }
+
+    #[test]
+    fn dropped_samples_lower_coverage() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        // 1 Hz cadence, but half the analysis window's samples are missing.
+        let pairs = (0..100)
+            .map(|t| (t, 1.0))
+            .chain((100..150).filter(|t| t % 2 == 0).map(|t| (t, 1.0)));
+        let s = TimeSeries::from_pairs(pairs).unwrap();
+        let w = extract_windows(&s, &cfg, 150).unwrap();
+        assert!((w.coverage.historic - 1.0).abs() < 1e-9);
+        assert!((w.coverage.analysis - 0.5).abs() < 1e-9);
+        assert!(w.coverage.is_partial(0.8));
+        assert!(!w.coverage.is_partial(0.4));
+    }
+
+    #[test]
+    fn young_series_reports_partial_historic() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        // The series starts three quarters into the historic window.
+        let s = TimeSeries::from_values(75, 1, &[1.0; 75]);
+        let w = extract_windows(&s, &cfg, 150).unwrap();
+        assert!((w.coverage.historic - 0.25).abs() < 1e-9);
+        assert!((w.coverage.analysis - 1.0).abs() < 1e-9);
+        assert!(w.coverage.is_partial(0.5));
+    }
+
+    #[test]
+    fn late_extended_window_reports_low_coverage() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 50,
+            rerun_interval: 10,
+        };
+        // No data has arrived for the extended window yet.
+        let s = series_covering(150, 1);
+        let w = extract_windows(&s, &cfg, 200).unwrap();
+        assert_eq!(w.coverage.extended, 0.0);
+        // is_partial ignores the extended window (routinely mid-fill).
+        assert!(!w.coverage.is_partial(0.9));
+        assert_eq!(w.coverage.min_fraction(), 0.0);
+    }
+
+    #[test]
+    fn duplicated_timestamps_do_not_inflate_coverage() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        let pairs = (0..150).flat_map(|t| [(t, 1.0), (t, 1.0)]);
+        let s = TimeSeries::from_pairs(pairs).unwrap();
+        let w = extract_windows(&s, &cfg, 150).unwrap();
+        assert_eq!(w.coverage.historic, 1.0);
+        assert_eq!(w.coverage.analysis, 1.0);
     }
 
     #[test]

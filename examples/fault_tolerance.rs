@@ -1,0 +1,143 @@
+//! Fault tolerance: a scan survives corrupt series and a buggy detector.
+//!
+//! Builds a small fleet where some collectors are broken — one series is
+//! empty, one is drowned in NaNs, one panics the detector itself — next to
+//! a healthy series with a real 5% step. A monitoring run completes
+//! anyway: the step is reported, the faulted series are quarantined with
+//! exponential backoff, and `ScanHealth` accounts for every series. A
+//! final scan with a zero deadline shows graceful degradation.
+//!
+//! Run with: `cargo run --example fault_tolerance`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fbdetect::core::scheduler::MonitoringScheduler;
+use fbdetect::core::{DetectorConfig, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::{DataFault, DataFaultKind, Event, SeriesSpec};
+use fbdetect::tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+
+fn id(target: &str) -> SeriesId {
+    SeriesId::new("svc", MetricKind::GCpu, target)
+}
+
+fn main() {
+    use rand::SeedableRng;
+    let store = TsdbStore::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // A healthy series with a 5% step at t=5200.
+    let spec = SeriesSpec {
+        interval: 10,
+        ..SeriesSpec::flat(820, 1.0, 0.005)
+    }
+    .with_event(Event::Step { at: 520, delta: 0.05 });
+    let values = spec.generate(1).expect("valid spec");
+    store.insert_series(id("healthy"), TimeSeries::from_values(0, 10, &values));
+
+    // A collector that stopped reporting: the series is empty.
+    store.insert_series(id("silent"), TimeSeries::new());
+
+    // A collector emitting a NaN burst across the whole range.
+    let flat = SeriesSpec {
+        interval: 10,
+        ..SeriesSpec::flat(820, 1.0, 0.005)
+    }
+    .generate(2)
+    .expect("valid spec");
+    let samples: Vec<(u64, f64)> = flat
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u64 * 10, v))
+        .collect();
+    let nan_fault = DataFault {
+        kind: DataFaultKind::NaNBurst,
+        start: 0,
+        duration: 10_000,
+        intensity: 0.95,
+    };
+    let corrupted = nan_fault.apply(&mut rng, &samples);
+    store.insert_series(
+        id("noisy"),
+        TimeSeries::from_pairs(corrupted).expect("sorted samples"),
+    );
+
+    // A series that is fine — but the detector panics on it (a bug).
+    store.insert_series(
+        id("cursed"),
+        TimeSeries::from_values(0, 10, &flat),
+    );
+
+    let config = DetectorConfig::new(
+        "fault-tolerance",
+        WindowConfig {
+            historic: 3_000,
+            analysis: 1_000,
+            extended: 500,
+            rerun_interval: 500,
+        },
+        Threshold::Absolute(0.02),
+    );
+    let mut scheduler = MonitoringScheduler::new(Pipeline::new(config).expect("valid config"));
+    scheduler
+        .pipeline_mut()
+        .set_chaos_hook(Arc::new(|sid: &SeriesId| {
+            assert!(sid.target != "cursed", "simulated detector bug");
+        }));
+
+    let series = [id("healthy"), id("silent"), id("noisy"), id("cursed")];
+    let outcome = scheduler
+        .run(&store, &series, 5_000, 8_000, &ScanContext::default())
+        .expect("faults are isolated; the run completes");
+
+    println!("scans: {}", outcome.scans);
+    println!("reports: {}", outcome.reports.len());
+    for r in &outcome.reports {
+        println!(
+            "  {} changed {:+.2}% at t={}",
+            r.regression.series.target,
+            r.regression.relative_change() * 100.0,
+            r.regression.change_time
+        );
+    }
+    let h = &outcome.health;
+    println!(
+        "health: total={} scanned={} skipped={} quarantined={} panicked={} degraded={}",
+        h.series_total, h.series_scanned, h.series_skipped, h.series_quarantined, h.panicked, h.degraded
+    );
+    println!("quarantine after the run:");
+    for sid in &series[1..] {
+        if let Some(entry) = scheduler.pipeline().quarantine().entry(sid) {
+            println!(
+                "  {}: {:?} ({} consecutive failures) — {}",
+                sid.target, entry.kind, entry.consecutive_failures, entry.detail
+            );
+        }
+    }
+
+    // An impossible deadline: the expensive stages are shed, the scan
+    // still ships the thresholded candidates.
+    scheduler.pipeline_mut().budget.deadline = Some(Duration::ZERO);
+    scheduler.pipeline_mut().clear_chaos_hook();
+    let mut pipeline = Pipeline::new(DetectorConfig::new(
+        "degraded",
+        WindowConfig {
+            historic: 3_000,
+            analysis: 1_000,
+            extended: 500,
+            rerun_interval: 500,
+        },
+        Threshold::Absolute(0.02),
+    ))
+    .expect("valid config");
+    pipeline.budget.deadline = Some(Duration::ZERO);
+    let degraded = pipeline
+        .scan(&store, &series, 6_000, &ScanContext::default())
+        .expect("degrades instead of failing");
+    println!(
+        "zero-deadline scan: degraded={} stages_skipped={:?} reports={}",
+        degraded.health.degraded,
+        degraded.health.stages_skipped,
+        degraded.reports.len()
+    );
+}

@@ -154,6 +154,24 @@ fn scan(args: &HashMap<String, String>) -> Result<(), String> {
         outcome.funnel.change_points,
         outcome.reports.len()
     );
+    let health = &outcome.health;
+    if health.series_scanned < health.series_total || health.degraded {
+        eprintln!(
+            "health: {} of {} series scanned ({} skipped for data quality, \
+             {} quarantined, {} panicked, {} errored){}",
+            health.series_scanned,
+            health.series_total,
+            health.series_skipped,
+            health.series_quarantined,
+            health.panicked,
+            health.errored,
+            if health.degraded {
+                format!("; DEGRADED, stages shed: {:?}", health.stages_skipped)
+            } else {
+                String::new()
+            }
+        );
+    }
     print!("{}", report::render_batch(&outcome.reports, None));
     Ok(())
 }

@@ -1,0 +1,237 @@
+//! Chaos test: the scan supervisor must survive randomized data-quality
+//! faults without aborting, while still catching a real regression on the
+//! healthy series.
+//!
+//! At each RNG seed, 20% of a 25-series fleet is corrupted with
+//! [`DataFault`]s — destructive kinds (total sample loss, heavy NaN
+//! bursts, late-arriving windows) and benign kinds (stuck collectors,
+//! duplicated timestamps). One healthy series carries a 5% step. The
+//! monitoring run must complete, report the step, surface destructive
+//! faults as skipped series, and quarantine them with backoff.
+
+use std::sync::Arc;
+
+use fbdetect::core::scheduler::MonitoringScheduler;
+use fbdetect::core::{DetectorConfig, FaultKind, Pipeline, ScanContext, Threshold};
+use fbdetect::fleet::{DataFault, DataFaultKind, Event, SeriesSpec};
+use fbdetect::tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const INTERVAL: u64 = 10;
+const LEN: usize = 820; // samples 0..8200s at 10s cadence
+const SCAN_START: u64 = 5_000;
+const SCAN_END: u64 = 8_000;
+
+fn config() -> DetectorConfig {
+    DetectorConfig::new(
+        "chaos",
+        WindowConfig {
+            historic: 3_000,
+            analysis: 1_000,
+            extended: 500,
+            rerun_interval: 500,
+        },
+        Threshold::Absolute(0.02),
+    )
+}
+
+fn id(target: &str) -> SeriesId {
+    SeriesId::new("svc", MetricKind::GCpu, target)
+}
+
+/// Destructive faults: severe enough that the affected series must be
+/// skipped (no data or bad data) rather than scanned.
+fn destructive_fault(i: usize) -> DataFault {
+    match i % 3 {
+        0 => DataFault {
+            kind: DataFaultKind::DroppedSamples,
+            start: 0,
+            duration: 10_000,
+            intensity: 1.0,
+        },
+        1 => DataFault {
+            kind: DataFaultKind::NaNBurst,
+            start: 0,
+            duration: 10_000,
+            intensity: 0.95,
+        },
+        _ => DataFault {
+            // Everything from t=3500 on arrives 5000s late: the analysis
+            // window is empty for every scan in [5000, 8000].
+            kind: DataFaultKind::LateWindow,
+            start: 3_500,
+            duration: 5_000,
+            intensity: 1.0,
+        },
+    }
+}
+
+/// Benign faults: the series stays scannable.
+fn benign_fault(i: usize) -> DataFault {
+    match i % 2 {
+        0 => DataFault {
+            kind: DataFaultKind::StuckConstant,
+            start: 2_000,
+            duration: 2_000,
+            intensity: 1.0,
+        },
+        _ => DataFault {
+            kind: DataFaultKind::DuplicatedTimestamps,
+            start: 1_000,
+            duration: 3_000,
+            intensity: 0.5,
+        },
+    }
+}
+
+/// Builds the fleet: series `s00` carries a 5% step at t=5200; of the
+/// remaining 24 flat series, the first 3 get destructive faults and the
+/// next 2 benign ones (5 of 25 = 20% faulted).
+fn build_fleet(seed: u64) -> (TsdbStore, Vec<SeriesId>, Vec<SeriesId>, Vec<SeriesId>) {
+    let store = TsdbStore::new();
+    let mut series = Vec::new();
+    let mut destructive = Vec::new();
+    let mut benign = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+    for n in 0..25usize {
+        let target = format!("s{n:02}");
+        let sid = id(&target);
+        let mut spec = SeriesSpec::flat(LEN, 1.0, 0.005);
+        spec.interval = INTERVAL;
+        if n == 0 {
+            // 5% step well inside the monitored range.
+            spec = spec.with_event(Event::Step {
+                at: 520,
+                delta: 0.05,
+            });
+        }
+        let values = spec.generate(seed.wrapping_add(n as u64)).unwrap();
+        let mut samples: Vec<(u64, f64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64 * INTERVAL, v))
+            .collect();
+        // Fault 20% of the fleet, never the step series.
+        if (1..=3).contains(&n) {
+            samples = destructive_fault(n - 1).apply(&mut rng, &samples);
+            destructive.push(sid.clone());
+        } else if (4..=5).contains(&n) {
+            samples = benign_fault(n - 4).apply(&mut rng, &samples);
+            benign.push(sid.clone());
+        }
+        let ts = TimeSeries::from_pairs(samples).unwrap();
+        store.insert_series(sid.clone(), ts);
+        series.push(sid);
+    }
+    (store, series, destructive, benign)
+}
+
+#[test]
+fn randomized_data_faults_do_not_abort_the_scan() {
+    for seed in [11u64, 42, 1_337] {
+        let (store, series, destructive, benign) = build_fleet(seed);
+        let mut scheduler = MonitoringScheduler::new(Pipeline::new(config()).unwrap());
+        let outcome = scheduler
+            .run(&store, &series, SCAN_START, SCAN_END, &ScanContext::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: scan aborted: {e}"));
+        assert_eq!(outcome.scans, 7, "seed {seed}");
+
+        // The injected 5% step on the healthy series is still caught.
+        assert!(
+            outcome
+                .reports
+                .iter()
+                .any(|r| r.regression.series.target == "s00"),
+            "seed {seed}: step on s00 not reported; reports = {:?}, health = {:?}",
+            outcome
+                .reports
+                .iter()
+                .map(|r| r.regression.series.target.clone())
+                .collect::<Vec<_>>(),
+            outcome.health
+        );
+        // No phantom reports from faulted series.
+        for r in &outcome.reports {
+            assert!(
+                !destructive.contains(&r.regression.series),
+                "seed {seed}: report from destructively faulted series {:?}",
+                r.regression.series
+            );
+        }
+
+        // Destructive faults surface as skipped series and quarantine
+        // entries — not as aborts and not as silent scans.
+        assert!(
+            outcome.health.series_skipped >= destructive.len(),
+            "seed {seed}: skipped {} < {} faulted",
+            outcome.health.series_skipped,
+            destructive.len()
+        );
+        assert!(
+            outcome.health.series_quarantined > 0,
+            "seed {seed}: backoff never parked a faulted series; health = {:?}",
+            outcome.health
+        );
+        let quarantine = scheduler.pipeline().quarantine();
+        for sid in &destructive {
+            let entry = quarantine
+                .entry(sid)
+                .unwrap_or_else(|| panic!("seed {seed}: {sid:?} not quarantined"));
+            assert!(
+                matches!(entry.kind, FaultKind::NoData | FaultKind::DataQuality),
+                "seed {seed}: unexpected fault kind {:?} for {sid:?}",
+                entry.kind
+            );
+        }
+        // Benign faults never quarantine: the series remain scannable.
+        for sid in &benign {
+            assert!(
+                quarantine.entry(sid).is_none(),
+                "seed {seed}: benign fault quarantined {sid:?}"
+            );
+        }
+        // Every series is accounted for each scan: scanned + skipped +
+        // quarantined covers the whole fleet across all 7 scans.
+        assert_eq!(
+            outcome.health.series_scanned
+                + outcome.health.series_skipped
+                + outcome.health.series_quarantined,
+            outcome.health.series_total,
+            "seed {seed}: health = {:?}",
+            outcome.health
+        );
+        assert_eq!(outcome.health.series_total, 25 * 7, "seed {seed}");
+        assert_eq!(outcome.health.panicked, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn panicking_detector_is_isolated_under_chaos() {
+    let (store, series, _destructive, _benign) = build_fleet(42);
+    let mut scheduler = MonitoringScheduler::new(Pipeline::new(config()).unwrap());
+    // A deliberately buggy detector: panics on one healthy series.
+    scheduler
+        .pipeline_mut()
+        .set_chaos_hook(Arc::new(|sid: &SeriesId| {
+            assert!(sid.target != "s10", "injected detector bug");
+        }));
+    let outcome = scheduler
+        .run(&store, &series, SCAN_START, SCAN_END, &ScanContext::default())
+        .expect("panic must be isolated, not abort the run");
+    assert!(outcome.health.panicked > 0);
+    // Backoff (1, 2, 4 intervals) limits the 7 scans to 3 attempts.
+    assert_eq!(outcome.health.panicked, 3);
+    let entry = scheduler
+        .pipeline()
+        .quarantine()
+        .entry(&id("s10"))
+        .expect("panicking series is quarantined");
+    assert_eq!(entry.kind, FaultKind::Panic);
+    assert!(entry.detail.contains("injected detector bug"));
+    // The step is still reported despite the buggy detector.
+    assert!(outcome
+        .reports
+        .iter()
+        .any(|r| r.regression.series.target == "s00"));
+}

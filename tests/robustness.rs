@@ -111,7 +111,12 @@ fn gaps_in_sampling_are_tolerated() {
     }
     let mut pipeline = Pipeline::new(config()).unwrap();
     let out = pipeline
-        .scan(&store, &[series_id.clone()], 450, &ScanContext::default())
+        .scan(
+            &store,
+            std::slice::from_ref(&series_id),
+            450,
+            &ScanContext::default(),
+        )
         .unwrap();
     // The step is still found despite the gaps.
     assert_eq!(out.reports.len(), 1, "funnel = {:?}", out.funnel);

@@ -1,0 +1,97 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is used by this workspace. Since Rust 1.63 the
+//! standard library provides scoped threads, so this shim is a thin
+//! adapter that preserves crossbeam's API shape: the closure receives a
+//! scope handle whose `spawn` passes the scope back to the spawned
+//! closure (enabling nested spawns), and `scope` returns a `Result`
+//! instead of propagating panics from the main closure.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` API.
+
+    use std::any::Any;
+
+    /// Result of a scope or join: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; spawned threads may borrow from the enclosing
+    /// environment `'env`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned in a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its value or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope: all threads spawned within it are joined before
+    /// `scope` returns. Returns `Err` when the main closure (or an
+    /// unjoined child) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_returns() {
+            let data = vec![1, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn panic_in_main_closure_is_err() {
+            let r = super::scope(|_| -> () { panic!("boom") });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_works() {
+            let r = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(r, 7);
+        }
+    }
+}

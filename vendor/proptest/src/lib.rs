@@ -1,0 +1,328 @@
+//! Offline mini `proptest`.
+//!
+//! The build environment cannot fetch the real `proptest` crate, so this
+//! vendored harness implements the subset of its API that the workspace's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, range / string-pattern / tuple / `any` strategies,
+//! `prop::collection::vec`, [`ProptestConfig`], and the `prop_assert*`
+//! macros. Failing cases report their inputs; there is no shrinking.
+//!
+//! Case generation is fully deterministic: each test's RNG is seeded from
+//! the test's module path and name, so failures reproduce across runs.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{Any, Map, Strategy, VecStrategy};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps offline CI fast while still
+        // exercising meaningful input diversity.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result alias used by generated property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test RNG, seeded from the test's full name.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Uniform strategy over a range (used by `any` and the size sampling in
+/// collection strategies).
+pub(crate) fn sample_usize(rng: &mut TestRng, lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+/// Marker re-export so `T: SampleUniform` bounds resolve in this crate.
+pub(crate) use SampleUniform as UniformSample;
+
+/// The `prop` module namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Builds a strategy producing arbitrary values of `T`.
+pub fn any<T: strategy::Arbitrary>() -> Any<T> {
+    Any::new()
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a property; failures abort the case with
+/// the inputs attached rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the case when an assumption does not hold. The mini-harness
+/// counts a skipped case as passing (no global rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __proptest_rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..config.cases {
+                    let mut __proptest_inputs: Vec<String> = Vec::new();
+                    let __proptest_result: $crate::TestCaseResult = {
+                        $crate::__proptest_binds!(__proptest_rng, __proptest_inputs; $($args)*);
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
+                    if let ::std::result::Result::Err(err) = __proptest_result {
+                        panic!(
+                            "property '{}' failed at case {}/{}:\n  {}\n  inputs: {}",
+                            stringify!($name),
+                            __proptest_case + 1,
+                            config.cases,
+                            err,
+                            __proptest_inputs.join("; ")
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Expands the argument list of a property into strategy-drawn bindings.
+/// Each argument is either `name in strategy` or `name: Type` (shorthand
+/// for `name in any::<Type>()`).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_binds {
+    ($rng:ident, $inputs:ident;) => {};
+    ($rng:ident, $inputs:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::new_value(&($strat), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+    };
+    ($rng:ident, $inputs:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::new_value(&($strat), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+        $crate::__proptest_binds!($rng, $inputs; $($rest)*);
+    };
+    ($rng:ident, $inputs:ident; $arg:ident : $ty:ty) => {
+        let $arg = $crate::Strategy::new_value(&$crate::any::<$ty>(), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+    };
+    ($rng:ident, $inputs:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::new_value(&$crate::any::<$ty>(), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+        $crate::__proptest_binds!($rng, $inputs; $($rest)*);
+    };
+    ($rng:ident, $inputs:ident; mut $arg:ident in $strat:expr) => {
+        let mut $arg = $crate::Strategy::new_value(&($strat), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+    };
+    ($rng:ident, $inputs:ident; mut $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $arg = $crate::Strategy::new_value(&($strat), &mut $rng);
+        $inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));
+        $crate::__proptest_binds!($rng, $inputs; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..100, b in -2.0f64..2.0) {
+            prop_assert!(a < 100);
+            prop_assert!((-2.0..2.0).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0i64..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn string_patterns_match_class(s in "[a-z]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0u32..5, 10u32..20),
+            mapped in (0usize..4).prop_map(|x| x * 2)
+        ) {
+            prop_assert!(pair.0 < 5 && (10..20).contains(&pair.1));
+            prop_assert_eq!(mapped % 2, 0);
+            prop_assert!(mapped < 8);
+        }
+
+        #[test]
+        fn any_u8_is_total(x in any::<u8>()) {
+            let _ = x; // every u8 is valid; just exercise the strategy
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(5))]
+                fn always_fails(x in 0u8..10) {
+                    prop_assert!(x > 200, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("always_fails"), "message: {msg}");
+        assert!(msg.contains("inputs"), "message: {msg}");
+    }
+}

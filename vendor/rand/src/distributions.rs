@@ -1,0 +1,155 @@
+//! Distributions: [`Standard`] primitives and [`WeightedIndex`].
+
+use crate::{RngCore, SampleUniform};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over a type's natural domain
+/// (`[0, 1)` for floats, the full range for integers, fair coin for bool).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Error from [`WeightedIndex::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were provided.
+    NoItem,
+    /// A weight was negative or non-finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a weight vector, via binary
+/// search over the cumulative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex<W> {
+    cumulative: Vec<W>,
+    total: W,
+}
+
+impl WeightedIndex<f64> {
+    /// Builds the sampler from an iterator of non-negative weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *std::borrow::Borrow::borrow(&w);
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let needle = f64::sample_half_open(0.0, self.total, rng);
+        self.cumulative.partition_point(|&c| c <= needle).min(self.cumulative.len() - 1)
+    }
+}
+
+/// `rand::distributions::uniform` compatibility: re-export of the trait
+/// that range sampling is keyed on.
+pub mod uniform {
+    pub use crate::SampleUniform;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_proportions() {
+        let dist = WeightedIndex::new([1.0, 3.0, 0.0, 6.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[0] as f64 / 20_000.0 - 0.1).abs() < 0.02);
+        assert!((counts[3] as f64 / 20_000.0 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -1.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([f64::NAN]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline facade for `serde`.
+//!
+//! Re-exports the workspace's no-op derive macros so `use serde::{
+//! Serialize, Deserialize }` and `#[derive(Serialize, Deserialize)]`
+//! compile without the real crate. No serialization machinery exists —
+//! nothing in-tree performs serialization; the derives only mark types
+//! as intended-serializable for future consumers.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on a few data types for downstream
+//! consumers, but nothing in-tree serializes them and the real `serde`
+//! crate is unavailable offline. These derives accept the same attribute
+//! grammar (`#[serde(...)]` is tolerated as inert) and expand to nothing,
+//! so the derive sites compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
