@@ -13,7 +13,8 @@ use fbd_profiler::sample::TraceSampler;
 use fbd_stats::sax::{encode, SaxConfig};
 use fbd_stats::stl::{decompose, StlConfig};
 use fbd_stats::{cusum, em};
-use fbd_tsdb::{MetricKind, SeriesId, WindowedData};
+use fbd_tsdb::window::extract_windows;
+use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, WindowConfig, WindowedData};
 use fbdetect_core::change_point::ChangePointDetector;
 use fbdetect_core::config::{DetectorConfig, Threshold};
 use fbdetect_core::types::{Regression, RegressionKind};
@@ -34,14 +35,13 @@ fn step_series(len: usize) -> Vec<f64> {
 fn windows_of(values: &[f64]) -> WindowedData {
     let h = values.len() * 2 / 3;
     let a = values.len() * 2 / 9;
-    WindowedData {
-        historic: values[..h].to_vec(),
-        analysis: values[h..h + a].to_vec(),
-        extended: values[h + a..].to_vec(),
-        analysis_start: h as u64 * 60,
-        analysis_end: (h + a) as u64 * 60,
-        ..Default::default()
-    }
+    WindowedData::from_regions(
+        &values[..h],
+        &values[h..h + a],
+        &values[h + a..],
+        h as u64 * 60,
+        (h + a) as u64 * 60,
+    )
 }
 
 fn regression_of(values: &[f64]) -> Regression {
@@ -121,9 +121,39 @@ fn bench_stages(c: &mut Criterion) {
     });
 }
 
+/// Scan hot-path kernels at the sizes the capacity argument leans on:
+/// a dedup batch (256), the standard suite series (900), and a long
+/// high-resolution series (4096). `fit_two_segment` is O(n + radius·iters)
+/// on prefix sums, windowing is a single contiguous copy out of the store,
+/// and `spectral_features` runs on the O(n log n) FFT.
+fn bench_hot_path_sizes(c: &mut Criterion) {
+    for &n in &[256usize, 900, 4096] {
+        let values = step_series(n);
+        c.bench_function(&format!("hot/fit_two_segment/{n}"), |b| {
+            b.iter(|| em::fit_two_segment(&values, 50).unwrap())
+        });
+        let series = TimeSeries::from_values(0, 60, &values);
+        let h = n as u64 * 2 / 3;
+        let a = n as u64 * 2 / 9;
+        let cfg = WindowConfig {
+            historic: h * 60,
+            analysis: a * 60,
+            extended: (n as u64 - h - a) * 60,
+            rerun_interval: a * 60,
+        };
+        let now = n as u64 * 60;
+        c.bench_function(&format!("hot/extract_windows/{n}"), |b| {
+            b.iter(|| extract_windows(&series, &cfg, now).unwrap())
+        });
+        c.bench_function(&format!("hot/spectral_features/{n}"), |b| {
+            b.iter(|| fbd_stats::fourier::spectral_features(&values, 3).unwrap())
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_stages
+    targets = bench_stages, bench_hot_path_sizes
 }
 criterion_main!(benches);

@@ -41,14 +41,13 @@ fn regression(values: &[f64], cp: usize) -> Regression {
         change_time: cp as u64 * 60,
         mean_before: descriptive::mean(before).unwrap(),
         mean_after: descriptive::mean(after).unwrap_or(values[cp]),
-        windows: WindowedData {
-            historic,
-            analysis,
-            extended,
-            analysis_start: H as u64 * 60,
-            analysis_end: (H + A) as u64 * 60,
-            ..Default::default()
-        },
+        windows: WindowedData::from_regions(
+            &historic,
+            &analysis,
+            &extended,
+            H as u64 * 60,
+            (H + A) as u64 * 60,
+        ),
         root_cause_candidates: vec![],
     }
 }
@@ -94,7 +93,7 @@ fn v2_keep(r: &Regression) -> bool {
     let decreasing = matches!(trend, Ok(TrendDirection::Decreasing));
     // Baseline: the 30-sample historic window around the historic maximum —
     // a plausible but hazardous choice.
-    let historic = &r.windows.historic;
+    let historic = r.windows.historic();
     let max_at = historic
         .iter()
         .enumerate()

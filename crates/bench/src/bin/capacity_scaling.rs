@@ -8,15 +8,110 @@
 //! servers" — the extrapolation should land in the same order of magnitude
 //! (noting its series are longer and its filters run more often).
 //!
+//! Also emits `BENCH_pipeline.json` (path overridable via `BENCH_OUT`)
+//! with the end-to-end series/sec plus a per-stage ns/series breakdown of
+//! the scan hot path, so regressions in any one stage are attributable.
+//!
 //! Run with: `cargo run --release -p fbd-bench --bin capacity_scaling`
 
 use fbd_bench::{render_table, suite_config, suite_scan_time, CADENCE};
 use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
-use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore};
+use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowedData};
+use fbdetect_core::change_point::ChangePointDetector;
+use fbdetect_core::long_term::LongTermDetector;
+use fbdetect_core::seasonality::SeasonalityDetector;
+use fbdetect_core::types::Regression;
+use fbdetect_core::went_away::WentAwayDetector;
 use fbdetect_core::{Pipeline, ScanContext, Threshold};
 use std::time::Instant;
 
 const LEN: usize = 900;
+
+/// One timed pass over every series for a single pipeline stage.
+struct StageTiming {
+    name: &'static str,
+    total_ns: u128,
+    series: usize,
+}
+
+impl StageTiming {
+    fn ns_per_series(&self) -> f64 {
+        self.total_ns as f64 / self.series.max(1) as f64
+    }
+}
+
+/// Times the scan hot path stage by stage: windowing, the short-term
+/// change-point detector, the long-term detector, and — over the detected
+/// candidates — the went-away and seasonality filters. Filter costs are
+/// still amortized per *scanned* series, matching how the pipeline pays
+/// them.
+fn stage_breakdown(
+    store: &TsdbStore,
+    ids: &[SeriesId],
+    now: u64,
+) -> (Vec<StageTiming>, Vec<Regression>) {
+    let config = suite_config(LEN, Threshold::Absolute(0.01));
+    let n = ids.len();
+    let mut timings = Vec::new();
+
+    let start = Instant::now();
+    let windows: Vec<WindowedData> = ids
+        .iter()
+        .map(|id| store.windows(id, &config.windows, now).unwrap())
+        .collect();
+    timings.push(StageTiming {
+        name: "windowing",
+        total_ns: start.elapsed().as_nanos(),
+        series: n,
+    });
+
+    let detector = ChangePointDetector::from_config(&config);
+    let start = Instant::now();
+    let mut candidates: Vec<Regression> = ids
+        .iter()
+        .zip(&windows)
+        .filter_map(|(id, w)| detector.detect(id, w, now).ok().flatten())
+        .collect();
+    timings.push(StageTiming {
+        name: "change_point",
+        total_ns: start.elapsed().as_nanos(),
+        series: n,
+    });
+
+    let long_term = LongTermDetector::from_config(&config);
+    let start = Instant::now();
+    let long_hits = ids
+        .iter()
+        .zip(&windows)
+        .filter_map(|(id, w)| long_term.detect(id, w, now).ok().flatten())
+        .count();
+    timings.push(StageTiming {
+        name: "long_term",
+        total_ns: start.elapsed().as_nanos(),
+        series: n,
+    });
+    let _ = long_hits;
+
+    let went_away = WentAwayDetector::from_config(&config);
+    let start = Instant::now();
+    candidates.retain(|r| went_away.evaluate(r).map(|v| v.keep).unwrap_or(true));
+    timings.push(StageTiming {
+        name: "went_away",
+        total_ns: start.elapsed().as_nanos(),
+        series: n,
+    });
+
+    let seasonality = SeasonalityDetector::from_config(&config);
+    let start = Instant::now();
+    candidates.retain(|r| seasonality.evaluate(r).map(|v| v.keep).unwrap_or(true));
+    timings.push(StageTiming {
+        name: "seasonality",
+        total_ns: start.elapsed().as_nanos(),
+        series: n,
+    });
+
+    (timings, candidates)
+}
 
 fn main() {
     let n_series: usize = std::env::var("SERIES")
@@ -36,7 +131,6 @@ fn main() {
         relative_magnitude_range: (0.01, 0.2),
         base: 1.0,
         noise_std: 0.002,
-        ..Default::default()
     };
     let suite = labelled_suite(&suite_cfg, 777).unwrap();
     let store = TsdbStore::new();
@@ -47,20 +141,27 @@ fn main() {
         ids.push(id);
     }
     println!("scanning {} series of {LEN} samples each...\n", suite.len());
+    let now = suite_scan_time(LEN);
     let mut rows = Vec::new();
     let mut single_thread_rate = 0.0;
+    let mut thread_rates = Vec::new();
+    let mut change_points = 0;
+    let mut reports = 0;
     for threads in [1usize, 2, 4, 8] {
         let mut pipeline = Pipeline::new(suite_config(LEN, Threshold::Absolute(0.01))).unwrap();
         pipeline.threads = threads;
         let start = Instant::now();
         let out = pipeline
-            .scan(&store, &ids, suite_scan_time(LEN), &ScanContext::default())
+            .scan(&store, &ids, now, &ScanContext::default())
             .unwrap();
         let elapsed = start.elapsed().as_secs_f64();
         let rate = suite.len() as f64 / elapsed;
         if threads == 1 {
             single_thread_rate = rate;
+            change_points = out.funnel.change_points;
+            reports = out.reports.len();
         }
+        thread_rates.push((threads, rate));
         rows.push(vec![
             format!("{threads}"),
             format!("{elapsed:.2} s"),
@@ -82,6 +183,59 @@ fn main() {
             &rows
         )
     );
+
+    // Per-stage cost attribution for the hot path.
+    let (timings, _survivors) = stage_breakdown(&store, &ids, now);
+    let stage_rows: Vec<Vec<String>> = timings
+        .iter()
+        .map(|t| {
+            vec![
+                t.name.to_string(),
+                format!("{:.0} ns/series", t.ns_per_series()),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["stage", "cost"], &stage_rows));
+
+    // Machine-readable record for CI and EXPERIMENTS.md.
+    let stage_json: Vec<String> = timings
+        .iter()
+        .map(|t| format!("    \"{}\": {:.0}", t.name, t.ns_per_series()))
+        .collect();
+    let rate_json: Vec<String> = thread_rates
+        .iter()
+        .map(|(t, r)| format!("    \"{t}\": {r:.1}"))
+        .collect();
+    // BASELINE_RATE (series/sec) lets a run record the pre-change number it
+    // is being compared against, e.g. BASELINE_RATE=569 for the rate this
+    // machine measured before the prefix-sum/windowing/FFT overhaul.
+    let baseline = std::env::var("BASELINE_RATE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok());
+    let baseline_json = match baseline {
+        Some(b) => format!(
+            ",\n  \"baseline_series_per_sec\": {b:.1},\n  \"speedup\": {:.2}",
+            single_thread_rate / b
+        ),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\n  \"series\": {},\n  \"len\": {LEN},\n  \"series_per_sec\": {:.1},\n  \
+         \"change_points\": {change_points},\n  \"reports\": {reports},\n  \
+         \"series_per_sec_by_threads\": {{\n{}\n  }},\n  \
+         \"stage_ns_per_series\": {{\n{}\n  }}{baseline_json}\n}}\n",
+        suite.len(),
+        single_thread_rate,
+        rate_json.join(",\n"),
+        stage_json.join(",\n"),
+    );
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\ncould not write {out_path}: {e}"),
+    }
+
     // Extrapolation: 800K series every 2 hours (FrontFaaS small).
     let series_per_core_per_rescan = single_thread_rate * 2.0 * 3_600.0;
     let cores_needed = (800_000.0 / series_per_core_per_rescan).ceil();

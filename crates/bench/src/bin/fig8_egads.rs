@@ -95,8 +95,8 @@ fn main() {
             let ts = fbd_tsdb::TimeSeries::from_values(0, fbd_bench::CADENCE, &s.values);
             let w = extract_windows(&ts, &windows_cfg, now).expect("windows cover suite");
             // EGADS merges analysis and extended windows (§6.5).
-            let analysis = w.analysis_and_extended();
-            (i, w.historic, analysis)
+            let analysis = w.analysis_and_extended().to_vec();
+            (i, w.historic().to_vec(), analysis)
         })
         .collect();
     let mut best_ok: Option<(String, f64, f64)> = None;

@@ -39,10 +39,10 @@ impl ChangePointDetector {
         now: Timestamp,
     ) -> Result<Option<Regression>> {
         let data = windows.all();
-        if data.len() < 8 || windows.analysis.is_empty() {
+        if data.len() < 8 || windows.analysis_len() == 0 {
             return Ok(None);
         }
-        let fit = match em::fit_two_segment(&data, self.max_iterations) {
+        let fit = match em::fit_two_segment(data, self.max_iterations) {
             Ok(fit) => fit,
             // Degenerate series (constant, too short) carry no change point.
             Err(_) => return Ok(None),
@@ -50,12 +50,12 @@ impl ChangePointDetector {
         // The change must fall within the analysis region (or its boundary);
         // shifts buried deep in the historic window are old news, and the
         // extended window exists to check persistence, not to report from.
-        let analysis_begin = windows.historic.len().saturating_sub(1);
-        let analysis_end = windows.historic.len() + windows.analysis.len();
+        let analysis_begin = windows.historic_len().saturating_sub(1);
+        let analysis_end = windows.historic_len() + windows.analysis_len();
         if fit.change_point < analysis_begin || fit.change_point >= analysis_end {
             return Ok(None);
         }
-        let test = hypothesis::likelihood_ratio_test(&data, fit.change_point, self.significance)?;
+        let test = hypothesis::likelihood_ratio_test(data, fit.change_point, self.significance)?;
         if !test.reject_null {
             return Ok(None);
         }
@@ -69,12 +69,12 @@ impl ChangePointDetector {
         };
         // Timestamp: linear position of the change point within the span.
         let span = windows.analysis_end.saturating_sub(windows.analysis_start);
-        let into_analysis = fit.change_point.saturating_sub(windows.historic.len());
-        let change_time = if windows.analysis.is_empty() {
+        let into_analysis = fit.change_point.saturating_sub(windows.historic_len());
+        let change_time = if windows.analysis_len() == 0 {
             now
         } else {
             windows.analysis_start
-                + span * into_analysis as u64 / windows.analysis.len().max(1) as u64
+                + span * into_analysis as u64 / windows.analysis_len().max(1) as u64
         };
         Ok(Some(Regression {
             series: series.clone(),
@@ -99,14 +99,7 @@ mod tests {
     }
 
     fn windows(historic: Vec<f64>, analysis: Vec<f64>, extended: Vec<f64>) -> WindowedData {
-        WindowedData {
-            historic,
-            analysis,
-            extended,
-            analysis_start: 1_000,
-            analysis_end: 2_000,
-            ..Default::default()
-        }
+        WindowedData::from_regions(&historic, &analysis, &extended, 1_000, 2_000)
     }
 
     fn noisy(n: usize, mean: f64, amp: f64, phase: u64) -> Vec<f64> {

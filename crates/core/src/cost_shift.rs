@@ -301,14 +301,13 @@ mod tests {
             change_time: 100,
             mean_before,
             mean_after,
-            windows: WindowedData {
-                historic: vec![mean_before; 10],
-                analysis: vec![mean_after; 10],
-                extended: vec![],
-                analysis_start: 0,
-                analysis_end: 1,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(
+                &[mean_before; 10],
+                &[mean_after; 10],
+                &[],
+                0,
+                1,
+            ),
             root_cause_candidates: vec![],
         }
     }

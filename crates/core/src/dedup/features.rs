@@ -46,13 +46,13 @@ pub fn root_cause_bitmap(
 /// low_frequency_fraction, dominant_bin_fraction, tfidf_signature_hi,
 /// tfidf_signature_lo, bitmap]`.
 pub fn feature_vector(regression: &Regression, tfidf: &TfIdf, bitmap: u64) -> Result<Vec<f64>> {
-    let analysis = &regression.windows.analysis;
+    let analysis = regression.windows.analysis();
     let variance = if analysis.len() >= 2 {
         descriptive::variance(analysis)?
     } else {
         0.0
     };
-    let all_len = regression.windows.all().len().max(1);
+    let all_len = regression.windows.total_len().max(1);
     let change_fraction = regression.change_index as f64 / all_len as f64;
     let spectral = if analysis.len() >= 4 {
         fourier::spectral_features(analysis, 1)?
@@ -97,14 +97,13 @@ mod tests {
             change_time,
             mean_before: 1.0,
             mean_after: 1.2,
-            windows: WindowedData {
-                historic: vec![1.0; 50],
-                analysis: (0..50).map(|i| 1.0 + (i % 5) as f64 * 0.01).collect(),
-                extended: vec![],
-                analysis_start: 0,
-                analysis_end: 100,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(
+                &vec![1.0; 50],
+                &(0..50).map(|i| 1.0 + (i % 5) as f64 * 0.01).collect::<Vec<_>>(),
+                &[],
+                0,
+                100,
+            ),
             root_cause_candidates: vec![],
         }
     }

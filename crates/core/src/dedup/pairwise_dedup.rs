@@ -121,8 +121,8 @@ impl PairwiseDedup {
     /// Feature scores between two regressions.
     pub fn scores(&self, a: &Regression, b: &Regression) -> FeatureScores {
         let correlation = pearson_aligned(
-            &a.windows.analysis_and_extended(),
-            &b.windows.analysis_and_extended(),
+            a.windows.analysis_and_extended(),
+            b.windows.analysis_and_extended(),
         )
         .unwrap_or(0.0);
         let text_similarity = self.tfidf.similarity(&a.metric_id(), &b.metric_id());
@@ -191,14 +191,7 @@ mod tests {
             change_time: 1_000,
             mean_before: 0.0,
             mean_after: 1.0,
-            windows: WindowedData {
-                historic: vec![0.0; 64],
-                analysis,
-                extended: vec![],
-                analysis_start: 0,
-                analysis_end: 100,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&vec![0.0; 64], &analysis, &[], 0, 100),
             root_cause_candidates: vec![],
         }
     }
@@ -206,7 +199,7 @@ mod tests {
     fn anti_regression(service: &str, target: &str) -> Regression {
         let mut r = regression(service, target, MetricKind::Throughput, 5);
         // Inverted shape: drops where others rise.
-        for (i, v) in r.windows.analysis.iter_mut().enumerate() {
+        for (i, v) in r.windows.analysis_mut().iter_mut().enumerate() {
             *v = if i >= 32 { 0.0 } else { 1.0 };
         }
         r

@@ -79,14 +79,7 @@ mod tests {
             change_time,
             mean_before: 1.0,
             mean_after: 2.0,
-            windows: WindowedData {
-                historic: vec![1.0; 4],
-                analysis: vec![2.0; 4],
-                extended: vec![],
-                analysis_start: 0,
-                analysis_end: 1,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&[1.0; 4], &[2.0; 4], &[], 0, 1),
             root_cause_candidates: vec![],
         }
     }

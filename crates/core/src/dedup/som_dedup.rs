@@ -192,14 +192,7 @@ mod tests {
             change_time: 1_000,
             mean_before: 1.0,
             mean_after: 1.0 + magnitude,
-            windows: WindowedData {
-                historic: vec![1.0; 64],
-                analysis,
-                extended: vec![],
-                analysis_start: 0,
-                analysis_end: 100,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&vec![1.0; 64], &analysis, &[], 0, 100),
             root_cause_candidates: vec![],
         }
     }

@@ -117,14 +117,7 @@ mod tests {
             change_time,
             mean_before: before,
             mean_after: after,
-            windows: WindowedData {
-                historic: vec![before; 5],
-                analysis: vec![after; 5],
-                extended: vec![],
-                analysis_start: 0,
-                analysis_end: 1,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&[before; 5], &[after; 5], &[], 0, 1),
             root_cause_candidates: vec![],
         }
     }

@@ -56,18 +56,18 @@ impl LongTermDetector {
             return Ok(None);
         }
         // Step 1: seasonality decomposition; the trend is the subject.
-        let period = acf::find_seasonality(&data, 2, self.max_period, self.acf_threshold)?
+        let period = acf::find_seasonality(data, 2, self.max_period, self.acf_threshold)?
             .map(|s| s.period)
             .unwrap_or(0);
         let trend = if period >= 2 && data.len() >= period * 2 {
-            decompose(&data, StlConfig::for_period(period))?.trend
+            decompose(data, StlConfig::for_period(period))?.trend
         } else {
             // No seasonality: a wide Loess smooth stands in for the trend.
-            fbd_stats::stl::loess_smooth(&data, 0.3, &vec![1.0; data.len()])?
+            fbd_stats::stl::loess_smooth(data, 0.3, &vec![1.0; data.len()])?
         };
         // Step 2: regression detection on the trend alone.
-        let h_len = windows.historic.len();
-        let a_len = windows.analysis.len();
+        let h_len = windows.historic_len();
+        let a_len = windows.analysis_len();
         if a_len < 4 {
             return Ok(None);
         }
@@ -79,7 +79,7 @@ impl LongTermDetector {
         let end_of_analysis =
             descriptive::mean(&trend[analysis_end.saturating_sub(edge)..analysis_end])?;
         let end_of_series = descriptive::mean(&trend[trend.len().saturating_sub(edge)..])?;
-        let current = if windows.extended.is_empty() {
+        let current = if windows.extended_len() == 0 {
             end_of_analysis
         } else {
             end_of_analysis.min(end_of_series)
@@ -133,14 +133,7 @@ mod tests {
     }
 
     fn windows(historic: Vec<f64>, analysis: Vec<f64>, extended: Vec<f64>) -> WindowedData {
-        WindowedData {
-            historic,
-            analysis,
-            extended,
-            analysis_start: 10_000,
-            analysis_end: 20_000,
-            ..Default::default()
-        }
+        WindowedData::from_regions(&historic, &analysis, &extended, 10_000, 20_000)
     }
 
     fn detector(threshold: f64) -> LongTermDetector {

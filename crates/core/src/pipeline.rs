@@ -38,6 +38,7 @@ use fbd_profiler::sample::StackSample;
 use fbd_tsdb::{MetricKind, SeriesId, Timestamp, TsdbStore, WindowedData};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -223,12 +224,7 @@ impl Pipeline {
     /// that, per §5.2, an increase always means a regression.
     fn orient(windows: &mut WindowedData, metric: MetricKind) {
         if metric == MetricKind::Throughput {
-            for v in windows
-                .historic
-                .iter_mut()
-                .chain(windows.analysis.iter_mut())
-                .chain(windows.extended.iter_mut())
-            {
+            for v in windows.values_mut() {
                 *v = -*v;
             }
         }
@@ -254,22 +250,22 @@ impl Pipeline {
             series_total: series.len(),
             ..ScanHealth::default()
         };
-        // --- Quarantine gate: skip series parked under backoff. ---
-        let admitted: Vec<SeriesId>;
-        let eligible: &[SeriesId] = if self.quarantine.is_empty() {
-            series
+        // --- Quarantine gate: skip series parked under backoff. Only
+        // references are collected; ids are cloned solely when a fault is
+        // recorded. ---
+        let eligible: Vec<&SeriesId> = if self.quarantine.is_empty() {
+            series.iter().collect()
         } else {
-            admitted = series
+            let admitted: Vec<&SeriesId> = series
                 .iter()
                 .filter(|id| !self.quarantine.is_quarantined(id, now))
-                .cloned()
                 .collect();
             health.series_quarantined = series.len() - admitted.len();
-            &admitted
+            admitted
         };
         // --- Stage 1: change-point detection, parallel across series,
         // each series isolated under `catch_unwind`. ---
-        let batch = self.detect_parallel(store, eligible, now)?;
+        let batch = self.detect_parallel(store, &eligible, now)?;
         health.series_scanned = eligible.len().saturating_sub(batch.faults.len());
         health.series_partial = batch.partial;
         for (_, kind, _) in &batch.faults {
@@ -282,7 +278,7 @@ impl Pipeline {
         // Re-admit series that recovered, then record this scan's faults.
         if !self.quarantine.is_empty() {
             let faulted: HashSet<&SeriesId> = batch.faults.iter().map(|(id, _, _)| id).collect();
-            for id in eligible {
+            for &id in &eligible {
                 if !faulted.contains(id) {
                     self.quarantine.record_success(id);
                 }
@@ -394,10 +390,20 @@ impl Pipeline {
         // aborting the scan: every candidate is its own representative.
         let mut representatives: Vec<Regression> =
             match som_dedup(&thresholded, context.changelog, &som_config, popularity) {
-                Ok(groups) => groups
-                    .iter()
-                    .map(|g| thresholded[g.representative].clone())
-                    .collect(),
+                Ok(groups) => {
+                    // Representatives are moved out of the candidate pool by
+                    // index (group representatives are distinct), not cloned.
+                    let mut pool: Vec<Option<Regression>> =
+                        thresholded.into_iter().map(Some).collect();
+                    groups
+                        .iter()
+                        .map(|g| {
+                            pool[g.representative]
+                                .take()
+                                .expect("distinct SOM representatives")
+                        })
+                        .collect()
+                }
                 Err(_) => {
                     health.stage_errors += 1;
                     health.skip_stage("som_dedup");
@@ -463,10 +469,7 @@ impl Pipeline {
             });
         }
         let prior_group_count = self.existing_groups.len();
-        let all_groups = engine.dedup(
-            representatives.clone(),
-            std::mem::take(&mut self.existing_groups),
-        );
+        let all_groups = engine.dedup(representatives, std::mem::take(&mut self.existing_groups));
         let new_groups = all_groups.len().saturating_sub(prior_group_count);
         self.existing_groups = all_groups;
         funnel.after_pairwise_dedup = new_groups;
@@ -514,7 +517,7 @@ impl Pipeline {
         };
         // Data-quality gate: a window drowned in non-finite values (a NaN
         // burst from a broken collector) is a fault, not an input.
-        for (name, values) in [("historic", &windows.historic), ("analysis", &windows.analysis)] {
+        for (name, values) in [("historic", windows.historic()), ("analysis", windows.analysis())] {
             let finite = values.iter().filter(|v| v.is_finite()).count();
             if (finite as f64) < self.budget.min_finite_fraction * values.len() as f64 {
                 return SeriesScan::BadData(format!(
@@ -547,20 +550,28 @@ impl Pipeline {
     /// Stage-1 detection fanned out over worker threads, with each series
     /// supervised: a panicking or erroring detector loses that series
     /// only, never the scan.
+    ///
+    /// Workers steal series one at a time from a shared atomic cursor
+    /// instead of walking fixed chunks, so a run of slow seasonal/STL
+    /// series cannot straggle a whole chunk while other workers sit idle —
+    /// every thread stays busy until the list is drained.
     fn detect_parallel(
         &self,
         store: &TsdbStore,
-        series: &[SeriesId],
+        series: &[&SeriesId],
         now: Timestamp,
     ) -> Result<DetectBatch> {
-        let threads = self.threads.clamp(1, 64);
-        let chunk = series.len().div_ceil(threads).max(1);
+        let threads = self.threads.clamp(1, 64).min(series.len().max(1));
+        let next = AtomicUsize::new(0);
         let joined = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for slice in series.chunks(chunk) {
+            for _ in 0..threads {
+                let next = &next;
                 handles.push(scope.spawn(move |_| {
                     let mut part = DetectBatch::default();
-                    for id in slice {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&id) = series.get(i) else { break };
                         match catch_unwind(AssertUnwindSafe(|| self.detect_one(store, id, now))) {
                             Ok(SeriesScan::Ok(detections)) => {
                                 part.short.extend(detections.short);
@@ -638,7 +649,7 @@ impl Pipeline {
                 for m in members {
                     let id = SeriesId::new(service.clone(), MetricKind::GCpu, m.clone());
                     let w = store.windows(&id, &windows_config, now).ok()?;
-                    let values = w.all();
+                    let values = w.into_values();
                     match sum.as_mut() {
                         None => sum = Some(values),
                         Some(acc) => {
@@ -871,7 +882,7 @@ mod tests {
         assert!(p.quarantine().is_quarantined(&poison, 4_500));
         // Within the backoff span the series is skipped entirely.
         let out2 = p
-            .scan(&store, &[poison.clone()], 4_600, &ScanContext::default())
+            .scan(&store, std::slice::from_ref(&poison), 4_600, &ScanContext::default())
             .unwrap();
         assert_eq!(out2.health.series_quarantined, 1);
         assert_eq!(out2.health.panicked, 0);
@@ -879,7 +890,7 @@ mod tests {
         // re-admitted on the next successful scan.
         p.clear_chaos_hook();
         let out3 = p
-            .scan(&store, &[poison.clone()], 5_000, &ScanContext::default())
+            .scan(&store, std::slice::from_ref(&poison), 5_000, &ScanContext::default())
             .unwrap();
         assert_eq!(out3.health.series_scanned, 1);
         assert!(p.quarantine().entry(&poison).is_none());

@@ -77,14 +77,7 @@ mod tests {
             change_time: 1_234,
             mean_before: 0.01,
             mean_after: 0.02,
-            windows: WindowedData {
-                historic: vec![0.01; 5],
-                analysis: vec![0.02; 5],
-                extended: vec![],
-                analysis_start: 0,
-                analysis_end: 1,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&[0.01; 5], &[0.02; 5], &[], 0, 1),
             root_cause_candidates: candidates,
         }
     }

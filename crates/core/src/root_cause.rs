@@ -190,14 +190,14 @@ impl RootCauseAnalyzer {
             return Ok(0.0);
         }
         // Reconstruct per-sample timestamps from the analysis window bounds.
-        let a_len = regression.windows.analysis.len().max(1);
+        let a_len = regression.windows.analysis_len().max(1);
         let span = regression
             .windows
             .analysis_end
             .saturating_sub(regression.windows.analysis_start)
             .max(1);
         let dt = (span as f64 / a_len as f64).max(1.0);
-        let h_len = regression.windows.historic.len();
+        let h_len = regression.windows.historic_len();
         let start_time = regression.windows.analysis_start as f64 - h_len as f64 * dt;
         let deploy_index = ((change.deploy_time as f64 - start_time) / dt).round();
         if deploy_index <= 0.0 || deploy_index as usize >= n - 1 {
@@ -206,7 +206,7 @@ impl RootCauseAnalyzer {
         let step: Vec<f64> = (0..n)
             .map(|i| if (i as f64) < deploy_index { 0.0 } else { 1.0 })
             .collect();
-        Ok(pearson(&values, &step).map(|c| c.max(0.0)).unwrap_or(0.0))
+        Ok(pearson(values, &step).map(|c| c.max(0.0)).unwrap_or(0.0))
     }
 }
 
@@ -338,14 +338,7 @@ mod tests {
             change_time,
             mean_before: 1.0,
             mean_after: 2.0,
-            windows: WindowedData {
-                historic,
-                analysis,
-                extended: vec![],
-                analysis_start: 10_000,
-                analysis_end: 10_100,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&historic, &analysis, &[], 10_000, 10_100),
             root_cause_candidates: vec![],
         }
     }

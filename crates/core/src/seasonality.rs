@@ -54,7 +54,7 @@ impl SeasonalityDetector {
         let data = regression.windows.all();
         let cp = regression.change_index;
         // ACF gate: no significant periodicity, nothing to remove.
-        let Some(season) = acf::find_seasonality(&data, 2, self.max_period, self.acf_threshold)?
+        let Some(season) = acf::find_seasonality(data, 2, self.max_period, self.acf_threshold)?
         else {
             return Ok(SeasonalityVerdict {
                 seasonal: false,
@@ -71,15 +71,15 @@ impl SeasonalityDetector {
                 keep: true,
             });
         }
-        let decomposition = decompose(&data, StlConfig::for_period(season.period))?;
+        let decomposition = decompose(data, StlConfig::for_period(season.period))?;
         let deseasonalized = decomposition.deseasonalized();
         let residual_std = descriptive::std_dev(&decomposition.residual)?.max(1e-12);
         // z over the analysis window region.
         let analysis_end =
-            (regression.windows.historic.len() + regression.windows.analysis.len()).min(data.len());
+            (regression.windows.historic_len() + regression.windows.analysis_len()).min(data.len());
         let z_analysis = self.z_score(&deseasonalized[..analysis_end], cp, residual_std)?;
         // z including the extended window (when present).
-        let z_extended = if regression.windows.extended.is_empty() {
+        let z_extended = if regression.windows.extended_len() == 0 {
             z_analysis
         } else {
             self.z_score(&deseasonalized, cp, residual_std)?
@@ -127,14 +127,7 @@ mod tests {
             change_time: 0,
             mean_before,
             mean_after,
-            windows: WindowedData {
-                historic,
-                analysis,
-                extended,
-                analysis_start: 0,
-                analysis_end: 1,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&historic, &analysis, &extended, 0, 1),
             root_cause_candidates: vec![],
         }
     }

@@ -185,14 +185,13 @@ mod tests {
             change_time: 1000,
             mean_before: before,
             mean_after: after,
-            windows: WindowedData {
-                historic: vec![before; 10],
-                analysis: vec![after; 5],
-                extended: vec![after; 5],
-                analysis_start: 900,
-                analysis_end: 1100,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(
+                &[before; 10],
+                &[after; 5],
+                &[after; 5],
+                900,
+                1100,
+            ),
             root_cause_candidates: vec![],
         }
     }

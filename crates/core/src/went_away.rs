@@ -63,7 +63,7 @@ impl WentAwayDetector {
     /// survives this filter.
     pub fn evaluate(&self, regression: &Regression) -> Result<WentAwayVerdict> {
         let data = regression.windows.all();
-        let historic = &regression.windows.historic;
+        let historic = regression.windows.historic();
         let cp = regression.change_index.min(data.len().saturating_sub(1));
         let post: Vec<f64> = data[(cp + 1).min(data.len())..].to_vec();
         if post.len() < 4 || historic.len() < 4 {
@@ -106,7 +106,7 @@ impl WentAwayDetector {
 
         // --- SignificantRegression ---
         // Largest post letter vs. largest valid historic letter.
-        let analysis_end = historic.len() + regression.windows.analysis.len();
+        let analysis_end = historic.len() + regression.windows.analysis_len();
         let post_analysis: Vec<f64> =
             data[(cp + 1).min(data.len())..analysis_end.min(data.len())].to_vec();
         let post_analysis_sax = if post_analysis.is_empty() {
@@ -130,7 +130,7 @@ impl WentAwayDetector {
         // Seasonal period, if any: trend and tail checks must not mistake
         // a diurnal trough for a recovery.
         let period = acf::find_seasonality(
-            &data,
+            data,
             2,
             self.max_seasonal_period.min(post.len() / 2),
             self.seasonality_acf_threshold,
@@ -239,14 +239,7 @@ mod tests {
             change_time: 0,
             mean_before,
             mean_after,
-            windows: WindowedData {
-                historic,
-                analysis,
-                extended,
-                analysis_start: 0,
-                analysis_end: 100,
-                ..Default::default()
-            },
+            windows: WindowedData::from_regions(&historic, &analysis, &extended, 0, 100),
             root_cause_candidates: vec![],
         }
     }

@@ -45,14 +45,13 @@ fn regression_from_values(values: &[f64], cp: usize) -> Regression {
             / (cp.min(values.len() - 2) + 1) as f64,
         mean_after: values[cp.min(values.len() - 2) + 1..].iter().sum::<f64>()
             / (values.len() - cp.min(values.len() - 2) - 1) as f64,
-        windows: fbd_tsdb::WindowedData {
-            historic: values[..h].to_vec(),
-            analysis: values[h..h + a].to_vec(),
-            extended: values[h + a..].to_vec(),
-            analysis_start: h as u64,
-            analysis_end: (h + a) as u64,
-            ..Default::default()
-        },
+        windows: fbd_tsdb::WindowedData::from_regions(
+            &values[..h],
+            &values[h..h + a],
+            &values[h + a..],
+            h as u64,
+            (h + a) as u64,
+        ),
         root_cause_candidates: vec![],
     }
 }
@@ -78,8 +77,8 @@ proptest! {
         store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &values));
         let w = store.windows(&id, &cfg.windows, 320).unwrap();
         if let Some(r) = detector.detect(&id, &w, 320).unwrap() {
-            prop_assert!(r.change_index + 1 >= w.historic.len());
-            prop_assert!(r.change_index < w.historic.len() + w.analysis.len());
+            prop_assert!(r.change_index + 1 >= w.historic_len());
+            prop_assert!(r.change_index < w.historic_len() + w.analysis_len());
         }
     }
 

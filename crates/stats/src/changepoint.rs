@@ -9,42 +9,8 @@
 //! with several shifts in one window.
 
 use crate::error::{ensure_finite, ensure_len};
+use crate::prefix::PrefixStats;
 use crate::Result;
-
-/// Prefix sums of values and squares, enabling O(1) segment cost queries.
-struct PrefixSums {
-    sum: Vec<f64>,
-    sum_sq: Vec<f64>,
-}
-
-impl PrefixSums {
-    fn new(data: &[f64]) -> Self {
-        let mut sum = Vec::with_capacity(data.len() + 1);
-        let mut sum_sq = Vec::with_capacity(data.len() + 1);
-        sum.push(0.0);
-        sum_sq.push(0.0);
-        let (mut s, mut ss) = (0.0, 0.0);
-        for &v in data {
-            s += v;
-            ss += v * v;
-            sum.push(s);
-            sum_sq.push(ss);
-        }
-        PrefixSums { sum, sum_sq }
-    }
-
-    /// Normal (L2) cost of segment `[lo, hi)`: the residual sum of squares
-    /// around the segment mean.
-    fn segment_cost(&self, lo: usize, hi: usize) -> f64 {
-        let n = (hi - lo) as f64;
-        if n == 0.0 {
-            return 0.0;
-        }
-        let s = self.sum[hi] - self.sum[lo];
-        let ss = self.sum_sq[hi] - self.sum_sq[lo];
-        (ss - s * s / n).max(0.0)
-    }
-}
 
 /// Result of the optimal single-split search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,7 +48,7 @@ impl SplitResult {
 pub fn optimal_single_split(data: &[f64]) -> Result<SplitResult> {
     ensure_len(data, 4)?;
     ensure_finite(data)?;
-    let ps = PrefixSums::new(data);
+    let ps = PrefixStats::new(data);
     let n = data.len();
     let unsplit_cost = ps.segment_cost(0, n);
     let mut best_idx = 0;
@@ -112,7 +78,7 @@ pub fn optimal_partition(data: &[f64], penalty: f64) -> Result<Vec<usize>> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
     let n = data.len();
-    let ps = PrefixSums::new(data);
+    let ps = PrefixStats::new(data);
     // best_cost[i] = minimal penalized cost of data[0..i].
     let mut best_cost = vec![0.0f64; n + 1];
     let mut last_cut = vec![0usize; n + 1];
@@ -229,8 +195,8 @@ mod tests {
     }
 
     #[test]
-    fn prefix_sums_segment_cost() {
-        let ps = PrefixSums::new(&[1.0, 2.0, 3.0]);
+    fn prefix_stats_segment_cost() {
+        let ps = PrefixStats::new(&[1.0, 2.0, 3.0]);
         // RSS of [1,2,3] around mean 2 is 2.
         assert!((ps.segment_cost(0, 3) - 2.0).abs() < 1e-12);
         assert_eq!(ps.segment_cost(1, 1), 0.0);

@@ -7,6 +7,7 @@
 //! estimate), and a one-sided tabular CUSUM for drift detection.
 
 use crate::error::{ensure_finite, ensure_len};
+use crate::prefix::PrefixStats;
 use crate::Result;
 
 /// Result of a CUSUM scan over a time series.
@@ -54,26 +55,35 @@ pub fn cusum_series(data: &[f64]) -> Result<Vec<f64>> {
 /// ```
 pub fn detect_change_point(data: &[f64]) -> Result<CusumResult> {
     ensure_len(data, 4)?;
-    let series = cusum_series(data)?;
-    // Exclude the final point (S_{n-1} = 0 by construction) and the very
-    // first point so both segments are non-empty.
+    ensure_finite(data)?;
+    Ok(change_point_from_prefix(&PrefixStats::new(data)))
+}
+
+/// CUSUM extremum search over precomputed [`PrefixStats`].
+///
+/// The centered prefix sums *are* the CUSUM series, so callers that already
+/// paid the O(n) prefix pass (e.g. [`crate::em::fit_two_segment`]) locate
+/// the extremum and both segment means without touching the raw data again.
+///
+/// The statistics must cover at least 2 samples.
+pub fn change_point_from_prefix(ps: &PrefixStats) -> CusumResult {
+    let n = ps.len();
+    // Exclude the final point (S_{n-1} = 0 by construction) and scan the
+    // rest so both segments are non-empty.
     let mut best_idx = 0;
     let mut best_mag = f64::NEG_INFINITY;
-    for (i, s) in series.iter().enumerate().take(data.len() - 1) {
+    for i in 0..n - 1 {
+        let s = ps.cusum_at(i + 1);
         if s.abs() > best_mag {
             best_mag = s.abs();
             best_idx = i;
         }
     }
-    let before = &data[..=best_idx];
-    let after = &data[best_idx + 1..];
-    let mean_before = before.iter().sum::<f64>() / before.len() as f64;
-    let mean_after = after.iter().sum::<f64>() / after.len() as f64;
-    Ok(CusumResult {
+    CusumResult {
         index: best_idx,
         magnitude: best_mag,
-        mean_shift: mean_after - mean_before,
-    })
+        mean_shift: ps.segment_mean(best_idx + 1, n) - ps.segment_mean(0, best_idx + 1),
+    }
 }
 
 /// One-sided tabular CUSUM for detecting upward drift.

@@ -8,6 +8,7 @@
 
 use crate::cusum;
 use crate::error::{ensure_finite, ensure_len};
+use crate::prefix::{gaussian_log_likelihood, PrefixStats};
 use crate::{Result, StatsError};
 
 /// A fitted two-segment mean model.
@@ -32,29 +33,37 @@ pub struct TwoSegmentFit {
 pub fn single_mean_log_likelihood(data: &[f64]) -> Result<f64> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
+    Ok(PrefixStats::new(data).single_mean_log_likelihood())
+}
+
+/// Reference H0 log-likelihood via the direct two-pass computation.
+///
+/// Kept as the ground truth the prefix-sum fast path is property-tested
+/// against; not used on the scan hot path.
+pub fn single_mean_log_likelihood_naive(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
     let n = data.len() as f64;
     let mean = data.iter().sum::<f64>() / n;
     let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
     Ok(gaussian_log_likelihood(n, var))
 }
 
-/// Log-likelihood of a Gaussian MLE fit given sample count and MLE variance.
-fn gaussian_log_likelihood(n: f64, var: f64) -> f64 {
-    // Guard against zero variance: use a floor so the likelihood stays
-    // finite; constant series are handled by the hypothesis test upstream.
-    let var = var.max(1e-300);
-    -0.5 * n * ((2.0 * std::f64::consts::PI * var).ln() + 1.0)
-}
-
 /// Log-likelihood of `data` split at `cp` with per-segment means and a
 /// pooled variance (the H1 model).
 pub fn two_mean_log_likelihood(data: &[f64], cp: usize) -> Result<f64> {
     ensure_len(data, 4)?;
-    if cp + 2 > data.len() || cp == 0 {
-        return Err(StatsError::InvalidParameter(
-            "change point must leave both segments non-empty",
-        ));
-    }
+    ensure_valid_change_point(data.len(), cp)?;
+    Ok(PrefixStats::new(data).two_mean_log_likelihood(cp))
+}
+
+/// Reference H1 log-likelihood via direct per-segment passes.
+///
+/// Ground truth for the property tests pinning [`PrefixStats`]; not used on
+/// the scan hot path.
+pub fn two_mean_log_likelihood_naive(data: &[f64], cp: usize) -> Result<f64> {
+    ensure_len(data, 4)?;
+    ensure_valid_change_point(data.len(), cp)?;
     let (a, b) = data.split_at(cp + 1);
     let ma = a.iter().sum::<f64>() / a.len() as f64;
     let mb = b.iter().sum::<f64>() / b.len() as f64;
@@ -62,6 +71,15 @@ pub fn two_mean_log_likelihood(data: &[f64], cp: usize) -> Result<f64> {
         + b.iter().map(|v| (v - mb) * (v - mb)).sum::<f64>();
     let n = data.len() as f64;
     Ok(gaussian_log_likelihood(n, ss / n))
+}
+
+fn ensure_valid_change_point(len: usize, cp: usize) -> Result<()> {
+    if cp + 2 > len || cp == 0 {
+        return Err(StatsError::InvalidParameter(
+            "change point must leave both segments non-empty",
+        ));
+    }
+    Ok(())
 }
 
 /// Fits a two-segment mean model by iterating CUSUM and EM.
@@ -84,19 +102,23 @@ pub fn two_mean_log_likelihood(data: &[f64], cp: usize) -> Result<f64> {
 pub fn fit_two_segment(data: &[f64], max_iterations: usize) -> Result<TwoSegmentFit> {
     ensure_len(data, 4)?;
     ensure_finite(data)?;
-    let initial = cusum::detect_change_point(data)?;
-    let mut cp = initial.index.clamp(1, data.len() - 3);
+    // One O(n) pass builds the prefix statistics; every candidate score
+    // below is then O(1), so the whole refinement is O(n + radius·iters).
+    let ps = PrefixStats::new(data);
+    let initial = cusum::change_point_from_prefix(&ps);
+    let n = ps.len();
+    let mut cp = initial.index.clamp(1, n - 3);
     let mut iterations = 0;
     // Search radius shrinks as the estimate stabilizes.
-    let mut radius = (data.len() / 4).max(2);
+    let mut radius = (n / 4).max(2);
     loop {
         iterations += 1;
         let lo = cp.saturating_sub(radius).max(1);
-        let hi = (cp + radius).min(data.len() - 3);
+        let hi = (cp + radius).min(n - 3);
         let mut best_cp = cp;
-        let mut best_ll = two_mean_log_likelihood(data, cp)?;
+        let mut best_ll = ps.two_mean_log_likelihood(cp);
         for cand in lo..=hi {
-            let ll = two_mean_log_likelihood(data, cand)?;
+            let ll = ps.two_mean_log_likelihood(cand);
             if ll > best_ll {
                 best_ll = ll;
                 best_cp = cand;
@@ -109,24 +131,13 @@ pub fn fit_two_segment(data: &[f64], max_iterations: usize) -> Result<TwoSegment
         }
         radius = (radius / 2).max(2);
     }
-    let (a, b) = data.split_at(cp + 1);
-    let mean_before = a.iter().sum::<f64>() / a.len() as f64;
-    let mean_after = b.iter().sum::<f64>() / b.len() as f64;
-    let ss: f64 = a
-        .iter()
-        .map(|v| (v - mean_before) * (v - mean_before))
-        .sum::<f64>()
-        + b.iter()
-            .map(|v| (v - mean_after) * (v - mean_after))
-            .sum::<f64>();
-    let n = data.len() as f64;
-    let variance = ss / n;
+    let variance = ps.two_segment_cost(cp) / n as f64;
     Ok(TwoSegmentFit {
         change_point: cp,
-        mean_before,
-        mean_after,
+        mean_before: ps.segment_mean(0, cp + 1),
+        mean_after: ps.segment_mean(cp + 1, n),
         variance,
-        log_likelihood: gaussian_log_likelihood(n, variance),
+        log_likelihood: gaussian_log_likelihood(n as f64, variance),
         iterations,
     })
 }

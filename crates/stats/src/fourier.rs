@@ -4,15 +4,38 @@
 //! Fourier frequencies, variance, change points". This module computes the
 //! DFT magnitude spectrum and compact spectral features (dominant
 //! frequencies, spectral energy) for use as clustering inputs.
+//!
+//! The spectrum is computed with an O(n log n) FFT: an iterative radix-2
+//! transform when the length is a power of two, and Bluestein's chirp-z
+//! algorithm otherwise (which zero-pads to the next power of two internally
+//! while still producing the *exact* length-n DFT, so bin frequencies are
+//! identical to the direct O(n²) transform it replaced).
 
 use crate::error::{ensure_finite, ensure_len};
 use crate::Result;
+use std::f64::consts::{PI, TAU};
 
 /// Magnitudes of the first `n/2` DFT coefficients (excluding DC).
 ///
-/// A direct O(n²) DFT — the pipeline applies it to analysis windows of at
-/// most a few thousand samples, where this is fast enough and dependency-free.
+/// O(n log n) via FFT; numerically pinned to [`magnitude_spectrum_naive`]
+/// by property tests.
 pub fn magnitude_spectrum(data: &[f64]) -> Result<Vec<f64>> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = data.iter().map(|x| x - mean).collect();
+    let (re, im) = dft_real(&centered);
+    Ok((1..=n / 2)
+        .map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt() / n as f64)
+        .collect())
+}
+
+/// Reference spectrum via the direct O(n²) DFT.
+///
+/// Ground truth for the property tests pinning the FFT fast path; not used
+/// on the scan hot path.
+pub fn magnitude_spectrum_naive(data: &[f64]) -> Result<Vec<f64>> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
     let n = data.len();
@@ -23,7 +46,7 @@ pub fn magnitude_spectrum(data: &[f64]) -> Result<Vec<f64>> {
         let mut re = 0.0;
         let mut im = 0.0;
         for (t, &x) in data.iter().enumerate() {
-            let angle = -2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64;
+            let angle = -TAU * k as f64 * t as f64 / n as f64;
             let centered = x - mean;
             re += centered * angle.cos();
             im += centered * angle.sin();
@@ -31,6 +54,134 @@ pub fn magnitude_spectrum(data: &[f64]) -> Result<Vec<f64>> {
         mags.push((re * re + im * im).sqrt() / n as f64);
     }
     Ok(mags)
+}
+
+/// Full length-n DFT of a real signal: `X_k = Σ_t x_t e^(−2πi·kt/n)`.
+///
+/// Dispatches to the radix-2 FFT for power-of-two lengths and to
+/// Bluestein's algorithm otherwise.
+fn dft_real(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = data.len();
+    if n.is_power_of_two() {
+        let mut re = data.to_vec();
+        let mut im = vec![0.0; n];
+        fft_pow2(&mut re, &mut im, false);
+        (re, im)
+    } else {
+        bluestein(data)
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `re.len()` must be a power
+/// of two and equal to `im.len()`. When `invert` is set, computes the
+/// inverse transform including the 1/n normalization.
+fn fft_pow2(re: &mut [f64], im: &mut [f64], invert: bool) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two() && im.len() == n);
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if invert { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        // Twiddles computed directly per stage (not by recurrence) so
+        // round-off stays at machine epsilon even for long transforms.
+        let step = sign * TAU / len as f64;
+        let twiddle: Vec<(f64, f64)> = (0..half)
+            .map(|k| {
+                let a = step * k as f64;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        for start in (0..n).step_by(len) {
+            for (k, &(wr, wi)) in twiddle.iter().enumerate() {
+                let a = start + k;
+                let b = a + half;
+                let vr = re[b] * wr - im[b] * wi;
+                let vi = re[b] * wi + im[b] * wr;
+                re[b] = re[a] - vr;
+                im[b] = im[a] - vi;
+                re[a] += vr;
+                im[a] += vi;
+            }
+        }
+        len <<= 1;
+    }
+    if invert {
+        let inv = 1.0 / n as f64;
+        for v in re.iter_mut() {
+            *v *= inv;
+        }
+        for v in im.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Bluestein's chirp-z transform: the exact length-n DFT for arbitrary n,
+/// expressed as a circular convolution evaluated with power-of-two FFTs.
+fn bluestein(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = data.len();
+    let m = (2 * n - 1).next_power_of_two();
+    // Chirp w_j = e^(−iπ·j²/n); the exponent is reduced mod 2n before the
+    // float conversion so the angle never grows with j².
+    let chirp: Vec<(f64, f64)> = (0..n)
+        .map(|j| {
+            let e = (j * j) % (2 * n);
+            let a = -PI * e as f64 / n as f64;
+            (a.cos(), a.sin())
+        })
+        .collect();
+    // a_j = x_j·w_j, zero-padded to m.
+    let mut ar = vec![0.0; m];
+    let mut ai = vec![0.0; m];
+    for (j, &x) in data.iter().enumerate() {
+        ar[j] = x * chirp[j].0;
+        ai[j] = x * chirp[j].1;
+    }
+    // b_j = conj(w_j), mirrored so index m−j stands in for −j.
+    let mut br = vec![0.0; m];
+    let mut bi = vec![0.0; m];
+    br[0] = chirp[0].0;
+    bi[0] = -chirp[0].1;
+    for j in 1..n {
+        br[j] = chirp[j].0;
+        bi[j] = -chirp[j].1;
+        br[m - j] = br[j];
+        bi[m - j] = bi[j];
+    }
+    fft_pow2(&mut ar, &mut ai, false);
+    fft_pow2(&mut br, &mut bi, false);
+    for j in 0..m {
+        let r = ar[j] * br[j] - ai[j] * bi[j];
+        let i = ar[j] * bi[j] + ai[j] * br[j];
+        ar[j] = r;
+        ai[j] = i;
+    }
+    fft_pow2(&mut ar, &mut ai, true);
+    // X_k = w_k · (a ⊛ b)_k.
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    for k in 0..n {
+        re[k] = ar[k] * chirp[k].0 - ai[k] * chirp[k].1;
+        im[k] = ar[k] * chirp[k].1 + ai[k] * chirp[k].0;
+    }
+    (re, im)
 }
 
 /// Compact spectral features for clustering.
@@ -137,5 +288,41 @@ mod tests {
     fn spectrum_length_is_half() {
         let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
         assert_eq!(magnitude_spectrum(&data).unwrap().len(), 50);
+    }
+
+    fn pseudo_series(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seed);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z >> 33) % 10_000) as f64 / 1_000.0 - 5.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_power_of_two() {
+        let data = pseudo_series(128, 17);
+        let fast = magnitude_spectrum(&data).unwrap();
+        let slow = magnitude_spectrum_naive(&data).unwrap();
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-9, "fast {f} vs slow {s}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_arbitrary_lengths() {
+        for &n in &[2usize, 3, 5, 7, 31, 100, 225, 900] {
+            let data = pseudo_series(n, n as u64);
+            let fast = magnitude_spectrum(&data).unwrap();
+            let slow = magnitude_spectrum_naive(&data).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (k, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert!((f - s).abs() < 1e-9, "n={n} bin {k}: fast {f} vs slow {s}");
+            }
+        }
     }
 }

@@ -7,8 +7,8 @@
 //! Appendix A.2.
 
 use crate::distributions::{chi_squared_p_value, student_t_two_sided_p};
-use crate::em::{single_mean_log_likelihood, two_mean_log_likelihood};
-use crate::error::ensure_len;
+use crate::error::{ensure_finite, ensure_len};
+use crate::prefix::PrefixStats;
 use crate::{Result, StatsError};
 
 /// Outcome of a hypothesis test.
@@ -49,8 +49,18 @@ pub fn likelihood_ratio_test(
             "significance must be in (0, 1)",
         ));
     }
-    let ll0 = single_mean_log_likelihood(data)?;
-    let ll1 = two_mean_log_likelihood(data, change_point)?;
+    ensure_len(data, 4)?;
+    ensure_finite(data)?;
+    if change_point + 2 > data.len() || change_point == 0 {
+        return Err(StatsError::InvalidParameter(
+            "change point must leave both segments non-empty",
+        ));
+    }
+    // One prefix pass serves both hypotheses: H0 and H1 log-likelihoods are
+    // each O(1) queries against the shared statistics.
+    let ps = PrefixStats::new(data);
+    let ll0 = ps.single_mean_log_likelihood();
+    let ll1 = ps.two_mean_log_likelihood(change_point);
     let statistic = (2.0 * (ll1 - ll0)).max(0.0);
     // Two additional free parameters in H1: the second mean and the
     // change-point location.

@@ -32,6 +32,7 @@ pub mod em;
 pub mod error;
 pub mod fourier;
 pub mod hypothesis;
+pub mod prefix;
 pub mod regression;
 pub mod sax;
 pub mod smoothing;

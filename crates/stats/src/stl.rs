@@ -169,23 +169,45 @@ pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<V
     let n = data.len();
     let window = ((fraction * n as f64).ceil() as usize).clamp(3, n);
     let half = window / 2;
+    // The tricube weight of neighbor `j` for point `i` depends only on the
+    // offset `j - i` and the window's `max_dist`. Away from the boundaries
+    // both are the same for every `i`, so the kernel is computed once and
+    // reused; only the `2·half` edge points pay per-point kernel evaluation.
+    // The table holds the exact same values the inline expression produced,
+    // so the smoothed output is bit-identical.
+    let interior_center = half;
+    let interior_max_dist = half.max(window - 1 - half).max(1) as f64;
+    let interior_tri: Vec<f64> = (0..window)
+        .map(|k| {
+            let d = (k as f64 - interior_center as f64).abs() / interior_max_dist;
+            (1.0 - d.powi(3)).powi(3).max(0.0)
+        })
+        .collect();
+    let mut edge_tri = vec![0.0; window];
     let mut smoothed = Vec::with_capacity(n);
     #[allow(clippy::needless_range_loop)] // The window is index-driven.
     for i in 0..n {
         let lo = i.saturating_sub(half);
         let hi = (lo + window).min(n);
         let lo = hi.saturating_sub(window);
-        // Tricube weights over the window.
-        let max_dist = ((i - lo).max(hi - 1 - i)).max(1) as f64;
+        let center = i - lo;
+        let max_dist = (center.max(hi - 1 - i)).max(1) as f64;
+        let tri: &[f64] = if center == interior_center && max_dist == interior_max_dist {
+            &interior_tri
+        } else {
+            for (k, t) in edge_tri[..hi - lo].iter_mut().enumerate() {
+                let d = (k as f64 - center as f64).abs() / max_dist;
+                *t = (1.0 - d.powi(3)).powi(3).max(0.0);
+            }
+            &edge_tri
+        };
         let mut sw = 0.0;
         let mut swx = 0.0;
         let mut swy = 0.0;
         let mut swxx = 0.0;
         let mut swxy = 0.0;
-        for j in lo..hi {
-            let d = (j as f64 - i as f64).abs() / max_dist;
-            let tri = (1.0 - d.powi(3)).powi(3).max(0.0);
-            let w = tri * robustness[j];
+        for (k, j) in (lo..hi).enumerate() {
+            let w = tri[k] * robustness[j];
             let x = j as f64;
             sw += w;
             swx += w * x;

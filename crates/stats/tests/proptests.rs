@@ -1,8 +1,9 @@
 //! Property-based tests for the statistical substrate.
 
+use fbd_stats::prefix::PrefixStats;
 use fbd_stats::{
-    changepoint, cusum, descriptive, distributions, fourier, regression, sax, smoothing, stl, text,
-    trend,
+    changepoint, cusum, descriptive, distributions, em, fourier, regression, sax, smoothing, stl,
+    text, trend,
 };
 use proptest::prelude::*;
 
@@ -161,6 +162,53 @@ proptest! {
     fn spectrum_non_negative(data in finite_series(4, 128)) {
         let mags = fourier::magnitude_spectrum(&data).unwrap();
         prop_assert!(mags.iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn fft_spectrum_matches_naive_dft(data in finite_series(4, 200)) {
+        // The O(n log n) FFT path (radix-2 or Bluestein) must reproduce the
+        // O(n²) direct DFT bin for bin.
+        let fast = fourier::magnitude_spectrum(&data).unwrap();
+        let naive = fourier::magnitude_spectrum_naive(&data).unwrap();
+        prop_assert_eq!(fast.len(), naive.len());
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (f, n) in fast.iter().zip(&naive) {
+            prop_assert!((f - n).abs() < 1e-9 * scale, "fft {f} vs dft {n}");
+        }
+    }
+
+    #[test]
+    fn prefix_single_ll_matches_naive(data in finite_series(2, 200)) {
+        let ps = PrefixStats::new(&data);
+        let fast = ps.single_mean_log_likelihood();
+        let naive = em::single_mean_log_likelihood_naive(&data).unwrap();
+        prop_assert!(
+            (fast - naive).abs() < 1e-9 * (1.0 + naive.abs()),
+            "fast {fast} vs naive {naive}"
+        );
+    }
+
+    #[test]
+    fn prefix_two_mean_ll_matches_naive(data in finite_series(4, 200), cp_seed in 0usize..1000) {
+        let cp = 1 + cp_seed % (data.len() - 2);
+        let ps = PrefixStats::new(&data);
+        let fast = ps.two_mean_log_likelihood(cp);
+        let naive = em::two_mean_log_likelihood_naive(&data, cp).unwrap();
+        prop_assert!(
+            (fast - naive).abs() < 1e-9 * (1.0 + naive.abs()),
+            "fast {fast} vs naive {naive} at cp {cp}"
+        );
+    }
+
+    #[test]
+    fn prefix_cusum_matches_series(data in finite_series(2, 200)) {
+        // The centered prefix sums ARE the CUSUM series.
+        let ps = PrefixStats::new(&data);
+        let series = cusum::cusum_series(&data).unwrap();
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (i, s) in series.iter().enumerate() {
+            prop_assert!((ps.cusum_at(i + 1) - s).abs() < 1e-9 * scale * data.len() as f64);
+        }
     }
 
     #[test]

@@ -34,24 +34,25 @@ pub fn write_snapshot<W: Write>(store: &TsdbStore, mut writer: W) -> Result<()> 
     let io_err = |_| TsdbError::InvalidWindowConfig("snapshot write failed");
     writeln!(writer, "{HEADER}").map_err(io_err)?;
     for id in store.series_ids() {
-        let series = store.get(&id)?;
-        write!(
-            writer,
-            "{}\t{}\t{}\t",
-            id.service,
-            id.metric.name(),
-            id.target
-        )
-        .map_err(io_err)?;
-        let mut first = true;
-        for p in series.points() {
-            if !first {
-                write!(writer, ",").map_err(io_err)?;
+        store.with_series(&id, |series| {
+            write!(
+                writer,
+                "{}\t{}\t{}\t",
+                id.service,
+                id.metric.name(),
+                id.target
+            )
+            .map_err(io_err)?;
+            let mut first = true;
+            for p in series.points() {
+                if !first {
+                    write!(writer, ",").map_err(io_err)?;
+                }
+                first = false;
+                write!(writer, "{}:{}", p.timestamp, p.value).map_err(io_err)?;
             }
-            first = false;
-            write!(writer, "{}:{}", p.timestamp, p.value).map_err(io_err)?;
-        }
-        writeln!(writer).map_err(io_err)?;
+            writeln!(writer).map_err(io_err)
+        })??;
     }
     Ok(())
 }

@@ -65,6 +65,22 @@ impl TsdbStore {
             .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))
     }
 
+    /// Runs a closure against a borrowed series under the shard read lock,
+    /// avoiding the whole-series clone [`TsdbStore::get`] pays. This is the
+    /// read path scans should use: the closure sees `&TimeSeries` in place.
+    pub fn with_series<R>(&self, id: &SeriesId, f: impl FnOnce(&TimeSeries) -> R) -> Result<R> {
+        let shard = self.shard(id).read();
+        let series = shard
+            .get(id)
+            .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))?;
+        Ok(f(series))
+    }
+
+    /// Timestamp of the series' newest sample without cloning the series.
+    pub fn last_timestamp(&self, id: &SeriesId) -> Result<Option<Timestamp>> {
+        self.with_series(id, |s| s.last_timestamp())
+    }
+
     /// Whether a series exists.
     pub fn contains(&self, id: &SeriesId) -> bool {
         self.shard(id).read().contains_key(id)
@@ -190,8 +206,20 @@ mod tests {
             rerun_interval: 10,
         };
         let w = store.windows(&id("w"), &cfg, 150).unwrap();
-        assert_eq!(w.historic.len(), 100);
-        assert_eq!(w.analysis.len(), 50);
+        assert_eq!(w.historic_len(), 100);
+        assert_eq!(w.analysis_len(), 50);
+    }
+
+    #[test]
+    fn with_series_borrows_without_cloning() {
+        let store = TsdbStore::new();
+        for t in 0..10u64 {
+            store.append(&id("b"), t, t as f64).unwrap();
+        }
+        let len = store.with_series(&id("b"), |s| s.len()).unwrap();
+        assert_eq!(len, 10);
+        assert_eq!(store.last_timestamp(&id("b")).unwrap(), Some(9));
+        assert!(store.last_timestamp(&id("missing")).is_err());
     }
 
     #[test]

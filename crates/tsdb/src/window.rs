@@ -99,14 +99,21 @@ impl WindowCoverage {
 /// window ends at `now`, preceded by the analysis window, preceded by the
 /// historic window. When the extended window is disabled the analysis
 /// window ends at `now`.
+///
+/// The three windows live in one contiguous buffer with region offsets, so
+/// every accessor — including [`WindowedData::all`] and
+/// [`WindowedData::analysis_and_extended`] — returns a borrowed slice
+/// without copying. Detectors walk these regions on every series of every
+/// scan; the old three-`Vec` layout re-concatenated them on each call.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowedData {
-    /// Values in the historic window, time-ordered.
-    pub historic: Vec<f64>,
-    /// Values in the analysis window, time-ordered.
-    pub analysis: Vec<f64>,
-    /// Values in the extended window (empty when disabled).
-    pub extended: Vec<f64>,
+    /// Historic, analysis, then extended values, time-ordered, contiguous.
+    values: Vec<f64>,
+    /// Number of leading values belonging to the historic window.
+    historic_len: usize,
+    /// Number of values after the historic region belonging to the analysis
+    /// window; the remainder of the buffer is the extended window.
+    analysis_len: usize,
     /// Start of the analysis window.
     pub analysis_start: Timestamp,
     /// End of the analysis window.
@@ -116,19 +123,118 @@ pub struct WindowedData {
 }
 
 impl WindowedData {
+    /// Builds windowed data from an already-concatenated buffer and region
+    /// lengths. This is the zero-copy constructor extraction uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `historic_len + analysis_len` exceeds `values.len()`.
+    pub fn from_parts(
+        values: Vec<f64>,
+        historic_len: usize,
+        analysis_len: usize,
+        analysis_start: Timestamp,
+        analysis_end: Timestamp,
+        coverage: WindowCoverage,
+    ) -> Self {
+        assert!(
+            historic_len + analysis_len <= values.len(),
+            "window regions exceed the value buffer"
+        );
+        WindowedData {
+            values,
+            historic_len,
+            analysis_len,
+            analysis_start,
+            analysis_end,
+            coverage,
+        }
+    }
+
+    /// Builds windowed data by concatenating three region slices. Convenience
+    /// constructor for tests and synthetic fixtures; coverage defaults to
+    /// full.
+    pub fn from_regions(
+        historic: &[f64],
+        analysis: &[f64],
+        extended: &[f64],
+        analysis_start: Timestamp,
+        analysis_end: Timestamp,
+    ) -> Self {
+        let mut values = Vec::with_capacity(historic.len() + analysis.len() + extended.len());
+        values.extend_from_slice(historic);
+        values.extend_from_slice(analysis);
+        values.extend_from_slice(extended);
+        WindowedData {
+            values,
+            historic_len: historic.len(),
+            analysis_len: analysis.len(),
+            analysis_start,
+            analysis_end,
+            coverage: WindowCoverage::default(),
+        }
+    }
+
+    /// Values in the historic window, time-ordered.
+    pub fn historic(&self) -> &[f64] {
+        &self.values[..self.historic_len]
+    }
+
+    /// Values in the analysis window, time-ordered.
+    pub fn analysis(&self) -> &[f64] {
+        &self.values[self.historic_len..self.historic_len + self.analysis_len]
+    }
+
+    /// Values in the extended window (empty when disabled).
+    pub fn extended(&self) -> &[f64] {
+        &self.values[self.historic_len + self.analysis_len..]
+    }
+
+    /// Number of samples in the historic window.
+    pub fn historic_len(&self) -> usize {
+        self.historic_len
+    }
+
+    /// Number of samples in the analysis window.
+    pub fn analysis_len(&self) -> usize {
+        self.analysis_len
+    }
+
+    /// Number of samples in the extended window.
+    pub fn extended_len(&self) -> usize {
+        self.values.len() - self.historic_len - self.analysis_len
+    }
+
+    /// Total number of samples across all three windows.
+    pub fn total_len(&self) -> usize {
+        self.values.len()
+    }
+
     /// Analysis plus extended values, the "post-historic" region.
-    pub fn analysis_and_extended(&self) -> Vec<f64> {
-        let mut v = self.analysis.clone();
-        v.extend_from_slice(&self.extended);
-        v
+    pub fn analysis_and_extended(&self) -> &[f64] {
+        &self.values[self.historic_len..]
     }
 
     /// Historic plus analysis plus extended — the whole scan region.
-    pub fn all(&self) -> Vec<f64> {
-        let mut v = self.historic.clone();
-        v.extend_from_slice(&self.analysis);
-        v.extend_from_slice(&self.extended);
-        v
+    pub fn all(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the whole buffer, for in-place value transforms
+    /// (e.g. orienting throughput metrics so drops read as regressions).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the windows, returning the contiguous value buffer
+    /// (historic ++ analysis ++ extended) without copying.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Mutable view of the analysis region, for tests and fixtures.
+    pub fn analysis_mut(&mut self) -> &mut [f64] {
+        &mut self.values[self.historic_len..self.historic_len + self.analysis_len]
     }
 }
 
@@ -178,31 +284,28 @@ pub fn extract_windows(
     let analysis_end = extended_start;
     let analysis_start = analysis_end.saturating_sub(config.analysis);
     let historic_start = analysis_start.saturating_sub(config.historic);
-    let historic = if analysis_start > historic_start {
-        series
-            .values_in(historic_start, analysis_start)
-            .unwrap_or_default()
-    } else {
-        Vec::new()
+    // Borrow each region directly from the series (binary search, no copy)
+    // and fill a single contiguous buffer in one pass.
+    let region = |start: Timestamp, end: Timestamp| {
+        if end > start {
+            series.range(start, end).unwrap_or(&[])
+        } else {
+            &[]
+        }
     };
-    let analysis = if analysis_end > analysis_start {
-        series
-            .values_in(analysis_start, analysis_end)
-            .unwrap_or_default()
-    } else {
-        Vec::new()
-    };
-    let extended = if now > extended_start {
-        series.values_in(extended_start, now).unwrap_or_default()
-    } else {
-        Vec::new()
-    };
+    let historic = region(historic_start, analysis_start);
+    let analysis = region(analysis_start, analysis_end);
+    let extended = region(extended_start, now);
     if historic.is_empty() {
         return Err(TsdbError::EmptyWindow("historic"));
     }
     if analysis.is_empty() {
         return Err(TsdbError::EmptyWindow("analysis"));
     }
+    let mut values = Vec::with_capacity(historic.len() + analysis.len() + extended.len());
+    values.extend(historic.iter().map(|p| p.value));
+    values.extend(analysis.iter().map(|p| p.value));
+    values.extend(extended.iter().map(|p| p.value));
     let cadence = estimate_cadence(series, historic_start, now.max(historic_start + 1));
     let coverage = WindowCoverage {
         historic: coverage_fraction(
@@ -221,14 +324,14 @@ pub fn extract_windows(
             coverage_fraction(extended.len(), now.saturating_sub(extended_start), cadence)
         },
     };
-    Ok(WindowedData {
-        historic,
-        analysis,
-        extended,
+    Ok(WindowedData::from_parts(
+        values,
+        historic.len(),
+        analysis.len(),
         analysis_start,
         analysis_end,
         coverage,
-    })
+    ))
 }
 
 /// Table 1 window configurations, for convenience in tests and benches.
@@ -341,13 +444,13 @@ mod tests {
         };
         let s = series_covering(200, 1);
         let w = extract_windows(&s, &cfg, 200).unwrap();
-        assert_eq!(w.historic.len(), 100);
-        assert_eq!(w.analysis.len(), 50);
-        assert_eq!(w.extended.len(), 25);
+        assert_eq!(w.historic_len(), 100);
+        assert_eq!(w.analysis_len(), 50);
+        assert_eq!(w.extended_len(), 25);
         // Historic ends where analysis begins; analysis ends where extended
         // begins.
-        assert_eq!(*w.historic.last().unwrap() + 1.0, w.analysis[0]);
-        assert_eq!(*w.analysis.last().unwrap() + 1.0, w.extended[0]);
+        assert_eq!(*w.historic().last().unwrap() + 1.0, w.analysis()[0]);
+        assert_eq!(*w.analysis().last().unwrap() + 1.0, w.extended()[0]);
         assert_eq!(w.analysis_start, 125);
         assert_eq!(w.analysis_end, 175);
     }
@@ -362,7 +465,7 @@ mod tests {
         };
         let s = series_covering(200, 1);
         let w = extract_windows(&s, &cfg, 150).unwrap();
-        assert!(w.extended.is_empty());
+        assert!(w.extended().is_empty());
         assert_eq!(w.analysis_end, 150);
     }
 

@@ -69,9 +69,9 @@ proptest! {
         let s = TimeSeries::from_values(0, 1, &vals);
         let cfg = WindowConfig { historic, analysis, extended, rerun_interval: 1 };
         let w = extract_windows(&s, &cfg, total).unwrap();
-        prop_assert_eq!(w.historic.len() as u64, historic);
-        prop_assert_eq!(w.analysis.len() as u64, analysis);
-        prop_assert_eq!(w.extended.len() as u64, extended);
+        prop_assert_eq!(w.historic_len() as u64, historic);
+        prop_assert_eq!(w.analysis_len() as u64, analysis);
+        prop_assert_eq!(w.extended_len() as u64, extended);
         prop_assert_eq!(w.all().len() as u64, total);
     }
 

@@ -124,7 +124,7 @@ fn scan(args: &HashMap<String, String>) -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| "bad now")?,
         None => {
             ids.iter()
-                .filter_map(|id| store.get(id).ok().and_then(|s| s.last_timestamp()))
+                .filter_map(|id| store.last_timestamp(id).ok().flatten())
                 .max()
                 .unwrap_or(0)
                 + 1
@@ -179,14 +179,17 @@ fn scan(args: &HashMap<String, String>) -> Result<(), String> {
 fn inspect(args: &HashMap<String, String>) -> Result<(), String> {
     let store = load(args)?;
     for id in store.series_ids() {
-        let series = store.get(&id).map_err(|e| e.to_string())?;
-        println!(
-            "{}\t{} points\t[{:?}..{:?}]",
-            id.metric_id(),
-            series.len(),
-            series.first_timestamp(),
-            series.last_timestamp()
-        );
+        store
+            .with_series(&id, |series| {
+                println!(
+                    "{}\t{} points\t[{:?}..{:?}]",
+                    id.metric_id(),
+                    series.len(),
+                    series.first_timestamp(),
+                    series.last_timestamp()
+                );
+            })
+            .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
