@@ -97,7 +97,7 @@ fn v2_keep(r: &Regression) -> bool {
     let max_at = historic
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let lo = max_at.saturating_sub(15);

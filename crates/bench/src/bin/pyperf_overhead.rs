@@ -115,7 +115,7 @@ fn main() {
             overheads.push((base - prof) / base * 100.0);
             last_prof = prof;
         }
-        overheads.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        overheads.sort_by(f64::total_cmp);
         let overhead = overheads[overheads.len() / 2];
         if name.contains("worst case") {
             worst_case_overhead = overhead;

@@ -6,6 +6,8 @@
 //! standard scaled-down window configurations, simple ASCII tables, and
 //! sparkline rendering for figure-style output.
 
+#![forbid(unsafe_code)]
+
 use fbd_fleet::scenarios::{LabelledSeries, SeriesLabel};
 use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
 use fbdetect_core::{DetectorConfig, Threshold};

@@ -7,6 +7,8 @@
 //! textual descriptions, plus a generator that fabricates realistic change
 //! traffic (thousands of commits per day on FrontFaaS, §3) with controlled
 //! ground truth.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod change;

@@ -7,6 +7,8 @@
 //! clustering with Silhouette-scored cut levels (§5.5.1 "Discussion of
 //! alternatives"); both are implemented here so the ablation bench can
 //! reproduce that comparison.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod error;

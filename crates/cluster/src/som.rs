@@ -192,9 +192,11 @@ pub fn cluster_by_cell(assignments: &[usize]) -> Vec<Vec<usize>> {
         }
         entry.push(i);
     }
+    // Every cell in `order` was inserted into `groups` above; filter_map
+    // keeps the walk panic-free all the same.
     order
         .into_iter()
-        .map(|cell| groups.remove(&cell).unwrap())
+        .filter_map(|cell| groups.remove(&cell))
         .collect()
 }
 

@@ -42,10 +42,9 @@ impl ChangePointDetector {
         if data.len() < 8 || windows.analysis_len() == 0 {
             return Ok(None);
         }
-        let fit = match em::fit_two_segment(data, self.max_iterations) {
-            Ok(fit) => fit,
-            // Degenerate series (constant, too short) carry no change point.
-            Err(_) => return Ok(None),
+        // Degenerate series (constant, too short) carry no change point.
+        let Ok(fit) = em::fit_two_segment(data, self.max_iterations) else {
+            return Ok(None);
         };
         // The change must fall within the analysis region (or its boundary);
         // shifts buried deep in the historic window are old news, and the

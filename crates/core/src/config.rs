@@ -25,6 +25,8 @@ impl Threshold {
     pub fn is_met(&self, before: f64, after: f64) -> bool {
         match *self {
             Threshold::Absolute(t) => (after - before) >= t,
+            // fbd-lint::allow(float-eq): exact-zero guard before division; a NaN
+            // baseline falls through and fails the >= comparison below
             Threshold::Relative(t) => before != 0.0 && (after - before) / before.abs() >= t,
         }
     }
@@ -132,7 +134,7 @@ impl DetectorConfig {
         self.windows
             .validate()
             .map_err(|_| DetectError::InvalidConfig("invalid windows"))?;
-        if !(0.0..1.0).contains(&self.significance) || self.significance == 0.0 {
+        if !(self.significance > 0.0 && self.significance < 1.0) {
             return Err(DetectError::InvalidConfig("significance must be in (0,1)"));
         }
         if self.max_em_iterations == 0 {

@@ -8,7 +8,7 @@
 
 use crate::types::Regression;
 use fbd_tsdb::SeriesId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Stateful duplicate suppressor; hold one per pipeline across scans.
 #[derive(Debug, Default)]
@@ -16,7 +16,7 @@ pub struct SameRegressionMerger {
     /// Tolerance: change times within this many seconds of a previously
     /// seen regression of the same series count as the same regression.
     tolerance: u64,
-    seen: HashSet<(SeriesId, u64)>,
+    seen: BTreeSet<(SeriesId, u64)>,
 }
 
 impl SameRegressionMerger {
@@ -25,7 +25,7 @@ impl SameRegressionMerger {
     pub fn new(tolerance: u64) -> Self {
         SameRegressionMerger {
             tolerance: tolerance.max(1),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
         }
     }
 

@@ -43,7 +43,10 @@ impl PlannedChange {
         }
         match self.expect_increase {
             None => true,
-            Some(expect_up) => (regression.magnitude() > 0.0) == expect_up,
+            Some(expect_up) => {
+                let increased = regression.magnitude() > 0.0;
+                increased == expect_up
+            }
         }
     }
 }

@@ -22,6 +22,8 @@
 //! path (§5.3), and [`pipeline`] orchestrates everything with the
 //! fast-filters-first ordering the paper describes, exposing the per-stage
 //! funnel counters behind Table 3.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod change_point;

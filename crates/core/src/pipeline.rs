@@ -36,7 +36,7 @@ use fbd_profiler::callgraph::CallGraph;
 use fbd_profiler::gcpu::stack_trace_overlap;
 use fbd_profiler::sample::StackSample;
 use fbd_tsdb::{MetricKind, SeriesId, Timestamp, TsdbStore, WindowedData};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -277,7 +277,7 @@ impl Pipeline {
         }
         // Re-admit series that recovered, then record this scan's faults.
         if !self.quarantine.is_empty() {
-            let faulted: HashSet<&SeriesId> = batch.faults.iter().map(|(id, _, _)| id).collect();
+            let faulted: BTreeSet<&SeriesId> = batch.faults.iter().map(|(id, _, _)| id).collect();
             for &id in &eligible {
                 if !faulted.contains(id) {
                     self.quarantine.record_success(id);
@@ -395,13 +395,11 @@ impl Pipeline {
                     // index (group representatives are distinct), not cloned.
                     let mut pool: Vec<Option<Regression>> =
                         thresholded.into_iter().map(Some).collect();
+                    // Representatives are distinct pool indices; a bad index
+                    // drops the group instead of panicking the scan.
                     groups
                         .iter()
-                        .map(|g| {
-                            pool[g.representative]
-                                .take()
-                                .expect("distinct SOM representatives")
-                        })
+                        .filter_map(|g| pool.get_mut(g.representative).and_then(Option::take))
                         .collect()
                 }
                 Err(_) => {
@@ -455,7 +453,7 @@ impl Pipeline {
         if let (Some(samples), Some(graph)) = (context.samples, context.graph) {
             // Stack overlap resolves names through the graph.
             let samples = samples.to_vec();
-            let name_to_frame: std::collections::HashMap<String, usize> = graph
+            let name_to_frame: std::collections::BTreeMap<String, usize> = graph
                 .names()
                 .iter()
                 .enumerate()

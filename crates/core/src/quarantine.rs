@@ -14,7 +14,7 @@
 //! deterministic and reproducible in tests.
 
 use fbd_tsdb::{SeriesId, Timestamp};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Why a series was quarantined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,7 +75,7 @@ pub struct QuarantineEntry {
 pub struct Quarantine {
     config: QuarantineConfig,
     rerun_interval: u64,
-    entries: HashMap<SeriesId, QuarantineEntry>,
+    entries: BTreeMap<SeriesId, QuarantineEntry>,
 }
 
 impl Quarantine {
@@ -85,7 +85,7 @@ impl Quarantine {
         Quarantine {
             config,
             rerun_interval: rerun_interval.max(1),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 

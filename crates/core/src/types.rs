@@ -45,7 +45,10 @@ impl Regression {
     /// Relative change, `(mean_after - mean_before) / mean_before`
     /// (infinite for a zero baseline).
     pub fn relative_change(&self) -> f64 {
+        // fbd-lint::allow(float-eq): exact-zero baseline sentinel; NaN means
+        // take the division path below, which propagates it
         if self.mean_before == 0.0 {
+            // fbd-lint::allow(float-eq): exact-zero sentinel, same contract
             if self.mean_after == 0.0 {
                 0.0
             } else {

@@ -62,7 +62,7 @@ impl EgadsDetector for AdaptiveKernelDensity {
             .step_by(stride)
             .map(|&v| Self::density(historical, v, h))
             .collect();
-        ref_densities.sort_by(|a, b| a.partial_cmp(b).expect("finite densities"));
+        ref_densities.sort_by(f64::total_cmp);
         let low_ref = ref_densities[(ref_densities.len() as f64 * 0.05) as usize];
         let threshold = low_ref * self.sensitivity;
         // Fraction of analysis points in low-density regions.

@@ -6,6 +6,8 @@
 //! positives for false negatives — the trade-off curve of Figure 8. Every
 //! detector answers one question: given a historical window and an analysis
 //! window, does the analysis window contain an anomaly?
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod adaptive_kernel;

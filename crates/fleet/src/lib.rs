@@ -14,6 +14,8 @@
 //! - full service simulation with stack-trace sampling and per-subroutine
 //!   gCPU series (§4);
 //! - the §2 feasibility simulations (Figures 1(a), 2, and 3).
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod error;

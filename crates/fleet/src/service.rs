@@ -315,7 +315,9 @@ impl ServiceSim {
         if self.apply_due_mutations(now)? || self.sampler.is_none() {
             self.sampler = Some(TraceSampler::new(&self.graph)?);
         }
-        let sampler = self.sampler.as_ref().expect("built above");
+        let Some(sampler) = self.sampler.as_ref() else {
+            return Err(FleetError::InvalidConfig("sampler failed to build"));
+        };
         // Collect this tick's stack samples across the fleet.
         let server_count = self.fleet.len() as u32;
         let mut tick_samples = Vec::with_capacity(self.config.samples_per_tick);

@@ -1,0 +1,214 @@
+//! Per-file context: which workspace crate a file belongs to, what kind of
+//! target it is, and which line ranges are test-only code.
+//!
+//! Rules scope themselves by crate and kind (`applies_to`), and every rule
+//! skips lines inside test regions — `#[cfg(test)]` modules and `#[test]`
+//! functions are allowed to unwrap, compare floats exactly, and so on.
+
+use crate::lexer::CleanFile;
+
+/// What kind of compilation target a file contributes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/` outside `src/bin/`).
+    Lib,
+    /// Binary target (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/`), including fixture trees.
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// Context handed to every rule alongside the cleaned source.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Package name as declared in the owning crate's `Cargo.toml`
+    /// (e.g. `fbdetect-core`, `fbd-stats`, `fbdetect` for the root).
+    pub crate_name: String,
+    pub kind: FileKind,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Half-open 0-based line ranges `[start, end)` of test-only code.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl FileContext {
+    /// Derives crate name and file kind from a workspace-relative path.
+    pub fn classify(rel_path: &str, clean: &CleanFile) -> FileContext {
+        let crate_name = crate_name_for(rel_path);
+        let kind = kind_for(rel_path);
+        FileContext {
+            crate_name,
+            kind,
+            rel_path: rel_path.to_string(),
+            test_regions: find_test_regions(clean),
+        }
+    }
+
+    /// Builds a context directly; used by fixture tests to check snippets
+    /// as if they lived in an arbitrary crate.
+    pub fn synthetic(crate_name: &str, kind: FileKind, rel_path: &str, clean: &CleanFile) -> Self {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            kind,
+            rel_path: rel_path.to_string(),
+            test_regions: find_test_regions(clean),
+        }
+    }
+
+    /// True when 0-based `line_idx` falls inside test-only code.
+    pub fn is_test_line(&self, line_idx: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| line_idx >= start && line_idx < end)
+    }
+}
+
+fn crate_name_for(rel_path: &str) -> String {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        let dir = rest.split('/').next().unwrap_or("");
+        return match dir {
+            "core" => "fbdetect-core".to_string(),
+            "bench" => "fbd-bench".to_string(),
+            other => format!("fbd-{other}"),
+        };
+    }
+    "fbdetect".to_string()
+}
+
+fn kind_for(rel_path: &str) -> FileKind {
+    let in_crate = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .map(|(_, tail)| tail)
+        .unwrap_or(rel_path);
+    if in_crate.starts_with("tests/") {
+        FileKind::Test
+    } else if in_crate.starts_with("benches/") {
+        FileKind::Bench
+    } else if in_crate.starts_with("examples/") {
+        FileKind::Example
+    } else if in_crate.starts_with("src/bin/") || in_crate == "src/main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Finds `#[cfg(test)]` / `#[test]` / `#[bench]` block regions by brace
+/// counting on the cleaned source (so attributes inside strings or comments
+/// never count).
+fn find_test_regions(clean: &CleanFile) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth at which the innermost active test region's block opened.
+    let mut region_open: Option<(i64, usize)> = None;
+    // Saw a test attribute and are waiting for its item's opening brace.
+    let mut pending_attr = false;
+
+    for (idx, line) in clean.lines.iter().enumerate() {
+        let has_attr = line.contains("#[cfg(test)]")
+            || line.contains("#[test]")
+            || line.contains("#[bench]")
+            || line.contains("#[cfg(all(test");
+        if has_attr && region_open.is_none() {
+            pending_attr = true;
+        }
+        let mut opened_on_line = false;
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending_attr && region_open.is_none() {
+                        region_open = Some((depth, idx));
+                        pending_attr = false;
+                    }
+                    depth += 1;
+                    opened_on_line = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some((open_depth, start)) = region_open {
+                        if depth == open_depth {
+                            regions.push((start, idx + 1));
+                            region_open = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `#[cfg(test)] use foo;` style: the attribute applies to a
+        // braceless item, so stop waiting once the item ends.
+        if pending_attr && !has_attr && !opened_on_line && line.trim_end().ends_with(';') {
+            pending_attr = false;
+        }
+    }
+    // Unterminated region (truncated file): extend to EOF.
+    if let Some((_, start)) = region_open {
+        regions.push((start, clean.lines.len()));
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean_source;
+
+    #[test]
+    fn classifies_crate_names_and_kinds() {
+        let clean = clean_source("");
+        let ctx = FileContext::classify("crates/core/src/pipeline.rs", &clean);
+        assert_eq!(ctx.crate_name, "fbdetect-core");
+        assert_eq!(ctx.kind, FileKind::Lib);
+
+        let ctx = FileContext::classify("crates/stats/tests/proptests.rs", &clean);
+        assert_eq!(ctx.crate_name, "fbd-stats");
+        assert_eq!(ctx.kind, FileKind::Test);
+
+        let ctx = FileContext::classify("crates/bench/src/bin/fig5_pyperf.rs", &clean);
+        assert_eq!(ctx.crate_name, "fbd-bench");
+        assert_eq!(ctx.kind, FileKind::Bin);
+
+        let ctx = FileContext::classify("src/lib.rs", &clean);
+        assert_eq!(ctx.crate_name, "fbdetect");
+        assert_eq!(ctx.kind, FileKind::Lib);
+
+        let ctx = FileContext::classify("tests/end_to_end.rs", &clean);
+        assert_eq!(ctx.kind, FileKind::Test);
+
+        let ctx = FileContext::classify("examples/quickstart.rs", &clean);
+        assert_eq!(ctx.kind, FileKind::Example);
+    }
+
+    #[test]
+    fn detects_cfg_test_module_region() {
+        let src = "fn lib_code() {\n    body();\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let clean = clean_source(src);
+        let ctx = FileContext::classify("crates/stats/src/foo.rs", &clean);
+        assert!(!ctx.is_test_line(1));
+        assert!(ctx.is_test_line(7));
+        assert!(!ctx.is_test_line(9));
+    }
+
+    #[test]
+    fn detects_bare_test_fn_region() {
+        let src = "fn lib() {}\n#[test]\nfn standalone() {\n    boom();\n}\nfn lib2() {}\n";
+        let clean = clean_source(src);
+        let ctx = FileContext::classify("crates/stats/src/foo.rs", &clean);
+        assert!(!ctx.is_test_line(0));
+        assert!(ctx.is_test_line(3));
+        assert!(!ctx.is_test_line(5));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_open_region() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn lib() {\n    code();\n}\n";
+        let clean = clean_source(src);
+        let ctx = FileContext::classify("crates/stats/src/foo.rs", &clean);
+        assert!(!ctx.is_test_line(3));
+    }
+}

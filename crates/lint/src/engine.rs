@@ -1,0 +1,267 @@
+//! Workspace walker and suppression resolution.
+//!
+//! The engine cleans each `.rs` file, classifies it, runs every applicable
+//! rule, then applies `// fbd-lint::allow(rule): reason` suppressions.
+//! Suppression hygiene is itself checked: a suppression without a reason,
+//! naming an unknown rule, or matching no diagnostic is reported as a
+//! violation (`bad-suppression` / `unused-suppression`) so allows cannot rot
+//! silently.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::context::{FileContext, FileKind};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{clean_source, CleanFile, Suppression};
+use crate::rules::{all_rules, Rule, Sink, ENGINE_RULES};
+
+/// Directories never scanned: build output, vendored shims, VCS metadata,
+/// and the lint crate's own known-bad fixture tree.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Lints every `.rs` file under `root` and returns sorted diagnostics.
+pub fn run_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    files.sort();
+
+    let rules = all_rules();
+    let mut diags = Vec::new();
+    for path in &files {
+        let src = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = rel_path(root, path);
+        diags.extend(check_file(&rel, &src, &rules, None));
+    }
+    diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    diags.dedup();
+    Ok(diags)
+}
+
+/// Lints a single source text. `ctx_override` lets fixture tests check a
+/// snippet as if it lived at an arbitrary crate/kind.
+pub fn check_file(
+    rel_path: &str,
+    src: &str,
+    rules: &[Box<dyn Rule>],
+    ctx_override: Option<FileContext>,
+) -> Vec<Diagnostic> {
+    let clean = clean_source(src);
+    let ctx = ctx_override.unwrap_or_else(|| FileContext::classify(rel_path, &clean));
+
+    let mut sink = Sink::new(rel_path);
+    for rule in rules {
+        if rule.applies_to(&ctx) {
+            rule.check(&clean, &ctx, &mut sink);
+        }
+    }
+
+    // Suppressions only make sense where rules can fire; elsewhere (tests,
+    // examples, benches) any allow comment is inert and unchecked.
+    if matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        apply_suppressions(rel_path, &clean, rules, sink.diags)
+    } else {
+        sink.diags
+    }
+}
+
+/// Resolves suppressions against raw diagnostics, emitting hygiene
+/// violations for malformed or stale ones.
+fn apply_suppressions(
+    rel_path: &str,
+    clean: &CleanFile,
+    rules: &[Box<dyn Rule>],
+    raw: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let known: BTreeSet<&str> = rules
+        .iter()
+        .map(|r| r.name())
+        .chain(ENGINE_RULES.iter().copied())
+        .collect();
+
+    // (rule, 1-based target line) -> suppression index
+    let mut valid: Vec<(String, usize, usize)> = Vec::new();
+    let mut used: Vec<bool> = vec![false; clean.suppressions.len()];
+    let mut out = Vec::new();
+
+    for (s_idx, s) in clean.suppressions.iter().enumerate() {
+        let mut well_formed = true;
+        if s.rules.is_empty() {
+            push_hygiene(
+                &mut out,
+                rel_path,
+                s.line,
+                "bad-suppression",
+                "suppression lists no rule: `// fbd-lint::allow(rule-name): reason`".to_string(),
+            );
+            well_formed = false;
+        }
+        for rule in &s.rules {
+            if !known.contains(rule.as_str()) {
+                push_hygiene(
+                    &mut out,
+                    rel_path,
+                    s.line,
+                    "bad-suppression",
+                    format!("unknown rule `{rule}` in suppression"),
+                );
+                well_formed = false;
+            }
+        }
+        if s.reason.is_empty() {
+            push_hygiene(
+                &mut out,
+                rel_path,
+                s.line,
+                "bad-suppression",
+                "suppression must carry a reason: `// fbd-lint::allow(rule): why this is safe`"
+                    .to_string(),
+            );
+            well_formed = false;
+        }
+        if well_formed {
+            let target = target_line(clean, s);
+            for rule in &s.rules {
+                valid.push((rule.clone(), target, s_idx));
+            }
+        }
+    }
+
+    for d in raw {
+        let mut suppressed = false;
+        for (rule, line, s_idx) in &valid {
+            if rule == d.rule && *line == d.line {
+                used[*s_idx] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+
+    for (s_idx, s) in clean.suppressions.iter().enumerate() {
+        let was_valid = valid.iter().any(|(_, _, i)| i == &s_idx);
+        if was_valid && !used[s_idx] {
+            push_hygiene(
+                &mut out,
+                rel_path,
+                s.line,
+                "unused-suppression",
+                format!(
+                    "suppression for `{}` matches no diagnostic; delete it",
+                    s.rules.join(", ")
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// 1-based line a suppression applies to: its own line for trailing
+/// comments, the next non-blank code line for standalone ones.
+fn target_line(clean: &CleanFile, s: &Suppression) -> usize {
+    if !s.standalone {
+        return s.line;
+    }
+    clean
+        .lines
+        .iter()
+        .enumerate()
+        .skip(s.line) // s.line is 1-based, so this skips past the comment line
+        .find(|(_, l)| !l.trim().is_empty())
+        .map(|(idx, _)| idx + 1)
+        .unwrap_or(s.line)
+}
+
+fn push_hygiene(
+    out: &mut Vec<Diagnostic>,
+    file: &str,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    out.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<std::io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str, rel: &str) -> Vec<Diagnostic> {
+        check_file(rel, src, &all_rules(), None)
+    }
+
+    #[test]
+    fn trailing_suppression_with_reason_mutes_diagnostic() {
+        let src = "fn f() { x.unwrap(); // fbd-lint::allow(no-panic): input validated by caller\n}\n";
+        assert!(check(src, "crates/stats/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn standalone_suppression_applies_to_next_line() {
+        let src = "fn f() {\n    // fbd-lint::allow(no-panic): slot reserved above\n    x.unwrap();\n}\n";
+        assert!(check(src, "crates/stats/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn reasonless_suppression_does_not_mute_and_is_flagged() {
+        let src = "fn f() { x.unwrap(); // fbd-lint::allow(no-panic)\n}\n";
+        let diags = check(src, "crates/stats/src/a.rs");
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"no-panic"));
+        assert!(rules.contains(&"bad-suppression"));
+    }
+
+    #[test]
+    fn unknown_rule_suppression_flagged() {
+        let src = "fn f() { // fbd-lint::allow(made-up-rule): whatever\n}\n";
+        let diags = check(src, "crates/stats/src/a.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn stale_suppression_flagged_as_unused() {
+        let src = "fn f() { let y = 1; // fbd-lint::allow(no-panic): nothing here panics anymore\n}\n";
+        let diags = check(src, "crates/stats/src/a.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-suppression");
+    }
+
+    #[test]
+    fn suppressions_in_test_files_are_inert() {
+        let src = "fn helper() { // fbd-lint::allow(no-panic)\n    x.unwrap();\n}\n";
+        assert!(check(src, "tests/foo.rs").is_empty());
+    }
+}

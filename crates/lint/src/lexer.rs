@@ -1,0 +1,368 @@
+//! A comment- and literal-stripping scanner for Rust source.
+//!
+//! `fbd-lint` rules match token patterns the compiler cannot express as
+//! types, so they must never fire on text inside comments, doc examples, or
+//! string literals. Rather than pull in a full parser (the build environment
+//! is offline, so `syn` is unavailable), this module produces a *cleaned*
+//! view of each file: every comment and every string/char literal body is
+//! replaced by spaces, byte for byte, so line numbers and column positions
+//! in the cleaned text match the original source exactly.
+//!
+//! The scanner also extracts suppression comments of the form
+//! `// fbd-lint::allow(rule-name): reason`, which the engine uses to mute
+//! individual diagnostics.
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment appears on.
+    pub line: usize,
+    /// Rule names listed inside `allow(...)`, comma-separated in source.
+    pub rules: Vec<String>,
+    /// Justification text after the closing `):`. Empty when omitted.
+    pub reason: String,
+    /// True when the comment is the only content on its line, in which case
+    /// it applies to the next line of code rather than its own line.
+    pub standalone: bool,
+}
+
+/// A source file with comments and literal bodies blanked out.
+#[derive(Debug, Clone)]
+pub struct CleanFile {
+    /// Cleaned source, split into lines (no trailing newlines).
+    pub lines: Vec<String>,
+    /// Suppression comments found anywhere in the file.
+    pub suppressions: Vec<Suppression>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// Regular string; `bool` is "previous char was a backslash".
+    Str(bool),
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+    /// Char literal; `bool` is "previous char was a backslash".
+    CharLit(bool),
+}
+
+/// Strips comments and literal bodies from `src`, preserving layout.
+pub fn clean_source(src: &str) -> CleanFile {
+    let mut lines: Vec<String> = Vec::new();
+    let mut suppressions: Vec<Suppression> = Vec::new();
+
+    let mut state = State::Code;
+    for (idx, raw_line) in src.lines().enumerate() {
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut out = String::with_capacity(raw_line.len());
+        let mut i = 0usize;
+        // Line comments never survive a newline.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        // A string/char literal cannot span a newline without a trailing
+        // backslash; treat the new line as a continuation either way — the
+        // cleaned output stays blank until the literal closes.
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => match c {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        let comment: String = chars[i..].iter().collect();
+                        if let Some(s) = parse_suppression(&comment, idx + 1, &out) {
+                            suppressions.push(s);
+                        }
+                        out.extend(std::iter::repeat_n(' ', chars.len() - i));
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        state = State::BlockComment(1);
+                        out.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Str(false);
+                        out.push('"');
+                    }
+                    'b' if chars.get(i + 1) == Some(&'"') && !prev_is_ident(&chars, i) => {
+                        out.push_str("b\"");
+                        i += 2;
+                        state = State::Str(false);
+                        continue;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        // Consume the prefix (r, br, b) plus hashes and the
+                        // opening quote.
+                        let mut j = i;
+                        while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+                            out.push(chars[j]);
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            out.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // `is_raw_string_start` guarantees a quote here.
+                        out.push('"');
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    'b' if chars.get(i + 1) == Some(&'\'') => {
+                        out.push('b');
+                        out.push('\'');
+                        i += 2;
+                        state = State::CharLit(false);
+                        continue;
+                    }
+                    '\'' if is_char_literal_start(&chars, i) => {
+                        state = State::CharLit(false);
+                        out.push('\'');
+                    }
+                    _ => out.push(c),
+                },
+                State::LineComment => {
+                    // Unreachable within a line (handled by the early jump),
+                    // kept for completeness.
+                    out.push(' ');
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        out.push_str("  ");
+                        i += 2;
+                        state = if depth > 1 {
+                            State::BlockComment(depth - 1)
+                        } else {
+                            State::Code
+                        };
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        out.push_str("  ");
+                        i += 2;
+                        state = State::BlockComment(depth + 1);
+                        continue;
+                    }
+                    out.push(' ');
+                }
+                State::Str(escaped) => {
+                    if escaped {
+                        out.push(' ');
+                        state = State::Str(false);
+                    } else if c == '\\' {
+                        out.push(' ');
+                        state = State::Str(true);
+                    } else if c == '"' {
+                        out.push('"');
+                        state = State::Code;
+                    } else {
+                        out.push(' ');
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                    out.push(' ');
+                }
+                State::CharLit(escaped) => {
+                    if escaped {
+                        out.push(' ');
+                        state = State::CharLit(false);
+                    } else if c == '\\' {
+                        out.push(' ');
+                        state = State::CharLit(true);
+                    } else if c == '\'' {
+                        out.push('\'');
+                        state = State::Code;
+                    } else {
+                        out.push(' ');
+                    }
+                }
+            }
+            i += 1;
+        }
+        lines.push(out);
+    }
+
+    CleanFile {
+        lines,
+        suppressions,
+    }
+}
+
+/// True when `chars[i]` begins a raw (or raw byte) string literal:
+/// `r"`, `r#"`, `br"`, `br#"`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    } else {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    // Must not be a normal identifier like `radius` or `break`.
+    chars.get(j) == Some(&'"') && !prev_is_ident(chars, i)
+}
+
+/// True when the quote at `chars[i]` plus `hashes` trailing `#`s terminates
+/// the raw string.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal (`'a'`, `'\n'`) from a lifetime (`'a`).
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    if prev_is_ident(chars, i) {
+        // e.g. `Foo::<'a>` never lands here with ident before the quote, but
+        // a stray case like `x'` should not open a literal.
+        return false;
+    }
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Parses `// fbd-lint::allow(rule-a, rule-b): reason` from a line comment.
+///
+/// `code_before` is the cleaned code that precedes the comment on the same
+/// line; when it is blank the suppression is standalone and applies to the
+/// next code line.
+fn parse_suppression(comment: &str, line: usize, code_before: &str) -> Option<Suppression> {
+    let body = comment.trim_start_matches('/').trim_start();
+    let rest = body.strip_prefix("fbd-lint::allow(")?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let after = &rest[close + 1..];
+    let reason = after
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some(Suppression {
+        line,
+        rules,
+        reason,
+        standalone: code_before.trim().is_empty(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "let x = 1; // unwrap() here is comment\n/* panic!() */ let y = 2;\n";
+        let clean = clean_source(src);
+        assert!(!clean.lines[0].contains("unwrap"));
+        assert!(!clean.lines[1].contains("panic"));
+        assert!(clean.lines[1].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn preserves_column_positions() {
+        let src = "let s = \"abc==def\"; let t = 1;";
+        let clean = clean_source(src);
+        assert_eq!(clean.lines[0].len(), src.len());
+        assert!(!clean.lines[0].contains("=="));
+        assert_eq!(&clean.lines[0][20..], "let t = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code()";
+        let clean = clean_source(src);
+        assert!(clean.lines[0].contains("code()"));
+        assert!(!clean.lines[0].contains("inner"));
+        assert!(!clean.lines[0].contains("still"));
+    }
+
+    #[test]
+    fn multiline_block_comment_blanks_doc_examples() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        let clean = clean_source(src);
+        assert!(clean.lines.iter().all(|l| !l.contains("unwrap")));
+        assert!(clean.lines[3].contains("fn f()"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let src = "let r = r#\"has \"quotes\" and unwrap()\"#; let c = '\"'; let l: &'static str = \"x\";";
+        let clean = clean_source(src);
+        assert!(!clean.lines[0].contains("unwrap"));
+        assert!(clean.lines[0].contains("let c ="));
+        assert!(clean.lines[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn lifetime_not_treated_as_char() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let clean = clean_source(src);
+        assert_eq!(clean.lines[0], src);
+    }
+
+    #[test]
+    fn string_spanning_escape() {
+        let src = "let s = \"a\\\"b==c\"; foo();";
+        let clean = clean_source(src);
+        assert!(clean.lines[0].contains("foo();"));
+        assert!(!clean.lines[0].contains("=="));
+    }
+
+    #[test]
+    fn parses_trailing_suppression() {
+        let src = "x.unwrap(); // fbd-lint::allow(no-panic): length checked above\n";
+        let clean = clean_source(src);
+        assert_eq!(clean.suppressions.len(), 1);
+        let s = &clean.suppressions[0];
+        assert_eq!(s.line, 1);
+        assert_eq!(s.rules, vec!["no-panic".to_string()]);
+        assert_eq!(s.reason, "length checked above");
+        assert!(!s.standalone);
+    }
+
+    #[test]
+    fn parses_standalone_multi_rule_suppression() {
+        let src = "// fbd-lint::allow(no-panic, float-eq): tested exhaustively\nx.unwrap();\n";
+        let clean = clean_source(src);
+        assert_eq!(clean.suppressions.len(), 1);
+        let s = &clean.suppressions[0];
+        assert!(s.standalone);
+        assert_eq!(s.rules.len(), 2);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_kept_with_empty_reason() {
+        let src = "x.unwrap(); // fbd-lint::allow(no-panic)\n";
+        let clean = clean_source(src);
+        assert_eq!(clean.suppressions[0].reason, "");
+    }
+}

@@ -1,0 +1,36 @@
+//! `fbd-lint` — workspace-wide invariant checker for FBDetect.
+//!
+//! Enforces three families of domain rules the Rust compiler and clippy
+//! cannot express (see `DESIGN.md` § "Static invariants"):
+//!
+//! * **panic-freedom** (`no-panic`) — the crates that run under the scan
+//!   supervisor's `catch_unwind` must return errors, not panic;
+//! * **NaN-safety** (`float-eq`, `partial-cmp-unwrap`) — no exact float
+//!   equality on output paths, no `partial_cmp().unwrap()` (use
+//!   `total_cmp`);
+//! * **determinism** (`hash-order`, `nondet-source`) — no hash-ordered
+//!   collections feeding serialized output, no wall clocks or OS entropy in
+//!   the seed-deterministic fleet simulation.
+//!
+//! Violations are muted case by case with
+//! `// fbd-lint::allow(rule-name): reason`; the reason is mandatory and
+//! stale or malformed suppressions are themselves violations.
+//!
+//! Implementation note: the build environment is offline, so there is no
+//! `syn`. The checker runs on a cleaned token view of each file
+//! ([`lexer::clean_source`]) — comments and literal bodies are blanked with
+//! layout preserved — which is exact enough for every rule above and keeps
+//! the tool dependency-free.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use context::{FileContext, FileKind};
+pub use diagnostics::{to_json, Diagnostic};
+pub use engine::{check_file, run_workspace};
+pub use rules::{all_rules, Rule};

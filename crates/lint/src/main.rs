@@ -1,0 +1,93 @@
+//! CLI for `fbd-lint`.
+//!
+//! ```text
+//! fbd-lint [--root PATH] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error —
+//! CI gates on "not zero".
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fbd_lint::{all_rules, run_workspace, to_json};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        list_rules: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .ok_or_else(|| "--root requires a path".to_string())?;
+                opts.root = PathBuf::from(path);
+            }
+            "--help" | "-h" => {
+                return Err("usage: fbd-lint [--root PATH] [--json] [--list-rules]".to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in all_rules() {
+            println!("{:20} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match run_workspace(&opts.root) {
+        Ok(diags) => {
+            if opts.json {
+                print!("{}", to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if diags.is_empty() {
+                    println!("fbd-lint: clean");
+                } else {
+                    println!("fbd-lint: {} violation(s)", diags.len());
+                }
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("fbd-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Determinism rules.
+//!
+//! `hash-order`: `HashMap`/`HashSet` iteration order is randomized per
+//! process (SipHash keys), so any hash collection in the crates that build
+//! ordered or serialized output (`fbdetect-core`, `fbd-tsdb`,
+//! `fbd-changelog`) is one `.iter()` away from breaking the bit-identical
+//! fingerprint guarantee. Use `BTreeMap`/`BTreeSet`, or keep the hash map
+//! and suppress with a reason proving its order never escapes.
+//!
+//! `nondet-source`: `fbd-fleet` simulations are seed-deterministic — the
+//! same `FleetSpec` seed must produce the same series bytes forever. Wall
+//! clocks and OS entropy (`Instant::now`, `SystemTime::now`, `thread_rng`,
+//! …) smuggle nondeterminism into that contract.
+
+use super::{for_each_code_line, token_starts, Rule, Sink};
+use crate::context::{FileContext, FileKind};
+use crate::lexer::CleanFile;
+
+pub struct HashOrder;
+
+/// Crates whose library code feeds ordered or serialized output.
+const ORDERED_OUTPUT_CRATES: &[&str] = &["fbdetect-core", "fbd-tsdb", "fbd-changelog"];
+
+impl Rule for HashOrder {
+    fn name(&self) -> &'static str {
+        "hash-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet in crates that produce ordered/serialized output; \
+         use BTreeMap/BTreeSet or sort explicitly"
+    }
+
+    fn applies_to(&self, ctx: &FileContext) -> bool {
+        ctx.kind == FileKind::Lib && ORDERED_OUTPUT_CRATES.contains(&ctx.crate_name.as_str())
+    }
+
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {
+        for_each_code_line(clean, ctx, |idx, line| {
+            for ty in ["HashMap", "HashSet"] {
+                let hit = token_starts(line, ty).iter().any(|&at| {
+                    // Exclude longer identifiers like `HashMapExt`.
+                    let after = line[at + ty.len()..].chars().next();
+                    !matches!(after, Some(c) if c.is_alphanumeric() || c == '_')
+                });
+                if hit {
+                    sink.push(
+                        idx,
+                        self.name(),
+                        format!(
+                            "`{ty}` iteration order is nondeterministic and this crate \
+                             feeds serialized output; use BTree{} or sort before emitting",
+                            &ty[4..]
+                        ),
+                    );
+                }
+            }
+        });
+    }
+}
+
+pub struct NondetSource;
+
+/// Tokens that read wall clocks or OS entropy.
+const SOURCES: &[(&str, &str)] = &[
+    ("Instant::now", "wall clock"),
+    ("SystemTime::now", "wall clock"),
+    ("thread_rng", "OS-seeded RNG"),
+    ("from_entropy", "OS-seeded RNG"),
+    ("rand::random", "OS-seeded RNG"),
+    ("RandomState", "randomized hasher state"),
+];
+
+impl Rule for NondetSource {
+    fn name(&self) -> &'static str {
+        "nondet-source"
+    }
+
+    fn description(&self) -> &'static str {
+        "no wall clocks or OS entropy in fbd-fleet's seed-deterministic simulation"
+    }
+
+    fn applies_to(&self, ctx: &FileContext) -> bool {
+        ctx.kind == FileKind::Lib && ctx.crate_name == "fbd-fleet"
+    }
+
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {
+        for_each_code_line(clean, ctx, |idx, line| {
+            for (needle, what) in SOURCES {
+                if !token_starts(line, needle).is_empty() {
+                    sink.push(
+                        idx,
+                        self.name(),
+                        format!(
+                            "`{needle}` injects {what} into the seed-deterministic \
+                             simulation; derive everything from the FleetSpec seed"
+                        ),
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::diagnostics::Diagnostic;
+    use crate::lexer::clean_source;
+
+    fn run_rule(rule: &dyn Rule, src: &str, rel_path: &str) -> Vec<Diagnostic> {
+        let clean = clean_source(src);
+        let ctx = FileContext::classify(rel_path, &clean);
+        let mut sink = Sink::new(rel_path);
+        if rule.applies_to(&ctx) {
+            rule.check(&clean, &ctx, &mut sink);
+        }
+        sink.diags
+    }
+
+    #[test]
+    fn flags_hashmap_in_core_but_not_stats() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let d = run_rule(&HashOrder, src, "crates/core/src/a.rs");
+        assert_eq!(d.len(), 2); // one per line, not per occurrence
+        assert!(run_rule(&HashOrder, src, "crates/stats/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn btree_passes_and_longer_idents_ignored() {
+        let src = "use std::collections::BTreeMap;\nstruct HashMapExt;\n";
+        assert!(run_rule(&HashOrder, src, "crates/core/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_in_fleet_only() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(run_rule(&NondetSource, src, "crates/fleet/src/a.rs").len(), 1);
+        assert!(run_rule(&NondetSource, src, "crates/core/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn flags_thread_rng_in_fleet() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        assert_eq!(run_rule(&NondetSource, src, "crates/fleet/src/a.rs").len(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Rule trait, registry, and the shared line-visitor helpers rules are
+//! built from.
+//!
+//! A rule sees the *cleaned* source (comments and literal bodies blanked,
+//! see [`crate::lexer`]) plus a [`FileContext`] and reports violations into
+//! a [`Sink`]. Test-only regions are skipped by the visitor, and the engine
+//! applies suppression comments afterwards — rules themselves stay oblivious
+//! to both.
+
+pub mod determinism;
+pub mod nan_safety;
+pub mod panic_freedom;
+
+use crate::context::FileContext;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::CleanFile;
+
+/// Collects diagnostics for one file.
+pub struct Sink {
+    file: String,
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Sink {
+    pub fn new(file: &str) -> Self {
+        Sink {
+            file: file.to_string(),
+            diags: Vec::new(),
+        }
+    }
+
+    /// Records a violation at 0-based `line_idx`.
+    pub fn push(&mut self, line_idx: usize, rule: &'static str, message: String) {
+        self.diags.push(Diagnostic {
+            file: self.file.clone(),
+            line: line_idx + 1,
+            rule,
+            message,
+        });
+    }
+}
+
+/// A single invariant check.
+pub trait Rule {
+    /// Stable identifier used in diagnostics and suppression comments.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules` and docs.
+    fn description(&self) -> &'static str;
+    /// Whether this rule runs on the given file at all.
+    fn applies_to(&self, ctx: &FileContext) -> bool;
+    /// Scans the file and reports violations.
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink);
+}
+
+/// Every rule, in a fixed order (diagnostics are sorted later anyway, but a
+/// stable registry keeps `--list-rules` output deterministic).
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(panic_freedom::NoPanic),
+        Box::new(nan_safety::FloatEq),
+        Box::new(nan_safety::PartialCmpUnwrap),
+        Box::new(determinism::HashOrder),
+        Box::new(determinism::NondetSource),
+    ]
+}
+
+/// Rule names the engine itself emits (suppression hygiene); kept here so
+/// the known-name check covers them.
+pub const ENGINE_RULES: &[&str] = &["bad-suppression", "unused-suppression"];
+
+/// Crates whose library code runs under the scan supervisor's
+/// `catch_unwind` and therefore must be panic-free.
+pub const SUPERVISED_CRATES: &[&str] = &[
+    "fbdetect-core",
+    "fbd-stats",
+    "fbd-tsdb",
+    "fbd-cluster",
+    "fbd-egads",
+];
+
+/// Visits every non-test line of cleaned code, 0-based index first.
+pub fn for_each_code_line<'a>(
+    clean: &'a CleanFile,
+    ctx: &FileContext,
+    mut f: impl FnMut(usize, &'a str),
+) {
+    for (idx, line) in clean.lines.iter().enumerate() {
+        if !ctx.is_test_line(idx) {
+            f(idx, line);
+        }
+    }
+}
+
+/// Byte offsets of `needle` in `line` where the preceding character is not
+/// part of an identifier (so `assert!` does not match inside
+/// `debug_assert!`).
+pub fn token_starts(line: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    // The boundary check only matters when the needle itself starts with an
+    // identifier character (`assert!` inside `debug_assert!`); needles like
+    // `.unwrap()` begin with their own boundary.
+    let needs_boundary = needle
+        .bytes()
+        .next()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_');
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let boundary = !needs_boundary || at == 0 || {
+            let prev = bytes[at - 1];
+            !(prev.is_ascii_alphanumeric() || prev == b'_')
+        };
+        if boundary {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// True when `window` plausibly denotes a floating-point value: a float
+/// literal (`1.0`, `0.5e3`), an `f64::`/`f32::` associated constant, an
+/// `as f64` cast, or a typed literal suffix (`1_f64`).
+pub fn contains_float_token(window: &str) -> bool {
+    let bytes = window.as_bytes();
+    for i in 1..bytes.len().saturating_sub(1) {
+        if bytes[i] == b'.'
+            && bytes[i - 1].is_ascii_digit()
+            && bytes[i + 1].is_ascii_digit()
+            && !(i >= 2 && bytes[i - 2] == b'.') // tuple-ish `x.0.1` chains
+        {
+            // Exclude tuple field access like `pair.0` — require the char
+            // before the integer run to not be an identifier char or `.`.
+            let mut j = i - 1;
+            while j > 0 && bytes[j - 1].is_ascii_digit() {
+                j -= 1;
+            }
+            let ok = j == 0 || {
+                let prev = bytes[j - 1];
+                !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.')
+            };
+            if ok {
+                return true;
+            }
+        }
+    }
+    window.contains("f64::")
+        || window.contains("f32::")
+        || window.contains("as f64")
+        || window.contains("as f32")
+        || window.contains("_f64")
+        || window.contains("_f32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_respects_ident_boundary() {
+        assert_eq!(token_starts("assert!(x)", "assert!"), vec![0]);
+        assert!(token_starts("debug_assert!(x)", "assert!").is_empty());
+        assert_eq!(token_starts("x.unwrap()", ".unwrap()"), vec![1]);
+    }
+
+    #[test]
+    fn float_token_detection() {
+        assert!(contains_float_token(" 0.0 "));
+        assert!(contains_float_token("x * 1.5e3"));
+        assert!(contains_float_token("f64::NAN"));
+        assert!(contains_float_token("count as f64"));
+        assert!(!contains_float_token("n % 2"));
+        assert!(!contains_float_token("pair.0"));
+        assert!(!contains_float_token("data.len()"));
+        assert!(!contains_float_token("v.0.1"));
+    }
+}

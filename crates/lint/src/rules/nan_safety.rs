@@ -1,0 +1,206 @@
+//! NaN-safety rules.
+//!
+//! `float-eq`: `==`/`!=` where an operand is visibly a float. Exact float
+//! equality is almost always a latent bug in detector code (NaN compares
+//! unequal to everything, `-0.0 == 0.0`, accumulated rounding), and the two
+//! intended uses — exact-zero guards and golden-value pins — deserve an
+//! explicit suppression with a reason.
+//!
+//! `partial-cmp-unwrap`: `.partial_cmp(..).unwrap()/.expect(..)` panics the
+//! moment a NaN reaches a sort key; `f64::total_cmp` is the drop-in,
+//! panic-free, deterministic replacement.
+
+use super::{contains_float_token, for_each_code_line, Rule, Sink};
+use crate::context::{FileContext, FileKind};
+use crate::lexer::CleanFile;
+
+pub struct FloatEq;
+
+/// Characters that end an operand scan on either side of `==`/`!=`.
+const STOPS_LEFT: &[char] = &[',', ';', '{', '(', '[', '=', '<', '>', '!', '&', '|'];
+const STOPS_RIGHT: &[char] = &[',', ';', '{', ')', ']', '}', '&', '|'];
+
+impl Rule for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "no ==/!= on float expressions (NaN-unsafe, rounding-fragile); \
+         compare with tolerance, total_cmp, or suppress with a reason"
+    }
+
+    fn applies_to(&self, ctx: &FileContext) -> bool {
+        ctx.kind == FileKind::Lib && ctx.crate_name != "fbd-lint"
+    }
+
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {
+        for_each_code_line(clean, ctx, |idx, line| {
+            let chars: Vec<char> = line.chars().collect();
+            let mut reported = false;
+            let mut i = 0;
+            while i + 1 < chars.len() && !reported {
+                let pair = (chars[i], chars[i + 1]);
+                let is_eq = pair == ('=', '=');
+                let is_ne = pair == ('!', '=');
+                if (is_eq || is_ne) && chars.get(i + 2) != Some(&'=') && operator_position(&chars, i)
+                {
+                    let left: String = chars[..i]
+                        .iter()
+                        .rev()
+                        .take_while(|c| !STOPS_LEFT.contains(c))
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .rev()
+                        .collect();
+                    let right: String = chars[i + 2..]
+                        .iter()
+                        .take_while(|c| !STOPS_RIGHT.contains(c))
+                        .collect();
+                    if contains_float_token(&left) || contains_float_token(&right) {
+                        let op = if is_eq { "==" } else { "!=" };
+                        sink.push(
+                            idx,
+                            self.name(),
+                            format!(
+                                "`{op}` on a float expression is NaN-unsafe; \
+                                 compare with a tolerance or justify with a suppression"
+                            ),
+                        );
+                        reported = true;
+                    }
+                }
+                i += 1;
+            }
+        });
+    }
+}
+
+/// True when the `==`/`!=` starting at `i` is a standalone comparison
+/// operator (not part of `<=`, `>=`, `=>`, `+=`, …).
+fn operator_position(chars: &[char], i: usize) -> bool {
+    if chars[i] == '=' && i > 0 {
+        let prev = chars[i - 1];
+        if matches!(
+            prev,
+            '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+        ) {
+            return false;
+        }
+    }
+    true
+}
+
+pub struct PartialCmpUnwrap;
+
+impl Rule for PartialCmpUnwrap {
+    fn name(&self) -> &'static str {
+        "partial-cmp-unwrap"
+    }
+
+    fn description(&self) -> &'static str {
+        "no .partial_cmp(..).unwrap()/.expect(..) — panics on NaN; use total_cmp"
+    }
+
+    fn applies_to(&self, ctx: &FileContext) -> bool {
+        matches!(ctx.kind, FileKind::Lib | FileKind::Bin) && ctx.crate_name != "fbd-lint"
+    }
+
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {
+        for_each_code_line(clean, ctx, |idx, line| {
+            let Some(pos) = line.find(".partial_cmp(") else {
+                return;
+            };
+            // The unwrap may sit on the same line or be wrapped by rustfmt
+            // onto the next couple of lines; scan to the end of the
+            // statement (first `;`) within a small window.
+            let mut window = line[pos..].to_string();
+            for follow in clean.lines.iter().skip(idx + 1).take(2) {
+                if window.contains(';') {
+                    break;
+                }
+                window.push_str(follow);
+            }
+            let stmt = window.split(';').next().unwrap_or("");
+            if stmt.contains(".unwrap()") || stmt.contains(".expect(") {
+                sink.push(
+                    idx,
+                    self.name(),
+                    "unwrapping `partial_cmp` panics on NaN; use `f64::total_cmp` \
+                     (same order on non-NaN data, total and panic-free)"
+                        .to_string(),
+                );
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::diagnostics::Diagnostic;
+    use crate::lexer::clean_source;
+
+    fn run_rule(rule: &dyn Rule, src: &str, rel_path: &str) -> Vec<Diagnostic> {
+        let clean = clean_source(src);
+        let ctx = FileContext::classify(rel_path, &clean);
+        let mut sink = Sink::new(rel_path);
+        if rule.applies_to(&ctx) {
+            rule.check(&clean, &ctx, &mut sink);
+        }
+        sink.diags
+    }
+
+    #[test]
+    fn flags_float_literal_comparison() {
+        let d = run_rule(&FloatEq, "fn f() { if s == 0.0 { } }\n", "crates/stats/src/a.rs");
+        assert_eq!(d.len(), 1);
+        let d = run_rule(&FloatEq, "fn f() { if x != 1.5e3 { } }\n", "crates/stats/src/a.rs");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ignores_integer_comparisons_and_compound_ops() {
+        let src = "fn f() { if n % 2 == 1 && a <= 2.0 && b >= 0.5 { } let c = m.len() == 0; }\n";
+        assert!(run_rule(&FloatEq, src, "crates/stats/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn ignores_match_arms_and_version_strings() {
+        let src = "fn f() { match x { A => 1.0, _ => 2.0 }; let v = s == \"1.0\"; }\n";
+        assert!(run_rule(&FloatEq, src, "crates/stats/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn float_comparison_behind_call_boundary_not_flagged() {
+        // `foo(1.0, x == y)`: the literal belongs to another argument.
+        let src = "fn f() { foo(1.0, x == y); }\n";
+        assert!(run_rule(&FloatEq, src, "crates/stats/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn flags_partial_cmp_unwrap_same_line_and_wrapped() {
+        let src = "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert_eq!(run_rule(&PartialCmpUnwrap, src, "crates/stats/src/a.rs").len(), 1);
+        let src = "fn f() {\n    v.sort_by(|a, b| {\n        b.partial_cmp(a)\n            .expect(\"finite\")\n    });\n}\n";
+        assert_eq!(run_rule(&PartialCmpUnwrap, src, "crates/stats/src/a.rs").len(), 1);
+    }
+
+    #[test]
+    fn total_cmp_and_handled_partial_cmp_pass() {
+        let src = "fn f() { v.sort_by(|a, b| a.total_cmp(b)); let o = x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal); }\n";
+        assert!(run_rule(&PartialCmpUnwrap, src, "crates/stats/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn applies_to_bins_for_partial_cmp_but_not_float_eq() {
+        let src = "fn main() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert_eq!(
+            run_rule(&PartialCmpUnwrap, src, "crates/bench/src/bin/x.rs").len(),
+            1
+        );
+        let src = "fn main() { let b = x == 0.0; }\n";
+        assert!(run_rule(&FloatEq, src, "crates/bench/src/bin/x.rs").is_empty());
+    }
+}

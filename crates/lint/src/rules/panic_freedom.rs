@@ -1,0 +1,122 @@
+//! `no-panic`: supervised library code must not contain reachable panic
+//! sites.
+//!
+//! The scan supervisor (PR 1) isolates per-series panics with
+//! `catch_unwind`, but a panic still aborts the series scan, poisons the
+//! diagnosis, and lands the series in quarantine — so the crates that run
+//! inside the supervisor (`fbdetect-core`, `fbd-stats`, `fbd-tsdb`,
+//! `fbd-cluster`, `fbd-egads`) return `Result` instead of panicking.
+//! `debug_assert!` is permitted: it compiles out of release builds, which is
+//! what production runs.
+
+use super::{for_each_code_line, token_starts, Rule, Sink, SUPERVISED_CRATES};
+use crate::context::{FileContext, FileKind};
+use crate::lexer::CleanFile;
+
+pub struct NoPanic;
+
+/// Method-call panic sites: matched as plain substrings (`.expect_err(`
+/// does not contain `.expect(`, and `.unwrap_or*` does not contain
+/// `.unwrap()`, so no boundary logic is needed).
+const METHODS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()` can panic"),
+    (".expect(", "`.expect(..)` can panic"),
+];
+
+/// Macro panic sites: matched with an identifier boundary so `assert!`
+/// does not fire inside `debug_assert!`.
+const MACROS: &[(&str, &str)] = &[
+    ("panic!", "`panic!` in supervised code"),
+    ("unreachable!", "`unreachable!` can be reached by bad data"),
+    ("todo!", "`todo!` panics unconditionally"),
+    ("unimplemented!", "`unimplemented!` panics unconditionally"),
+    ("assert!", "`assert!` panics in release builds"),
+    ("assert_eq!", "`assert_eq!` panics in release builds"),
+    ("assert_ne!", "`assert_ne!` panics in release builds"),
+];
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable!/assert! in supervised library code \
+         (runs under the scan supervisor's catch_unwind)"
+    }
+
+    fn applies_to(&self, ctx: &FileContext) -> bool {
+        ctx.kind == FileKind::Lib && SUPERVISED_CRATES.contains(&ctx.crate_name.as_str())
+    }
+
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {
+        for_each_code_line(clean, ctx, |idx, line| {
+            for (needle, why) in METHODS {
+                if line.contains(needle) {
+                    sink.push(
+                        idx,
+                        self.name(),
+                        format!("{why}; return a Result or handle the None/Err case"),
+                    );
+                }
+            }
+            for (needle, why) in MACROS {
+                if !token_starts(line, needle).is_empty() {
+                    sink.push(
+                        idx,
+                        self.name(),
+                        format!("{why}; return an error or use debug_assert!"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::lexer::clean_source;
+
+    fn run_on(src: &str, rel_path: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        let clean = clean_source(src);
+        let ctx = FileContext::classify(rel_path, &clean);
+        let mut sink = Sink::new(rel_path);
+        if NoPanic.applies_to(&ctx) {
+            NoPanic.check(&clean, &ctx, &mut sink);
+        }
+        sink.diags
+    }
+
+    #[test]
+    fn flags_unwrap_in_supervised_lib() {
+        let diags = run_on("fn f() { x.unwrap(); }\n", "crates/stats/src/a.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_unwrap_or_and_expect_err() {
+        let diags = run_on(
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); r.expect_err_check(); }\n",
+            "crates/stats/src/a.rs",
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn ignores_test_module_and_unsupervised_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run_on(src, "crates/stats/src/a.rs").is_empty());
+        assert!(run_on("fn f() { x.unwrap(); }\n", "crates/fleet/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn debug_assert_allowed_plain_assert_not() {
+        let src = "fn f() { debug_assert!(a); assert!(b); }\n";
+        let diags = run_on(src, "crates/core/src/a.rs");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("assert!"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Fixture-based pin tests for `fbd-lint`.
+//!
+//! Each `tests/fixtures/*.rs` file is a known-bad (or deliberately-clean)
+//! snippet, never compiled, with a first-line directive
+//! `//@ path: <workspace-relative path>` naming the virtual location the
+//! snippet is checked as. The companion `*.expected` file lists the pinned
+//! diagnostics as `line rule` pairs (`#` comments and blank lines ignored).
+//!
+//! The engine itself never scans this tree: `fixtures` is in the walker's
+//! skip list, and `tests/` files are `FileKind::Test` where no rule applies.
+
+// Panicking on broken fixtures is the point of a test harness; the
+// in-tests exemption does not reach helper fns in integration tests.
+#![allow(clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fbd_lint::{all_rules, check_file, to_json};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Fixture files, sorted for stable failure order.
+fn fixture_files() -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("tests/fixtures must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Reads the `//@ path:` directive off a fixture's first line.
+fn virtual_path(src: &str, fixture: &Path) -> String {
+    src.lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@ path:"))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| {
+            panic!(
+                "{} must start with `//@ path: <workspace-relative path>`",
+                fixture.display()
+            )
+        })
+}
+
+fn actual_findings(fixture: &Path) -> Vec<(usize, String)> {
+    let src = fs::read_to_string(fixture).expect("readable fixture");
+    let rel = virtual_path(&src, fixture);
+    let mut found: Vec<(usize, String)> = check_file(&rel, &src, &all_rules(), None)
+        .into_iter()
+        .map(|d| (d.line, d.rule.to_string()))
+        .collect();
+    found.sort();
+    found
+}
+
+fn expected_findings(expected: &Path) -> Vec<(usize, String)> {
+    let text = fs::read_to_string(expected)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", expected.display()));
+    let mut out = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (num, rule) = line.split_once(' ').unwrap_or_else(|| {
+            panic!("{}:{}: expected `line rule`", expected.display(), n + 1)
+        });
+        let num: usize = num
+            .parse()
+            .unwrap_or_else(|_| panic!("{}:{}: bad line number", expected.display(), n + 1));
+        out.push((num, rule.trim().to_string()));
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_fixture_matches_its_expected_diagnostics() {
+    let fixtures = fixture_files();
+    assert!(!fixtures.is_empty(), "no fixtures found — wrong directory?");
+    for fixture in &fixtures {
+        let expected_path = fixture.with_extension("expected");
+        assert!(
+            expected_path.exists(),
+            "{} has no companion .expected file",
+            fixture.display()
+        );
+        let actual = actual_findings(fixture);
+        let expected = expected_findings(&expected_path);
+        assert_eq!(
+            actual,
+            expected,
+            "\ndiagnostics for {} diverged from {}\n  actual:   {actual:?}\n  expected: {expected:?}\n",
+            fixture.display(),
+            expected_path.display()
+        );
+    }
+}
+
+#[test]
+fn json_output_is_well_formed_for_fixture_diagnostics() {
+    let fixture = fixtures_dir().join("panic_freedom.rs");
+    let src = fs::read_to_string(&fixture).expect("readable fixture");
+    let rel = virtual_path(&src, &fixture);
+    let diags = check_file(&rel, &src, &all_rules(), None);
+    assert!(!diags.is_empty());
+    let json = to_json(&diags);
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    for key in ["\"file\"", "\"line\"", "\"rule\"", "\"message\""] {
+        assert!(json.contains(key), "missing {key} in JSON output:\n{json}");
+    }
+    assert!(json.contains("\"no-panic\""));
+}
+
+/// The real workspace must stay lint-clean: this is the same gate CI runs
+/// via `cargo run -p fbd-lint`, enforced here so plain `cargo test` also
+/// catches new violations (and stale suppressions).
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let diags = fbd_lint::run_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has fbd-lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

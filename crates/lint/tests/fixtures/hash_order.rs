@@ -1,0 +1,19 @@
+//@ path: crates/tsdb/src/hash_fixture.rs
+//! Known-bad input for `hash-order`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn count(names: &[String]) -> Vec<(String, usize)> {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for n in names {
+        *seen.entry(n.clone()).or_insert(0) += 1;
+    }
+    seen.into_iter().collect()
+}
+
+pub fn good(names: &[String]) -> std::collections::BTreeSet<String> {
+    names.iter().cloned().collect()
+}
+
+pub struct HashMapExt;

@@ -1,0 +1,24 @@
+//@ path: crates/core/src/nan_fixture.rs
+//! Known-bad input for `float-eq` and `partial-cmp-unwrap`.
+
+pub fn bad_eq(delta: f64) -> bool {
+    let zero = delta == 0.0;
+    let one = delta != 1.5;
+    zero || one
+}
+
+pub fn bad_sort(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn bad_wrapped_sort(values: &mut [f64]) {
+    values.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("finite")
+    });
+}
+
+pub fn good(values: &mut [f64], x: f64) -> bool {
+    values.sort_by(f64::total_cmp);
+    (x - 1.0).abs() < 1e-9
+}

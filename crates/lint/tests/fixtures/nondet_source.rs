@@ -1,0 +1,18 @@
+//@ path: crates/fleet/src/nondet_fixture.rs
+//! Known-bad input for `nondet-source`.
+
+pub fn bad_timing() -> u64 {
+    let started = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    drop(wall);
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn bad_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn good(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,34 @@
+//@ path: crates/stats/src/panic_fixture.rs
+//! Known-bad input for the `no-panic` rule: every reachable panic site in
+//! supervised library code, plus the allowed forms.
+
+pub fn bad(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("always ok");
+    if a == 0 {
+        panic!("zero");
+    }
+    assert!(b > 0);
+    match b {
+        1 => unreachable!(),
+        2 => todo!(),
+        3 => unimplemented!(),
+        _ => {}
+    }
+    a + b
+}
+
+pub fn good(x: Option<u32>) -> u32 {
+    let a = x.unwrap_or(0);
+    debug_assert!(a < 1_000);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//@ path: crates/stats/src/suppression_fixture.rs
+//! Suppression hygiene: a justified allow mutes; a reasonless or unknown
+//! allow does not mute and is itself flagged; a stale allow is flagged.
+
+pub fn justified(x: Option<u32>) -> u32 {
+    x.unwrap() // fbd-lint::allow(no-panic): caller guarantees Some by construction
+}
+
+pub fn standalone(x: Option<u32>) -> u32 {
+    // fbd-lint::allow(no-panic): slot reserved by the caller
+    x.unwrap()
+}
+
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap() // fbd-lint::allow(no-panic)
+}
+
+pub fn unknown_rule() {
+    // fbd-lint::allow(made-up-rule): this rule does not exist
+}
+
+pub fn stale() -> u32 {
+    // fbd-lint::allow(no-panic): nothing panics here anymore
+    1 + 1
+}

@@ -17,6 +17,8 @@
 //!   approximation baseline ([`pyperf`]);
 //! - the CPU-intensive micro-benchmark used to measure profiling overhead
 //!   (§6.6) ([`overhead`]).
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod callgraph;

@@ -133,9 +133,13 @@ pub fn reconstruct(captured: &CapturedStacks) -> Result<Vec<MergedFrame>> {
             }
             NativeFrame::PyEvalFrameDefault => {
                 seen_eval = true;
-                let vcs_frame = vcs_iter
-                    .next()
-                    .expect("counts verified above; VCS cannot run out");
+                let Some(vcs_frame) = vcs_iter.next() else {
+                    // Unreachable given the count check above, but degrade
+                    // to an error rather than panic in a supervised path.
+                    return Err(ProfilerError::MalformedStack(
+                        "VCS exhausted before eval frames",
+                    ));
+                };
                 merged.push(MergedFrame::Python(vcs_frame.function.clone()));
             }
             NativeFrame::CLibrary(name) => merged.push(MergedFrame::Native(name.clone())),

@@ -19,7 +19,7 @@ pub fn autocorrelation(data: &[f64], lag: usize) -> Result<f64> {
     let n = data.len();
     let mean = data.iter().sum::<f64>() / n as f64;
     let denom: f64 = data.iter().map(|v| (v - mean) * (v - mean)).sum();
-    if denom == 0.0 {
+    if !(denom > 0.0) {
         return Err(StatsError::Degenerate("zero variance in autocorrelation"));
     }
     let num: f64 = (0..n - lag)

@@ -53,7 +53,7 @@ pub fn median(data: &[f64]) -> Result<f64> {
     ensure_len(data, 1)?;
     ensure_finite(data)?;
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         Ok(sorted[n / 2])
@@ -74,7 +74,7 @@ pub fn percentile(data: &[f64], p: f64) -> Result<f64> {
         ));
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n == 1 {
         return Ok(sorted[0]);
@@ -122,7 +122,7 @@ pub fn max(data: &[f64]) -> Result<f64> {
 pub fn z_normalize(data: &mut [f64]) -> Result<(f64, f64)> {
     let m = mean(data)?;
     let s = std_dev(data)?;
-    if s == 0.0 {
+    if !(s > 0.0) {
         return Err(StatsError::Degenerate("zero variance in z-normalization"));
     }
     for v in data.iter_mut() {

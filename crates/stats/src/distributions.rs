@@ -30,11 +30,12 @@ pub fn normal_two_sided_p(z: f64) -> f64 {
 /// Uses the Acklam rational approximation refined with one Halley step,
 /// accurate to about 1e-9 for `p` in `(0, 1)`.
 ///
-/// # Panics
-///
-/// Panics if `p` is not strictly between 0 and 1.
+/// Returns `f64::NAN` when `p` is not strictly between 0 and 1 (the IEEE
+/// convention for an inverse CDF evaluated outside its domain).
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1");
+    if !(p > 0.0 && p < 1.0) {
+        return f64::NAN;
+    }
     // Acklam's coefficients.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,

@@ -206,7 +206,7 @@ pub fn spectral_features(data: &[f64], top_k: usize) -> Result<SpectralFeatures>
     let low_energy: f64 = mags[..quarter].iter().map(|m| m * m).sum();
     let mut indexed: Vec<(usize, f64)> =
         mags.iter().enumerate().map(|(i, &m)| (i + 1, m)).collect();
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite magnitudes"));
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
     let top = indexed.into_iter().take(top_k);
     let (dominant_bins, dominant_magnitudes) = top.fold(
         (Vec::new(), Vec::new()),

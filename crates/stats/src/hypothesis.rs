@@ -44,7 +44,7 @@ pub fn likelihood_ratio_test(
     change_point: usize,
     significance: f64,
 ) -> Result<TestResult> {
-    if !(0.0..1.0).contains(&significance) || significance == 0.0 {
+    if !(significance > 0.0 && significance < 1.0) {
         return Err(StatsError::InvalidParameter(
             "significance must be in (0, 1)",
         ));
@@ -78,7 +78,7 @@ pub fn likelihood_ratio_test(
 pub fn two_sample_t_test(a: &[f64], b: &[f64], significance: f64) -> Result<TestResult> {
     ensure_len(a, 2)?;
     ensure_len(b, 2)?;
-    if !(0.0..1.0).contains(&significance) || significance == 0.0 {
+    if !(significance > 0.0 && significance < 1.0) {
         return Err(StatsError::InvalidParameter(
             "significance must be in (0, 1)",
         ));

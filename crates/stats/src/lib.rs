@@ -21,6 +21,8 @@
 //!
 //! All routines operate on `&[f64]` slices and return `Result` values; none
 //! panic on empty or degenerate input unless documented under `# Panics`.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod acf;

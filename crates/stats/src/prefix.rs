@@ -93,10 +93,10 @@ impl PrefixStats {
     /// Residual sum of squares of segment `[lo, hi)` around its own mean
     /// (the Gaussian segment cost), in O(1). Clamped to be non-negative.
     pub fn segment_cost(&self, lo: usize, hi: usize) -> f64 {
-        let n = (hi - lo) as f64;
-        if n == 0.0 {
+        if hi == lo {
             return 0.0;
         }
+        let n = (hi - lo) as f64;
         let s = self.csum[hi] - self.csum[lo];
         let ss = self.csum_sq[hi] - self.csum_sq[lo];
         (ss - s * s / n).max(0.0)

@@ -98,7 +98,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64> {
         va += (x - ma) * (x - ma);
         vb += (y - mb) * (y - mb);
     }
-    if va == 0.0 || vb == 0.0 {
+    if !(va > 0.0 && vb > 0.0) {
         return Err(StatsError::Degenerate("zero variance in correlation"));
     }
     Ok(cov / (va * vb).sqrt())

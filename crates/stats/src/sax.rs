@@ -72,11 +72,9 @@ impl SaxString {
 
     /// The largest symbol that appears at all in the encoded series.
     pub fn largest_symbol(&self) -> u8 {
-        *self
-            .symbols
-            .iter()
-            .max()
-            .expect("non-empty by construction")
+        // Encodings are non-empty by construction; 0 is the harmless
+        // identity for the impossible empty case.
+        self.symbols.iter().copied().max().unwrap_or(0)
     }
 
     /// Fraction of the series' points whose bucket is *invalid*.

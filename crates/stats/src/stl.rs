@@ -88,7 +88,7 @@ pub fn decompose(data: &[f64], config: StlConfig) -> Result<StlDecomposition> {
     }
     ensure_len(data, config.period * 2)?;
     ensure_finite(data)?;
-    if !(0.0..=1.0).contains(&config.trend_fraction) || config.trend_fraction == 0.0 {
+    if !(config.trend_fraction > 0.0 && config.trend_fraction <= 1.0) {
         return Err(StatsError::InvalidParameter(
             "trend_fraction must be in (0, 1]",
         ));
@@ -192,7 +192,10 @@ pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<V
         let lo = hi.saturating_sub(window);
         let center = i - lo;
         let max_dist = (center.max(hi - 1 - i)).max(1) as f64;
-        let tri: &[f64] = if center == interior_center && max_dist == interior_max_dist {
+        // Bit equality is the intent: the cached interior kernel is reused
+        // only when it would be recomputed to the exact same weights.
+        let reuse = center == interior_center && max_dist.to_bits() == interior_max_dist.to_bits();
+        let tri: &[f64] = if reuse {
             &interior_tri
         } else {
             for (k, t) in edge_tri[..hi - lo].iter_mut().enumerate() {
@@ -216,7 +219,7 @@ pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<V
             swxy += w * x * data[j];
         }
         let denom = sw * swxx - swx * swx;
-        let value = if denom.abs() < 1e-12 || sw == 0.0 {
+        let value = if denom.abs() < 1e-12 || !(sw > 0.0) {
             if sw > 0.0 {
                 swy / sw
             } else {

@@ -67,7 +67,7 @@ pub fn cosine_similarity(a: &SparseVector, b: &SparseVector) -> f64 {
         .sum();
     let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
-    if na == 0.0 || nb == 0.0 {
+    if !(na > 0.0 && nb > 0.0) {
         0.0
     } else {
         (dot / (na * nb)).clamp(-1.0, 1.0)
@@ -144,11 +144,7 @@ impl TfIdf {
     pub fn integer_signature(&self, document: &str) -> u64 {
         let v = self.transform(document);
         let mut terms: Vec<(&String, &f64)> = v.iter().collect();
-        terms.sort_by(|a, b| {
-            b.1.partial_cmp(a.1)
-                .expect("finite weights")
-                .then_with(|| a.0.cmp(b.0))
-        });
+        terms.sort_by(|a, b| b.1.total_cmp(a.1).then_with(|| a.0.cmp(b.0)));
         // FNV-1a over the top terms gives a stable, locality-free signature.
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for (term, _) in terms.into_iter().take(8) {

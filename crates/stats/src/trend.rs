@@ -50,7 +50,7 @@ pub fn mann_kendall(data: &[f64], significance: f64) -> Result<MannKendallResult
     let mut s: i64 = 0;
     for i in 0..n - 1 {
         for j in i + 1..n {
-            s += match data[j].partial_cmp(&data[i]).expect("finite") {
+            s += match data[j].total_cmp(&data[i]) {
                 std::cmp::Ordering::Greater => 1,
                 std::cmp::Ordering::Less => -1,
                 std::cmp::Ordering::Equal => 0,
@@ -59,11 +59,14 @@ pub fn mann_kendall(data: &[f64], significance: f64) -> Result<MannKendallResult
     }
     // Variance with tie correction: Var(S) = [n(n-1)(2n+5) - Σ t(t-1)(2t+5)] / 18.
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     let mut tie_term = 0.0;
     let mut run = 1usize;
     for i in 1..=n {
-        if i < n && sorted[i] == sorted[i - 1] {
+        // Bit equality matches the `total_cmp` ordering used for both the
+        // sort above and the S statistic, so tie runs are exactly the
+        // `Ordering::Equal` groups (inputs are finite per `ensure_finite`).
+        if i < n && sorted[i].to_bits() == sorted[i - 1].to_bits() {
             run += 1;
         } else {
             if run > 1 {
@@ -125,14 +128,14 @@ pub fn theil_sen(data: &[f64]) -> Result<TheilSenFit> {
             slopes.push((data[j] - data[i]) / (j - i) as f64);
         }
     }
-    slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    slopes.sort_by(f64::total_cmp);
     let slope = median_of_sorted(&slopes);
     let mut intercepts: Vec<f64> = data
         .iter()
         .enumerate()
         .map(|(i, &y)| y - slope * i as f64)
         .collect();
-    intercepts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    intercepts.sort_by(f64::total_cmp);
     let intercept = median_of_sorted(&intercepts);
     Ok(TheilSenFit { slope, intercept })
 }

@@ -66,8 +66,9 @@ pub fn aligned_mean(series: &[TimeSeries], bucket: u64) -> Result<TimeSeries> {
     let mut out = TimeSeries::new();
     for (t, (sum, count)) in sums {
         if count == full {
-            out.append(t, sum / count as f64)
-                .expect("BTreeMap iterates in order");
+            // BTreeMap iterates in timestamp order, so append cannot see an
+            // out-of-order point; propagate rather than panic regardless.
+            out.append(t, sum / count as f64)?;
         }
     }
     if out.is_empty() {

@@ -6,6 +6,8 @@
 //! and the store supports the window queries the detection pipeline needs —
 //! the *historic*, *analysis*, and *extended* windows of Figure 4 — plus
 //! retention, downsampling, and fleet-wide aggregation.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod aggregate;

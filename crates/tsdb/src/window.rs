@@ -126,9 +126,8 @@ impl WindowedData {
     /// Builds windowed data from an already-concatenated buffer and region
     /// lengths. This is the zero-copy constructor extraction uses.
     ///
-    /// # Panics
-    ///
-    /// Panics if `historic_len + analysis_len` exceeds `values.len()`.
+    /// Region lengths exceeding `values.len()` are clamped to the buffer
+    /// (debug builds assert instead) so the region slices stay in bounds.
     pub fn from_parts(
         values: Vec<f64>,
         historic_len: usize,
@@ -137,10 +136,14 @@ impl WindowedData {
         analysis_end: Timestamp,
         coverage: WindowCoverage,
     ) -> Self {
-        assert!(
+        debug_assert!(
             historic_len + analysis_len <= values.len(),
             "window regions exceed the value buffer"
         );
+        // Clamp defensively in release builds so a malformed split can
+        // never push the region slices out of bounds.
+        let historic_len = historic_len.min(values.len());
+        let analysis_len = analysis_len.min(values.len() - historic_len);
         WindowedData {
             values,
             historic_len,

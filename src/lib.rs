@@ -52,6 +52,8 @@
 //! assert_eq!(outcome.reports.len(), 1);
 //! assert!((outcome.reports[0].magnitude() - 0.010).abs() < 0.004);
 //! ```
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub use fbd_changelog as changelog;
