@@ -151,9 +151,100 @@ fn bench_hot_path_sizes(c: &mut Criterion) {
     }
 }
 
+/// Fast/naive pairs for the long_term and went_away stage kernels at the
+/// sizes the capacity argument leans on. Each fast kernel is benchmarked
+/// next to its reference twin so the complexity claims in DESIGN.md
+/// (Wiener–Khinchin ACF, inversion-counting Mann-Kendall, selection
+/// Theil-Sen, sliding-regression Loess) stay observable, not folklore.
+fn bench_stage_kernels(c: &mut Criterion) {
+    for &n in &[256usize, 900, 4096] {
+        let values = step_series(n);
+        let ones = vec![1.0; n];
+
+        // long_term trend extraction: Loess at the detector's 0.3 fraction.
+        c.bench_function(&format!("kernel/loess_fft/{n}"), |b| {
+            b.iter(|| fbd_stats::stl::loess_smooth_fft(&values, 0.3, &ones).unwrap())
+        });
+        c.bench_function(&format!("kernel/loess_naive/{n}"), |b| {
+            b.iter(|| fbd_stats::stl::loess_smooth_naive(&values, 0.3, &ones).unwrap())
+        });
+
+        // went_away trend tests: Mann-Kendall on the post-change window.
+        c.bench_function(&format!("kernel/mann_kendall_fast/{n}"), |b| {
+            b.iter(|| fbd_stats::trend::mann_kendall(&values, 0.05).unwrap())
+        });
+        c.bench_function(&format!("kernel/mann_kendall_naive/{n}"), |b| {
+            b.iter(|| fbd_stats::trend::mann_kendall_naive(&values, 0.05).unwrap())
+        });
+
+        // went_away slope test: Theil-Sen. Both variants generate all O(n²)
+        // pairwise slopes; the naive twin then sorts them, which at n=4096
+        // is ~8M elements per iteration — too slow for a smoke bench, so
+        // the reference is pinned at the two smaller sizes only.
+        c.bench_function(&format!("kernel/theil_sen_select/{n}"), |b| {
+            b.iter(|| fbd_stats::trend::theil_sen(&values).unwrap())
+        });
+        if n <= 900 {
+            c.bench_function(&format!("kernel/theil_sen_sort/{n}"), |b| {
+                b.iter(|| fbd_stats::trend::theil_sen_naive(&values).unwrap())
+            });
+        }
+
+        // All-lags ACF, as used by seasonality search over wide lag ranges.
+        let max_lag = n - 2;
+        c.bench_function(&format!("kernel/acf_fft_all_lags/{n}"), |b| {
+            b.iter(|| fbd_stats::acf::acf_fft(&values, max_lag).unwrap())
+        });
+        c.bench_function(&format!("kernel/acf_naive_all_lags/{n}"), |b| {
+            b.iter(|| fbd_stats::acf::acf_naive(&values, max_lag).unwrap())
+        });
+
+        // went_away full stage at each size.
+        let config = DetectorConfig::new(
+            "bench",
+            fbd_tsdb::WindowConfig {
+                historic: n as u64 * 2 / 3 * 60,
+                analysis: n as u64 * 2 / 9 * 60,
+                extended: (n as u64 - n as u64 * 2 / 3 - n as u64 * 2 / 9) * 60,
+                rerun_interval: n as u64 * 2 / 9 * 60,
+            },
+            Threshold::Absolute(0.1),
+        );
+        let went_away = WentAwayDetector::from_config(&config);
+        let regression = regression_of(&values);
+        c.bench_function(&format!("kernel/went_away_evaluate/{n}"), |b| {
+            b.iter(|| went_away.evaluate(&regression).unwrap())
+        });
+    }
+
+    // The long_term stage with and without the O(n) flat-series prefilter,
+    // on the flat series the prefilter is built to skip.
+    let n = 900usize;
+    let flat = SeriesSpec::flat(n, 1.0, 0.05).generate(7).unwrap();
+    let config = DetectorConfig::new(
+        "bench",
+        fbd_tsdb::WindowConfig {
+            historic: 600 * 60,
+            analysis: 200 * 60,
+            extended: 100 * 60,
+            rerun_interval: 100 * 60,
+        },
+        Threshold::Absolute(0.1),
+    );
+    let detector = fbdetect_core::long_term::LongTermDetector::from_config(&config);
+    let sid = SeriesId::new("svc", MetricKind::GCpu, "x");
+    let windows = windows_of(&flat);
+    c.bench_function("kernel/long_term_prefiltered/900_flat", |b| {
+        b.iter(|| detector.detect(&sid, &windows, 54_000).unwrap())
+    });
+    c.bench_function("kernel/long_term_full_stl/900_flat", |b| {
+        b.iter(|| detector.detect_without_prefilter(&sid, &windows, 54_000).unwrap())
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_stages, bench_hot_path_sizes
+    targets = bench_stages, bench_hot_path_sizes, bench_stage_kernels
 }
 criterion_main!(benches);

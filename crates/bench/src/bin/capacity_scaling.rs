@@ -142,11 +142,22 @@ fn main() {
     }
     println!("scanning {} series of {LEN} samples each...\n", suite.len());
     let now = suite_scan_time(LEN);
+    // Hardware context for the thread-scaling table: with a single
+    // available core the 1→8 thread rows are expected to be flat (the
+    // worker pool just adds scheduling overhead). Window extraction takes
+    // the store's shard lock in *read* mode, so it is not a serialization
+    // point — see EXPERIMENTS.md "Thread scaling".
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("available cores: {cores}\n");
     let mut rows = Vec::new();
     let mut single_thread_rate = 0.0;
     let mut thread_rates = Vec::new();
     let mut change_points = 0;
     let mut reports = 0;
+    let mut warm_rate = 0.0;
+    let mut cache_hit_rate = 0.0;
     for threads in [1usize, 2, 4, 8] {
         let mut pipeline = Pipeline::new(suite_config(LEN, Threshold::Absolute(0.01))).unwrap();
         pipeline.threads = threads;
@@ -160,6 +171,16 @@ fn main() {
             single_thread_rate = rate;
             change_points = out.funnel.change_points;
             reports = out.reports.len();
+            // Warm re-scan on the same pipeline: the ScanCache now holds
+            // every series' seasonality/STL/SAX artifacts, which is what a
+            // production scheduler round sees when windows have not moved.
+            pipeline.reset_cache_stats();
+            let start = Instant::now();
+            let _ = pipeline
+                .scan(&store, &ids, now, &ScanContext::default())
+                .unwrap();
+            warm_rate = suite.len() as f64 / start.elapsed().as_secs_f64();
+            cache_hit_rate = pipeline.cache_stats().hit_rate();
         }
         thread_rates.push((threads, rate));
         rows.push(vec![
@@ -182,6 +203,11 @@ fn main() {
             ],
             &rows
         )
+    );
+    println!(
+        "warm re-scan (threads=1, unchanged windows): {warm_rate:.0} series/s, \
+         cache hit rate {:.1}%\n",
+        cache_hit_rate * 100.0
     );
 
     // Per-stage cost attribution for the hot path.
@@ -220,7 +246,10 @@ fn main() {
         None => String::new(),
     };
     let json = format!(
-        "{{\n  \"series\": {},\n  \"len\": {LEN},\n  \"series_per_sec\": {:.1},\n  \
+        "{{\n  \"series\": {},\n  \"len\": {LEN},\n  \"cores\": {cores},\n  \
+         \"series_per_sec\": {:.1},\n  \
+         \"warm_series_per_sec\": {warm_rate:.1},\n  \
+         \"cache_hit_rate\": {cache_hit_rate:.3},\n  \
          \"change_points\": {change_points},\n  \"reports\": {reports},\n  \
          \"series_per_sec_by_threads\": {{\n{}\n  }},\n  \
          \"stage_ns_per_series\": {{\n{}\n  }}{baseline_json}\n}}\n",
@@ -250,4 +279,17 @@ fn main() {
         single_thread_rate > 50.0,
         "scan throughput suspiciously low: {single_thread_rate:.0} series/s"
     );
+    // CI regression guard: MIN_RATE (series/sec, typically derived from the
+    // committed BENCH_pipeline.json with some tolerance) fails the run if
+    // cold-scan throughput drops below the recorded baseline.
+    if let Some(min_rate) = std::env::var("MIN_RATE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        assert!(
+            single_thread_rate >= min_rate,
+            "scan throughput regressed: {single_thread_rate:.0} series/s < MIN_RATE {min_rate:.0}"
+        );
+        println!("MIN_RATE guard passed: {single_thread_rate:.0} >= {min_rate:.0} series/s");
+    }
 }

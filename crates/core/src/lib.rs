@@ -37,6 +37,7 @@ pub mod pipeline;
 pub mod quarantine;
 pub mod report;
 pub mod root_cause;
+pub mod scan_cache;
 pub mod scheduler;
 pub mod seasonality;
 pub mod types;

@@ -15,6 +15,7 @@
 //!    variance-minimizing partition point.
 
 use crate::config::{DetectorConfig, Threshold};
+use crate::scan_cache::ScanCache;
 use crate::types::{Regression, RegressionKind};
 use crate::Result;
 use fbd_stats::acf;
@@ -45,25 +46,155 @@ impl LongTermDetector {
     }
 
     /// Scans one series' windows for a gradual regression.
+    ///
+    /// Runs the O(n) prefix-stats pre-filter first and skips the STL/Loess
+    /// machinery entirely for provably-flat series; otherwise delegates to
+    /// [`Self::detect_without_prefilter`].
     pub fn detect(
         &self,
         series: &SeriesId,
         windows: &WindowedData,
+        now: Timestamp,
+    ) -> Result<Option<Regression>> {
+        self.detect_cached(series, windows, now, None)
+    }
+
+    /// [`Self::detect`] with a cross-scan [`ScanCache`]: the seasonality
+    /// search and the STL/Loess trend are reused when this series' window
+    /// is unchanged since a previous round.
+    pub fn detect_cached(
+        &self,
+        series: &SeriesId,
+        windows: &WindowedData,
+        now: Timestamp,
+        cache: Option<&ScanCache>,
+    ) -> Result<Option<Regression>> {
+        let data = windows.all();
+        if data.len() >= 16
+            && self.prefilter_says_flat(
+                data,
+                windows.historic_len(),
+                windows.analysis_len(),
+                windows.extended_len(),
+            )
+        {
+            return Ok(None);
+        }
+        self.detect_inner(series, windows, now, cache)
+    }
+
+    /// Cheap O(n) trend pre-filter.
+    ///
+    /// The detector compares region means of the *smoothed* trend. Every
+    /// trend value is a kernel-weighted local average of the raw data within
+    /// one Loess half-window, so a region mean of the trend behaves like a
+    /// mixture of short sliding means of the raw data near that region. The
+    /// pre-filter therefore bounds the detector's best case from sliding
+    /// means of width `edge` (the detector's own region width) over each
+    /// region dilated by the widest Loess half-window: `baseline` is at
+    /// least the larger of the two start regions' minimum sliding means, and
+    /// `current` is at most the end regions' maximum sliding means. When
+    /// even that optimistic pair cannot meet the threshold the full detector
+    /// cannot report, and STL is skipped.
+    ///
+    /// Returns `false` (do not skip) whenever the bound is not provably
+    /// conservative: short analysis windows, non-finite data (which must
+    /// still surface errors from the full path), or a relative threshold
+    /// with a non-positive baseline bound (where `Threshold::is_met` is not
+    /// monotone in the baseline). Verified two ways: a property test checks
+    /// that skipped series are exactly series the full detector rejects, and
+    /// the fleet-seed acceptance run checks scan decisions are unchanged.
+    fn prefilter_says_flat(
+        &self,
+        data: &[f64],
+        h_len: usize,
+        a_len: usize,
+        extended_len: usize,
+    ) -> bool {
+        if a_len < 4 {
+            return false;
+        }
+        // `validated` rejects non-finite data, so error paths still reach
+        // the full detector.
+        let Ok(prefix) = fbd_stats::prefix::validated(data, 16) else {
+            return false;
+        };
+        let n = data.len();
+        let edge = (a_len / 4).max(2).min(a_len);
+        if edge > n {
+            return false;
+        }
+        // Widest Loess half-window either trend path can use (the
+        // no-seasonality fallback smooths with fraction 0.3; STL uses 0.25).
+        let dilation = ((0.3 * n as f64).ceil() as usize) / 2 + 1;
+        let analysis_end = (h_len + a_len).min(n);
+        let start_hist = sliding_mean_bounds(&prefix, 0, edge.min(h_len).max(1), dilation, edge);
+        let start_anal = sliding_mean_bounds(&prefix, h_len, (h_len + edge).min(n), dilation, edge);
+        let baseline_lb = start_hist.0.max(start_anal.0);
+        let end_anal = sliding_mean_bounds(
+            &prefix,
+            analysis_end.saturating_sub(edge),
+            analysis_end,
+            dilation,
+            edge,
+        );
+        let current_ub = if extended_len == 0 {
+            end_anal.1
+        } else {
+            let end_series = sliding_mean_bounds(&prefix, n.saturating_sub(edge), n, dilation, edge);
+            end_anal.1.min(end_series.1)
+        };
+        if !baseline_lb.is_finite() || !current_ub.is_finite() {
+            return false;
+        }
+        // `is_met` is monotone (decreasing in baseline, increasing in
+        // current) for absolute thresholds always, and for relative
+        // thresholds only when the baseline bound is positive and the
+        // threshold non-negative — exactly the cases where refuting the
+        // optimistic pair refutes every pair in the box.
+        let monotone_safe = match self.threshold {
+            Threshold::Absolute(_) => true,
+            Threshold::Relative(t) => t >= 0.0 && baseline_lb > 0.0,
+        };
+        monotone_safe && !self.threshold.is_met(baseline_lb, current_ub)
+    }
+
+    /// The full STL/Loess detection path, without the pre-filter. Public so
+    /// tests can verify the pre-filter only skips series this path rejects.
+    pub fn detect_without_prefilter(
+        &self,
+        series: &SeriesId,
+        windows: &WindowedData,
+        now: Timestamp,
+    ) -> Result<Option<Regression>> {
+        self.detect_inner(series, windows, now, None)
+    }
+
+    fn detect_inner(
+        &self,
+        series: &SeriesId,
+        windows: &WindowedData,
         _now: Timestamp,
+        cache: Option<&ScanCache>,
     ) -> Result<Option<Regression>> {
         let data = windows.all();
         if data.len() < 16 {
             return Ok(None);
         }
         // Step 1: seasonality decomposition; the trend is the subject.
-        let period = acf::find_seasonality(data, 2, self.max_period, self.acf_threshold)?
-            .map(|s| s.period)
-            .unwrap_or(0);
-        let trend = if period >= 2 && data.len() >= period * 2 {
-            decompose(data, StlConfig::for_period(period))?.trend
-        } else {
+        let season = match cache {
+            Some(c) => c.seasonality(series, data, 2, self.max_period, self.acf_threshold)?,
+            None => acf::find_seasonality(data, 2, self.max_period, self.acf_threshold)?,
+        };
+        let period = season.map(|s| s.period).unwrap_or(0);
+        let use_stl = period >= 2 && data.len() >= period * 2;
+        let trend = match cache {
+            // The cache applies the identical period → trend mapping
+            // (`period == 0` encodes the Loess fallback).
+            Some(c) => c.trend(series, data, if use_stl { period } else { 0 })?,
+            None if use_stl => decompose(data, StlConfig::for_period(period))?.trend,
             // No seasonality: a wide Loess smooth stands in for the trend.
-            fbd_stats::stl::loess_smooth(data, 0.3, &vec![1.0; data.len()])?
+            None => fbd_stats::stl::loess_smooth_uniform(data, 0.3)?,
         };
         // Step 2: regression detection on the trend alone.
         let h_len = windows.historic_len();
@@ -120,6 +251,43 @@ impl LongTermDetector {
             windows: windows.clone(),
             root_cause_candidates: Vec::new(),
         }))
+    }
+}
+
+/// Min and max mean over every width-`edge` window of the series that
+/// intersects the region `[lo, hi)` dilated by `d` on both sides. Each
+/// window mean is O(1) via the prefix sums, so a region scan is O(region +
+/// 2d). Falls back to the dilated region's own mean when no full window
+/// fits.
+fn sliding_mean_bounds(
+    prefix: &fbd_stats::prefix::PrefixStats,
+    lo: usize,
+    hi: usize,
+    d: usize,
+    edge: usize,
+) -> (f64, f64) {
+    let n = prefix.len();
+    let lo = lo.saturating_sub(d);
+    let hi = (hi + d).min(n);
+    if edge == 0 || edge > n {
+        let m = prefix.segment_mean(lo, hi);
+        return (m, m);
+    }
+    // Window starts whose span [s, s + edge) intersects [lo, hi).
+    let first = lo.saturating_sub(edge - 1);
+    let last = hi.min(n - edge + 1);
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for s in first..last {
+        let m = prefix.segment_mean(s, s + edge);
+        min = min.min(m);
+        max = max.max(m);
+    }
+    if min > max {
+        let m = prefix.segment_mean(lo, hi);
+        (m, m)
+    } else {
+        (min, max)
     }
 }
 
@@ -232,5 +400,82 @@ mod tests {
     fn short_series_ignored() {
         let w = windows(vec![1.0; 4], vec![1.0; 4], vec![]);
         assert!(detector(0.1).detect(&sid(), &w, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn prefilter_skips_flat_but_not_ramp() {
+        let d = detector(0.05);
+        let flat = windows(noisy(200, 1.0, 0.05, 1), noisy(200, 1.0, 0.05, 2), vec![]);
+        assert!(d.prefilter_says_flat(
+            flat.all(),
+            flat.historic_len(),
+            flat.analysis_len(),
+            flat.extended_len()
+        ));
+        let analysis: Vec<f64> = (0..200)
+            .map(|i| 1.0 + 0.5 * i as f64 / 200.0)
+            .zip(noisy(200, 0.0, 0.05, 2))
+            .map(|(a, b)| a + b)
+            .collect();
+        let ramp = windows(noisy(200, 1.0, 0.05, 1), analysis, vec![]);
+        assert!(!d.prefilter_says_flat(
+            ramp.all(),
+            ramp.historic_len(),
+            ramp.analysis_len(),
+            ramp.extended_len()
+        ));
+    }
+
+    #[test]
+    fn prefilter_never_flips_a_detection() {
+        // Across the module's scenarios, a pre-filter skip must imply the
+        // full detector also rejects.
+        let cases: Vec<(WindowedData, f64)> = vec![
+            (
+                windows(noisy(200, 1.0, 0.05, 1), noisy(200, 1.0, 0.05, 2), vec![]),
+                0.05,
+            ),
+            (
+                windows(
+                    (0..200).map(|i| 2.0 - 0.5 * i as f64 / 200.0).collect(),
+                    (0..200).map(|i| 1.5 + 0.5 * i as f64 / 200.0).collect(),
+                    vec![],
+                ),
+                0.1,
+            ),
+            (
+                windows(
+                    noisy(200, 1.0, 0.02, 1),
+                    (0..100).map(|i| 1.0 + 0.6 * i as f64 / 100.0).collect(),
+                    noisy(100, 1.0, 0.02, 2),
+                ),
+                0.2,
+            ),
+        ];
+        for (w, thr) in cases {
+            let d = detector(thr);
+            let with = d.detect(&sid(), &w, 0).unwrap();
+            let without = d.detect_without_prefilter(&sid(), &w, 0).unwrap();
+            assert_eq!(with.is_some(), without.is_some());
+        }
+    }
+
+    #[test]
+    fn prefilter_relative_threshold_guard() {
+        // A negative-baseline series with a relative threshold must never be
+        // skipped (is_met is not monotone around zero).
+        let d = LongTermDetector {
+            threshold: Threshold::Relative(0.1),
+            rmse_fraction: 0.35,
+            acf_threshold: 0.4,
+            max_period: 30,
+        };
+        let w = windows(noisy(200, -1.0, 0.05, 1), noisy(200, -1.0, 0.05, 2), vec![]);
+        assert!(!d.prefilter_says_flat(
+            w.all(),
+            w.historic_len(),
+            w.analysis_len(),
+            w.extended_len()
+        ));
     }
 }

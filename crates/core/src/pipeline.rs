@@ -26,6 +26,7 @@ use crate::dedup::som_dedup::{som_dedup, SomDedupConfig};
 use crate::long_term::LongTermDetector;
 use crate::quarantine::{FaultKind, Quarantine, QuarantineConfig};
 use crate::root_cause::{RcaContext, RootCauseAnalyzer};
+use crate::scan_cache::{CacheStats, ScanCache};
 use crate::seasonality::SeasonalityDetector;
 use crate::types::{FunnelCounters, Regression, ScanHealth};
 use crate::went_away::WentAwayDetector;
@@ -160,6 +161,8 @@ pub struct Pipeline {
     pub budget: ScanBudget,
     /// Optional fault-injection hook (chaos drills).
     chaos_hook: Option<ChaosHook>,
+    /// Cross-scan per-series artifact cache (seasonality, STL, SAX).
+    cache: ScanCache,
     /// Number of detection worker threads.
     pub threads: usize,
 }
@@ -183,6 +186,7 @@ impl Pipeline {
             ),
             budget: ScanBudget::default(),
             chaos_hook: None,
+            cache: ScanCache::new(),
             threads: 4,
             config,
         })
@@ -206,6 +210,21 @@ impl Pipeline {
     /// Replaces the quarantine backoff policy (keeps the re-run interval).
     pub fn set_quarantine_config(&mut self, config: QuarantineConfig) {
         self.quarantine = Quarantine::new(config, self.config.windows.rerun_interval);
+    }
+
+    /// Hit/miss counters of the cross-scan artifact cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resets the artifact cache's hit/miss counters (entries are kept).
+    pub fn reset_cache_stats(&self) {
+        self.cache.reset_stats()
+    }
+
+    /// Drops every cached cross-scan artifact.
+    pub fn clear_cache(&self) {
+        self.cache.clear()
     }
 
     /// Installs a fault-injection hook called for every series before
@@ -293,7 +312,7 @@ impl Pipeline {
         // error drops the candidate and quarantines its series. ---
         let mut kept_short = Vec::with_capacity(short.len());
         for r in short {
-            match self.went_away.evaluate(&r) {
+            match self.went_away.evaluate_with_cache(&r, Some(&self.cache)) {
                 Ok(v) => {
                     if v.keep {
                         kept_short.push(r);
@@ -314,7 +333,7 @@ impl Pipeline {
         // --- Stage 3: seasonality detection (short-term only). ---
         let mut deseasoned = Vec::with_capacity(kept_short.len());
         for r in kept_short {
-            match self.seasonality.evaluate(&r) {
+            match self.seasonality.evaluate_with_cache(&r, Some(&self.cache)) {
                 Ok(v) => {
                     if v.keep {
                         deseasoned.push(r);
@@ -531,7 +550,7 @@ impl Pipeline {
             Err(e) => return SeriesScan::Error(e),
         };
         let long = if self.config.long_term_enabled {
-            match self.long_term.detect(id, &windows, now) {
+            match self.long_term.detect_cached(id, &windows, now, Some(&self.cache)) {
                 Ok(r) => r,
                 Err(e) => return SeriesScan::Error(e),
             }

@@ -1,0 +1,366 @@
+//! Cross-scan per-series artifact cache.
+//!
+//! The monitoring scheduler re-scans every series on a cadence, and between
+//! rounds most series' windows are unchanged (no new samples arrived) or
+//! merely shifted by a few points. The expensive per-series artifacts —
+//! the ACF seasonality search, the STL decomposition / Loess trend, and the
+//! SAX reference encoding of the historic window — are pure functions of
+//! their inputs, so they can be reused across rounds whenever the inputs
+//! are bit-identical.
+//!
+//! # Keying and invalidation
+//!
+//! Every cached artifact is keyed by a 64-bit content fingerprint of the
+//! exact input slice (`f64::to_bits` of every sample plus the length,
+//! mixed SplitMix-style) together with *all* parameters of the computation
+//! (periods, thresholds, bucket counts — floats by `to_bits`). A lookup
+//! hits only on exact key equality, and a store replaces the series' slot
+//! for that artifact kind, so memory is bounded at one entry per artifact
+//! per live series and stale values are evicted by the next differing scan
+//! rather than by a clock.
+//!
+//! # Determinism
+//!
+//! A hit returns a value computed earlier by the same pure function on
+//! bit-identical inputs, so scan output is unchanged by caching — with or
+//! without hits, across thread counts, and across rounds. The map is a
+//! `BTreeMap` (deterministic iteration, per the workspace hash-order
+//! invariant) behind a `Mutex`, and per-series keys never interact, so
+//! worker interleaving cannot influence values. Hit/miss counters are
+//! telemetry only.
+
+use crate::Result;
+use fbd_stats::acf::{self, Seasonality};
+use fbd_stats::sax::{encode_in_range, SaxConfig, SaxString};
+use fbd_stats::stl::{decompose, loess_smooth_uniform, StlConfig, StlDecomposition};
+use fbd_tsdb::SeriesId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Content fingerprint of a sample slice: length plus every sample's bit
+/// pattern, mixed through a SplitMix64-style avalanche and folded FNV-style.
+/// Bit-exact inputs (and only those, up to 64-bit collisions) share a
+/// fingerprint.
+fn fingerprint(data: &[f64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (data.len() as u64);
+    for v in data {
+        let mut z = v.to_bits().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        h = (h ^ z).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Key of a cached seasonality search: data fingerprint, `min_period`,
+/// `max_lag`, and the ACF threshold bits.
+type SeasonalityKey = (u64, usize, usize, u64);
+/// Key of a cached trend/decomposition: data fingerprint and STL period
+/// (0 encodes the no-seasonality Loess fallback).
+type TrendKey = (u64, usize);
+/// Key of a cached SAX reference: historic fingerprint, range bits, bucket
+/// count, and validity-fraction bits.
+type SaxKey = (u64, u64, u64, usize, u64);
+
+/// The artifacts cached for one series — one replaceable slot per kind.
+#[derive(Debug, Default, Clone)]
+struct SeriesArtifacts {
+    seasonality: Option<(SeasonalityKey, Option<Seasonality>)>,
+    trend: Option<(TrendKey, Vec<f64>)>,
+    decomposition: Option<(TrendKey, StlDecomposition)>,
+    sax_reference: Option<(SaxKey, SaxString)>,
+}
+
+/// Hit/miss telemetry for a [`ScanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-series cross-scan cache of seasonality, STL, and SAX artifacts.
+///
+/// Owned by the pipeline so it persists across [`crate::scheduler`] rounds;
+/// shared with the parallel detection workers by reference (the interior
+/// `Mutex` makes it `Sync`). See the module docs for the keying,
+/// invalidation, and determinism arguments.
+#[derive(Debug, Default)]
+pub struct ScanCache {
+    inner: Mutex<BTreeMap<SeriesId, SeriesArtifacts>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the hit/miss counters (entries are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of series with at least one cached artifact.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no series has cached artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached artifact (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Cached [`acf::find_seasonality`].
+    pub fn seasonality(
+        &self,
+        series: &SeriesId,
+        data: &[f64],
+        min_period: usize,
+        max_lag: usize,
+        threshold: f64,
+    ) -> Result<Option<Seasonality>> {
+        let key = (fingerprint(data), min_period, max_lag, threshold.to_bits());
+        if let Some(cached) = self.lookup(series, |a| {
+            a.seasonality.as_ref().filter(|(k, _)| *k == key).map(|(_, v)| *v)
+        }) {
+            return Ok(cached);
+        }
+        let computed = acf::find_seasonality(data, min_period, max_lag, threshold)?;
+        self.store(series, |a| a.seasonality = Some((key, computed)));
+        Ok(computed)
+    }
+
+    /// Cached long-term trend: the STL trend for `period >= 2` (via
+    /// [`StlConfig::for_period`]), or the wide uniform Loess fallback
+    /// (fraction 0.3) when `period == 0` — mirroring the long-term
+    /// detector's trend selection exactly.
+    pub fn trend(&self, series: &SeriesId, data: &[f64], period: usize) -> Result<Vec<f64>> {
+        let key = (fingerprint(data), period);
+        if let Some(cached) = self.lookup(series, |a| {
+            a.trend.as_ref().filter(|(k, _)| *k == key).map(|(_, t)| t.clone())
+        }) {
+            return Ok(cached);
+        }
+        let computed = if period >= 2 {
+            decompose(data, StlConfig::for_period(period))?.trend
+        } else {
+            loess_smooth_uniform(data, 0.3)?
+        };
+        self.store(series, |a| a.trend = Some((key, computed.clone())));
+        Ok(computed)
+    }
+
+    /// Cached full STL decomposition at [`StlConfig::for_period`]`(period)`
+    /// (the seasonality detector needs the seasonal and residual components
+    /// too, not just the trend).
+    pub fn decomposition(
+        &self,
+        series: &SeriesId,
+        data: &[f64],
+        period: usize,
+    ) -> Result<StlDecomposition> {
+        let key = (fingerprint(data), period);
+        if let Some(cached) = self.lookup(series, |a| {
+            a.decomposition
+                .as_ref()
+                .filter(|(k, _)| *k == key)
+                .map(|(_, d)| d.clone())
+        }) {
+            return Ok(cached);
+        }
+        let computed = decompose(data, StlConfig::for_period(period))?;
+        self.store(series, |a| a.decomposition = Some((key, computed.clone())));
+        Ok(computed)
+    }
+
+    /// Cached SAX reference encoding of the historic window
+    /// ([`encode_in_range`]).
+    pub fn sax_reference(
+        &self,
+        series: &SeriesId,
+        historic: &[f64],
+        range_min: f64,
+        range_max: f64,
+        config: SaxConfig,
+    ) -> Result<SaxString> {
+        let key = (
+            fingerprint(historic),
+            range_min.to_bits(),
+            range_max.to_bits(),
+            config.buckets,
+            config.validity_fraction.to_bits(),
+        );
+        if let Some(cached) = self.lookup(series, |a| {
+            a.sax_reference
+                .as_ref()
+                .filter(|(k, _)| *k == key)
+                .map(|(_, s)| s.clone())
+        }) {
+            return Ok(cached);
+        }
+        let computed = encode_in_range(historic, range_min, range_max, config)?;
+        self.store(series, |a| a.sax_reference = Some((key, computed.clone())));
+        Ok(computed)
+    }
+
+    /// One locked lookup; counts a hit or miss. Computation never happens
+    /// under the lock.
+    fn lookup<T>(&self, series: &SeriesId, get: impl Fn(&SeriesArtifacts) -> Option<T>) -> Option<T> {
+        let found = self.inner.lock().get(series).and_then(get);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// One locked replace-on-mismatch store into the series' slot.
+    fn store(&self, series: &SeriesId, put: impl FnOnce(&mut SeriesArtifacts)) {
+        let mut guard = self.inner.lock();
+        put(guard.entry(series.clone()).or_default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_tsdb::MetricKind;
+
+    fn sid(name: &str) -> SeriesId {
+        SeriesId::new("svc", MetricKind::GCpu, name)
+    }
+
+    fn sine(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 / period as f64 * std::f64::consts::TAU).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_content_and_length() {
+        let a = vec![1.0, 2.0, 3.0];
+        let mut b = a.clone();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        b[2] = 3.0000000001;
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&a[..2]));
+        // -0.0 and 0.0 differ bitwise and must not collide.
+        assert_ne!(fingerprint(&[0.0]), fingerprint(&[-0.0]));
+    }
+
+    #[test]
+    fn second_identical_call_hits_and_matches() {
+        let cache = ScanCache::new();
+        let data = sine(240, 24);
+        let s = sid("a");
+        let first = cache.seasonality(&s, &data, 2, 30, 0.4).unwrap();
+        let second = cache.seasonality(&s, &data, 2, 30, 0.4).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, acf::find_seasonality(&data, 2, 30, 0.4).unwrap());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn changed_data_or_params_invalidate() {
+        let cache = ScanCache::new();
+        let s = sid("a");
+        let data = sine(240, 24);
+        cache.seasonality(&s, &data, 2, 30, 0.4).unwrap();
+        // Different threshold: miss.
+        cache.seasonality(&s, &data, 2, 30, 0.5).unwrap();
+        // Appended data: miss (the slot now holds the new key).
+        let mut longer = data.clone();
+        longer.push(0.0);
+        cache.seasonality(&s, &longer, 2, 30, 0.5).unwrap();
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 3);
+        // The latest key is the live one.
+        cache.seasonality(&s, &longer, 2, 30, 0.5).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn trend_matches_uncached_paths() {
+        let cache = ScanCache::new();
+        let s = sid("t");
+        let data = sine(240, 24);
+        // STL path.
+        let cached = cache.trend(&s, &data, 24).unwrap();
+        let direct = decompose(&data, StlConfig::for_period(24)).unwrap().trend;
+        assert_eq!(cached, direct);
+        // Loess fallback path (period 0) — different key, so a miss.
+        let cached = cache.trend(&s, &data, 0).unwrap();
+        let direct = loess_smooth_uniform(&data, 0.3).unwrap();
+        for (c, d) in cached.iter().zip(&direct) {
+            assert_eq!(c.to_bits(), d.to_bits());
+        }
+        // Re-request the Loess trend: hit, identical bits.
+        let again = cache.trend(&s, &data, 0).unwrap();
+        for (c, d) in again.iter().zip(&cached) {
+            assert_eq!(c.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn series_slots_are_independent() {
+        let cache = ScanCache::new();
+        let data = sine(240, 24);
+        cache.trend(&sid("a"), &data, 24).unwrap();
+        cache.trend(&sid("b"), &data, 24).unwrap();
+        // Same data, different series: each series misses once.
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sax_reference_round_trip() {
+        let cache = ScanCache::new();
+        let s = sid("x");
+        let historic: Vec<f64> = (0..100).map(|i| 1.0 + (i % 7) as f64 * 0.01).collect();
+        let cfg = SaxConfig::default();
+        let a = cache.sax_reference(&s, &historic, 0.9, 1.2, cfg).unwrap();
+        let b = cache.sax_reference(&s, &historic, 0.9, 1.2, cfg).unwrap();
+        assert_eq!(a, b);
+        let direct = encode_in_range(&historic, 0.9, 1.2, cfg).unwrap();
+        assert_eq!(a, direct);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

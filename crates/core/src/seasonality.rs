@@ -10,6 +10,7 @@
 //! below the threshold.
 
 use crate::config::DetectorConfig;
+use crate::scan_cache::ScanCache;
 use crate::types::Regression;
 use crate::Result;
 use fbd_stats::acf;
@@ -51,11 +52,32 @@ impl SeasonalityDetector {
     /// Evaluates the check; `verdict.keep == true` means the regression is
     /// not explained by seasonality.
     pub fn evaluate(&self, regression: &Regression) -> Result<SeasonalityVerdict> {
+        self.evaluate_with_cache(regression, None)
+    }
+
+    /// [`Self::evaluate`] with a cross-scan [`ScanCache`]: the ACF gate and
+    /// the STL decomposition are reused when this series' window is
+    /// unchanged since a previous round (the long-term detector seeds the
+    /// same seasonality key during the parallel stage).
+    pub fn evaluate_with_cache(
+        &self,
+        regression: &Regression,
+        cache: Option<&ScanCache>,
+    ) -> Result<SeasonalityVerdict> {
         let data = regression.windows.all();
         let cp = regression.change_index;
         // ACF gate: no significant periodicity, nothing to remove.
-        let Some(season) = acf::find_seasonality(data, 2, self.max_period, self.acf_threshold)?
-        else {
+        let gate = match cache {
+            Some(c) => c.seasonality(
+                &regression.series,
+                data,
+                2,
+                self.max_period,
+                self.acf_threshold,
+            )?,
+            None => acf::find_seasonality(data, 2, self.max_period, self.acf_threshold)?,
+        };
+        let Some(season) = gate else {
             return Ok(SeasonalityVerdict {
                 seasonal: false,
                 z_analysis: f64::NAN,
@@ -71,7 +93,10 @@ impl SeasonalityDetector {
                 keep: true,
             });
         }
-        let decomposition = decompose(data, StlConfig::for_period(season.period))?;
+        let decomposition = match cache {
+            Some(c) => c.decomposition(&regression.series, data, season.period)?,
+            None => decompose(data, StlConfig::for_period(season.period))?,
+        };
         let deseasonalized = decomposition.deseasonalized();
         let residual_std = descriptive::std_dev(&decomposition.residual)?.max(1e-12);
         // z over the analysis window region.

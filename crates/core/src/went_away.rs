@@ -15,6 +15,7 @@
 //! and a 1.5 coefficient.
 
 use crate::config::DetectorConfig;
+use crate::scan_cache::ScanCache;
 use crate::types::Regression;
 use crate::Result;
 use fbd_stats::acf;
@@ -62,10 +63,21 @@ impl WentAwayDetector {
     /// Evaluates the predicate; `verdict.keep == true` means the regression
     /// survives this filter.
     pub fn evaluate(&self, regression: &Regression) -> Result<WentAwayVerdict> {
+        self.evaluate_with_cache(regression, None)
+    }
+
+    /// [`Self::evaluate`] with a cross-scan [`ScanCache`]: the SAX reference
+    /// encoding of the historic window and the seasonality search are reused
+    /// when this series' windows are unchanged since a previous round.
+    pub fn evaluate_with_cache(
+        &self,
+        regression: &Regression,
+        cache: Option<&ScanCache>,
+    ) -> Result<WentAwayVerdict> {
         let data = regression.windows.all();
         let historic = regression.windows.historic();
         let cp = regression.change_index.min(data.len().saturating_sub(1));
-        let post: Vec<f64> = data[(cp + 1).min(data.len())..].to_vec();
+        let post: &[f64] = &data[(cp + 1).min(data.len())..];
         if post.len() < 4 || historic.len() < 4 {
             // Too little evidence to refute; keep the candidate.
             return Ok(WentAwayVerdict {
@@ -93,11 +105,14 @@ impl WentAwayDetector {
         // exceeds a predefined threshold").
         let range_min = data.iter().copied().fold(f64::INFINITY, f64::min);
         let range_max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let reference = encode_in_range(historic, range_min, range_max, self.sax)?;
-        let post_sax = reference.encode_with_same_buckets(&post)?;
+        let reference = match cache {
+            Some(c) => c.sax_reference(&regression.series, historic, range_min, range_max, self.sax)?,
+            None => encode_in_range(historic, range_min, range_max, self.sax)?,
+        };
+        let post_sax = reference.encode_with_same_buckets(post)?;
 
         // --- NewPattern ---
-        let post_mean = descriptive::mean(&post)?;
+        let post_mean = descriptive::mean(post)?;
         let lowest_valid_edge = reference
             .smallest_valid_symbol()
             .map(|s| range_min + s as f64 * reference.bucket_width());
@@ -107,12 +122,12 @@ impl WentAwayDetector {
         // --- SignificantRegression ---
         // Largest post letter vs. largest valid historic letter.
         let analysis_end = historic.len() + regression.windows.analysis_len();
-        let post_analysis: Vec<f64> =
-            data[(cp + 1).min(data.len())..analysis_end.min(data.len())].to_vec();
+        let post_analysis: &[f64] =
+            &data[(cp + 1).min(data.len())..analysis_end.min(data.len())];
         let post_analysis_sax = if post_analysis.is_empty() {
             post_sax.clone()
         } else {
-            reference.encode_with_same_buckets(&post_analysis)?
+            reference.encode_with_same_buckets(post_analysis)?
         };
         let letter_ok = match reference.largest_valid_symbol() {
             Some(largest_valid) => post_analysis_sax.largest_symbol() >= largest_valid,
@@ -120,7 +135,7 @@ impl WentAwayDetector {
         };
         // P90(post) must exceed P95(historic) and P90 of the previous
         // period (the tail of the historic window, one post-length long).
-        let p90_post = descriptive::percentile(&post, 90.0)?;
+        let p90_post = descriptive::percentile(post, 90.0)?;
         let p95_hist = descriptive::percentile(historic, 95.0)?;
         let prev_len = post.len().min(historic.len());
         let prev_slice = &historic[historic.len() - prev_len..];
@@ -129,13 +144,20 @@ impl WentAwayDetector {
 
         // Seasonal period, if any: trend and tail checks must not mistake
         // a diurnal trough for a recovery.
-        let period = acf::find_seasonality(
-            data,
-            2,
-            self.max_seasonal_period.min(post.len() / 2),
-            self.seasonality_acf_threshold,
-        )
-        .unwrap_or(None)
+        let max_lag = self.max_seasonal_period.min(post.len() / 2);
+        let period = match cache {
+            Some(c) => c
+                .seasonality(
+                    &regression.series,
+                    data,
+                    2,
+                    max_lag,
+                    self.seasonality_acf_threshold,
+                )
+                .unwrap_or(None),
+            None => acf::find_seasonality(data, 2, max_lag, self.seasonality_acf_threshold)
+                .unwrap_or(None),
+        }
         .map(|s| s.period)
         .unwrap_or(0);
         // --- LastingTrend ---
@@ -143,10 +165,10 @@ impl WentAwayDetector {
         let regression_threshold = self.regression_coefficient
             * descriptive::mad(historic)?
             * descriptive::MAD_NORMALITY_CONSTANT;
-        let mk_post = mann_kendall(&post, 0.05)?;
-        let analysis_window: Vec<f64> = data[historic.len()..analysis_end.min(data.len())].to_vec();
+        let mk_post = mann_kendall(post, 0.05)?;
+        let analysis_window: &[f64] = &data[historic.len()..analysis_end.min(data.len())];
         let mk_analysis = if analysis_window.len() >= 4 {
-            mann_kendall(&analysis_window, 0.05)?.direction
+            mann_kendall(analysis_window, 0.05)?.direction
         } else {
             TrendDirection::None
         };
@@ -157,7 +179,7 @@ impl WentAwayDetector {
                 // projected recovery must be corroborated by the final level
                 // actually approaching the baseline (a seasonal downswing
                 // projects a recovery that never materializes).
-                let slope = theil_sen(&post)?.slope;
+                let slope = theil_sen(post)?.slope;
                 let projected_recovery = slope.abs() * post.len() as f64;
                 let corroboration_len = (post.len() / 10).max(5).max(period).min(post.len());
                 let level_tail = descriptive::mean(&post[post.len() - corroboration_len..])?;
@@ -168,9 +190,9 @@ impl WentAwayDetector {
                 // Still rising. Use the lower of the two window slopes "to
                 // avoid over- or under-estimation" and require the total
                 // rise to clear the MAD threshold.
-                let slope_post = theil_sen(&post)?.slope;
+                let slope_post = theil_sen(post)?.slope;
                 let slope_analysis = if mk_analysis == TrendDirection::Increasing {
-                    theil_sen(&analysis_window)?.slope
+                    theil_sen(analysis_window)?.slope
                 } else {
                     slope_post
                 };

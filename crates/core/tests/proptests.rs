@@ -4,6 +4,7 @@ use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
 use fbdetect_core::change_point::ChangePointDetector;
 use fbdetect_core::config::{DetectorConfig, Threshold};
 use fbdetect_core::dedup::same_merger::SameRegressionMerger;
+use fbdetect_core::long_term::LongTermDetector;
 use fbdetect_core::types::{Regression, RegressionKind};
 use fbdetect_core::went_away::WentAwayDetector;
 use fbdetect_core::{FaultKind, Pipeline, Quarantine, QuarantineConfig, ScanContext};
@@ -231,5 +232,40 @@ proptest! {
         q.record_success(&id);
         prop_assert!(q.entry(&id).is_none());
         prop_assert!(!q.is_quarantined(&id, 0));
+    }
+
+    #[test]
+    fn long_term_prefilter_never_changes_the_decision(
+        seed in 0u64..300,
+        drift_millis in 0u64..12,
+        step_at in 150usize..310usize,
+        step in 0.0f64..0.8,
+    ) {
+        // The O(n) flat-series prefilter may only skip work, never flip a
+        // verdict: the prefiltered entry point and the full STL path must
+        // produce identical regressions (or identical absences) on flats,
+        // drifts, and steps alike.
+        let drift = drift_millis as f64 / 1000.0 * 0.01;
+        let mut values: Vec<f64> = noisy_series(320, 1.0, 0.05, seed)
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + drift * i as f64)
+            .collect();
+        for v in values.iter_mut().skip(step_at) {
+            *v += step;
+        }
+        let cfg = config(0.1);
+        let detector = LongTermDetector::from_config(&cfg);
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::GCpu, "lt");
+        store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &values));
+        let w = store.windows(&id, &cfg.windows, 320).unwrap();
+        let fast = detector.detect(&id, &w, 320).unwrap();
+        let full = detector.detect_without_prefilter(&id, &w, 320).unwrap();
+        prop_assert_eq!(
+            format!("{fast:?}"),
+            format!("{full:?}"),
+            "prefiltered and full long-term paths diverged"
+        );
     }
 }

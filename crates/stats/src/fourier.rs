@@ -75,7 +75,10 @@ fn dft_real(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
 /// In-place iterative radix-2 Cooley-Tukey FFT. `re.len()` must be a power
 /// of two and equal to `im.len()`. When `invert` is set, computes the
 /// inverse transform including the 1/n normalization.
-fn fft_pow2(re: &mut [f64], im: &mut [f64], invert: bool) {
+///
+/// Crate-internal: the ACF (Wiener–Khinchin) and Loess sliding-regression
+/// fast paths reuse this transform directly.
+pub(crate) fn fft_pow2(re: &mut [f64], im: &mut [f64], invert: bool) {
     let n = re.len();
     debug_assert!(n.is_power_of_two() && im.len() == n);
     if n <= 1 {
@@ -96,20 +99,25 @@ fn fft_pow2(re: &mut [f64], im: &mut [f64], invert: bool) {
         }
     }
     let sign = if invert { 1.0 } else { -1.0 };
+    // One trig table, computed directly (not by recurrence) so round-off
+    // stays at machine epsilon, serves every stage: the stage-`len` twiddle
+    // e^(sign·iτk/len) is entry k·(n/len), and both index computations
+    // round the same real angle to the same float (power-of-two scaling),
+    // so the transform is bit-identical to per-stage tables.
+    let step = sign * TAU / n as f64;
+    let twiddle: Vec<(f64, f64)> = (0..n / 2)
+        .map(|k| {
+            let a = step * k as f64;
+            (a.cos(), a.sin())
+        })
+        .collect();
     let mut len = 2;
     while len <= n {
         let half = len / 2;
-        // Twiddles computed directly per stage (not by recurrence) so
-        // round-off stays at machine epsilon even for long transforms.
-        let step = sign * TAU / len as f64;
-        let twiddle: Vec<(f64, f64)> = (0..half)
-            .map(|k| {
-                let a = step * k as f64;
-                (a.cos(), a.sin())
-            })
-            .collect();
+        let stride = n / len;
         for start in (0..n).step_by(len) {
-            for (k, &(wr, wi)) in twiddle.iter().enumerate() {
+            for k in 0..half {
+                let (wr, wi) = twiddle[k * stride];
                 let a = start + k;
                 let b = a + half;
                 let vr = re[b] * wr - im[b] * wi;
@@ -182,6 +190,56 @@ fn bluestein(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
         im[k] = ar[k] * chirp[k].1 + ai[k] * chirp[k].0;
     }
     (re, im)
+}
+
+/// Sliding dot products ("valid" cross-correlations) of `signal` against a
+/// set of kernels that all share one length `w`, with `0 < w <=
+/// signal.len()`.
+///
+/// For each kernel `ker` the output vector holds, at every alignment
+/// `j ∈ 0..=n−w`, the dot product `Σ_k ker[k] · signal[j + k]`. The signal
+/// spectrum is computed once and shared across kernels, so the total cost is
+/// `(kernels + 2)` power-of-two FFTs of length `m = n.next_power_of_two()`.
+/// Zero-padding to `m ≥ n` is sufficient because only convolution outputs at
+/// positions `t ≥ w − 1` are read, which never wrap circularly.
+///
+/// Kernels whose length differs from the first kernel's, or an empty kernel
+/// set, yield empty outputs rather than panicking.
+pub(crate) fn sliding_dots(signal: &[f64], kernels: &[&[f64]]) -> Vec<Vec<f64>> {
+    let n = signal.len();
+    let w = kernels.first().map_or(0, |k| k.len());
+    if w == 0 || w > n {
+        return kernels.iter().map(|_| Vec::new()).collect();
+    }
+    let m = n.next_power_of_two();
+    let mut sig_re = vec![0.0; m];
+    sig_re[..n].copy_from_slice(signal);
+    let mut sig_im = vec![0.0; m];
+    fft_pow2(&mut sig_re, &mut sig_im, false);
+    kernels
+        .iter()
+        .map(|ker| {
+            if ker.len() != w {
+                return Vec::new();
+            }
+            // Reverse the kernel so linear convolution at t = j + w − 1
+            // equals the sliding dot product at alignment j.
+            let mut kr = vec![0.0; m];
+            let mut ki = vec![0.0; m];
+            for (j, &v) in ker.iter().enumerate() {
+                kr[w - 1 - j] = v;
+            }
+            fft_pow2(&mut kr, &mut ki, false);
+            for idx in 0..m {
+                let r = kr[idx] * sig_re[idx] - ki[idx] * sig_im[idx];
+                let i = kr[idx] * sig_im[idx] + ki[idx] * sig_re[idx];
+                kr[idx] = r;
+                ki[idx] = i;
+            }
+            fft_pow2(&mut kr, &mut ki, true);
+            (0..=n - w).map(|j| kr[j + w - 1]).collect()
+        })
+        .collect()
 }
 
 /// Compact spectral features for clustering.

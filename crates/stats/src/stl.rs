@@ -158,6 +158,14 @@ fn center_seasonal(seasonal: &mut [f64], period: usize) {
 ///
 /// `fraction` selects the bandwidth as a fraction of the series length.
 /// `robustness` multiplies the kernel weights (all 1.0 disables it).
+///
+/// Dispatches between the per-point kernel ([`loess_smooth_naive`],
+/// O(n·window)) and an FFT sliding-regression fast path
+/// ([`loess_smooth_fft`], O(n log n) for the interior). The choice depends
+/// only on `(n, window, weights-all-one)`, so it is deterministic; outputs
+/// of the two paths agree to ~1e-9 relative error (pinned by property
+/// tests), and boundary points are always evaluated by the exact naive
+/// formula.
 pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<Vec<f64>> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
@@ -166,9 +174,88 @@ pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<V
             "robustness weights length mismatch",
         ));
     }
-    let n = data.len();
+    Ok(loess_dispatch(data, fraction, Some(robustness)))
+}
+
+/// [`loess_smooth`] with all robustness weights equal to 1.0, without
+/// allocating the weight vector. Produces bit-identical output to passing an
+/// explicit all-ones slice.
+pub fn loess_smooth_uniform(data: &[f64], fraction: f64) -> Result<Vec<f64>> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    Ok(loess_dispatch(data, fraction, None))
+}
+
+/// Reference Loess via the per-point O(n·window) local regression.
+///
+/// Ground truth for the property tests pinning [`loess_smooth_fft`]; also
+/// the faster kernel for short series and narrow windows.
+pub fn loess_smooth_naive(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<Vec<f64>> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    if robustness.len() != data.len() {
+        return Err(StatsError::InvalidParameter(
+            "robustness weights length mismatch",
+        ));
+    }
+    Ok(loess_naive_core(data, fraction, Some(robustness)))
+}
+
+/// Loess with the FFT sliding-regression interior forced on (regardless of
+/// the cost model). Public so tests and benches can pin it against
+/// [`loess_smooth_naive`] directly.
+pub fn loess_smooth_fft(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<Vec<f64>> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    if robustness.len() != data.len() {
+        return Err(StatsError::InvalidParameter(
+            "robustness weights length mismatch",
+        ));
+    }
+    Ok(loess_fft_core(data, fraction, Some(robustness)))
+}
+
+/// Window geometry shared by every Loess path.
+fn loess_window(n: usize, fraction: f64) -> (usize, usize) {
     let window = ((fraction * n as f64).ceil() as usize).clamp(3, n);
-    let half = window / 2;
+    (window, window / 2)
+}
+
+/// Deterministic cost model for the Loess dispatch. The FFT path costs
+/// `ffts` power-of-two transforms of length `m = n.next_power_of_two()`
+/// (5 when the weights are uniform — two sliding correlations share the
+/// signal spectrum and the weight moments are constants — and 12 otherwise)
+/// against `interior·window` multiply-adds for the naive interior. The
+/// factor 2 accounts for the heavier per-butterfly arithmetic.
+fn loess_fft_pays_off(n: usize, window: usize, uniform: bool) -> bool {
+    let interior = n.saturating_sub(window - 1);
+    if interior < 2 || window < 8 {
+        return false;
+    }
+    let m = n.next_power_of_two();
+    let log_m = m.trailing_zeros() as usize;
+    let ffts = if uniform { 5 } else { 12 };
+    interior * window > 2 * ffts * m * log_m
+}
+
+/// Dispatching core: `robustness = None` means all weights are 1.0.
+fn loess_dispatch(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Vec<f64> {
+    let n = data.len();
+    let (window, _) = loess_window(n, fraction);
+    let one = 1.0f64.to_bits();
+    let uniform = robustness.is_none_or(|r| r.iter().all(|w| w.to_bits() == one));
+    if loess_fft_pays_off(n, window, uniform) {
+        loess_fft_core(data, fraction, robustness)
+    } else {
+        loess_naive_core(data, fraction, robustness)
+    }
+}
+
+/// The per-point local-regression Loess (previous implementation, kept
+/// verbatim modulo the optional weights).
+fn loess_naive_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Vec<f64> {
+    let n = data.len();
+    let (window, half) = loess_window(n, fraction);
     // The tricube weight of neighbor `j` for point `i` depends only on the
     // offset `j - i` and the window's `max_dist`. Away from the boundaries
     // both are the same for every `i`, so the kernel is computed once and
@@ -204,35 +291,201 @@ pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<V
             }
             &edge_tri
         };
-        let mut sw = 0.0;
-        let mut swx = 0.0;
-        let mut swy = 0.0;
-        let mut swxx = 0.0;
-        let mut swxy = 0.0;
-        for (k, j) in (lo..hi).enumerate() {
-            let w = tri[k] * robustness[j];
-            let x = j as f64;
-            sw += w;
-            swx += w * x;
-            swy += w * data[j];
-            swxx += w * x * x;
-            swxy += w * x * data[j];
+        smoothed.push(loess_fit_window(data, robustness, tri, lo, hi, i));
+    }
+    smoothed
+}
+
+/// Weighted local-linear fit of `data[lo..hi]` evaluated at `i`, in absolute
+/// x-coordinates — the exact arithmetic of the original per-point loop.
+fn loess_fit_window(
+    data: &[f64],
+    robustness: Option<&[f64]>,
+    tri: &[f64],
+    lo: usize,
+    hi: usize,
+    i: usize,
+) -> f64 {
+    let mut sw = 0.0;
+    let mut swx = 0.0;
+    let mut swy = 0.0;
+    let mut swxx = 0.0;
+    let mut swxy = 0.0;
+    for (k, j) in (lo..hi).enumerate() {
+        // Multiplying by an explicit 1.0 when no weights are supplied keeps
+        // the float ops (and therefore the bits) identical to the weighted
+        // form with an all-ones slice.
+        let w = tri[k] * robustness.map_or(1.0, |r| r[j]);
+        let x = j as f64;
+        sw += w;
+        swx += w * x;
+        swy += w * data[j];
+        swxx += w * x * x;
+        swxy += w * x * data[j];
+    }
+    let denom = sw * swxx - swx * swx;
+    if denom.abs() < 1e-12 || !(sw > 0.0) {
+        if sw > 0.0 {
+            swy / sw
+        } else {
+            data[i]
         }
-        let denom = sw * swxx - swx * swx;
-        let value = if denom.abs() < 1e-12 || !(sw > 0.0) {
+    } else {
+        let slope = (sw * swxy - swx * swy) / denom;
+        let intercept = (swy - slope * swx) / sw;
+        intercept + slope * i as f64
+    }
+}
+
+/// One boundary point evaluated like the naive path (per-point edge kernel,
+/// absolute coordinates), with the kernel and fit fused into a single
+/// allocation-free pass. The reciprocal of `max_dist` is hoisted out of the
+/// loop, so the tricube weights can differ from the naive division form by
+/// an ulp — well inside the 1e-9 pin the fast path is held to.
+fn loess_point_naive(
+    data: &[f64],
+    robustness: Option<&[f64]>,
+    i: usize,
+    window: usize,
+    half: usize,
+) -> f64 {
+    let n = data.len();
+    let lo = i.saturating_sub(half);
+    let hi = (lo + window).min(n);
+    let lo = hi.saturating_sub(window);
+    let center = (i - lo) as f64;
+    let inv_dist = 1.0 / ((i - lo).max(hi - 1 - i).max(1)) as f64;
+    let mut sw = 0.0;
+    let mut swx = 0.0;
+    let mut swy = 0.0;
+    let mut swxx = 0.0;
+    let mut swxy = 0.0;
+    match robustness {
+        None => {
+            for (k, j) in (lo..hi).enumerate() {
+                let d = (k as f64 - center).abs() * inv_dist;
+                // Multiplying by an explicit 1.0 keeps the float ops
+                // identical to the weighted form with an all-ones slice.
+                let w = (1.0 - d.powi(3)).powi(3).max(0.0) * 1.0;
+                let x = j as f64;
+                sw += w;
+                swx += w * x;
+                swy += w * data[j];
+                swxx += w * x * x;
+                swxy += w * x * data[j];
+            }
+        }
+        Some(r) => {
+            for (k, j) in (lo..hi).enumerate() {
+                let d = (k as f64 - center).abs() * inv_dist;
+                let w = (1.0 - d.powi(3)).powi(3).max(0.0) * r[j];
+                let x = j as f64;
+                sw += w;
+                swx += w * x;
+                swy += w * data[j];
+                swxx += w * x * x;
+                swxy += w * x * data[j];
+            }
+        }
+    }
+    let denom = sw * swxx - swx * swx;
+    if denom.abs() < 1e-12 || !(sw > 0.0) {
+        if sw > 0.0 {
+            swy / sw
+        } else {
+            data[i]
+        }
+    } else {
+        let slope = (sw * swxy - swx * swy) / denom;
+        let intercept = (swy - slope * swx) / sw;
+        intercept + slope * i as f64
+    }
+}
+
+/// FFT sliding-regression Loess core.
+///
+/// Away from the boundaries the tricube kernel is shift-invariant, so in
+/// window-centered coordinates `u = k − half` the five regression sums for
+/// every interior point are sliding dot products of fixed kernels
+/// (`tri·u^p`, p ∈ {0,1,2}) against the signal (and, with robustness
+/// weights, against `r` and `r·y`). Those are batch-evaluated with FFT
+/// cross-correlations ([`crate::fourier::sliding_dots`]): 2 correlations
+/// when the weights are uniform (the weight moments are constants of the
+/// kernel), 5 otherwise. The fit is solved in centered coordinates, where
+/// the normal equations are far better conditioned than the absolute-x form
+/// (the value at the center is simply the centered intercept). Boundary
+/// points keep the exact per-point naive evaluation.
+fn loess_fft_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Vec<f64> {
+    let n = data.len();
+    let (window, half) = loess_window(n, fraction);
+    let interior_max_dist = half.max(window - 1 - half).max(1) as f64;
+    let tri: Vec<f64> = (0..window)
+        .map(|k| {
+            let d = (k as f64 - half as f64).abs() / interior_max_dist;
+            (1.0 - d.powi(3)).powi(3).max(0.0)
+        })
+        .collect();
+    let k1: Vec<f64> = tri
+        .iter()
+        .enumerate()
+        .map(|(k, &t)| t * (k as f64 - half as f64))
+        .collect();
+    let k2: Vec<f64> = k1
+        .iter()
+        .enumerate()
+        .map(|(k, &t)| t * (k as f64 - half as f64))
+        .collect();
+    let one = 1.0f64.to_bits();
+    let uniform = robustness.is_none_or(|r| r.iter().all(|w| w.to_bits() == one));
+    // Interior points i ∈ [half, n − window + half]: window start j = i −
+    // half runs over 0..=n − window, exactly the alignments sliding_dots
+    // produces.
+    let first = half;
+    let last = n - window + half;
+    let mut smoothed = vec![0.0; n];
+    for i in (0..first).chain(last + 1..n) {
+        smoothed[i] = loess_point_naive(data, robustness, i, window, half);
+    }
+    let fit = |sw: f64, swu: f64, swuu: f64, swy: f64, swuy: f64, y_i: f64| -> f64 {
+        let denom = sw * swuu - swu * swu;
+        if denom.abs() < 1e-12 || !(sw > 0.0) {
             if sw > 0.0 {
                 swy / sw
             } else {
-                data[i]
+                y_i
             }
         } else {
-            let slope = (sw * swxy - swx * swy) / denom;
-            let intercept = (swy - slope * swx) / sw;
-            intercept + slope * i as f64
-        };
-        smoothed.push(value);
+            let slope = (sw * swuy - swu * swy) / denom;
+            (swy - slope * swu) / sw
+        }
+    };
+    if uniform {
+        let sw: f64 = tri.iter().sum();
+        let swu: f64 = k1.iter().sum();
+        let swuu: f64 = k2.iter().sum();
+        let dots = crate::fourier::sliding_dots(data, &[&tri, &k1]);
+        for (j, (&swy, &swuy)) in dots[0].iter().zip(&dots[1]).enumerate() {
+            let i = j + half;
+            smoothed[i] = fit(sw, swu, swuu, swy, swuy, data[i]);
+        }
+    } else {
+        let r = robustness.unwrap_or(&[]);
+        let ry: Vec<f64> = r.iter().zip(data).map(|(w, y)| w * y).collect();
+        let dots_r = crate::fourier::sliding_dots(r, &[&tri, &k1, &k2]);
+        let dots_ry = crate::fourier::sliding_dots(&ry, &[&tri, &k1]);
+        for j in 0..=n - window {
+            let i = j + half;
+            smoothed[i] = fit(
+                dots_r[0][j],
+                dots_r[1][j],
+                dots_r[2][j],
+                dots_ry[0][j],
+                dots_ry[1][j],
+                data[i],
+            );
+        }
     }
-    Ok(smoothed)
+    smoothed
 }
 
 /// Bisquare robustness weights from residuals: `(1 - (|r|/6·MAD)²)²`,
@@ -353,6 +606,82 @@ mod tests {
         let s = loess_smooth(&data, 0.3, &w).unwrap();
         for (a, b) in s.iter().zip(&data) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    fn pseudo_series(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seed);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z >> 33) % 10_000) as f64 / 1_000.0 - 5.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_loess_matches_naive_uniform_weights() {
+        for &(n, fraction) in &[(64usize, 0.3f64), (240, 0.25), (900, 0.3), (900, 0.25)] {
+            let data = pseudo_series(n, n as u64);
+            let w = vec![1.0; n];
+            let fast = loess_smooth_fft(&data, fraction, &w).unwrap();
+            let slow = loess_smooth_naive(&data, fraction, &w).unwrap();
+            let scale = data.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+            for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    (f - s).abs() < 1e-9 * scale,
+                    "n={n} frac={fraction} i={i}: {f} vs {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fft_loess_matches_naive_robustness_weights() {
+        let n = 300;
+        let data = pseudo_series(n, 11);
+        let w: Vec<f64> = (0..n).map(|i| 0.25 + 0.75 * ((i % 7) as f64 / 7.0)).collect();
+        let fast = loess_smooth_fft(&data, 0.3, &w).unwrap();
+        let slow = loess_smooth_naive(&data, 0.3, &w).unwrap();
+        let scale = data.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+        for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            assert!((f - s).abs() < 1e-9 * scale, "i={i}: {f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn loess_uniform_matches_explicit_ones() {
+        // Short series: the dispatcher picks the naive path, which must be
+        // bit-identical with and without the explicit all-ones slice.
+        let data = pseudo_series(120, 5);
+        let ones = vec![1.0; 120];
+        let explicit = loess_smooth(&data, 0.3, &ones).unwrap();
+        let implicit = loess_smooth_uniform(&data, 0.3).unwrap();
+        for (a, b) in explicit.iter().zip(&implicit) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn loess_dispatch_is_deterministic_and_close_to_naive() {
+        // n=900 at fraction 0.3 with uniform weights engages the FFT path.
+        let n = 900;
+        let data = pseudo_series(n, 23);
+        assert!(super::loess_fft_pays_off(n, 270, true));
+        assert!(!super::loess_fft_pays_off(n, 270, false));
+        let ones = vec![1.0; n];
+        let a = loess_smooth(&data, 0.3, &ones).unwrap();
+        let b = loess_smooth(&data, 0.3, &ones).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let slow = loess_smooth_naive(&data, 0.3, &ones).unwrap();
+        let scale = data.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        for (x, s) in a.iter().zip(&slow) {
+            assert!((x - s).abs() < 1e-9 * scale);
         }
     }
 }

@@ -33,7 +33,15 @@ pub struct MannKendallResult {
     pub direction: TrendDirection,
 }
 
-/// Mann-Kendall test for a monotonic trend.
+/// Mann-Kendall test for a monotonic trend, in O(n log n).
+///
+/// The S statistic is `Σ_{i<j} sign(x_j − x_i) = P − Q` where `P` and `Q`
+/// are the concordant and discordant pair counts. `Q` is exactly the number
+/// of strict inversions under `total_cmp`, counted with a merge sort; the
+/// tied pair count `T` falls out of the run lengths of the sorted array; and
+/// `P = n(n−1)/2 − Q − T`. All of this is integer arithmetic, so the result
+/// is bit-identical to the O(n²) double loop ([`mann_kendall_naive`], kept
+/// as ground truth and pinned by property tests).
 ///
 /// # Examples
 ///
@@ -44,6 +52,43 @@ pub struct MannKendallResult {
 /// assert_eq!(r.direction, TrendDirection::Increasing);
 /// ```
 pub fn mann_kendall(data: &[f64], significance: f64) -> Result<MannKendallResult> {
+    ensure_len(data, 4)?;
+    ensure_finite(data)?;
+    let n = data.len();
+    let mut sorted = data.to_vec();
+    let mut buf = vec![0.0; n];
+    let discordant = count_inversions(&mut sorted, &mut buf);
+    // Tied pairs and the variance tie term from the (now sorted) array.
+    let mut tie_pairs: i64 = 0;
+    let mut tie_term = 0.0;
+    let mut run = 1usize;
+    for i in 1..=n {
+        // Bit equality matches the `total_cmp` ordering used for both the
+        // merge sort above and the naive S statistic, so tie runs are exactly
+        // the `Ordering::Equal` groups (inputs are finite per
+        // `ensure_finite`).
+        if i < n && sorted[i].to_bits() == sorted[i - 1].to_bits() {
+            run += 1;
+        } else {
+            if run > 1 {
+                let t = run as f64;
+                tie_pairs += (run as i64) * (run as i64 - 1) / 2;
+                tie_term += t * (t - 1.0) * (2.0 * t + 5.0);
+            }
+            run = 1;
+        }
+    }
+    let total_pairs = (n as i64) * (n as i64 - 1) / 2;
+    let concordant = total_pairs - discordant - tie_pairs;
+    let s = concordant - discordant;
+    Ok(mann_kendall_from_s(n, s, tie_term, significance))
+}
+
+/// Reference Mann-Kendall via the O(n²) double loop.
+///
+/// Ground truth for the property tests pinning [`mann_kendall`]; not used on
+/// the scan hot path.
+pub fn mann_kendall_naive(data: &[f64], significance: f64) -> Result<MannKendallResult> {
     ensure_len(data, 4)?;
     ensure_finite(data)?;
     let n = data.len();
@@ -63,9 +108,6 @@ pub fn mann_kendall(data: &[f64], significance: f64) -> Result<MannKendallResult
     let mut tie_term = 0.0;
     let mut run = 1usize;
     for i in 1..=n {
-        // Bit equality matches the `total_cmp` ordering used for both the
-        // sort above and the S statistic, so tie runs are exactly the
-        // `Ordering::Equal` groups (inputs are finite per `ensure_finite`).
         if i < n && sorted[i].to_bits() == sorted[i - 1].to_bits() {
             run += 1;
         } else {
@@ -76,6 +118,13 @@ pub fn mann_kendall(data: &[f64], significance: f64) -> Result<MannKendallResult
             run = 1;
         }
     }
+    Ok(mann_kendall_from_s(n, s, tie_term, significance))
+}
+
+/// Z statistic, p-value and direction from the S statistic and tie term —
+/// shared by the fast and naive Mann-Kendall paths so the float arithmetic
+/// is literally the same code.
+fn mann_kendall_from_s(n: usize, s: i64, tie_term: f64, significance: f64) -> MannKendallResult {
     let nf = n as f64;
     let var_s = (nf * (nf - 1.0) * (2.0 * nf + 5.0) - tie_term) / 18.0;
     let z = if var_s <= 0.0 {
@@ -97,12 +146,58 @@ pub fn mann_kendall(data: &[f64], significance: f64) -> Result<MannKendallResult
     } else {
         TrendDirection::None
     };
-    Ok(MannKendallResult {
+    MannKendallResult {
         s,
         z,
         p_value,
         direction,
-    })
+    }
+}
+
+/// Merge sort over `total_cmp` that counts strict inversions (pairs `i < j`
+/// with `v[i] > v[j]`). Equal elements are taken from the left half first and
+/// never counted, so the count is exactly the discordant-pair total of the
+/// Mann-Kendall S statistic. Sorts `v` in place as a side effect.
+fn count_inversions(v: &mut [f64], buf: &mut [f64]) -> i64 {
+    let n = v.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (buf_left, buf_right) = buf.split_at_mut(mid);
+    let mut inversions = {
+        let (left, right) = v.split_at_mut(mid);
+        count_inversions(left, buf_left) + count_inversions(right, buf_right)
+    };
+    // Merge v[..mid] and v[mid..] into buf, counting, then copy back.
+    let mut i = 0usize;
+    let mut j = mid;
+    let mut k = 0usize;
+    while i < mid && j < n {
+        if v[j].total_cmp(&v[i]) == std::cmp::Ordering::Less {
+            // v[j] precedes every remaining left element, forming an
+            // inversion with each one.
+            inversions += (mid - i) as i64;
+            buf[k] = v[j];
+            j += 1;
+        } else {
+            buf[k] = v[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    while i < mid {
+        buf[k] = v[i];
+        i += 1;
+        k += 1;
+    }
+    while j < n {
+        buf[k] = v[j];
+        j += 1;
+        k += 1;
+    }
+    v.copy_from_slice(buf);
+    inversions
 }
 
 /// A robust line fit from the Theil-Sen estimator.
@@ -117,8 +212,37 @@ pub struct TheilSenFit {
 /// Theil-Sen slope estimator over equally spaced samples (x = index).
 ///
 /// Computes the median of all pairwise slopes `(y_j - y_i)/(j - i)`, which is
-/// robust to up to ~29% outliers.
+/// robust to up to ~29% outliers. The median is found by deterministic
+/// selection (`select_nth_unstable_by` under `total_cmp`) rather than a full
+/// sort of the n(n−1)/2 slopes, which drops the dominant cost from
+/// O(n² log n) to O(n²) expected with a much smaller constant. Selection
+/// returns the same order statistics the sort would, so the result is
+/// bit-identical to [`theil_sen_naive`] (pinned by property tests).
 pub fn theil_sen(data: &[f64]) -> Result<TheilSenFit> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    let n = data.len();
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n - 1 {
+        for j in i + 1..n {
+            slopes.push((data[j] - data[i]) / (j - i) as f64);
+        }
+    }
+    let slope = median_by_selection(&mut slopes);
+    let mut intercepts: Vec<f64> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| y - slope * i as f64)
+        .collect();
+    let intercept = median_by_selection(&mut intercepts);
+    Ok(TheilSenFit { slope, intercept })
+}
+
+/// Reference Theil-Sen via a full sort of all pairwise slopes.
+///
+/// Ground truth for the property tests pinning [`theil_sen`]; not used on
+/// the scan hot path.
+pub fn theil_sen_naive(data: &[f64]) -> Result<TheilSenFit> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
     let n = data.len();
@@ -146,6 +270,28 @@ fn median_of_sorted(sorted: &[f64]) -> f64 {
         sorted[n / 2]
     } else {
         0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median via `select_nth_unstable_by` instead of a full sort.
+///
+/// For even lengths the lower middle element is the `total_cmp` maximum of
+/// the left partition after selecting the upper middle — the same value
+/// `sorted[n/2 − 1]` a sort would produce (ties under `total_cmp` imply bit
+/// equality for finite inputs), added in the same order, so the average is
+/// bit-identical to [`median_of_sorted`] on the sorted array.
+fn median_by_selection(values: &mut [f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mid = n / 2;
+    let (left, &mut hi, _) = values.select_nth_unstable_by(mid, f64::total_cmp);
+    if n % 2 == 1 {
+        hi
+    } else {
+        let lo = left.iter().copied().max_by(f64::total_cmp).unwrap_or(hi);
+        0.5 * (lo + hi)
     }
 }
 
@@ -224,5 +370,65 @@ mod tests {
     fn short_inputs_error() {
         assert!(mann_kendall(&[1.0, 2.0], 0.05).is_err());
         assert!(theil_sen(&[1.0]).is_err());
+    }
+
+    fn pseudo_series(n: usize, seed: u64, quantize: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mut z = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seed);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (((z >> 33) % 1000) as f64 / quantize).floor()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_mann_kendall_bit_identical_to_naive() {
+        // Quantized series produce heavy ties, exercising the tie-run
+        // accounting; finer quantization exercises the inversion count.
+        for &(n, seed, q) in &[(4usize, 1u64, 1.0), (37, 2, 10.0), (100, 3, 100.0), (225, 4, 1.0)]
+        {
+            let data = pseudo_series(n, seed, q);
+            let fast = mann_kendall(&data, 0.05).unwrap();
+            let slow = mann_kendall_naive(&data, 0.05).unwrap();
+            assert_eq!(fast.s, slow.s, "n={n} seed={seed}");
+            assert_eq!(fast.z.to_bits(), slow.z.to_bits());
+            assert_eq!(fast.p_value.to_bits(), slow.p_value.to_bits());
+            assert_eq!(fast.direction, slow.direction);
+        }
+    }
+
+    #[test]
+    fn fast_theil_sen_bit_identical_to_naive() {
+        for &(n, seed) in &[(2usize, 5u64), (3, 6), (50, 7), (101, 8), (225, 9)] {
+            let data = pseudo_series(n, seed, 7.0);
+            let fast = theil_sen(&data).unwrap();
+            let slow = theil_sen_naive(&data).unwrap();
+            assert_eq!(fast.slope.to_bits(), slow.slope.to_bits(), "n={n}");
+            assert_eq!(fast.intercept.to_bits(), slow.intercept.to_bits());
+        }
+    }
+
+    #[test]
+    fn inversion_count_matches_definition() {
+        let data = [3.0, 1.0, 2.0, 2.0, 0.5];
+        let mut v = data.to_vec();
+        let mut buf = vec![0.0; v.len()];
+        let fast = count_inversions(&mut v, &mut buf);
+        let mut slow = 0i64;
+        for i in 0..data.len() {
+            for j in i + 1..data.len() {
+                if data[i].total_cmp(&data[j]) == std::cmp::Ordering::Greater {
+                    slow += 1;
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(v, sorted);
     }
 }

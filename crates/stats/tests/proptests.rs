@@ -2,8 +2,8 @@
 
 use fbd_stats::prefix::PrefixStats;
 use fbd_stats::{
-    changepoint, cusum, descriptive, distributions, em, fourier, regression, sax, smoothing, stl,
-    text, trend,
+    acf, changepoint, cusum, descriptive, distributions, em, fourier, regression, sax, smoothing,
+    stl, text, trend,
 };
 use proptest::prelude::*;
 
@@ -231,5 +231,99 @@ proptest! {
         let t01 = distributions::student_t_critical(0.01, dof);
         let t05 = distributions::student_t_critical(0.05, dof);
         prop_assert!(t01 > t05);
+    }
+
+    #[test]
+    fn mann_kendall_fast_bit_identical_to_naive(data in finite_series(4, 160)) {
+        // The O(n log n) inversion-counting Mann-Kendall is an exact integer
+        // algorithm: S, variance, z, and p must match the O(n²) pairwise
+        // definition bit for bit.
+        let fast = trend::mann_kendall(&data, 0.05).unwrap();
+        let naive = trend::mann_kendall_naive(&data, 0.05).unwrap();
+        prop_assert_eq!(fast.s, naive.s);
+        prop_assert_eq!(fast.z.to_bits(), naive.z.to_bits());
+        prop_assert_eq!(fast.p_value.to_bits(), naive.p_value.to_bits());
+        prop_assert_eq!(fast.direction, naive.direction);
+    }
+
+    #[test]
+    fn mann_kendall_fast_handles_ties_exactly(
+        raw in prop::collection::vec(-20i64..20, 4..120),
+        significance in 0.01f64..0.2,
+    ) {
+        // Integer-valued series maximize ties, stressing the tie-run
+        // correction shared by both implementations.
+        let data: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let fast = trend::mann_kendall(&data, significance).unwrap();
+        let naive = trend::mann_kendall_naive(&data, significance).unwrap();
+        prop_assert_eq!(fast.s, naive.s);
+        prop_assert_eq!(fast.z.to_bits(), naive.z.to_bits());
+        prop_assert_eq!(fast.p_value.to_bits(), naive.p_value.to_bits());
+    }
+
+    #[test]
+    fn theil_sen_selection_bit_identical_to_sort(data in finite_series(2, 80)) {
+        // Median-by-selection over pairwise slopes must reproduce the
+        // sort-based median exactly (total_cmp ties are bit-equal values).
+        let fast = trend::theil_sen(&data).unwrap();
+        let naive = trend::theil_sen_naive(&data).unwrap();
+        prop_assert_eq!(fast.slope.to_bits(), naive.slope.to_bits());
+        prop_assert_eq!(fast.intercept.to_bits(), naive.intercept.to_bits());
+    }
+
+    #[test]
+    fn acf_fft_matches_naive_all_lags(data in finite_series(16, 220)) {
+        // Wiener–Khinchin all-lags ACF against the direct O(n·k) definition.
+        let max_lag = data.len() - 2;
+        let fast = acf::acf_fft(&data, max_lag).unwrap();
+        let naive = acf::acf_naive(&data, max_lag).unwrap();
+        prop_assert_eq!(fast.len(), naive.len());
+        for (lag, (f, n)) in fast.iter().zip(&naive).enumerate() {
+            // Autocorrelations are normalized, so the tolerance is absolute.
+            prop_assert!((f - n).abs() < 1e-7, "lag {} fft {f} vs naive {n}", lag + 1);
+        }
+    }
+
+    #[test]
+    fn loess_fft_matches_naive_uniform(data in finite_series(32, 220), fraction in 0.15f64..0.5) {
+        let ones = vec![1.0; data.len()];
+        let fast = stl::loess_smooth_fft(&data, fraction, &ones).unwrap();
+        let naive = stl::loess_smooth_naive(&data, fraction, &ones).unwrap();
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (i, (f, n)) in fast.iter().zip(&naive).enumerate() {
+            prop_assert!((f - n).abs() < 1e-9 * scale, "i={i} fft {f} vs naive {n}");
+        }
+    }
+
+    #[test]
+    fn loess_fft_matches_naive_robustness(
+        data in finite_series(32, 160),
+        weight_seed in 1usize..13,
+        fraction in 0.15f64..0.5,
+    ) {
+        // Bounded-below weights keep the local fits away from the singular
+        // guard, where fast and naive could legitimately branch-diverge.
+        let weights: Vec<f64> = (0..data.len())
+            .map(|i| 0.25 + 0.75 * ((i * weight_seed) % 7) as f64 / 7.0)
+            .collect();
+        let fast = stl::loess_smooth_fft(&data, fraction, &weights).unwrap();
+        let naive = stl::loess_smooth_naive(&data, fraction, &weights).unwrap();
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (i, (f, n)) in fast.iter().zip(&naive).enumerate() {
+            prop_assert!((f - n).abs() < 1e-9 * scale, "i={i} fft {f} vs naive {n}");
+        }
+    }
+
+    #[test]
+    fn loess_dispatch_close_to_naive(data in finite_series(16, 300), fraction in 0.15f64..0.5) {
+        // Whatever path the cost model picks, the public entry point stays
+        // within float tolerance of the reference implementation.
+        let ones = vec![1.0; data.len()];
+        let dispatched = stl::loess_smooth(&data, fraction, &ones).unwrap();
+        let naive = stl::loess_smooth_naive(&data, fraction, &ones).unwrap();
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (i, (d, n)) in dispatched.iter().zip(&naive).enumerate() {
+            prop_assert!((d - n).abs() < 1e-9 * scale, "i={i} dispatch {d} vs naive {n}");
+        }
     }
 }
