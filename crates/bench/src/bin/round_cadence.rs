@@ -1,0 +1,276 @@
+//! Steady-state scheduler-round cadence: the streaming scan engine's
+//! headline benchmark.
+//!
+//! A production scheduler does not scan a frozen store: every re-run
+//! interval it scans series that grew by a handful of points since the
+//! last round, with the scan watermark quantized to re-run boundaries
+//! (§5.1's "rerun interval"). This harness drives that loop end to end:
+//! each round appends `k ∈ [1, 30]` fresh points per series (a
+//! deterministic per-series/per-round mix), then scans with the streaming
+//! engine on and — over the identical store state — with it off, asserting
+//! byte-identical reports and funnel counters every round.
+//!
+//! Reported numbers:
+//! - `cold_rounds_per_sec` — the engine-off rate, with the pipeline's
+//!   seasonality/STL caches warm: the strongest honest baseline, i.e. what
+//!   a scheduler round costs without round-over-round reuse.
+//! - `steady_rounds_per_sec` — engine-on rounds where the watermark did not
+//!   move (the common case; appends land at or past the watermark, so the
+//!   engine replays cached outcomes after a version/partition check).
+//! - `boundary_rounds_per_sec` — engine-on rounds where the watermark
+//!   jumped a re-run boundary and windows genuinely moved.
+//!
+//! The allocation-freedom satellite is asserted here too: after warmup the
+//! engine's `buffer_growth` counter must stop moving — steady-state rounds
+//! recycle their window buffers instead of growing fresh ones.
+//!
+//! Results merge into `BENCH_pipeline.json` under `"round_cadence"`.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin round_cadence`
+
+use fbd_bench::{render_table, suite_config, suite_scan_time, CADENCE};
+use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
+use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore};
+use fbdetect_core::{report, Pipeline, ScanContext, Threshold};
+use std::time::Instant;
+
+const LEN: usize = 900;
+const ROUNDS: usize = 24;
+/// Rounds excluded from the steady-state average while caches and the
+/// engine warm up.
+const WARMUP: usize = 4;
+
+/// Deterministic per-series, per-round append count in `[1, 30]`.
+fn appends_for(series: usize, round: usize) -> usize {
+    1 + (series * 7 + round * 13) % 30
+}
+
+fn main() {
+    let n_series: usize = std::env::var("SERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    // Same production-like mix and seed as capacity_scaling, so the two
+    // records in BENCH_pipeline.json describe the same population.
+    let suite_cfg = SuiteConfig {
+        clean: n_series * 7 / 10,
+        regressions: n_series / 100,
+        gradual: 0,
+        transients: n_series / 4,
+        seasonal: n_series / 25,
+        len: LEN,
+        change_fraction: 0.75,
+        relative_magnitude_range: (0.01, 0.2),
+        base: 1.0,
+        noise_std: 0.002,
+    };
+    let suite = labelled_suite(&suite_cfg, 777).unwrap();
+    let store = TsdbStore::new();
+    let mut ids = Vec::with_capacity(suite.len());
+    for (i, s) in suite.iter().enumerate() {
+        let id = SeriesId::new("svc", MetricKind::GCpu, format!("s{i:06}"));
+        store.insert_series(id.clone(), TimeSeries::from_values(0, CADENCE, &s.values));
+        ids.push(id);
+    }
+    let n = ids.len();
+    let config = suite_config(LEN, Threshold::Absolute(0.01));
+    let rerun = config.windows.rerun_interval;
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "round cadence: {n} series x {ROUNDS} rounds, 1..=30 appended points/series/round,\n\
+         rerun interval {rerun} s, cores {cores}\n"
+    );
+
+    let mut warm = Pipeline::new(suite_config(LEN, Threshold::Absolute(0.01))).unwrap();
+    let mut cold = Pipeline::new(suite_config(LEN, Threshold::Absolute(0.01))).unwrap();
+    cold.set_streaming(false);
+
+    // Per-series ingestion frontier: the next timestamp each series writes.
+    let mut frontier: Vec<u64> = vec![suite_scan_time(LEN); n];
+    // The scan watermark trails the slowest series, quantized to re-run
+    // boundaries — the production scheduler's clock model. Appends always
+    // land at or past it, so an unmoved watermark means unmoved windows.
+    let mut now = suite_scan_time(LEN);
+
+    let mut steady_secs = 0.0;
+    let mut steady_rounds = 0usize;
+    let mut boundary_secs = 0.0;
+    let mut boundary_rounds = 0usize;
+    let mut cold_secs = 0.0;
+    let mut cold_rounds = 0usize;
+    let mut growth_after_warmup = 0u64;
+    let mut rows = Vec::new();
+
+    for round in 0..ROUNDS {
+        for (i, id) in ids.iter().enumerate() {
+            let k = appends_for(i, round);
+            for _ in 0..k {
+                // Fresh points continue the series' tail with a small
+                // deterministic wobble; values are irrelevant to the
+                // reuse machinery, which keys on versions and partitions.
+                let t = frontier[i];
+                let v = suite[i].values[LEN - 1] + ((t / CADENCE + i as u64) % 7) as f64 * 1e-4;
+                store.append(id, t, v).unwrap();
+                frontier[i] += CADENCE;
+            }
+        }
+        let slowest = frontier.iter().copied().min().unwrap_or(now);
+        let quantized = slowest / rerun * rerun;
+        let moved = quantized > now;
+        now = now.max(quantized);
+
+        let start = Instant::now();
+        let w = warm.scan(&store, &ids, now, &ScanContext::default()).unwrap();
+        let warm_elapsed = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let c = cold.scan(&store, &ids, now, &ScanContext::default()).unwrap();
+        let cold_elapsed = start.elapsed().as_secs_f64();
+
+        // Byte-identity every round: the engine may only skip work, never
+        // change what the scan reports.
+        let wf = format!(
+            "{}{:?}|{:?}",
+            report::render_batch(&w.reports, None),
+            w.funnel,
+            w.health
+        );
+        let cf = format!(
+            "{}{:?}|{:?}",
+            report::render_batch(&c.reports, None),
+            c.funnel,
+            c.health
+        );
+        assert_eq!(
+            wf, cf,
+            "round {round}: streaming and cold scans diverged at now={now}"
+        );
+
+        let stats = warm.streaming_stats().unwrap();
+        if round == WARMUP {
+            growth_after_warmup = stats.buffer_growth;
+        }
+        if round >= WARMUP {
+            cold_secs += cold_elapsed;
+            cold_rounds += 1;
+            if moved {
+                boundary_secs += warm_elapsed;
+                boundary_rounds += 1;
+            } else {
+                steady_secs += warm_elapsed;
+                steady_rounds += 1;
+            }
+        }
+        rows.push(vec![
+            format!("{round}"),
+            format!("{now}"),
+            if moved { "jump".into() } else { "held".into() },
+            format!("{:.1} ms", warm_elapsed * 1e3),
+            format!("{:.1} ms", cold_elapsed * 1e3),
+            format!("{}", stats.reused_full),
+            format!("{}", stats.scanned),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "round",
+                "watermark",
+                "window",
+                "streaming",
+                "cold",
+                "reused(cum)",
+                "scanned(cum)"
+            ],
+            &rows
+        )
+    );
+
+    let stats = warm.streaming_stats().unwrap();
+    println!("engine counters: {stats:?}\n");
+
+    let steady_rate = steady_rounds as f64 / steady_secs.max(1e-12);
+    let boundary_rate = if boundary_rounds > 0 {
+        boundary_rounds as f64 / boundary_secs.max(1e-12)
+    } else {
+        0.0
+    };
+    let cold_rate = cold_rounds as f64 / cold_secs.max(1e-12);
+    let speedup = steady_rate / cold_rate.max(1e-12);
+    println!(
+        "steady-state: {steady_rate:.2} rounds/s over {steady_rounds} held-watermark rounds \
+         ({:.0} series/s)",
+        steady_rate * n as f64
+    );
+    if boundary_rounds > 0 {
+        println!("boundary:     {boundary_rate:.2} rounds/s over {boundary_rounds} jump rounds");
+    }
+    println!(
+        "cold:         {cold_rate:.2} rounds/s (engine off, caches warm)\n\
+         steady-state speedup over cold: {speedup:.2}x"
+    );
+
+    // Allocation proxy: once warm, steady-state rounds must recycle their
+    // window buffers — any further growth means the hot loop is allocating.
+    assert_eq!(
+        stats.buffer_growth, growth_after_warmup,
+        "window buffers kept growing after warmup: {} -> {}",
+        growth_after_warmup, stats.buffer_growth
+    );
+    assert!(
+        stats.reused_full > 0,
+        "no round ever replayed a cached outcome; the steady-state path never ran"
+    );
+    assert!(
+        steady_rounds > 0 && boundary_rounds > 0,
+        "schedule produced no steady ({steady_rounds}) or no boundary ({boundary_rounds}) rounds"
+    );
+    // The tentpole acceptance floor, overridable for slow CI runners via
+    // MIN_SPEEDUP (e.g. MIN_SPEEDUP=2 on shared runners).
+    let min_speedup = std::env::var("MIN_SPEEDUP")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(3.0);
+    assert!(
+        speedup >= min_speedup,
+        "steady-state rounds are only {speedup:.2}x the cold rate (need >= {min_speedup:.1}x)"
+    );
+    println!("speedup floor passed: {speedup:.2}x >= {min_speedup:.1}x");
+
+    // Merge the record into BENCH_pipeline.json (written by
+    // capacity_scaling) under a "round_cadence" key, preserving the rest.
+    let entry = format!(
+        "\"round_cadence\": {{\n    \"series\": {n},\n    \"rounds\": {ROUNDS},\n    \
+         \"cores\": {cores},\n    \"steady_rounds_per_sec\": {steady_rate:.3},\n    \
+         \"boundary_rounds_per_sec\": {boundary_rate:.3},\n    \
+         \"cold_rounds_per_sec\": {cold_rate:.3},\n    \
+         \"steady_speedup\": {speedup:.2},\n    \
+         \"steady_series_per_sec\": {:.1},\n    \
+         \"reused_full\": {},\n    \"buffer_growth\": {}\n  }}",
+        steady_rate * n as f64,
+        stats.reused_full,
+        stats.buffer_growth,
+    );
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => {
+            let body = existing.trim_end();
+            let body = body.strip_suffix('}').unwrap_or(body).trim_end();
+            // Replace a previous round_cadence entry if present.
+            let body = match body.find(",\n  \"round_cadence\"") {
+                Some(pos) => &body[..pos],
+                None => body,
+            };
+            format!("{body},\n  {entry}\n}}\n")
+        }
+        Err(_) => format!("{{\n  {entry}\n}}\n"),
+    };
+    match std::fs::write(&out_path, &merged) {
+        Ok(()) => println!("merged round_cadence into {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

@@ -87,7 +87,7 @@ proptest! {
     #[test]
     fn distance_axioms(a in prop::collection::vec(-1e3f64..1e3, 4), b in prop::collection::vec(-1e3f64..1e3, 4)) {
         prop_assert!((distance(&a, &b) - distance(&b, &a)).abs() < 1e-9);
-        prop_assert_eq!(distance(&a, &a), 0.0);
+        prop_assert_eq!(distance(&a, &a).to_bits(), 0.0f64.to_bits());
         prop_assert!((distance(&a, &b).powi(2) - squared_distance(&a, &b)).abs() < 1e-6);
     }
 }

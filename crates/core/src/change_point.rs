@@ -9,7 +9,7 @@
 use crate::config::DetectorConfig;
 use crate::types::{Regression, RegressionKind};
 use crate::Result;
-use fbd_stats::{em, hypothesis};
+use fbd_stats::{distributions, em, hypothesis, prefix};
 use fbd_tsdb::{SeriesId, Timestamp, WindowedData};
 
 /// The short-term change-point detector.
@@ -42,8 +42,9 @@ impl ChangePointDetector {
         if data.len() < 8 || windows.analysis_len() == 0 {
             return Ok(None);
         }
-        // Degenerate series (constant, too short) carry no change point.
-        let Ok(fit) = em::fit_two_segment(data, self.max_iterations) else {
+        // Degenerate series (non-finite samples) carry no change point. One
+        // prefix build serves the skip bound, the EM fit, and the LRT.
+        let Ok(ps) = prefix::validated(data, 8) else {
             return Ok(None);
         };
         // The change must fall within the analysis region (or its boundary);
@@ -51,10 +52,26 @@ impl ChangePointDetector {
         // extended window exists to check persistence, not to report from.
         let analysis_begin = windows.historic_len().saturating_sub(1);
         let analysis_end = windows.historic_len() + windows.analysis_len();
+        // Sound EM skip: the strongest in-region split upper-bounds the
+        // statistic of any change point the fit could report. If even that
+        // split cannot reject H0, no in-region candidate can, and every
+        // out-of-region candidate is dropped by the gate below anyway.
+        let Some(bound) =
+            hypothesis::max_lrt_statistic_in_range(&ps, analysis_begin, analysis_end.saturating_sub(1))
+        else {
+            return Ok(None);
+        };
+        if distributions::chi_squared_p_value(bound, 2.0) >= self.significance {
+            return Ok(None);
+        }
+        let Ok(fit) = em::fit_two_segment_from_prefix(&ps, self.max_iterations) else {
+            return Ok(None);
+        };
         if fit.change_point < analysis_begin || fit.change_point >= analysis_end {
             return Ok(None);
         }
-        let test = hypothesis::likelihood_ratio_test(data, fit.change_point, self.significance)?;
+        let test =
+            hypothesis::likelihood_ratio_test_from_prefix(&ps, fit.change_point, self.significance)?;
         if !test.reject_null {
             return Ok(None);
         }

@@ -38,6 +38,7 @@ pub mod quarantine;
 pub mod report;
 pub mod root_cause;
 pub mod scan_cache;
+pub mod scan_state;
 pub mod scheduler;
 pub mod seasonality;
 pub mod types;
@@ -47,6 +48,7 @@ pub use config::{DetectorConfig, Threshold};
 pub use error::DetectError;
 pub use pipeline::{Pipeline, ScanBudget, ScanContext, ScanOutcome};
 pub use quarantine::{FaultKind, Quarantine, QuarantineConfig};
+pub use scan_state::{EngineStats, StreamingEngine};
 pub use types::{FunnelCounters, Regression, RegressionKind, ScanHealth};
 
 /// Convenience alias used by fallible routines in this crate.

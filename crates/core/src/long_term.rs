@@ -159,6 +159,91 @@ impl LongTermDetector {
         monotone_safe && !self.threshold.is_met(baseline_lb, current_ub)
     }
 
+    /// [`Self::detect_cached`] specialized for the streaming engine: when
+    /// the series has no seasonality, the wide Loess trend is only ever
+    /// consumed through four edge-region means, so those regions are
+    /// evaluated directly with the per-point kernel — O(edge·window)
+    /// instead of smoothing all n points — and the scan concludes `None`
+    /// when even the guard-banded optimistic pair cannot meet the
+    /// threshold. Any other outcome (seasonal series, near-threshold
+    /// margin, degenerate regions) falls back to the full path, which the
+    /// shared [`ScanCache`] keeps cheap, so decisions are bit-identical to
+    /// [`Self::detect_cached`].
+    pub fn detect_streaming(
+        &self,
+        series: &SeriesId,
+        windows: &WindowedData,
+        now: Timestamp,
+        cache: &ScanCache,
+    ) -> Result<Option<Regression>> {
+        let data = windows.all();
+        if data.len() < 16 {
+            return Ok(None);
+        }
+        if self.prefilter_says_flat(
+            data,
+            windows.historic_len(),
+            windows.analysis_len(),
+            windows.extended_len(),
+        ) {
+            return Ok(None);
+        }
+        let season =
+            cache.seasonality(series, data, 2, self.max_period, self.acf_threshold)?;
+        let period = season.map(|s| s.period).unwrap_or(0);
+        if period >= 2 && data.len() >= period * 2 {
+            // Seasonal: STL's trend has no cheap region shortcut.
+            return self.detect_inner(series, windows, now, Some(cache));
+        }
+        let h_len = windows.historic_len();
+        let a_len = windows.analysis_len();
+        if a_len < 4 {
+            return Ok(None);
+        }
+        let n = data.len();
+        let edge = (a_len / 4).max(2).min(a_len);
+        let analysis_end = (h_len + a_len).min(n);
+        // The exact regions detect_inner averages the trend over.
+        let regions = [
+            (0, edge.min(h_len).max(1)),
+            (h_len, (h_len + edge).min(n)),
+            (analysis_end.saturating_sub(edge), analysis_end),
+            (n.saturating_sub(edge), n),
+        ];
+        let mut means = [0.0; 4];
+        for (slot, &(lo, hi)) in means.iter_mut().zip(&regions) {
+            match fbd_stats::stl::loess_uniform_range_mean(data, 0.3, lo, hi) {
+                Ok(m) => *slot = m,
+                // Empty region: the full path errors here; reproduce that.
+                Err(_) => return self.detect_inner(series, windows, now, Some(cache)),
+            }
+        }
+        let baseline = means[0].max(means[1]);
+        let current = if windows.extended_len() == 0 {
+            means[2]
+        } else {
+            means[2].min(means[3])
+        };
+        // Per-point edge evaluation can differ from the dispatched smooth by
+        // ~1e-9·scale; a 1e-6·scale guard band dwarfs that, so refuting the
+        // optimistic (baseline − g, current + g) pair refutes the true pair
+        // whenever the threshold is monotone over the guard box.
+        let scale = data.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+        let guard = 1e-6 * scale;
+        let monotone_safe = match self.threshold {
+            Threshold::Absolute(_) => true,
+            Threshold::Relative(t) => t >= 0.0 && baseline - guard > 0.0,
+        };
+        if baseline.is_finite()
+            && current.is_finite()
+            && monotone_safe
+            && !self.threshold.is_met(baseline - guard, current + guard)
+        {
+            return Ok(None);
+        }
+        self.detect_inner(series, windows, now, Some(cache))
+    }
+
     /// The full STL/Loess detection path, without the pre-filter. Public so
     /// tests can verify the pre-filter only skips series this path rejects.
     pub fn detect_without_prefilter(
@@ -457,6 +542,46 @@ mod tests {
             let with = d.detect(&sid(), &w, 0).unwrap();
             let without = d.detect_without_prefilter(&sid(), &w, 0).unwrap();
             assert_eq!(with.is_some(), without.is_some());
+        }
+    }
+
+    #[test]
+    fn streaming_path_decisions_match_cached_path() {
+        // The guard-banded edge-mean fast path may only refute candidates
+        // the full path would also refute: across flats, ramps, steps,
+        // near-threshold margins, and seasonal series, `detect_streaming`
+        // and `detect_cached` must agree — and any reported regression must
+        // be bit-identical.
+        use crate::scan_cache::ScanCache;
+        let seasonal: Vec<f64> = (0..200)
+            .map(|i| 1.0 + 0.3 * (i as f64 / 12.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let ramp: Vec<f64> = (0..200).map(|i| 1.0 + 0.5 * i as f64 / 200.0).collect();
+        let mut step = noisy(200, 1.0, 0.02, 3);
+        for v in step[120..].iter_mut() {
+            *v += 0.4;
+        }
+        let near: Vec<f64> = (0..200).map(|i| 1.0 + 0.101 * i as f64 / 200.0).collect();
+        let cases = [
+            windows(noisy(200, 1.0, 0.05, 1), noisy(200, 1.0, 0.05, 2), vec![]),
+            windows(noisy(200, 1.0, 0.05, 1), ramp, noisy(50, 1.5, 0.05, 4)),
+            windows(noisy(200, 1.0, 0.02, 5), step, vec![]),
+            windows(noisy(200, 1.0, 0.01, 6), near, vec![]),
+            windows(seasonal.clone(), seasonal, vec![]),
+        ];
+        for (i, w) in cases.iter().enumerate() {
+            for thr in [0.05, 0.1, 0.3] {
+                let d = detector(thr);
+                let cache_a = ScanCache::new();
+                let cache_b = ScanCache::new();
+                let cached = d.detect_cached(&sid(), w, 0, Some(&cache_a)).unwrap();
+                let streaming = d.detect_streaming(&sid(), w, 0, &cache_b).unwrap();
+                assert_eq!(
+                    format!("{cached:?}"),
+                    format!("{streaming:?}"),
+                    "case {i} thr {thr}: cached and streaming long-term paths diverged"
+                );
+            }
         }
     }
 

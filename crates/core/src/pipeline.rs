@@ -26,7 +26,8 @@ use crate::dedup::som_dedup::{som_dedup, SomDedupConfig};
 use crate::long_term::LongTermDetector;
 use crate::quarantine::{FaultKind, Quarantine, QuarantineConfig};
 use crate::root_cause::{RcaContext, RootCauseAnalyzer};
-use crate::scan_cache::{CacheStats, ScanCache};
+use crate::scan_cache::{self, CacheStats, ScanCache};
+use crate::scan_state::{CachedScan, EngineStats, Prepared, StreamingEngine};
 use crate::seasonality::SeasonalityDetector;
 use crate::types::{FunnelCounters, Regression, ScanHealth};
 use crate::went_away::WentAwayDetector;
@@ -37,6 +38,7 @@ use fbd_profiler::callgraph::CallGraph;
 use fbd_profiler::gcpu::stack_trace_overlap;
 use fbd_profiler::sample::StackSample;
 use fbd_tsdb::{MetricKind, SeriesId, Timestamp, TsdbStore, WindowedData};
+use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -163,6 +165,10 @@ pub struct Pipeline {
     chaos_hook: Option<ChaosHook>,
     /// Cross-scan per-series artifact cache (seasonality, STL, SAX).
     cache: ScanCache,
+    /// Streaming incremental scan engine (round-over-round reuse of window
+    /// snapshots, statistics, and quiet verdicts); `None` disables it and
+    /// every round re-extracts from batched store snapshots.
+    streaming: Option<StreamingEngine>,
     /// Number of detection worker threads.
     pub threads: usize,
 }
@@ -187,6 +193,7 @@ impl Pipeline {
             budget: ScanBudget::default(),
             chaos_hook: None,
             cache: ScanCache::new(),
+            streaming: Some(StreamingEngine::new(config.windows)),
             threads: 4,
             config,
         })
@@ -227,6 +234,26 @@ impl Pipeline {
         self.cache.clear()
     }
 
+    /// Enables or disables the streaming incremental scan engine.
+    /// Disabling drops all engine state; re-enabling starts cold. Scan
+    /// decisions, reports, and fault messages are identical either way —
+    /// the engine only changes how much work a round repeats.
+    pub fn set_streaming(&mut self, enabled: bool) {
+        if enabled {
+            if self.streaming.is_none() {
+                self.streaming = Some(StreamingEngine::new(self.config.windows));
+            }
+        } else {
+            self.streaming = None;
+        }
+    }
+
+    /// Round-over-round reuse counters of the streaming engine, when
+    /// enabled.
+    pub fn streaming_stats(&self) -> Option<EngineStats> {
+        self.streaming.as_ref().map(StreamingEngine::stats)
+    }
+
     /// Installs a fault-injection hook called for every series before
     /// detection. A hook that panics simulates a buggy detector; the
     /// supervisor must isolate it.
@@ -264,6 +291,9 @@ impl Pipeline {
         context: &ScanContext<'_>,
     ) -> Result<ScanOutcome> {
         let scan_started = Instant::now();
+        // Advance the artifact cache's round clock (drives size-capped
+        // eviction of cold entries).
+        self.cache.note_round();
         let mut funnel = FunnelCounters::default();
         let mut health = ScanHealth {
             series_total: series.len(),
@@ -282,6 +312,12 @@ impl Pipeline {
             health.series_quarantined = series.len() - admitted.len();
             admitted
         };
+        // --- Streaming ingest: one batched delta pass updates the engine's
+        // per-series states (O(1) for unchanged series, O(k) for appended
+        // tails) before the fan-out, so workers never touch a shard lock. ---
+        if let Some(engine) = self.streaming.as_mut() {
+            engine.begin_round(store, &eligible, now);
+        }
         // --- Stage 1: change-point detection, parallel across series,
         // each series isolated under `catch_unwind`. ---
         let batch = self.detect_parallel(store, &eligible, now)?;
@@ -309,15 +345,30 @@ impl Pipeline {
         let (short, long) = (batch.short, batch.long);
         funnel.change_points = short.len() + long.len();
         // --- Stage 2: went-away detection (short-term only). A filter
-        // error drops the candidate and quarantines its series. ---
+        // error drops the candidate and quarantines its series. Verdicts
+        // are memoized per candidate: on the scheduler cadence an unmoved
+        // watermark replays bit-identical candidates, so the filter's
+        // `keep` decision is replayed instead of recomputed. ---
         let mut kept_short = Vec::with_capacity(short.len());
+        let mut candidate_keys = Vec::with_capacity(short.len());
         for r in short {
-            match self.went_away.evaluate_with_cache(&r, Some(&self.cache)) {
-                Ok(v) => {
-                    if v.keep {
-                        kept_short.push(r);
-                    }
+            let key = scan_cache::candidate_key(&r);
+            let keep = match self.cache.went_away_keep(&r.series, key) {
+                Some(keep) => Ok(keep),
+                None => self
+                    .went_away
+                    .evaluate_with_cache(&r, Some(&self.cache))
+                    .map(|v| {
+                        self.cache.store_went_away_keep(&r.series, key, v.keep);
+                        v.keep
+                    }),
+            };
+            match keep {
+                Ok(true) => {
+                    kept_short.push(r);
+                    candidate_keys.push(key);
                 }
+                Ok(false) => {}
                 Err(e) => {
                     health.errored += 1;
                     self.quarantine.record_failure(
@@ -332,13 +383,20 @@ impl Pipeline {
         funnel.after_went_away = kept_short.len() + long.len();
         // --- Stage 3: seasonality detection (short-term only). ---
         let mut deseasoned = Vec::with_capacity(kept_short.len());
-        for r in kept_short {
-            match self.seasonality.evaluate_with_cache(&r, Some(&self.cache)) {
-                Ok(v) => {
-                    if v.keep {
-                        deseasoned.push(r);
-                    }
-                }
+        for (r, key) in kept_short.into_iter().zip(candidate_keys) {
+            let keep = match self.cache.seasonality_keep(&r.series, key) {
+                Some(keep) => Ok(keep),
+                None => self
+                    .seasonality
+                    .evaluate_with_cache(&r, Some(&self.cache))
+                    .map(|v| {
+                        self.cache.store_seasonality_keep(&r.series, key, v.keep);
+                        v.keep
+                    }),
+            };
+            match keep {
+                Ok(true) => deseasoned.push(r),
+                Ok(false) => {}
                 Err(e) => {
                     health.errored += 1;
                     self.quarantine.record_failure(
@@ -522,13 +580,17 @@ impl Pipeline {
         })
     }
 
-    /// Runs detection for one series. Never called outside the
-    /// `catch_unwind` isolation in [`Pipeline::detect_parallel`].
-    fn detect_one(&self, store: &TsdbStore, id: &SeriesId, now: Timestamp) -> SeriesScan {
-        if let Some(hook) = &self.chaos_hook {
-            hook(id);
-        }
-        let mut windows = match store.windows(id, &self.config.windows, now) {
+    /// Runs detection on freshly extracted *raw* windows (the store /
+    /// snapshot path): data-quality gate, orientation, then the detectors.
+    /// Never called outside the `catch_unwind` isolation in
+    /// [`Pipeline::detect_parallel`].
+    fn detect_windowed(
+        &self,
+        id: &SeriesId,
+        windows: fbd_tsdb::Result<WindowedData>,
+        now: Timestamp,
+    ) -> SeriesScan {
+        let mut windows = match windows {
             Ok(w) => w,
             Err(e) => return SeriesScan::NoData(e.to_string()),
         };
@@ -564,6 +626,72 @@ impl Pipeline {
         }))
     }
 
+    /// Runs detection for one series through the streaming engine: replays
+    /// reusable outcomes, runs the detectors on engine-extracted
+    /// (pre-oriented, pre-gated) windows, and falls back to the plain store
+    /// path when the engine cannot serve the series. Decisions are
+    /// bit-identical to [`Pipeline::detect_windowed`] on the same data.
+    fn detect_one_streaming(
+        &self,
+        store: &TsdbStore,
+        engine: &StreamingEngine,
+        id: &SeriesId,
+        now: Timestamp,
+    ) -> SeriesScan {
+        match engine.prepare(id, self.budget.min_finite_fraction, self.budget.min_coverage) {
+            Prepared::Fallback => {
+                self.detect_windowed(id, store.windows(id, &self.config.windows, now), now)
+            }
+            Prepared::Reuse(outcome) => match outcome {
+                CachedScan::Ok {
+                    short,
+                    long,
+                    partial,
+                } => SeriesScan::Ok(Box::new(SeriesDetections {
+                    short,
+                    long,
+                    partial,
+                })),
+                CachedScan::NoData(detail) => SeriesScan::NoData(detail),
+                CachedScan::BadData(detail) => SeriesScan::BadData(detail),
+            },
+            Prepared::Scan { windows, token } => {
+                // Engine windows are already oriented and passed the
+                // data-quality gate in `prepare`.
+                let partial = windows.coverage.is_partial(self.budget.min_coverage);
+                let short = match self.change_point.detect(id, &windows, now) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        engine.complete(id, token, None, windows);
+                        return SeriesScan::Error(e);
+                    }
+                };
+                let long = if self.config.long_term_enabled {
+                    match self.long_term.detect_streaming(id, &windows, now, &self.cache) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            engine.complete(id, token, None, windows);
+                            return SeriesScan::Error(e);
+                        }
+                    }
+                } else {
+                    None
+                };
+                let outcome = CachedScan::Ok {
+                    short: short.clone(),
+                    long: long.clone(),
+                    partial,
+                };
+                engine.complete(id, token, Some(outcome), windows);
+                SeriesScan::Ok(Box::new(SeriesDetections {
+                    short,
+                    long,
+                    partial,
+                }))
+            }
+        }
+    }
+
     /// Stage-1 detection fanned out over worker threads, with each series
     /// supervised: a panicking or erroring detector loses that series
     /// only, never the scan.
@@ -579,17 +707,48 @@ impl Pipeline {
         now: Timestamp,
     ) -> Result<DetectBatch> {
         let threads = self.threads.clamp(1, 64).min(series.len().max(1));
+        let engine = self.streaming.as_ref();
+        // Engine off: extract every series' windows up front in one batched
+        // snapshot (one short read-lock hold per shard), so the workers
+        // below never touch a shard lock either way. Each slot is taken
+        // exactly once by whichever worker steals its index.
+        let snapshots: Vec<Mutex<Option<fbd_tsdb::Result<WindowedData>>>> = if engine.is_none() {
+            store
+                .snapshot_windows(series, &self.config.windows, now)
+                .into_iter()
+                .map(|r| Mutex::new(Some(r)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let next = AtomicUsize::new(0);
         let joined = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
                 let next = &next;
+                let snapshots = &snapshots;
                 handles.push(scope.spawn(move |_| {
                     let mut part = DetectBatch::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&id) = series.get(i) else { break };
-                        match catch_unwind(AssertUnwindSafe(|| self.detect_one(store, id, now))) {
+                        let detect = || {
+                            if let Some(hook) = &self.chaos_hook {
+                                hook(id);
+                            }
+                            match engine {
+                                Some(engine) => self.detect_one_streaming(store, engine, id, now),
+                                None => {
+                                    let windows = match snapshots.get(i).and_then(|s| s.lock().take())
+                                    {
+                                        Some(w) => w,
+                                        None => store.windows(id, &self.config.windows, now),
+                                    };
+                                    self.detect_windowed(id, windows, now)
+                                }
+                            }
+                        };
+                        match catch_unwind(AssertUnwindSafe(detect)) {
                             Ok(SeriesScan::Ok(detections)) => {
                                 part.short.extend(detections.short);
                                 part.long.extend(detections.long);

@@ -29,6 +29,7 @@
 //! worker interleaving cannot influence values. Hit/miss counters are
 //! telemetry only.
 
+use crate::types::Regression;
 use crate::Result;
 use fbd_stats::acf::{self, Seasonality};
 use fbd_stats::sax::{encode_in_range, SaxConfig, SaxString};
@@ -64,13 +65,42 @@ type TrendKey = (u64, usize);
 /// count, and validity-fraction bits.
 type SaxKey = (u64, u64, u64, usize, u64);
 
+/// Key identifying a candidate regression for filter-verdict reuse: the
+/// fingerprints of all three window regions plus every change field the
+/// filters read. Two candidates with equal keys are bit-identical inputs to
+/// the went-away and seasonality filters (up to 64-bit fingerprint
+/// collisions on the window content).
+pub type CandidateKey = (u64, u64, u64, usize, u64, u64, u64);
+
+/// The [`CandidateKey`] of a candidate regression.
+pub fn candidate_key(r: &Regression) -> CandidateKey {
+    (
+        fingerprint(r.windows.historic()),
+        fingerprint(r.windows.analysis()),
+        fingerprint(r.windows.extended()),
+        r.change_index,
+        r.change_time,
+        r.mean_before.to_bits(),
+        r.mean_after.to_bits(),
+    )
+}
+
 /// The artifacts cached for one series — one replaceable slot per kind.
 #[derive(Debug, Default, Clone)]
 struct SeriesArtifacts {
+    /// Round number of the last store into any slot; drives eviction.
+    last_round: u64,
     seasonality: Option<(SeasonalityKey, Option<Seasonality>)>,
     trend: Option<(TrendKey, Vec<f64>)>,
     decomposition: Option<(TrendKey, StlDecomposition)>,
     sax_reference: Option<(SaxKey, SaxString)>,
+    /// Memoized `keep` decisions of the went-away and seasonality filters
+    /// for the series' last candidate. The filters are pure functions of
+    /// the candidate (windows + change fields, all in the key), so on the
+    /// scheduler cadence — where an unchanged watermark replays the same
+    /// candidate round after round — the verdict is replayed too.
+    went_away_keep: Option<(CandidateKey, bool)>,
+    seasonality_keep: Option<(CandidateKey, bool)>,
 }
 
 /// Hit/miss telemetry for a [`ScanCache`].
@@ -80,6 +110,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// Series entries dropped by the capacity bound.
+    pub evicted: u64,
 }
 
 impl CacheStats {
@@ -100,31 +132,99 @@ impl CacheStats {
 /// shared with the parallel detection workers by reference (the interior
 /// `Mutex` makes it `Sync`). See the module docs for the keying,
 /// invalidation, and determinism arguments.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ScanCache {
     inner: Mutex<BTreeMap<SeriesId, SeriesArtifacts>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
+    /// Maximum retained series entries (0 disables the bound).
+    capacity: usize,
+    /// Monotone round counter; stores stamp entries with the current value.
+    round: AtomicU64,
+}
+
+/// Default bound on retained series entries: comfortably above any single
+/// round's working set while capping steady-state memory on long-lived
+/// pipelines that churn through many distinct series.
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
+impl Default for ScanCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl ScanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Current hit/miss counters.
+    /// An empty cache retaining at most `capacity` series entries
+    /// (0 disables the bound).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ScanCache {
+            inner: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            capacity,
+            round: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the round counter and enforces the capacity bound.
+    ///
+    /// Called by the pipeline at the start of each scan round, outside the
+    /// worker fan-out. Eviction happens only here — never inside a store —
+    /// so the victim set is a pure function of which rounds touched which
+    /// series, independent of worker interleaving: entries are dropped
+    /// oldest round first, ties in `SeriesId` order, until at most
+    /// `capacity` remain. Within a round the map may transiently exceed the
+    /// bound by the number of newly seen series.
+    pub fn note_round(&self) {
+        self.round.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            return;
+        }
+        let mut guard = self.inner.lock();
+        let mut excess = guard.len().saturating_sub(self.capacity);
+        while excess > 0 {
+            let victim = guard
+                .iter()
+                .min_by(|(ida, a), (idb, b)| {
+                    a.last_round.cmp(&b.last_round).then_with(|| ida.cmp(idb))
+                })
+                .map(|(id, _)| id.clone());
+            let Some(id) = victim else {
+                break;
+            };
+            guard.remove(&id);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            excess -= 1;
+        }
+    }
+
+    /// The configured capacity bound (0 means unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 
-    /// Resets the hit/miss counters (entries are kept).
+    /// Resets the hit/miss/eviction counters (entries are kept).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evicted.store(0, Ordering::Relaxed);
     }
 
     /// Number of series with at least one cached artifact.
@@ -235,6 +335,33 @@ impl ScanCache {
         Ok(computed)
     }
 
+    /// Memoized went-away `keep` decision for a candidate, or `None` on a
+    /// key mismatch (the caller evaluates and stores).
+    pub fn went_away_keep(&self, series: &SeriesId, key: CandidateKey) -> Option<bool> {
+        self.lookup(series, |a| {
+            a.went_away_keep.filter(|(k, _)| *k == key).map(|(_, keep)| keep)
+        })
+    }
+
+    /// Stores a went-away `keep` decision for the candidate identified by
+    /// `key`.
+    pub fn store_went_away_keep(&self, series: &SeriesId, key: CandidateKey, keep: bool) {
+        self.store(series, |a| a.went_away_keep = Some((key, keep)));
+    }
+
+    /// Memoized seasonality-filter `keep` decision for a candidate.
+    pub fn seasonality_keep(&self, series: &SeriesId, key: CandidateKey) -> Option<bool> {
+        self.lookup(series, |a| {
+            a.seasonality_keep.filter(|(k, _)| *k == key).map(|(_, keep)| keep)
+        })
+    }
+
+    /// Stores a seasonality-filter `keep` decision for the candidate
+    /// identified by `key`.
+    pub fn store_seasonality_keep(&self, series: &SeriesId, key: CandidateKey, keep: bool) {
+        self.store(series, |a| a.seasonality_keep = Some((key, keep)));
+    }
+
     /// One locked lookup; counts a hit or miss. Computation never happens
     /// under the lock.
     fn lookup<T>(&self, series: &SeriesId, get: impl Fn(&SeriesArtifacts) -> Option<T>) -> Option<T> {
@@ -247,10 +374,14 @@ impl ScanCache {
         found
     }
 
-    /// One locked replace-on-mismatch store into the series' slot.
+    /// One locked replace-on-mismatch store into the series' slot. Stamps
+    /// the entry with the current round so eviction can order by recency.
     fn store(&self, series: &SeriesId, put: impl FnOnce(&mut SeriesArtifacts)) {
+        let round = self.round.load(Ordering::Relaxed);
         let mut guard = self.inner.lock();
-        put(guard.entry(series.clone()).or_default());
+        let entry = guard.entry(series.clone()).or_default();
+        entry.last_round = round;
+        put(entry);
     }
 }
 
@@ -348,6 +479,57 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_round_first() {
+        let cache = ScanCache::with_capacity(2);
+        let data = sine(240, 24);
+        // Round 1: a and b. Round 2: c, plus a refresh of a.
+        cache.note_round();
+        cache.trend(&sid("a"), &data, 24).unwrap();
+        cache.trend(&sid("b"), &data, 24).unwrap();
+        cache.note_round();
+        cache.trend(&sid("c"), &data, 24).unwrap();
+        cache.trend(&sid("a"), &data, 24).unwrap();
+        assert_eq!(cache.len(), 3); // Transient overshoot within the round.
+        // Round 3 enforces the bound: b (round 1) is the oldest entry.
+        cache.note_round();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evicted, 1);
+        cache.trend(&sid("a"), &data, 24).unwrap();
+        cache.trend(&sid("c"), &data, 24).unwrap();
+        cache.trend(&sid("b"), &data, 24).unwrap();
+        // a and c survived (hits); b was evicted (miss).
+        assert_eq!(cache.stats().hits, 3); // a's round-2 hit + these two.
+    }
+
+    #[test]
+    fn capacity_ties_break_in_series_id_order() {
+        let cache = ScanCache::with_capacity(1);
+        let data = sine(240, 24);
+        cache.note_round();
+        cache.trend(&sid("b"), &data, 24).unwrap();
+        cache.trend(&sid("a"), &data, 24).unwrap();
+        cache.trend(&sid("c"), &data, 24).unwrap();
+        cache.note_round();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evicted, 2);
+        // Same round stamps: the smallest SeriesIds go first, "c" survives.
+        cache.trend(&sid("c"), &data, 24).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_bound() {
+        let cache = ScanCache::with_capacity(0);
+        let data = sine(240, 24);
+        for name in ["a", "b", "c", "d"] {
+            cache.trend(&sid(name), &data, 24).unwrap();
+            cache.note_round();
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evicted, 0);
     }
 
     #[test]

@@ -1,0 +1,861 @@
+//! Streaming incremental scan engine: round-over-round reuse of per-series
+//! scan work.
+//!
+//! Production FBDetect re-scans every workload on a fixed re-run interval
+//! (Table 1) while the fleet keeps appending points between scans. A cold
+//! scan re-reads every series under its shard lock, re-copies the window
+//! range, re-fingerprints it, and re-runs every detector — even though
+//! round over round almost nothing a detector looks at has changed: the
+//! scan watermark `now` only moves once per re-run interval, and appends
+//! land at or beyond it.
+//!
+//! The [`StreamingEngine`] exploits that structure:
+//!
+//! * **Versioned delta ingest** — [`StreamingEngine::begin_round`] pulls
+//!   [`fbd_tsdb::SeriesDelta`]s in one batched store pass. An unchanged
+//!   series costs O(1) (a version compare, no bytes copied); an appended
+//!   series costs O(k) for k new points; only replaced/expired series pay a
+//!   full copy. Workers then never touch a shard lock.
+//! * **Partition-equality reuse** — each round records the absolute
+//!   point-index partitions at the window boundary timestamps. Retained
+//!   points are immutable and their absolute indices are stable, so equal
+//!   partitions (plus an untrimmed range) imply the exact same region
+//!   slices, cadence estimate, and coverage. When the partitions match the
+//!   previous round at the same `now`, the previous outcome — including
+//!   candidate regressions — is returned verbatim (*Level A*). When `now`
+//!   advanced but the partitions still match and both scans are
+//!   unsaturated, only time-invariant outcomes (quiet series, data-quality
+//!   faults, empty windows) are reused (*Level B*): a candidate's
+//!   `change_time` depends on the window timestamps, a quiet verdict does
+//!   not.
+//! * **Incremental data-quality gate** — a [`RollingStats`] per series
+//!   maintains blockwise finite counts, so the NaN-burst gate runs from
+//!   sealed block sums instead of rescanning the window, producing the
+//!   store path's fault messages byte for byte.
+//! * **Scratch reuse** — each state owns the window value buffer for its
+//!   series; steady-state rounds extract windows into it with zero new
+//!   allocations ([`EngineStats::buffer_growth`] counts the exceptions).
+//!
+//! Values are *oriented at ingest* (throughput is negated so a drop reads
+//! as a regression, exactly as [`crate::pipeline::Pipeline`] does after
+//! windowing). Negation is an exact sign-bit flip and commutes with
+//! slicing, so engine windows are bit-identical to the store path's
+//! oriented windows and the detectors see the same bytes either way.
+//!
+//! ## Known aliasing limit
+//!
+//! Version counters survive in the store, not the observer: a series that
+//! is fully removed (e.g. by retention) and later re-created could, in
+//! principle, present counters that line up with the observer's pure-append
+//! history. The engine defends with a tail-continuity check — an appended
+//! tail that starts before the state's last timestamp drops the state and
+//! falls back to a full store scan for the round — and a fresh `Reset`
+//! rebuilds it next round.
+
+use crate::types::Regression;
+use fbd_stats::streaming::RollingStats;
+use fbd_tsdb::{
+    snapshot_bounds, windows_from_points_into, DataPoint, MetricKind, SeriesDelta, SeriesId,
+    SeriesVersion, Timestamp, TsdbError, TsdbStore, WindowConfig, WindowedData,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// States untouched for this many rounds are dropped (series that left the
+/// scan set keep no memory forever).
+const STALE_ROUNDS: u64 = 64;
+
+/// Absolute point-index partitions of one series at the five boundary
+/// timestamps window extraction uses: historic start, analysis start,
+/// extended start, `now`, and the cadence-slice end `max(now, historic
+/// start + 1)`. Equal partitions over an append-only state mean the exact
+/// same points fall in every region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Partitions {
+    h: u64,
+    a: u64,
+    e: u64,
+    n: u64,
+    c: u64,
+}
+
+/// A per-series scan outcome the engine can replay on a later round.
+///
+/// Mirrors the pipeline's per-series verdicts without depending on its
+/// private types; the pipeline converts on reuse.
+// Candidates stay inline: boxing `Regression` would put an allocation on
+// the per-series hot path to shrink the (rare) quiet variants.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CachedScan {
+    /// A healthy scan: the short- and long-term candidates (usually `None`)
+    /// and whether the series' window coverage was partial.
+    Ok {
+        /// Short-term change-point candidate.
+        short: Option<Regression>,
+        /// Long-term (gradual) candidate.
+        long: Option<Regression>,
+        /// Whether coverage fell below the scan's partial floor.
+        partial: bool,
+    },
+    /// Window extraction found nothing to scan (empty historic/analysis
+    /// window).
+    NoData(String),
+    /// The data-quality gate rejected the series (NaN burst).
+    BadData(String),
+}
+
+impl CachedScan {
+    /// Whether the outcome carries no scan-time-dependent field and can be
+    /// replayed at a *later* `now` under equal partitions. Candidates embed
+    /// `change_time`, which moves with the window timestamps, so only quiet
+    /// and fault outcomes qualify.
+    fn is_time_invariant(&self) -> bool {
+        match self {
+            CachedScan::Ok { short, long, .. } => short.is_none() && long.is_none(),
+            CachedScan::NoData(_) | CachedScan::BadData(_) => true,
+        }
+    }
+}
+
+/// What the previous round computed for one series, and under which gate
+/// inputs, so a later round can prove the outcome still holds.
+#[derive(Debug, Clone)]
+struct RoundArtifacts {
+    now: Timestamp,
+    parts: Partitions,
+    /// `now >= total_span`: no window boundary saturated at zero, so the
+    /// window spans are constant and partition equality implies coverage
+    /// equality across different `now`s.
+    unsaturated: bool,
+    min_finite_fraction: f64,
+    min_coverage: f64,
+    outcome: CachedScan,
+}
+
+/// Opaque receipt from [`StreamingEngine::prepare`], handed back to
+/// [`StreamingEngine::complete`] so the round's artifacts are recorded
+/// against the partitions the windows were actually built from.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundToken {
+    parts: Partitions,
+    unsaturated: bool,
+    buffer_capacity: usize,
+    min_finite_fraction: f64,
+    min_coverage: f64,
+}
+
+/// Per-series engine state: the oriented retained points, their rolling
+/// statistics, the reusable window buffer, and the last round's artifacts.
+struct SeriesState {
+    version: SeriesVersion,
+    /// Retained points, values oriented; `points[start..]` is live.
+    points: Vec<DataPoint>,
+    /// Logical start of the live region (amortized compaction).
+    start: usize,
+    /// Absolute index of `points[0]`; absolute indices are stable across
+    /// trims, which is what makes [`Partitions`] comparable across rounds.
+    abs0: u64,
+    /// Blockwise rolling stats over the live region, indexed absolutely.
+    stats: RollingStats,
+    /// Points with timestamps below this may have been discarded; a scan
+    /// whose historic window starts earlier cannot be served from here.
+    trim_ts: Timestamp,
+    /// Window value buffer, reused across rounds.
+    buffer: Vec<f64>,
+    last: Option<RoundArtifacts>,
+    /// Round counter at last sighting, for stale eviction.
+    touched: u64,
+}
+
+impl SeriesState {
+    /// Builds a fresh state from a `Reset` delta's point copy.
+    fn rebuild(
+        id: &SeriesId,
+        version: SeriesVersion,
+        points: Vec<DataPoint>,
+        trim_ts: Timestamp,
+        buffer: Vec<f64>,
+        touched: u64,
+    ) -> Self {
+        let negate = id.metric == MetricKind::Throughput;
+        let mut stats = RollingStats::new(0);
+        let points = points
+            .into_iter()
+            .map(|p| {
+                let value = if negate { -p.value } else { p.value };
+                stats.append(value);
+                DataPoint {
+                    timestamp: p.timestamp,
+                    value,
+                }
+            })
+            .collect();
+        SeriesState {
+            version,
+            points,
+            start: 0,
+            abs0: 0,
+            stats,
+            trim_ts,
+            buffer,
+            last: None,
+            touched,
+        }
+    }
+
+    /// Drops live points before `bound_start` (they precede every window a
+    /// scan at the current watermark reads), keeping absolute indices
+    /// stable and compacting the backing storage once it is half dead.
+    fn trim(&mut self, bound_start: Timestamp) {
+        let live = &self.points[self.start..];
+        let k = live.partition_point(|p| p.timestamp < bound_start);
+        if k == 0 {
+            return;
+        }
+        self.start += k;
+        self.stats.evict_to(self.abs0 + self.start as u64);
+        if self.trim_ts < bound_start {
+            self.trim_ts = bound_start;
+        }
+        if self.start > self.points.len() / 2 {
+            let drained = self.start;
+            self.points.drain(..drained);
+            self.abs0 += drained as u64;
+            self.start = 0;
+        }
+    }
+}
+
+/// What [`StreamingEngine::prepare`] decided for one series this round.
+// `Reuse`/`Scan` both carry large payloads by design; this value lives for
+// one match arm, so boxing would be pure overhead.
+#[allow(clippy::large_enum_variant)]
+pub enum Prepared {
+    /// The outcome is already known — replayed from a previous round or
+    /// short-circuited by the incremental data-quality gate.
+    Reuse(CachedScan),
+    /// Fresh detection is needed; `windows` are extracted (pre-oriented,
+    /// gate already passed) and `token` must be returned via
+    /// [`StreamingEngine::complete`].
+    Scan {
+        /// Extracted, oriented windows for the detectors.
+        windows: WindowedData,
+        /// Receipt for [`StreamingEngine::complete`].
+        token: RoundToken,
+    },
+    /// The engine cannot serve this series this round (no state, counter
+    /// alias, or a regressed watermark); the caller must run the plain
+    /// store-path scan.
+    Fallback,
+}
+
+/// Monotonic engine counters, one snapshot per call to
+/// [`StreamingEngine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Rounds ingested via [`StreamingEngine::begin_round`].
+    pub rounds: u64,
+    /// Series states currently held.
+    pub tracked: u64,
+    /// O(1) ingests: version unchanged, no bytes copied.
+    pub unchanged: u64,
+    /// Series extended in place from an appended tail.
+    pub appended_series: u64,
+    /// Total appended points ingested.
+    pub appended_points: u64,
+    /// Full state rebuilds from a `Reset` delta.
+    pub resets: u64,
+    /// States dropped (series missing, or tail-continuity defense fired).
+    pub removed: u64,
+    /// Level A reuse: same watermark, equal partitions — previous outcome
+    /// replayed verbatim.
+    pub reused_full: u64,
+    /// Level B reuse: advanced watermark, equal partitions, time-invariant
+    /// outcome replayed.
+    pub reused_quiet: u64,
+    /// Fault outcomes decided from partitions/rolling stats without
+    /// building windows.
+    pub gated: u64,
+    /// Fresh window builds handed to the detectors.
+    pub scanned: u64,
+    /// Series the engine could not serve (caller fell back to the store
+    /// path).
+    pub fallbacks: u64,
+    /// Completed scans whose window buffer had to grow — zero once a fleet
+    /// reaches steady state.
+    pub buffer_growth: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    rounds: AtomicU64,
+    unchanged: AtomicU64,
+    appended_series: AtomicU64,
+    appended_points: AtomicU64,
+    resets: AtomicU64,
+    removed: AtomicU64,
+    reused_full: AtomicU64,
+    reused_quiet: AtomicU64,
+    gated: AtomicU64,
+    scanned: AtomicU64,
+    fallbacks: AtomicU64,
+    buffer_growth: AtomicU64,
+}
+
+/// The streaming incremental scan engine. Owned by the pipeline; one
+/// instance tracks one scan population under one window configuration.
+pub struct StreamingEngine {
+    config: WindowConfig,
+    states: BTreeMap<SeriesId, Mutex<SeriesState>>,
+    now: Timestamp,
+    round: u64,
+    counters: Counters,
+}
+
+impl StreamingEngine {
+    /// Creates an empty engine for the given window configuration.
+    pub fn new(config: WindowConfig) -> Self {
+        StreamingEngine {
+            config,
+            states: BTreeMap::new(),
+            now: 0,
+            round: 0,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Ingests one round's deltas for the series about to be scanned at
+    /// `now`: one batched store pass classifies every series as unchanged /
+    /// appended / reset / missing against the engine's recorded versions,
+    /// and states are updated accordingly. Must be called before
+    /// [`StreamingEngine::prepare`] each round.
+    pub fn begin_round(&mut self, store: &TsdbStore, ids: &[&SeriesId], now: Timestamp) {
+        self.now = now;
+        self.round += 1;
+        let round = self.round;
+        self.counters.rounds.fetch_add(1, Ordering::Relaxed);
+        let known: Vec<Option<SeriesVersion>> = ids
+            .iter()
+            .map(|id| self.states.get_mut(*id).map(|m| m.get_mut().version))
+            .collect();
+        let deltas = store.snapshot_deltas(ids, &known, &self.config, now);
+        let (bound_start, _) = snapshot_bounds(&self.config, now);
+        for (id, delta) in ids.iter().zip(deltas) {
+            match delta {
+                SeriesDelta::Missing => {
+                    if self.states.remove(*id).is_some() {
+                        self.counters.removed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                SeriesDelta::Unchanged { version } => {
+                    if let Some(m) = self.states.get_mut(*id) {
+                        let s = m.get_mut();
+                        s.version = version;
+                        s.touched = round;
+                        s.trim(bound_start);
+                        self.counters.unchanged.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                SeriesDelta::Appended { version, tail } => {
+                    let mut extended = false;
+                    if let Some(m) = self.states.get_mut(*id) {
+                        let s = m.get_mut();
+                        // Tail-continuity defense against counter aliasing:
+                        // a true append can never start before the state's
+                        // last timestamp (appends are non-decreasing).
+                        let continuous = match (s.points.last(), tail.first()) {
+                            (Some(prev), Some(next)) => next.timestamp >= prev.timestamp,
+                            _ => true,
+                        };
+                        if continuous {
+                            let negate = id.metric == MetricKind::Throughput;
+                            for p in &tail {
+                                let value = if negate { -p.value } else { p.value };
+                                s.stats.append(value);
+                                s.points.push(DataPoint {
+                                    timestamp: p.timestamp,
+                                    value,
+                                });
+                            }
+                            s.version = version;
+                            s.touched = round;
+                            s.trim(bound_start);
+                            extended = true;
+                        }
+                    }
+                    if extended {
+                        self.counters.appended_series.fetch_add(1, Ordering::Relaxed);
+                        self.counters
+                            .appended_points
+                            .fetch_add(tail.len() as u64, Ordering::Relaxed);
+                    } else if self.states.remove(*id).is_some() {
+                        self.counters.removed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                SeriesDelta::Reset { version, points } => {
+                    let buffer = self
+                        .states
+                        .remove(*id)
+                        .map(|m| m.into_inner().buffer)
+                        .unwrap_or_default();
+                    let state = SeriesState::rebuild(id, version, points, bound_start, buffer, round);
+                    self.states.insert((*id).clone(), Mutex::new(state));
+                    self.counters.resets.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if round.is_multiple_of(STALE_ROUNDS) {
+            self.states
+                .retain(|_, m| m.get_mut().touched + STALE_ROUNDS > round);
+        }
+    }
+
+    /// Decides how to scan one series this round. Thread-safe: states are
+    /// disjoint per series and each is guarded by its own lock, so the
+    /// detection fan-out calls this concurrently.
+    pub fn prepare(&self, id: &SeriesId, min_finite_fraction: f64, min_coverage: f64) -> Prepared {
+        let Some(m) = self.states.get(id) else {
+            self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return Prepared::Fallback;
+        };
+        let mut guard = m.lock();
+        let s = &mut *guard;
+        let now = self.now;
+        // Boundary timestamps exactly as window extraction computes them.
+        let extended_start = now.saturating_sub(self.config.extended);
+        let analysis_start = extended_start.saturating_sub(self.config.analysis);
+        let historic_start = analysis_start.saturating_sub(self.config.historic);
+        if historic_start < s.trim_ts {
+            // The watermark moved backwards past points already trimmed.
+            self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return Prepared::Fallback;
+        }
+        let base = s.abs0 + s.start as u64;
+        let live = &s.points[s.start..];
+        let pp = |t: Timestamp| base + live.partition_point(|p| p.timestamp < t) as u64;
+        let parts = Partitions {
+            h: pp(historic_start),
+            a: pp(analysis_start),
+            e: pp(extended_start),
+            n: pp(now),
+            c: pp(now.max(historic_start + 1)),
+        };
+        let unsaturated = now >= self.config.total_span();
+        let reuse = match &s.last {
+            Some(last)
+                if last.parts == parts
+                    && last.min_finite_fraction.to_bits() == min_finite_fraction.to_bits()
+                    && last.min_coverage.to_bits() == min_coverage.to_bits() =>
+            {
+                let full = last.now == now;
+                let quiet = now > last.now
+                    && unsaturated
+                    && last.unsaturated
+                    && last.outcome.is_time_invariant();
+                if full || quiet {
+                    Some((full, last.outcome.clone()))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some((full, outcome)) = reuse {
+            let counter = if full {
+                &self.counters.reused_full
+            } else {
+                &self.counters.reused_quiet
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            s.last = Some(RoundArtifacts {
+                now,
+                parts,
+                unsaturated,
+                min_finite_fraction,
+                min_coverage,
+                outcome: outcome.clone(),
+            });
+            return Prepared::Reuse(outcome);
+        }
+        // Fault gates straight from the partitions and the rolling finite
+        // counts — byte-identical messages to the store path, no window
+        // build, no value rescan.
+        let gate = if parts.a == parts.h {
+            Some(CachedScan::NoData(
+                TsdbError::EmptyWindow("historic").to_string(),
+            ))
+        } else if parts.e == parts.a {
+            Some(CachedScan::NoData(
+                TsdbError::EmptyWindow("analysis").to_string(),
+            ))
+        } else {
+            let mut bad = None;
+            for (name, lo, hi) in [("historic", parts.h, parts.a), ("analysis", parts.a, parts.e)] {
+                let len = (hi - lo) as usize;
+                let finite = s.stats.finite_count(lo, hi);
+                if (finite as f64) < min_finite_fraction * len as f64 {
+                    bad = Some(CachedScan::BadData(format!(
+                        "{name} window: only {finite}/{len} finite values"
+                    )));
+                    break;
+                }
+            }
+            bad
+        };
+        if let Some(outcome) = gate {
+            self.counters.gated.fetch_add(1, Ordering::Relaxed);
+            s.last = Some(RoundArtifacts {
+                now,
+                parts,
+                unsaturated,
+                min_finite_fraction,
+                min_coverage,
+                outcome: outcome.clone(),
+            });
+            return Prepared::Reuse(outcome);
+        }
+        let buffer_capacity = s.buffer.capacity();
+        let buffer = std::mem::take(&mut s.buffer);
+        match windows_from_points_into(&s.points[s.start..], &self.config, now, buffer) {
+            Ok(windows) => {
+                self.counters.scanned.fetch_add(1, Ordering::Relaxed);
+                Prepared::Scan {
+                    windows,
+                    token: RoundToken {
+                        parts,
+                        unsaturated,
+                        buffer_capacity,
+                        min_finite_fraction,
+                        min_coverage,
+                    },
+                }
+            }
+            Err(e) => {
+                // Unreachable given the partition gate above; mirror the
+                // store path faithfully if it ever fires.
+                let outcome = CachedScan::NoData(e.to_string());
+                self.counters.gated.fetch_add(1, Ordering::Relaxed);
+                s.last = Some(RoundArtifacts {
+                    now,
+                    parts,
+                    unsaturated,
+                    min_finite_fraction,
+                    min_coverage,
+                    outcome: outcome.clone(),
+                });
+                Prepared::Reuse(outcome)
+            }
+        }
+    }
+
+    /// Returns a [`Prepared::Scan`]'s window buffer to the series state and
+    /// records the round's outcome for future reuse. `outcome` is `None`
+    /// when the detectors errored: the buffer is still reclaimed, and the
+    /// previous artifacts (whose gates remain sound — retained points are
+    /// immutable) are kept.
+    pub fn complete(
+        &self,
+        id: &SeriesId,
+        token: RoundToken,
+        outcome: Option<CachedScan>,
+        windows: WindowedData,
+    ) {
+        let Some(m) = self.states.get(id) else { return };
+        let mut s = m.lock();
+        let buffer = windows.into_values();
+        if buffer.capacity() > token.buffer_capacity {
+            self.counters.buffer_growth.fetch_add(1, Ordering::Relaxed);
+        }
+        s.buffer = buffer;
+        if let Some(outcome) = outcome {
+            s.last = Some(RoundArtifacts {
+                now: self.now,
+                parts: token.parts,
+                unsaturated: token.unsaturated,
+                min_finite_fraction: token.min_finite_fraction,
+                min_coverage: token.min_coverage,
+                outcome,
+            });
+        }
+    }
+
+    /// A snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        EngineStats {
+            rounds: c.rounds.load(Ordering::Relaxed),
+            tracked: self.states.len() as u64,
+            unchanged: c.unchanged.load(Ordering::Relaxed),
+            appended_series: c.appended_series.load(Ordering::Relaxed),
+            appended_points: c.appended_points.load(Ordering::Relaxed),
+            resets: c.resets.load(Ordering::Relaxed),
+            removed: c.removed.load(Ordering::Relaxed),
+            reused_full: c.reused_full.load(Ordering::Relaxed),
+            reused_quiet: c.reused_quiet.load(Ordering::Relaxed),
+            gated: c.gated.load(Ordering::Relaxed),
+            scanned: c.scanned.load(Ordering::Relaxed),
+            fallbacks: c.fallbacks.load(Ordering::Relaxed),
+            buffer_growth: c.buffer_growth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WindowConfig {
+        WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 25,
+            rerun_interval: 25,
+        }
+    }
+
+    fn sid(name: &str) -> SeriesId {
+        SeriesId::new("svc", MetricKind::GCpu, name)
+    }
+
+    fn fill(store: &TsdbStore, id: &SeriesId, upto: u64) {
+        for t in 0..upto {
+            store.append(id, t, t as f64).unwrap();
+        }
+    }
+
+    #[test]
+    fn first_round_scans_then_level_a_reuses() {
+        let store = TsdbStore::new();
+        let id = sid("s");
+        fill(&store, &id, 200);
+        let mut engine = StreamingEngine::new(cfg());
+        let ids = [&id];
+        engine.begin_round(&store, &ids, 200);
+        let windows = match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Scan { windows, token } => {
+                let reference = store.windows(&id, &cfg(), 200).unwrap();
+                assert_eq!(windows, reference);
+                engine.complete(
+                    &id,
+                    token,
+                    Some(CachedScan::Ok {
+                        short: None,
+                        long: None,
+                        partial: false,
+                    }),
+                    windows.clone(),
+                );
+                windows
+            }
+            _ => panic!("first round must scan"),
+        };
+        // Appends beyond the watermark do not move any partition: Level A.
+        store.append(&id, 200, 1.0).unwrap();
+        store.append(&id, 205, 2.0).unwrap();
+        engine.begin_round(&store, &ids, 200);
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Reuse(CachedScan::Ok { short, long, .. }) => {
+                assert!(short.is_none() && long.is_none());
+            }
+            _ => panic!("unchanged partitions at the same now must reuse"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.reused_full, 1);
+        assert_eq!(stats.scanned, 1);
+        assert_eq!(stats.appended_points, 2);
+        // The reused round would have produced the same windows anyway.
+        assert_eq!(store.windows(&id, &cfg(), 200).unwrap(), windows);
+    }
+
+    #[test]
+    fn appends_inside_window_force_rescan_with_identical_windows() {
+        let store = TsdbStore::new();
+        let id = sid("s");
+        fill(&store, &id, 200);
+        let mut engine = StreamingEngine::new(cfg());
+        let ids = [&id];
+        engine.begin_round(&store, &ids, 200);
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Scan { token, windows } => {
+                engine.complete(
+                    &id,
+                    token,
+                    Some(CachedScan::Ok {
+                        short: None,
+                        long: None,
+                        partial: false,
+                    }),
+                    windows,
+                );
+            }
+            _ => panic!("first round must scan"),
+        }
+        // The watermark advances: partitions shift, reuse must not fire for
+        // a changed window, and the engine's windows must equal the store's.
+        for t in 200..230 {
+            store.append(&id, t, t as f64).unwrap();
+        }
+        engine.begin_round(&store, &ids, 230);
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Scan { windows, token } => {
+                assert_eq!(windows, store.windows(&id, &cfg(), 230).unwrap());
+                engine.complete(&id, token, None, windows);
+            }
+            _ => panic!("changed partitions must rescan"),
+        }
+    }
+
+    #[test]
+    fn level_b_replays_quiet_outcomes_only() {
+        let store = TsdbStore::new();
+        let id = sid("s");
+        fill(&store, &id, 200);
+        let mut engine = StreamingEngine::new(cfg());
+        let ids = [&id];
+        engine.begin_round(&store, &ids, 200);
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Scan { token, windows } => engine.complete(
+                &id,
+                token,
+                Some(CachedScan::Ok {
+                    short: None,
+                    long: None,
+                    partial: false,
+                }),
+                windows,
+            ),
+            _ => panic!("first round must scan"),
+        }
+        // `now` advances by less than any region span with no new points:
+        // every boundary moves but the partitions over the stored points
+        // move too — so craft the only partition-stable case: advance now
+        // beyond the last point so all regions slide over empty space.
+        // With data up to t=199 and now=201, the extended region boundary
+        // indices shift relative to now=200 only if points straddle them.
+        engine.begin_round(&store, &ids, 201);
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Reuse(CachedScan::Ok { short, long, .. }) => {
+                assert!(short.is_none() && long.is_none());
+                assert_eq!(engine.stats().reused_quiet, 1);
+            }
+            Prepared::Scan { windows, token } => {
+                // Partition drift is allowed (points at the boundary): the
+                // fresh windows must still match the store path.
+                assert_eq!(windows, store.windows(&id, &cfg(), 201).unwrap());
+                engine.complete(&id, token, None, windows);
+            }
+            _ => panic!("unexpected prepare outcome"),
+        }
+    }
+
+    #[test]
+    fn empty_and_nan_gates_match_store_messages() {
+        let store = TsdbStore::new();
+        let empty = sid("empty");
+        store.insert_series(empty.clone(), fbd_tsdb::TimeSeries::new());
+        let nans = sid("nans");
+        for t in 0..200u64 {
+            let v = if (100..160).contains(&t) {
+                f64::NAN
+            } else {
+                1.0
+            };
+            store.append(&nans, t, v).unwrap();
+        }
+        let mut engine = StreamingEngine::new(cfg());
+        let ids = [&empty, &nans];
+        engine.begin_round(&store, &ids, 200);
+        match engine.prepare(&empty, 0.5, 0.5) {
+            Prepared::Reuse(CachedScan::NoData(msg)) => {
+                let store_err = store.windows(&empty, &cfg(), 200).unwrap_err();
+                assert_eq!(msg, store_err.to_string());
+            }
+            _ => panic!("empty series must gate as NoData"),
+        }
+        match engine.prepare(&nans, 0.5, 0.5) {
+            Prepared::Reuse(CachedScan::BadData(msg)) => {
+                // The analysis window [125, 175) holds 35 NaNs out of 50.
+                assert_eq!(msg, "analysis window: only 15/50 finite values");
+            }
+            _ => panic!("NaN burst must gate as BadData"),
+        }
+        assert_eq!(engine.stats().gated, 2);
+        // Gate outcomes are themselves Level-A reusable.
+        engine.begin_round(&store, &ids, 200);
+        assert!(matches!(
+            engine.prepare(&nans, 0.5, 0.5),
+            Prepared::Reuse(CachedScan::BadData(_))
+        ));
+        assert_eq!(engine.stats().reused_full, 1);
+    }
+
+    #[test]
+    fn replacement_resets_and_discontinuous_tail_falls_back() {
+        let store = TsdbStore::new();
+        let id = sid("s");
+        fill(&store, &id, 200);
+        let mut engine = StreamingEngine::new(cfg());
+        let ids = [&id];
+        engine.begin_round(&store, &ids, 200);
+        assert!(matches!(
+            engine.prepare(&id, 0.5, 0.5),
+            Prepared::Scan { .. }
+        ));
+        // Wholesale replacement: the delta is a Reset; the engine rebuilds
+        // and serves windows identical to the store path.
+        let replacement = fbd_tsdb::TimeSeries::from_values(0, 1, &[3.5; 210]);
+        store.insert_series(id.clone(), replacement);
+        engine.begin_round(&store, &ids, 200);
+        assert_eq!(engine.stats().resets, 2); // first observation + replacement
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Scan { windows, .. } => {
+                assert_eq!(windows, store.windows(&id, &cfg(), 200).unwrap());
+            }
+            _ => panic!("replaced series must rescan"),
+        }
+    }
+
+    #[test]
+    fn oriented_ingest_negates_throughput_values() {
+        let store = TsdbStore::new();
+        let id = SeriesId::new("svc", MetricKind::Throughput, "t");
+        fill(&store, &id, 200);
+        let mut engine = StreamingEngine::new(cfg());
+        let ids = [&id];
+        engine.begin_round(&store, &ids, 200);
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Scan { windows, .. } => {
+                let mut reference = store.windows(&id, &cfg(), 200).unwrap();
+                for v in reference.values_mut() {
+                    *v = -*v;
+                }
+                assert_eq!(windows, reference);
+            }
+            _ => panic!("first round must scan"),
+        }
+    }
+
+    #[test]
+    fn stale_states_are_evicted() {
+        let store = TsdbStore::new();
+        let kept = sid("kept");
+        let stale = sid("stale");
+        fill(&store, &kept, 200);
+        fill(&store, &stale, 200);
+        let mut engine = StreamingEngine::new(cfg());
+        engine.begin_round(&store, &[&kept, &stale], 200);
+        assert_eq!(engine.stats().tracked, 2);
+        // A state survives the eviction sweep until a full stale period has
+        // elapsed since its last sighting, so run through two sweeps.
+        for _ in 0..2 * STALE_ROUNDS {
+            engine.begin_round(&store, &[&kept], 200);
+        }
+        assert_eq!(engine.stats().tracked, 1);
+        assert!(matches!(
+            engine.prepare(&stale, 0.5, 0.5),
+            Prepared::Fallback
+        ));
+    }
+}

@@ -268,4 +268,76 @@ proptest! {
             "prefiltered and full long-term paths diverged"
         );
     }
+
+    #[test]
+    fn streaming_engine_never_changes_a_scan_outcome(
+        seeds in prop::collection::vec(0u64..1000, 2..5),
+        steps in prop::collection::vec(0u64..4, 2..5),
+        rounds in prop::collection::vec((0u64..3, 1usize..25, 0u64..12), 1..7),
+    ) {
+        // The version-gated cache path may only skip work, never change a
+        // detection decision: over arbitrary append/advance sequences, a
+        // pipeline with the streaming engine enabled must produce the same
+        // reports, funnel, and health as a cold pipeline on every round.
+        let cfg = config(0.05);
+        let store = TsdbStore::new();
+        let mut ids = Vec::new();
+        let mut frontier = 400u64;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut values = noisy_series(frontier as usize, 1.0, 0.1, seed);
+            // Some series get a step inside the analysis window, some get a
+            // NaN burst to exercise the data-quality gates, some stay quiet.
+            match steps.get(i).copied().unwrap_or(0) {
+                1 => {
+                    for v in values.iter_mut().skip(330) {
+                        *v += 0.5;
+                    }
+                }
+                2 => {
+                    for v in values.iter_mut().skip(340).take(40) {
+                        *v = f64::NAN;
+                    }
+                }
+                _ => {}
+            }
+            let kind = if i % 2 == 0 { MetricKind::GCpu } else { MetricKind::Throughput };
+            let id = SeriesId::new("svc", kind, format!("s{i}"));
+            store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &values));
+            ids.push(id);
+        }
+        let mut warm = Pipeline::new(cfg.clone()).unwrap();
+        let mut cold = Pipeline::new(cfg).unwrap();
+        cold.set_streaming(false);
+        let context = ScanContext {
+            changelog: None,
+            samples: None,
+            graph: None,
+            domain_providers: vec![],
+        };
+        // Watermarks are quantized to rerun-interval boundaries, as the
+        // production scheduler does; ingestion runs ahead of them.
+        let mut now = frontier;
+        for &(advance, appends, value_seed) in &rounds {
+            now += advance * 40;
+            for (i, id) in ids.iter().enumerate() {
+                for k in 0..appends {
+                    let t = frontier + k as u64;
+                    let v = noisy_series(1, 1.0, 0.1, value_seed ^ (i as u64) << 8 ^ t)[0];
+                    store.append(id, t, v).unwrap();
+                }
+            }
+            frontier += appends as u64;
+            let w = warm.scan(&store, &ids, now, &context).unwrap();
+            let c = cold.scan(&store, &ids, now, &context).unwrap();
+            prop_assert_eq!(
+                format!("{:?}|{:?}|{:?}", w.reports, w.funnel, w.health),
+                format!("{:?}|{:?}|{:?}", c.reports, c.funnel, c.health),
+                "streaming and cold scans diverged at now={}", now
+            );
+        }
+        // The property is only meaningful if the engine actually tracked
+        // the series rather than falling back to cold scans throughout.
+        let stats = warm.streaming_stats().unwrap();
+        prop_assert!(stats.tracked > 0 || stats.removed > 0);
+    }
 }

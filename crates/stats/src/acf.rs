@@ -48,10 +48,43 @@ pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
 ///
 /// Ground truth for the property tests pinning [`acf_fft`]; also the
 /// faster kernel when `max_lag` is small relative to `n`.
+///
+/// The mean and lag-0 variance are hoisted out of the per-lag loop: each
+/// lag's value is the same expression [`autocorrelation`] computes (the
+/// hoisted terms are identical f64s), so results are bit-identical to
+/// mapping `autocorrelation` over the lags, at roughly a third of the
+/// arithmetic. Validation order (length, finiteness, degeneracy, then the
+/// max-lag length requirement) mirrors the sequential per-lag path, so
+/// callers observe identical errors.
 pub fn acf_naive(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
-    (1..=max_lag)
-        .map(|lag| autocorrelation(data, lag))
-        .collect()
+    if max_lag == 0 {
+        return Ok(Vec::new());
+    }
+    let n = data.len();
+    // Lag 1 requires 3 samples; sequential mapping would fail there first.
+    ensure_len(data, 3)?;
+    ensure_finite(data)?;
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let denom: f64 = data.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if !(denom > 0.0) {
+        return Err(StatsError::Degenerate("zero variance in autocorrelation"));
+    }
+    if max_lag > n - 2 {
+        // Sequential mapping computes lags up to n − 2, then errors on lag
+        // n − 1, whose length requirement is n + 1.
+        return Err(StatsError::TooFewSamples {
+            required: n + 1,
+            actual: n,
+        });
+    }
+    Ok((1..=max_lag)
+        .map(|lag| {
+            let num: f64 = (0..n - lag)
+                .map(|i| (data[i] - mean) * (data[i + lag] - mean))
+                .sum();
+            num / denom
+        })
+        .collect())
 }
 
 /// All-lags ACF in O(n log n) via the Wiener–Khinchin theorem.
@@ -273,6 +306,18 @@ mod tests {
                 ((z >> 33) % 10_000) as f64 / 1_000.0 - 5.0
             })
             .collect()
+    }
+
+    #[test]
+    fn hoisted_naive_acf_is_bit_identical_to_per_lag_estimator() {
+        for &n in &[16usize, 100, 900] {
+            let data = pseudo_series(n, n as u64);
+            let hoisted = acf_naive(&data, n - 2).unwrap();
+            for (lag, h) in hoisted.iter().enumerate() {
+                let direct = autocorrelation(&data, lag + 1).unwrap();
+                assert_eq!(h.to_bits(), direct.to_bits(), "n={n} lag {}", lag + 1);
+            }
+        }
     }
 
     #[test]

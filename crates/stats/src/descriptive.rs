@@ -47,9 +47,59 @@ pub fn std_dev(data: &[f64]) -> Result<f64> {
     variance(data).map(f64::sqrt)
 }
 
+/// The `total_cmp`-least element of a non-empty slice. For finite values
+/// `total_cmp` equality implies identical bits, so this returns exactly the
+/// value a total-order sort would place first.
+fn total_min(data: &[f64]) -> f64 {
+    data.iter()
+        .copied()
+        .fold(f64::INFINITY, |best, v| {
+            if f64::total_cmp(&v, &best).is_lt() {
+                v
+            } else {
+                best
+            }
+        })
+}
+
+/// The `total_cmp`-greatest element of a non-empty slice.
+fn total_max(data: &[f64]) -> f64 {
+    data.iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, |best, v| {
+            if f64::total_cmp(&v, &best).is_gt() {
+                v
+            } else {
+                best
+            }
+        })
+}
+
 /// Median of `data` (average of the two central order statistics for even
 /// lengths).
+///
+/// Uses O(n) selection rather than a full sort. The selected order
+/// statistics are exactly the elements a `total_cmp` sort would place at
+/// the central ranks, so the result is bit-identical to [`median_naive`]
+/// (the sort-based ground truth the property tests pin this against).
 pub fn median(data: &[f64]) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    let mut scratch = data.to_vec();
+    let n = scratch.len();
+    let (left, mid, _) = scratch.select_nth_unstable_by(n / 2, f64::total_cmp);
+    let mid = *mid;
+    if n % 2 == 1 {
+        Ok(mid)
+    } else {
+        // sorted[n/2 - 1] is the greatest element of the left partition.
+        Ok(0.5 * (total_max(left) + mid))
+    }
+}
+
+/// Reference median via a full sort. Ground truth for the selection-based
+/// [`median`]; not used on the scan hot path.
+pub fn median_naive(data: &[f64]) -> Result<f64> {
     ensure_len(data, 1)?;
     ensure_finite(data)?;
     let mut sorted = data.to_vec();
@@ -65,7 +115,36 @@ pub fn median(data: &[f64]) -> Result<f64> {
 /// Percentile of `data` using linear interpolation between order statistics.
 ///
 /// `p` must be in `[0, 100]`.
+///
+/// Uses O(n) selection for the (at most two) order statistics involved
+/// instead of sorting; bit-identical to [`percentile_naive`].
 pub fn percentile(data: &[f64], p: f64) -> Result<f64> {
+    ensure_len(data, 1)?;
+    ensure_finite(data)?;
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter(
+            "percentile must be in [0, 100]",
+        ));
+    }
+    let mut scratch = data.to_vec();
+    let n = scratch.len();
+    if n == 1 {
+        return Ok(scratch[0]);
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    let (_, lo_ref, right) = scratch.select_nth_unstable_by(lo, f64::total_cmp);
+    let lo_v = *lo_ref;
+    // sorted[lo + 1] is the least element of the right partition.
+    let hi_v = if hi == lo { lo_v } else { total_min(right) };
+    Ok(lo_v + frac * (hi_v - lo_v))
+}
+
+/// Reference percentile via a full sort. Ground truth for the
+/// selection-based [`percentile`]; not used on the scan hot path.
+pub fn percentile_naive(data: &[f64], p: f64) -> Result<f64> {
     ensure_len(data, 1)?;
     ensure_finite(data)?;
     if !(0.0..=100.0).contains(&p) {
@@ -201,6 +280,36 @@ mod tests {
             z_normalize(&mut data),
             Err(StatsError::Degenerate(_))
         ));
+    }
+
+    #[test]
+    fn selection_median_and_percentile_match_sorting_bitwise() {
+        // Duplicates, signed zeros, and skewed values exercise the
+        // partition edges of the selection path.
+        let mut data: Vec<f64> = (0..257)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                ((z >> 33) % 50) as f64 / 7.0 - 3.0
+            })
+            .collect();
+        data.push(-0.0);
+        data.push(0.0);
+        for n in [1, 2, 3, 10, data.len()] {
+            let slice = &data[..n];
+            assert_eq!(
+                median(slice).unwrap().to_bits(),
+                median_naive(slice).unwrap().to_bits(),
+                "median n={n}"
+            );
+            for p in [0.0, 10.0, 25.0, 50.0, 90.0, 95.0, 99.9, 100.0] {
+                assert_eq!(
+                    percentile(slice, p).unwrap().to_bits(),
+                    percentile_naive(slice, p).unwrap().to_bits(),
+                    "percentile n={n} p={p}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -104,9 +104,27 @@ pub fn fit_two_segment(data: &[f64], max_iterations: usize) -> Result<TwoSegment
     ensure_finite(data)?;
     // One O(n) pass builds the prefix statistics; every candidate score
     // below is then O(1), so the whole refinement is O(n + radius·iters).
-    let ps = PrefixStats::new(data);
-    let initial = cusum::change_point_from_prefix(&ps);
+    fit_two_segment_from_prefix(&PrefixStats::new(data), max_iterations)
+}
+
+/// [`fit_two_segment`] over already-built prefix statistics, so a caller
+/// that needs the prefix pass for other queries (the likelihood-ratio test,
+/// the change-point skip bound) shares one O(n) build instead of three.
+///
+/// The caller is responsible for having validated the underlying data
+/// (finite, length ≥ 4) — [`crate::prefix::validated`] does both.
+pub fn fit_two_segment_from_prefix(
+    ps: &PrefixStats,
+    max_iterations: usize,
+) -> Result<TwoSegmentFit> {
     let n = ps.len();
+    if n < 4 {
+        return Err(StatsError::TooFewSamples {
+            required: 4,
+            actual: n,
+        });
+    }
+    let initial = cusum::change_point_from_prefix(ps);
     let mut cp = initial.index.clamp(1, n - 3);
     let mut iterations = 0;
     // Search radius shrinks as the estimate stabilizes.
@@ -116,11 +134,14 @@ pub fn fit_two_segment(data: &[f64], max_iterations: usize) -> Result<TwoSegment
         let lo = cp.saturating_sub(radius).max(1);
         let hi = (cp + radius).min(n - 3);
         let mut best_cp = cp;
-        let mut best_ll = ps.two_mean_log_likelihood(cp);
+        // The pooled log-likelihood is strictly decreasing in the pooled
+        // two-segment cost, so candidates are ranked by raw cost — same
+        // winner, no logarithm per candidate.
+        let mut best_cost = ps.two_segment_cost(cp);
         for cand in lo..=hi {
-            let ll = ps.two_mean_log_likelihood(cand);
-            if ll > best_ll {
-                best_ll = ll;
+            let cost = ps.two_segment_cost(cand);
+            if cost < best_cost {
+                best_cost = cost;
                 best_cp = cand;
             }
         }

@@ -12,6 +12,7 @@
 //! identical to the direct O(n²) transform it replaced).
 
 use crate::error::{ensure_finite, ensure_len};
+use crate::scratch::ScratchVec;
 use crate::Result;
 use std::f64::consts::{PI, TAU};
 
@@ -24,7 +25,8 @@ pub fn magnitude_spectrum(data: &[f64]) -> Result<Vec<f64>> {
     ensure_finite(data)?;
     let n = data.len();
     let mean = data.iter().sum::<f64>() / n as f64;
-    let centered: Vec<f64> = data.iter().map(|x| x - mean).collect();
+    let mut centered = ScratchVec::with_capacity(n);
+    centered.extend(data.iter().map(|x| x - mean));
     let (re, im) = dft_real(&centered);
     Ok((1..=n / 2)
         .map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt() / n as f64)
@@ -60,11 +62,11 @@ pub fn magnitude_spectrum_naive(data: &[f64]) -> Result<Vec<f64>> {
 ///
 /// Dispatches to the radix-2 FFT for power-of-two lengths and to
 /// Bluestein's algorithm otherwise.
-fn dft_real(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
+fn dft_real(data: &[f64]) -> (ScratchVec, ScratchVec) {
     let n = data.len();
     if n.is_power_of_two() {
-        let mut re = data.to_vec();
-        let mut im = vec![0.0; n];
+        let mut re = ScratchVec::copied(data);
+        let mut im = ScratchVec::zeroed(n);
         fft_pow2(&mut re, &mut im, false);
         (re, im)
     } else {
@@ -105,19 +107,20 @@ pub(crate) fn fft_pow2(re: &mut [f64], im: &mut [f64], invert: bool) {
     // round the same real angle to the same float (power-of-two scaling),
     // so the transform is bit-identical to per-stage tables.
     let step = sign * TAU / n as f64;
-    let twiddle: Vec<(f64, f64)> = (0..n / 2)
-        .map(|k| {
-            let a = step * k as f64;
-            (a.cos(), a.sin())
-        })
-        .collect();
+    // Interleaved (cos, sin) pairs in one pooled buffer.
+    let mut twiddle = ScratchVec::with_capacity(n);
+    for k in 0..n / 2 {
+        let a = step * k as f64;
+        twiddle.push(a.cos());
+        twiddle.push(a.sin());
+    }
     let mut len = 2;
     while len <= n {
         let half = len / 2;
         let stride = n / len;
         for start in (0..n).step_by(len) {
             for k in 0..half {
-                let (wr, wi) = twiddle[k * stride];
+                let (wr, wi) = (twiddle[2 * k * stride], twiddle[2 * k * stride + 1]);
                 let a = start + k;
                 let b = a + half;
                 let vr = re[b] * wr - im[b] * wi;
@@ -143,33 +146,34 @@ pub(crate) fn fft_pow2(re: &mut [f64], im: &mut [f64], invert: bool) {
 
 /// Bluestein's chirp-z transform: the exact length-n DFT for arbitrary n,
 /// expressed as a circular convolution evaluated with power-of-two FFTs.
-fn bluestein(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
+fn bluestein(data: &[f64]) -> (ScratchVec, ScratchVec) {
     let n = data.len();
     let m = (2 * n - 1).next_power_of_two();
-    // Chirp w_j = e^(−iπ·j²/n); the exponent is reduced mod 2n before the
-    // float conversion so the angle never grows with j².
-    let chirp: Vec<(f64, f64)> = (0..n)
-        .map(|j| {
-            let e = (j * j) % (2 * n);
-            let a = -PI * e as f64 / n as f64;
-            (a.cos(), a.sin())
-        })
-        .collect();
+    // Chirp w_j = e^(−iπ·j²/n) as interleaved (cos, sin) pairs; the
+    // exponent is reduced mod 2n before the float conversion so the angle
+    // never grows with j².
+    let mut chirp = ScratchVec::with_capacity(2 * n);
+    for j in 0..n {
+        let e = (j * j) % (2 * n);
+        let a = -PI * e as f64 / n as f64;
+        chirp.push(a.cos());
+        chirp.push(a.sin());
+    }
     // a_j = x_j·w_j, zero-padded to m.
-    let mut ar = vec![0.0; m];
-    let mut ai = vec![0.0; m];
+    let mut ar = ScratchVec::zeroed(m);
+    let mut ai = ScratchVec::zeroed(m);
     for (j, &x) in data.iter().enumerate() {
-        ar[j] = x * chirp[j].0;
-        ai[j] = x * chirp[j].1;
+        ar[j] = x * chirp[2 * j];
+        ai[j] = x * chirp[2 * j + 1];
     }
     // b_j = conj(w_j), mirrored so index m−j stands in for −j.
-    let mut br = vec![0.0; m];
-    let mut bi = vec![0.0; m];
-    br[0] = chirp[0].0;
-    bi[0] = -chirp[0].1;
+    let mut br = ScratchVec::zeroed(m);
+    let mut bi = ScratchVec::zeroed(m);
+    br[0] = chirp[0];
+    bi[0] = -chirp[1];
     for j in 1..n {
-        br[j] = chirp[j].0;
-        bi[j] = -chirp[j].1;
+        br[j] = chirp[2 * j];
+        bi[j] = -chirp[2 * j + 1];
         br[m - j] = br[j];
         bi[m - j] = bi[j];
     }
@@ -183,11 +187,11 @@ fn bluestein(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
     }
     fft_pow2(&mut ar, &mut ai, true);
     // X_k = w_k · (a ⊛ b)_k.
-    let mut re = vec![0.0; n];
-    let mut im = vec![0.0; n];
+    let mut re = ScratchVec::zeroed(n);
+    let mut im = ScratchVec::zeroed(n);
     for k in 0..n {
-        re[k] = ar[k] * chirp[k].0 - ai[k] * chirp[k].1;
-        im[k] = ar[k] * chirp[k].1 + ai[k] * chirp[k].0;
+        re[k] = ar[k] * chirp[2 * k] - ai[k] * chirp[2 * k + 1];
+        im[k] = ar[k] * chirp[2 * k + 1] + ai[k] * chirp[2 * k];
     }
     (re, im)
 }
@@ -212,9 +216,9 @@ pub(crate) fn sliding_dots(signal: &[f64], kernels: &[&[f64]]) -> Vec<Vec<f64>> 
         return kernels.iter().map(|_| Vec::new()).collect();
     }
     let m = n.next_power_of_two();
-    let mut sig_re = vec![0.0; m];
+    let mut sig_re = ScratchVec::zeroed(m);
     sig_re[..n].copy_from_slice(signal);
-    let mut sig_im = vec![0.0; m];
+    let mut sig_im = ScratchVec::zeroed(m);
     fft_pow2(&mut sig_re, &mut sig_im, false);
     kernels
         .iter()
@@ -224,8 +228,8 @@ pub(crate) fn sliding_dots(signal: &[f64], kernels: &[&[f64]]) -> Vec<Vec<f64>> 
             }
             // Reverse the kernel so linear convolution at t = j + w − 1
             // equals the sliding dot product at alignment j.
-            let mut kr = vec![0.0; m];
-            let mut ki = vec![0.0; m];
+            let mut kr = ScratchVec::zeroed(m);
+            let mut ki = ScratchVec::zeroed(m);
             for (j, &v) in ker.iter().enumerate() {
                 kr[w - 1 - j] = v;
             }

@@ -58,7 +58,35 @@ pub fn likelihood_ratio_test(
     }
     // One prefix pass serves both hypotheses: H0 and H1 log-likelihoods are
     // each O(1) queries against the shared statistics.
-    let ps = PrefixStats::new(data);
+    likelihood_ratio_test_from_prefix(&PrefixStats::new(data), change_point, significance)
+}
+
+/// [`likelihood_ratio_test`] over already-built prefix statistics, so a
+/// caller that also runs the EM fit shares one O(n) prefix build.
+///
+/// The caller is responsible for having validated the underlying data
+/// (finite, length ≥ 4).
+pub fn likelihood_ratio_test_from_prefix(
+    ps: &PrefixStats,
+    change_point: usize,
+    significance: f64,
+) -> Result<TestResult> {
+    if !(significance > 0.0 && significance < 1.0) {
+        return Err(StatsError::InvalidParameter(
+            "significance must be in (0, 1)",
+        ));
+    }
+    if ps.len() < 4 {
+        return Err(StatsError::TooFewSamples {
+            required: 4,
+            actual: ps.len(),
+        });
+    }
+    if change_point + 2 > ps.len() || change_point == 0 {
+        return Err(StatsError::InvalidParameter(
+            "change point must leave both segments non-empty",
+        ));
+    }
     let ll0 = ps.single_mean_log_likelihood();
     let ll1 = ps.two_mean_log_likelihood(change_point);
     let statistic = (2.0 * (ll1 - ll0)).max(0.0);
@@ -70,6 +98,38 @@ pub fn likelihood_ratio_test(
         p_value,
         reject_null: p_value < significance,
     })
+}
+
+/// Largest likelihood-ratio statistic achievable by any change point in
+/// `[lo, hi]` (inclusive), or `None` when the range is empty or invalid.
+///
+/// Because the H1 log-likelihood is strictly decreasing in the two-segment
+/// cost, the maximum statistic over a range is attained at the minimum-cost
+/// split; one O(hi−lo) cost scan yields a sound upper bound that lets a
+/// caller skip EM entirely when even the best in-range split could not
+/// reject H0.
+pub fn max_lrt_statistic_in_range(ps: &PrefixStats, lo: usize, hi: usize) -> Option<f64> {
+    let n = ps.len();
+    if n < 4 {
+        return None;
+    }
+    let lo = lo.max(1);
+    let hi = hi.min(n - 3);
+    if lo > hi {
+        return None;
+    }
+    let mut best_cp = lo;
+    let mut best_cost = ps.two_segment_cost(lo);
+    for cand in lo + 1..=hi {
+        let cost = ps.two_segment_cost(cand);
+        if cost < best_cost {
+            best_cost = cost;
+            best_cp = cand;
+        }
+    }
+    let ll0 = ps.single_mean_log_likelihood();
+    let ll1 = ps.two_mean_log_likelihood(best_cp);
+    Some((2.0 * (ll1 - ll0)).max(0.0))
 }
 
 /// Two-sample Student's t-test with pooled variance (Appendix A.2).
@@ -150,6 +210,41 @@ mod tests {
         let data = noisy_step(20, 0.0, 20, 1.0, 0.1);
         assert!(likelihood_ratio_test(&data, 19, 0.0).is_err());
         assert!(likelihood_ratio_test(&data, 19, 1.0).is_err());
+    }
+
+    #[test]
+    fn in_range_bound_dominates_every_candidate() {
+        let data = noisy_step(60, 0.0, 60, 0.4, 0.5);
+        let ps = PrefixStats::new(&data);
+        let bound = max_lrt_statistic_in_range(&ps, 10, 100).unwrap();
+        for cp in 10..=100 {
+            let t = likelihood_ratio_test_from_prefix(&ps, cp, 0.01).unwrap();
+            assert!(
+                bound >= t.statistic,
+                "cp {cp}: bound {bound} < statistic {}",
+                t.statistic
+            );
+        }
+        // The bound is tight: some candidate attains it exactly.
+        let attained = (10..=100).any(|cp| {
+            likelihood_ratio_test_from_prefix(&ps, cp, 0.01)
+                .unwrap()
+                .statistic
+                .to_bits()
+                == bound.to_bits()
+        });
+        assert!(attained);
+    }
+
+    #[test]
+    fn in_range_bound_handles_degenerate_ranges() {
+        let data = noisy_step(20, 0.0, 20, 1.0, 0.1);
+        let ps = PrefixStats::new(&data);
+        assert!(max_lrt_statistic_in_range(&ps, 30, 10).is_none());
+        assert!(max_lrt_statistic_in_range(&ps, 100, 200).is_none());
+        assert!(max_lrt_statistic_in_range(&PrefixStats::new(&data[..3]), 1, 1).is_none());
+        // Clamping still yields a valid bound for out-of-range endpoints.
+        assert!(max_lrt_statistic_in_range(&ps, 0, usize::MAX).is_some());
     }
 
     #[test]

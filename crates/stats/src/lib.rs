@@ -37,9 +37,11 @@ pub mod hypothesis;
 pub mod prefix;
 pub mod regression;
 pub mod sax;
+pub mod scratch;
 pub mod smoothing;
 pub mod special;
 pub mod stl;
+pub mod streaming;
 pub mod text;
 pub mod trend;
 

@@ -1,0 +1,176 @@
+//! Thread-local scratch arenas for hot-loop temporaries.
+//!
+//! The streaming scan engine makes the steady-state round cheap enough that
+//! allocator traffic from per-call temporaries (FFT work buffers, Loess
+//! kernels, STL phase accumulators) becomes a measurable fraction of the
+//! remaining work — and, under the work-stealing parallel scan, a source of
+//! allocator-lock contention between workers. [`ScratchVec`] checks `f64`
+//! buffers out of a per-thread pool and returns them on drop, so the
+//! detectors' temporaries stop hitting the global allocator once each
+//! worker thread has warmed up.
+//!
+//! ## Determinism contract
+//!
+//! A pooled buffer carries no state between uses: [`ScratchVec::zeroed`]
+//! clears and zero-fills, [`ScratchVec::copied`] clears and copies, and
+//! [`ScratchVec::with_capacity`] hands back an empty vector. Only spare
+//! *capacity* is recycled, never values, so every computation is
+//! bit-identical to one using fresh allocations. The pool is thread-local:
+//! there is no cross-thread sharing, no locking, and no dependence on
+//! scheduling order.
+//!
+//! Re-entrancy is handled, not assumed away: if the pool is already
+//! borrowed (which cannot happen today — acquisition and release never run
+//! user code — but could with future callbacks), the fallback is a plain
+//! allocation rather than a panic.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Maximum number of idle buffers retained per thread. Each detector uses a
+/// handful of temporaries at a time; 32 covers the deepest call chains
+/// (STL → Loess → sliding dots → FFT) with room to spare.
+const MAX_POOLED: usize = 32;
+
+/// Largest capacity (in `f64`s, 8 MiB) worth keeping. Anything bigger is
+/// a one-off (e.g. a pathological Bluestein pad) and is freed on drop.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An `f64` buffer checked out of the thread-local pool; spare capacity
+/// returns to the pool when dropped. Derefs to `Vec<f64>`, so it can be
+/// indexed, sliced, resized, and passed as `&mut [f64]` like any vector.
+#[derive(Debug, Default)]
+pub struct ScratchVec {
+    buf: Vec<f64>,
+}
+
+impl ScratchVec {
+    fn acquire() -> Vec<f64> {
+        POOL.with(|p| match p.try_borrow_mut() {
+            Ok(mut pool) => pool.pop().unwrap_or_default(),
+            // Pool busy (re-entrant use): fall back to a fresh allocation.
+            Err(_) => Vec::new(),
+        })
+    }
+
+    /// An empty scratch vector with at least `cap` spare capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut buf = Self::acquire();
+        buf.clear();
+        buf.reserve(cap);
+        ScratchVec { buf }
+    }
+
+    /// A scratch vector of `len` zeroes.
+    pub fn zeroed(len: usize) -> Self {
+        let mut buf = Self::acquire();
+        buf.clear();
+        buf.resize(len, 0.0);
+        ScratchVec { buf }
+    }
+
+    /// A scratch copy of `src`.
+    pub fn copied(src: &[f64]) -> Self {
+        let mut buf = Self::acquire();
+        buf.clear();
+        buf.extend_from_slice(src);
+        ScratchVec { buf }
+    }
+
+    /// Moves the buffer out as a plain `Vec`, e.g. to return it to a
+    /// caller. The extracted vector is no longer pooled.
+    pub fn into_vec(mut self) -> Vec<f64> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl Drop for ScratchVec {
+    fn drop(&mut self) {
+        if self.buf.capacity() == 0 || self.buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        POOL.with(|p| {
+            if let Ok(mut pool) = p.try_borrow_mut() {
+                if pool.len() < MAX_POOLED {
+                    pool.push(buf);
+                }
+            }
+        });
+    }
+}
+
+impl Deref for ScratchVec {
+    type Target = Vec<f64>;
+
+    fn deref(&self) -> &Vec<f64> {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchVec {
+    fn deref_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_all_zero_even_after_reuse() {
+        {
+            let mut a = ScratchVec::zeroed(16);
+            for v in a.iter_mut() {
+                *v = 7.5;
+            }
+        }
+        // The same capacity comes back from the pool; values must not.
+        let b = ScratchVec::zeroed(16);
+        assert!(b.iter().all(|v| v.to_bits() == 0));
+    }
+
+    #[test]
+    fn capacity_is_recycled_across_checkouts() {
+        let cap = {
+            let mut a = ScratchVec::with_capacity(100);
+            a.push(1.0);
+            a.capacity()
+        };
+        let b = ScratchVec::zeroed(10);
+        assert!(
+            b.capacity() >= 10 && b.capacity() <= cap.max(1024),
+            "expected a pooled buffer, got capacity {}",
+            b.capacity()
+        );
+    }
+
+    #[test]
+    fn copied_matches_source() {
+        let src = [1.0, f64::NAN, 3.0];
+        let c = ScratchVec::copied(&src);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].to_bits(), 1.0f64.to_bits());
+        assert!(c[1].is_nan());
+    }
+
+    #[test]
+    fn nested_checkouts_are_distinct() {
+        let mut a = ScratchVec::zeroed(8);
+        let mut b = ScratchVec::zeroed(8);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        assert!(a[0].to_bits() != b[0].to_bits());
+    }
+
+    #[test]
+    fn into_vec_detaches_from_pool() {
+        let v = ScratchVec::copied(&[4.0, 5.0]).into_vec();
+        assert_eq!(v, vec![4.0, 5.0]);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::descriptive;
 use crate::error::{ensure_finite, ensure_len};
+use crate::scratch::ScratchVec;
 use crate::{Result, StatsError};
 
 /// A completed STL decomposition; all three components have the input length
@@ -97,24 +98,33 @@ pub fn decompose(data: &[f64], config: StlConfig) -> Result<StlDecomposition> {
     let mut seasonal = vec![0.0; n];
     let mut trend = vec![0.0; n];
     let mut robustness = vec![1.0; n];
+    // One pooled working buffer serves the detrend, deseasonalize, and
+    // residual passes of every iteration.
+    let mut work = ScratchVec::zeroed(n);
     let outer = config.outer_iterations + 1;
     for outer_pass in 0..outer {
         for _ in 0..config.inner_iterations.max(1) {
             // Step 1: detrend.
-            let detrended: Vec<f64> = data.iter().zip(&trend).map(|(d, t)| d - t).collect();
+            for (w, (d, t)) in work.iter_mut().zip(data.iter().zip(&trend)) {
+                *w = d - t;
+            }
             // Step 2: cycle-subseries smoothing -> seasonal estimate.
-            seasonal = cycle_subseries_means(&detrended, config.period, &robustness);
+            cycle_subseries_means(&work, config.period, &robustness, &mut seasonal);
             // Step 3: centre the seasonal component so it has zero mean over
             // each full period (keeps level in the trend, not the seasonal).
             center_seasonal(&mut seasonal, config.period);
             // Step 4: deseasonalize and smooth for the trend.
-            let deseasonalized: Vec<f64> = data.iter().zip(&seasonal).map(|(d, s)| d - s).collect();
-            trend = loess_smooth(&deseasonalized, config.trend_fraction, &robustness)?;
+            for (w, (d, s)) in work.iter_mut().zip(data.iter().zip(&seasonal)) {
+                *w = d - s;
+            }
+            trend = loess_smooth(&work, config.trend_fraction, &robustness)?;
         }
         // Outer loop: recompute robustness weights from residuals.
         if outer_pass + 1 < outer {
-            let residual: Vec<f64> = (0..n).map(|i| data[i] - seasonal[i] - trend[i]).collect();
-            robustness = robustness_weights(&residual)?;
+            for (w, i) in work.iter_mut().zip(0..n) {
+                *w = data[i] - seasonal[i] - trend[i];
+            }
+            robustness = robustness_weights(&work)?;
         }
     }
     let residual: Vec<f64> = (0..n).map(|i| data[i] - seasonal[i] - trend[i]).collect();
@@ -127,20 +137,19 @@ pub fn decompose(data: &[f64], config: StlConfig) -> Result<StlDecomposition> {
 
 /// Smooths each cycle subseries (all points at the same phase) with a
 /// robustness-weighted mean, then broadcasts the smoothed value back.
-fn cycle_subseries_means(data: &[f64], period: usize, weights: &[f64]) -> Vec<f64> {
-    let n = data.len();
-    let mut phase_sum = vec![0.0; period];
-    let mut phase_weight = vec![0.0; period];
+fn cycle_subseries_means(data: &[f64], period: usize, weights: &[f64], out: &mut [f64]) {
+    let mut phase_sum = ScratchVec::zeroed(period);
+    let mut phase_weight = ScratchVec::zeroed(period);
     for (i, (&v, &w)) in data.iter().zip(weights).enumerate() {
         phase_sum[i % period] += v * w;
         phase_weight[i % period] += w;
     }
-    let phase_mean: Vec<f64> = phase_sum
-        .iter()
-        .zip(&phase_weight)
-        .map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 })
-        .collect();
-    (0..n).map(|i| phase_mean[i % period]).collect()
+    for (s, w) in phase_sum.iter_mut().zip(phase_weight.iter()) {
+        *s = if *w > 0.0 { *s / *w } else { 0.0 };
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = phase_sum[i % period];
+    }
 }
 
 /// Removes the per-period mean from the seasonal component.
@@ -264,13 +273,12 @@ fn loess_naive_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> 
     // so the smoothed output is bit-identical.
     let interior_center = half;
     let interior_max_dist = half.max(window - 1 - half).max(1) as f64;
-    let interior_tri: Vec<f64> = (0..window)
-        .map(|k| {
-            let d = (k as f64 - interior_center as f64).abs() / interior_max_dist;
-            (1.0 - d.powi(3)).powi(3).max(0.0)
-        })
-        .collect();
-    let mut edge_tri = vec![0.0; window];
+    let mut interior_tri = ScratchVec::with_capacity(window);
+    interior_tri.extend((0..window).map(|k| {
+        let d = (k as f64 - interior_center as f64).abs() / interior_max_dist;
+        (1.0 - d.powi(3)).powi(3).max(0.0)
+    }));
+    let mut edge_tri = ScratchVec::zeroed(window);
     let mut smoothed = Vec::with_capacity(n);
     #[allow(clippy::needless_range_loop)] // The window is index-driven.
     for i in 0..n {
@@ -402,6 +410,32 @@ fn loess_point_naive(
     }
 }
 
+/// Mean of the uniform-weight Loess fit over output indices `[lo, hi)`,
+/// evaluating only those points with the per-point kernel instead of
+/// smoothing the whole series — O((hi−lo)·window) instead of O(n·window) or
+/// O(n log n).
+///
+/// Values agree with the corresponding [`loess_smooth_uniform`] outputs to
+/// ~1e-9 relative error (boundary points exactly; interior points may take
+/// the FFT path there), so callers comparing the mean against a threshold
+/// must keep a guard band and fall back to the full smooth near the
+/// decision boundary.
+pub fn loess_uniform_range_mean(data: &[f64], fraction: f64, lo: usize, hi: usize) -> Result<f64> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    if lo >= hi || hi > data.len() {
+        return Err(StatsError::InvalidParameter(
+            "empty or out-of-range index range",
+        ));
+    }
+    let (window, half) = loess_window(data.len(), fraction);
+    let mut sum = 0.0;
+    for i in lo..hi {
+        sum += loess_point_naive(data, None, i, window, half);
+    }
+    Ok(sum / (hi - lo) as f64)
+}
+
 /// FFT sliding-regression Loess core.
 ///
 /// Away from the boundaries the tricube kernel is shift-invariant, so in
@@ -419,22 +453,15 @@ fn loess_fft_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Ve
     let n = data.len();
     let (window, half) = loess_window(n, fraction);
     let interior_max_dist = half.max(window - 1 - half).max(1) as f64;
-    let tri: Vec<f64> = (0..window)
-        .map(|k| {
-            let d = (k as f64 - half as f64).abs() / interior_max_dist;
-            (1.0 - d.powi(3)).powi(3).max(0.0)
-        })
-        .collect();
-    let k1: Vec<f64> = tri
-        .iter()
-        .enumerate()
-        .map(|(k, &t)| t * (k as f64 - half as f64))
-        .collect();
-    let k2: Vec<f64> = k1
-        .iter()
-        .enumerate()
-        .map(|(k, &t)| t * (k as f64 - half as f64))
-        .collect();
+    let mut tri = ScratchVec::with_capacity(window);
+    tri.extend((0..window).map(|k| {
+        let d = (k as f64 - half as f64).abs() / interior_max_dist;
+        (1.0 - d.powi(3)).powi(3).max(0.0)
+    }));
+    let mut k1 = ScratchVec::with_capacity(window);
+    k1.extend(tri.iter().enumerate().map(|(k, &t)| t * (k as f64 - half as f64)));
+    let mut k2 = ScratchVec::with_capacity(window);
+    k2.extend(k1.iter().enumerate().map(|(k, &t)| t * (k as f64 - half as f64)));
     let one = 1.0f64.to_bits();
     let uniform = robustness.is_none_or(|r| r.iter().all(|w| w.to_bits() == one));
     // Interior points i ∈ [half, n − window + half]: window start j = i −
@@ -470,7 +497,8 @@ fn loess_fft_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Ve
         }
     } else {
         let r = robustness.unwrap_or(&[]);
-        let ry: Vec<f64> = r.iter().zip(data).map(|(w, y)| w * y).collect();
+        let mut ry = ScratchVec::with_capacity(n);
+        ry.extend(r.iter().zip(data).map(|(w, y)| w * y));
         let dots_r = crate::fourier::sliding_dots(r, &[&tri, &k1, &k2]);
         let dots_ry = crate::fourier::sliding_dots(&ry, &[&tri, &k1]);
         for j in 0..=n - window {
@@ -491,7 +519,8 @@ fn loess_fft_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Ve
 /// Bisquare robustness weights from residuals: `(1 - (|r|/6·MAD)²)²`,
 /// clamped to zero outside.
 fn robustness_weights(residual: &[f64]) -> Result<Vec<f64>> {
-    let abs: Vec<f64> = residual.iter().map(|r| r.abs()).collect();
+    let mut abs = ScratchVec::with_capacity(residual.len());
+    abs.extend(residual.iter().map(|r| r.abs()));
     let s = descriptive::median(&abs)?.max(1e-12) * 6.0;
     Ok(residual
         .iter()

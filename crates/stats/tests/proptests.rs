@@ -326,4 +326,92 @@ proptest! {
             prop_assert!((d - n).abs() < 1e-9 * scale, "i={i} dispatch {d} vs naive {n}");
         }
     }
+
+    #[test]
+    fn loess_range_mean_matches_full_smooth(
+        data in finite_series(16, 300),
+        fraction in 0.15f64..0.5,
+        bounds in (0usize..1000, 1usize..1000),
+    ) {
+        // The long-term fast path averages a Loess slice without smoothing
+        // the whole series; it must agree with the mean of the full smooth.
+        let (a, b) = bounds;
+        let lo = a % data.len();
+        let hi = lo + 1 + b % (data.len() - lo);
+        let ranged = stl::loess_uniform_range_mean(&data, fraction, lo, hi).unwrap();
+        let full = stl::loess_smooth_uniform(&data, fraction).unwrap();
+        let direct = full[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let scale = data.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(
+            (ranged - direct).abs() < 1e-9 * scale,
+            "range [{lo},{hi}) mean {ranged} vs full-smooth mean {direct}"
+        );
+    }
+
+    #[test]
+    fn rolling_stats_bit_identical_to_cold_rebuild(
+        ops in prop::collection::vec((0u8..10, -1e6f64..1e6, 1usize..40), 1..200),
+        query in (0u64..400, 1u64..400),
+    ) {
+        // Incremental append/evict maintenance must be indistinguishable —
+        // to the bit — from rebuilding over the retained samples with the
+        // same pivot. The streaming scan engine's round-over-round
+        // determinism rests on exactly this property.
+        use fbd_stats::streaming::RollingStats;
+        let mut inc = RollingStats::new(0);
+        let mut shadow: Vec<f64> = Vec::new();
+        let mut evicted = 0usize;
+        for &(sel, value, k) in &ops {
+            match sel {
+                // Mostly appends, with occasional non-finite samples mixed
+                // in: they occupy indices but stay out of the sums.
+                0..=6 => {
+                    inc.append(value);
+                    shadow.push(value);
+                }
+                7 => {
+                    inc.append(f64::NAN);
+                    shadow.push(f64::NAN);
+                }
+                8 => {
+                    inc.append(f64::INFINITY);
+                    shadow.push(f64::INFINITY);
+                }
+                _ => {
+                    let k = k.min(shadow.len() - evicted.min(shadow.len()));
+                    inc.evict_front(k);
+                    evicted += k;
+                }
+            }
+        }
+        let retained = &shadow[evicted..];
+        let cold = RollingStats::rebuild(retained, evicted as u64, inc.pivot());
+        prop_assert_eq!(inc.first_index(), cold.first_index());
+        prop_assert_eq!(inc.len(), cold.len());
+        let (qa, qlen) = query;
+        // Probe several ranges: the random one, the full retained range,
+        // and block-straddling edges.
+        let end = inc.end_index();
+        let ranges = [
+            (qa, qa + qlen),
+            (inc.first_index(), end),
+            (inc.first_index() + (inc.len() as u64) / 3, end.saturating_sub(1).max(1)),
+        ];
+        for (a, b) in ranges {
+            prop_assert_eq!(inc.finite_count(a, b), cold.finite_count(a, b));
+            prop_assert_eq!(
+                inc.centered_sum(a, b).to_bits(),
+                cold.centered_sum(a, b).to_bits(),
+                "centered_sum diverged on [{}, {})", a, b
+            );
+            prop_assert_eq!(
+                inc.centered_sum_sq(a, b).to_bits(),
+                cold.centered_sum_sq(a, b).to_bits(),
+                "centered_sum_sq diverged on [{}, {})", a, b
+            );
+            let im = inc.mean(a, b).map(f64::to_bits);
+            let cm = cold.mean(a, b).map(f64::to_bits);
+            prop_assert_eq!(im, cm, "mean diverged on [{}, {})", a, b);
+        }
+    }
 }

@@ -20,9 +20,12 @@ pub mod window;
 
 pub use error::TsdbError;
 pub use series::TimeSeries;
-pub use store::TsdbStore;
+pub use store::{SeriesDelta, SeriesVersion, TsdbStore};
 pub use types::{DataPoint, MetricKind, SeriesId, Timestamp};
-pub use window::{WindowConfig, WindowCoverage, WindowedData};
+pub use window::{
+    snapshot_bounds, windows_from_points, windows_from_points_into, WindowConfig, WindowCoverage,
+    WindowedData,
+};
 
 /// Convenience alias used by fallible routines in this crate.
 pub type Result<T> = std::result::Result<T, TsdbError>;

@@ -4,15 +4,32 @@ use crate::types::{DataPoint, Timestamp};
 use crate::{Result, TsdbError};
 
 /// An append-only, timestamp-ordered series of samples.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Two monotonic counters let readers detect *how* a series changed since a
+/// prior observation without diffing points: `version` advances on every
+/// mutation, `appended` only on appends. When both counters advanced by the
+/// same amount, the change was append-only and exactly that many points were
+/// pushed onto the tail — the basis of the streaming scan engine's O(k)
+/// delta snapshots.
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<DataPoint>,
+    version: u64,
+    appended: u64,
+}
+
+/// Equality compares the stored points only: two series with identical data
+/// are equal even if they arrived by different append/expire histories.
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+    }
 }
 
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        TimeSeries { points: Vec::new() }
+        TimeSeries::default()
     }
 
     /// Builds a series from `(timestamp, value)` pairs; the pairs must be in
@@ -28,12 +45,17 @@ impl TimeSeries {
     /// Builds a series from values sampled at a fixed interval starting at
     /// `start`.
     pub fn from_values(start: Timestamp, interval: Timestamp, values: &[f64]) -> Self {
-        let points = values
+        let points: Vec<DataPoint> = values
             .iter()
             .enumerate()
             .map(|(i, &v)| DataPoint::new(start + i as Timestamp * interval, v))
             .collect();
-        TimeSeries { points }
+        let n = points.len() as u64;
+        TimeSeries {
+            points,
+            version: n,
+            appended: n,
+        }
     }
 
     /// Appends a sample; timestamps must be non-decreasing.
@@ -47,7 +69,34 @@ impl TimeSeries {
             }
         }
         self.points.push(DataPoint::new(timestamp, value));
+        self.version = self.version.wrapping_add(1);
+        self.appended = self.appended.wrapping_add(1);
         Ok(())
+    }
+
+    /// Monotonic mutation counter: advances on every append or expiry.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Marks this series as the replacement of one whose mutation counter
+    /// had reached `old_version`, jumping `version` far enough past it that
+    /// no observation of the old lineage can alias as `Unchanged` (version
+    /// equal) or `Appended` (version delta equal to append delta): the new
+    /// version delta exceeds any possible append delta.
+    pub(crate) fn mark_replacement_of(&mut self, old_version: u64) {
+        self.version = old_version
+            .wrapping_add(self.appended)
+            .wrapping_add(2)
+            .max(self.version);
+    }
+
+    /// Monotonic append counter: advances only when a point is appended.
+    ///
+    /// `version - appended` (as observed deltas between two reads) tells a
+    /// snapshotting reader whether anything other than appends happened.
+    pub fn appended(&self) -> u64 {
+        self.appended
     }
 
     /// Number of stored points.
@@ -99,7 +148,13 @@ impl TimeSeries {
     /// points were removed.
     pub fn expire_before(&mut self, cutoff: Timestamp) -> usize {
         let keep_from = self.points.partition_point(|p| p.timestamp < cutoff);
-        self.points.drain(..keep_from).count()
+        let removed = self.points.drain(..keep_from).count();
+        if removed > 0 {
+            // A non-append mutation: bump `version` but not `appended`, so
+            // version-delta != append-delta flags the change to snapshots.
+            self.version = self.version.wrapping_add(1);
+        }
+        removed
     }
 
     /// Downsamples by averaging points into buckets of `bucket` seconds
@@ -208,6 +263,40 @@ mod tests {
     fn downsample_zero_bucket_errors() {
         let s = TimeSeries::from_values(0, 1, &[1.0]);
         assert!(s.downsample(0).is_err());
+    }
+
+    #[test]
+    fn version_counters_track_mutations() {
+        let mut s = TimeSeries::new();
+        assert_eq!((s.version(), s.appended()), (0, 0));
+        s.append(1, 1.0).unwrap();
+        s.append(2, 2.0).unwrap();
+        assert_eq!((s.version(), s.appended()), (2, 2));
+        // Expiry that removes nothing does not bump the version.
+        assert_eq!(s.expire_before(0), 0);
+        assert_eq!((s.version(), s.appended()), (2, 2));
+        // Expiry that removes points bumps version but not appended.
+        assert_eq!(s.expire_before(2), 1);
+        assert_eq!((s.version(), s.appended()), (3, 2));
+        // A rejected append leaves both counters untouched.
+        assert!(s.append(0, 9.0).is_err());
+        assert_eq!((s.version(), s.appended()), (3, 2));
+    }
+
+    #[test]
+    fn from_values_counts_as_appends() {
+        let s = TimeSeries::from_values(0, 1, &[1.0, 2.0, 3.0]);
+        assert_eq!((s.version(), s.appended()), (3, 3));
+    }
+
+    #[test]
+    fn equality_ignores_counters() {
+        let a = TimeSeries::from_pairs([(1, 1.0), (2, 2.0)]).unwrap();
+        let mut c = TimeSeries::from_values(0, 1, &[0.0, 1.0, 2.0]);
+        c.expire_before(1);
+        // Same points, different append/expire histories (and counters).
+        assert_ne!((a.version(), a.appended()), (c.version(), c.appended()));
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -1,12 +1,55 @@
 //! Concurrent store mapping series ids to time series.
 
 use crate::series::TimeSeries;
-use crate::types::{SeriesId, Timestamp};
-use crate::window::{extract_windows, WindowConfig, WindowedData};
+use crate::types::{DataPoint, SeriesId, Timestamp};
+use crate::window::{
+    extract_windows, snapshot_bounds, windows_from_points, WindowConfig, WindowedData,
+};
 use crate::{Result, TsdbError};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// A point-in-time observation of a series' mutation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesVersion {
+    /// Counter advanced by every mutation.
+    pub version: u64,
+    /// Counter advanced only by appends.
+    pub appended: u64,
+}
+
+/// What changed in one series since a previously observed [`SeriesVersion`],
+/// as captured by [`TsdbStore::snapshot_deltas`] under one short shard lock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesDelta {
+    /// The series does not exist (or no longer exists).
+    Missing,
+    /// No mutation since the known version: nothing was copied.
+    Unchanged {
+        /// The (unchanged) counters at snapshot time.
+        version: SeriesVersion,
+    },
+    /// Only appends happened since the known version; `tail` holds exactly
+    /// the newly appended points, oldest first.
+    Appended {
+        /// Counters at snapshot time.
+        version: SeriesVersion,
+        /// The points appended since the known version.
+        tail: Vec<DataPoint>,
+    },
+    /// Anything else (expiry, replacement, first observation): `points`
+    /// holds everything from the scan range start onward — including points
+    /// timestamped at or after `now` (ingestion running ahead of the scan
+    /// watermark) — so a consumer that extends the copy with later
+    /// [`SeriesDelta::Appended`] tails never develops a gap.
+    Reset {
+        /// Counters at snapshot time.
+        version: SeriesVersion,
+        /// All points from `snapshot_bounds(config, now).0` onward.
+        points: Vec<DataPoint>,
+    },
+}
 
 /// A thread-safe in-memory time-series store.
 ///
@@ -35,11 +78,15 @@ impl TsdbStore {
         Arc::new(Self::new())
     }
 
-    fn shard(&self, id: &SeriesId) -> &RwLock<BTreeMap<SeriesId, TimeSeries>> {
+    fn shard_index(id: &SeriesId) -> usize {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         id.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARD_COUNT]
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    fn shard(&self, id: &SeriesId) -> &RwLock<BTreeMap<SeriesId, TimeSeries>> {
+        &self.shards[Self::shard_index(id)]
     }
 
     /// Appends a sample, creating the series on first write.
@@ -51,9 +98,15 @@ impl TsdbStore {
             .append(timestamp, value)
     }
 
-    /// Inserts (or replaces) a whole series.
-    pub fn insert_series(&self, id: SeriesId, series: TimeSeries) {
-        self.shard(&id).write().insert(id, series);
+    /// Inserts (or replaces) a whole series. Replacement advances the new
+    /// series' version past the old lineage so delta snapshots observe it as
+    /// a reset, never as an append-only change.
+    pub fn insert_series(&self, id: SeriesId, mut series: TimeSeries) {
+        let mut shard = self.shard(&id).write();
+        if let Some(old) = shard.get(&id) {
+            series.mark_replacement_of(old.version());
+        }
+        shard.insert(id, series);
     }
 
     /// Returns a clone of the series, or an error if absent.
@@ -131,6 +184,108 @@ impl TsdbStore {
             .get(id)
             .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))?;
         extract_windows(series, config, now)
+    }
+
+    /// Extracts detection windows for a whole batch of series, holding each
+    /// shard's read lock once and only long enough to copy the raw scan
+    /// ranges out. All windowing work (boundary partitioning, cadence and
+    /// coverage estimation, buffer assembly) happens after the locks are
+    /// released, so detection workers consuming the result never contend
+    /// with writers. Per-entry results mirror [`TsdbStore::windows`] exactly,
+    /// including `SeriesNotFound` and `EmptyWindow` errors.
+    pub fn snapshot_windows(
+        &self,
+        ids: &[&SeriesId],
+        config: &WindowConfig,
+        now: Timestamp,
+    ) -> Vec<Result<WindowedData>> {
+        let (start, end) = snapshot_bounds(config, now);
+        let mut copies: Vec<Option<Vec<DataPoint>>> = ids.iter().map(|_| None).collect();
+        let mut by_shard: Vec<Vec<usize>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            by_shard[Self::shard_index(id)].push(i);
+        }
+        for (shard, indices) in self.shards.iter().zip(&by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = shard.read();
+            for &i in indices {
+                copies[i] = shard
+                    .get(ids[i])
+                    .map(|series| series.range(start, end).unwrap_or(&[]).to_vec());
+            }
+        }
+        ids.iter()
+            .zip(copies)
+            .map(|(id, copy)| match copy {
+                None => Err(TsdbError::SeriesNotFound(id.metric_id())),
+                Some(points) => windows_from_points(&points, config, now),
+            })
+            .collect()
+    }
+
+    /// Captures what changed in a batch of series since previously observed
+    /// versions, copying only appended tails for append-only mutations. Like
+    /// [`TsdbStore::snapshot_windows`], each shard's read lock is held once,
+    /// for the duration of the raw point copies only.
+    ///
+    /// `known[i]` is the version of `ids[i]` from the caller's last
+    /// observation (`None` for a first observation). Entries beyond
+    /// `known.len()` are treated as first observations.
+    pub fn snapshot_deltas(
+        &self,
+        ids: &[&SeriesId],
+        known: &[Option<SeriesVersion>],
+        config: &WindowConfig,
+        now: Timestamp,
+    ) -> Vec<SeriesDelta> {
+        let (start, _) = snapshot_bounds(config, now);
+        let mut deltas: Vec<SeriesDelta> = ids.iter().map(|_| SeriesDelta::Missing).collect();
+        let mut by_shard: Vec<Vec<usize>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            by_shard[Self::shard_index(id)].push(i);
+        }
+        for (shard, indices) in self.shards.iter().zip(&by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = shard.read();
+            for &i in indices {
+                let Some(series) = shard.get(ids[i]) else {
+                    continue; // Stays `Missing`.
+                };
+                let current = SeriesVersion {
+                    version: series.version(),
+                    appended: series.appended(),
+                };
+                deltas[i] = match known.get(i).copied().flatten() {
+                    Some(k) if k.version == current.version => {
+                        SeriesDelta::Unchanged { version: current }
+                    }
+                    // Append-only since `k`: every mutation bumped both
+                    // counters by one, so the deltas agree and equal the
+                    // number of new tail points.
+                    Some(k)
+                        if current.version.wrapping_sub(k.version)
+                            == current.appended.wrapping_sub(k.appended)
+                            && current.appended.wrapping_sub(k.appended)
+                                <= series.len() as u64 =>
+                    {
+                        let new = current.appended.wrapping_sub(k.appended) as usize;
+                        SeriesDelta::Appended {
+                            version: current,
+                            tail: series.points()[series.len() - new..].to_vec(),
+                        }
+                    }
+                    _ => SeriesDelta::Reset {
+                        version: current,
+                        points: series.range(start, Timestamp::MAX).unwrap_or(&[]).to_vec(),
+                    },
+                };
+            }
+        }
+        deltas
     }
 
     /// Applies a retention policy: drops points older than `cutoff` in all
@@ -231,6 +386,108 @@ mod tests {
         assert_eq!(removed, 1);
         assert!(!store.contains(&id("old")));
         assert!(store.contains(&id("new")));
+    }
+
+    #[test]
+    fn snapshot_windows_matches_per_series_windows() {
+        let store = TsdbStore::new();
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 25,
+            rerun_interval: 10,
+        };
+        let mut ids = Vec::new();
+        for s in 0..20 {
+            let sid = id(&format!("s{s}"));
+            for t in 0..200u64 {
+                store.append(&sid, t, (t + s) as f64).unwrap();
+            }
+            ids.push(sid);
+        }
+        // One id that holds too little data, one that is missing entirely.
+        let sparse = id("sparse");
+        store.append(&sparse, 190, 1.0).unwrap();
+        ids.push(sparse);
+        ids.push(id("missing"));
+        let now = 200;
+        let refs: Vec<&SeriesId> = ids.iter().collect();
+        let batch = store.snapshot_windows(&refs, &cfg, now);
+        assert_eq!(batch.len(), ids.len());
+        for (sid, got) in ids.iter().zip(&batch) {
+            let individually = store.windows(sid, &cfg, now);
+            assert_eq!(got, &individually, "series {sid:?}");
+        }
+        assert!(matches!(
+            batch[ids.len() - 2],
+            Err(TsdbError::EmptyWindow("historic"))
+        ));
+        assert!(matches!(
+            batch[ids.len() - 1],
+            Err(TsdbError::SeriesNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_deltas_classify_mutations() {
+        let store = TsdbStore::new();
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        let a = id("a");
+        let b = id("b");
+        let c = id("c");
+        for t in 0..100u64 {
+            store.append(&a, t, 1.0).unwrap();
+            store.append(&b, t, 2.0).unwrap();
+            store.append(&c, t, 3.0).unwrap();
+        }
+        // First observation: everything is a Reset carrying the scan range.
+        let first = store.snapshot_deltas(&[&a, &b, &c], &[], &cfg, 100);
+        let mut known = Vec::new();
+        for d in &first {
+            match d {
+                SeriesDelta::Reset { version, points } => {
+                    assert!(!points.is_empty());
+                    known.push(Some(*version));
+                }
+                other => panic!("expected Reset, got {other:?}"),
+            }
+        }
+        // a: untouched; b: two appends; c: replaced wholesale with a series
+        // of the same length (the counter-collision case replacement must
+        // not alias as Unchanged or Appended).
+        store.append(&b, 100, 9.0).unwrap();
+        store.append(&b, 101, 9.5).unwrap();
+        store.insert_series(c.clone(), TimeSeries::from_values(0, 1, &[7.0; 100]));
+        let missing = id("missing");
+        let ids = [&a, &b, &c, &missing];
+        known.push(None);
+        let second = store.snapshot_deltas(&ids, &known, &cfg, 102);
+        assert!(matches!(second[0], SeriesDelta::Unchanged { .. }));
+        match &second[1] {
+            SeriesDelta::Appended { tail, .. } => {
+                assert_eq!(tail.len(), 2);
+                assert_eq!(tail[0].timestamp, 100);
+                assert_eq!(tail[1].value, 9.5);
+            }
+            other => panic!("expected Appended, got {other:?}"),
+        }
+        assert!(matches!(second[2], SeriesDelta::Reset { .. }));
+        assert!(matches!(second[3], SeriesDelta::Missing));
+
+        // Store-wide expiry is a non-append mutation on every touched
+        // series: the next delta for `a` must be a Reset.
+        let known_a = match second[0] {
+            SeriesDelta::Unchanged { version } => Some(version),
+            _ => None,
+        };
+        store.expire_before(5);
+        let third = store.snapshot_deltas(&[&a], &[known_a], &cfg, 102);
+        assert!(matches!(third[0], SeriesDelta::Reset { .. }));
     }
 
     #[test]

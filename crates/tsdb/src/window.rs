@@ -7,7 +7,7 @@
 //! workload configures its own window lengths and re-run interval (Table 1).
 
 use crate::series::TimeSeries;
-use crate::types::Timestamp;
+use crate::types::{DataPoint, Timestamp};
 use crate::{Result, TsdbError};
 
 /// Seconds in one hour.
@@ -241,18 +241,37 @@ impl WindowedData {
     }
 }
 
-/// Estimates the series' sample cadence over `[start, end)` as the smallest
-/// positive gap between consecutive timestamps. Dropped samples only widen
-/// gaps and duplicated timestamps produce zero gaps, so the minimum positive
-/// gap is robust to both. Returns `None` when no two distinct timestamps
-/// exist in the range.
-fn estimate_cadence(series: &TimeSeries, start: Timestamp, end: Timestamp) -> Option<u64> {
-    let points = series.range(start, end).ok()?;
+/// Estimates the sample cadence over a time-ordered point slice as the
+/// smallest positive gap between consecutive timestamps. Dropped samples
+/// only widen gaps and duplicated timestamps produce zero gaps, so the
+/// minimum positive gap is robust to both. Returns `None` when no two
+/// distinct timestamps exist in the slice.
+fn estimate_cadence(points: &[DataPoint]) -> Option<u64> {
     points
         .windows(2)
         .map(|w| w[1].timestamp - w[0].timestamp)
         .filter(|&gap| gap > 0)
         .min()
+}
+
+/// Sub-slice of a time-ordered point slice with timestamps in `[start, end)`.
+fn points_in(points: &[DataPoint], start: Timestamp, end: Timestamp) -> &[DataPoint] {
+    if start >= end {
+        return &[];
+    }
+    let lo = points.partition_point(|p| p.timestamp < start);
+    let hi = points.partition_point(|p| p.timestamp < end);
+    &points[lo..hi]
+}
+
+/// Bounds `[start, end)` of the point range a scan at `now` can read: the
+/// three detection windows plus the cadence-estimation span. Snapshots copy
+/// exactly this range out of a series so windowing can run lock-free.
+pub fn snapshot_bounds(config: &WindowConfig, now: Timestamp) -> (Timestamp, Timestamp) {
+    let extended_start = now.saturating_sub(config.extended);
+    let analysis_start = extended_start.saturating_sub(config.analysis);
+    let historic_start = analysis_start.saturating_sub(config.historic);
+    (historic_start, now.max(historic_start + 1))
 }
 
 /// Coverage fraction: samples present vs. expected at the given cadence.
@@ -282,34 +301,55 @@ pub fn extract_windows(
     config: &WindowConfig,
     now: Timestamp,
 ) -> Result<WindowedData> {
+    windows_from_points(series.points(), config, now)
+}
+
+/// Extracts detection windows from an already-copied, time-ordered point
+/// slice — the lock-free half of a snapshot scan. Semantics are identical to
+/// [`extract_windows`]; points outside the scan region are ignored.
+pub fn windows_from_points(
+    points: &[DataPoint],
+    config: &WindowConfig,
+    now: Timestamp,
+) -> Result<WindowedData> {
+    windows_from_points_into(points, config, now, Vec::new())
+}
+
+/// [`windows_from_points`] with a caller-provided value buffer, so a
+/// steady-state scan loop can reuse one allocation per series across rounds.
+/// The buffer is cleared before use; its capacity is preserved.
+pub fn windows_from_points_into(
+    points: &[DataPoint],
+    config: &WindowConfig,
+    now: Timestamp,
+    mut values: Vec<f64>,
+) -> Result<WindowedData> {
     config.validate()?;
     let extended_start = now.saturating_sub(config.extended);
     let analysis_end = extended_start;
     let analysis_start = analysis_end.saturating_sub(config.analysis);
     let historic_start = analysis_start.saturating_sub(config.historic);
-    // Borrow each region directly from the series (binary search, no copy)
+    // Borrow each region directly from the slice (binary search, no copy)
     // and fill a single contiguous buffer in one pass.
-    let region = |start: Timestamp, end: Timestamp| {
-        if end > start {
-            series.range(start, end).unwrap_or(&[])
-        } else {
-            &[]
-        }
-    };
-    let historic = region(historic_start, analysis_start);
-    let analysis = region(analysis_start, analysis_end);
-    let extended = region(extended_start, now);
+    let historic = points_in(points, historic_start, analysis_start);
+    let analysis = points_in(points, analysis_start, analysis_end);
+    let extended = points_in(points, extended_start, now);
     if historic.is_empty() {
         return Err(TsdbError::EmptyWindow("historic"));
     }
     if analysis.is_empty() {
         return Err(TsdbError::EmptyWindow("analysis"));
     }
-    let mut values = Vec::with_capacity(historic.len() + analysis.len() + extended.len());
+    values.clear();
+    values.reserve(historic.len() + analysis.len() + extended.len());
     values.extend(historic.iter().map(|p| p.value));
     values.extend(analysis.iter().map(|p| p.value));
     values.extend(extended.iter().map(|p| p.value));
-    let cadence = estimate_cadence(series, historic_start, now.max(historic_start + 1));
+    let cadence = estimate_cadence(points_in(
+        points,
+        historic_start,
+        now.max(historic_start + 1),
+    ));
     let coverage = WindowCoverage {
         historic: coverage_fraction(
             historic.len(),
@@ -620,6 +660,79 @@ mod tests {
         let w = extract_windows(&s, &cfg, 150).unwrap();
         assert_eq!(w.coverage.historic, 1.0);
         assert_eq!(w.coverage.analysis, 1.0);
+    }
+
+    #[test]
+    fn windows_from_points_matches_extract_windows() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 25,
+            rerun_interval: 10,
+        };
+        // Irregular cadence with gaps and duplicate timestamps.
+        let pairs = (0..200u64)
+            .filter(|t| t % 7 != 3)
+            .flat_map(|t| if t % 31 == 0 { vec![(t, 1.0), (t, 2.0)] } else { vec![(t, t as f64)] });
+        let s = TimeSeries::from_pairs(pairs).unwrap();
+        for now in [60, 150, 199, 240] {
+            let via_series = extract_windows(&s, &cfg, now);
+            let via_points = windows_from_points(s.points(), &cfg, now);
+            assert_eq!(via_series, via_points, "now = {now}");
+        }
+    }
+
+    #[test]
+    fn windows_from_points_ignores_out_of_range_points() {
+        let cfg = WindowConfig {
+            historic: 50,
+            analysis: 25,
+            extended: 0,
+            rerun_interval: 5,
+        };
+        let s = series_covering(300, 1);
+        let now = 200;
+        let (start, end) = snapshot_bounds(&cfg, now);
+        assert_eq!((start, end), (125, 200));
+        let full = extract_windows(&s, &cfg, now).unwrap();
+        // Only the snapshot range is needed; extra points around it are
+        // ignored by the boundary partitioning.
+        let trimmed: Vec<DataPoint> = s
+            .points()
+            .iter()
+            .filter(|p| p.timestamp >= start && p.timestamp < end)
+            .copied()
+            .collect();
+        assert_eq!(windows_from_points(&trimmed, &cfg, now).unwrap(), full);
+    }
+
+    #[test]
+    fn windows_from_points_into_reuses_buffer() {
+        let cfg = WindowConfig {
+            historic: 20,
+            analysis: 10,
+            extended: 0,
+            rerun_interval: 5,
+        };
+        let s = series_covering(40, 1);
+        let buf = Vec::with_capacity(1024);
+        let w = windows_from_points_into(s.points(), &cfg, 40, buf).unwrap();
+        assert_eq!(w.total_len(), 30);
+        let recovered = w.into_values();
+        assert!(recovered.capacity() >= 1024);
+    }
+
+    #[test]
+    fn snapshot_bounds_saturate_near_zero() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 25,
+            rerun_interval: 10,
+        };
+        assert_eq!(snapshot_bounds(&cfg, 60), (0, 60));
+        assert_eq!(snapshot_bounds(&cfg, 0), (0, 1));
+        assert_eq!(snapshot_bounds(&cfg, 500), (325, 500));
     }
 
     #[test]

@@ -103,6 +103,78 @@ fn scan_fingerprint(
     out
 }
 
+/// Runs the same world through several scan rounds with fresh points
+/// appended between rounds, mimicking the production cadence: the scan
+/// watermark is quantized to `rerun_interval` boundaries, so consecutive
+/// rounds at the same watermark see identical windows while ingestion runs
+/// ahead of it. Returns the concatenated per-round fingerprint.
+///
+/// With `streaming` enabled the incremental engine must reuse cached
+/// outcomes on unchanged rounds; with it disabled every round is a cold
+/// scan. Both must serialize to identical bytes.
+fn multi_round_fingerprint(streaming: bool, threads: usize) -> (String, u64) {
+    let (store, mut sim, log, graph) = build_world();
+    let mut pipeline = Pipeline::new(detector_config()).unwrap();
+    pipeline.threads = threads;
+    pipeline.set_streaming(streaming);
+    let ids = store.series_ids_for_service("svc");
+    let mut out = String::new();
+    let mut frontier = 43_200;
+    for round in 0..6u64 {
+        // Two rounds per watermark: the second sees the same windows as the
+        // first (appends land at or past `now`), then the watermark jumps.
+        let now = 43_200 + (round / 2) * 3_600;
+        {
+            let context = ScanContext {
+                changelog: Some(&log),
+                samples: Some(sim.retained_samples()),
+                graph: Some(&graph),
+                domain_providers: vec![],
+            };
+            let outcome = pipeline.scan(&store, &ids, now, &context).unwrap();
+            out.push_str(&format!("== round {round} now {now}\n"));
+            out.push_str(&report::render_batch(&outcome.reports, Some(&log)));
+            out.push_str(&format!("funnel: {:?}\n", outcome.funnel));
+            out.push_str(&format!("health: {:?}\n", outcome.health));
+        }
+        // Ingest half a rerun interval of fresh data before the next round.
+        sim.run(&store, frontier, frontier + 1_800).unwrap();
+        frontier += 1_800;
+    }
+    let reused = pipeline
+        .streaming_stats()
+        .map(|s| s.reused_full + s.reused_quiet)
+        .unwrap_or(0);
+    (out, reused)
+}
+
+#[test]
+fn streaming_engine_does_not_change_fingerprint() {
+    let (on, reused) = multi_round_fingerprint(true, 4);
+    let (off, _) = multi_round_fingerprint(false, 4);
+    assert!(
+        reused > 0,
+        "streaming run never exercised the reuse path; the comparison is vacuous"
+    );
+    assert_eq!(
+        on.as_bytes(),
+        off.as_bytes(),
+        "streaming engine changed the fingerprint:\n--- streaming ---\n{on}\n--- cold ---\n{off}"
+    );
+}
+
+#[test]
+fn streaming_engine_is_thread_invariant() {
+    let (serial, _) = multi_round_fingerprint(true, 1);
+    let (parallel, reused) = multi_round_fingerprint(true, 8);
+    assert!(reused > 0, "streaming run never exercised the reuse path");
+    assert_eq!(
+        serial.as_bytes(),
+        parallel.as_bytes(),
+        "thread count changed the streaming fingerprint:\n--- 1 thread ---\n{serial}\n--- 8 threads ---\n{parallel}"
+    );
+}
+
 #[test]
 fn double_run_same_seed_is_byte_identical() {
     let (store_a, sim_a, log_a, graph_a) = build_world();
