@@ -14,9 +14,9 @@
 //!
 //! Run with: `cargo run --release -p fbd-bench --bin capacity_scaling`
 
-use fbd_bench::{render_table, suite_config, suite_scan_time, CADENCE};
+use fbd_bench::{ingest_enabled, load_suite_store, render_table, suite_config, suite_scan_time};
 use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
-use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowedData};
+use fbd_tsdb::{MetricKind, SeriesId, TsdbStore, WindowedData};
 use fbdetect_core::change_point::ChangePointDetector;
 use fbdetect_core::long_term::LongTermDetector;
 use fbdetect_core::seasonality::SeasonalityDetector;
@@ -133,14 +133,21 @@ fn main() {
         noise_std: 0.002,
     };
     let suite = labelled_suite(&suite_cfg, 777).unwrap();
-    let store = TsdbStore::new();
-    let mut ids = Vec::with_capacity(suite.len());
-    for (i, s) in suite.iter().enumerate() {
-        let id = SeriesId::new("svc", MetricKind::GCpu, format!("s{i:06}"));
-        store.insert_series(id.clone(), TimeSeries::from_values(0, CADENCE, &s.values));
-        ids.push(id);
-    }
-    println!("scanning {} series of {LEN} samples each...\n", suite.len());
+    // INGEST=1 routes store building through the staged ingest front-end
+    // (wire encode → validate → quota → sharded append); contents are
+    // point-identical to the direct path, so the measured scan numbers
+    // stay comparable.
+    let via_ingest = ingest_enabled();
+    let (store, ids) = load_suite_store(&suite, "svc", MetricKind::GCpu, via_ingest);
+    println!(
+        "scanning {} series of {LEN} samples each{}...\n",
+        suite.len(),
+        if via_ingest {
+            " (store built via ingest pipeline)"
+        } else {
+            ""
+        }
+    );
     let now = suite_scan_time(LEN);
     // Hardware context for the thread-scaling table: with a single
     // available core the 1→8 thread rows are expected to be flat (the

@@ -28,9 +28,11 @@
 //!
 //! Run with: `cargo run --release -p fbd-bench --bin round_cadence`
 
-use fbd_bench::{render_table, suite_config, suite_scan_time, CADENCE};
+use fbd_bench::{
+    ingest_enabled, load_suite_store, render_table, suite_config, suite_scan_time, CADENCE,
+};
 use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
-use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore};
+use fbd_tsdb::MetricKind;
 use fbdetect_core::{report, Pipeline, ScanContext, Threshold};
 use std::time::Instant;
 
@@ -65,13 +67,11 @@ fn main() {
         noise_std: 0.002,
     };
     let suite = labelled_suite(&suite_cfg, 777).unwrap();
-    let store = TsdbStore::new();
-    let mut ids = Vec::with_capacity(suite.len());
-    for (i, s) in suite.iter().enumerate() {
-        let id = SeriesId::new("svc", MetricKind::GCpu, format!("s{i:06}"));
-        store.insert_series(id.clone(), TimeSeries::from_values(0, CADENCE, &s.values));
-        ids.push(id);
-    }
+    // INGEST=1 builds the starting store through the ingest front-end;
+    // the per-round appends below stay direct (they are the scan bench's
+    // workload model, not ingestion).
+    let via_ingest = ingest_enabled();
+    let (store, ids) = load_suite_store(&suite, "svc", MetricKind::GCpu, via_ingest);
     let n = ids.len();
     let config = suite_config(LEN, Threshold::Absolute(0.01));
     let rerun = config.windows.rerun_interval;

@@ -1,0 +1,229 @@
+//! Sustained ingest throughput under concurrent scanning: the ingest
+//! front-end's headline benchmark.
+//!
+//! A production front door does not get the machine to itself — it
+//! appends while the scheduler scans. This harness builds a suite store,
+//! then pumps fresh wire batches through the staged pipeline
+//! (decode → validate → quota → sharded append, `submit_or_shed` at
+//! ingress) while a scanner thread runs streaming scan rounds over the
+//! same store the whole time.
+//!
+//! Reported numbers:
+//! - `points_per_sec` — goodput: points landed in the store per second of
+//!   wall time, scans included;
+//! - `offered_points_per_sec` — the submit-side rate before shedding;
+//! - `shed_rate` — fraction of submitted points shed (ingress + quota +
+//!   late), all explicitly counted;
+//! - `quarantine_count`, `scan_rounds`, `reused_full` — the quarantine
+//!   registry size and proof the streaming engine kept reusing rounds
+//!   while ingest ran.
+//!
+//! Acceptance floor: goodput must sustain `MIN_INGEST` points/s
+//! (default 100,000) with the scanner live, and the full accounting
+//! invariant must hold — every submitted point appended or counted shed.
+//!
+//! Results merge into `BENCH_pipeline.json` under `"sustained_ingest"`.
+//!
+//! Run with: `cargo run --release -p fbd-bench --bin sustained_ingest`
+
+use fbd_bench::{ingest_enabled, load_suite_store, render_table, suite_config, suite_scan_time, CADENCE};
+use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
+use fbd_ingest::pipeline::{IngestConfig, IngestPipeline};
+use fbd_ingest::quota::QuotaConfig;
+use fbd_ingest::wire::{encode_batch, SampleBatch};
+use fbd_tsdb::MetricKind;
+use fbdetect_core::{Pipeline, ScanContext, Threshold};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const LEN: usize = 900;
+/// Fresh samples appended per series per wave; the wave's time span
+/// (`5 × CADENCE = 300 s`) stays inside the validator's 900 s late slack.
+const WAVE_SAMPLES: usize = 5;
+
+fn main() {
+    let n_series: usize = std::env::var("SERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+    let target_points: u64 = std::env::var("POINTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let suite_cfg = SuiteConfig {
+        clean: n_series * 7 / 10,
+        regressions: n_series / 100,
+        gradual: 0,
+        transients: n_series / 4,
+        seasonal: n_series / 25,
+        len: LEN,
+        change_fraction: 0.75,
+        relative_magnitude_range: (0.01, 0.2),
+        base: 1.0,
+        noise_std: 0.002,
+    };
+    let suite = labelled_suite(&suite_cfg, 777).unwrap();
+    let (store, ids) = load_suite_store(&suite, "svc", MetricKind::GCpu, ingest_enabled());
+    let n = ids.len();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "sustained ingest: {n} series, target {target_points} fresh points, \
+         streaming scans concurrent, cores {cores}\n"
+    );
+
+    let config = IngestConfig {
+        queue_depth: 256,
+        appenders: 2,
+        // Throughput measurement, not admission control: the bucket never
+        // empties, so every shed is a backpressure or late shed.
+        quota: QuotaConfig {
+            burst: u64::MAX / 2,
+            points_per_sec: 0,
+        },
+        ..IngestConfig::default()
+    };
+    let pipeline = IngestPipeline::new(Arc::clone(&store), config);
+    let quarantine = pipeline.quarantine();
+
+    let stop = AtomicBool::new(false);
+    let scan_rounds = AtomicU64::new(0);
+    let now = suite_scan_time(LEN);
+    let mut reused_full = 0u64;
+    let mut scanned = 0u64;
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // The scanner: streaming rounds over the store while ingest runs.
+        // The watermark holds (appends land past it), so rounds after the
+        // first exercise the engine's reuse path under concurrent writes.
+        let scanner = scope.spawn(|| {
+            let mut pipeline =
+                Pipeline::new(suite_config(LEN, Threshold::Absolute(0.01))).unwrap();
+            let mut stats = Default::default();
+            while !stop.load(Ordering::Relaxed) {
+                let out = pipeline
+                    .scan(&store, &ids, now, &ScanContext::default())
+                    .expect("scan must survive concurrent ingest");
+                assert_eq!(out.health.panicked, 0, "detector panicked under ingest load");
+                scan_rounds.fetch_add(1, Ordering::Relaxed);
+                stats = pipeline.streaming_stats().unwrap();
+            }
+            stats
+        });
+
+        // The pump: waves of fresh points continuing every series' tail.
+        let mut frontier: u64 = now;
+        let mut pumped: u64 = 0;
+        while pumped < target_points {
+            let wave_end = frontier + WAVE_SAMPLES as u64 * CADENCE;
+            let mut batch = SampleBatch::new("bench", wave_end);
+            for (i, id) in ids.iter().enumerate() {
+                for w in 0..WAVE_SAMPLES {
+                    let t = frontier + w as u64 * CADENCE;
+                    let v = suite[i].values[LEN - 1] + ((t / CADENCE + i as u64) % 7) as f64 * 1e-4;
+                    batch.push(id, t, v).expect("wave fits the wire format");
+                }
+            }
+            pumped += batch.point_count() as u64;
+            let raw = encode_batch(&batch).expect("wave batch encodes");
+            pipeline
+                .submit_or_shed(raw)
+                .expect("ingest pipeline alive");
+            frontier = wave_end;
+        }
+        pipeline.drain();
+        stop.store(true, Ordering::Relaxed);
+        let stats = scanner.join().expect("scanner thread");
+        reused_full = stats.reused_full;
+        scanned = stats.scanned;
+    });
+    let stats = pipeline.finish();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Every submitted point is accounted for — the "never silent loss"
+    // invariant, under real concurrency.
+    assert!(stats.is_accounted(), "accounting broken: {stats:?}");
+    assert_eq!(stats.decode_errors, 0, "{stats:?}");
+    assert_eq!(stats.quota_shed_points, 0, "{stats:?}");
+
+    let goodput = stats.points_appended as f64 / elapsed;
+    let offered = stats.points_submitted as f64 / elapsed;
+    let shed_rate = stats.shed_rate();
+    let rounds = scan_rounds.load(Ordering::Relaxed);
+    let quarantine_count = quarantine.lock().len();
+
+    println!(
+        "{}",
+        render_table(
+            &["metric", "value"],
+            &[
+                vec!["points appended".into(), format!("{}", stats.points_appended)],
+                vec!["points submitted".into(), format!("{}", stats.points_submitted)],
+                vec!["goodput".into(), format!("{goodput:.0} points/s")],
+                vec!["offered".into(), format!("{offered:.0} points/s")],
+                vec!["shed rate".into(), format!("{:.2}%", shed_rate * 100.0)],
+                vec!["late shed".into(), format!("{}", stats.late_shed_points)],
+                vec!["quarantined".into(), format!("{quarantine_count}")],
+                vec!["scan rounds".into(), format!("{rounds}")],
+                vec!["engine reused(cum)".into(), format!("{reused_full}")],
+                vec!["engine scanned(cum)".into(), format!("{scanned}")],
+            ],
+        )
+    );
+
+    assert!(
+        rounds >= 1,
+        "the scanner never completed a round while ingest ran"
+    );
+    assert!(
+        reused_full > 0,
+        "streaming engine reuse died under concurrent ingest"
+    );
+
+    // The acceptance floor, overridable for slow CI runners via
+    // MIN_INGEST (points per second of goodput, scans concurrent).
+    let min_ingest = std::env::var("MIN_INGEST")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(100_000.0);
+    assert!(
+        goodput >= min_ingest,
+        "sustained ingest goodput {goodput:.0} points/s < floor {min_ingest:.0}"
+    );
+    println!("\ningest floor passed: {goodput:.0} >= {min_ingest:.0} points/s");
+
+    // Merge the record into BENCH_pipeline.json under "sustained_ingest",
+    // preserving the rest (same idiom as round_cadence).
+    let entry = format!(
+        "\"sustained_ingest\": {{\n    \"series\": {n},\n    \"cores\": {cores},\n    \
+         \"points_submitted\": {},\n    \"points_appended\": {},\n    \
+         \"points_per_sec\": {goodput:.1},\n    \
+         \"offered_points_per_sec\": {offered:.1},\n    \
+         \"shed_rate\": {shed_rate:.4},\n    \
+         \"late_shed_points\": {},\n    \
+         \"quarantine_count\": {quarantine_count},\n    \
+         \"scan_rounds\": {rounds},\n    \"reused_full\": {reused_full}\n  }}",
+        stats.points_submitted, stats.points_appended, stats.late_shed_points,
+    );
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => {
+            let body = existing.trim_end();
+            let body = body.strip_suffix('}').unwrap_or(body).trim_end();
+            let body = match body.find(",\n  \"sustained_ingest\"") {
+                Some(pos) => &body[..pos],
+                None => body,
+            };
+            format!("{body},\n  {entry}\n}}\n")
+        }
+        Err(_) => format!("{{\n  {entry}\n}}\n"),
+    };
+    match std::fs::write(&out_path, &merged) {
+        Ok(()) => println!("merged sustained_ingest into {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

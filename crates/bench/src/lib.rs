@@ -9,11 +9,102 @@
 #![forbid(unsafe_code)]
 
 use fbd_fleet::scenarios::{LabelledSeries, SeriesLabel};
+use fbd_ingest::pipeline::{IngestConfig, IngestPipeline};
+use fbd_ingest::quota::QuotaConfig;
+use fbd_ingest::wire::{encode_batch, SampleBatch};
 use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
 use fbdetect_core::{DetectorConfig, Threshold};
+use std::sync::Arc;
 
 /// Sample cadence used by the scaled-down experiments (seconds).
 pub const CADENCE: u64 = 60;
+
+/// Whether `INGEST=1` asks the harness to build stores through the
+/// staged ingest front-end instead of direct `insert_series` loops.
+pub fn ingest_enabled() -> bool {
+    std::env::var("INGEST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Series per wire batch when slicing a suite for ingestion; bounded by
+/// the wire format's `u16` dictionary index.
+const INGEST_SERIES_CHUNK: usize = 4_096;
+/// Samples per series per wire batch. The slice's time span
+/// (`8 × CADENCE = 480 s`) stays inside the validator's default 900 s
+/// late slack, so punctual suite data is never misread as late.
+const INGEST_SAMPLE_CHUNK: usize = 8;
+
+/// Loads a labelled suite by replaying it through the full ingest
+/// front-end — wire encode, decode, validation, quota, sharded append —
+/// instead of direct `insert_series`. Store contents are point-for-point
+/// identical to [`load_suite`]; panics if the pipeline sheds or loses
+/// anything (clean punctual data must be admitted in full).
+pub fn load_suite_via_ingest(
+    suite: &[LabelledSeries],
+    service: &str,
+    metric: MetricKind,
+) -> (Arc<TsdbStore>, Vec<SeriesId>) {
+    let store = Arc::new(TsdbStore::new());
+    let ids: Vec<SeriesId> = (0..suite.len())
+        .map(|i| SeriesId::new(service, metric, format!("s{i:05}")))
+        .collect();
+    let config = IngestConfig {
+        // Store building is replay, not admission control: an unbounded
+        // bucket keeps the loaded store byte-identical to `load_suite`.
+        quota: QuotaConfig {
+            burst: u64::MAX / 2,
+            points_per_sec: 0,
+        },
+        ..IngestConfig::default()
+    };
+    let pipeline = IngestPipeline::new(Arc::clone(&store), config);
+    for series_lo in (0..suite.len()).step_by(INGEST_SERIES_CHUNK) {
+        let series_hi = (series_lo + INGEST_SERIES_CHUNK).min(suite.len());
+        let len = suite[series_lo..series_hi]
+            .iter()
+            .map(|s| s.values.len())
+            .max()
+            .unwrap_or(0);
+        for lo in (0..len).step_by(INGEST_SAMPLE_CHUNK) {
+            let hi = (lo + INGEST_SAMPLE_CHUNK).min(len);
+            let mut batch = SampleBatch::new("bench", hi as u64 * CADENCE);
+            for (i, s) in suite[series_lo..series_hi].iter().enumerate() {
+                for j in lo..hi.min(s.values.len()) {
+                    batch
+                        .push(&ids[series_lo + i], j as u64 * CADENCE, s.values[j])
+                        .expect("suite slice fits the wire format");
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            let raw = encode_batch(&batch).expect("suite batch encodes");
+            pipeline.submit(raw).expect("ingest pipeline alive");
+        }
+    }
+    let stats = pipeline.finish();
+    assert!(stats.is_accounted(), "ingest accounting broken: {stats:?}");
+    assert_eq!(
+        stats.points_appended, stats.points_submitted,
+        "clean suite data was shed during ingest: {stats:?}"
+    );
+    (store, ids)
+}
+
+/// Builds the suite store either directly or through the ingest
+/// front-end, per `via_ingest` (typically [`ingest_enabled`]).
+pub fn load_suite_store(
+    suite: &[LabelledSeries],
+    service: &str,
+    metric: MetricKind,
+    via_ingest: bool,
+) -> (Arc<TsdbStore>, Vec<SeriesId>) {
+    if via_ingest {
+        load_suite_via_ingest(suite, service, metric)
+    } else {
+        let (store, ids) = load_suite(suite, service, metric);
+        (Arc::new(store), ids)
+    }
+}
 
 /// The standard scaled-down window split for suite series of length `len`:
 /// 2/3 historic, 2/9 analysis, 1/9 extended.
@@ -164,6 +255,32 @@ mod tests {
         assert_eq!(store.series_count(), 3);
         assert_eq!(suite_index(&ids[2]), Some(2));
         assert_eq!(true_regression_indices(&suite), vec![2]);
+    }
+
+    #[test]
+    fn ingest_built_store_matches_direct() {
+        let cfg = SuiteConfig {
+            clean: 3,
+            regressions: 1,
+            gradual: 0,
+            transients: 1,
+            seasonal: 0,
+            len: 120,
+            ..Default::default()
+        };
+        let suite = labelled_suite(&cfg, 9).unwrap();
+        let (direct, direct_ids) = load_suite(&suite, "svc", MetricKind::GCpu);
+        let (wired, wired_ids) = load_suite_via_ingest(&suite, "svc", MetricKind::GCpu);
+        assert_eq!(direct_ids, wired_ids);
+        for id in &direct_ids {
+            let a = direct.get(id).unwrap();
+            let b = wired.get(id).unwrap();
+            assert_eq!(a.len(), b.len(), "{id:?}");
+            for (pa, pb) in a.points().iter().zip(b.points()) {
+                assert_eq!(pa.timestamp, pb.timestamp, "{id:?}");
+                assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "{id:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Wire-batch emission: the fleet's servers deliver samples through the
+//! ingest front door instead of appending directly to the store.
+//!
+//! The emitter models what a real collection tier adds on top of the raw
+//! sample streams: *delivery time*. Samples are sliced into fixed-length
+//! collection rounds, and each round becomes one encoded wire batch whose
+//! `collected_at` is the round's end. Data faults keep their
+//! [`DataFault::apply`](crate::fault::DataFault::apply) semantics with one
+//! refinement — [`DataFaultKind::LateWindow`] is modeled where it actually
+//! happens, at delivery: affected samples keep their recorded timestamps
+//! but are *delivered* `duration` seconds late, landing in much later
+//! rounds. At the wire boundary they are genuinely stale (far older than
+//! their batch's `collected_at`), which is what lets the ingest validator
+//! classify and shed them; the direct-append path's timestamp-shift model
+//! leaves the same scan windows empty, so scan outcomes agree.
+//!
+//! Like every fleet module, emission is seed-deterministic: the same RNG
+//! and inputs produce the same batch bytes forever.
+
+use crate::fault::{DataFault, DataFaultKind};
+use crate::{FleetError, Result};
+use bytes::Bytes;
+use fbd_ingest::wire::{encode_batch, SampleBatch};
+use fbd_tsdb::SeriesId;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// One series' contribution to an emission: its clean sample stream and
+/// the data fault (if any) corrupting its collector.
+#[derive(Debug, Clone)]
+pub struct EmitSeries {
+    /// The series identity carried on the wire.
+    pub id: SeriesId,
+    /// Clean `(timestamp, value)` samples, in timestamp order.
+    pub samples: Vec<(u64, f64)>,
+    /// Collector fault to inject, if any.
+    pub fault: Option<DataFault>,
+}
+
+impl EmitSeries {
+    /// A healthy series.
+    pub fn clean(id: SeriesId, samples: Vec<(u64, f64)>) -> Self {
+        EmitSeries {
+            id,
+            samples,
+            fault: None,
+        }
+    }
+
+    /// A series whose collector exhibits `fault`.
+    pub fn faulted(id: SeriesId, samples: Vec<(u64, f64)>, fault: DataFault) -> Self {
+        EmitSeries {
+            id,
+            samples,
+            fault: Some(fault),
+        }
+    }
+}
+
+/// Slices per-series sample streams into collection rounds of encoded
+/// wire batches for one tenant.
+#[derive(Debug, Clone)]
+pub struct WireEmitter {
+    tenant: String,
+    round_len: u64,
+}
+
+impl WireEmitter {
+    /// An emitter collecting every `round_len` simulated seconds. The
+    /// ingest validator's late-point slack must be at least `round_len`,
+    /// or punctual end-of-round samples would be misread as late.
+    pub fn new(tenant: impl Into<String>, round_len: u64) -> Self {
+        WireEmitter {
+            tenant: tenant.into(),
+            round_len: round_len.max(1),
+        }
+    }
+
+    /// Builds the ordered sequence of round batches for `fleet`.
+    ///
+    /// Faults are applied per series in fleet order, consuming `rng`
+    /// exactly as the direct-append path's `DataFault::apply` does — so a
+    /// store built from these batches matches one built by applying the
+    /// same faults to the same streams with the same RNG, modulo the
+    /// late-delivered points the ingest boundary sheds.
+    pub fn rounds<R: Rng>(&self, rng: &mut R, fleet: &[EmitSeries]) -> Result<Vec<Bytes>> {
+        // round index -> (series index, timestamp, value), insertion
+        // order preserved so per-series sample order survives.
+        let mut buckets: BTreeMap<u64, Vec<(usize, u64, f64)>> = BTreeMap::new();
+        for (series_idx, series) in fleet.iter().enumerate() {
+            let delivered: Vec<(u64, u64, f64)> = match &series.fault {
+                // LateWindow consumes no randomness in `apply` either:
+                // the two paths stay RNG-aligned.
+                Some(fault) if fault.kind == DataFaultKind::LateWindow => series
+                    .samples
+                    .iter()
+                    .map(|&(t, v)| {
+                        let delivery = if fault.active_at(t) {
+                            t.saturating_add(fault.duration)
+                        } else {
+                            t
+                        };
+                        (delivery, t, v)
+                    })
+                    .collect(),
+                Some(fault) => fault
+                    .apply(rng, &series.samples)
+                    .into_iter()
+                    .map(|(t, v)| (t, t, v))
+                    .collect(),
+                None => series.samples.iter().map(|&(t, v)| (t, t, v)).collect(),
+            };
+            for (delivery, t, v) in delivered {
+                buckets
+                    .entry(delivery / self.round_len)
+                    .or_default()
+                    .push((series_idx, t, v));
+            }
+        }
+        let mut out = Vec::with_capacity(buckets.len());
+        for (round, points) in buckets {
+            let collected_at = round
+                .saturating_add(1)
+                .saturating_mul(self.round_len);
+            let mut batch = SampleBatch::new(self.tenant.clone(), collected_at);
+            for (series_idx, t, v) in points {
+                let id = fleet
+                    .get(series_idx)
+                    .map(|s| &s.id)
+                    .ok_or(FleetError::InvalidConfig("emit series index out of range"))?;
+                batch
+                    .push(id, t, v)
+                    .map_err(|e| FleetError::Wire(e.to_string()))?;
+            }
+            out.push(encode_batch(&batch).map_err(|e| FleetError::Wire(e.to_string()))?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_ingest::wire::decode_batch;
+    use fbd_tsdb::MetricKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sid(n: u32) -> SeriesId {
+        SeriesId::new("svc", MetricKind::GCpu, format!("s{n}"))
+    }
+
+    fn stream(n: u64) -> Vec<(u64, f64)> {
+        (0..n).map(|t| (t * 10, 1.0 + t as f64 * 0.001)).collect()
+    }
+
+    #[test]
+    fn clean_series_slice_into_rounds() {
+        let emitter = WireEmitter::new("t", 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rounds = emitter
+            .rounds(&mut rng, &[EmitSeries::clean(sid(0), stream(30))])
+            .unwrap();
+        // 30 samples at cadence 10 span [0, 290]: rounds 0..=2.
+        assert_eq!(rounds.len(), 3);
+        let first = decode_batch(&rounds[0]).unwrap();
+        assert_eq!(first.collected_at, 100);
+        assert_eq!(first.point_count(), 10);
+        let total: usize = rounds
+            .iter()
+            .map(|r| decode_batch(r).unwrap().point_count())
+            .sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn late_window_defers_delivery_not_timestamps() {
+        let emitter = WireEmitter::new("t", 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fault = DataFault {
+            kind: DataFaultKind::LateWindow,
+            start: 100,
+            duration: 1_000,
+            intensity: 1.0,
+        };
+        let rounds = emitter
+            .rounds(&mut rng, &[EmitSeries::faulted(sid(0), stream(30), fault)])
+            .unwrap();
+        let batches: Vec<SampleBatch> =
+            rounds.iter().map(|r| decode_batch(r).unwrap()).collect();
+        // Samples at t >= 100 are delivered 1000s late but keep their
+        // recorded timestamps.
+        let late: Vec<&SampleBatch> = batches
+            .iter()
+            .filter(|b| b.points().iter().any(|p| p.timestamp >= 100))
+            .collect();
+        assert!(!late.is_empty());
+        for b in &late {
+            for p in b.points() {
+                assert!(
+                    b.collected_at >= p.timestamp + 1_000,
+                    "late point ts {} delivered at {}",
+                    p.timestamp,
+                    b.collected_at
+                );
+            }
+        }
+        // Punctual samples (t < 100) stay in the first round.
+        let first = &batches[0];
+        assert_eq!(first.collected_at, 100);
+        assert!(first.points().iter().all(|p| p.timestamp < 100));
+    }
+
+    #[test]
+    fn emission_is_seed_deterministic() {
+        let emitter = WireEmitter::new("t", 100);
+        let fault = DataFault {
+            kind: DataFaultKind::DroppedSamples,
+            start: 0,
+            duration: 10_000,
+            intensity: 0.5,
+        };
+        let fleet = vec![
+            EmitSeries::faulted(sid(0), stream(50), fault),
+            EmitSeries::clean(sid(1), stream(50)),
+        ];
+        let a = emitter
+            .rounds(&mut StdRng::seed_from_u64(7), &fleet)
+            .unwrap();
+        let b = emitter
+            .rounds(&mut StdRng::seed_from_u64(7), &fleet)
+            .unwrap();
+        assert_eq!(a, b);
+        let c = emitter
+            .rounds(&mut StdRng::seed_from_u64(8), &fleet)
+            .unwrap();
+        assert_ne!(a, c, "different seed drops different samples");
+    }
+
+    #[test]
+    fn multiple_series_share_round_batches() {
+        let emitter = WireEmitter::new("t", 1_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fleet = vec![
+            EmitSeries::clean(sid(0), stream(10)),
+            EmitSeries::clean(sid(1), stream(10)),
+        ];
+        let rounds = emitter.rounds(&mut rng, &fleet).unwrap();
+        assert_eq!(rounds.len(), 1);
+        let batch = decode_batch(&rounds[0]).unwrap();
+        assert_eq!(batch.series().len(), 2);
+        assert_eq!(batch.point_count(), 20);
+    }
+}

@@ -18,6 +18,8 @@ pub enum FleetError {
     Profiler(String),
     /// A propagation from the time-series store.
     Tsdb(String),
+    /// A propagation from the ingest wire codec.
+    Wire(String),
 }
 
 impl fmt::Display for FleetError {
@@ -29,6 +31,7 @@ impl fmt::Display for FleetError {
             }
             FleetError::Profiler(e) => write!(f, "profiler error: {e}"),
             FleetError::Tsdb(e) => write!(f, "tsdb error: {e}"),
+            FleetError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
 }

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod error;
 pub mod fault;
 pub mod kraken;
@@ -32,6 +33,7 @@ pub mod spec;
 pub mod tao;
 pub mod transient;
 
+pub use emit::{EmitSeries, WireEmitter};
 pub use error::FleetError;
 pub use fault::{DataFault, DataFaultKind, FaultSchedule};
 pub use noise::NormalSampler;

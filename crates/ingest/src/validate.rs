@@ -1,0 +1,348 @@
+//! Wire-boundary data-quality validation.
+//!
+//! Production collectors exhibit exactly five failure shapes — the
+//! `DataFaultKind`s the fleet simulator injects — and the validator's job
+//! is to *classify* them where they enter the system, then degrade
+//! gracefully instead of failing the scan later:
+//!
+//! | fault                | wire signature                         | action      |
+//! |----------------------|----------------------------------------|-------------|
+//! | dropped samples      | timestamp gap ≫ the series' cadence    | count       |
+//! | duplicated timestamp | timestamp equal to the previous point  | count, pass |
+//! | NaN burst            | non-finite value                       | count, pass; quarantine the series when a batch is mostly NaN |
+//! | stuck constant       | long run of bit-identical values       | count, pass |
+//! | late window          | point far older than its batch's       | count, **shed** |
+//! |                      | `collected_at`, or behind the series'  |             |
+//! |                      | already-ingested tail                  |             |
+//!
+//! Only late points are shed — they are unappendable (the TSDB is
+//! append-only) or stale beyond the acceptance window; everything else
+//! passes through so the stored bytes match what a direct append of the
+//! same corrupted stream would produce, and the scan-side coverage and
+//! finite-fraction gates do the degrading. Every shed point is counted;
+//! nothing is dropped silently.
+//!
+//! All state lives in `BTreeMap`s keyed by series id and every value
+//! comparison goes through `to_bits`, keeping the validator deterministic
+//! and NaN-safe under `fbd-lint` supervision.
+
+use crate::wire::SampleBatch;
+use fbd_tsdb::{SeriesId, Timestamp};
+use std::collections::BTreeMap;
+
+/// Tuning knobs for the wire-boundary checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidatorConfig {
+    /// A gap counts as dropped samples when it exceeds `gap_factor` times
+    /// the smallest cadence observed on the series.
+    pub gap_factor: u64,
+    /// Run length of bit-identical values that counts as a stuck
+    /// collector.
+    pub stuck_run: u32,
+    /// Points older than `collected_at - late_slack` are late: counted
+    /// and shed.
+    pub late_slack: u64,
+    /// When at least this fraction of a series' points in one batch is
+    /// non-finite (and the series sent at least [`ValidatorConfig::nan_burst_min_points`]),
+    /// the series is flagged for quarantine as a data-quality fault.
+    pub nan_burst_fraction: f64,
+    /// Minimum per-batch sample count before the NaN-burst fraction is
+    /// meaningful.
+    pub nan_burst_min_points: u32,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        ValidatorConfig {
+            gap_factor: 3,
+            stuck_run: 8,
+            late_slack: 900,
+            nan_burst_fraction: 0.5,
+            nan_burst_min_points: 4,
+        }
+    }
+}
+
+/// Per-kind fault observations, mirroring the fleet simulator's five
+/// `DataFaultKind`s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Gap events larger than the cadence allows (dropped samples).
+    pub dropped_gaps: u64,
+    /// Points repeating the previous timestamp.
+    pub duplicated: u64,
+    /// Non-finite values.
+    pub nan: u64,
+    /// Runs of bit-identical values reaching the stuck threshold.
+    pub stuck_runs: u64,
+    /// Late points (counted *and* shed).
+    pub late: u64,
+}
+
+impl FaultCounts {
+    fn add(&mut self, other: &FaultCounts) {
+        self.dropped_gaps += other.dropped_gaps;
+        self.duplicated += other.duplicated;
+        self.nan += other.nan;
+        self.stuck_runs += other.stuck_runs;
+        self.late += other.late;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultCounts::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SeriesState {
+    last_ts: Option<Timestamp>,
+    last_bits: Option<u64>,
+    run: u32,
+    min_delta: Option<u64>,
+}
+
+/// What the validator decided about one batch.
+#[derive(Debug, Clone, Default)]
+pub struct ValidatedBatch {
+    /// Points admitted for routing, in arrival order.
+    pub routed: Vec<(SeriesId, Timestamp, f64)>,
+    /// Late points shed (already included in the fault counts).
+    pub late_shed: u64,
+    /// Series whose batch crossed the NaN-burst quarantine threshold.
+    pub nan_flagged: Vec<SeriesId>,
+    /// Faults observed in this batch.
+    pub faults: FaultCounts,
+}
+
+/// Streaming per-series validation state over the whole ingest session.
+#[derive(Debug, Default)]
+pub struct Validator {
+    config: ValidatorConfig,
+    state: BTreeMap<SeriesId, SeriesState>,
+    per_series: BTreeMap<SeriesId, FaultCounts>,
+    totals: FaultCounts,
+}
+
+impl Validator {
+    /// Creates a validator with the given thresholds.
+    pub fn new(config: ValidatorConfig) -> Self {
+        Validator {
+            config,
+            ..Validator::default()
+        }
+    }
+
+    /// Classifies one batch and returns the admissible points.
+    pub fn validate(&mut self, batch: &SampleBatch) -> ValidatedBatch {
+        let mut out = ValidatedBatch::default();
+        // Per-batch per-series (points, non-finite points) for the
+        // NaN-burst threshold.
+        let mut batch_points: BTreeMap<u16, (u32, u32)> = BTreeMap::new();
+        for point in batch.points() {
+            let Some(id) = batch.series_of(point) else {
+                // Decode validates indices, so an unresolvable index only
+                // happens on hand-built batches. Shed and count it rather
+                // than lose it silently.
+                out.faults.late += 1;
+                out.late_shed += 1;
+                self.totals.late += 1;
+                continue;
+            };
+            let entry = batch_points.entry(point.series).or_insert((0, 0));
+            entry.0 += 1;
+            let mut per_point = FaultCounts::default();
+            if !point.value.is_finite() {
+                per_point.nan += 1;
+                entry.1 += 1;
+            }
+            let state = self.state.entry(id.clone()).or_default();
+            // Stuck-constant runs: bit-identical consecutive values.
+            if state.last_bits == Some(point.value.to_bits()) {
+                state.run = state.run.saturating_add(1);
+                // `run` counts repeats, so run + 1 samples agree; count
+                // each run once, when it first reaches the threshold.
+                if state.run + 1 == self.config.stuck_run {
+                    per_point.stuck_runs += 1;
+                }
+            } else {
+                state.run = 0;
+                state.last_bits = Some(point.value.to_bits());
+            }
+            let mut late = batch.collected_at.saturating_sub(point.timestamp)
+                > self.config.late_slack;
+            match state.last_ts {
+                Some(last) if point.timestamp < last => late = true,
+                Some(last) if point.timestamp == last => per_point.duplicated += 1,
+                Some(last) => {
+                    let delta = point.timestamp - last;
+                    if let Some(md) = state.min_delta {
+                        if delta > self.config.gap_factor.saturating_mul(md) {
+                            per_point.dropped_gaps += 1;
+                        }
+                        state.min_delta = Some(md.min(delta));
+                    } else {
+                        state.min_delta = Some(delta);
+                    }
+                }
+                None => {}
+            }
+            if late {
+                per_point.late += 1;
+                out.late_shed += 1;
+            } else {
+                // Advance the tail watermark only for admitted points, so
+                // it mirrors what the store will actually hold.
+                state.last_ts = Some(match state.last_ts {
+                    Some(last) => last.max(point.timestamp),
+                    None => point.timestamp,
+                });
+                out.routed.push((id.clone(), point.timestamp, point.value));
+            }
+            self.per_series
+                .entry(id.clone())
+                .or_default()
+                .add(&per_point);
+            out.faults.add(&per_point);
+            self.totals.add(&per_point);
+        }
+        let cfg = self.config;
+        for (idx, (total, nan)) in batch_points {
+            if nan > 0
+                && total >= cfg.nan_burst_min_points
+                && f64::from(nan) >= cfg.nan_burst_fraction * f64::from(total)
+            {
+                if let Some(id) = batch.series().get(idx as usize) {
+                    out.nan_flagged.push(id.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Total fault observations since construction.
+    pub fn totals(&self) -> &FaultCounts {
+        &self.totals
+    }
+
+    /// Per-series fault observations, in series-id order.
+    pub fn per_series(&self) -> &BTreeMap<SeriesId, FaultCounts> {
+        &self.per_series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbd_tsdb::{MetricKind, SeriesId};
+
+    fn sid(n: u32) -> SeriesId {
+        SeriesId::new("svc", MetricKind::GCpu, format!("s{n}"))
+    }
+
+    fn batch_of(collected_at: u64, pts: &[(u32, u64, f64)]) -> SampleBatch {
+        let mut b = SampleBatch::new("t", collected_at);
+        for &(s, ts, v) in pts {
+            b.push(&sid(s), ts, v).unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn clean_stream_admits_everything() {
+        let mut v = Validator::new(ValidatorConfig::default());
+        let out = v.validate(&batch_of(40, &[(0, 10, 1.0), (0, 20, 1.1), (0, 30, 1.2)]));
+        assert_eq!(out.routed.len(), 3);
+        assert_eq!(out.late_shed, 0);
+        assert!(out.faults.is_clean());
+        assert!(v.totals().is_clean());
+    }
+
+    #[test]
+    fn gap_counts_as_dropped_samples() {
+        let mut v = Validator::new(ValidatorConfig::default());
+        // Cadence 10 established, then a 50-tick gap (> 3×10).
+        let out = v.validate(&batch_of(
+            120,
+            &[(0, 10, 1.0), (0, 20, 1.1), (0, 70, 1.2), (0, 80, 1.3)],
+        ));
+        assert_eq!(out.faults.dropped_gaps, 1);
+        assert_eq!(out.routed.len(), 4, "gapped points still pass through");
+    }
+
+    #[test]
+    fn duplicates_counted_and_passed() {
+        let mut v = Validator::new(ValidatorConfig::default());
+        let out = v.validate(&batch_of(40, &[(0, 10, 1.0), (0, 10, 1.0), (0, 20, 1.1)]));
+        assert_eq!(out.faults.duplicated, 1);
+        assert_eq!(out.routed.len(), 3);
+    }
+
+    #[test]
+    fn nan_burst_counted_passed_and_flagged() {
+        let mut v = Validator::new(ValidatorConfig::default());
+        let out = v.validate(&batch_of(
+            60,
+            &[
+                (0, 10, f64::NAN),
+                (0, 20, f64::NAN),
+                (0, 30, f64::NAN),
+                (0, 40, 1.0),
+            ],
+        ));
+        assert_eq!(out.faults.nan, 3);
+        assert_eq!(out.routed.len(), 4, "NaN passes through to the store");
+        assert_eq!(out.nan_flagged, vec![sid(0)]);
+        // A mostly-finite batch is not flagged.
+        let out = v.validate(&batch_of(
+            120,
+            &[(1, 50, 1.0), (1, 60, f64::NAN), (1, 70, 1.0), (1, 80, 1.0)],
+        ));
+        assert_eq!(out.faults.nan, 1);
+        assert!(out.nan_flagged.is_empty());
+    }
+
+    #[test]
+    fn stuck_run_counted_once() {
+        let mut v = Validator::new(ValidatorConfig {
+            stuck_run: 3,
+            ..ValidatorConfig::default()
+        });
+        let pts: Vec<(u32, u64, f64)> = (0..6).map(|i| (0, 10 * (i + 1), 4.25)).collect();
+        let out = v.validate(&batch_of(100, &pts));
+        assert_eq!(out.faults.stuck_runs, 1, "one run, counted once");
+        assert_eq!(out.routed.len(), 6);
+    }
+
+    #[test]
+    fn late_points_are_shed_and_counted() {
+        let mut v = Validator::new(ValidatorConfig::default());
+        let first = v.validate(&batch_of(40, &[(0, 10, 1.0), (0, 30, 1.1)]));
+        assert_eq!(first.late_shed, 0);
+        // ts 20 is behind the series tail (30): unappendable, shed.
+        let behind = v.validate(&batch_of(60, &[(0, 20, 2.0)]));
+        assert_eq!(behind.late_shed, 1);
+        assert_eq!(behind.faults.late, 1);
+        assert!(behind.routed.is_empty());
+        // A point 5000 ticks older than its batch's collection time is
+        // beyond the acceptance window even with no tail conflict.
+        let stale = v.validate(&batch_of(6_000, &[(1, 100, 1.0)]));
+        assert_eq!(stale.late_shed, 1);
+        assert!(stale.routed.is_empty());
+        assert_eq!(v.totals().late, 2);
+        assert_eq!(v.per_series()[&sid(0)].late, 1);
+        assert_eq!(v.per_series()[&sid(1)].late, 1);
+    }
+
+    #[test]
+    fn state_spans_batches() {
+        let mut v = Validator::new(ValidatorConfig::default());
+        v.validate(&batch_of(40, &[(0, 10, 1.0), (0, 20, 1.1)]));
+        // Same cadence continues in the next batch: no gap at the seam...
+        let out = v.validate(&batch_of(60, &[(0, 30, 1.2)]));
+        assert_eq!(out.faults.dropped_gaps, 0);
+        // ...but a cross-batch gap is still caught.
+        let out = v.validate(&batch_of(220, &[(0, 200, 1.3)]));
+        assert_eq!(out.faults.dropped_gaps, 1);
+    }
+}

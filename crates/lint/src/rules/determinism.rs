@@ -7,10 +7,12 @@
 //! fingerprint guarantee. Use `BTreeMap`/`BTreeSet`, or keep the hash map
 //! and suppress with a reason proving its order never escapes.
 //!
-//! `nondet-source`: `fbd-fleet` simulations are seed-deterministic — the
-//! same `FleetSpec` seed must produce the same series bytes forever. Wall
-//! clocks and OS entropy (`Instant::now`, `SystemTime::now`, `thread_rng`,
-//! …) smuggle nondeterminism into that contract.
+//! `nondet-source`: `fbd-fleet` simulations and the `fbd-ingest` replay
+//! path are seed-deterministic — the same `FleetSpec` seed must produce
+//! the same series bytes forever, and the same batch sequence must yield
+//! the same store contents and stats. Wall clocks and OS entropy
+//! (`Instant::now`, `SystemTime::now`, `thread_rng`, …) smuggle
+//! nondeterminism into that contract.
 
 use super::{for_each_code_line, token_starts, Rule, Sink};
 use crate::context::{FileContext, FileKind};
@@ -19,7 +21,7 @@ use crate::lexer::CleanFile;
 pub struct HashOrder;
 
 /// Crates whose library code feeds ordered or serialized output.
-const ORDERED_OUTPUT_CRATES: &[&str] = &["fbdetect-core", "fbd-tsdb", "fbd-changelog"];
+const ORDERED_OUTPUT_CRATES: &[&str] = &["fbdetect-core", "fbd-tsdb", "fbd-changelog", "fbd-ingest"];
 
 impl Rule for HashOrder {
     fn name(&self) -> &'static str {
@@ -77,11 +79,13 @@ impl Rule for NondetSource {
     }
 
     fn description(&self) -> &'static str {
-        "no wall clocks or OS entropy in fbd-fleet's seed-deterministic simulation"
+        "no wall clocks or OS entropy in the seed-deterministic simulation \
+         (fbd-fleet) and ingest replay (fbd-ingest) paths"
     }
 
     fn applies_to(&self, ctx: &FileContext) -> bool {
-        ctx.kind == FileKind::Lib && ctx.crate_name == "fbd-fleet"
+        ctx.kind == FileKind::Lib
+            && (ctx.crate_name == "fbd-fleet" || ctx.crate_name == "fbd-ingest")
     }
 
     fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {

@@ -76,6 +76,7 @@ pub const SUPERVISED_CRATES: &[&str] = &[
     "fbd-tsdb",
     "fbd-cluster",
     "fbd-egads",
+    "fbd-ingest",
 ];
 
 /// Visits every non-test line of cleaned code, 0-based index first.

@@ -20,7 +20,7 @@ pub mod window;
 
 pub use error::TsdbError;
 pub use series::TimeSeries;
-pub use store::{SeriesDelta, SeriesVersion, TsdbStore};
+pub use store::{BatchAppendOutcome, SeriesDelta, SeriesVersion, TsdbStore};
 pub use types::{DataPoint, MetricKind, SeriesId, Timestamp};
 pub use window::{
     snapshot_bounds, windows_from_points, windows_from_points_into, WindowConfig, WindowCoverage,

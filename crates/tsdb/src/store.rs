@@ -51,6 +51,15 @@ pub enum SeriesDelta {
     },
 }
 
+/// What happened to each point of a [`TsdbStore::append_batch`] call.
+#[derive(Debug, Default)]
+pub struct BatchAppendOutcome {
+    /// Points successfully appended.
+    pub appended: usize,
+    /// Points the store refused, as `(index into the input batch, error)`.
+    pub rejected: Vec<(usize, TsdbError)>,
+}
+
 /// A thread-safe in-memory time-series store.
 ///
 /// Writers (the fleet simulator's collectors) append samples concurrently
@@ -85,6 +94,19 @@ impl TsdbStore {
         (h.finish() as usize) % SHARD_COUNT
     }
 
+    /// Number of shards the store partitions series across.
+    pub const fn shard_count() -> usize {
+        SHARD_COUNT
+    }
+
+    /// The shard a series id routes to. Stable across processes
+    /// (`DefaultHasher` with fixed keys), so external writers — the
+    /// ingestion pipeline's shard-append workers — can partition work to
+    /// match the store's own locking granularity.
+    pub fn shard_of(id: &SeriesId) -> usize {
+        Self::shard_index(id)
+    }
+
     fn shard(&self, id: &SeriesId) -> &RwLock<BTreeMap<SeriesId, TimeSeries>> {
         &self.shards[Self::shard_index(id)]
     }
@@ -96,6 +118,42 @@ impl TsdbStore {
             .entry(id.clone())
             .or_default()
             .append(timestamp, value)
+    }
+
+    /// Appends a batch of samples, acquiring each touched shard's write
+    /// lock once instead of once per point. Points are grouped by shard
+    /// in input order, and within a shard each point goes through the
+    /// ordinary per-point [`TimeSeries::append`] — so the series' version
+    /// and appended counters keep their lockstep stride and delta
+    /// snapshots still classify the mutation as append-only.
+    ///
+    /// Per-point failures (out-of-order timestamps) do not abort the
+    /// batch: the point is skipped and reported in
+    /// [`BatchAppendOutcome::rejected`] with its index into `points`.
+    pub fn append_batch(&self, points: &[(SeriesId, Timestamp, f64)]) -> BatchAppendOutcome {
+        let mut outcome = BatchAppendOutcome::default();
+        let mut by_shard: Vec<Vec<usize>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for (i, (id, _, _)) in points.iter().enumerate() {
+            by_shard[Self::shard_index(id)].push(i);
+        }
+        for (shard, indices) in self.shards.iter().zip(&by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = shard.write();
+            for &i in indices {
+                let (id, timestamp, value) = &points[i];
+                match shard
+                    .entry(id.clone())
+                    .or_default()
+                    .append(*timestamp, *value)
+                {
+                    Ok(()) => outcome.appended += 1,
+                    Err(e) => outcome.rejected.push((i, e)),
+                }
+            }
+        }
+        outcome
     }
 
     /// Inserts (or replaces) a whole series. Replacement advances the new
@@ -488,6 +546,89 @@ mod tests {
         store.expire_before(5);
         let third = store.snapshot_deltas(&[&a], &[known_a], &cfg, 102);
         assert!(matches!(third[0], SeriesDelta::Reset { .. }));
+    }
+
+    #[test]
+    fn append_batch_matches_per_point_appends_and_keeps_stride() {
+        let per_point = TsdbStore::new();
+        let batched = TsdbStore::new();
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        let ids: Vec<SeriesId> = (0..5).map(|s| id(&format!("s{s}"))).collect();
+        let mut batch = Vec::new();
+        for t in 0..50u64 {
+            for (s, sid) in ids.iter().enumerate() {
+                per_point.append(sid, t, (t + s as u64) as f64).unwrap();
+                batch.push((sid.clone(), t, (t + s as u64) as f64));
+            }
+        }
+        let out = batched.append_batch(&batch);
+        assert_eq!(out.appended, batch.len());
+        assert!(out.rejected.is_empty());
+        let refs: Vec<&SeriesId> = ids.iter().collect();
+        let first = batched.snapshot_deltas(&refs, &[], &cfg, 50);
+        let known: Vec<Option<SeriesVersion>> = first
+            .iter()
+            .map(|d| match d {
+                SeriesDelta::Reset { version, .. } => Some(*version),
+                other => panic!("expected Reset, got {other:?}"),
+            })
+            .collect();
+        for (sid, got) in ids.iter().zip(&known) {
+            let series = per_point.get(sid).unwrap();
+            assert_eq!(batched.get(sid).unwrap().points(), series.points());
+            // Same counters as the per-point path: the batch kept the
+            // append-only stride.
+            assert_eq!(got.unwrap().version, series.version());
+            assert_eq!(got.unwrap().appended, series.appended());
+        }
+        // A follow-up batch is observed as Appended, not Reset.
+        let tail: Vec<(SeriesId, u64, f64)> =
+            ids.iter().map(|sid| (sid.clone(), 50, 9.0)).collect();
+        let out = batched.append_batch(&tail);
+        assert_eq!(out.appended, ids.len());
+        for (i, d) in batched
+            .snapshot_deltas(&refs, &known, &cfg, 51)
+            .into_iter()
+            .enumerate()
+        {
+            match d {
+                SeriesDelta::Appended { tail, .. } => assert_eq!(tail.len(), 1, "series {i}"),
+                other => panic!("series {i}: expected Appended, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn append_batch_reports_out_of_order_rejects() {
+        let store = TsdbStore::new();
+        let a = id("a");
+        let batch = vec![
+            (a.clone(), 10, 1.0),
+            (a.clone(), 5, 2.0), // out of order: rejected
+            (a.clone(), 10, 3.0), // equal timestamp: allowed
+            (a.clone(), 11, 4.0),
+        ];
+        let out = store.append_batch(&batch);
+        assert_eq!(out.appended, 3);
+        assert_eq!(out.rejected.len(), 1);
+        assert_eq!(out.rejected[0].0, 1);
+        assert!(matches!(
+            out.rejected[0].1,
+            TsdbError::OutOfOrderAppend { last: 10, attempted: 5 }
+        ));
+        assert_eq!(store.get(&a).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let a = id("route");
+        assert_eq!(TsdbStore::shard_of(&a), TsdbStore::shard_of(&a.clone()));
+        assert!(TsdbStore::shard_of(&a) < TsdbStore::shard_count());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! - [`tsdb`] — the in-memory time-series store with Figure 4 windows;
 //! - [`profiler`] — stack-trace sampling, gCPU derivation, and PyPerf;
 //! - [`fleet`] — the synthetic production environment;
+//! - [`ingest`] — the staged, bounded multi-tenant ingestion front-end
+//!   (wire format, validation, quotas, backpressure);
 //! - [`changelog`] — the synthetic code/configuration change stream;
 //! - [`cluster`] — SOM, pairwise, and alternative clustering algorithms;
 //! - [`egads`] — the Yahoo EGADS baseline detectors.
@@ -60,6 +62,7 @@ pub use fbd_changelog as changelog;
 pub use fbd_cluster as cluster;
 pub use fbd_egads as egads;
 pub use fbd_fleet as fleet;
+pub use fbd_ingest as ingest;
 pub use fbd_profiler as profiler;
 pub use fbd_stats as stats;
 pub use fbd_tsdb as tsdb;

@@ -11,9 +11,10 @@
 
 use std::sync::Arc;
 
-use fbdetect::core::scheduler::MonitoringScheduler;
+use fbdetect::core::scheduler::{MonitoringOutcome, MonitoringScheduler};
 use fbdetect::core::{DetectorConfig, FaultKind, Pipeline, ScanContext, Threshold};
-use fbdetect::fleet::{DataFault, DataFaultKind, Event, SeriesSpec};
+use fbdetect::fleet::{DataFault, DataFaultKind, EmitSeries, Event, SeriesSpec, WireEmitter};
+use fbdetect::ingest::{IngestConfig, IngestPipeline, QuotaConfig};
 use fbdetect::tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -204,6 +205,270 @@ fn randomized_data_faults_do_not_abort_the_scan() {
         assert_eq!(outcome.health.series_total, 25 * 7, "seed {seed}");
         assert_eq!(outcome.health.panicked, 0, "seed {seed}");
     }
+}
+
+/// Collection-round length for the wire path. Must stay at or below the
+/// validator's default late slack (900s) so punctual end-of-round samples
+/// are never misread as late.
+const ROUND_LEN: u64 = 500;
+
+/// The same fleet as [`build_fleet`], but with fault application deferred
+/// to the wire emitter: clean sample streams plus fault assignments, in
+/// the same series order so the shared RNG is consumed identically.
+fn wire_fleet(seed: u64) -> (Vec<EmitSeries>, Vec<SeriesId>) {
+    let mut fleet = Vec::new();
+    let mut series = Vec::new();
+    for n in 0..25usize {
+        let target = format!("s{n:02}");
+        let sid = id(&target);
+        let mut spec = SeriesSpec::flat(LEN, 1.0, 0.005);
+        spec.interval = INTERVAL;
+        if n == 0 {
+            spec = spec.with_event(Event::Step {
+                at: 520,
+                delta: 0.05,
+            });
+        }
+        let values = spec.generate(seed.wrapping_add(n as u64)).unwrap();
+        let samples: Vec<(u64, f64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64 * INTERVAL, v))
+            .collect();
+        let fault = if (1..=3).contains(&n) {
+            Some(destructive_fault(n - 1))
+        } else if (4..=5).contains(&n) {
+            Some(benign_fault(n - 4))
+        } else {
+            None
+        };
+        fleet.push(EmitSeries {
+            id: sid.clone(),
+            samples,
+            fault,
+        });
+        series.push(sid);
+    }
+    (fleet, series)
+}
+
+fn scan(store: &TsdbStore, series: &[SeriesId]) -> MonitoringOutcome {
+    let mut scheduler = MonitoringScheduler::new(Pipeline::new(config()).unwrap());
+    scheduler
+        .run(store, series, SCAN_START, SCAN_END, &ScanContext::default())
+        .expect("scan must survive chaos")
+}
+
+fn report_targets(outcome: &MonitoringOutcome) -> Vec<(String, u64)> {
+    outcome
+        .reports
+        .iter()
+        .map(|r| (r.regression.series.target.clone(), r.reported_at))
+        .collect()
+}
+
+/// The tentpole chaos guarantee: ingesting the corrupted fleet through
+/// the wire pipeline — decode, validation, quotas, sharded append — must
+/// yield the *same scan outcome* as direct appends of the same corrupted
+/// streams. Faults degrade to counted health signals at the boundary;
+/// every point the boundary sheds is accounted for; nothing new breaks
+/// downstream.
+#[test]
+fn wire_path_chaos_matches_direct_append_fingerprints() {
+    for seed in [11u64, 42, 1_337] {
+        let (direct_store, series, _destructive, _benign) = build_fleet(seed);
+        let (fleet, wire_series) = wire_fleet(seed);
+        assert_eq!(series, wire_series, "seed {seed}: fleet shape diverged");
+
+        // Same RNG stream as build_fleet: fault corruption on the wire is
+        // sample-for-sample the corruption the direct path applied.
+        let emitter = WireEmitter::new("chaos", ROUND_LEN);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+        let batches = emitter
+            .rounds(&mut rng, &fleet)
+            .unwrap_or_else(|e| panic!("seed {seed}: emission failed: {e}"));
+
+        let store = Arc::new(TsdbStore::new());
+        let pipeline = IngestPipeline::new(Arc::clone(&store), IngestConfig::default());
+        for raw in &batches {
+            pipeline
+                .submit(raw.clone())
+                .unwrap_or_else(|e| panic!("seed {seed}: submit failed: {e}"));
+        }
+        let quarantine = pipeline.quarantine();
+        let stats = pipeline.finish();
+
+        // Every submitted point is accounted for — appended or counted
+        // into an explicit shed bucket, never silently lost.
+        assert!(stats.is_accounted(), "seed {seed}: {stats:?}");
+        assert_eq!(stats.decode_errors, 0, "seed {seed}");
+        assert_eq!(stats.points_shed, 0, "seed {seed}: blocking submit never sheds");
+        assert_eq!(stats.append_rejected, 0, "seed {seed}");
+        assert_eq!(stats.internal_error_points, 0, "seed {seed}");
+        assert_eq!(
+            stats.points_appended + stats.late_shed_points,
+            stats.points_submitted,
+            "seed {seed}: {stats:?}"
+        );
+
+        // The boundary classified every fault kind it could observe (the
+        // full-intensity drop on s01 emits nothing to observe; partial
+        // drops are covered separately below).
+        assert!(stats.faults.duplicated > 0, "seed {seed}: {:?}", stats.faults);
+        assert!(stats.faults.nan > 0, "seed {seed}: {:?}", stats.faults);
+        assert!(stats.faults.stuck_runs > 0, "seed {seed}: {:?}", stats.faults);
+        assert!(stats.faults.late > 0, "seed {seed}: {:?}", stats.faults);
+        assert!(stats.late_shed_points > 0, "seed {seed}");
+        // Fault attribution lands on the series that were actually
+        // corrupted: NaN burst on s02, late window on s03, stuck on s04,
+        // duplicates on s05.
+        let per = &stats.per_series_faults;
+        assert!(per[&id("s02")].nan > 0, "seed {seed}");
+        assert!(per[&id("s03")].late > 0, "seed {seed}");
+        assert!(per[&id("s04")].stuck_runs > 0, "seed {seed}");
+        assert!(per[&id("s05")].duplicated > 0, "seed {seed}");
+        // The NaN-drowned series is parked in the ingest quarantine as a
+        // data-quality fault at the boundary, before any scan ran.
+        {
+            let q = quarantine.lock();
+            let entry = q
+                .entry(&id("s02"))
+                .unwrap_or_else(|| panic!("seed {seed}: NaN burst not quarantined"));
+            assert_eq!(entry.kind, FaultKind::DataQuality, "seed {seed}");
+        }
+
+        // The scan fingerprint over the wire-built store matches the
+        // direct-append store: same reports at the same times, same
+        // funnel, same health counters.
+        let direct = scan(&direct_store, &series);
+        let wired = scan(&store, &series);
+        assert_eq!(direct.scans, wired.scans, "seed {seed}");
+        assert_eq!(
+            report_targets(&direct),
+            report_targets(&wired),
+            "seed {seed}"
+        );
+        assert_eq!(direct.funnel, wired.funnel, "seed {seed}");
+        assert_eq!(direct.health, wired.health, "seed {seed}");
+        // And the step is still caught through the wire.
+        assert!(
+            wired
+                .reports
+                .iter()
+                .any(|r| r.regression.series.target == "s00"),
+            "seed {seed}: step on s00 lost through the wire path"
+        );
+    }
+}
+
+/// A partial (non-total) sample drop is observable on the wire — the
+/// survivors arrive with holes — and must be counted as dropped-sample
+/// gaps, completing five-of-five fault-kind coverage at the boundary.
+#[test]
+fn wire_boundary_counts_partial_sample_drops() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let spec = {
+        let mut s = SeriesSpec::flat(LEN, 1.0, 0.005);
+        s.interval = INTERVAL;
+        s
+    };
+    let values = spec.generate(7).unwrap();
+    let samples: Vec<(u64, f64)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u64 * INTERVAL, v))
+        .collect();
+    let fleet = vec![EmitSeries::faulted(
+        id("gappy"),
+        samples,
+        DataFault {
+            kind: DataFaultKind::DroppedSamples,
+            start: 0,
+            duration: 10_000,
+            intensity: 0.5,
+        },
+    )];
+    let batches = WireEmitter::new("chaos", ROUND_LEN)
+        .rounds(&mut rng, &fleet)
+        .unwrap();
+    let store = Arc::new(TsdbStore::new());
+    let pipeline = IngestPipeline::new(Arc::clone(&store), IngestConfig::default());
+    for raw in &batches {
+        pipeline.submit(raw.clone()).unwrap();
+    }
+    let stats = pipeline.finish();
+    assert!(stats.is_accounted(), "{stats:?}");
+    assert!(stats.faults.dropped_gaps > 0, "{:?}", stats.faults);
+    assert_eq!(stats.faults.late, 0, "{:?}", stats.faults);
+    // Gapped survivors still pass through: the store holds every point
+    // that actually arrived.
+    assert_eq!(stats.points_appended, stats.points_submitted);
+}
+
+/// Quota exhaustion under chaos: a tenant blowing through its token
+/// bucket has whole batches refused — every refused point counted, every
+/// carried series quarantined as a data-quality fault — while an innocent
+/// tenant on the same pipeline is untouched.
+#[test]
+fn quota_exhaustion_sheds_batches_and_quarantines_tenants() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let spec = {
+        let mut s = SeriesSpec::flat(LEN, 1.0, 0.005);
+        s.interval = INTERVAL;
+        s
+    };
+    let values = spec.generate(3).unwrap();
+    let samples: Vec<(u64, f64)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u64 * INTERVAL, v))
+        .collect();
+    let noisy = WireEmitter::new("noisy", ROUND_LEN)
+        .rounds(&mut rng, &[EmitSeries::clean(id("flood"), samples.clone())])
+        .unwrap();
+    // The quiet tenant stays inside its own 100-point bucket.
+    let quiet = WireEmitter::new("quiet", ROUND_LEN)
+        .rounds(
+            &mut rng,
+            &[EmitSeries::clean(id("calm"), samples[..80].to_vec())],
+        )
+        .unwrap();
+
+    let store = Arc::new(TsdbStore::new());
+    // A bucket holding two rounds' worth with no refill to speak of: the
+    // noisy tenant's later rounds must be refused.
+    let config = IngestConfig {
+        quota: QuotaConfig {
+            burst: 100,
+            points_per_sec: 0,
+        },
+        ..IngestConfig::default()
+    };
+    let pipeline = IngestPipeline::new(Arc::clone(&store), config);
+    for raw in noisy.iter().chain(quiet.iter()) {
+        pipeline.submit(raw.clone()).unwrap();
+    }
+    let quarantine = pipeline.quarantine();
+    let stats = pipeline.finish();
+
+    assert!(stats.is_accounted(), "{stats:?}");
+    assert!(stats.quota_violations > 0, "{stats:?}");
+    assert!(stats.quota_shed_points > 0, "{stats:?}");
+    // Refusals are exact: appended + quota-refused covers every point.
+    assert_eq!(
+        stats.points_appended + stats.quota_shed_points,
+        stats.points_submitted,
+        "{stats:?}"
+    );
+    let q = quarantine.lock();
+    let entry = q
+        .entry(&id("flood"))
+        .expect("over-quota tenant's series quarantined");
+    assert_eq!(entry.kind, FaultKind::DataQuality);
+    assert!(entry.detail.contains("quota"), "detail = {}", entry.detail);
+    // The quiet tenant was admitted in full.
+    assert!(q.entry(&id("calm")).is_none());
+    assert_eq!(store.get(&id("calm")).map(|s| s.len()).unwrap_or(0), 80);
 }
 
 #[test]

@@ -1,13 +1,330 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`thread::scope`] is used by this workspace. Since Rust 1.63 the
-//! standard library provides scoped threads, so this shim is a thin
-//! adapter that preserves crossbeam's API shape: the closure receives a
-//! scope handle whose `spawn` passes the scope back to the spawned
-//! closure (enabling nested spawns), and `scope` returns a `Result`
-//! instead of propagating panics from the main closure.
+//! The workspace uses [`thread::scope`] and the bounded
+//! [`channel`](self::channel) subset of `crossbeam-channel`. Since Rust
+//! 1.63 the standard library provides scoped threads, so the thread shim
+//! is a thin adapter that preserves crossbeam's API shape: the closure
+//! receives a scope handle whose `spawn` passes the scope back to the
+//! spawned closure (enabling nested spawns), and `scope` returns a
+//! `Result` instead of propagating panics from the main closure. The
+//! channel shim is a bounded MPMC queue over `Mutex<VecDeque>` + two
+//! condvars — far simpler than upstream's lock-free design, but with the
+//! same blocking/try semantics and disconnect behavior.
 
 #![warn(missing_docs)]
+
+pub mod channel {
+    //! Bounded multi-producer multi-consumer channels with the
+    //! `crossbeam_channel` API subset this workspace uses.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: usize,
+    }
+
+    /// The sending half of a bounded channel. Cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a bounded channel. Cloneable.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`]: every receiver is gone. The
+    /// unsent message is returned to the caller.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is returned.
+        Full(T),
+        /// Every receiver is gone; the message is returned.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`]: the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Creates a bounded channel holding at most `capacity` messages.
+    /// A capacity of zero is rounded up to one (the shim has no
+    /// rendezvous mode; nothing in-tree relies on it).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            // A panic while holding these short critical sections is a
+            // shim bug; recover the guard rather than poisoning forever.
+            match self.state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued, or returns it when every
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if state.queue.len() < self.chan.capacity {
+                    state.queue.push_back(msg);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = match self.chan.not_full.wait(state) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Enqueues without blocking, reporting a full or disconnected
+        /// channel via [`TrySendError`].
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if state.queue.len() >= self.chan.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            state.queue.push_back(msg);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, or returns [`RecvError`] when
+        /// the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = match self.chan.not_empty.wait(state) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.chan.lock();
+            if let Some(msg) = state.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake all blocked receivers so they observe disconnect.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake all blocked senders so they observe disconnect.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn try_send_full_and_disconnect() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            drop(rx);
+            assert!(matches!(
+                tx.try_send(3),
+                Err(TrySendError::Disconnected(3))
+            ));
+            assert!(matches!(tx.send(4), Err(SendError(4))));
+        }
+
+        #[test]
+        fn recv_disconnect_after_drain() {
+            let (tx, rx) = bounded(4);
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn blocking_send_unblocks_on_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn mpmc_all_messages_arrive_once() {
+            let (tx, rx) = bounded(8);
+            let mut senders = Vec::new();
+            for w in 0..4 {
+                let tx = tx.clone();
+                senders.push(std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(w * 100 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let mut receivers = Vec::new();
+            for _ in 0..2 {
+                let rx = rx.clone();
+                receivers.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                }));
+            }
+            drop(rx);
+            for s in senders {
+                s.join().unwrap();
+            }
+            let mut all: Vec<i32> = receivers
+                .into_iter()
+                .flat_map(|r| r.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..400).collect::<Vec<_>>());
+        }
+    }
+}
 
 pub mod thread {
     //! Scoped threads with the `crossbeam::thread` API.
