@@ -14,7 +14,10 @@
 //!
 //! Run with: `cargo run --release -p fbd-bench --bin capacity_scaling`
 
-use fbd_bench::{ingest_enabled, load_suite_store, render_table, suite_config, suite_scan_time};
+use fbd_bench::{
+    compress_enabled, ingest_enabled, load_suite_store, render_table, suite_config,
+    suite_scan_time,
+};
 use fbd_fleet::scenarios::{labelled_suite, SuiteConfig};
 use fbd_tsdb::{MetricKind, SeriesId, TsdbStore, WindowedData};
 use fbdetect_core::change_point::ChangePointDetector;
@@ -138,15 +141,35 @@ fn main() {
     // point-identical to the direct path, so the measured scan numbers
     // stay comparable.
     let via_ingest = ingest_enabled();
+    let compressed = compress_enabled();
     let (store, ids) = load_suite_store(&suite, "svc", MetricKind::GCpu, via_ingest);
     println!(
-        "scanning {} series of {LEN} samples each{}...\n",
+        "scanning {} series of {LEN} samples each{}{}...\n",
         suite.len(),
         if via_ingest {
             " (store built via ingest pipeline)"
         } else {
             ""
+        },
+        if compressed {
+            " (Gorilla-compressed storage)"
+        } else {
+            ""
         }
+    );
+    // Storage footprint under the selected policy (COMPRESS=1 /
+    // SHARD_BUDGET_MB): resident bytes per the store's own accounting
+    // model, which the per-shard budget is enforced against.
+    let storage = store.stats();
+    let resident_bytes = storage.resident_bytes();
+    let bytes_per_point = storage.bytes_per_point();
+    println!(
+        "storage: {:.1} MiB resident, {bytes_per_point:.2} B/point, {} sealed blocks, \
+         max shard {:.1} MiB, {} points evicted\n",
+        resident_bytes as f64 / (1024.0 * 1024.0),
+        storage.sealed_blocks(),
+        storage.max_shard_resident_bytes() as f64 / (1024.0 * 1024.0),
+        storage.evicted_points()
     );
     let now = suite_scan_time(LEN);
     // Hardware context for the thread-scaling table: with a single
@@ -254,6 +277,9 @@ fn main() {
     };
     let json = format!(
         "{{\n  \"series\": {},\n  \"len\": {LEN},\n  \"cores\": {cores},\n  \
+         \"compressed\": {compressed},\n  \
+         \"resident_bytes\": {resident_bytes},\n  \
+         \"bytes_per_point\": {bytes_per_point:.2},\n  \
          \"series_per_sec\": {:.1},\n  \
          \"warm_series_per_sec\": {warm_rate:.1},\n  \
          \"cache_hit_rate\": {cache_hit_rate:.3},\n  \
@@ -298,5 +324,19 @@ fn main() {
             "scan throughput regressed: {single_thread_rate:.0} series/s < MIN_RATE {min_rate:.0}"
         );
         println!("MIN_RATE guard passed: {single_thread_rate:.0} >= {min_rate:.0} series/s");
+    }
+    // CI memory guard: MAX_BYTES_PER_POINT (resident bytes per stored
+    // point, derived from the committed BENCH_pipeline.json with some
+    // tolerance) fails the run if the storage footprint regresses — e.g.
+    // blocks stop sealing or the encoder fattens.
+    if let Some(ceiling) = std::env::var("MAX_BYTES_PER_POINT")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        assert!(
+            bytes_per_point <= ceiling,
+            "storage footprint regressed: {bytes_per_point:.2} B/point > ceiling {ceiling:.2}"
+        );
+        println!("MAX_BYTES_PER_POINT guard passed: {bytes_per_point:.2} <= {ceiling:.2} B/point");
     }
 }

@@ -192,6 +192,17 @@ fn main() {
     let stats = warm.streaming_stats().unwrap();
     println!("engine counters: {stats:?}\n");
 
+    // Storage footprint after all rounds' appends, under the policy the
+    // environment selected (COMPRESS=1 / SHARD_BUDGET_MB).
+    let storage = store.stats();
+    let resident_bytes = storage.resident_bytes();
+    let bytes_per_point = storage.bytes_per_point();
+    println!(
+        "storage: {:.1} MiB resident, {bytes_per_point:.2} B/point, {} sealed blocks\n",
+        resident_bytes as f64 / (1024.0 * 1024.0),
+        storage.sealed_blocks()
+    );
+
     let steady_rate = steady_rounds as f64 / steady_secs.max(1e-12);
     let boundary_rate = if boundary_rounds > 0 {
         boundary_rounds as f64 / boundary_secs.max(1e-12)
@@ -249,6 +260,8 @@ fn main() {
          \"cold_rounds_per_sec\": {cold_rate:.3},\n    \
          \"steady_speedup\": {speedup:.2},\n    \
          \"steady_series_per_sec\": {:.1},\n    \
+         \"resident_bytes\": {resident_bytes},\n    \
+         \"bytes_per_point\": {bytes_per_point:.2},\n    \
          \"reused_full\": {},\n    \"buffer_growth\": {}\n  }}",
         steady_rate * n as f64,
         stats.reused_full,

@@ -12,7 +12,7 @@ use fbd_fleet::scenarios::{LabelledSeries, SeriesLabel};
 use fbd_ingest::pipeline::{IngestConfig, IngestPipeline};
 use fbd_ingest::quota::QuotaConfig;
 use fbd_ingest::wire::{encode_batch, SampleBatch};
-use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+use fbd_tsdb::{MetricKind, SeriesId, StoreConfig, TimeSeries, TsdbStore, WindowConfig};
 use fbdetect_core::{DetectorConfig, Threshold};
 use std::sync::Arc;
 
@@ -23,6 +23,33 @@ pub const CADENCE: u64 = 60;
 /// staged ingest front-end instead of direct `insert_series` loops.
 pub fn ingest_enabled() -> bool {
     std::env::var("INGEST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Whether `COMPRESS=1` asks the harness to build Gorilla-compressed
+/// stores (sealed immutable blocks behind a small mutable head) instead
+/// of plain point vectors. Scan results are byte-identical either way;
+/// only the resident footprint changes.
+pub fn compress_enabled() -> bool {
+    std::env::var("COMPRESS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Storage policy selected by the environment: `COMPRESS=1` turns on
+/// sealed-block compression, and `SHARD_BUDGET_MB=<n>` additionally caps
+/// each store shard's resident bytes (oldest sealed blocks are evicted
+/// past the cap).
+pub fn store_config_from_env() -> StoreConfig {
+    let mut config = if compress_enabled() {
+        StoreConfig::compressed()
+    } else {
+        StoreConfig::default()
+    };
+    if let Some(mb) = std::env::var("SHARD_BUDGET_MB")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        config.shard_budget_bytes = Some(mb * 1024 * 1024);
+    }
+    config
 }
 
 /// Series per wire batch when slicing a suite for ingestion; bounded by
@@ -43,7 +70,7 @@ pub fn load_suite_via_ingest(
     service: &str,
     metric: MetricKind,
 ) -> (Arc<TsdbStore>, Vec<SeriesId>) {
-    let store = Arc::new(TsdbStore::new());
+    let store = Arc::new(TsdbStore::with_config(store_config_from_env()));
     let ids: Vec<SeriesId> = (0..suite.len())
         .map(|i| SeriesId::new(service, metric, format!("s{i:05}")))
         .collect();
@@ -123,7 +150,8 @@ pub fn suite_config(len: usize, threshold: Threshold) -> DetectorConfig {
     DetectorConfig::new("bench", suite_windows(len), threshold)
 }
 
-/// Loads a labelled suite into a fresh store; series are named
+/// Loads a labelled suite into a fresh store under the environment's
+/// storage policy ([`store_config_from_env`]); series are named
 /// `s<index>` under the given service, with the given metric kind.
 /// Returns the ids in suite order.
 pub fn load_suite(
@@ -131,7 +159,17 @@ pub fn load_suite(
     service: &str,
     metric: MetricKind,
 ) -> (TsdbStore, Vec<SeriesId>) {
-    let store = TsdbStore::new();
+    load_suite_with_config(suite, service, metric, store_config_from_env())
+}
+
+/// [`load_suite`] with an explicit storage policy.
+pub fn load_suite_with_config(
+    suite: &[LabelledSeries],
+    service: &str,
+    metric: MetricKind,
+    config: StoreConfig,
+) -> (TsdbStore, Vec<SeriesId>) {
+    let store = TsdbStore::with_config(config);
     let mut ids = Vec::with_capacity(suite.len());
     for (i, s) in suite.iter().enumerate() {
         let id = SeriesId::new(service, metric, format!("s{i:05}"));
@@ -276,11 +314,48 @@ mod tests {
             let a = direct.get(id).unwrap();
             let b = wired.get(id).unwrap();
             assert_eq!(a.len(), b.len(), "{id:?}");
-            for (pa, pb) in a.points().iter().zip(b.points()) {
+            for (pa, pb) in a.iter().zip(b.iter()) {
                 assert_eq!(pa.timestamp, pb.timestamp, "{id:?}");
                 assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "{id:?}");
             }
         }
+    }
+
+    #[test]
+    fn compressed_suite_store_matches_plain_and_shrinks() {
+        let cfg = SuiteConfig {
+            clean: 4,
+            regressions: 1,
+            gradual: 0,
+            transients: 1,
+            seasonal: 0,
+            len: 300,
+            ..Default::default()
+        };
+        let suite = labelled_suite(&cfg, 5).unwrap();
+        let (plain, ids) =
+            load_suite_with_config(&suite, "svc", MetricKind::GCpu, StoreConfig::default());
+        let (packed, packed_ids) =
+            load_suite_with_config(&suite, "svc", MetricKind::GCpu, StoreConfig::compressed());
+        assert_eq!(ids, packed_ids);
+        for id in &ids {
+            let a = plain.get(id).unwrap();
+            let b = packed.get(id).unwrap();
+            assert_eq!(a.len(), b.len(), "{id:?}");
+            for (pa, pb) in a.iter().zip(b.iter()) {
+                assert_eq!(pa.timestamp, pb.timestamp, "{id:?}");
+                assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "{id:?}");
+            }
+        }
+        let (ps, cs) = (plain.stats(), packed.stats());
+        assert_eq!(ps.points(), cs.points());
+        assert!((ps.bytes_per_point() - 16.0).abs() < 1e-9);
+        assert!(cs.sealed_blocks() > 0);
+        assert!(
+            cs.bytes_per_point() < 12.0,
+            "suite data should compress well below raw: {:.2} B/pt",
+            cs.bytes_per_point()
+        );
     }
 
     #[test]

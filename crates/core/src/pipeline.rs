@@ -312,15 +312,20 @@ impl Pipeline {
             health.series_quarantined = series.len() - admitted.len();
             admitted
         };
-        // --- Streaming ingest: one batched delta pass updates the engine's
-        // per-series states (O(1) for unchanged series, O(k) for appended
-        // tails) before the fan-out, so workers never touch a shard lock. ---
+        // --- Streaming round open: serially advance the engine's round
+        // clock; the per-shard delta ingests themselves ride the detection
+        // workers below (shard-per-core), so ingest cost scales with the
+        // thread sweep instead of serializing ahead of it. ---
         if let Some(engine) = self.streaming.as_mut() {
-            engine.begin_round(store, &eligible, now);
+            engine.round_prologue(now);
         }
         // --- Stage 1: change-point detection, parallel across series,
         // each series isolated under `catch_unwind`. ---
         let batch = self.detect_parallel(store, &eligible, now)?;
+        // --- Streaming round close: stale engine states are swept. ---
+        if let Some(engine) = self.streaming.as_mut() {
+            engine.finish_round();
+        }
         health.series_scanned = eligible.len().saturating_sub(batch.faults.len());
         health.series_partial = batch.partial;
         for (_, kind, _) in &batch.faults {
@@ -692,35 +697,87 @@ impl Pipeline {
         }
     }
 
+    /// Folds one supervised per-series result into a worker's partial
+    /// batch (shared by both fan-out drivers).
+    fn record_scan(
+        part: &mut DetectBatch,
+        id: &SeriesId,
+        outcome: std::result::Result<SeriesScan, Box<dyn std::any::Any + Send>>,
+    ) {
+        match outcome {
+            Ok(SeriesScan::Ok(detections)) => {
+                part.short.extend(detections.short);
+                part.long.extend(detections.long);
+                part.partial += usize::from(detections.partial);
+            }
+            Ok(SeriesScan::NoData(detail)) => {
+                part.faults.push((id.clone(), FaultKind::NoData, detail));
+            }
+            Ok(SeriesScan::BadData(detail)) => {
+                part.faults.push((id.clone(), FaultKind::DataQuality, detail));
+            }
+            Ok(SeriesScan::Error(e)) => {
+                part.faults
+                    .push((id.clone(), FaultKind::DetectorError, e.to_string()));
+            }
+            Err(payload) => {
+                part.faults
+                    .push((id.clone(), FaultKind::Panic, panic_message(payload)));
+            }
+        }
+    }
+
+    /// Merges the workers' partial batches and restores a deterministic
+    /// order regardless of thread interleaving.
+    fn join_batches(joined: Vec<std::thread::Result<DetectBatch>>) -> Result<DetectBatch> {
+        let mut batch = DetectBatch::default();
+        for worker in joined {
+            // Per-series panics are already caught; a worker dying here
+            // means the supervisor loop itself broke.
+            let part = worker.map_err(panic_message).map_err(DetectError::Panic)?;
+            batch.short.extend(part.short);
+            batch.long.extend(part.long);
+            batch.partial += part.partial;
+            batch.faults.extend(part.faults);
+        }
+        batch.short.sort_by(|a, b| a.series.cmp(&b.series));
+        batch.long.sort_by(|a, b| a.series.cmp(&b.series));
+        batch.faults.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(batch)
+    }
+
     /// Stage-1 detection fanned out over worker threads, with each series
     /// supervised: a panicking or erroring detector loses that series
     /// only, never the scan.
     ///
-    /// Workers steal series one at a time from a shared atomic cursor
-    /// instead of walking fixed chunks, so a run of slow seasonal/STL
-    /// series cannot straggle a whole chunk while other workers sit idle —
-    /// every thread stays busy until the list is drained.
+    /// With the streaming engine on, workers steal whole *shards*
+    /// ([`Pipeline::detect_sharded`]): the shard's delta ingest and its
+    /// series' detection stay on one core, so engine/store shard locks are
+    /// uncontended and the 1→N thread sweep scales with the shard count.
+    /// With the engine off, workers steal series one at a time from a
+    /// shared atomic cursor instead of walking fixed chunks, so a run of
+    /// slow seasonal/STL series cannot straggle a whole chunk while other
+    /// workers sit idle — every thread stays busy until the list is
+    /// drained.
     fn detect_parallel(
         &self,
         store: &TsdbStore,
         series: &[&SeriesId],
         now: Timestamp,
     ) -> Result<DetectBatch> {
+        if let Some(engine) = self.streaming.as_ref() {
+            return self.detect_sharded(store, series, now, engine);
+        }
         let threads = self.threads.clamp(1, 64).min(series.len().max(1));
-        let engine = self.streaming.as_ref();
         // Engine off: extract every series' windows up front in one batched
         // snapshot (one short read-lock hold per shard), so the workers
-        // below never touch a shard lock either way. Each slot is taken
-        // exactly once by whichever worker steals its index.
-        let snapshots: Vec<Mutex<Option<fbd_tsdb::Result<WindowedData>>>> = if engine.is_none() {
-            store
-                .snapshot_windows(series, &self.config.windows, now)
-                .into_iter()
-                .map(|r| Mutex::new(Some(r)))
-                .collect()
-        } else {
-            Vec::new()
-        };
+        // below never touch a shard lock. Each slot is taken exactly once
+        // by whichever worker steals its index.
+        let snapshots: Vec<Mutex<Option<fbd_tsdb::Result<WindowedData>>>> = store
+            .snapshot_windows(series, &self.config.windows, now)
+            .into_iter()
+            .map(|r| Mutex::new(Some(r)))
+            .collect();
         let next = AtomicUsize::new(0);
         let joined = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -736,45 +793,80 @@ impl Pipeline {
                             if let Some(hook) = &self.chaos_hook {
                                 hook(id);
                             }
-                            match engine {
-                                Some(engine) => self.detect_one_streaming(store, engine, id, now),
-                                None => {
-                                    let windows = match snapshots.get(i).and_then(|s| s.lock().take())
-                                    {
-                                        Some(w) => w,
-                                        None => store.windows(id, &self.config.windows, now),
-                                    };
-                                    self.detect_windowed(id, windows, now)
-                                }
-                            }
+                            let windows = match snapshots.get(i).and_then(|s| s.lock().take()) {
+                                Some(w) => w,
+                                None => store.windows(id, &self.config.windows, now),
+                            };
+                            self.detect_windowed(id, windows, now)
                         };
-                        match catch_unwind(AssertUnwindSafe(detect)) {
-                            Ok(SeriesScan::Ok(detections)) => {
-                                part.short.extend(detections.short);
-                                part.long.extend(detections.long);
-                                part.partial += usize::from(detections.partial);
-                            }
-                            Ok(SeriesScan::NoData(detail)) => {
-                                part.faults.push((id.clone(), FaultKind::NoData, detail));
-                            }
-                            Ok(SeriesScan::BadData(detail)) => {
-                                part.faults
-                                    .push((id.clone(), FaultKind::DataQuality, detail));
-                            }
-                            Ok(SeriesScan::Error(e)) => {
-                                part.faults.push((
-                                    id.clone(),
-                                    FaultKind::DetectorError,
-                                    e.to_string(),
-                                ));
-                            }
-                            Err(payload) => {
-                                part.faults.push((
-                                    id.clone(),
-                                    FaultKind::Panic,
-                                    panic_message(payload),
-                                ));
-                            }
+                        Self::record_scan(&mut part, id, catch_unwind(AssertUnwindSafe(detect)));
+                    }
+                    part
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Vec<_>>()
+        })
+        .map_err(|_| DetectError::Panic("detection thread pool panicked".to_string()))?;
+        Self::join_batches(joined)
+    }
+
+    /// Shard-per-core detection drive for the streaming engine. Eligible
+    /// series are partitioned by their store shard
+    /// ([`fbd_tsdb::TsdbStore::shard_of`]) and workers steal whole shards
+    /// from an atomic cursor: a worker first ingests its shard's deltas
+    /// (one engine shard lock, one store shard read lock), then runs
+    /// supervised detection for every series in the shard. One shard's
+    /// locks therefore stay on one core for the whole round, and distinct
+    /// shards proceed fully in parallel — scan throughput scales with
+    /// threads up to the store's shard count.
+    /// [`StreamingEngine::round_prologue`] and
+    /// [`StreamingEngine::finish_round`] bracket this call in
+    /// [`Pipeline::scan`].
+    fn detect_sharded(
+        &self,
+        store: &TsdbStore,
+        series: &[&SeriesId],
+        now: Timestamp,
+        engine: &StreamingEngine,
+    ) -> Result<DetectBatch> {
+        let shard_count = engine.shard_count();
+        let mut by_shard: Vec<Vec<&SeriesId>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for &id in series {
+            by_shard[TsdbStore::shard_of(id) % shard_count].push(id);
+        }
+        let work: Vec<(usize, Vec<&SeriesId>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ids)| !ids.is_empty())
+            .collect();
+        let threads = self.threads.clamp(1, 64).min(work.len().max(1));
+        let next = AtomicUsize::new(0);
+        let joined = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let next = &next;
+                let work = &work;
+                handles.push(scope.spawn(move |_| {
+                    let mut part = DetectBatch::default();
+                    loop {
+                        let w = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((shard_idx, ids)) = work.get(w) else { break };
+                        engine.ingest_shard(store, *shard_idx, ids, now);
+                        for &id in ids {
+                            let detect = || {
+                                if let Some(hook) = &self.chaos_hook {
+                                    hook(id);
+                                }
+                                self.detect_one_streaming(store, engine, id, now)
+                            };
+                            Self::record_scan(
+                                &mut part,
+                                id,
+                                catch_unwind(AssertUnwindSafe(detect)),
+                            );
                         }
                     }
                     part
@@ -786,21 +878,7 @@ impl Pipeline {
                 .collect::<Vec<_>>()
         })
         .map_err(|_| DetectError::Panic("detection thread pool panicked".to_string()))?;
-        let mut batch = DetectBatch::default();
-        for worker in joined {
-            // Per-series panics are already caught; a worker dying here
-            // means the supervisor loop itself broke.
-            let part = worker.map_err(panic_message).map_err(DetectError::Panic)?;
-            batch.short.extend(part.short);
-            batch.long.extend(part.long);
-            batch.partial += part.partial;
-            batch.faults.extend(part.faults);
-        }
-        // Deterministic order regardless of thread interleaving.
-        batch.short.sort_by(|a, b| a.series.cmp(&b.series));
-        batch.long.sort_by(|a, b| a.series.cmp(&b.series));
-        batch.faults.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(batch)
+        Self::join_batches(joined)
     }
 
     /// Sums the cost domain's gCPU series and applies the §5.4 rules.

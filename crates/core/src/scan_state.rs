@@ -42,6 +42,23 @@
 //! slicing, so engine windows are bit-identical to the store path's
 //! oriented windows and the detectors see the same bytes either way.
 //!
+//! ## Sharded rounds
+//!
+//! Engine state is partitioned into the *same* shards as the
+//! [`TsdbStore`] ([`fbd_tsdb::TsdbStore::shard_of`]): one
+//! [`EngineShard`] per store shard, each behind its own lock. A round is
+//! driven in three steps — [`StreamingEngine::round_prologue`] (serial:
+//! advance the watermark and round counter), one
+//! [`StreamingEngine::ingest_shard`] call per shard (safe to run
+//! concurrently from worker threads; each call takes exactly one engine
+//! shard lock and, inside the store, exactly one store shard lock), and
+//! [`StreamingEngine::finish_round`] (serial: stale-state sweep). The
+//! shard-per-core driver in [`crate::pipeline::Pipeline`] pins each
+//! shard's ingest *and* its series' detection to one worker, so shard
+//! locks are uncontended in the steady state. The serial
+//! [`StreamingEngine::begin_round`] wrapper drives the same three steps
+//! for single-threaded callers and tests.
+//!
 //! ## Known aliasing limit
 //!
 //! Version counters survive in the store, not the observer: a series that
@@ -304,11 +321,20 @@ struct Counters {
     buffer_growth: AtomicU64,
 }
 
+/// One engine shard: the per-series states whose ids route to the same
+/// [`TsdbStore`] shard. Guarded by one lock so a whole shard's round can
+/// be pinned to one worker.
+#[derive(Default)]
+struct EngineShard {
+    states: BTreeMap<SeriesId, SeriesState>,
+}
+
 /// The streaming incremental scan engine. Owned by the pipeline; one
 /// instance tracks one scan population under one window configuration.
 pub struct StreamingEngine {
     config: WindowConfig,
-    states: BTreeMap<SeriesId, Mutex<SeriesState>>,
+    /// One shard per store shard, aligned with [`TsdbStore::shard_of`].
+    shards: Vec<Mutex<EngineShard>>,
     now: Timestamp,
     round: u64,
     counters: Counters,
@@ -319,39 +345,76 @@ impl StreamingEngine {
     pub fn new(config: WindowConfig) -> Self {
         StreamingEngine {
             config,
-            states: BTreeMap::new(),
+            shards: (0..TsdbStore::shard_count())
+                .map(|_| Mutex::new(EngineShard::default()))
+                .collect(),
             now: 0,
             round: 0,
             counters: Counters::default(),
         }
     }
 
-    /// Ingests one round's deltas for the series about to be scanned at
-    /// `now`: one batched store pass classifies every series as unchanged /
-    /// appended / reset / missing against the engine's recorded versions,
-    /// and states are updated accordingly. Must be called before
-    /// [`StreamingEngine::prepare`] each round.
-    pub fn begin_round(&mut self, store: &TsdbStore, ids: &[&SeriesId], now: Timestamp) {
+    /// Number of engine shards (equal to [`TsdbStore::shard_count`]). A
+    /// round is complete once every shard that holds eligible series has
+    /// been ingested via [`StreamingEngine::ingest_shard`].
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: &SeriesId) -> &Mutex<EngineShard> {
+        &self.shards[TsdbStore::shard_of(id) % self.shards.len()]
+    }
+
+    /// Serially opens a round at watermark `now`: advances the round
+    /// counter so the per-shard ingests and the stale sweep agree on the
+    /// round number. Must be called before any
+    /// [`StreamingEngine::ingest_shard`] of the round.
+    pub fn round_prologue(&mut self, now: Timestamp) {
         self.now = now;
         self.round += 1;
-        let round = self.round;
         self.counters.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ingests one shard's deltas for the series about to be scanned at
+    /// `now`. `ids` must all route to `shard_idx`
+    /// ([`TsdbStore::shard_of`]); one batched store pass classifies every
+    /// series as unchanged / appended / reset / missing against the
+    /// engine's recorded versions, and states are updated accordingly.
+    ///
+    /// Thread-safe: takes exactly one engine shard lock, and the store
+    /// pass — ids all routing to one store shard — takes exactly one store
+    /// shard read lock, so distinct shards ingest fully in parallel.
+    pub fn ingest_shard(
+        &self,
+        store: &TsdbStore,
+        shard_idx: usize,
+        ids: &[&SeriesId],
+        now: Timestamp,
+    ) {
+        debug_assert!(
+            ids.iter()
+                .all(|id| TsdbStore::shard_of(id) % self.shards.len()
+                    == shard_idx % self.shards.len()),
+            "ids must route to the ingested shard"
+        );
+        let round = self.round;
+        let mut guard = self.shards[shard_idx % self.shards.len()].lock();
+        let shard = &mut *guard;
         let known: Vec<Option<SeriesVersion>> = ids
             .iter()
-            .map(|id| self.states.get_mut(*id).map(|m| m.get_mut().version))
+            .map(|id| shard.states.get(*id).map(|s| s.version))
             .collect();
         let deltas = store.snapshot_deltas(ids, &known, &self.config, now);
         let (bound_start, _) = snapshot_bounds(&self.config, now);
         for (id, delta) in ids.iter().zip(deltas) {
             match delta {
                 SeriesDelta::Missing => {
-                    if self.states.remove(*id).is_some() {
+                    if shard.states.remove(*id).is_some() {
                         self.counters.removed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 SeriesDelta::Unchanged { version } => {
-                    if let Some(m) = self.states.get_mut(*id) {
-                        let s = m.get_mut();
+                    if let Some(s) = shard.states.get_mut(*id) {
                         s.version = version;
                         s.touched = round;
                         s.trim(bound_start);
@@ -360,8 +423,7 @@ impl StreamingEngine {
                 }
                 SeriesDelta::Appended { version, tail } => {
                     let mut extended = false;
-                    if let Some(m) = self.states.get_mut(*id) {
-                        let s = m.get_mut();
+                    if let Some(s) = shard.states.get_mut(*id) {
                         // Tail-continuity defense against counter aliasing:
                         // a true append can never start before the state's
                         // last timestamp (appends are non-decreasing).
@@ -390,38 +452,69 @@ impl StreamingEngine {
                         self.counters
                             .appended_points
                             .fetch_add(tail.len() as u64, Ordering::Relaxed);
-                    } else if self.states.remove(*id).is_some() {
+                    } else if shard.states.remove(*id).is_some() {
                         self.counters.removed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 SeriesDelta::Reset { version, points } => {
-                    let buffer = self
+                    let buffer = shard
                         .states
                         .remove(*id)
-                        .map(|m| m.into_inner().buffer)
+                        .map(|s| s.buffer)
                         .unwrap_or_default();
                     let state = SeriesState::rebuild(id, version, points, bound_start, buffer, round);
-                    self.states.insert((*id).clone(), Mutex::new(state));
+                    shard.states.insert((*id).clone(), state);
                     self.counters.resets.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+    }
+
+    /// Serially closes a round: every [`STALE_ROUNDS`] rounds, states not
+    /// sighted for a full stale period are dropped. Must be called after
+    /// the round's last [`StreamingEngine::ingest_shard`].
+    pub fn finish_round(&mut self) {
+        let round = self.round;
         if round.is_multiple_of(STALE_ROUNDS) {
-            self.states
-                .retain(|_, m| m.get_mut().touched + STALE_ROUNDS > round);
+            for shard in &mut self.shards {
+                shard
+                    .get_mut()
+                    .states
+                    .retain(|_, s| s.touched + STALE_ROUNDS > round);
+            }
         }
     }
 
-    /// Decides how to scan one series this round. Thread-safe: states are
-    /// disjoint per series and each is guarded by its own lock, so the
-    /// detection fan-out calls this concurrently.
+    /// Ingests one round's deltas for the series about to be scanned at
+    /// `now`, serially: [`StreamingEngine::round_prologue`], one
+    /// [`StreamingEngine::ingest_shard`] per populated shard, then
+    /// [`StreamingEngine::finish_round`]. The shard-per-core driver calls
+    /// the three steps itself so ingests ride the detection workers; the
+    /// resulting states are identical either way. Must precede
+    /// [`StreamingEngine::prepare`] each round.
+    pub fn begin_round(&mut self, store: &TsdbStore, ids: &[&SeriesId], now: Timestamp) {
+        self.round_prologue(now);
+        let mut by_shard: Vec<Vec<&SeriesId>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for &id in ids {
+            by_shard[TsdbStore::shard_of(id) % self.shards.len()].push(id);
+        }
+        for (idx, shard_ids) in by_shard.iter().enumerate() {
+            if !shard_ids.is_empty() {
+                self.ingest_shard(store, idx, shard_ids, now);
+            }
+        }
+        self.finish_round();
+    }
+
+    /// Decides how to scan one series this round. Thread-safe: takes the
+    /// series' engine shard lock; the shard-per-core driver keeps each
+    /// shard on one worker, so the lock is uncontended in steady state.
     pub fn prepare(&self, id: &SeriesId, min_finite_fraction: f64, min_coverage: f64) -> Prepared {
-        let Some(m) = self.states.get(id) else {
+        let mut guard = self.shard(id).lock();
+        let Some(s) = guard.states.get_mut(id) else {
             self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
             return Prepared::Fallback;
         };
-        let mut guard = m.lock();
-        let s = &mut *guard;
         let now = self.now;
         // Boundary timestamps exactly as window extraction computes them.
         let extended_start = now.saturating_sub(self.config.extended);
@@ -562,8 +655,8 @@ impl StreamingEngine {
         outcome: Option<CachedScan>,
         windows: WindowedData,
     ) {
-        let Some(m) = self.states.get(id) else { return };
-        let mut s = m.lock();
+        let mut guard = self.shard(id).lock();
+        let Some(s) = guard.states.get_mut(id) else { return };
         let buffer = windows.into_values();
         if buffer.capacity() > token.buffer_capacity {
             self.counters.buffer_growth.fetch_add(1, Ordering::Relaxed);
@@ -586,7 +679,11 @@ impl StreamingEngine {
         let c = &self.counters;
         EngineStats {
             rounds: c.rounds.load(Ordering::Relaxed),
-            tracked: self.states.len() as u64,
+            tracked: self
+                .shards
+                .iter()
+                .map(|s| s.lock().states.len() as u64)
+                .sum(),
             unchanged: c.unchanged.load(Ordering::Relaxed),
             appended_series: c.appended_series.load(Ordering::Relaxed),
             appended_points: c.appended_points.load(Ordering::Relaxed),
@@ -857,5 +954,83 @@ mod tests {
             engine.prepare(&stale, 0.5, 0.5),
             Prepared::Fallback
         ));
+    }
+
+    fn partition<'a>(engine: &StreamingEngine, ids: &[&'a SeriesId]) -> Vec<Vec<&'a SeriesId>> {
+        let mut by_shard: Vec<Vec<&SeriesId>> =
+            (0..engine.shard_count()).map(|_| Vec::new()).collect();
+        for &id in ids {
+            by_shard[TsdbStore::shard_of(id) % engine.shard_count()].push(id);
+        }
+        by_shard
+    }
+
+    #[test]
+    fn sharded_round_matches_serial_begin_round() {
+        let store = TsdbStore::new();
+        let ids: Vec<SeriesId> = (0..32).map(|i| sid(&format!("s{i}"))).collect();
+        for id in &ids {
+            fill(&store, id, 200);
+        }
+        let refs: Vec<&SeriesId> = ids.iter().collect();
+        let mut serial = StreamingEngine::new(cfg());
+        let mut sharded = StreamingEngine::new(cfg());
+        serial.begin_round(&store, &refs, 200);
+        // Drive the same round through the split per-shard API.
+        sharded.round_prologue(200);
+        for (idx, shard_ids) in partition(&sharded, &refs).iter().enumerate() {
+            if !shard_ids.is_empty() {
+                sharded.ingest_shard(&store, idx, shard_ids, 200);
+            }
+        }
+        sharded.finish_round();
+        let (a, b) = (serial.stats(), sharded.stats());
+        assert_eq!(a.tracked, b.tracked);
+        assert_eq!(a.resets, b.resets);
+        assert_eq!(a.rounds, b.rounds);
+        for id in &ids {
+            match (serial.prepare(id, 0.5, 0.5), sharded.prepare(id, 0.5, 0.5)) {
+                (Prepared::Scan { windows: wa, .. }, Prepared::Scan { windows: wb, .. }) => {
+                    assert_eq!(wa, wb);
+                }
+                _ => panic!("both engines must scan on first sight"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_shard_ingest_is_complete() {
+        let store = TsdbStore::new();
+        let ids: Vec<SeriesId> = (0..64).map(|i| sid(&format!("c{i}"))).collect();
+        for id in &ids {
+            fill(&store, id, 200);
+        }
+        let refs: Vec<&SeriesId> = ids.iter().collect();
+        let mut engine = StreamingEngine::new(cfg());
+        engine.round_prologue(200);
+        let by_shard = partition(&engine, &refs);
+        let engine_ref = &engine;
+        let store_ref = &store;
+        std::thread::scope(|scope| {
+            for (idx, shard_ids) in by_shard.iter().enumerate() {
+                if shard_ids.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    engine_ref.ingest_shard(store_ref, idx, shard_ids, 200);
+                });
+            }
+        });
+        engine.finish_round();
+        assert_eq!(engine.stats().tracked, ids.len() as u64);
+        for id in &ids {
+            match engine.prepare(id, 0.5, 0.5) {
+                Prepared::Scan { windows, token } => {
+                    assert_eq!(windows, store.windows(id, &cfg(), 200).unwrap());
+                    engine.complete(&id.clone(), token, None, windows);
+                }
+                _ => panic!("every concurrently ingested series must be served"),
+            }
+        }
     }
 }

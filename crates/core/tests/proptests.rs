@@ -1,6 +1,6 @@
 //! Property-based tests for the detection pipeline's invariants.
 
-use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore, WindowConfig};
+use fbd_tsdb::{MetricKind, SeriesId, StoreConfig, TimeSeries, TsdbStore, WindowConfig};
 use fbdetect_core::change_point::ChangePointDetector;
 use fbdetect_core::config::{DetectorConfig, Threshold};
 use fbdetect_core::dedup::same_merger::SameRegressionMerger;
@@ -339,5 +339,73 @@ proptest! {
         // the series rather than falling back to cold scans throughout.
         let stats = warm.streaming_stats().unwrap();
         prop_assert!(stats.tracked > 0 || stats.removed > 0);
+    }
+
+    #[test]
+    fn compressed_store_never_changes_a_scan_outcome(
+        seeds in prop::collection::vec(0u64..1000, 2..5),
+        steps in prop::collection::vec(0u64..4, 2..5),
+        seal_limit in 4u32..48,
+        rounds in prop::collection::vec((0u64..3, 1usize..25, 0u64..12), 1..5),
+    ) {
+        // Gorilla-compressed storage may only change the representation,
+        // never the bytes a scan sees: a streaming pipeline over a
+        // compressed store must produce the same reports, funnel, and
+        // health as a cold pipeline over a plain store holding the same
+        // appends — across seals, appended tails, and NaN bursts.
+        let cfg = config(0.05);
+        let packed = TsdbStore::with_config(StoreConfig { seal_limit, shard_budget_bytes: None });
+        let plain = TsdbStore::new();
+        let mut ids = Vec::new();
+        let mut frontier = 400u64;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut values = noisy_series(frontier as usize, 1.0, 0.1, seed);
+            match steps.get(i).copied().unwrap_or(0) {
+                1 => {
+                    for v in values.iter_mut().skip(330) {
+                        *v += 0.5;
+                    }
+                }
+                2 => {
+                    for v in values.iter_mut().skip(340).take(40) {
+                        *v = f64::NAN;
+                    }
+                }
+                _ => {}
+            }
+            let kind = if i % 2 == 0 { MetricKind::GCpu } else { MetricKind::Throughput };
+            let id = SeriesId::new("svc", kind, format!("s{i}"));
+            for (t, v) in values.iter().enumerate() {
+                packed.append(&id, t as u64, *v).unwrap();
+                plain.append(&id, t as u64, *v).unwrap();
+            }
+            ids.push(id);
+        }
+        let mut warm = Pipeline::new(cfg.clone()).unwrap();
+        let mut cold = Pipeline::new(cfg).unwrap();
+        cold.set_streaming(false);
+        let context = ScanContext::default();
+        let mut now = frontier;
+        for &(advance, appends, value_seed) in &rounds {
+            now += advance * 40;
+            for (i, id) in ids.iter().enumerate() {
+                for k in 0..appends {
+                    let t = frontier + k as u64;
+                    let v = noisy_series(1, 1.0, 0.1, value_seed ^ (i as u64) << 8 ^ t)[0];
+                    packed.append(id, t, v).unwrap();
+                    plain.append(id, t, v).unwrap();
+                }
+            }
+            frontier += appends as u64;
+            let w = warm.scan(&packed, &ids, now, &context).unwrap();
+            let c = cold.scan(&plain, &ids, now, &context).unwrap();
+            prop_assert_eq!(
+                format!("{:?}|{:?}|{:?}", w.reports, w.funnel, w.health),
+                format!("{:?}|{:?}|{:?}", c.reports, c.funnel, c.health),
+                "compressed streaming and plain cold scans diverged at now={}", now
+            );
+        }
+        // The comparison must actually have crossed sealed blocks.
+        prop_assert!(packed.stats().sealed_blocks() > 0);
     }
 }

@@ -15,7 +15,7 @@ use bytes::Bytes;
 use fbd_ingest::pipeline::{reference_ingest, IngestConfig, IngestPipeline};
 use fbd_ingest::quota::QuotaConfig;
 use fbd_ingest::wire::{decode_batch, encode_batch, SampleBatch};
-use fbd_tsdb::{MetricKind, SeriesId, TsdbStore};
+use fbd_tsdb::{MetricKind, SeriesId, StoreConfig, TsdbStore};
 use fbdetect_core::quarantine::{Quarantine, QuarantineConfig};
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -154,6 +154,56 @@ proptest! {
         prop_assert_eq!(stored, stats.points_appended);
         // Decode failures surface as counted errors, never as lost points.
         prop_assert!(stats.points_appended <= stats.points_submitted);
+    }
+
+    #[test]
+    fn compressed_store_ingest_matches_plain(
+        specs in prop::collection::vec(batch_strategy(), 0..20),
+        seal_limit in 1u32..32,
+    ) {
+        // The full front-end — wire decode, validation, quota, sharded
+        // appenders — writing through Gorilla-compressed series heads must
+        // admit, shed, and store exactly what it does over plain storage:
+        // identical stats and bit-identical store contents, while the
+        // compressed store's incremental memory accounting stays honest.
+        let config = IngestConfig {
+            queue_depth: 4,
+            appenders: 2,
+            quota: QuotaConfig { burst: u64::MAX / 2, points_per_sec: 0 },
+            ..IngestConfig::default()
+        };
+        let batches: Vec<Bytes> = specs.iter().map(build).collect();
+        let plain_store = Arc::new(TsdbStore::new());
+        let plain_pipe = IngestPipeline::new(Arc::clone(&plain_store), config.clone());
+        let packed_store = Arc::new(TsdbStore::with_config(StoreConfig {
+            seal_limit,
+            shard_budget_bytes: None,
+        }));
+        let packed_pipe = IngestPipeline::new(Arc::clone(&packed_store), config);
+        for raw in &batches {
+            plain_pipe.submit(raw.clone()).unwrap();
+            packed_pipe.submit(raw.clone()).unwrap();
+        }
+        let plain_stats = plain_pipe.finish();
+        let packed_stats = packed_pipe.finish();
+        prop_assert!(packed_stats.is_accounted(), "{packed_stats:?}");
+        prop_assert_eq!(&plain_stats, &packed_stats);
+        prop_assert_eq!(fingerprint(&plain_store), fingerprint(&packed_store));
+        // The O(1)-maintained resident counter matches a full recount.
+        let recount: usize = packed_store
+            .series_ids()
+            .iter()
+            .map(|id| packed_store.get(id).map(|s| s.resident_bytes()).unwrap_or(0))
+            .sum();
+        prop_assert_eq!(packed_store.stats().resident_bytes(), recount);
+        // Any series that outgrew its head must actually have sealed.
+        let grew = packed_store
+            .series_ids()
+            .iter()
+            .any(|id| packed_store.get(id).map(|s| s.len()).unwrap_or(0) >= seal_limit as usize);
+        if grew {
+            prop_assert!(packed_store.stats().sealed_blocks() > 0);
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub fn aligned_mean(series: &[TimeSeries], bucket: u64) -> Result<TimeSeries> {
     let mut sums: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
     for s in series {
         let d = s.downsample(bucket)?;
-        for p in d.points() {
+        for p in d.iter() {
             // Snap to the global grid so different start offsets align.
             let key = p.timestamp / bucket * bucket;
             let e = sums.entry(key).or_insert((0.0, 0));

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod block;
 pub mod error;
 pub mod series;
 pub mod snapshot;
@@ -18,9 +19,12 @@ pub mod store;
 pub mod types;
 pub mod window;
 
+pub use block::{BlockBuilder, SealedBlock};
 pub use error::TsdbError;
 pub use series::TimeSeries;
-pub use store::{BatchAppendOutcome, SeriesDelta, SeriesVersion, TsdbStore};
+pub use store::{
+    BatchAppendOutcome, SeriesDelta, SeriesVersion, ShardStats, StoreConfig, StoreStats, TsdbStore,
+};
 pub use types::{DataPoint, MetricKind, SeriesId, Timestamp};
 pub use window::{
     snapshot_bounds, windows_from_points, windows_from_points_into, WindowConfig, WindowCoverage,

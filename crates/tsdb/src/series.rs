@@ -1,5 +1,23 @@
 //! A single append-only time series.
+//!
+//! Storage is a run of sealed Gorilla-compressed blocks
+//! ([`crate::block::SealedBlock`]) followed by a small mutable head of
+//! uncompressed points. Appends always land in the head; when the head
+//! reaches `seal_limit` points it is compressed into one immutable block.
+//! A `seal_limit` of 0 disables compression entirely — the series is then
+//! a plain `Vec<DataPoint>`, which is the default so existing callers and
+//! tests see the exact pre-compression representation.
+//!
+//! Sealing is a *representation* change, not a data change: it bumps
+//! neither counter, so the streaming engine's append-stride proofs hold
+//! across seals. Evicting or expiring sealed data bumps `version` only,
+//! which snapshot readers observe as a reset.
 
+use std::borrow::Cow;
+
+use fbd_stats::scratch::ScratchVec;
+
+use crate::block::SealedBlock;
 use crate::types::{DataPoint, Timestamp};
 use crate::{Result, TsdbError};
 
@@ -7,29 +25,44 @@ use crate::{Result, TsdbError};
 ///
 /// Two monotonic counters let readers detect *how* a series changed since a
 /// prior observation without diffing points: `version` advances on every
-/// mutation, `appended` only on appends. When both counters advanced by the
-/// same amount, the change was append-only and exactly that many points were
-/// pushed onto the tail — the basis of the streaming scan engine's O(k)
-/// delta snapshots.
+/// data mutation, `appended` only on appends. When both counters advanced
+/// by the same amount, the change was append-only and exactly that many
+/// points were pushed onto the tail — the basis of the streaming scan
+/// engine's O(k) delta snapshots. Sealing head points into a compressed
+/// block advances neither counter.
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
-    points: Vec<DataPoint>,
+    sealed: Vec<SealedBlock>,
+    /// Total points across `sealed` (cached so `len` is O(1)).
+    sealed_points: usize,
+    /// Total compressed payload bytes across `sealed`.
+    sealed_bytes: usize,
+    head: Vec<DataPoint>,
+    /// Head size that triggers sealing; 0 = never seal (uncompressed).
+    seal_limit: u32,
     version: u64,
     appended: u64,
 }
 
 /// Equality compares the stored points only: two series with identical data
-/// are equal even if they arrived by different append/expire histories.
+/// are equal even if they arrived by different append/expire histories or
+/// sit in different sealed/head representations.
 impl PartialEq for TimeSeries {
     fn eq(&self, other: &Self) -> bool {
-        self.points == other.points
+        self.len() == other.len() && self.iter().eq(other.iter())
     }
 }
 
 impl TimeSeries {
-    /// Creates an empty series.
+    /// Creates an empty, uncompressed series (`seal_limit` 0).
     pub fn new() -> Self {
         TimeSeries::default()
+    }
+
+    /// Creates an empty series that seals its head into a compressed block
+    /// every `seal_limit` points. 0 disables sealing.
+    pub fn with_seal_limit(seal_limit: u32) -> Self {
+        TimeSeries { seal_limit, ..TimeSeries::default() }
     }
 
     /// Builds a series from `(timestamp, value)` pairs; the pairs must be in
@@ -52,7 +85,11 @@ impl TimeSeries {
             .collect();
         let n = points.len() as u64;
         TimeSeries {
-            points,
+            sealed: Vec::new(),
+            sealed_points: 0,
+            sealed_bytes: 0,
+            head: points,
+            seal_limit: 0,
             version: n,
             appended: n,
         }
@@ -60,18 +97,65 @@ impl TimeSeries {
 
     /// Appends a sample; timestamps must be non-decreasing.
     pub fn append(&mut self, timestamp: Timestamp, value: f64) -> Result<()> {
-        if let Some(last) = self.points.last() {
-            if timestamp < last.timestamp {
+        if let Some(last) = self.last_timestamp() {
+            if timestamp < last {
                 return Err(TsdbError::OutOfOrderAppend {
-                    last: last.timestamp,
+                    last,
                     attempted: timestamp,
                 });
             }
         }
-        self.points.push(DataPoint::new(timestamp, value));
+        self.head.push(DataPoint::new(timestamp, value));
         self.version = self.version.wrapping_add(1);
         self.appended = self.appended.wrapping_add(1);
+        self.seal_ready();
         Ok(())
+    }
+
+    /// Compresses every full `seal_limit`-sized run of head points into a
+    /// sealed block. Representation-only: counters are untouched.
+    fn seal_ready(&mut self) {
+        if self.seal_limit == 0 {
+            return;
+        }
+        let limit = self.seal_limit as usize;
+        while self.head.len() >= limit {
+            let block = SealedBlock::from_points(&self.head[..limit]);
+            self.sealed_points += block.count() as usize;
+            self.sealed_bytes += block.byte_len();
+            self.sealed.push(block);
+            // On the append path the head is exactly `limit` long, so this
+            // clears it while keeping its capacity for the next fill.
+            self.head.drain(..limit);
+        }
+    }
+
+    /// Changes the seal limit, re-packing existing points to match: with a
+    /// non-zero limit all full runs are compressed, with 0 everything is
+    /// decoded back into the uncompressed head. Representation-only — the
+    /// stored points and both counters are unchanged.
+    pub fn set_seal_limit(&mut self, seal_limit: u32) {
+        if seal_limit == self.seal_limit && (seal_limit != 0 || self.sealed.is_empty()) {
+            return;
+        }
+        if !self.sealed.is_empty() {
+            let mut points = Vec::with_capacity(self.len());
+            for block in &self.sealed {
+                block.decode_into(&mut points);
+            }
+            points.extend_from_slice(&self.head);
+            self.sealed.clear();
+            self.sealed_points = 0;
+            self.sealed_bytes = 0;
+            self.head = points;
+        }
+        self.seal_limit = seal_limit;
+        self.seal_ready();
+    }
+
+    /// The configured seal limit (0 = uncompressed).
+    pub fn seal_limit(&self) -> u32 {
+        self.seal_limit
     }
 
     /// Monotonic mutation counter: advances on every append or expiry.
@@ -101,42 +185,162 @@ impl TimeSeries {
 
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.sealed_points + self.head.len()
     }
 
     /// Whether the series holds no points.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.sealed_points == 0 && self.head.is_empty()
     }
 
-    /// All points, in timestamp order.
-    pub fn points(&self) -> &[DataPoint] {
-        &self.points
+    /// All points in timestamp order. Borrows the head directly when no
+    /// sealed blocks exist (the uncompressed fast path); otherwise decodes
+    /// into an owned vector — prefer [`TimeSeries::iter`],
+    /// [`TimeSeries::range_into`], or [`TimeSeries::tail_to_vec`] on hot
+    /// paths.
+    pub fn points(&self) -> Cow<'_, [DataPoint]> {
+        match self.as_uncompressed() {
+            Some(head) => Cow::Borrowed(head),
+            None => {
+                let mut out = Vec::with_capacity(self.len());
+                for block in &self.sealed {
+                    block.decode_into(&mut out);
+                }
+                out.extend_from_slice(&self.head);
+                Cow::Owned(out)
+            }
+        }
     }
 
-    /// All values, in timestamp order.
+    /// The full point slice, available without decoding only while the
+    /// series holds no sealed blocks.
+    pub fn as_uncompressed(&self) -> Option<&[DataPoint]> {
+        if self.sealed.is_empty() {
+            Some(&self.head)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates every point in timestamp order, decoding sealed blocks on
+    /// the fly without materializing them.
+    pub fn iter(&self) -> impl Iterator<Item = DataPoint> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(SealedBlock::iter)
+            .chain(self.head.iter().copied())
+    }
+
+    /// All values, in timestamp order, as a fresh allocation. Hot readers
+    /// should prefer [`TimeSeries::iter`] or
+    /// [`TimeSeries::values_scratch`].
     pub fn values(&self) -> Vec<f64> {
-        self.points.iter().map(|p| p.value).collect()
+        let mut out = Vec::with_capacity(self.len());
+        self.values_into(&mut out);
+        out
+    }
+
+    /// Appends every value in timestamp order to `out`.
+    pub fn values_into(&self, out: &mut Vec<f64>) {
+        out.reserve(self.len());
+        out.extend(self.iter().map(|p| p.value));
+    }
+
+    /// All values decoded into a recycled thread-local
+    /// [`ScratchVec`] arena — the allocation-free
+    /// variant of [`TimeSeries::values`] for per-round hot readers.
+    pub fn values_scratch(&self) -> ScratchVec {
+        let mut out = ScratchVec::with_capacity(self.len());
+        out.extend(self.iter().map(|p| p.value));
+        out
     }
 
     /// Timestamp of the first point.
     pub fn first_timestamp(&self) -> Option<Timestamp> {
-        self.points.first().map(|p| p.timestamp)
+        self.sealed
+            .first()
+            .map(SealedBlock::first_timestamp)
+            .or_else(|| self.head.first().map(|p| p.timestamp))
     }
 
     /// Timestamp of the last point.
     pub fn last_timestamp(&self) -> Option<Timestamp> {
-        self.points.last().map(|p| p.timestamp)
+        self.head
+            .last()
+            .map(|p| p.timestamp)
+            .or_else(|| self.sealed.last().map(SealedBlock::last_timestamp))
     }
 
-    /// Points with timestamps in `[start, end)`.
-    pub fn range(&self, start: Timestamp, end: Timestamp) -> Result<&[DataPoint]> {
+    /// Points with timestamps in `[start, end)`. Errors when `start >= end`
+    /// (see [`TimeSeries::range_to_vec`] for the non-failing variant).
+    pub fn range(&self, start: Timestamp, end: Timestamp) -> Result<Vec<DataPoint>> {
         if start >= end {
             return Err(TsdbError::InvalidRange);
         }
-        let lo = self.points.partition_point(|p| p.timestamp < start);
-        let hi = self.points.partition_point(|p| p.timestamp < end);
-        Ok(&self.points[lo..hi])
+        Ok(self.range_to_vec(start, end))
+    }
+
+    /// Points with timestamps in `[start, end)`; an inverted or empty range
+    /// yields an empty vector.
+    pub fn range_to_vec(&self, start: Timestamp, end: Timestamp) -> Vec<DataPoint> {
+        let mut out = Vec::new();
+        self.range_into(start, end, &mut out);
+        out
+    }
+
+    /// Appends the points with timestamps in `[start, end)` to `out`,
+    /// decoding only the sealed blocks that overlap the range.
+    pub fn range_into(&self, start: Timestamp, end: Timestamp, out: &mut Vec<DataPoint>) {
+        if start >= end {
+            return;
+        }
+        for block in &self.sealed {
+            if block.last_timestamp() < start || block.is_empty() {
+                continue;
+            }
+            if block.first_timestamp() >= end {
+                break;
+            }
+            if block.first_timestamp() >= start && block.last_timestamp() < end {
+                // Fully inside the range: bulk-decode.
+                block.decode_into(out);
+            } else {
+                out.extend(
+                    block
+                        .iter()
+                        .skip_while(|p| p.timestamp < start)
+                        .take_while(|p| p.timestamp < end),
+                );
+            }
+        }
+        let lo = self.head.partition_point(|p| p.timestamp < start);
+        let hi = self.head.partition_point(|p| p.timestamp < end);
+        out.extend_from_slice(&self.head[lo..hi]);
+    }
+
+    /// The last `n` points (all points when `n >= len`), decoding only the
+    /// sealed blocks that overlap the tail — the head fast path is
+    /// allocation-exact for append-stride snapshot deltas.
+    pub fn tail_to_vec(&self, n: usize) -> Vec<DataPoint> {
+        let n = n.min(self.len());
+        if n <= self.head.len() {
+            return self.head[self.head.len() - n..].to_vec();
+        }
+        let needed = n - self.head.len();
+        let mut start_block = self.sealed.len();
+        let mut covered = 0usize;
+        while start_block > 0 && covered < needed {
+            start_block -= 1;
+            covered += self.sealed[start_block].count() as usize;
+        }
+        let mut decoded = Vec::with_capacity(covered);
+        for block in &self.sealed[start_block..] {
+            block.decode_into(&mut decoded);
+        }
+        let mut out = Vec::with_capacity(n);
+        out.extend_from_slice(&decoded[decoded.len() - needed..]);
+        out.extend_from_slice(&self.head);
+        out
     }
 
     /// Values with timestamps in `[start, end)`.
@@ -144,11 +348,82 @@ impl TimeSeries {
         Ok(self.range(start, end)?.iter().map(|p| p.value).collect())
     }
 
+    /// Bytes resident for this series under the accounting model used by
+    /// shard budgets: 16 bytes per uncompressed head point plus the
+    /// compressed payload of every sealed block. Container slack (vector
+    /// capacity beyond length, block bookkeeping) is deliberately excluded
+    /// so the number is stable across reallocation strategies.
+    pub fn resident_bytes(&self) -> usize {
+        self.head.len() * std::mem::size_of::<DataPoint>() + self.sealed_bytes
+    }
+
+    /// Number of sealed (compressed) blocks.
+    pub fn sealed_block_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Total compressed payload bytes across sealed blocks.
+    pub fn sealed_bytes(&self) -> usize {
+        self.sealed_bytes
+    }
+
+    /// Number of points currently in the uncompressed head.
+    pub fn head_len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// First timestamp of the oldest sealed block, if any — the eviction
+    /// candidate key used by store budget enforcement.
+    pub(crate) fn front_sealed_first_timestamp(&self) -> Option<Timestamp> {
+        self.sealed.first().map(SealedBlock::first_timestamp)
+    }
+
+    /// Drops the oldest sealed block, returning `(points, bytes)` freed.
+    /// A non-append mutation: bumps `version` so snapshot readers observe
+    /// a reset. Never touches the head.
+    pub(crate) fn evict_front_block(&mut self) -> Option<(usize, usize)> {
+        if self.sealed.is_empty() {
+            return None;
+        }
+        let block = self.sealed.remove(0);
+        let points = block.count() as usize;
+        let bytes = block.byte_len();
+        self.sealed_points -= points;
+        self.sealed_bytes -= bytes;
+        self.version = self.version.wrapping_add(1);
+        Some((points, bytes))
+    }
+
     /// Drops all points older than `cutoff` (exclusive). Returns how many
-    /// points were removed.
+    /// points were removed. Whole sealed blocks are dropped without
+    /// decoding; at most one straddling block is re-encoded.
     pub fn expire_before(&mut self, cutoff: Timestamp) -> usize {
-        let keep_from = self.points.partition_point(|p| p.timestamp < cutoff);
-        let removed = self.points.drain(..keep_from).count();
+        let mut removed = 0usize;
+        while let Some(front) = self.sealed.first() {
+            if front.last_timestamp() >= cutoff {
+                break;
+            }
+            removed += front.count() as usize;
+            self.sealed_points -= front.count() as usize;
+            self.sealed_bytes -= front.byte_len();
+            self.sealed.remove(0);
+        }
+        if let Some(front) = self.sealed.first() {
+            if front.first_timestamp() < cutoff {
+                // Straddling block: keep the suffix at or past the cutoff.
+                let decoded = front.to_points();
+                let keep_from = decoded.partition_point(|p| p.timestamp < cutoff);
+                let replacement = SealedBlock::from_points(&decoded[keep_from..]);
+                removed += keep_from;
+                self.sealed_points -= front.count() as usize;
+                self.sealed_bytes -= front.byte_len();
+                self.sealed_points += replacement.count() as usize;
+                self.sealed_bytes += replacement.byte_len();
+                self.sealed[0] = replacement;
+            }
+        }
+        let keep_from = self.head.partition_point(|p| p.timestamp < cutoff);
+        removed += self.head.drain(..keep_from).count();
         if removed > 0 {
             // A non-append mutation: bump `version` but not `appended`, so
             // version-delta != append-delta flags the change to snapshots.
@@ -171,7 +446,7 @@ impl TimeSeries {
         let mut bucket_start = start;
         let mut sum = 0.0;
         let mut count = 0usize;
-        for p in &self.points {
+        for p in self.iter() {
             while p.timestamp >= bucket_start + bucket {
                 if count > 0 {
                     out.append(bucket_start, sum / count as f64)?;
@@ -305,5 +580,189 @@ mod tests {
         assert_eq!(s.values(), vec![1.5, 2.5]);
         assert_eq!(s.first_timestamp(), Some(5));
         assert_eq!(s.last_timestamp(), Some(6));
+    }
+
+    // --- compressed-representation tests ---
+
+    /// Builds the same data twice — uncompressed and with the given seal
+    /// limit — and asserts every read path agrees bit-for-bit.
+    fn assert_repr_parity(n: u64, seal_limit: u32) {
+        let mut plain = TimeSeries::new();
+        let mut packed = TimeSeries::with_seal_limit(seal_limit);
+        for i in 0..n {
+            let v = (i as f64 * 0.1).sin() + 1.0;
+            plain.append(i * 60, v).unwrap();
+            packed.append(i * 60, v).unwrap();
+        }
+        assert_eq!(plain, packed);
+        assert_eq!(plain.len(), packed.len());
+        assert_eq!(
+            (plain.version(), plain.appended()),
+            (packed.version(), packed.appended()),
+            "sealing must not touch the counters"
+        );
+        assert_eq!(plain.first_timestamp(), packed.first_timestamp());
+        assert_eq!(plain.last_timestamp(), packed.last_timestamp());
+        assert_eq!(plain.points(), packed.points());
+        assert_eq!(plain.values(), packed.values());
+        let (lo, hi) = (n * 60 / 4, n * 60 * 3 / 4);
+        if lo < hi {
+            assert_eq!(plain.range_to_vec(lo, hi), packed.range_to_vec(lo, hi));
+        }
+        for k in [0, 1, n as usize / 2, n as usize, n as usize + 7] {
+            assert_eq!(plain.tail_to_vec(k), packed.tail_to_vec(k), "tail {k}");
+        }
+    }
+
+    #[test]
+    fn compressed_matches_uncompressed_across_limits() {
+        for limit in [1, 2, 3, 16, 100, 1000] {
+            assert_repr_parity(50, limit);
+        }
+        assert_repr_parity(0, 16);
+        assert_repr_parity(1, 16);
+    }
+
+    #[test]
+    fn sealing_happens_at_the_limit() {
+        let mut s = TimeSeries::with_seal_limit(10);
+        for i in 0..25 {
+            s.append(i * 60, 1.0).unwrap();
+        }
+        assert_eq!(s.sealed_block_count(), 2);
+        assert_eq!(s.head_len(), 5);
+        assert_eq!(s.len(), 25);
+        assert!(s.as_uncompressed().is_none());
+        assert!(s.sealed_bytes() > 0);
+    }
+
+    #[test]
+    fn uncompressed_points_borrows() {
+        let s = TimeSeries::from_values(0, 60, &[1.0, 2.0]);
+        assert!(matches!(s.points(), Cow::Borrowed(_)));
+        assert!(s.as_uncompressed().is_some());
+    }
+
+    #[test]
+    fn set_seal_limit_repacks_without_touching_counters() {
+        let mut s = TimeSeries::from_values(0, 60, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let before = (s.version(), s.appended());
+        s.set_seal_limit(2);
+        assert_eq!(s.sealed_block_count(), 2);
+        assert_eq!(s.head_len(), 1);
+        assert_eq!((s.version(), s.appended()), before);
+        assert_eq!(s.values(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        s.set_seal_limit(0);
+        assert_eq!(s.sealed_block_count(), 0);
+        assert_eq!(s.head_len(), 5);
+        assert_eq!((s.version(), s.appended()), before);
+        assert_eq!(s.values(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn expire_drops_whole_blocks_and_splits_straddlers() {
+        let mut s = TimeSeries::with_seal_limit(4);
+        for i in 0..12 {
+            s.append(i * 10, i as f64).unwrap();
+        }
+        // Blocks: [0..40), [40..80), [80..120); head empty.
+        let removed = s.expire_before(50);
+        assert_eq!(removed, 5);
+        assert_eq!(s.first_timestamp(), Some(50));
+        assert_eq!(s.len(), 7);
+        assert_eq!(
+            s.values(),
+            vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0]
+        );
+    }
+
+    #[test]
+    fn expire_bumps_version_once_for_compressed() {
+        let mut s = TimeSeries::with_seal_limit(4);
+        for i in 0..8 {
+            s.append(i, 0.0).unwrap();
+        }
+        let v = s.version();
+        assert_eq!(s.expire_before(3), 3);
+        assert_eq!(s.version(), v.wrapping_add(1));
+        assert_eq!(s.appended(), 8);
+    }
+
+    #[test]
+    fn evict_front_block_frees_and_resets() {
+        let mut s = TimeSeries::with_seal_limit(4);
+        for i in 0..10 {
+            s.append(i * 10, i as f64).unwrap();
+        }
+        let before_bytes = s.resident_bytes();
+        let v = s.version();
+        let (points, bytes) = s.evict_front_block().unwrap();
+        assert_eq!(points, 4);
+        assert!(bytes > 0);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.resident_bytes(), before_bytes - bytes);
+        assert_eq!(s.version(), v.wrapping_add(1), "eviction is a reset");
+        assert_eq!(s.first_timestamp(), Some(40));
+        // Head untouched.
+        assert_eq!(s.head_len(), 2);
+    }
+
+    #[test]
+    fn evict_on_pure_head_is_none() {
+        let mut s = TimeSeries::from_values(0, 1, &[1.0, 2.0]);
+        assert!(s.evict_front_block().is_none());
+    }
+
+    #[test]
+    fn resident_bytes_shrinks_when_sealing() {
+        let mut plain = TimeSeries::new();
+        let mut packed = TimeSeries::with_seal_limit(64);
+        for i in 0..640 {
+            plain.append(i * 60, 2.5).unwrap();
+            packed.append(i * 60, 2.5).unwrap();
+        }
+        assert_eq!(plain.resident_bytes(), 640 * 16);
+        assert!(
+            packed.resident_bytes() < plain.resident_bytes() / 4,
+            "constant data should compress >4x: {} vs {}",
+            packed.resident_bytes(),
+            plain.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn tail_to_vec_spans_blocks() {
+        let mut s = TimeSeries::with_seal_limit(3);
+        for i in 0..10 {
+            s.append(i, i as f64).unwrap();
+        }
+        // head has 1 point; asking for 5 spans two sealed blocks.
+        let tail = s.tail_to_vec(5);
+        assert_eq!(
+            tail.iter().map(|p| p.timestamp).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn values_scratch_matches_values() {
+        let mut s = TimeSeries::with_seal_limit(4);
+        for i in 0..11 {
+            s.append(i, (i as f64).cos()).unwrap();
+        }
+        let scratch = s.values_scratch();
+        assert_eq!(&*scratch, s.values().as_slice());
+    }
+
+    #[test]
+    fn nan_survives_seal_roundtrip() {
+        let mut s = TimeSeries::with_seal_limit(2);
+        s.append(0, f64::NAN).unwrap();
+        s.append(1, -0.0).unwrap();
+        s.append(2, 0.0).unwrap();
+        let vals = s.values();
+        assert!(vals[0].is_nan());
+        assert_eq!(vals[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(vals[2].to_bits(), 0.0f64.to_bits());
     }
 }

@@ -44,7 +44,8 @@ pub fn write_snapshot<W: Write>(store: &TsdbStore, mut writer: W) -> Result<()> 
             )
             .map_err(io_err)?;
             let mut first = true;
-            for p in series.points() {
+            // Streaming decode: sealed blocks are never materialized.
+            for p in series.iter() {
                 if !first {
                     write!(writer, ",").map_err(io_err)?;
                 }
@@ -57,8 +58,19 @@ pub fn write_snapshot<W: Write>(store: &TsdbStore, mut writer: W) -> Result<()> 
     Ok(())
 }
 
-/// Reads a snapshot into a fresh store.
+/// Reads a snapshot into a fresh store with the default (uncompressed)
+/// storage policy.
 pub fn read_snapshot<R: Read>(reader: R) -> Result<TsdbStore> {
+    read_snapshot_with_config(reader, crate::store::StoreConfig::default())
+}
+
+/// Reads a snapshot into a fresh store with an explicit storage policy —
+/// the text format carries raw points, so restoring into a compressed
+/// store re-encodes each series through [`TsdbStore::insert_series`].
+pub fn read_snapshot_with_config<R: Read>(
+    reader: R,
+    config: crate::store::StoreConfig,
+) -> Result<TsdbStore> {
     let parse_err = TsdbError::InvalidWindowConfig("malformed snapshot");
     let mut lines = BufReader::new(reader).lines();
     let header = lines
@@ -68,7 +80,7 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<TsdbStore> {
     if header != HEADER {
         return Err(TsdbError::InvalidWindowConfig("unknown snapshot version"));
     }
-    let store = TsdbStore::new();
+    let store = TsdbStore::with_config(config);
     for line in lines {
         let line = line.map_err(|_| parse_err.clone())?;
         if line.is_empty() {
@@ -138,6 +150,26 @@ mod tests {
         write_snapshot(&store, &mut buf).unwrap();
         let restored = read_snapshot(buf.as_slice()).unwrap();
         assert_eq!(restored.get(&id).unwrap(), store.get(&id).unwrap());
+    }
+
+    #[test]
+    fn compressed_store_roundtrips_and_reencodes() {
+        use crate::store::StoreConfig;
+        let store = TsdbStore::compressed();
+        let id = SeriesId::new("s", MetricKind::GCpu, "x");
+        for t in 0..300u64 {
+            store.append(&id, t * 60, (t as f64 * 0.1).sin()).unwrap();
+        }
+        let mut buf = Vec::new();
+        write_snapshot(&store, &mut buf).unwrap();
+        // Restore into a compressed store: points re-encode on load.
+        let restored = read_snapshot_with_config(buf.as_slice(), StoreConfig::compressed()).unwrap();
+        assert_eq!(restored.get(&id).unwrap(), store.get(&id).unwrap());
+        assert!(restored.stats().sealed_blocks() > 0);
+        // And into an uncompressed one: same data, plain representation.
+        let plain = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(plain.get(&id).unwrap(), store.get(&id).unwrap());
+        assert_eq!(plain.stats().sealed_blocks(), 0);
     }
 
     #[test]

@@ -60,31 +60,204 @@ pub struct BatchAppendOutcome {
     pub rejected: Vec<(usize, TsdbError)>,
 }
 
+/// Storage policy for a [`TsdbStore`]: how aggressively series compress
+/// their history and how much memory each shard may hold.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Head size (points) at which each series seals a compressed block.
+    /// 0 keeps every series as a plain uncompressed vector — the default,
+    /// matching the pre-compression representation exactly.
+    pub seal_limit: u32,
+    /// Optional per-shard resident-byte budget. When a shard exceeds it,
+    /// the store evicts whole sealed blocks — oldest block first (by the
+    /// block's first timestamp, ties broken by series id) — until the
+    /// shard fits. Mutable heads are never evicted, so recent data always
+    /// survives. `None` disables enforcement.
+    pub shard_budget_bytes: Option<usize>,
+}
+
+impl StoreConfig {
+    /// Seal limit used by [`StoreConfig::compressed`]: small enough that a
+    /// paper-shaped 900-point series packs into several blocks (so expiry
+    /// and eviction have useful granularity), large enough that Gorilla's
+    /// delta-of-delta and XOR windows amortize the 16-byte first sample.
+    pub const DEFAULT_SEAL_LIMIT: u32 = 128;
+
+    /// Gorilla compression on, no memory budget.
+    pub fn compressed() -> Self {
+        StoreConfig { seal_limit: Self::DEFAULT_SEAL_LIMIT, shard_budget_bytes: None }
+    }
+
+    /// This config with a per-shard resident-byte budget.
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.shard_budget_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Memory and eviction accounting for one shard, captured by
+/// [`TsdbStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Series stored in the shard.
+    pub series: usize,
+    /// Total points across those series.
+    pub points: usize,
+    /// Resident bytes under the accounting model of
+    /// [`TimeSeries::resident_bytes`]: 16 bytes per head point plus
+    /// compressed payload bytes.
+    pub resident_bytes: usize,
+    /// Compressed payload bytes (subset of `resident_bytes`).
+    pub sealed_bytes: usize,
+    /// Sealed blocks across the shard.
+    pub sealed_blocks: usize,
+    /// Uncompressed head points across the shard.
+    pub head_points: usize,
+    /// Blocks dropped by budget enforcement since the store was created.
+    pub evicted_blocks: u64,
+    /// Points dropped by budget enforcement since the store was created.
+    pub evicted_points: u64,
+}
+
+/// Store-wide storage statistics: one [`ShardStats`] per shard plus
+/// aggregate accessors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Per-shard breakdown, indexed by shard number.
+    pub shards: Vec<ShardStats>,
+}
+
+impl StoreStats {
+    /// Total series stored.
+    pub fn series(&self) -> usize {
+        self.shards.iter().map(|s| s.series).sum()
+    }
+
+    /// Total points stored.
+    pub fn points(&self) -> usize {
+        self.shards.iter().map(|s| s.points).sum()
+    }
+
+    /// Total resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_bytes).sum()
+    }
+
+    /// Total compressed payload bytes.
+    pub fn sealed_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.sealed_bytes).sum()
+    }
+
+    /// Total sealed blocks.
+    pub fn sealed_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.sealed_blocks).sum()
+    }
+
+    /// Total uncompressed head points.
+    pub fn head_points(&self) -> usize {
+        self.shards.iter().map(|s| s.head_points).sum()
+    }
+
+    /// Total blocks dropped by budget enforcement.
+    pub fn evicted_blocks(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted_blocks).sum()
+    }
+
+    /// Total points dropped by budget enforcement.
+    pub fn evicted_points(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted_points).sum()
+    }
+
+    /// Resident bytes per stored point (0 when empty) — the headline
+    /// compression number (16.0 for a fully uncompressed store).
+    pub fn bytes_per_point(&self) -> f64 {
+        let points = self.points();
+        if points == 0 {
+            0.0
+        } else {
+            self.resident_bytes() as f64 / points as f64
+        }
+    }
+
+    /// Largest single-shard resident footprint — what a per-shard budget
+    /// is checked against.
+    pub fn max_shard_resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_bytes).max().unwrap_or(0)
+    }
+}
+
+/// One lock domain: the series map plus its memory accounting. The
+/// resident counter is maintained incrementally (signed before/after delta
+/// around every mutation — sealing can *shrink* a series mid-append) so
+/// budget checks are O(1), not a walk of the map.
+#[derive(Debug, Default)]
+struct Shard {
+    map: BTreeMap<SeriesId, TimeSeries>,
+    resident_bytes: usize,
+    evicted_blocks: u64,
+    evicted_points: u64,
+}
+
+impl Shard {
+    /// Folds a series' resident-byte change into the shard counter.
+    fn track(&mut self, before: usize, after: usize) {
+        self.resident_bytes = (self.resident_bytes + after).saturating_sub(before);
+    }
+}
+
 /// A thread-safe in-memory time-series store.
 ///
 /// Writers (the fleet simulator's collectors) append samples concurrently
 /// with readers (the detection pipeline scanning windows). The store is
-/// sharded by series id hash to keep lock contention low.
-#[derive(Debug, Default)]
+/// sharded by series id hash to keep lock contention low; each shard also
+/// tracks its resident bytes so an optional [`StoreConfig`] budget can be
+/// enforced without scanning.
+#[derive(Debug)]
 pub struct TsdbStore {
-    shards: Vec<RwLock<BTreeMap<SeriesId, TimeSeries>>>,
+    shards: Vec<RwLock<Shard>>,
+    config: StoreConfig,
 }
 
 const SHARD_COUNT: usize = 16;
 
+impl Default for TsdbStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TsdbStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default (uncompressed) config.
     pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// Creates an empty store with an explicit storage policy.
+    pub fn with_config(config: StoreConfig) -> Self {
         TsdbStore {
-            shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(BTreeMap::new()))
-                .collect(),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            config,
         }
+    }
+
+    /// Creates an empty store with Gorilla compression enabled.
+    pub fn compressed() -> Self {
+        Self::with_config(StoreConfig::compressed())
     }
 
     /// Creates a store wrapped in an [`Arc`] for sharing across threads.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// Creates a shared store with an explicit storage policy.
+    pub fn shared_with_config(config: StoreConfig) -> Arc<Self> {
+        Arc::new(Self::with_config(config))
+    }
+
+    /// The storage policy this store was created with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
     }
 
     fn shard_index(id: &SeriesId) -> usize {
@@ -101,23 +274,61 @@ impl TsdbStore {
 
     /// The shard a series id routes to. Stable across processes
     /// (`DefaultHasher` with fixed keys), so external writers — the
-    /// ingestion pipeline's shard-append workers — can partition work to
-    /// match the store's own locking granularity.
+    /// ingestion pipeline's shard-append workers and the shard-per-core
+    /// round driver — can partition work to match the store's own locking
+    /// granularity.
     pub fn shard_of(id: &SeriesId) -> usize {
         Self::shard_index(id)
     }
 
-    fn shard(&self, id: &SeriesId) -> &RwLock<BTreeMap<SeriesId, TimeSeries>> {
+    fn shard(&self, id: &SeriesId) -> &RwLock<Shard> {
         &self.shards[Self::shard_index(id)]
+    }
+
+    fn new_series(&self) -> TimeSeries {
+        TimeSeries::with_seal_limit(self.config.seal_limit)
+    }
+
+    /// Evicts whole sealed blocks — oldest first — until the shard fits
+    /// its budget. Deterministic: the victim is the minimum (front-block
+    /// first timestamp, series id) pair, independent of map iteration
+    /// incidentals (BTreeMap order is already id order). Heads are never
+    /// touched; if nothing sealed remains the shard is allowed to exceed
+    /// the budget rather than lose unsealed recent data.
+    fn enforce_budget(&self, shard: &mut Shard) {
+        let Some(budget) = self.config.shard_budget_bytes else {
+            return;
+        };
+        while shard.resident_bytes > budget {
+            let victim = shard
+                .map
+                .iter()
+                .filter_map(|(id, s)| s.front_sealed_first_timestamp().map(|ts| (ts, id.clone())))
+                .min();
+            let Some((_, id)) = victim else {
+                break;
+            };
+            let Some((points, bytes)) = shard.map.get_mut(&id).and_then(TimeSeries::evict_front_block)
+            else {
+                break;
+            };
+            shard.resident_bytes = shard.resident_bytes.saturating_sub(bytes);
+            shard.evicted_blocks += 1;
+            shard.evicted_points += points as u64;
+        }
     }
 
     /// Appends a sample, creating the series on first write.
     pub fn append(&self, id: &SeriesId, timestamp: Timestamp, value: f64) -> Result<()> {
-        let mut shard = self.shard(id).write();
-        shard
-            .entry(id.clone())
-            .or_default()
-            .append(timestamp, value)
+        let mut guard = self.shard(id).write();
+        let shard = &mut *guard;
+        let series = shard.map.entry(id.clone()).or_insert_with(|| self.new_series());
+        let before = series.resident_bytes();
+        let result = series.append(timestamp, value);
+        let after = series.resident_bytes();
+        shard.track(before, after);
+        self.enforce_budget(shard);
+        result
     }
 
     /// Appends a batch of samples, acquiring each touched shard's write
@@ -140,37 +351,47 @@ impl TsdbStore {
             if indices.is_empty() {
                 continue;
             }
-            let mut shard = shard.write();
+            let mut guard = shard.write();
+            let shard = &mut *guard;
             for &i in indices {
                 let (id, timestamp, value) = &points[i];
-                match shard
-                    .entry(id.clone())
-                    .or_default()
-                    .append(*timestamp, *value)
-                {
+                let series = shard.map.entry(id.clone()).or_insert_with(|| self.new_series());
+                let before = series.resident_bytes();
+                let result = series.append(*timestamp, *value);
+                let after = series.resident_bytes();
+                shard.track(before, after);
+                match result {
                     Ok(()) => outcome.appended += 1,
                     Err(e) => outcome.rejected.push((i, e)),
                 }
             }
+            self.enforce_budget(shard);
         }
         outcome
     }
 
-    /// Inserts (or replaces) a whole series. Replacement advances the new
-    /// series' version past the old lineage so delta snapshots observe it as
-    /// a reset, never as an append-only change.
+    /// Inserts (or replaces) a whole series, re-packing it to this store's
+    /// seal limit. Replacement advances the new series' version past the
+    /// old lineage so delta snapshots observe it as a reset, never as an
+    /// append-only change.
     pub fn insert_series(&self, id: SeriesId, mut series: TimeSeries) {
-        let mut shard = self.shard(&id).write();
-        if let Some(old) = shard.get(&id) {
+        series.set_seal_limit(self.config.seal_limit);
+        let mut guard = self.shard(&id).write();
+        let shard = &mut *guard;
+        if let Some(old) = shard.map.get(&id) {
             series.mark_replacement_of(old.version());
+            shard.resident_bytes = shard.resident_bytes.saturating_sub(old.resident_bytes());
         }
-        shard.insert(id, series);
+        shard.resident_bytes += series.resident_bytes();
+        shard.map.insert(id, series);
+        self.enforce_budget(shard);
     }
 
     /// Returns a clone of the series, or an error if absent.
     pub fn get(&self, id: &SeriesId) -> Result<TimeSeries> {
         self.shard(id)
             .read()
+            .map
             .get(id)
             .cloned()
             .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))
@@ -182,6 +403,7 @@ impl TsdbStore {
     pub fn with_series<R>(&self, id: &SeriesId, f: impl FnOnce(&TimeSeries) -> R) -> Result<R> {
         let shard = self.shard(id).read();
         let series = shard
+            .map
             .get(id)
             .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))?;
         Ok(f(series))
@@ -194,7 +416,7 @@ impl TsdbStore {
 
     /// Whether a series exists.
     pub fn contains(&self, id: &SeriesId) -> bool {
-        self.shard(id).read().contains_key(id)
+        self.shard(id).read().map.contains_key(id)
     }
 
     /// All series ids, sorted.
@@ -202,7 +424,7 @@ impl TsdbStore {
         let mut ids: Vec<SeriesId> = self
             .shards
             .iter()
-            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .flat_map(|s| s.read().map.keys().cloned().collect::<Vec<_>>())
             .collect();
         ids.sort();
         ids
@@ -215,6 +437,7 @@ impl TsdbStore {
             .iter()
             .flat_map(|s| {
                 s.read()
+                    .map
                     .keys()
                     .filter(|id| id.service == service)
                     .cloned()
@@ -227,7 +450,36 @@ impl TsdbStore {
 
     /// Number of stored series.
     pub fn series_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// Storage statistics, one entry per shard. The walk recomputes the
+    /// point/block tallies under each shard's read lock; `resident_bytes`
+    /// comes from the incrementally maintained counter the budget checks
+    /// use, so tests can cross-check the two models agree.
+    pub fn stats(&self) -> StoreStats {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.read();
+                let mut out = ShardStats {
+                    series: shard.map.len(),
+                    resident_bytes: shard.resident_bytes,
+                    evicted_blocks: shard.evicted_blocks,
+                    evicted_points: shard.evicted_points,
+                    ..ShardStats::default()
+                };
+                for series in shard.map.values() {
+                    out.points += series.len();
+                    out.sealed_bytes += series.sealed_bytes();
+                    out.sealed_blocks += series.sealed_block_count();
+                    out.head_points += series.head_len();
+                }
+                out
+            })
+            .collect();
+        StoreStats { shards }
     }
 
     /// Extracts detection windows for one series at scan time `now`.
@@ -239,6 +491,7 @@ impl TsdbStore {
     ) -> Result<WindowedData> {
         let shard = self.shard(id).read();
         let series = shard
+            .map
             .get(id)
             .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))?;
         extract_windows(series, config, now)
@@ -270,8 +523,9 @@ impl TsdbStore {
             let shard = shard.read();
             for &i in indices {
                 copies[i] = shard
+                    .map
                     .get(ids[i])
-                    .map(|series| series.range(start, end).unwrap_or(&[]).to_vec());
+                    .map(|series| series.range_to_vec(start, end));
             }
         }
         ids.iter()
@@ -310,7 +564,7 @@ impl TsdbStore {
             }
             let shard = shard.read();
             for &i in indices {
-                let Some(series) = shard.get(ids[i]) else {
+                let Some(series) = shard.map.get(ids[i]) else {
                     continue; // Stays `Missing`.
                 };
                 let current = SeriesVersion {
@@ -333,12 +587,12 @@ impl TsdbStore {
                         let new = current.appended.wrapping_sub(k.appended) as usize;
                         SeriesDelta::Appended {
                             version: current,
-                            tail: series.points()[series.len() - new..].to_vec(),
+                            tail: series.tail_to_vec(new),
                         }
                     }
                     _ => SeriesDelta::Reset {
                         version: current,
-                        points: series.range(start, Timestamp::MAX).unwrap_or(&[]).to_vec(),
+                        points: series.range_to_vec(start, Timestamp::MAX),
                     },
                 };
             }
@@ -352,9 +606,13 @@ impl TsdbStore {
     pub fn expire_before(&self, cutoff: Timestamp) -> usize {
         let mut removed = 0;
         for shard in &self.shards {
-            let mut shard = shard.write();
-            shard.retain(|_, series| {
+            let mut guard = shard.write();
+            let Shard { map, resident_bytes, .. } = &mut *guard;
+            map.retain(|_, series| {
+                let before = series.resident_bytes();
                 removed += series.expire_before(cutoff);
+                *resident_bytes =
+                    (*resident_bytes + series.resident_bytes()).saturating_sub(before);
                 !series.is_empty()
             });
         }
@@ -651,5 +909,211 @@ mod tests {
         for worker in 0..8 {
             assert_eq!(store.get(&id(&format!("t{worker}"))).unwrap().len(), 1000);
         }
+    }
+
+    // --- compression + budget tests ---
+
+    /// Builds the same workload into an uncompressed and a compressed
+    /// store; every read path must agree.
+    fn twin_stores(n_series: usize, n_points: u64) -> (TsdbStore, TsdbStore, Vec<SeriesId>) {
+        let plain = TsdbStore::new();
+        let packed = TsdbStore::compressed();
+        let mut ids = Vec::new();
+        for s in 0..n_series {
+            let sid = id(&format!("s{s}"));
+            for t in 0..n_points {
+                let v = ((t + s as u64) as f64 * 0.01).sin();
+                plain.append(&sid, t * 60, v).unwrap();
+                packed.append(&sid, t * 60, v).unwrap();
+            }
+            ids.push(sid);
+        }
+        (plain, packed, ids)
+    }
+
+    #[test]
+    fn compressed_store_matches_uncompressed_reads() {
+        let cfg = WindowConfig {
+            historic: 100 * 60,
+            analysis: 50 * 60,
+            extended: 25 * 60,
+            rerun_interval: 600,
+        };
+        let (plain, packed, ids) = twin_stores(6, 300);
+        let now = 290 * 60;
+        let refs: Vec<&SeriesId> = ids.iter().collect();
+        assert_eq!(
+            plain.snapshot_windows(&refs, &cfg, now),
+            packed.snapshot_windows(&refs, &cfg, now)
+        );
+        for sid in &ids {
+            assert_eq!(plain.windows(sid, &cfg, now), packed.windows(sid, &cfg, now));
+            assert_eq!(plain.get(sid).unwrap(), packed.get(sid).unwrap());
+            assert_eq!(
+                plain.last_timestamp(sid).unwrap(),
+                packed.last_timestamp(sid).unwrap()
+            );
+        }
+        assert_eq!(
+            plain.snapshot_deltas(&refs, &[], &cfg, now),
+            packed.snapshot_deltas(&refs, &[], &cfg, now)
+        );
+    }
+
+    #[test]
+    fn compressed_store_keeps_append_stride_across_seals() {
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 0,
+            rerun_interval: 10,
+        };
+        let store = TsdbStore::with_config(StoreConfig { seal_limit: 8, shard_budget_bytes: None });
+        let a = id("a");
+        for t in 0..20u64 {
+            store.append(&a, t, t as f64).unwrap();
+        }
+        let first = store.snapshot_deltas(&[&a], &[], &cfg, 20);
+        let known = match &first[0] {
+            SeriesDelta::Reset { version, .. } => Some(*version),
+            other => panic!("expected Reset, got {other:?}"),
+        };
+        // 12 appends crossing a seal boundary (head 4 -> seal at 8 twice).
+        for t in 20..32u64 {
+            store.append(&a, t, t as f64).unwrap();
+        }
+        match &store.snapshot_deltas(&[&a], &[known], &cfg, 32)[0] {
+            SeriesDelta::Appended { tail, .. } => {
+                let ts: Vec<u64> = tail.iter().map(|p| p.timestamp).collect();
+                assert_eq!(ts, (20..32).collect::<Vec<u64>>());
+            }
+            other => panic!("expected Appended across seals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_track_compression_and_agree_with_recount() {
+        let (plain, packed, _) = twin_stores(4, 300);
+        let ps = plain.stats();
+        let cs = packed.stats();
+        assert_eq!(ps.points(), cs.points());
+        assert_eq!(ps.series(), cs.series());
+        assert!((ps.bytes_per_point() - 16.0).abs() < 1e-9);
+        assert!(
+            cs.bytes_per_point() < 12.0,
+            "expected compression below 12 B/pt, got {}",
+            cs.bytes_per_point()
+        );
+        assert!(cs.sealed_blocks() > 0);
+        // The incrementally maintained shard counter must equal a direct
+        // recount of every series' resident bytes.
+        for store in [&plain, &packed] {
+            let stats = store.stats();
+            for (i, shard_stats) in stats.shards.iter().enumerate() {
+                let recount: usize = store
+                    .series_ids()
+                    .iter()
+                    .filter(|sid| TsdbStore::shard_of(sid) == i)
+                    .map(|sid| store.with_series(sid, |s| s.resident_bytes()).unwrap())
+                    .sum();
+                assert_eq!(shard_stats.resident_bytes, recount, "shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_evicts_oldest_blocks_deterministically() {
+        let config = StoreConfig { seal_limit: 16, shard_budget_bytes: Some(2_000) };
+        let store = TsdbStore::with_config(config);
+        // Everything lands in one series -> one shard; enough noisy data
+        // that compressed blocks overflow 2 KB.
+        let a = id("a");
+        let mut state = 1u64;
+        for t in 0..2_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (state >> 11) as f64 / (1u64 << 53) as f64;
+            store.append(&a, t * 60, v).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.evicted_blocks() > 0, "budget should have evicted");
+        assert_eq!(stats.evicted_points() % 16, 0, "whole blocks only");
+        assert!(
+            stats.max_shard_resident_bytes() <= 2_000,
+            "shard still over budget: {} bytes",
+            stats.max_shard_resident_bytes()
+        );
+        // Eviction drops the *oldest* data: the series now starts later.
+        let series = store.get(&a).unwrap();
+        assert!(series.first_timestamp().unwrap() > 0);
+        assert_eq!(series.last_timestamp().unwrap(), 1_999 * 60);
+        // Determinism: a second identical run evicts identically.
+        let twin = TsdbStore::with_config(config);
+        let mut state = 1u64;
+        for t in 0..2_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (state >> 11) as f64 / (1u64 << 53) as f64;
+            twin.append(&a, t * 60, v).unwrap();
+        }
+        assert_eq!(store.get(&a).unwrap(), twin.get(&a).unwrap());
+        assert_eq!(store.stats(), twin.stats());
+    }
+
+    #[test]
+    fn eviction_is_observed_as_reset_by_delta_snapshots() {
+        let cfg = WindowConfig {
+            historic: 100_000,
+            analysis: 50_000,
+            extended: 0,
+            rerun_interval: 600,
+        };
+        let config = StoreConfig { seal_limit: 16, shard_budget_bytes: Some(1_000) };
+        let store = TsdbStore::with_config(config);
+        let a = id("a");
+        for t in 0..64u64 {
+            store.append(&a, t * 60, (t as f64).sin()).unwrap();
+        }
+        let first = store.snapshot_deltas(&[&a], &[], &cfg, 64 * 60);
+        let known = match &first[0] {
+            SeriesDelta::Reset { version, .. } => Some(*version),
+            other => panic!("expected Reset, got {other:?}"),
+        };
+        // Force evictions with noisy data that cannot compress under 1 KB.
+        let mut state = 7u64;
+        for t in 64..512u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            store.append(&a, t * 60, f64::from_bits(0x3FF0_0000_0000_0000 | (state >> 12))).unwrap();
+        }
+        assert!(store.stats().evicted_blocks() > 0);
+        // The eviction bumped version without appended: never Appended.
+        match &store.snapshot_deltas(&[&a], &[known], &cfg, 512 * 60)[0] {
+            SeriesDelta::Reset { .. } => {}
+            other => panic!("eviction must surface as Reset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_series_repacks_to_store_policy() {
+        let store = TsdbStore::compressed();
+        let a = id("a");
+        store.insert_series(a.clone(), TimeSeries::from_values(0, 60, &vec![1.5; 400]));
+        let series = store.get(&a).unwrap();
+        assert!(series.sealed_block_count() > 0, "insert should compress");
+        assert_eq!(series.len(), 400);
+        let stats = store.stats();
+        assert_eq!(stats.points(), 400);
+        assert!(stats.resident_bytes() < 400 * 16);
+    }
+
+    #[test]
+    fn default_store_stays_uncompressed() {
+        let store = TsdbStore::new();
+        for t in 0..300u64 {
+            store.append(&id("a"), t, 1.0).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.sealed_blocks(), 0);
+        assert_eq!(stats.resident_bytes(), 300 * 16);
+        assert!((stats.bytes_per_point() - 16.0).abs() < 1e-9);
+        assert_eq!(stats.max_shard_resident_bytes(), 300 * 16);
     }
 }

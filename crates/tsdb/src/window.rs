@@ -301,7 +301,16 @@ pub fn extract_windows(
     config: &WindowConfig,
     now: Timestamp,
 ) -> Result<WindowedData> {
-    windows_from_points(series.points(), config, now)
+    if let Some(points) = series.as_uncompressed() {
+        // Uncompressed fast path: window straight off the borrowed slice.
+        return windows_from_points(points, config, now);
+    }
+    // Compressed: decode only the scan range. `windows_from_points` ignores
+    // out-of-range points anyway, so trimming here changes nothing but the
+    // amount of decoding.
+    let (start, end) = snapshot_bounds(config, now);
+    let points = series.range_to_vec(start, end);
+    windows_from_points(&points, config, now)
 }
 
 /// Extracts detection windows from an already-copied, time-ordered point
@@ -677,7 +686,7 @@ mod tests {
         let s = TimeSeries::from_pairs(pairs).unwrap();
         for now in [60, 150, 199, 240] {
             let via_series = extract_windows(&s, &cfg, now);
-            let via_points = windows_from_points(s.points(), &cfg, now);
+            let via_points = windows_from_points(&s.points(), &cfg, now);
             assert_eq!(via_series, via_points, "now = {now}");
         }
     }
@@ -716,7 +725,7 @@ mod tests {
         };
         let s = series_covering(40, 1);
         let buf = Vec::with_capacity(1024);
-        let w = windows_from_points_into(s.points(), &cfg, 40, buf).unwrap();
+        let w = windows_from_points_into(&s.points(), &cfg, 40, buf).unwrap();
         assert_eq!(w.total_len(), 30);
         let recovered = w.into_values();
         assert!(recovered.capacity() >= 1024);

@@ -2,11 +2,50 @@
 
 use fbd_tsdb::aggregate::{aligned_mean, mean_of_series};
 use fbd_tsdb::window::{extract_windows, WindowConfig};
-use fbd_tsdb::{MetricKind, SeriesId, TimeSeries, TsdbStore};
+use fbd_tsdb::{
+    DataPoint, MetricKind, SealedBlock, SeriesDelta, SeriesId, StoreConfig, TimeSeries, TsdbStore,
+};
 use proptest::prelude::*;
 
 fn values(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e9f64..1e9, min_len..max_len)
+}
+
+/// Any f64 bit pattern, weighted toward the special cases the Gorilla
+/// codec must preserve bit-exactly: NaN (any payload), signed zeros,
+/// infinities, and arbitrary bit soup.
+fn wild_value() -> impl Strategy<Value = f64> {
+    (any::<u8>(), any::<u64>(), -1e12f64..1e12).prop_map(|(sel, bits, finite)| match sel % 8 {
+        0 => f64::NAN,
+        1 => -0.0,
+        2 => 0.0,
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 | 6 => f64::from_bits(bits),
+        _ => finite,
+    })
+}
+
+/// Timestamp/value pairs with irregular cadence: steady gaps, duplicates
+/// (gap 0), and occasional huge jumps that force the codec's raw 64-bit
+/// delta-of-delta escape. Timestamps are non-decreasing (capped, no wrap)
+/// to match what `TimeSeries::append` admits.
+fn wild_points(max_len: usize) -> impl Strategy<Value = Vec<DataPoint>> {
+    prop::collection::vec((0u64..5_000, any::<u8>(), wild_value()), 0..max_len).prop_map(|raw| {
+        let mut ts = 0u64;
+        raw.into_iter()
+            .map(|(gap, kind, value)| {
+                let gap = match kind % 7 {
+                    0 => 0,               // duplicate timestamp
+                    1 => gap << 20,       // jump past every small dod class
+                    2 => 60,              // steady cadence -> dod == 0 runs
+                    _ => gap,
+                };
+                ts = ts.saturating_add(gap);
+                DataPoint::new(ts, value)
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -46,7 +85,7 @@ proptest! {
         let original_mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
         let mut weighted = 0.0;
         let mut weight = 0.0;
-        for p in d.points() {
+        for p in d.points().iter() {
             let bucket_n = s
                 .range(p.timestamp, p.timestamp + bucket)
                 .unwrap()
@@ -106,5 +145,102 @@ proptest! {
         // Every bucket mean equals the per-series bucket mean.
         let d = TimeSeries::from_values(0, 1, &vals).downsample(2).unwrap();
         prop_assert_eq!(m.values(), d.values());
+    }
+
+    // --- Gorilla compressed blocks ---
+
+    #[test]
+    fn compressed_block_roundtrip_is_bit_exact(points in wild_points(400)) {
+        let block = SealedBlock::from_points(&points);
+        prop_assert_eq!(block.count() as usize, points.len());
+        let decoded = block.to_points();
+        prop_assert_eq!(decoded.len(), points.len());
+        for (got, want) in decoded.iter().zip(&points) {
+            prop_assert_eq!(got.timestamp, want.timestamp);
+            // to_bits: NaN payloads and -0.0 must survive exactly.
+            prop_assert_eq!(got.value.to_bits(), want.value.to_bits());
+        }
+        if let (Some(first), Some(last)) = (points.first(), points.last()) {
+            prop_assert_eq!(block.first_timestamp(), first.timestamp);
+            prop_assert_eq!(block.last_timestamp(), last.timestamp);
+        }
+    }
+
+    #[test]
+    fn compressed_series_reads_match_uncompressed(
+        points in wild_points(300),
+        seal_limit in 1u32..64,
+        lo in 0u64..10_000,
+        span in 1u64..1_000_000,
+        tail in 0usize..350,
+    ) {
+        let mut plain = TimeSeries::new();
+        let mut packed = TimeSeries::with_seal_limit(seal_limit);
+        for p in &points {
+            plain.append(p.timestamp, p.value).unwrap();
+            packed.append(p.timestamp, p.value).unwrap();
+        }
+        prop_assert_eq!(plain.len(), packed.len());
+        prop_assert_eq!((plain.version(), plain.appended()), (packed.version(), packed.appended()));
+        // Bit-exact full reads (PartialEq would fail on NaN, so compare bits).
+        let pv: Vec<(u64, u64)> = plain.iter().map(|p| (p.timestamp, p.value.to_bits())).collect();
+        let cv: Vec<(u64, u64)> = packed.iter().map(|p| (p.timestamp, p.value.to_bits())).collect();
+        prop_assert_eq!(pv, cv);
+        // Range and tail reads agree.
+        let pr: Vec<(u64, u64)> = plain.range_to_vec(lo, lo.saturating_add(span)).iter()
+            .map(|p| (p.timestamp, p.value.to_bits())).collect();
+        let cr: Vec<(u64, u64)> = packed.range_to_vec(lo, lo.saturating_add(span)).iter()
+            .map(|p| (p.timestamp, p.value.to_bits())).collect();
+        prop_assert_eq!(pr, cr);
+        let pt: Vec<(u64, u64)> = plain.tail_to_vec(tail).iter()
+            .map(|p| (p.timestamp, p.value.to_bits())).collect();
+        let ct: Vec<(u64, u64)> = packed.tail_to_vec(tail).iter()
+            .map(|p| (p.timestamp, p.value.to_bits())).collect();
+        prop_assert_eq!(pt, ct);
+        prop_assert_eq!(plain.resident_bytes(), plain.len() * 16);
+    }
+
+    #[test]
+    fn append_stride_detection_survives_seals(
+        chunks in prop::collection::vec(1usize..20, 1..10),
+        seal_limit in 1u32..33,
+    ) {
+        let cfg = WindowConfig {
+            historic: 1_000_000,
+            analysis: 500_000,
+            extended: 0,
+            rerun_interval: 60,
+        };
+        let store = TsdbStore::with_config(StoreConfig { seal_limit, shard_budget_bytes: None });
+        let id = SeriesId::new("svc", MetricKind::GCpu, "s");
+        let mut t = 0u64;
+        let mut known = None;
+        let mut total = 0usize;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let first_new = t;
+            for _ in 0..*chunk {
+                store.append(&id, t * 60, (t as f64).sin()).unwrap();
+                t += 1;
+            }
+            total += chunk;
+            let deltas = store.snapshot_deltas(&[&id], &[known], &cfg, t * 60);
+            match &deltas[0] {
+                SeriesDelta::Reset { version, points } if i == 0 => {
+                    // First observation: full copy.
+                    prop_assert_eq!(points.len(), total);
+                    known = Some(*version);
+                }
+                SeriesDelta::Appended { version, tail } => {
+                    // Sealing between observations must not break the
+                    // append-only classification or the tail contents.
+                    prop_assert_eq!(tail.len(), *chunk);
+                    prop_assert_eq!(tail[0].timestamp, first_new * 60);
+                    prop_assert_eq!(tail[tail.len() - 1].timestamp, (t - 1) * 60);
+                    known = Some(*version);
+                }
+                other => panic!("chunk {i}: unexpected delta {other:?}"),
+            }
+        }
+        prop_assert_eq!(store.get(&id).unwrap().len(), total);
     }
 }
