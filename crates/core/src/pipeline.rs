@@ -38,7 +38,7 @@ use fbd_profiler::callgraph::CallGraph;
 use fbd_profiler::gcpu::stack_trace_overlap;
 use fbd_profiler::sample::StackSample;
 use fbd_tsdb::{MetricKind, SeriesId, Timestamp, TsdbStore, WindowedData};
-use parking_lot::Mutex;
+use fbd_sync::{LockDomain, OrderedMutex};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -754,6 +754,11 @@ impl Pipeline {
     /// ([`Pipeline::detect_sharded`]): the shard's delta ingest and its
     /// series' detection stay on one core, so engine/store shard locks are
     /// uncontended and the 1→N thread sweep scales with the shard count.
+    /// Lock acquisition order across both drivers follows the workspace
+    /// hierarchy in `LOCK_ORDER.manifest` (engine-shard before
+    /// store-shard, scan-cache as a leaf), enforced statically by
+    /// fbd-lint's `lock-order` rule and dynamically by the
+    /// [`fbd_sync`] debug validator.
     /// With the engine off, workers steal series one at a time from a
     /// shared atomic cursor instead of walking fixed chunks, so a run of
     /// slow seasonal/STL series cannot straggle a whole chunk while other
@@ -773,10 +778,10 @@ impl Pipeline {
         // snapshot (one short read-lock hold per shard), so the workers
         // below never touch a shard lock. Each slot is taken exactly once
         // by whichever worker steals its index.
-        let snapshots: Vec<Mutex<Option<fbd_tsdb::Result<WindowedData>>>> = store
+        let snapshots: Vec<OrderedMutex<Option<fbd_tsdb::Result<WindowedData>>>> = store
             .snapshot_windows(series, &self.config.windows, now)
             .into_iter()
-            .map(|r| Mutex::new(Some(r)))
+            .map(|r| OrderedMutex::new(LockDomain::SnapshotSlot, Some(r)))
             .collect();
         let next = AtomicUsize::new(0);
         let joined = crossbeam::thread::scope(|scope| {
@@ -793,7 +798,7 @@ impl Pipeline {
                             if let Some(hook) = &self.chaos_hook {
                                 hook(id);
                             }
-                            let windows = match snapshots.get(i).and_then(|s| s.lock().take()) {
+                            let windows = match snapshots.get(i).and_then(|slot| slot.lock().take()) {
                                 Some(w) => w,
                                 None => store.windows(id, &self.config.windows, now),
                             };

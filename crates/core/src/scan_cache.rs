@@ -35,7 +35,7 @@ use fbd_stats::acf::{self, Seasonality};
 use fbd_stats::sax::{encode_in_range, SaxConfig, SaxString};
 use fbd_stats::stl::{decompose, loess_smooth_uniform, StlConfig, StlDecomposition};
 use fbd_tsdb::SeriesId;
-use parking_lot::Mutex;
+use fbd_sync::{LockDomain, OrderedMutex};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -134,7 +134,9 @@ impl CacheStats {
 /// invalidation, and determinism arguments.
 #[derive(Debug)]
 pub struct ScanCache {
-    inner: Mutex<BTreeMap<SeriesId, SeriesArtifacts>>,
+    /// Ranked `scan-cache` (a leaf) in `LOCK_ORDER.manifest`: no other
+    /// supervised lock may be acquired while this guard is live.
+    inner: OrderedMutex<BTreeMap<SeriesId, SeriesArtifacts>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evicted: AtomicU64,
@@ -165,7 +167,7 @@ impl ScanCache {
     /// (0 disables the bound).
     pub fn with_capacity(capacity: usize) -> Self {
         ScanCache {
-            inner: Mutex::new(BTreeMap::new()),
+            inner: OrderedMutex::new(LockDomain::ScanCache, BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evicted: AtomicU64::new(0),

@@ -75,7 +75,7 @@ use fbd_tsdb::{
     snapshot_bounds, windows_from_points_into, DataPoint, MetricKind, SeriesDelta, SeriesId,
     SeriesVersion, Timestamp, TsdbError, TsdbStore, WindowConfig, WindowedData,
 };
-use parking_lot::Mutex;
+use fbd_sync::{LockDomain, OrderedMutex};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -334,7 +334,9 @@ struct EngineShard {
 pub struct StreamingEngine {
     config: WindowConfig,
     /// One shard per store shard, aligned with [`TsdbStore::shard_of`].
-    shards: Vec<Mutex<EngineShard>>,
+    /// Ranked `engine-shard` in `LOCK_ORDER.manifest`: held across
+    /// [`TsdbStore::snapshot_deltas`] (store-shard ranks higher).
+    shards: Vec<OrderedMutex<EngineShard>>,
     now: Timestamp,
     round: u64,
     counters: Counters,
@@ -346,7 +348,7 @@ impl StreamingEngine {
         StreamingEngine {
             config,
             shards: (0..TsdbStore::shard_count())
-                .map(|_| Mutex::new(EngineShard::default()))
+                .map(|_| OrderedMutex::new(LockDomain::EngineShard, EngineShard::default()))
                 .collect(),
             now: 0,
             round: 0,
@@ -361,7 +363,7 @@ impl StreamingEngine {
         self.shards.len()
     }
 
-    fn shard(&self, id: &SeriesId) -> &Mutex<EngineShard> {
+    fn shard(&self, id: &SeriesId) -> &OrderedMutex<EngineShard> {
         &self.shards[TsdbStore::shard_of(id) % self.shards.len()]
     }
 
@@ -509,6 +511,7 @@ impl StreamingEngine {
     /// Decides how to scan one series this round. Thread-safe: takes the
     /// series' engine shard lock; the shard-per-core driver keeps each
     /// shard on one worker, so the lock is uncontended in steady state.
+    // fbd-lint::hot
     pub fn prepare(&self, id: &SeriesId, min_finite_fraction: f64, min_coverage: f64) -> Prepared {
         let mut guard = self.shard(id).lock();
         let Some(s) = guard.states.get_mut(id) else {
@@ -648,6 +651,7 @@ impl StreamingEngine {
     /// when the detectors errored: the buffer is still reclaimed, and the
     /// previous artifacts (whose gates remain sound — retained points are
     /// immutable) are kept.
+    // fbd-lint::hot
     pub fn complete(
         &self,
         id: &SeriesId,
@@ -682,7 +686,7 @@ impl StreamingEngine {
             tracked: self
                 .shards
                 .iter()
-                .map(|s| s.lock().states.len() as u64)
+                .map(|shard| shard.lock().states.len() as u64)
                 .sum(),
             unchanged: c.unchanged.load(Ordering::Relaxed),
             appended_series: c.appended_series.load(Ordering::Relaxed),

@@ -34,11 +34,11 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use fbd_tsdb::{SeriesId, Timestamp, TsdbStore};
 use fbdetect_core::quarantine::{FaultKind, Quarantine, QuarantineConfig};
-use parking_lot::Mutex;
+use fbd_sync::{LockDomain, OrderedMutex};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 
 /// Pipeline shape and policy knobs.
@@ -162,26 +162,29 @@ struct Counters {
 /// Tracks batch completion so `drain` can wait for quiescence without
 /// polling. A batch completes when it is shed, rejected, or every routed
 /// chunk of it has been applied to the store.
-#[derive(Default)]
 struct Progress {
-    state: StdMutex<(u64, u64)>, // (submitted, completed)
+    /// `(submitted, completed)`, ranked `ingest-progress` (a leaf) in
+    /// `LOCK_ORDER.manifest`. Poison recovery comes with [`OrderedMutex`].
+    state: OrderedMutex<(u64, u64)>,
     quiescent: Condvar,
 }
 
-impl Progress {
-    fn lock(&self) -> std::sync::MutexGuard<'_, (u64, u64)> {
-        match self.state.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
+impl Default for Progress {
+    fn default() -> Self {
+        Progress {
+            state: OrderedMutex::new(LockDomain::IngestProgress, (0, 0)),
+            quiescent: Condvar::new(),
         }
     }
+}
 
+impl Progress {
     fn submitted(&self) {
-        self.lock().0 += 1;
+        self.state.lock().0 += 1;
     }
 
     fn completed(&self) {
-        let mut g = self.lock();
+        let mut g = self.state.lock();
         g.1 += 1;
         if g.1 >= g.0 {
             self.quiescent.notify_all();
@@ -189,12 +192,9 @@ impl Progress {
     }
 
     fn drain(&self) {
-        let mut g = self.lock();
+        let mut g = self.state.lock();
         while g.1 < g.0 {
-            g = match self.quiescent.wait(g) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            g = g.wait(&self.quiescent);
         }
     }
 }
@@ -245,8 +245,8 @@ fn decode_counted(raw: &Bytes, counters: &Counters) -> Option<SampleBatch> {
 /// [`reference_ingest`].
 fn process_decoded_batch(
     batch: &SampleBatch,
-    engine: &Mutex<Engine>,
-    quarantine: &Mutex<Quarantine>,
+    engine: &OrderedMutex<Engine>,
+    quarantine: &OrderedMutex<Quarantine>,
     counters: &Counters,
 ) -> Option<ValidatedBatch> {
     let mut engine = engine.lock();
@@ -308,8 +308,8 @@ pub struct IngestPipeline {
     ingress_rx: Receiver<Bytes>,
     counters: Arc<Counters>,
     progress: Arc<Progress>,
-    engine: Arc<Mutex<Engine>>,
-    quarantine: Arc<Mutex<Quarantine>>,
+    engine: Arc<OrderedMutex<Engine>>,
+    quarantine: Arc<OrderedMutex<Quarantine>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -317,10 +317,10 @@ impl IngestPipeline {
     /// Spawns the stage threads against `store` with a fresh quarantine
     /// registry.
     pub fn new(store: Arc<TsdbStore>, config: IngestConfig) -> Self {
-        let quarantine = Arc::new(Mutex::new(Quarantine::new(
-            QuarantineConfig::default(),
-            config.quarantine_rerun_interval,
-        )));
+        let quarantine = Arc::new(OrderedMutex::new(
+            LockDomain::Quarantine,
+            Quarantine::new(QuarantineConfig::default(), config.quarantine_rerun_interval),
+        ));
         Self::with_quarantine(store, config, quarantine)
     }
 
@@ -329,16 +329,19 @@ impl IngestPipeline {
     pub fn with_quarantine(
         store: Arc<TsdbStore>,
         config: IngestConfig,
-        quarantine: Arc<Mutex<Quarantine>>,
+        quarantine: Arc<OrderedMutex<Quarantine>>,
     ) -> Self {
         let depth = config.queue_depth.max(1);
         let appenders = config.appenders.max(1);
         let counters = Arc::new(Counters::default());
         let progress = Arc::new(Progress::default());
-        let engine = Arc::new(Mutex::new(Engine {
-            validator: Validator::new(config.validator),
-            quotas: TenantQuotas::new(config.quota),
-        }));
+        let engine = Arc::new(OrderedMutex::new(
+            LockDomain::IngestEngine,
+            Engine {
+                validator: Validator::new(config.validator),
+                quotas: TenantQuotas::new(config.quota),
+            },
+        ));
 
         let (ingress_tx, ingress_rx) = bounded::<Bytes>(depth);
         let (decoded_tx, decoded_rx) = bounded::<SampleBatch>(depth);
@@ -555,7 +558,7 @@ impl IngestPipeline {
     }
 
     /// The quarantine registry fed by quota and NaN-burst violations.
-    pub fn quarantine(&self) -> Arc<Mutex<Quarantine>> {
+    pub fn quarantine(&self) -> Arc<OrderedMutex<Quarantine>> {
         Arc::clone(&self.quarantine)
     }
 
@@ -607,13 +610,16 @@ pub fn reference_ingest(
     store: &TsdbStore,
     batches: &[Bytes],
     config: IngestConfig,
-    quarantine: &Mutex<Quarantine>,
+    quarantine: &OrderedMutex<Quarantine>,
 ) -> IngestStats {
     let counters = Counters::default();
-    let engine = Mutex::new(Engine {
-        validator: Validator::new(config.validator),
-        quotas: TenantQuotas::new(config.quota),
-    });
+    let engine = OrderedMutex::new(
+        LockDomain::IngestEngine,
+        Engine {
+            validator: Validator::new(config.validator),
+            quotas: TenantQuotas::new(config.quota),
+        },
+    );
     for raw in batches {
         counters.batches_submitted.fetch_add(1, Ordering::Relaxed);
         counters.points_submitted.fetch_add(

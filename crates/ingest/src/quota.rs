@@ -10,6 +10,12 @@
 //! are counted as quota-shed, never silently dropped) and the pipeline
 //! records a data-quality quarantine entry for every series it carried,
 //! feeding the same registry the scan supervisor uses.
+//!
+//! [`TenantQuotas`] holds no lock of its own: it lives inside the validate
+//! stage's `Engine`, guarded by the `ingest-engine` [`fbd_sync::OrderedMutex`]
+//! (rank 10 in `LOCK_ORDER.manifest`). That guard is deliberately the
+//! lowest rank in the hierarchy because quota denial records quarantine
+//! entries (rank 20) while it is still live.
 
 use fbd_tsdb::Timestamp;
 use std::collections::BTreeMap;

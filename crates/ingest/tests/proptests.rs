@@ -17,7 +17,7 @@ use fbd_ingest::quota::QuotaConfig;
 use fbd_ingest::wire::{decode_batch, encode_batch, SampleBatch};
 use fbd_tsdb::{MetricKind, SeriesId, StoreConfig, TsdbStore};
 use fbdetect_core::quarantine::{Quarantine, QuarantineConfig};
-use parking_lot::Mutex;
+use fbd_sync::{LockDomain, OrderedMutex};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -101,7 +101,10 @@ proptest! {
         let threaded = pipeline.finish();
 
         let reference_store = TsdbStore::new();
-        let quarantine = Mutex::new(Quarantine::new(QuarantineConfig::default(), 500));
+        let quarantine = OrderedMutex::new(
+            LockDomain::Quarantine,
+            Quarantine::new(QuarantineConfig::default(), 500),
+        );
         let reference = reference_ingest(&reference_store, &batches, config, &quarantine);
 
         prop_assert!(threaded.is_accounted(), "{threaded:?}");

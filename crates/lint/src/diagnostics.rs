@@ -16,9 +16,11 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// Deterministic sort key: file, then line, then rule.
-    pub fn sort_key(&self) -> (String, usize, &'static str) {
-        (self.file.clone(), self.line, self.rule)
+    /// Deterministic sort key: file, line, rule, then message — a total
+    /// order over every field, so sorting is a fixed point regardless of
+    /// the (possibly parallel) production order.
+    pub fn sort_key(&self) -> (String, usize, &'static str, String) {
+        (self.file.clone(), self.line, self.rule, self.message.clone())
     }
 }
 

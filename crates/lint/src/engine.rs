@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::context::{FileContext, FileKind};
 use crate::diagnostics::Diagnostic;
@@ -20,20 +21,59 @@ use crate::rules::{all_rules, Rule, Sink, ENGINE_RULES};
 /// and the lint crate's own known-bad fixture tree.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
 
-/// Lints every `.rs` file under `root` and returns sorted diagnostics.
+/// Lints every `.rs` file under `root` and returns sorted diagnostics,
+/// checking files across all available cores.
 pub fn run_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files)
-        .map_err(|e| format!("walking {}: {e}", root.display()))?;
-    files.sort();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_workspace_with_threads(root, threads)
+}
 
-    let rules = all_rules();
-    let mut diags = Vec::new();
-    for path in &files {
-        let src = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let rel = rel_path(root, path);
-        diags.extend(check_file(&rel, &src, &rules, None));
+/// [`run_workspace`] with an explicit worker count. Output is identical for
+/// any `threads` value: files are distributed via a shared cursor, each
+/// worker collects independently, and the merged diagnostics are sorted by
+/// the total order [`Diagnostic::sort_key`] and deduplicated — a test pins
+/// that the `--json` bytes match across thread counts and repeated runs.
+pub fn run_workspace_with_threads(root: &Path, threads: usize) -> Result<Vec<Diagnostic>, String> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    paths.sort();
+
+    // I/O stays serial (and fail-fast); only rule checking fans out.
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        files.push((rel_path(root, path), src));
     }
+
+    let workers = threads.clamp(1, files.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // `Box<dyn Rule>` is not Sync, so each worker builds its
+                    // own registry; rules are stateless and cheap.
+                    let rules = all_rules();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((rel, src)) = files.get(i) else { break };
+                        out.extend(check_file(rel, src, &rules, None));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Ok(part) = handle.join() {
+                diags.extend(part);
+            }
+        }
+    });
     diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     diags.dedup();
     Ok(diags)

@@ -10,7 +10,8 @@
 //!
 //! The scanner also extracts suppression comments of the form
 //! `// fbd-lint::allow(rule-name): reason`, which the engine uses to mute
-//! individual diagnostics.
+//! individual diagnostics, and `// fbd-lint::hot` markers, which opt the
+//! next function into the `hot-path-alloc` rule.
 
 /// One parsed suppression comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +34,10 @@ pub struct CleanFile {
     pub lines: Vec<String>,
     /// Suppression comments found anywhere in the file.
     pub suppressions: Vec<Suppression>,
+    /// 1-based lines carrying a `// fbd-lint::hot` marker. Each marker
+    /// opts the next `fn` (or one on the marker's own line) into the
+    /// `hot-path-alloc` rule.
+    pub hot_markers: Vec<usize>,
 }
 
 #[derive(Copy, Clone, PartialEq, Eq)]
@@ -53,6 +58,7 @@ enum State {
 pub fn clean_source(src: &str) -> CleanFile {
     let mut lines: Vec<String> = Vec::new();
     let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut hot_markers: Vec<usize> = Vec::new();
 
     let mut state = State::Code;
     for (idx, raw_line) in src.lines().enumerate() {
@@ -74,6 +80,9 @@ pub fn clean_source(src: &str) -> CleanFile {
                         let comment: String = chars[i..].iter().collect();
                         if let Some(s) = parse_suppression(&comment, idx + 1, &out) {
                             suppressions.push(s);
+                        }
+                        if comment.trim_start_matches('/').trim() == "fbd-lint::hot" {
+                            hot_markers.push(idx + 1);
                         }
                         out.extend(std::iter::repeat_n(' ', chars.len() - i));
                         i = chars.len();
@@ -201,6 +210,7 @@ pub fn clean_source(src: &str) -> CleanFile {
     CleanFile {
         lines,
         suppressions,
+        hot_markers,
     }
 }
 
@@ -357,6 +367,13 @@ mod tests {
         let s = &clean.suppressions[0];
         assert!(s.standalone);
         assert_eq!(s.rules.len(), 2);
+    }
+
+    #[test]
+    fn parses_hot_markers_trailing_and_standalone() {
+        let src = "// fbd-lint::hot\nfn tight() {}\npub fn also_tight() { // fbd-lint::hot\n}\n// fbd-lint::hotspot is not a marker\n";
+        let clean = clean_source(src);
+        assert_eq!(clean.hot_markers, vec![1, 3]);
     }
 
     #[test]

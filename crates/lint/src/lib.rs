@@ -1,7 +1,8 @@
 //! `fbd-lint` — workspace-wide invariant checker for FBDetect.
 //!
-//! Enforces three families of domain rules the Rust compiler and clippy
-//! cannot express (see `DESIGN.md` § "Static invariants"):
+//! Enforces four families of domain rules the Rust compiler and clippy
+//! cannot express (see `DESIGN.md` § "Static invariants" and
+//! § "Concurrency discipline"):
 //!
 //! * **panic-freedom** (`no-panic`) — the crates that run under the scan
 //!   supervisor's `catch_unwind` must return errors, not panic;
@@ -10,7 +11,14 @@
 //!   `total_cmp`);
 //! * **determinism** (`hash-order`, `nondet-source`) — no hash-ordered
 //!   collections feeding serialized output, no wall clocks or OS entropy in
-//!   the seed-deterministic fleet simulation.
+//!   the seed-deterministic fleet simulation;
+//! * **concurrency discipline** (`lock-order`, `guard-across-blocking`,
+//!   `counted-loss`, `hot-path-alloc`) — lock acquisitions follow the
+//!   ranks in `LOCK_ORDER.manifest` (the same hierarchy `fbd-sync`
+//!   validates at runtime in debug builds), no guard is held across a
+//!   blocking channel op or a cross-crate lock-taking call, every
+//!   point-shedding site increments a loss counter, and functions marked
+//!   `// fbd-lint::hot` stay allocation-free.
 //!
 //! Violations are muted case by case with
 //! `// fbd-lint::allow(rule-name): reason`; the reason is mandatory and
@@ -32,5 +40,5 @@ pub mod rules;
 
 pub use context::{FileContext, FileKind};
 pub use diagnostics::{to_json, Diagnostic};
-pub use engine::{check_file, run_workspace};
+pub use engine::{check_file, run_workspace, run_workspace_with_threads};
 pub use rules::{all_rules, Rule};

@@ -1,7 +1,7 @@
 //! CLI for `fbd-lint`.
 //!
 //! ```text
-//! fbd-lint [--root PATH] [--json] [--list-rules]
+//! fbd-lint [--root PATH] [--json] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error —
@@ -12,12 +12,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fbd_lint::rules::explain_engine_rule;
 use fbd_lint::{all_rules, run_workspace, to_json};
 
 struct Options {
     root: PathBuf,
     json: bool,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -25,6 +27,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: PathBuf::from("."),
         json: false,
         list_rules: false,
+        explain: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -38,14 +41,41 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--root requires a path".to_string())?;
                 opts.root = PathBuf::from(path);
             }
+            "--explain" => {
+                i += 1;
+                let rule = args
+                    .get(i)
+                    .ok_or_else(|| "--explain requires a rule name (see --list-rules)".to_string())?;
+                opts.explain = Some(rule.clone());
+            }
             "--help" | "-h" => {
-                return Err("usage: fbd-lint [--root PATH] [--json] [--list-rules]".to_string())
+                return Err(
+                    "usage: fbd-lint [--root PATH] [--json] [--list-rules] [--explain RULE]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
         i += 1;
     }
     Ok(opts)
+}
+
+/// Prints the rationale and fix pattern for one rule; exit 2 on an unknown
+/// name so typos don't read as success.
+fn explain(name: &str) -> ExitCode {
+    for rule in all_rules() {
+        if rule.name() == name {
+            println!("{name}: {}\n\n{}", rule.description(), rule.explain());
+            return ExitCode::SUCCESS;
+        }
+    }
+    if let Some(text) = explain_engine_rule(name) {
+        println!("{name} (engine rule)\n\n{text}");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("fbd-lint: unknown rule `{name}` (see --list-rules)");
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
@@ -57,6 +87,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(name) = &opts.explain {
+        return explain(name);
+    }
 
     if opts.list_rules {
         for rule in all_rules() {

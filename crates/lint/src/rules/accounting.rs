@@ -1,0 +1,226 @@
+//! `counted-loss`: every point-shedding site must count what it sheds.
+//!
+//! The ingest front-end's ground rule (PR 6, `IngestStats::is_accounted`)
+//! is that a submitted point either lands in the store or lands in exactly
+//! one loss counter — never vanishes. The runtime half is the proptest
+//! `chaotic_input_never_panics_and_accounts_every_point`; this rule is the
+//! static half: at every site that can drop data (a failed channel send, a
+//! shed via `try_recv`, a `TrySendError`/`SendError` match arm), the block
+//! handling the loss must increment an atomic counter (`.fetch_add(`), or
+//! carry a reasoned `fbd-lint::allow(counted-loss)`.
+//!
+//! Loss sites are recognized by token: `.try_recv()`, `SendError(`,
+//! `TrySendError::Full(`, `TrySendError::Disconnected(`, and
+//! `.is_err()` applied to a `send`/`try_send` in the same statement. The
+//! "same block" is the first `{ .. }` opened at or after the loss token
+//! (the match arm or `if` body that handles it); a brace-less handler is
+//! checked to the end of its statement.
+
+use super::{token_starts, Rule, Sink};
+use crate::context::{FileContext, FileKind};
+use crate::lexer::CleanFile;
+
+/// Tokens that introduce a potential point-loss site.
+const LOSS_TOKENS: &[&str] = &[
+    ".try_recv()",
+    "SendError(",
+    "TrySendError::Full(",
+    "TrySendError::Disconnected(",
+];
+
+/// Crates under the accounting invariant: the ingest front-end and the
+/// core pipeline it feeds.
+const ACCOUNTED_CRATES: &[&str] = &["fbd-ingest", "fbdetect-core"];
+
+pub struct CountedLoss;
+
+impl Rule for CountedLoss {
+    fn name(&self) -> &'static str {
+        "counted-loss"
+    }
+
+    fn description(&self) -> &'static str {
+        "every shed/drop site in the ingest path must increment a loss \
+         counter in the same block (IngestStats::is_accounted)"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Why: FBDetect monitors production by subtraction — what arrived minus \
+what was detected must equal what was counted as shed, quarantined, or \
+errored. A single drop site that forgets its counter silently breaks \
+`IngestStats::is_accounted`, and the proptests only catch it if the fuzzer \
+happens to drive that branch. This rule makes the accounting invariant \
+static: the branch cannot exist without its counter.\n\
+\n\
+How it checks: loss sites are found by token — `.try_recv()` sheds, \
+`SendError(`/`TrySendError::Full(`/`TrySendError::Disconnected(` match \
+arms, and `.is_err()` applied to a `send`/`try_send` in the same \
+statement. The handler block (the first `{ .. }` opened at or after the \
+token) must contain an atomic `.fetch_add(`.\n\
+\n\
+Fix pattern: count the loss where it happens — \
+`self.counters.shed_points.fetch_add(points, Ordering::Relaxed);` inside \
+the same arm or `if` body — and fold the counter into \
+`IngestStats::is_accounted`. If the site provably loses nothing (e.g. the \
+value is re-queued), say so with \
+`// fbd-lint::allow(counted-loss): <why no points are lost>`."
+    }
+
+    fn applies_to(&self, ctx: &FileContext) -> bool {
+        ctx.kind == FileKind::Lib && ACCOUNTED_CRATES.contains(&ctx.crate_name.as_str())
+    }
+
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {
+        let flat = clean.lines.join("\n");
+        // Byte offset where each 0-based line starts in `flat`.
+        let mut line_starts = vec![0usize];
+        for line in &clean.lines {
+            let last = *line_starts.last().unwrap_or(&0);
+            line_starts.push(last + line.len() + 1);
+        }
+        let line_of = |off: usize| match line_starts.binary_search(&off) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+
+        let mut events: Vec<usize> = Vec::new();
+        for (idx, line) in clean.lines.iter().enumerate() {
+            if ctx.is_test_line(idx) {
+                continue;
+            }
+            let base = line_starts[idx];
+            for needle in LOSS_TOKENS {
+                for at in token_starts(line, needle) {
+                    events.push(base + at);
+                }
+            }
+            for at in token_starts(line, ".is_err()") {
+                let off = base + at;
+                // A send result checked with `.is_err()` discards the
+                // unsent value: scan back to the statement start for the
+                // send that produced it.
+                let stmt_start = flat[..off].rfind(';').map(|p| p + 1).unwrap_or(0);
+                let span = &flat[stmt_start..off];
+                if span.contains(".send(") || span.contains(".try_send(") {
+                    events.push(off);
+                }
+            }
+        }
+
+        for off in events {
+            if !loss_is_counted(&flat, off) {
+                sink.push(
+                    line_of(off),
+                    self.name(),
+                    "uncounted loss site: the block handling this shed/drop must \
+                     `.fetch_add(` a loss counter (IngestStats::is_accounted) or carry \
+                     `fbd-lint::allow(counted-loss): reason`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// True when the handler window for the loss token at `off` contains an
+/// atomic counter increment. The window is the first brace block opened at
+/// or after `off` (before the statement ends); with no block, the rest of
+/// the statement.
+fn loss_is_counted(flat: &str, off: usize) -> bool {
+    let bytes = flat.as_bytes();
+    let mut i = off;
+    let open = loop {
+        match bytes.get(i) {
+            None => return false,
+            Some(b'{') => break Some(i),
+            Some(b';') => break None,
+            Some(_) => i += 1,
+        }
+    };
+    let window = match open {
+        Some(start) => {
+            let mut depth = 0usize;
+            let mut j = start;
+            loop {
+                match bytes.get(j) {
+                    None => break &flat[start..],
+                    Some(b'{') => depth += 1,
+                    Some(b'}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break &flat[start..=j];
+                        }
+                    }
+                    Some(_) => {}
+                }
+                j += 1;
+            }
+        }
+        None => &flat[off..i],
+    };
+    window.contains(".fetch_add(")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::lexer::clean_source;
+
+    fn run_on(src: &str, rel: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        let clean = clean_source(src);
+        let ctx = FileContext::classify(rel, &clean);
+        let mut sink = Sink::new(rel);
+        if CountedLoss.applies_to(&ctx) {
+            CountedLoss.check(&clean, &ctx, &mut sink);
+        }
+        sink.diags
+    }
+
+    #[test]
+    fn counted_shed_is_clean() {
+        let src = "fn f(&self) {\n    match self.rx.try_recv() {\n        Ok(shed) => {\n            self.counters.shed.fetch_add(shed.points, Ordering::Relaxed);\n        }\n        Err(_) => {}\n    }\n}\n";
+        assert!(run_on(src, "crates/ingest/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn uncounted_try_recv_is_flagged() {
+        let src = "fn f(&self) {\n    match self.rx.try_recv() {\n        Ok(_) => {}\n        Err(_) => {}\n    }\n}\n";
+        let diags = run_on(src, "crates/ingest/src/x.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn send_is_err_with_struct_literal_resolves_across_braces() {
+        // The `{` of the struct literal must not end the backwards scan for
+        // the `.send(` that produced the checked result.
+        let bad = "fn f(&self) {\n    let n = chunk.len();\n    if tx.send(Routed { points: chunk }).is_err() {\n        log();\n    }\n}\n";
+        let diags = run_on(bad, "crates/ingest/src/x.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+        let good = "fn f(&self) {\n    let n = chunk.len();\n    if tx.send(Routed { points: chunk }).is_err() {\n        self.c.lost.fetch_add(n, Ordering::Relaxed);\n    }\n}\n";
+        assert!(run_on(good, "crates/ingest/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn send_error_match_arm_requires_counter() {
+        let src = "fn f(&self) {\n    match tx.send(batch) {\n        Ok(()) => {}\n        Err(SendError(back)) => {\n            drop(back);\n        }\n    }\n}\n";
+        let diags = run_on(src, "crates/ingest/src/x.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn is_err_on_non_send_is_not_a_loss_site() {
+        let src = "fn f(&self) {\n    if decode(buf).is_err() {\n        bail();\n    }\n}\n";
+        assert!(run_on(src, "crates/ingest/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn only_accounted_crates_are_checked() {
+        let src = "fn f(&self) {\n    let _ = self.rx.try_recv();\n}\n";
+        assert!(run_on(src, "crates/fleet/src/x.rs").is_empty());
+        assert_eq!(run_on(src, "crates/ingest/src/x.rs").len(), 1);
+    }
+}

@@ -33,6 +33,22 @@ impl Rule for HashOrder {
          use BTreeMap/BTreeSet or sort explicitly"
     }
 
+    fn explain(&self) -> &'static str {
+        "Why: `HashMap`/`HashSet` iteration order is randomized per process \
+(SipHash keys), and the crates this rule covers build ordered or serialized \
+output — fingerprints, snapshots, wire frames — that must be bit-identical \
+across runs. One `.iter()` over a hash collection on such a path breaks the \
+reproducibility the proptests pin.\n\
+\n\
+How it checks: any `HashMap`/`HashSet` token in the library code of the \
+ordered-output crates is flagged (longer identifiers like `HashMapExt` are \
+not).\n\
+\n\
+Fix pattern: `BTreeMap`/`BTreeSet`, or collect and sort before emitting; a \
+hash map whose order provably never escapes can stay with \
+`// fbd-lint::allow(hash-order): <why order never escapes>`."
+    }
+
     fn applies_to(&self, ctx: &FileContext) -> bool {
         ctx.kind == FileKind::Lib && ORDERED_OUTPUT_CRATES.contains(&ctx.crate_name.as_str())
     }
@@ -81,6 +97,23 @@ impl Rule for NondetSource {
     fn description(&self) -> &'static str {
         "no wall clocks or OS entropy in the seed-deterministic simulation \
          (fbd-fleet) and ingest replay (fbd-ingest) paths"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Why: the fleet simulation and the ingest replay path are \
+seed-deterministic by contract — the same `FleetSpec` seed must produce the \
+same series bytes forever, and replaying the same batch sequence must yield \
+the same store contents and stats. Wall clocks and OS entropy smuggle \
+nondeterminism into that contract, turning reproducible experiments into \
+unreproducible ones.\n\
+\n\
+How it checks: `Instant::now`, `SystemTime::now`, `thread_rng`, \
+`from_entropy`, `rand::random`, and `RandomState` tokens are flagged in \
+`fbd-fleet` and `fbd-ingest` library code.\n\
+\n\
+Fix pattern: derive randomness from the `FleetSpec` seed (split streams per \
+host/series), and thread simulated time (`collected_at`) instead of reading \
+clocks."
     }
 
     fn applies_to(&self, ctx: &FileContext) -> bool {

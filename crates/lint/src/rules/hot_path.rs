@@ -1,0 +1,201 @@
+//! `hot-path-alloc`: no per-call heap allocation in functions marked
+//! `// fbd-lint::hot`.
+//!
+//! The scan engine's round loop (PR 4/5) runs per series per round; an
+//! allocation inside it multiplies across the fleet into exactly the kind
+//! of small regression FBDetect exists to catch. Reused buffers are the
+//! fix — `ScratchVec` checkout from the round arena — and this rule keeps
+//! them that way: inside a function whose declaration is preceded by (or
+//! carries) a `// fbd-lint::hot` marker, `Vec::new(`, `vec![`, and
+//! `.collect` are banned unless the line routes through a scratch buffer
+//! (mentions `scratch`/`Scratch`).
+//!
+//! The marker is an explicit opt-in, so the rule runs on every crate's
+//! library and binary code; a marker with no function to attach to is
+//! itself flagged so markers cannot rot.
+
+use super::{token_starts, Rule, Sink};
+use crate::context::{FileContext, FileKind};
+use crate::lexer::CleanFile;
+
+/// How far below a standalone marker the `fn` may sit (attributes and
+/// doc-stripped lines in between).
+const MARKER_REACH_LINES: usize = 8;
+
+/// `(needle, ident_boundary_needed)` allocation tokens banned in hot fns.
+const BANNED: &[&str] = &["Vec::new(", "vec![", ".collect"];
+
+pub struct HotPathAlloc;
+
+impl Rule for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Vec::new/vec!/collect in functions marked `// fbd-lint::hot` \
+         unless routed through a scratch buffer"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Why: the round loop runs per series per round across the simulated \
+fleet; a Vec allocated inside it is millions of allocator round-trips that \
+show up as exactly the sub-percent regression the paper's subroutine-level \
+attribution exists to catch. PR 5 moved the round loop onto reusable \
+`ScratchVec` buffers checked out of a per-round arena; this rule stops new \
+allocations from creeping back in.\n\
+\n\
+How it checks: `// fbd-lint::hot` on (or up to 8 lines above) a `fn` marks \
+its body; within the body, `Vec::new(`, `vec![`, and `.collect` are flagged \
+unless the line mentions a scratch buffer (`scratch`/`Scratch`), which is \
+the sanctioned reuse path. A marker with no `fn` in reach is flagged too, \
+so stale markers cannot silently stop guarding anything.\n\
+\n\
+Fix pattern: check a buffer out of the arena (`let buf = scratch.checkout();`) \
+and `extend`/`push` into it instead of collecting; hoist construction out of \
+the hot function to its caller or setup phase; or, if the allocation is \
+genuinely once-per-lifetime, move it out of the marked function so the \
+marker keeps meaning \"allocation-free\"."
+    }
+
+    fn applies_to(&self, ctx: &FileContext) -> bool {
+        matches!(ctx.kind, FileKind::Lib | FileKind::Bin)
+    }
+
+    fn check(&self, clean: &CleanFile, ctx: &FileContext, sink: &mut Sink) {
+        for &marker in &clean.hot_markers {
+            let start = marker - 1; // to 0-based
+            let fn_line = (start..clean.lines.len().min(start + MARKER_REACH_LINES))
+                .find(|&i| !token_starts(&clean.lines[i], "fn ").is_empty());
+            let fn_line = match fn_line {
+                Some(l) => l,
+                None => {
+                    sink.push(
+                        start,
+                        self.name(),
+                        format!(
+                            "dangling `fbd-lint::hot` marker: no `fn` within {MARKER_REACH_LINES} \
+                             lines; attach it to the function it guards"
+                        ),
+                    );
+                    continue;
+                }
+            };
+            let Some((body_start, body_end)) = body_range(clean, fn_line) else {
+                continue;
+            };
+            for idx in body_start..=body_end.min(clean.lines.len().saturating_sub(1)) {
+                if ctx.is_test_line(idx) {
+                    continue;
+                }
+                let line = &clean.lines[idx];
+                if line.contains("scratch") || line.contains("Scratch") {
+                    continue;
+                }
+                for needle in BANNED {
+                    if !token_starts(line, needle).is_empty() {
+                        sink.push(
+                            idx,
+                            self.name(),
+                            format!(
+                                "`{needle}..` allocates inside a `fbd-lint::hot` function; \
+                                 route through ScratchVec or hoist out of the hot path"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 0-based inclusive line range of the brace-delimited body of the `fn`
+/// declared on `fn_line` (the signature may span several lines).
+fn body_range(clean: &CleanFile, fn_line: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    let mut opened = false;
+    let mut start = fn_line;
+    for idx in fn_line..clean.lines.len() {
+        for ch in clean.lines[idx].chars() {
+            match ch {
+                '{' => {
+                    if !opened {
+                        opened = true;
+                        start = idx;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        return Some((start, idx));
+                    }
+                }
+                // A declaration-only `fn` (trait method) ends without a body.
+                ';' if !opened => return None,
+                _ => {}
+            }
+        }
+        // Don't chase a signature forever if the file is truncated.
+        if !opened && idx > fn_line + MARKER_REACH_LINES {
+            return None;
+        }
+    }
+    opened.then_some((start, clean.lines.len().saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::lexer::clean_source;
+
+    fn run_on(src: &str, rel: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        let clean = clean_source(src);
+        let ctx = FileContext::classify(rel, &clean);
+        let mut sink = Sink::new(rel);
+        if HotPathAlloc.applies_to(&ctx) {
+            HotPathAlloc.check(&clean, &ctx, &mut sink);
+        }
+        sink.diags
+    }
+
+    #[test]
+    fn allocation_in_marked_fn_is_flagged() {
+        let src = "// fbd-lint::hot\nfn step(&mut self) {\n    let v: Vec<u64> = Vec::new();\n    let w = xs.iter().map(|x| x + 1).collect::<Vec<_>>();\n}\n";
+        let diags = run_on(src, "crates/stats/src/x.rs");
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[1].line, 4);
+    }
+
+    #[test]
+    fn unmarked_fn_is_untouched_and_scratch_lines_exempt() {
+        let src = "fn cold() {\n    let v = vec![1, 2];\n}\n// fbd-lint::hot\nfn hot(&mut self, scratch: &mut ScratchArena) {\n    let mut buf = scratch.checkout();\n    buf.extend(xs.iter().map(|x| x + 1));\n}\n";
+        assert!(run_on(src, "crates/stats/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn trailing_marker_on_fn_line_works() {
+        let src = "fn hot(&mut self) { // fbd-lint::hot\n    let v = vec![0u8; 16];\n}\n";
+        let diags = run_on(src, "crates/stats/src/x.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn dangling_marker_is_flagged() {
+        let src = "// fbd-lint::hot\nconst N: usize = 4;\n";
+        let diags = run_on(src, "crates/stats/src/x.rs");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("dangling"));
+    }
+
+    #[test]
+    fn marker_reaches_past_attributes() {
+        let src = "// fbd-lint::hot\n#[inline]\n#[must_use]\npub fn step(x: u64) -> u64 {\n    let v: Vec<u64> = Vec::new();\n    x\n}\n";
+        let diags = run_on(src, "crates/stats/src/x.rs");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 5);
+    }
+}

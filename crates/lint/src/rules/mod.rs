@@ -7,7 +7,10 @@
 //! applies suppression comments afterwards — rules themselves stay oblivious
 //! to both.
 
+pub mod accounting;
+pub mod concurrency;
 pub mod determinism;
+pub mod hot_path;
 pub mod nan_safety;
 pub mod panic_freedom;
 
@@ -46,6 +49,10 @@ pub trait Rule {
     fn name(&self) -> &'static str;
     /// One-line description for `--list-rules` and docs.
     fn description(&self) -> &'static str;
+    /// Multi-paragraph rationale and fix pattern for `--explain <rule>`:
+    /// why the invariant exists, how the check works, and what to write
+    /// instead.
+    fn explain(&self) -> &'static str;
     /// Whether this rule runs on the given file at all.
     fn applies_to(&self, ctx: &FileContext) -> bool;
     /// Scans the file and reports violations.
@@ -61,7 +68,33 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(nan_safety::PartialCmpUnwrap),
         Box::new(determinism::HashOrder),
         Box::new(determinism::NondetSource),
+        Box::new(concurrency::LockOrder),
+        Box::new(concurrency::GuardAcrossBlocking),
+        Box::new(accounting::CountedLoss),
+        Box::new(hot_path::HotPathAlloc),
     ]
+}
+
+/// `--explain` text for the rules the engine itself emits.
+pub fn explain_engine_rule(name: &str) -> Option<&'static str> {
+    match name {
+        "bad-suppression" => Some(
+            "Why: a suppression is a standing exception to an invariant, so it must \
+say which rule it excepts and why the exception is safe — otherwise allows \
+accumulate that nobody can audit.\n\
+\n\
+Fix pattern: `// fbd-lint::allow(rule-name): reason`, naming a real rule \
+and carrying a non-empty reason.",
+        ),
+        "unused-suppression" => Some(
+            "Why: a suppression that matches no diagnostic is dead weight — the code \
+it excused has changed, and leaving it mutes a future violation on that \
+line silently.\n\
+\n\
+Fix pattern: delete the stale `fbd-lint::allow` comment.",
+        ),
+        _ => None,
+    }
 }
 
 /// Rule names the engine itself emits (suppression hygiene); kept here so

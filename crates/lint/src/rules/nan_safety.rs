@@ -30,6 +30,22 @@ impl Rule for FloatEq {
          compare with tolerance, total_cmp, or suppress with a reason"
     }
 
+    fn explain(&self) -> &'static str {
+        "Why: detector code computes with NaN-capable values (production samples \
+include NaN and Inf by design); `==`/`!=` on floats is NaN-unsafe (NaN != NaN), \
+treats `-0.0 == 0.0`, and silently breaks once accumulated rounding shifts a \
+value by one ulp. Regression verdicts must not flip on either effect.\n\
+\n\
+How it checks: `==`/`!=` is flagged when either operand visibly denotes a \
+float — a literal (`0.5`), `f64::`/`f32::` constants, `as f64` casts, or \
+typed suffixes — scanning operands only to the nearest expression boundary.\n\
+\n\
+Fix pattern: compare with an explicit tolerance, use `total_cmp` for \
+ordering, or — for exact-zero guards and golden-value pins, the two \
+legitimate uses — keep the comparison and justify it with \
+`// fbd-lint::allow(float-eq): <why exactness is intended>`."
+    }
+
     fn applies_to(&self, ctx: &FileContext) -> bool {
         ctx.kind == FileKind::Lib && ctx.crate_name != "fbd-lint"
     }
@@ -100,6 +116,20 @@ impl Rule for PartialCmpUnwrap {
 
     fn description(&self) -> &'static str {
         "no .partial_cmp(..).unwrap()/.expect(..) — panics on NaN; use total_cmp"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Why: `partial_cmp` returns `None` the moment a NaN reaches it, so \
+`.partial_cmp(..).unwrap()` is a panic wired to the first NaN in a sort key — \
+and production samples contain NaN by design. `f64::total_cmp` gives the \
+same order on non-NaN data, totally orders NaN, never panics, and is \
+deterministic.\n\
+\n\
+How it checks: `.partial_cmp(` followed by `.unwrap()` or `.expect(` within \
+the same statement (rustfmt line wrapping included) is flagged.\n\
+\n\
+Fix pattern: `a.total_cmp(b)` in comparators; `partial_cmp(..).unwrap_or(..)` \
+where a NaN-default is genuinely correct."
     }
 
     fn applies_to(&self, ctx: &FileContext) -> bool {

@@ -45,6 +45,24 @@ impl Rule for NoPanic {
          (runs under the scan supervisor's catch_unwind)"
     }
 
+    fn explain(&self) -> &'static str {
+        "Why: the scan supervisor isolates per-series panics with `catch_unwind`, \
+but a panic still aborts that series' scan, poisons its diagnosis, and lands \
+it in quarantine — in production that is a detection gap on exactly the series \
+that exercised the edge case. Crates running under the supervisor return \
+`Result` instead.\n\
+\n\
+How it checks: `.unwrap()`, `.expect(`, and the panicking macros (`panic!`, \
+`unreachable!`, `todo!`, `unimplemented!`, `assert!`/`assert_eq!`/`assert_ne!`) \
+are flagged in supervised library code. `debug_assert!` is permitted: it \
+compiles out of the release builds production runs.\n\
+\n\
+Fix pattern: return an error (`ok_or`, `?`), handle the `None`/`Err` arm, or \
+downgrade the assertion to `debug_assert!`. A truly-unreachable case that is \
+cheaper to unwrap than to thread an error through deserves \
+`// fbd-lint::allow(no-panic): <why it cannot fire>`."
+    }
+
     fn applies_to(&self, ctx: &FileContext) -> bool {
         ctx.kind == FileKind::Lib && SUPERVISED_CRATES.contains(&ctx.crate_name.as_str())
     }

@@ -1,0 +1,90 @@
+//! Output-determinism pins for the parallel engine.
+//!
+//! `run_workspace` fans file checking out across threads; the merged
+//! diagnostics are sorted by a total order and deduplicated, so the
+//! rendered `--json` bytes must be identical for any worker count and
+//! across repeated runs. These tests pin exactly that, over a synthetic
+//! tree dirty enough that several rules fire in several files.
+
+#![allow(clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fbd_lint::{run_workspace_with_threads, to_json};
+
+/// Builds a throwaway workspace with violations across crates and rules.
+fn dirty_tree(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("fbd-lint-determinism-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let files: &[(&str, &str)] = &[
+        (
+            "crates/stats/src/a.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+        (
+            "crates/core/src/b.rs",
+            "fn g(d: f64) -> bool { d == 0.0 }\nuse std::collections::HashMap;\n",
+        ),
+        (
+            "crates/ingest/src/c.rs",
+            "fn h(engine: &E, quarantine: &Q, tx: &S) {\n    let q = quarantine.lock();\n    let e = engine.lock();\n    tx.send(1);\n}\n",
+        ),
+        (
+            "crates/fleet/src/d.rs",
+            "fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+        ),
+        (
+            "crates/tsdb/src/e.rs",
+            "// fbd-lint::hot\nfn hot() { let v: Vec<u8> = Vec::new(); drop(v); }\n",
+        ),
+    ];
+    for (rel, src) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(&path, src).expect("write fixture file");
+    }
+    root
+}
+
+fn json_for(root: &Path, threads: usize) -> String {
+    let diags = run_workspace_with_threads(root, threads).expect("workspace walk succeeds");
+    to_json(&diags)
+}
+
+#[test]
+fn json_output_is_byte_identical_across_thread_counts_and_runs() {
+    let root = dirty_tree("threads");
+    let single = json_for(&root, 1);
+    assert!(
+        single.contains("no-panic")
+            && single.contains("float-eq")
+            && single.contains("hash-order")
+            && single.contains("lock-order")
+            && single.contains("guard-across-blocking")
+            && single.contains("nondet-source")
+            && single.contains("hot-path-alloc"),
+        "dirty tree should trip many rules, got:\n{single}"
+    );
+    for threads in [2, 4, 8] {
+        let parallel = json_for(&root, threads);
+        assert_eq!(
+            single, parallel,
+            "--json bytes diverged between 1 and {threads} worker threads"
+        );
+    }
+    let rerun = json_for(&root, 8);
+    assert_eq!(single, rerun, "--json bytes diverged across repeated runs");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn diagnostics_are_ordered_by_file_line_rule() {
+    let root = dirty_tree("order");
+    let diags = run_workspace_with_threads(&root, 4).expect("workspace walk succeeds");
+    let keys: Vec<_> = diags.iter().map(|d| d.sort_key()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostics must come out pre-sorted");
+    let _ = fs::remove_dir_all(&root);
+}

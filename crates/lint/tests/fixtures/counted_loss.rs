@@ -1,0 +1,36 @@
+//@ path: crates/ingest/src/loss_fixture.rs
+//! Known-bad input for `counted-loss`: shed and drop sites whose handler
+//! blocks never increment a loss counter.
+
+pub fn uncounted_shed(rx: &Receiver<Pending>) {
+    match rx.try_recv() {
+        Ok(_) => {}
+        Err(_) => {}
+    }
+}
+
+pub fn uncounted_try_send(tx: &Sender<Chunk>, chunk: Chunk) {
+    match tx.try_send(chunk) {
+        Ok(()) => {}
+        Err(TrySendError::Full(back)) => {
+            drop(back);
+        }
+        Err(TrySendError::Disconnected(back)) => {
+            drop(back);
+        }
+    }
+}
+
+pub fn uncounted_send_check(tx: &Sender<Routed>, chunk: Chunk) {
+    let points = chunk.len() as u64;
+    if tx.send(Routed { points: chunk }).is_err() {
+        log_drop(points);
+    }
+}
+
+pub fn counted_send_check(counters: &Counters, tx: &Sender<Routed>, chunk: Chunk) {
+    let points = chunk.len() as u64;
+    if tx.send(Routed { points: chunk }).is_err() {
+        counters.internal_error_points.fetch_add(points, Ordering::Relaxed);
+    }
+}

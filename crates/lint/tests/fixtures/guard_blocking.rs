@@ -1,0 +1,25 @@
+//@ path: crates/ingest/src/blocking_fixture.rs
+//! Known-bad input for `guard-across-blocking`: a guard held across a
+//! channel send, across a recv, and across a cross-crate lock-taking call.
+
+pub fn send_under_guard(engine: &OrderedMutex<Engine>, tx: &Sender<u64>) {
+    let engine = engine.lock(); // ingest-engine, rank 10
+    let _ = tx.send(engine.series_seen); // blocking send with guard live
+}
+
+pub fn recv_under_guard(quarantine: &OrderedMutex<Quarantine>, rx: &Receiver<u64>) {
+    let quarantine = quarantine.lock(); // rank 20
+    while let Ok(n) = rx.recv() {
+        quarantine.note(n); // guard live across every blocking recv
+    }
+}
+
+pub fn enter_store_under_high_guard(progress: &Progress, store: &TsdbStore) -> u64 {
+    let state = progress.state.lock(); // ingest-progress, rank 60
+    store.series_count() + state.0 // enters store-shard (rank 40): inversion
+}
+
+pub fn nonblocking_is_fine(engine: &OrderedMutex<Engine>, tx: &Sender<u64>) {
+    let engine = engine.lock();
+    let _ = tx.try_send(engine.series_seen); // try_send never blocks: clean
+}

@@ -1,0 +1,25 @@
+//@ path: crates/stats/src/hot_fixture.rs
+//! Known-bad input for `hot-path-alloc`: allocations inside marked
+//! functions, a sanctioned scratch path, and a dangling marker.
+
+// fbd-lint::hot
+pub fn bad_step(xs: &[u64]) -> u64 {
+    let mut out: Vec<u64> = Vec::new();
+    out.extend(xs.iter().map(|x| x + 1));
+    let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+    out.len() as u64 + doubled.len() as u64
+}
+
+// fbd-lint::hot
+pub fn good_step(xs: &[u64], scratch: &mut ScratchArena) -> u64 {
+    let mut buf = scratch.checkout();
+    buf.extend(xs.iter().map(|x| x + 1));
+    buf.len() as u64
+}
+
+pub fn cold() -> Vec<u64> {
+    vec![1, 2, 3]
+}
+
+// fbd-lint::hot
+pub const NOT_A_FN: usize = 8;

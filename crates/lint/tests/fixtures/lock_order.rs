@@ -1,0 +1,33 @@
+//@ path: crates/core/src/lock_fixture.rs
+//! Known-bad input for `lock-order`: a rank inversion, an equal-rank
+//! re-acquisition, an undeclared receiver, and a raw lock type.
+
+pub fn inverted(state: &ScanState, cache: &ScanCache) {
+    let inner = cache.inner.lock(); // scan-cache, rank 50
+    let shard = state.shards[0].lock(); // engine-shard, rank 30: inversion
+    drop(shard);
+    drop(inner);
+}
+
+pub fn equal_rank(state: &ScanState) {
+    let a = state.shards[0].lock();
+    let b = state.shards[1].lock(); // same rank while held: inversion
+    drop(b);
+    drop(a);
+}
+
+pub fn undeclared(mystery: &Thing) {
+    let guard = mystery.lock(); // receiver not in LOCK_ORDER.manifest
+    drop(guard);
+}
+
+pub struct Raw {
+    level: Mutex<u32>, // raw lock type in a ranked crate
+}
+
+pub fn legal(state: &ScanState, cache: &ScanCache) {
+    let shard = state.shards[0].lock(); // rank 30 then 50: ascending, clean
+    let inner = cache.inner.lock();
+    drop(inner);
+    drop(shard);
+}

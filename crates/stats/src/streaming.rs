@@ -106,6 +106,7 @@ impl RollingStats {
 
     /// Appends one sample at the next absolute index. O(1) amortized: a
     /// completed block is sealed by one pass over its `BLOCK` samples.
+    // fbd-lint::hot
     pub fn append(&mut self, value: f64) {
         if self.pivot.is_none() && value.is_finite() {
             self.pivot = Some(value);

@@ -6,7 +6,7 @@ use crate::window::{
     extract_windows, snapshot_bounds, windows_from_points, WindowConfig, WindowedData,
 };
 use crate::{Result, TsdbError};
-use parking_lot::RwLock;
+use fbd_sync::{LockDomain, OrderedRwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -214,7 +214,10 @@ impl Shard {
 /// enforced without scanning.
 #[derive(Debug)]
 pub struct TsdbStore {
-    shards: Vec<RwLock<Shard>>,
+    /// Ranked `store-shard` in `LOCK_ORDER.manifest`: acquired under an
+    /// engine-shard guard by the streaming round driver, never the other
+    /// way around.
+    shards: Vec<OrderedRwLock<Shard>>,
     config: StoreConfig,
 }
 
@@ -235,7 +238,9 @@ impl TsdbStore {
     /// Creates an empty store with an explicit storage policy.
     pub fn with_config(config: StoreConfig) -> Self {
         TsdbStore {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| OrderedRwLock::new(LockDomain::StoreShard, Shard::default()))
+                .collect(),
             config,
         }
     }
@@ -281,7 +286,7 @@ impl TsdbStore {
         Self::shard_index(id)
     }
 
-    fn shard(&self, id: &SeriesId) -> &RwLock<Shard> {
+    fn shard(&self, id: &SeriesId) -> &OrderedRwLock<Shard> {
         &self.shards[Self::shard_index(id)]
     }
 
@@ -389,12 +394,8 @@ impl TsdbStore {
 
     /// Returns a clone of the series, or an error if absent.
     pub fn get(&self, id: &SeriesId) -> Result<TimeSeries> {
-        self.shard(id)
-            .read()
-            .map
-            .get(id)
-            .cloned()
-            .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))
+        let shard = self.shard(id).read();
+        shard.map.get(id).cloned().ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))
     }
 
     /// Runs a closure against a borrowed series under the shard read lock,
@@ -424,7 +425,7 @@ impl TsdbStore {
         let mut ids: Vec<SeriesId> = self
             .shards
             .iter()
-            .flat_map(|s| s.read().map.keys().cloned().collect::<Vec<_>>())
+            .flat_map(|shard| shard.read().map.keys().cloned().collect::<Vec<_>>())
             .collect();
         ids.sort();
         ids
@@ -435,8 +436,9 @@ impl TsdbStore {
         let mut ids: Vec<SeriesId> = self
             .shards
             .iter()
-            .flat_map(|s| {
-                s.read()
+            .flat_map(|shard| {
+                let shard = shard.read();
+                shard
                     .map
                     .keys()
                     .filter(|id| id.service == service)
@@ -450,7 +452,7 @@ impl TsdbStore {
 
     /// Number of stored series.
     pub fn series_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().map.len()).sum()
+        self.shards.iter().map(|shard| shard.read().map.len()).sum()
     }
 
     /// Storage statistics, one entry per shard. The walk recomputes the
@@ -461,8 +463,8 @@ impl TsdbStore {
         let shards = self
             .shards
             .iter()
-            .map(|s| {
-                let shard = s.read();
+            .map(|shard| {
+                let shard = shard.read();
                 let mut out = ShardStats {
                     series: shard.map.len(),
                     resident_bytes: shard.resident_bytes,

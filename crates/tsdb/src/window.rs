@@ -327,6 +327,7 @@ pub fn windows_from_points(
 /// [`windows_from_points`] with a caller-provided value buffer, so a
 /// steady-state scan loop can reuse one allocation per series across rounds.
 /// The buffer is cleared before use; its capacity is preserved.
+// fbd-lint::hot
 pub fn windows_from_points_into(
     points: &[DataPoint],
     config: &WindowConfig,
