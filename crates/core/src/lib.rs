@@ -34,6 +34,7 @@ pub mod error;
 pub mod known_changes;
 pub mod long_term;
 pub mod pipeline;
+pub mod profile;
 pub mod quarantine;
 pub mod report;
 pub mod root_cause;
@@ -47,8 +48,9 @@ pub mod went_away;
 pub use config::{DetectorConfig, Threshold};
 pub use error::DetectError;
 pub use pipeline::{Pipeline, ScanBudget, ScanContext, ScanOutcome};
+pub use profile::{StageNanos, StageProfile};
 pub use quarantine::{FaultKind, Quarantine, QuarantineConfig};
-pub use scan_state::{EngineStats, StreamingEngine};
+pub use scan_state::{EngineStats, OnlinePolicy, StreamingEngine};
 pub use types::{FunnelCounters, Regression, RegressionKind, ScanHealth};
 
 /// Convenience alias used by fallible routines in this crate.

@@ -25,6 +25,68 @@ use fbd_stats::regression::linear_fit;
 use fbd_stats::stl::{decompose, StlConfig};
 use fbd_tsdb::{SeriesId, Timestamp, WindowedData};
 
+/// Loess window fraction of the no-seasonality trend fallback. Every site
+/// that smooths or bounds the fallback trend (the full smooth in
+/// `detect_inner`/[`ScanCache::trend`], the four edge-region means in
+/// [`LongTermDetector::detect_streaming`], and the pre-filter dilation)
+/// must use this one constant or the pre-filter's conservativeness proof
+/// breaks.
+pub(crate) const TREND_FRACTION: f64 = 0.1;
+
+/// Geometry shared by the trend pre-filter and its online replica in the
+/// streaming engine: the four sliding-mean regions the detector's decision
+/// reduces to, the sliding-window width, and the dilation that covers the
+/// widest Loess half-window either trend path can use. The replica must
+/// evaluate *identical* regions for its refutation to imply the cold
+/// pre-filter's, so both construct the geometry here.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrefilterGeometry {
+    /// Sliding-mean window width (the detector's region width).
+    pub edge: usize,
+    /// Region dilation on each side, covering the Loess half-window.
+    pub dilation: usize,
+    /// `[start_of_historic, start_of_analysis, end_of_analysis,
+    /// end_of_series]` as half-open index ranges into the window buffer.
+    pub regions: [(usize, usize); 4],
+}
+
+/// Builds the pre-filter geometry for an `n`-point window, or `None` when
+/// the pre-filter must not run (analysis region too short to bound, or the
+/// sliding window would not fit the data).
+pub(crate) fn prefilter_geometry(
+    n: usize,
+    h_len: usize,
+    a_len: usize,
+    max_period: usize,
+) -> Option<PrefilterGeometry> {
+    if a_len < 4 {
+        return None;
+    }
+    let edge = (a_len / 4).max(2).min(a_len);
+    if edge > n {
+        return None;
+    }
+    // Widest Loess half-window either trend path can use: the fallback
+    // smooths with window `ceil(TREND_FRACTION·n)`, and the STL trend for
+    // period p uses window `(3p).div_ceil(2) | 1` — STL only runs when
+    // `n >= 2p`, so p is capped at `min(max_period, n/2)`.
+    let fallback_half = ((TREND_FRACTION * n as f64).ceil() as usize) / 2;
+    let p_max = max_period.min(n / 2);
+    let stl_half = ((3 * p_max).div_ceil(2) | 1) / 2;
+    let dilation = fallback_half.max(stl_half) + 1;
+    let analysis_end = (h_len + a_len).min(n);
+    Some(PrefilterGeometry {
+        edge,
+        dilation,
+        regions: [
+            (0, edge.min(h_len).max(1)),
+            (h_len, (h_len + edge).min(n)),
+            (analysis_end.saturating_sub(edge), analysis_end),
+            (n.saturating_sub(edge), n),
+        ],
+    })
+}
+
 /// The long-term regression detector.
 #[derive(Debug, Clone)]
 pub struct LongTermDetector {
@@ -111,37 +173,22 @@ impl LongTermDetector {
         a_len: usize,
         extended_len: usize,
     ) -> bool {
-        if a_len < 4 {
-            return false;
-        }
         // `validated` rejects non-finite data, so error paths still reach
         // the full detector.
         let Ok(prefix) = fbd_stats::prefix::validated(data, 16) else {
             return false;
         };
         let n = data.len();
-        let edge = (a_len / 4).max(2).min(a_len);
-        if edge > n {
+        let Some(geo) = prefilter_geometry(n, h_len, a_len, self.max_period) else {
             return false;
-        }
-        // Widest Loess half-window either trend path can use (the
-        // no-seasonality fallback smooths with fraction 0.3; STL uses 0.25).
-        let dilation = ((0.3 * n as f64).ceil() as usize) / 2 + 1;
-        let analysis_end = (h_len + a_len).min(n);
-        let start_hist = sliding_mean_bounds(&prefix, 0, edge.min(h_len).max(1), dilation, edge);
-        let start_anal = sliding_mean_bounds(&prefix, h_len, (h_len + edge).min(n), dilation, edge);
+        };
+        let [start_hist, start_anal, end_anal, end_series] = geo
+            .regions
+            .map(|(lo, hi)| sliding_mean_bounds(&prefix, lo, hi, geo.dilation, geo.edge));
         let baseline_lb = start_hist.0.max(start_anal.0);
-        let end_anal = sliding_mean_bounds(
-            &prefix,
-            analysis_end.saturating_sub(edge),
-            analysis_end,
-            dilation,
-            edge,
-        );
         let current_ub = if extended_len == 0 {
             end_anal.1
         } else {
-            let end_series = sliding_mean_bounds(&prefix, n.saturating_sub(edge), n, dilation, edge);
             end_anal.1.min(end_series.1)
         };
         if !baseline_lb.is_finite() || !current_ub.is_finite() {
@@ -212,7 +259,7 @@ impl LongTermDetector {
         ];
         let mut means = [0.0; 4];
         for (slot, &(lo, hi)) in means.iter_mut().zip(&regions) {
-            match fbd_stats::stl::loess_uniform_range_mean(data, 0.3, lo, hi) {
+            match fbd_stats::stl::loess_uniform_range_mean(data, TREND_FRACTION, lo, hi) {
                 Ok(m) => *slot = m,
                 // Empty region: the full path errors here; reproduce that.
                 Err(_) => return self.detect_inner(series, windows, now, Some(cache)),
@@ -279,7 +326,7 @@ impl LongTermDetector {
             Some(c) => c.trend(series, data, if use_stl { period } else { 0 })?,
             None if use_stl => decompose(data, StlConfig::for_period(period))?.trend,
             // No seasonality: a wide Loess smooth stands in for the trend.
-            None => fbd_stats::stl::loess_smooth_uniform(data, 0.3)?,
+            None => fbd_stats::stl::loess_smooth_uniform(data, TREND_FRACTION)?,
         };
         // Step 2: regression detection on the trend alone.
         let h_len = windows.historic_len();

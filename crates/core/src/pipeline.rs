@@ -24,10 +24,11 @@ use crate::dedup::pairwise_dedup::{MergeRule, PairwiseDedup, RuleCombination};
 use crate::dedup::same_merger::SameRegressionMerger;
 use crate::dedup::som_dedup::{som_dedup, SomDedupConfig};
 use crate::long_term::LongTermDetector;
+use crate::profile::{StageNanos, StageProfile};
 use crate::quarantine::{FaultKind, Quarantine, QuarantineConfig};
 use crate::root_cause::{RcaContext, RootCauseAnalyzer};
 use crate::scan_cache::{self, CacheStats, ScanCache};
-use crate::scan_state::{CachedScan, EngineStats, Prepared, StreamingEngine};
+use crate::scan_state::{CachedScan, EngineStats, OnlinePolicy, Prepared, StreamingEngine};
 use crate::seasonality::SeasonalityDetector;
 use crate::types::{FunnelCounters, Regression, ScanHealth};
 use crate::went_away::WentAwayDetector;
@@ -169,6 +170,10 @@ pub struct Pipeline {
     /// snapshots, statistics, and quiet verdicts); `None` disables it and
     /// every round re-extracts from batched store snapshots.
     streaming: Option<StreamingEngine>,
+    /// Cumulative per-stage wall-time attribution (telemetry only — kept
+    /// out of [`ScanHealth`]/[`FunnelCounters`] so warm-vs-cold scan
+    /// fingerprints stay byte-identical).
+    stage_profile: StageProfile,
     /// Number of detection worker threads.
     pub threads: usize,
 }
@@ -193,7 +198,10 @@ impl Pipeline {
             budget: ScanBudget::default(),
             chaos_hook: None,
             cache: ScanCache::new(),
-            streaming: Some(StreamingEngine::new(config.windows)),
+            streaming: Some(
+                StreamingEngine::new(config.windows).with_online_policy(Self::online_policy(&config)),
+            ),
+            stage_profile: StageProfile::default(),
             threads: 4,
             config,
         })
@@ -241,10 +249,25 @@ impl Pipeline {
     pub fn set_streaming(&mut self, enabled: bool) {
         if enabled {
             if self.streaming.is_none() {
-                self.streaming = Some(StreamingEngine::new(self.config.windows));
+                self.streaming = Some(
+                    StreamingEngine::new(self.config.windows)
+                        .with_online_policy(Self::online_policy(&self.config)),
+                );
             }
         } else {
             self.streaming = None;
+        }
+    }
+
+    /// The Level C online-refuter parameters mirroring the detectors this
+    /// pipeline actually runs, so online refutations are sound against them
+    /// by construction.
+    fn online_policy(config: &DetectorConfig) -> OnlinePolicy {
+        OnlinePolicy {
+            significance: config.significance,
+            threshold: config.threshold,
+            long_term_enabled: config.long_term_enabled,
+            max_period: config.max_seasonal_period,
         }
     }
 
@@ -252,6 +275,18 @@ impl Pipeline {
     /// enabled.
     pub fn streaming_stats(&self) -> Option<EngineStats> {
         self.streaming.as_ref().map(StreamingEngine::stats)
+    }
+
+    /// Cumulative per-stage wall-time totals across every scan so far.
+    /// Benchmarks snapshot this before and after a round and diff with
+    /// [`StageNanos::since`] to attribute that round stage by stage.
+    pub fn stage_profile(&self) -> StageNanos {
+        self.stage_profile.snapshot()
+    }
+
+    /// Zeroes the per-stage wall-time totals.
+    pub fn reset_stage_profile(&self) {
+        self.stage_profile.reset()
     }
 
     /// Installs a fault-injection hook called for every series before
@@ -349,6 +384,10 @@ impl Pipeline {
         }
         let (short, long) = (batch.short, batch.long);
         funnel.change_points = short.len() + long.len();
+        // Serial-stage wall-time attribution for this scan, flushed into
+        // the shared profile at every return site.
+        let mut serial = StageNanos::default();
+        let mut stage_t = Instant::now();
         // --- Stage 2: went-away detection (short-term only). A filter
         // error drops the candidate and quarantines its series. Verdicts
         // are memoized per candidate: on the scheduler cadence an unmoved
@@ -386,6 +425,8 @@ impl Pipeline {
             }
         }
         funnel.after_went_away = kept_short.len() + long.len();
+        serial.went_away = stage_t.elapsed().as_nanos() as u64;
+        stage_t = Instant::now();
         // --- Stage 3: seasonality detection (short-term only). ---
         let mut deseasoned = Vec::with_capacity(kept_short.len());
         for (r, key) in kept_short.into_iter().zip(candidate_keys) {
@@ -414,6 +455,8 @@ impl Pipeline {
             }
         }
         funnel.after_seasonality = deseasoned.len() + long.len();
+        serial.seasonality = stage_t.elapsed().as_nanos() as u64;
+        stage_t = Instant::now();
         // --- Stage 4: threshold filtering (Table 1). ---
         let mut thresholded: Vec<Regression> = deseasoned
             .into_iter()
@@ -424,6 +467,8 @@ impl Pipeline {
         // --- Stage 5: SameRegressionMerger. ---
         thresholded = self.merger.filter_new(thresholded);
         funnel.after_same_merger = thresholded.len();
+        serial.threshold = stage_t.elapsed().as_nanos() as u64;
+        stage_t = Instant::now();
         // --- Budget check: the cheap, high-recall stages are done. If the
         // deadline is already blown, shed the expensive dedup/RCA stages
         // and ship the thresholded candidates as-is (graceful
@@ -440,6 +485,7 @@ impl Pipeline {
             funnel.after_som_dedup = thresholded.len();
             funnel.after_cost_shift = thresholded.len();
             funnel.after_pairwise_dedup = thresholded.len();
+            self.stage_profile.add(&serial);
             return Ok(ScanOutcome {
                 reports: thresholded,
                 funnel,
@@ -491,6 +537,8 @@ impl Pipeline {
                 }
             };
         funnel.after_som_dedup = representatives.len();
+        serial.som_dedup = stage_t.elapsed().as_nanos() as u64;
+        stage_t = Instant::now();
         // --- Stage 7: cost-shift analysis (gCPU regressions only). An
         // analysis error fails open (the regression is kept). ---
         if !context.domain_providers.is_empty() {
@@ -511,6 +559,8 @@ impl Pipeline {
             representatives = kept;
         }
         funnel.after_cost_shift = representatives.len();
+        serial.cost_shift = stage_t.elapsed().as_nanos() as u64;
+        stage_t = Instant::now();
         // --- Stage 8: PairwiseDedup into the accumulated groups. ---
         let corpus: Vec<String> = representatives
             .iter()
@@ -553,6 +603,8 @@ impl Pipeline {
         let new_groups = all_groups.len().saturating_sub(prior_group_count);
         self.existing_groups = all_groups;
         funnel.after_pairwise_dedup = new_groups;
+        serial.pairwise_dedup = stage_t.elapsed().as_nanos() as u64;
+        stage_t = Instant::now();
         // The reports are the representatives of the groups founded in this
         // scan (merged ones were duplicates of known regressions).
         let mut reports: Vec<Regression> = self.existing_groups[prior_group_count..]
@@ -578,6 +630,8 @@ impl Pipeline {
                 }
             }
         }
+        serial.root_cause = stage_t.elapsed().as_nanos() as u64;
+        self.stage_profile.add(&serial);
         Ok(ScanOutcome {
             reports,
             funnel,
@@ -594,6 +648,7 @@ impl Pipeline {
         id: &SeriesId,
         windows: fbd_tsdb::Result<WindowedData>,
         now: Timestamp,
+        prof: &mut StageNanos,
     ) -> SeriesScan {
         let mut windows = match windows {
             Ok(w) => w,
@@ -612,10 +667,13 @@ impl Pipeline {
         }
         let partial = windows.coverage.is_partial(self.budget.min_coverage);
         Self::orient(&mut windows, id.metric);
+        let t = Instant::now();
         let short = match self.change_point.detect(id, &windows, now) {
             Ok(r) => r,
             Err(e) => return SeriesScan::Error(e),
         };
+        prof.short_term += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
         let long = if self.config.long_term_enabled {
             match self.long_term.detect_cached(id, &windows, now, Some(&self.cache)) {
                 Ok(r) => r,
@@ -624,6 +682,7 @@ impl Pipeline {
         } else {
             None
         };
+        prof.long_term += t.elapsed().as_nanos() as u64;
         SeriesScan::Ok(Box::new(SeriesDetections {
             short,
             long,
@@ -642,10 +701,17 @@ impl Pipeline {
         engine: &StreamingEngine,
         id: &SeriesId,
         now: Timestamp,
+        prof: &mut StageNanos,
     ) -> SeriesScan {
-        match engine.prepare(id, self.budget.min_finite_fraction, self.budget.min_coverage) {
+        let t = Instant::now();
+        let prepared = engine.prepare(id, self.budget.min_finite_fraction, self.budget.min_coverage);
+        prof.windowing += t.elapsed().as_nanos() as u64;
+        match prepared {
             Prepared::Fallback => {
-                self.detect_windowed(id, store.windows(id, &self.config.windows, now), now)
+                let t = Instant::now();
+                let windows = store.windows(id, &self.config.windows, now);
+                prof.windowing += t.elapsed().as_nanos() as u64;
+                self.detect_windowed(id, windows, now, prof)
             }
             Prepared::Reuse(outcome) => match outcome {
                 CachedScan::Ok {
@@ -664,6 +730,7 @@ impl Pipeline {
                 // Engine windows are already oriented and passed the
                 // data-quality gate in `prepare`.
                 let partial = windows.coverage.is_partial(self.budget.min_coverage);
+                let t = Instant::now();
                 let short = match self.change_point.detect(id, &windows, now) {
                     Ok(r) => r,
                     Err(e) => {
@@ -671,6 +738,8 @@ impl Pipeline {
                         return SeriesScan::Error(e);
                     }
                 };
+                prof.short_term += t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
                 let long = if self.config.long_term_enabled {
                     match self.long_term.detect_streaming(id, &windows, now, &self.cache) {
                         Ok(r) => r,
@@ -682,12 +751,15 @@ impl Pipeline {
                 } else {
                     None
                 };
+                prof.long_term += t.elapsed().as_nanos() as u64;
                 let outcome = CachedScan::Ok {
                     short: short.clone(),
                     long: long.clone(),
                     partial,
                 };
+                let t = Instant::now();
                 engine.complete(id, token, Some(outcome), windows);
+                prof.complete += t.elapsed().as_nanos() as u64;
                 SeriesScan::Ok(Box::new(SeriesDetections {
                     short,
                     long,
@@ -778,11 +850,16 @@ impl Pipeline {
         // snapshot (one short read-lock hold per shard), so the workers
         // below never touch a shard lock. Each slot is taken exactly once
         // by whichever worker steals its index.
+        let t = Instant::now();
         let snapshots: Vec<OrderedMutex<Option<fbd_tsdb::Result<WindowedData>>>> = store
             .snapshot_windows(series, &self.config.windows, now)
             .into_iter()
             .map(|r| OrderedMutex::new(LockDomain::SnapshotSlot, Some(r)))
             .collect();
+        self.stage_profile.add(&StageNanos {
+            windowing: t.elapsed().as_nanos() as u64,
+            ..StageNanos::default()
+        });
         let next = AtomicUsize::new(0);
         let joined = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -791,10 +868,11 @@ impl Pipeline {
                 let snapshots = &snapshots;
                 handles.push(scope.spawn(move |_| {
                     let mut part = DetectBatch::default();
+                    let mut prof = StageNanos::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&id) = series.get(i) else { break };
-                        let detect = || {
+                        let detect = |prof: &mut StageNanos| {
                             if let Some(hook) = &self.chaos_hook {
                                 hook(id);
                             }
@@ -802,10 +880,15 @@ impl Pipeline {
                                 Some(w) => w,
                                 None => store.windows(id, &self.config.windows, now),
                             };
-                            self.detect_windowed(id, windows, now)
+                            self.detect_windowed(id, windows, now, prof)
                         };
-                        Self::record_scan(&mut part, id, catch_unwind(AssertUnwindSafe(detect)));
+                        Self::record_scan(
+                            &mut part,
+                            id,
+                            catch_unwind(AssertUnwindSafe(|| detect(&mut prof))),
+                        );
                     }
+                    self.stage_profile.add(&prof);
                     part
                 }));
             }
@@ -856,24 +939,28 @@ impl Pipeline {
                 let work = &work;
                 handles.push(scope.spawn(move |_| {
                     let mut part = DetectBatch::default();
+                    let mut prof = StageNanos::default();
                     loop {
                         let w = next.fetch_add(1, Ordering::Relaxed);
                         let Some((shard_idx, ids)) = work.get(w) else { break };
+                        let t = Instant::now();
                         engine.ingest_shard(store, *shard_idx, ids, now);
+                        prof.ingest += t.elapsed().as_nanos() as u64;
                         for &id in ids {
-                            let detect = || {
+                            let detect = |prof: &mut StageNanos| {
                                 if let Some(hook) = &self.chaos_hook {
                                     hook(id);
                                 }
-                                self.detect_one_streaming(store, engine, id, now)
+                                self.detect_one_streaming(store, engine, id, now, prof)
                             };
                             Self::record_scan(
                                 &mut part,
                                 id,
-                                catch_unwind(AssertUnwindSafe(detect)),
+                                catch_unwind(AssertUnwindSafe(|| detect(&mut prof))),
                             );
                         }
                     }
+                    self.stage_profile.add(&prof);
                     part
                 }));
             }

@@ -266,20 +266,24 @@ impl ScanCache {
 
     /// Cached long-term trend: the STL trend for `period >= 2` (via
     /// [`StlConfig::for_period`]), or the wide uniform Loess fallback
-    /// (fraction 0.3) when `period == 0` — mirroring the long-term
-    /// detector's trend selection exactly.
+    /// (fraction [`crate::long_term::TREND_FRACTION`]) when `period == 0`
+    /// — mirroring the long-term detector's trend selection exactly.
+    ///
+    /// The STL case is answered from the [`Self::decomposition`] slot: the
+    /// seasonality filter decomposes the same `(data, period)` later in the
+    /// round, so sharing one slot means one STL run per series per round
+    /// instead of two. The trend slot only holds the Loess fallback.
     pub fn trend(&self, series: &SeriesId, data: &[f64], period: usize) -> Result<Vec<f64>> {
+        if period >= 2 {
+            return Ok(self.decomposition(series, data, period)?.trend);
+        }
         let key = (fingerprint(data), period);
         if let Some(cached) = self.lookup(series, |a| {
             a.trend.as_ref().filter(|(k, _)| *k == key).map(|(_, t)| t.clone())
         }) {
             return Ok(cached);
         }
-        let computed = if period >= 2 {
-            decompose(data, StlConfig::for_period(period))?.trend
-        } else {
-            loess_smooth_uniform(data, 0.3)?
-        };
+        let computed = loess_smooth_uniform(data, crate::long_term::TREND_FRACTION)?;
         self.store(series, |a| a.trend = Some((key, computed.clone())));
         Ok(computed)
     }
@@ -459,7 +463,7 @@ mod tests {
         assert_eq!(cached, direct);
         // Loess fallback path (period 0) — different key, so a miss.
         let cached = cache.trend(&s, &data, 0).unwrap();
-        let direct = loess_smooth_uniform(&data, 0.3).unwrap();
+        let direct = loess_smooth_uniform(&data, crate::long_term::TREND_FRACTION).unwrap();
         for (c, d) in cached.iter().zip(&direct) {
             assert_eq!(c.to_bits(), d.to_bits());
         }

@@ -28,6 +28,22 @@
 //!   faults, empty windows) are reused (*Level B*): a candidate's
 //!   `change_time` depends on the window timestamps, a quiet verdict does
 //!   not.
+//! * **Online detector refutation** (*Level C*) — on boundary rounds the
+//!   watermark jumps, every partition moves, and Levels A/B cannot fire;
+//!   historically that meant a cold detector pass over the whole fleet.
+//!   With an [`OnlinePolicy`] installed, the engine instead tries to
+//!   *refute* both detectors straight from the per-series [`RollingStats`]:
+//!   a sound upper bound on the short-term detector's best in-region
+//!   likelihood-ratio statistic ([`fbd_stats::online::max_lrt_upper_bound`])
+//!   and a guard-banded replica of the long-term trend pre-filter
+//!   ([`fbd_stats::online::sliding_mean_bounds`] over the shared
+//!   [`prefilter_geometry`]). Both bounds are one-sided: when they hold,
+//!   the cold kernels provably return `None`, so the quiet outcome is
+//!   recorded without ever building a window; when either bound cannot be
+//!   proven — or any window sample is non-finite — the series falls
+//!   through to a full scan ([`EngineStats::online_fallbacks`]). Scan
+//!   outcomes are therefore unchanged by construction, which the
+//!   never-changes-an-outcome property tests pin.
 //! * **Incremental data-quality gate** — a [`RollingStats`] per series
 //!   maintains blockwise finite counts, so the NaN-burst gate runs from
 //!   sealed block sums instead of rescanning the window, producing the
@@ -69,19 +85,52 @@
 //! falls back to a full store scan for the round — and a fresh `Reset`
 //! rebuilds it next round.
 
+use crate::config::Threshold;
+use crate::long_term::prefilter_geometry;
 use crate::types::Regression;
+use fbd_stats::distributions::chi_squared_p_value;
+use fbd_stats::online;
 use fbd_stats::streaming::RollingStats;
 use fbd_tsdb::{
-    snapshot_bounds, windows_from_points_into, DataPoint, MetricKind, SeriesDelta, SeriesId,
-    SeriesVersion, Timestamp, TsdbError, TsdbStore, WindowConfig, WindowedData,
+    snapshot_bounds, window_coverage_from_counts, windows_from_points_into, DataPoint, MetricKind,
+    SeriesDelta, SeriesId, SeriesVersion, Timestamp, TsdbError, TsdbStore, WindowConfig,
+    WindowedData,
 };
 use fbd_sync::{LockDomain, OrderedMutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// States untouched for this many rounds are dropped (series that left the
 /// scan set keep no memory forever).
 const STALE_ROUNDS: u64 = 64;
+
+/// Relative guard band for the Level C refuters: blockwise pivot-centered
+/// accumulation and the cold path's mean-centered prefix sums round
+/// differently, but over a window of at most a few thousand f64 samples
+/// their divergence is bounded by a few hundred ulps — orders of magnitude
+/// under 1e-9 of the data scale. Refutations are taken only with this
+/// margin to spare, so the bound staying one-sided survives any
+/// re-association the optimizer performs.
+const ONLINE_REL_GUARD: f64 = 1e-9;
+
+/// Detector parameters the Level C online refuters need to mirror the cold
+/// kernels' decision points exactly. Built by the pipeline from its
+/// [`crate::config::DetectorConfig`] via
+/// [`StreamingEngine::with_online_policy`]; an engine without a policy
+/// never attempts Level C.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlinePolicy {
+    /// Short-term LRT significance (`DetectorConfig::significance`).
+    pub significance: f64,
+    /// Long-term regression threshold (`DetectorConfig::threshold`).
+    pub threshold: Threshold,
+    /// Whether the pipeline runs the long-term detector at all.
+    pub long_term_enabled: bool,
+    /// Long-term seasonality cap (`DetectorConfig::max_seasonal_period`),
+    /// which bounds the STL trend window the pre-filter geometry must
+    /// dilate over.
+    pub max_period: usize,
+}
 
 /// Absolute point-index partitions of one series at the five boundary
 /// timestamps window extraction uses: historic start, analysis start,
@@ -176,6 +225,12 @@ struct SeriesState {
     abs0: u64,
     /// Blockwise rolling stats over the live region, indexed absolutely.
     stats: RollingStats,
+    /// Run-length-encoded timestamp gaps: `(first_gap_index, gap)` runs,
+    /// where gap index `j` (absolute) is `t[j] - t[j-1]` and a run covers
+    /// every index up to the next run's start. Regular cadence keeps this
+    /// at one run, making the Level C cadence query O(1) instead of an
+    /// O(window) timestamp rescan per round.
+    gap_runs: VecDeque<(u64, u64)>,
     /// Points with timestamps below this may have been discarded; a scan
     /// whose historic window starts earlier cannot be served from here.
     trim_ts: Timestamp,
@@ -191,15 +246,15 @@ impl SeriesState {
     fn rebuild(
         id: &SeriesId,
         version: SeriesVersion,
-        points: Vec<DataPoint>,
+        points: &[DataPoint],
         trim_ts: Timestamp,
         buffer: Vec<f64>,
         touched: u64,
     ) -> Self {
         let negate = id.metric == MetricKind::Throughput;
         let mut stats = RollingStats::new(0);
-        let points = points
-            .into_iter()
+        let points: Vec<DataPoint> = points
+            .iter()
             .map(|p| {
                 let value = if negate { -p.value } else { p.value };
                 stats.append(value);
@@ -209,17 +264,53 @@ impl SeriesState {
                 }
             })
             .collect();
-        SeriesState {
+        let mut state = SeriesState {
             version,
             points,
             start: 0,
             abs0: 0,
             stats,
+            gap_runs: VecDeque::new(),
             trim_ts,
             buffer,
             last: None,
             touched,
+        };
+        for j in 1..state.points.len() {
+            let g = state.points[j].timestamp - state.points[j - 1].timestamp;
+            state.push_gap(j as u64, g);
         }
+        state
+    }
+
+    /// Records the gap ending at absolute point index `j`, extending the
+    /// last run when the gap repeats.
+    fn push_gap(&mut self, j: u64, gap: u64) {
+        if self.gap_runs.back().map(|&(_, g)| g) != Some(gap) {
+            self.gap_runs.push_back((j, gap));
+        }
+    }
+
+    /// Minimum positive timestamp gap over absolute gap indices
+    /// `[lo, hi)` — exactly what the cadence estimate in
+    /// [`fbd_tsdb::window_coverage`] computes over the matching point
+    /// slice, answered from the gap runs without touching the points.
+    fn min_gap(&self, lo: u64, hi: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for (k, &(start, g)) in self.gap_runs.iter().enumerate() {
+            if start >= hi {
+                break;
+            }
+            let end = self
+                .gap_runs
+                .get(k + 1)
+                .map_or(u64::MAX, |&(next, _)| next);
+            if end <= lo || g == 0 {
+                continue;
+            }
+            best = Some(best.map_or(g, |b| b.min(g)));
+        }
+        best
     }
 
     /// Drops live points before `bound_start` (they precede every window a
@@ -233,6 +324,12 @@ impl SeriesState {
         }
         self.start += k;
         self.stats.evict_to(self.abs0 + self.start as u64);
+        // Retire gap runs fully behind the live region; the run covering
+        // the first live gap index stays (runs are half-open on the right).
+        let first_live_gap = self.abs0 + self.start as u64 + 1;
+        while self.gap_runs.len() >= 2 && self.gap_runs[1].0 <= first_live_gap {
+            self.gap_runs.pop_front();
+        }
         if self.trim_ts < bound_start {
             self.trim_ts = bound_start;
         }
@@ -295,6 +392,12 @@ pub struct EngineStats {
     /// Fault outcomes decided from partitions/rolling stats without
     /// building windows.
     pub gated: u64,
+    /// Level C reuse: both detectors refuted online from rolling moments —
+    /// no window build, no detector run.
+    pub advanced_online: u64,
+    /// Level C attempts that could not prove a refutation and fell through
+    /// to a full scan.
+    pub online_fallbacks: u64,
     /// Fresh window builds handed to the detectors.
     pub scanned: u64,
     /// Series the engine could not serve (caller fell back to the store
@@ -303,6 +406,12 @@ pub struct EngineStats {
     /// Completed scans whose window buffer had to grow — zero once a fleet
     /// reaches steady state.
     pub buffer_growth: u64,
+    /// Points currently resident across all series states — the dominant
+    /// term of the engine's memory footprint, including the online-detector
+    /// state (rolling moments and gap runs track the same retained range).
+    /// Shrinks when the stale sweep retires states or `trim` drops points
+    /// behind the historic boundary.
+    pub resident_points: u64,
 }
 
 #[derive(Default)]
@@ -316,6 +425,8 @@ struct Counters {
     reused_full: AtomicU64,
     reused_quiet: AtomicU64,
     gated: AtomicU64,
+    advanced_online: AtomicU64,
+    online_fallbacks: AtomicU64,
     scanned: AtomicU64,
     fallbacks: AtomicU64,
     buffer_growth: AtomicU64,
@@ -339,6 +450,8 @@ pub struct StreamingEngine {
     shards: Vec<OrderedMutex<EngineShard>>,
     now: Timestamp,
     round: u64,
+    /// Level C refuter parameters; `None` disables online advancement.
+    online: Option<OnlinePolicy>,
     counters: Counters,
 }
 
@@ -352,8 +465,18 @@ impl StreamingEngine {
                 .collect(),
             now: 0,
             round: 0,
+            online: None,
             counters: Counters::default(),
         }
+    }
+
+    /// Enables Level C online advancement with the given detector
+    /// parameters. The policy must mirror the detectors the caller actually
+    /// runs on [`Prepared::Scan`] windows — the refuters assume it.
+    #[must_use]
+    pub fn with_online_policy(mut self, policy: OnlinePolicy) -> Self {
+        self.online = Some(policy);
+        self
     }
 
     /// Number of engine shards (equal to [`TsdbStore::shard_count`]). A
@@ -435,9 +558,14 @@ impl StreamingEngine {
                         };
                         if continuous {
                             let negate = id.metric == MetricKind::Throughput;
-                            for p in &tail {
+                            for p in tail.iter() {
                                 let value = if negate { -p.value } else { p.value };
                                 s.stats.append(value);
+                                let prev_ts = s.points.last().map(|q| q.timestamp);
+                                if let Some(prev_ts) = prev_ts {
+                                    let j = s.abs0 + s.points.len() as u64;
+                                    s.push_gap(j, p.timestamp - prev_ts);
+                                }
                                 s.points.push(DataPoint {
                                     timestamp: p.timestamp,
                                     value,
@@ -464,7 +592,8 @@ impl StreamingEngine {
                         .remove(*id)
                         .map(|s| s.buffer)
                         .unwrap_or_default();
-                    let state = SeriesState::rebuild(id, version, points, bound_start, buffer, round);
+                    let state =
+                        SeriesState::rebuild(id, version, &points, bound_start, buffer, round);
                     shard.states.insert((*id).clone(), state);
                     self.counters.resets.fetch_add(1, Ordering::Relaxed);
                 }
@@ -612,6 +741,42 @@ impl StreamingEngine {
             });
             return Prepared::Reuse(outcome);
         }
+        // Level C: try to refute both detectors online from the rolling
+        // moments. Fires on boundary rounds, where the watermark jumped and
+        // partition equality (Levels A/B) cannot hold; a refuted series
+        // records its quiet outcome without building windows or running a
+        // single detector kernel.
+        if let Some(policy) = self.online {
+            if self.refute_online(&policy, s, &parts) {
+                // Region counts fall out of the partitions and the cadence
+                // out of the incremental gap runs, so the coverage verdict
+                // costs O(1) instead of an O(window) timestamp rescan.
+                let coverage = window_coverage_from_counts(
+                    (parts.a - parts.h) as usize,
+                    (parts.e - parts.a) as usize,
+                    (parts.n - parts.e) as usize,
+                    s.min_gap(parts.h + 1, parts.c),
+                    &self.config,
+                    now,
+                );
+                let outcome = CachedScan::Ok {
+                    short: None,
+                    long: None,
+                    partial: coverage.is_partial(min_coverage),
+                };
+                self.counters.advanced_online.fetch_add(1, Ordering::Relaxed);
+                s.last = Some(RoundArtifacts {
+                    now,
+                    parts,
+                    unsaturated,
+                    min_finite_fraction,
+                    min_coverage,
+                    outcome: outcome.clone(),
+                });
+                return Prepared::Reuse(outcome);
+            }
+            self.counters.online_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
         let buffer_capacity = s.buffer.capacity();
         let buffer = std::mem::take(&mut s.buffer);
         match windows_from_points_into(&s.points[s.start..], &self.config, now, buffer) {
@@ -644,6 +809,127 @@ impl StreamingEngine {
                 Prepared::Reuse(outcome)
             }
         }
+    }
+
+    /// Whether both detectors are provably quiet for the window
+    /// `[parts.h, parts.n)` of this series, judged entirely from its
+    /// [`RollingStats`]. `true` means a cold scan of the same window would
+    /// return `Ok { short: None, long: None, .. }` — the refuters only use
+    /// one-sided bounds at decision points the cold kernels reach before
+    /// any fallible call, so a refutation can never mask a candidate *or*
+    /// an error outcome.
+    fn refute_online(&self, policy: &OnlinePolicy, s: &SeriesState, parts: &Partitions) -> bool {
+        let h_len = (parts.a - parts.h) as usize;
+        let a_len = (parts.e - parts.a) as usize;
+        let e_len = (parts.n - parts.e) as usize;
+        let n_win = h_len + a_len + e_len;
+        // Both refuters reason from blockwise moments, which a non-finite
+        // sample poisons; the cold kernels also diverge (short-term treats
+        // non-finite as quiet, long-term runs its full path), so only
+        // all-finite windows are refutable.
+        if s.stats.finite_count(parts.h, parts.n) != n_win {
+            return false;
+        }
+        self.refute_short(policy, s, parts, h_len, a_len, n_win)
+            && self.refute_long(policy, s, parts, h_len, a_len, e_len, n_win)
+    }
+
+    /// Refutes the short-term change-point detector: mirrors its
+    /// infallible early returns (`n < 8`, empty analysis, empty clamped
+    /// split range) exactly, then upper-bounds the best in-region LRT
+    /// statistic — if even the bound cannot reject H0 at the configured
+    /// significance, the cold detector's own skip bound fires and it
+    /// returns `None` before EM ever runs.
+    fn refute_short(
+        &self,
+        policy: &OnlinePolicy,
+        s: &SeriesState,
+        parts: &Partitions,
+        h_len: usize,
+        a_len: usize,
+        n_win: usize,
+    ) -> bool {
+        if n_win < 8 || a_len == 0 {
+            return true;
+        }
+        // The cold path's clamped change-point range: candidates in
+        // [analysis_begin, analysis_end - 1], clamped to [1, n - 3].
+        let cp_lo = h_len.saturating_sub(1).max(1);
+        let cp_hi = (h_len + a_len - 1).min(n_win - 3);
+        if cp_lo > cp_hi {
+            return true;
+        }
+        // `max_lrt_upper_bound` takes the first index of the second
+        // segment (t = cp + 1), absolute.
+        let t_lo = parts.h + cp_lo as u64 + 1;
+        let t_hi = parts.h + cp_hi as u64 + 1;
+        let Some(bound) =
+            online::max_lrt_upper_bound(&s.stats, parts.h, parts.n, t_lo, t_hi, ONLINE_REL_GUARD)
+        else {
+            return false;
+        };
+        // p-values decrease in the statistic, so the bound's p-value is a
+        // lower bound on the true one: failing to reject here means the
+        // cold detector fails to reject too.
+        chi_squared_p_value(bound, 2.0) >= policy.significance
+    }
+
+    /// Refutes the long-term detector: mirrors its infallible early return
+    /// (`n < 16`) exactly, then replays the trend pre-filter over the
+    /// shared [`prefilter_geometry`] with a guard band covering the
+    /// blockwise-vs-prefix rounding divergence — if the guarded optimistic
+    /// (baseline, current) pair cannot meet the threshold, the cold
+    /// pre-filter's pair cannot either, and `detect_streaming` returns
+    /// `None` before any fallible call.
+    #[allow(clippy::too_many_arguments)]
+    fn refute_long(
+        &self,
+        policy: &OnlinePolicy,
+        s: &SeriesState,
+        parts: &Partitions,
+        h_len: usize,
+        a_len: usize,
+        e_len: usize,
+        n_win: usize,
+    ) -> bool {
+        if !policy.long_term_enabled {
+            return true;
+        }
+        if n_win < 16 {
+            return true;
+        }
+        let Some(geo) = prefilter_geometry(n_win, h_len, a_len, policy.max_period) else {
+            return false;
+        };
+        let [start_hist, start_anal, end_anal, end_series] = geo.regions.map(|(lo, hi)| {
+            online::sliding_mean_bounds(
+                &s.stats,
+                parts.h,
+                parts.n,
+                parts.h + lo as u64,
+                parts.h + hi as u64,
+                geo.dilation as u64,
+                geo.edge as u64,
+            )
+        });
+        let g = ONLINE_REL_GUARD * s.stats.max_abs_upper_bound(parts.h, parts.n);
+        let baseline = start_hist.0.max(start_anal.0) - g;
+        let current = if e_len == 0 {
+            end_anal.1
+        } else {
+            end_anal.1.min(end_series.1)
+        } + g;
+        if !baseline.is_finite() || !current.is_finite() {
+            return false;
+        }
+        // Same monotonicity condition as the cold pre-filter: `is_met` is
+        // only monotone over the guard box when the baseline bound stays
+        // positive under a relative threshold.
+        let monotone_safe = match policy.threshold {
+            Threshold::Absolute(_) => true,
+            Threshold::Relative(t) => t >= 0.0 && baseline > 0.0,
+        };
+        monotone_safe && !policy.threshold.is_met(baseline, current)
     }
 
     /// Returns a [`Prepared::Scan`]'s window buffer to the series state and
@@ -681,13 +967,19 @@ impl StreamingEngine {
     /// A snapshot of the engine's counters.
     pub fn stats(&self) -> EngineStats {
         let c = &self.counters;
+        let (mut tracked, mut resident_points) = (0u64, 0u64);
+        for shard in &self.shards {
+            let guard = shard.lock();
+            tracked += guard.states.len() as u64;
+            resident_points += guard
+                .states
+                .values()
+                .map(|s| s.points.len() as u64)
+                .sum::<u64>();
+        }
         EngineStats {
             rounds: c.rounds.load(Ordering::Relaxed),
-            tracked: self
-                .shards
-                .iter()
-                .map(|shard| shard.lock().states.len() as u64)
-                .sum(),
+            tracked,
             unchanged: c.unchanged.load(Ordering::Relaxed),
             appended_series: c.appended_series.load(Ordering::Relaxed),
             appended_points: c.appended_points.load(Ordering::Relaxed),
@@ -696,9 +988,12 @@ impl StreamingEngine {
             reused_full: c.reused_full.load(Ordering::Relaxed),
             reused_quiet: c.reused_quiet.load(Ordering::Relaxed),
             gated: c.gated.load(Ordering::Relaxed),
+            advanced_online: c.advanced_online.load(Ordering::Relaxed),
+            online_fallbacks: c.online_fallbacks.load(Ordering::Relaxed),
             scanned: c.scanned.load(Ordering::Relaxed),
             fallbacks: c.fallbacks.load(Ordering::Relaxed),
             buffer_growth: c.buffer_growth.load(Ordering::Relaxed),
+            resident_points,
         }
     }
 }
@@ -956,6 +1251,123 @@ mod tests {
         assert_eq!(engine.stats().tracked, 1);
         assert!(matches!(
             engine.prepare(&stale, 0.5, 0.5),
+            Prepared::Fallback
+        ));
+    }
+
+    fn policy() -> OnlinePolicy {
+        OnlinePolicy {
+            significance: 0.01,
+            threshold: Threshold::Absolute(0.1),
+            long_term_enabled: true,
+            max_period: 64,
+        }
+    }
+
+    fn fill_flat(store: &TsdbStore, id: &SeriesId, upto: u64) {
+        for t in 0..upto {
+            // Tiny deterministic jitter so the series is quiet but not
+            // degenerate-constant.
+            let v = 1.0 + ((t * 2_654_435_761) % 1_000) as f64 / 1_000_000.0;
+            store.append(id, t, v).unwrap();
+        }
+    }
+
+    #[test]
+    fn level_c_refutes_quiet_series_without_scanning() {
+        let store = TsdbStore::new();
+        let id = sid("quiet");
+        fill_flat(&store, &id, 200);
+        let mut engine = StreamingEngine::new(cfg()).with_online_policy(policy());
+        engine.begin_round(&store, &[&id], 200);
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Reuse(CachedScan::Ok {
+                short,
+                long,
+                partial,
+            }) => {
+                assert!(short.is_none() && long.is_none());
+                assert!(!partial, "full-cadence series must not be partial");
+            }
+            _ => panic!("quiet series must advance online"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.advanced_online, 1);
+        assert_eq!(stats.online_fallbacks, 0);
+        assert_eq!(stats.scanned, 0);
+        // The online outcome is itself Level-A reusable next round.
+        engine.begin_round(&store, &[&id], 200);
+        assert!(matches!(
+            engine.prepare(&id, 0.5, 0.5),
+            Prepared::Reuse(CachedScan::Ok { .. })
+        ));
+        assert_eq!(engine.stats().reused_full, 1);
+    }
+
+    #[test]
+    fn level_c_falls_back_on_analysis_step() {
+        let store = TsdbStore::new();
+        let id = sid("step");
+        for t in 0..200u64 {
+            let v = if t < 160 { 1.0 } else { 2.0 };
+            store.append(&id, t, v).unwrap();
+        }
+        let mut engine = StreamingEngine::new(cfg()).with_online_policy(policy());
+        engine.begin_round(&store, &[&id], 200);
+        // The step at t=160 sits inside the analysis window [125, 175):
+        // the LRT bound cannot refute it, so Level C must fall through to
+        // a full scan with windows identical to the store path.
+        match engine.prepare(&id, 0.5, 0.5) {
+            Prepared::Scan { windows, .. } => {
+                assert_eq!(windows, store.windows(&id, &cfg(), 200).unwrap());
+            }
+            _ => panic!("unrefutable series must scan"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.advanced_online, 0);
+        assert_eq!(stats.online_fallbacks, 1);
+        assert_eq!(stats.scanned, 1);
+    }
+
+    #[test]
+    fn stale_sweep_retires_online_detector_state() {
+        // Series that leave the scan set must not keep their online state
+        // (points, rolling moments, gap runs) resident forever: the sweep
+        // retires them and the engine's memory footprint shrinks.
+        let store = TsdbStore::new();
+        let kept = sid("kept");
+        fill_flat(&store, &kept, 200);
+        let orphans: Vec<SeriesId> = (0..8).map(|i| sid(&format!("orphan{i}"))).collect();
+        for id in &orphans {
+            fill_flat(&store, id, 200);
+        }
+        let mut engine = StreamingEngine::new(cfg()).with_online_policy(policy());
+        let mut ids: Vec<&SeriesId> = vec![&kept];
+        ids.extend(orphans.iter());
+        engine.begin_round(&store, &ids, 200);
+        for id in &ids {
+            // Quiet series: every one advances online, arming full state.
+            assert!(matches!(engine.prepare(id, 0.5, 0.5), Prepared::Reuse(_)));
+        }
+        let before = engine.stats();
+        assert_eq!(before.tracked, 9);
+        assert_eq!(before.advanced_online, 9);
+        assert!(before.resident_points >= 9 * 175);
+        // Only `kept` stays in the scan set; two sweep periods retire the
+        // rest.
+        for _ in 0..2 * STALE_ROUNDS {
+            engine.begin_round(&store, &[&kept], 200);
+        }
+        let after = engine.stats();
+        assert_eq!(after.tracked, 1);
+        assert!(
+            after.resident_points <= before.resident_points / 8,
+            "orphaned state must be retired: {} -> {}",
+            before.resident_points,
+            after.resident_points
+        );
+        assert!(matches!(
+            engine.prepare(&orphans[0], 0.5, 0.5),
             Prepared::Fallback
         ));
     }

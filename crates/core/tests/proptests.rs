@@ -342,6 +342,87 @@ proptest! {
     }
 
     #[test]
+    fn streaming_engine_level_c_never_changes_a_scan_outcome(
+        seeds in prop::collection::vec(0u64..1000, 2..5),
+        steps in prop::collection::vec(0u64..4, 2..5),
+        rounds in 2usize..6,
+        noise_milli in 1u64..20,
+    ) {
+        // Level C refutes both detectors straight from rolling moments on
+        // boundary rounds — no window build, no detector run. That shortcut
+        // may only ever skip work: a warm pipeline whose online refuters
+        // provably fired must produce the same reports, funnel, and health
+        // as a cold pipeline on every round. Series 0 is exactly constant,
+        // so at least one refutation is provable every boundary round and
+        // the liveness assertion below cannot flake.
+        let cfg = config(0.05);
+        let store = TsdbStore::new();
+        let mut ids = Vec::new();
+        let noise = noise_milli as f64 / 1000.0;
+        let mut frontier = 400u64;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut values = if i == 0 {
+                vec![1.0; frontier as usize]
+            } else {
+                noisy_series(frontier as usize, 1.0, noise, seed)
+            };
+            match steps.get(i).copied().unwrap_or(0) {
+                1 if i > 0 => {
+                    for v in values.iter_mut().skip(330) {
+                        *v += 0.5;
+                    }
+                }
+                2 if i > 0 => {
+                    for v in values.iter_mut().skip(340).take(40) {
+                        *v = f64::NAN;
+                    }
+                }
+                _ => {}
+            }
+            let kind = if i % 2 == 0 { MetricKind::GCpu } else { MetricKind::Throughput };
+            let id = SeriesId::new("svc", kind, format!("s{i}"));
+            store.insert_series(id.clone(), TimeSeries::from_values(0, 1, &values));
+            ids.push(id);
+        }
+        let mut warm = Pipeline::new(cfg.clone()).unwrap();
+        let mut cold = Pipeline::new(cfg).unwrap();
+        cold.set_streaming(false);
+        let context = ScanContext::default();
+        let mut now = frontier;
+        for r in 0..rounds {
+            // Every round is a boundary round: the watermark jumps a full
+            // re-run interval and ingestion keeps the windows saturated, so
+            // partition-equality reuse (Levels A/B) can never fire and the
+            // engine must advance online or fall back to a full scan.
+            for (i, id) in ids.iter().enumerate() {
+                for k in 0..40u64 {
+                    let t = frontier + k;
+                    let v = if i == 0 {
+                        1.0
+                    } else {
+                        noisy_series(1, 1.0, noise, (r as u64) << 40 ^ (i as u64) << 8 ^ t)[0]
+                    };
+                    store.append(id, t, v).unwrap();
+                }
+            }
+            frontier += 40;
+            now += 40;
+            let w = warm.scan(&store, &ids, now, &context).unwrap();
+            let c = cold.scan(&store, &ids, now, &context).unwrap();
+            prop_assert_eq!(
+                format!("{:?}|{:?}|{:?}", w.reports, w.funnel, w.health),
+                format!("{:?}|{:?}|{:?}", c.reports, c.funnel, c.health),
+                "Level C scan diverged from cold at now={}", now
+            );
+        }
+        let stats = warm.streaming_stats().unwrap();
+        prop_assert!(
+            stats.advanced_online >= rounds as u64,
+            "Level C must fire for the constant series every boundary round: {:?}", stats
+        );
+    }
+
+    #[test]
     fn compressed_store_never_changes_a_scan_outcome(
         seeds in prop::collection::vec(0u64..1000, 2..5),
         steps in prop::collection::vec(0u64..4, 2..5),

@@ -34,6 +34,7 @@ pub mod em;
 pub mod error;
 pub mod fourier;
 pub mod hypothesis;
+pub mod online;
 pub mod prefix;
 pub mod regression;
 pub mod sax;

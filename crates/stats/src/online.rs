@@ -1,0 +1,291 @@
+//! Online per-append detector refuters for boundary rounds.
+//!
+//! A boundary scheduler round slides the detection windows forward and, in
+//! the cold path, re-runs every detector kernel over every series — even
+//! though the vast majority of series are quiet and the kernels exist only
+//! to conclude "no change". These refuters answer the same question from
+//! the blockwise [`RollingStats`] a streaming engine already maintains per
+//! append, in O(len/64 + edges) instead of O(n·window):
+//!
+//! * [`max_lrt_upper_bound`] — a *sound upper bound* on the largest
+//!   two-segment likelihood-ratio statistic any change point in a split
+//!   range could achieve (the quantity
+//!   [`crate::hypothesis::max_lrt_statistic_in_range`] computes exactly
+//!   from prefix statistics). When even the bound cannot reject H0, the
+//!   short-term CUSUM/EM path provably returns no candidate.
+//! * [`sliding_mean_bounds`] — min/max width-`edge` sliding means over a
+//!   dilated region, the building block of the long-term detector's trend
+//!   pre-filter, evaluated from retained samples without assembling a
+//!   window buffer.
+//!
+//! Both are refuters, not detectors: they may only ever say "the cold
+//! kernel would return `None`" (within a caller-supplied guard band that
+//! dominates the floating-point divergence between blockwise and prefix
+//! accumulation), never the opposite. Callers fall back to the cold kernel
+//! whenever a refutation cannot be proven, so scan outcomes are unchanged
+//! by construction — the property the proptests in this module pin.
+
+use crate::streaming::RollingStats;
+
+/// Sound upper bound on the maximum two-segment likelihood-ratio statistic
+/// over data `[a, b)` (absolute indices) for any split `t` in
+/// `[t_lo, t_hi]`, where `t` is the absolute index of the first sample of
+/// the second segment.
+///
+/// Replicates the statistic of
+/// [`crate::hypothesis::max_lrt_statistic_in_range`] — `max(n·(ln σ̂₀² −
+/// ln σ̂₁²(t)), 0)` with variances floored at 1e-300 — from a
+/// [`RollingStats`] instead of a prefix array: one blockwise fold seeds
+/// the running left-segment sums at `t_lo` in O(n/64), then each split is
+/// O(1) off retained samples, so the whole bound costs O(n/64 + range)
+/// with no O(n) prefix build and no allocation. The cold path centers on
+/// the global mean where this one centers on the rolling pivot (SSE is
+/// shift-invariant), so the two agree up to summation-order rounding; a
+/// single `rel_guard`-of-total-magnitude guard band — inflating the H0
+/// cost and deflating the per-split cost — dominates that divergence and
+/// keeps the result a true upper bound.
+///
+/// Returns `None` — *no refutation possible* — when the range holds any
+/// non-finite sample, is not fully retained, or the split range is empty.
+pub fn max_lrt_upper_bound(
+    stats: &RollingStats,
+    a: u64,
+    b: u64,
+    t_lo: u64,
+    t_hi: u64,
+    rel_guard: f64,
+) -> Option<f64> {
+    if a >= b || t_lo > t_hi || t_lo <= a || t_hi >= b {
+        return None;
+    }
+    if stats.first_index() > a || stats.end_index() < b {
+        return None;
+    }
+    let n = (b - a) as usize;
+    let total = stats.segment_moments(a, b);
+    if total.finite != n {
+        // Non-finite samples present: the cold path's behavior is decided
+        // by its own validation, not by this bound.
+        return None;
+    }
+    // One guard band sized to the total accumulator magnitude dominates
+    // every intermediate quantity below (left/right splits are sub-sums of
+    // the total), so it is applied once to each side of the ratio.
+    let g_tot = rel_guard * (total.sum_sq + total.sum * total.sum / n as f64);
+    let cost0_ub = total.sse() + g_tot;
+    let pivot = stats.pivot().unwrap_or(0.0);
+    // Seed the left-segment running sums at t_lo from block sums, then
+    // scan the split range exactly as the cold prefix pass does: for each
+    // t, cost1(t) = SSE[a,t) + SSE[t,b), with the right segment derived
+    // from the totals.
+    let head = stats.segment_moments(a, t_lo);
+    let (mut s_l, mut q_l) = (head.sum, head.sum_sq);
+    let mut cost1 = f64::INFINITY;
+    for t in t_lo..=t_hi {
+        let n_l = (t - a) as f64;
+        let n_r = (b - t) as f64;
+        let sse_l = (q_l - s_l * s_l / n_l).max(0.0);
+        let s_r = total.sum - s_l;
+        let q_r = total.sum_sq - q_l;
+        let sse_r = (q_r - s_r * s_r / n_r).max(0.0);
+        cost1 = cost1.min(sse_l + sse_r);
+        if t < t_hi {
+            let x = stats.get(t)?;
+            let c = x - pivot;
+            s_l += c;
+            q_l += c * c;
+        }
+    }
+    let cost1_lb = (cost1 - g_tot).max(0.0);
+    let nf = n as f64;
+    let var0_ub = (cost0_ub / nf).max(1e-300);
+    let var1_lb = (cost1_lb / nf).max(1e-300);
+    Some((nf * (var0_ub.ln() - var1_lb.ln())).max(0.0))
+}
+
+/// Min and max mean over every width-`edge` sliding window intersecting
+/// the region `[lo, hi)` dilated by `d` on both sides, over retained data
+/// `[a, b)` (all absolute indices) — the rolling-stats replica of the
+/// long-term pre-filter's `sliding_mean_bounds`, with the same window
+/// enumeration and the same fallback to the dilated region's own mean when
+/// no full window fits.
+///
+/// The caller must have established that `[a, b)` is fully retained and
+/// finite; means are evaluated by one blockwise fold for the first window
+/// and an O(1) slide per subsequent position, so the divergence from the
+/// cold path's prefix-sum means is bounded by a few hundred ulps of the
+/// data scale — a `1e-9·scale` guard band dwarfs it. Returns non-finite
+/// bounds when a sample is missing, which callers must treat as "no
+/// refutation".
+pub fn sliding_mean_bounds(
+    stats: &RollingStats,
+    a: u64,
+    b: u64,
+    lo: u64,
+    hi: u64,
+    d: u64,
+    edge: u64,
+) -> (f64, f64) {
+    let n = b.saturating_sub(a);
+    let lo = lo.max(a + d) - d; // lo − d, saturating at the range start.
+    let hi = (hi + d).min(b);
+    let pivot = stats.pivot().unwrap_or(0.0);
+    let region_mean = |x: u64, y: u64| -> f64 {
+        let m = stats.segment_moments(x, y.max(x));
+        if m.finite == 0 {
+            // The cold prefix mean of an empty segment is the global mean;
+            // region emptiness only arises in degenerate geometries the
+            // caller refuses to refute, so any non-finite sentinel works.
+            f64::NAN
+        } else {
+            pivot + m.sum / m.finite as f64
+        }
+    };
+    if edge == 0 || edge > n {
+        let m = region_mean(lo, hi);
+        return (m, m);
+    }
+    // Window starts whose span [s, s + edge) intersects [lo, hi).
+    let first = lo.max(a + (edge - 1)) - (edge - 1);
+    let last = hi.min(b - edge + 1);
+    if first >= last {
+        let m = region_mean(lo, hi);
+        return (m, m);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let head = stats.segment_moments(first, first + edge);
+    if head.finite as u64 != edge {
+        return (f64::NAN, f64::NAN);
+    }
+    let mut sum = head.sum;
+    let ef = edge as f64;
+    let mut s = first;
+    loop {
+        let m = pivot + sum / ef;
+        min = min.min(m);
+        max = max.max(m);
+        s += 1;
+        if s >= last {
+            break;
+        }
+        let (Some(out), Some(inc)) = (stats.get(s - 1), stats.get(s + edge - 1)) else {
+            return (f64::NAN, f64::NAN);
+        };
+        sum += (inc - pivot) - (out - pivot);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypothesis;
+    use crate::prefix::PrefixStats;
+
+    fn sample(i: u64, step_at: u64, step: f64) -> f64 {
+        let base = if i < step_at { 1.0 } else { 1.0 + step };
+        base + ((i * 2_654_435_761) % 1_000) as f64 / 5_000.0
+    }
+
+    fn rolling_over(values: &[f64], start: u64) -> RollingStats {
+        let mut s = RollingStats::new(start);
+        for &v in values {
+            s.append(v);
+        }
+        s
+    }
+
+    #[test]
+    fn lrt_bound_dominates_exact_statistic() {
+        for (step_at, step) in [(1_000, 0.0), (450, 0.4), (500, 0.05), (520, 1.5)] {
+            let values: Vec<f64> = (0..900).map(|i| sample(i, step_at, step)).collect();
+            let stats = rolling_over(&values, 0);
+            let ps = PrefixStats::new(&values);
+            // Split range mirroring the analysis region of a 600/200/100
+            // window layout: cp in [599, 797], t = cp + 1.
+            let exact = hypothesis::max_lrt_statistic_in_range(&ps, 599, 797).unwrap();
+            let bound = max_lrt_upper_bound(&stats, 0, 900, 600, 798, 1e-9).unwrap();
+            assert!(
+                bound >= exact,
+                "step {step} at {step_at}: bound {bound} < exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn lrt_bound_survives_eviction_offsets() {
+        let values: Vec<f64> = (0..900).map(|i| sample(i, 700, 0.3)).collect();
+        let mut stats = rolling_over(&values, 0);
+        stats.evict_front(137);
+        let window = &values[200..900];
+        let ps = PrefixStats::new(window);
+        let exact = hypothesis::max_lrt_statistic_in_range(&ps, 399, 597).unwrap();
+        let bound = max_lrt_upper_bound(&stats, 200, 900, 600, 798, 1e-9).unwrap();
+        assert!(bound >= exact, "bound {bound} < exact {exact}");
+    }
+
+    #[test]
+    fn lrt_bound_refuses_non_finite_and_degenerate_ranges() {
+        let mut values: Vec<f64> = (0..300).map(|i| sample(i, 1_000, 0.0)).collect();
+        let stats = rolling_over(&values, 0);
+        assert!(max_lrt_upper_bound(&stats, 0, 300, 100, 50, 1e-9).is_none());
+        assert!(max_lrt_upper_bound(&stats, 0, 300, 0, 50, 1e-9).is_none());
+        assert!(max_lrt_upper_bound(&stats, 0, 300, 100, 300, 1e-9).is_none());
+        assert!(max_lrt_upper_bound(&stats, 0, 400, 100, 200, 1e-9).is_none());
+        values[40] = f64::NAN;
+        let with_nan = rolling_over(&values, 0);
+        assert!(max_lrt_upper_bound(&with_nan, 0, 300, 100, 200, 1e-9).is_none());
+    }
+
+    #[test]
+    fn sliding_bounds_match_prefix_replica() {
+        // The cold pre-filter computes its bounds from PrefixStats over the
+        // window slice; the online replica must agree to ~1e-12·scale.
+        let values: Vec<f64> = (0..900).map(|i| sample(i, 640, 0.2)).collect();
+        let mut stats = rolling_over(&values, 0);
+        stats.evict_front(100);
+        let window = &values[100..900];
+        let ps = PrefixStats::new(window);
+        let cold = |lo: usize, hi: usize, d: usize, edge: usize| -> (f64, f64) {
+            // Mirror of long_term::sliding_mean_bounds.
+            let n = ps.len();
+            let lo = lo.saturating_sub(d);
+            let hi = (hi + d).min(n);
+            let first = lo.saturating_sub(edge - 1);
+            let last = hi.min(n - edge + 1);
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for s in first..last {
+                let m = ps.segment_mean(s, s + edge);
+                min = min.min(m);
+                max = max.max(m);
+            }
+            (min, max)
+        };
+        for (lo, hi, d, edge) in [(0, 50, 46, 50), (600, 650, 46, 50), (750, 800, 46, 50)] {
+            let (cmin, cmax) = cold(lo, hi, d, edge);
+            let (omin, omax) = sliding_mean_bounds(
+                &stats,
+                100,
+                900,
+                100 + lo as u64,
+                100 + hi as u64,
+                d as u64,
+                edge as u64,
+            );
+            assert!((cmin - omin).abs() < 1e-9, "min {cmin} vs {omin}");
+            assert!((cmax - omax).abs() < 1e-9, "max {cmax} vs {omax}");
+        }
+    }
+
+    #[test]
+    fn sliding_bounds_degenerate_geometry_falls_back_to_region_mean() {
+        let values: Vec<f64> = (0..40).map(|i| sample(i, 1_000, 0.0)).collect();
+        let stats = rolling_over(&values, 0);
+        // edge wider than the data: region mean fallback, both ends equal.
+        let (min, max) = sliding_mean_bounds(&stats, 0, 40, 5, 10, 2, 60);
+        assert_eq!(min.to_bits(), max.to_bits());
+        assert!(min.is_finite());
+    }
+}

@@ -46,20 +46,31 @@ pub struct StlConfig {
     /// Outer robustness iterations (0 disables robustness weighting).
     pub outer_iterations: usize,
     /// Loess bandwidth for the trend as a fraction of the series length,
-    /// in `(0, 1]`. Larger values give a smoother trend.
+    /// in `(0, 1]`. Larger values give a smoother trend. Ignored when
+    /// `trend_window` is set.
     pub trend_fraction: f64,
+    /// Absolute trend Loess window in samples, overriding `trend_fraction`.
+    /// The STL paper sizes the trend smoother from the *period* (`n_t` the
+    /// smallest odd integer ≥ 1.5·`n_p`), not from the series length: a
+    /// fraction-of-length window grows with `n` and both over-smooths and
+    /// over-pays on long windows.
+    pub trend_window: Option<usize>,
 }
 
 impl StlConfig {
-    /// A reasonable default for a given period: two inner iterations, one
-    /// robustness pass, and a trend bandwidth of 1.5 periods (in the spirit
-    /// of the STL paper's `n_t ≥ 1.5 n_p` guidance).
+    /// A reasonable default for a given period: the STL paper's non-robust
+    /// recommendation — two inner iterations, no robustness passes
+    /// (n_i = 2, n_o = 0), which converges for well-behaved loss — and the
+    /// paper's trend bandwidth, the smallest odd window ≥ 1.5·`period`.
+    /// Callers facing heavy outliers opt into robustness by raising
+    /// `outer_iterations` explicitly; each pass re-runs the inner loop.
     pub fn for_period(period: usize) -> Self {
         StlConfig {
             period,
             inner_iterations: 2,
-            outer_iterations: 1,
+            outer_iterations: 0,
             trend_fraction: 0.25,
+            trend_window: Some((3 * period).div_ceil(2) | 1),
         }
     }
 }
@@ -89,12 +100,18 @@ pub fn decompose(data: &[f64], config: StlConfig) -> Result<StlDecomposition> {
     }
     ensure_len(data, config.period * 2)?;
     ensure_finite(data)?;
-    if !(config.trend_fraction > 0.0 && config.trend_fraction <= 1.0) {
+    if config.trend_window.is_none()
+        && !(config.trend_fraction > 0.0 && config.trend_fraction <= 1.0)
+    {
         return Err(StatsError::InvalidParameter(
             "trend_fraction must be in (0, 1]",
         ));
     }
     let n = data.len();
+    let trend_window = match config.trend_window {
+        Some(w) => w.clamp(3, n),
+        None => loess_window(n, config.trend_fraction).0,
+    };
     let mut seasonal = vec![0.0; n];
     let mut trend = vec![0.0; n];
     let mut robustness = vec![1.0; n];
@@ -117,7 +134,7 @@ pub fn decompose(data: &[f64], config: StlConfig) -> Result<StlDecomposition> {
             for (w, (d, s)) in work.iter_mut().zip(data.iter().zip(&seasonal)) {
                 *w = d - s;
             }
-            trend = loess_smooth(&work, config.trend_fraction, &robustness)?;
+            trend = loess_smooth_windowed(&work, trend_window, &robustness)?;
         }
         // Outer loop: recompute robustness weights from residuals.
         if outer_pass + 1 < outer {
@@ -176,6 +193,13 @@ fn center_seasonal(seasonal: &mut [f64], period: usize) {
 /// tests), and boundary points are always evaluated by the exact naive
 /// formula.
 pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<Vec<f64>> {
+    let (window, _) = loess_window(data.len().max(1), fraction);
+    loess_smooth_windowed(data, window, robustness)
+}
+
+/// [`loess_smooth`] with an explicit window in samples instead of a
+/// fraction of the series length (clamped to `[3, n]`).
+pub fn loess_smooth_windowed(data: &[f64], window: usize, robustness: &[f64]) -> Result<Vec<f64>> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
     if robustness.len() != data.len() {
@@ -183,7 +207,7 @@ pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<V
             "robustness weights length mismatch",
         ));
     }
-    Ok(loess_dispatch(data, fraction, Some(robustness)))
+    Ok(loess_dispatch(data, window.clamp(3, data.len()), Some(robustness)))
 }
 
 /// [`loess_smooth`] with all robustness weights equal to 1.0, without
@@ -192,7 +216,8 @@ pub fn loess_smooth(data: &[f64], fraction: f64, robustness: &[f64]) -> Result<V
 pub fn loess_smooth_uniform(data: &[f64], fraction: f64) -> Result<Vec<f64>> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
-    Ok(loess_dispatch(data, fraction, None))
+    let (window, _) = loess_window(data.len(), fraction);
+    Ok(loess_dispatch(data, window, None))
 }
 
 /// Reference Loess via the per-point O(n·window) local regression.
@@ -207,7 +232,8 @@ pub fn loess_smooth_naive(data: &[f64], fraction: f64, robustness: &[f64]) -> Re
             "robustness weights length mismatch",
         ));
     }
-    Ok(loess_naive_core(data, fraction, Some(robustness)))
+    let (window, _) = loess_window(data.len(), fraction);
+    Ok(loess_naive_core(data, window, Some(robustness)))
 }
 
 /// Loess with the FFT sliding-regression interior forced on (regardless of
@@ -221,7 +247,8 @@ pub fn loess_smooth_fft(data: &[f64], fraction: f64, robustness: &[f64]) -> Resu
             "robustness weights length mismatch",
         ));
     }
-    Ok(loess_fft_core(data, fraction, Some(robustness)))
+    let (window, _) = loess_window(data.len(), fraction);
+    Ok(loess_fft_core(data, window, Some(robustness)))
 }
 
 /// Window geometry shared by every Loess path.
@@ -248,23 +275,22 @@ fn loess_fft_pays_off(n: usize, window: usize, uniform: bool) -> bool {
 }
 
 /// Dispatching core: `robustness = None` means all weights are 1.0.
-fn loess_dispatch(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Vec<f64> {
+fn loess_dispatch(data: &[f64], window: usize, robustness: Option<&[f64]>) -> Vec<f64> {
     let n = data.len();
-    let (window, _) = loess_window(n, fraction);
     let one = 1.0f64.to_bits();
     let uniform = robustness.is_none_or(|r| r.iter().all(|w| w.to_bits() == one));
     if loess_fft_pays_off(n, window, uniform) {
-        loess_fft_core(data, fraction, robustness)
+        loess_fft_core(data, window, robustness)
     } else {
-        loess_naive_core(data, fraction, robustness)
+        loess_naive_core(data, window, robustness)
     }
 }
 
 /// The per-point local-regression Loess (previous implementation, kept
 /// verbatim modulo the optional weights).
-fn loess_naive_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Vec<f64> {
+fn loess_naive_core(data: &[f64], window: usize, robustness: Option<&[f64]>) -> Vec<f64> {
     let n = data.len();
-    let (window, half) = loess_window(n, fraction);
+    let half = window / 2;
     // The tricube weight of neighbor `j` for point `i` depends only on the
     // offset `j - i` and the window's `max_dist`. Away from the boundaries
     // both are the same for every `i`, so the kernel is computed once and
@@ -449,9 +475,9 @@ pub fn loess_uniform_range_mean(data: &[f64], fraction: f64, lo: usize, hi: usiz
 /// the normal equations are far better conditioned than the absolute-x form
 /// (the value at the center is simply the centered intercept). Boundary
 /// points keep the exact per-point naive evaluation.
-fn loess_fft_core(data: &[f64], fraction: f64, robustness: Option<&[f64]>) -> Vec<f64> {
+fn loess_fft_core(data: &[f64], window: usize, robustness: Option<&[f64]>) -> Vec<f64> {
     let n = data.len();
-    let (window, half) = loess_window(n, fraction);
+    let half = window / 2;
     let interior_max_dist = half.max(window - 1 - half).max(1) as f64;
     let mut tri = ScratchVec::with_capacity(window);
     tri.extend((0..window).map(|k| {

@@ -35,6 +35,37 @@ struct Block {
     sum: f64,
     sum_sq: f64,
     finite: u32,
+    /// Largest |v − pivot| over the finite samples (0 when none): lets a
+    /// query bound the data scale without rescanning values.
+    max_dev: f64,
+}
+
+/// Finite-sample moments of one absolute-index segment, pivot-centered.
+/// Returned by [`RollingStats::segment_moments`]; the online refuters in
+/// [`crate::online`] consume these instead of rescanning window values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentMoments {
+    /// Number of finite samples in the segment.
+    pub finite: usize,
+    /// Σ (v − pivot) over the finite samples.
+    pub sum: f64,
+    /// Σ (v − pivot)² over the finite samples.
+    pub sum_sq: f64,
+    /// max |v − pivot| over the finite samples (0 when none).
+    pub max_dev: f64,
+}
+
+impl SegmentMoments {
+    /// Residual sum of squares of the segment around its own mean, clamped
+    /// non-negative — the Gaussian segment cost, matching
+    /// [`crate::prefix::PrefixStats::segment_cost`] up to rounding (the
+    /// identity is centering-invariant in exact arithmetic).
+    pub fn sse(&self) -> f64 {
+        if self.finite == 0 {
+            return 0.0;
+        }
+        (self.sum_sq - self.sum * self.sum / self.finite as f64).max(0.0)
+    }
 }
 
 /// Append/evict rolling statistics over a series' lifetime, queryable by
@@ -184,6 +215,31 @@ impl RollingStats {
         self.pivot.map(|p| p + f.sum / f64::from(f.finite))
     }
 
+    /// All finite-sample moments of `[a, b)` (clamped to the retained
+    /// range) in one traversal: count, pivot-centered sum and sum of
+    /// squares, and the largest absolute deviation from the pivot. Sealed
+    /// blocks make this O(len/64 + edges).
+    pub fn segment_moments(&self, a: u64, b: u64) -> SegmentMoments {
+        let f = self.fold(a, b);
+        SegmentMoments {
+            finite: f.finite as usize,
+            sum: f.sum,
+            sum_sq: f.sum_sq,
+            max_dev: f.max_dev,
+        }
+    }
+
+    /// Upper bound on max |v| over the finite samples of `[a, b)`:
+    /// |pivot| + max |v − pivot|. Zero when no finite sample is retained in
+    /// the range. Used to size guard bands against the data scale.
+    pub fn max_abs_upper_bound(&self, a: u64, b: u64) -> f64 {
+        let f = self.fold(a, b);
+        if f.finite == 0 {
+            return 0.0;
+        }
+        self.pivot.unwrap_or(0.0).abs() + f.max_dev
+    }
+
     /// Accumulates a segment left-to-right: raw leading edge, sealed
     /// interior blocks, raw trailing edge. The traversal is a pure function
     /// of the absolute index range and retained bounds, which is what makes
@@ -196,6 +252,7 @@ impl RollingStats {
             sum: 0.0,
             sum_sq: 0.0,
             finite: 0,
+            max_dev: 0.0,
         };
         let mut i = a;
         while i < b {
@@ -204,6 +261,7 @@ impl RollingStats {
                     acc.sum += block.sum;
                     acc.sum_sq += block.sum_sq;
                     acc.finite += block.finite;
+                    acc.max_dev = acc.max_dev.max(block.max_dev);
                     i += BLOCK;
                     continue;
                 }
@@ -216,6 +274,7 @@ impl RollingStats {
                 acc.sum += c;
                 acc.sum_sq += c * c;
                 acc.finite += 1;
+                acc.max_dev = acc.max_dev.max(c.abs());
             }
             i += 1;
         }
@@ -238,6 +297,7 @@ impl RollingStats {
             sum: 0.0,
             sum_sq: 0.0,
             finite: 0,
+            max_dev: 0.0,
         };
         for i in block_start..block_start + BLOCK {
             if let Some(v) = self.get(i) {
@@ -246,6 +306,7 @@ impl RollingStats {
                     acc.sum += c;
                     acc.sum_sq += c * c;
                     acc.finite += 1;
+                    acc.max_dev = acc.max_dev.max(c.abs());
                 }
             }
         }

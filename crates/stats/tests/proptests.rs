@@ -1,9 +1,10 @@
 //! Property-based tests for the statistical substrate.
 
 use fbd_stats::prefix::PrefixStats;
+use fbd_stats::streaming::RollingStats;
 use fbd_stats::{
-    acf, changepoint, cusum, descriptive, distributions, em, fourier, regression, sax, smoothing,
-    stl, text, trend,
+    acf, changepoint, cusum, descriptive, distributions, em, fourier, hypothesis, online,
+    regression, sax, smoothing, stl, text, trend,
 };
 use proptest::prelude::*;
 
@@ -346,6 +347,115 @@ proptest! {
             (ranged - direct).abs() < 1e-9 * scale,
             "range [{lo},{hi}) mean {ranged} vs full-smooth mean {direct}"
         );
+    }
+
+    #[test]
+    fn lrt_bound_dominates_exact_over_arbitrary_histories(
+        values in prop::collection::vec(-1e3f64..1e3, 40..220),
+        step in (0usize..1000, -50.0f64..50.0),
+        nan_sel in 0usize..2000,
+        evict in 0usize..30,
+    ) {
+        // The online short-term refuter may only ever overestimate the cold
+        // LRT statistic: over arbitrary histories — appends, front
+        // evictions, NaN injection, a step anywhere — a bound below the
+        // exact maximum would let Level C suppress a detection the cold
+        // path makes.
+        let mut values = values;
+        let (at, delta) = step;
+        let at = at % values.len();
+        for v in values[at..].iter_mut() {
+            *v += delta;
+        }
+        // Half the cases inject a single NaN somewhere in the history.
+        if nan_sel < 1000 {
+            let i = nan_sel % values.len();
+            values[i] = f64::NAN;
+        }
+        let mut stats = RollingStats::new(0);
+        for &v in &values {
+            stats.append(v);
+        }
+        let evict = evict.min(values.len() - 12);
+        stats.evict_front(evict);
+        let a = evict as u64;
+        let b = values.len() as u64;
+        let window = &values[evict..];
+        let n = window.len() as u64;
+        // Split range spanning the window's middle third, as an analysis
+        // region would.
+        let t_lo = a + n / 3 + 1;
+        let t_hi = a + 2 * n / 3;
+        if let Some(bound) = online::max_lrt_upper_bound(&stats, a, b, t_lo, t_hi, 1e-9) {
+            // A bound implies the range was fully finite and retained.
+            prop_assert!(window.iter().all(|v| v.is_finite()));
+            let ps = PrefixStats::new(window);
+            let exact = hypothesis::max_lrt_statistic_in_range(
+                &ps,
+                (t_lo - a - 1) as usize,
+                (t_hi - a - 1) as usize,
+            )
+            .unwrap_or(0.0);
+            prop_assert!(bound >= exact, "bound {bound} < exact {exact}");
+        } else {
+            // Refusal must be justified: a NaN in the window (or none
+            // injected at all means the geometry was degenerate, which this
+            // generator never produces).
+            prop_assert!(window.iter().any(|v| !v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sliding_bounds_contain_every_cold_window_mean(
+        values in prop::collection::vec(-1e3f64..1e3, 30..200),
+        evict in 0usize..20,
+        geom in (0usize..1000, 1usize..60, 0usize..20, 1usize..40),
+    ) {
+        // The online pre-filter replica must bracket every width-`edge`
+        // sliding mean the cold pre-filter enumerates; a mean escaping the
+        // bracket could flip the long-term refuter's verdict.
+        let mut stats = RollingStats::new(0);
+        for &v in &values {
+            stats.append(v);
+        }
+        let evict = evict.min(values.len() - 10);
+        stats.evict_front(evict);
+        let a = evict as u64;
+        let b = values.len() as u64;
+        let window = &values[evict..];
+        let n = window.len();
+        let (lo_seed, span, d, edge) = geom;
+        let lo = lo_seed % n;
+        let hi = (lo + 1 + span).min(n);
+        let (omin, omax) = online::sliding_mean_bounds(
+            &stats,
+            a,
+            b,
+            a + lo as u64,
+            a + hi as u64,
+            d as u64,
+            edge as u64,
+        );
+        prop_assert!(omin.is_finite() && omax.is_finite());
+        prop_assert!(omin <= omax);
+        if edge <= n {
+            let ps = PrefixStats::new(window);
+            // Cold enumeration, mirrored from the long-term pre-filter.
+            let lo_d = lo.saturating_sub(d);
+            let hi_d = (hi + d).min(n);
+            let first = lo_d.saturating_sub(edge - 1);
+            let last = hi_d.min(n - edge + 1);
+            let scale = values.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            let tol = 1e-9 * scale;
+            for s in first..last {
+                let m = ps.segment_mean(s, s + edge);
+                prop_assert!(
+                    m >= omin - tol && m <= omax + tol,
+                    "window [{s}, {}) mean {m} escapes [{omin}, {omax}]",
+                    s + edge
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 pub mod aggregate;
 pub mod block;
 pub mod error;
+pub mod scratch;
 pub mod series;
 pub mod snapshot;
 pub mod store;
@@ -21,14 +22,15 @@ pub mod window;
 
 pub use block::{BlockBuilder, SealedBlock};
 pub use error::TsdbError;
+pub use scratch::ScratchPoints;
 pub use series::TimeSeries;
 pub use store::{
     BatchAppendOutcome, SeriesDelta, SeriesVersion, ShardStats, StoreConfig, StoreStats, TsdbStore,
 };
 pub use types::{DataPoint, MetricKind, SeriesId, Timestamp};
 pub use window::{
-    snapshot_bounds, windows_from_points, windows_from_points_into, WindowConfig, WindowCoverage,
-    WindowedData,
+    snapshot_bounds, window_coverage, window_coverage_from_counts, windows_from_points,
+    windows_from_points_into, WindowConfig, WindowCoverage, WindowedData,
 };
 
 /// Convenience alias used by fallible routines in this crate.

@@ -1,0 +1,177 @@
+//! Thread-local scratch arena for [`DataPoint`] buffers.
+//!
+//! The streaming engine re-snapshots every scanned series each round:
+//! [`crate::TsdbStore::snapshot_deltas`] copies each series' appended tail
+//! (or, on reset, its whole scan range) into an owned buffer so the store
+//! shard lock is held only for the raw copy. Allocating that buffer fresh
+//! per series per round puts the global allocator on the round loop —
+//! exactly the per-call traffic `fbd_stats::scratch::ScratchVec` removed
+//! from the detectors. [`ScratchPoints`] is the same design for point
+//! buffers: checkout from a per-thread pool, return capacity on drop.
+//!
+//! ## Determinism contract
+//!
+//! Identical to `ScratchVec`: only spare *capacity* is recycled, never
+//! values — every checkout hands back an empty buffer — so computations
+//! using pooled buffers are bit-identical to ones using fresh allocations.
+//! The pool is thread-local: no locking, no cross-thread sharing, and a
+//! re-entrant checkout (pool already borrowed) falls back to a plain
+//! allocation rather than panicking.
+
+use crate::types::DataPoint;
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Maximum number of idle buffers retained per thread. A snapshot batch
+/// holds one buffer per in-flight series delta; shard batches run to a few
+/// hundred series, and buffers past the cap simply free.
+const MAX_POOLED: usize = 256;
+
+/// Largest capacity (in points, 1 MiB) worth keeping. Bigger buffers are
+/// one-off reset copies of unusually long series and are freed on drop.
+const MAX_RETAINED_CAPACITY: usize = 1 << 16;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<DataPoint>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`DataPoint`] buffer checked out of the thread-local pool; spare
+/// capacity returns to the pool when dropped. Derefs to `Vec<DataPoint>`,
+/// so it can be indexed, sliced, extended, and passed as
+/// `&mut Vec<DataPoint>` like any vector.
+#[derive(Debug, Default)]
+pub struct ScratchPoints {
+    buf: Vec<DataPoint>,
+}
+
+impl ScratchPoints {
+    fn acquire() -> Vec<DataPoint> {
+        POOL.with(|p| match p.try_borrow_mut() {
+            Ok(mut pool) => pool.pop().unwrap_or_default(),
+            // Pool busy (re-entrant use): fall back to a fresh allocation.
+            Err(_) => Vec::new(),
+        })
+    }
+
+    /// An empty scratch buffer with at least `cap` spare capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut buf = Self::acquire();
+        buf.clear();
+        buf.reserve(cap);
+        ScratchPoints { buf }
+    }
+
+    /// A scratch copy of `src`.
+    pub fn copied(src: &[DataPoint]) -> Self {
+        let mut buf = Self::acquire();
+        buf.clear();
+        buf.extend_from_slice(src);
+        ScratchPoints { buf }
+    }
+
+    /// Moves the buffer out as a plain `Vec`, e.g. to hand ownership to a
+    /// long-lived structure. The extracted vector is no longer pooled.
+    pub fn into_vec(mut self) -> Vec<DataPoint> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl Clone for ScratchPoints {
+    fn clone(&self) -> Self {
+        ScratchPoints::copied(&self.buf)
+    }
+}
+
+impl PartialEq for ScratchPoints {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl PartialEq<Vec<DataPoint>> for ScratchPoints {
+    fn eq(&self, other: &Vec<DataPoint>) -> bool {
+        self.buf == *other
+    }
+}
+
+impl Drop for ScratchPoints {
+    fn drop(&mut self) {
+        if self.buf.capacity() == 0 || self.buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        POOL.with(|p| {
+            if let Ok(mut pool) = p.try_borrow_mut() {
+                if pool.len() < MAX_POOLED {
+                    pool.push(buf);
+                }
+            }
+        });
+    }
+}
+
+impl Deref for ScratchPoints {
+    type Target = Vec<DataPoint>;
+
+    fn deref(&self) -> &Vec<DataPoint> {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchPoints {
+    fn deref_mut(&mut self) -> &mut Vec<DataPoint> {
+        &mut self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(t: u64, v: f64) -> DataPoint {
+        DataPoint {
+            timestamp: t,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn checkout_is_empty_even_after_reuse() {
+        {
+            let mut a = ScratchPoints::with_capacity(8);
+            a.push(pt(1, 7.5));
+        }
+        let b = ScratchPoints::with_capacity(8);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_recycled_across_checkouts() {
+        let cap = {
+            let mut a = ScratchPoints::with_capacity(100);
+            a.push(pt(1, 1.0));
+            a.capacity()
+        };
+        let b = ScratchPoints::with_capacity(10);
+        assert!(
+            b.capacity() >= 10 && b.capacity() <= cap.max(1024),
+            "expected a pooled buffer, got capacity {}",
+            b.capacity()
+        );
+    }
+
+    #[test]
+    fn copied_matches_source() {
+        let src = [pt(1, 1.0), pt(2, f64::NAN)];
+        let c = ScratchPoints::copied(&src);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], pt(1, 1.0));
+        assert!(c[1].value.is_nan());
+    }
+
+    #[test]
+    fn into_vec_detaches_from_pool() {
+        let v = ScratchPoints::copied(&[pt(4, 0.5)]).into_vec();
+        assert_eq!(v, vec![pt(4, 0.5)]);
+    }
+}

@@ -15,6 +15,7 @@
 
 use std::borrow::Cow;
 
+use crate::scratch::ScratchPoints;
 use fbd_stats::scratch::ScratchVec;
 
 use crate::block::SealedBlock;
@@ -340,6 +341,44 @@ impl TimeSeries {
         let mut out = Vec::with_capacity(n);
         out.extend_from_slice(&decoded[decoded.len() - needed..]);
         out.extend_from_slice(&self.head);
+        out
+    }
+
+    /// [`TimeSeries::tail_to_vec`] into a recycled [`ScratchPoints`]
+    /// buffer — the allocation-free variant for the per-round
+    /// snapshot-delta path, where a fresh tail copy per series per round
+    /// would put the global allocator on the scan loop.
+    // fbd-lint::hot
+    pub fn tail_scratch(&self, n: usize) -> ScratchPoints {
+        let n = n.min(self.len());
+        let mut out = ScratchPoints::with_capacity(n);
+        if n <= self.head.len() {
+            out.extend_from_slice(&self.head[self.head.len() - n..]);
+            return out;
+        }
+        let needed = n - self.head.len();
+        let mut start_block = self.sealed.len();
+        let mut covered = 0usize;
+        while start_block > 0 && covered < needed {
+            start_block -= 1;
+            covered += self.sealed[start_block].count() as usize;
+        }
+        let mut decoded = ScratchPoints::with_capacity(covered);
+        for block in &self.sealed[start_block..] {
+            block.decode_into(&mut decoded);
+        }
+        out.extend_from_slice(&decoded[decoded.len() - needed..]);
+        out.extend_from_slice(&self.head);
+        out
+    }
+
+    /// [`TimeSeries::range_to_vec`] into a recycled [`ScratchPoints`]
+    /// buffer — the allocation-free variant for reset copies on the
+    /// snapshot-delta path.
+    // fbd-lint::hot
+    pub fn range_scratch(&self, start: Timestamp, end: Timestamp) -> ScratchPoints {
+        let mut out = ScratchPoints::with_capacity(0);
+        self.range_into(start, end, &mut out);
         out
     }
 

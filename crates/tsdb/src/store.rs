@@ -1,5 +1,6 @@
 //! Concurrent store mapping series ids to time series.
 
+use crate::scratch::ScratchPoints;
 use crate::series::TimeSeries;
 use crate::types::{DataPoint, SeriesId, Timestamp};
 use crate::window::{
@@ -35,8 +36,10 @@ pub enum SeriesDelta {
     Appended {
         /// Counters at snapshot time.
         version: SeriesVersion,
-        /// The points appended since the known version.
-        tail: Vec<DataPoint>,
+        /// The points appended since the known version, in a recycled
+        /// [`ScratchPoints`] buffer (dropping it returns the capacity to
+        /// the per-thread pool).
+        tail: ScratchPoints,
     },
     /// Anything else (expiry, replacement, first observation): `points`
     /// holds everything from the scan range start onward — including points
@@ -46,8 +49,9 @@ pub enum SeriesDelta {
     Reset {
         /// Counters at snapshot time.
         version: SeriesVersion,
-        /// All points from `snapshot_bounds(config, now).0` onward.
-        points: Vec<DataPoint>,
+        /// All points from `snapshot_bounds(config, now).0` onward, in a
+        /// recycled [`ScratchPoints`] buffer.
+        points: ScratchPoints,
     },
 }
 
@@ -589,12 +593,12 @@ impl TsdbStore {
                         let new = current.appended.wrapping_sub(k.appended) as usize;
                         SeriesDelta::Appended {
                             version: current,
-                            tail: series.tail_to_vec(new),
+                            tail: series.tail_scratch(new),
                         }
                     }
                     _ => SeriesDelta::Reset {
                         version: current,
-                        points: series.range_to_vec(start, Timestamp::MAX),
+                        points: series.range_scratch(start, Timestamp::MAX),
                     },
                 };
             }

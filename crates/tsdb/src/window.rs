@@ -288,6 +288,78 @@ fn coverage_fraction(present: usize, window_seconds: u64, cadence: Option<u64>) 
     (present as f64 / expected).min(1.0)
 }
 
+/// Coverage of the three detection windows for a scan at `now`, computed
+/// from a time-ordered point slice without building window buffers. This is
+/// the exact coverage [`windows_from_points_into`] attaches to its result —
+/// the streaming engine's online-advance path calls it directly so the
+/// `partial` flag it replays is bit-identical to what a cold scan would have
+/// produced.
+pub fn window_coverage(
+    points: &[DataPoint],
+    config: &WindowConfig,
+    now: Timestamp,
+) -> WindowCoverage {
+    let extended_start = now.saturating_sub(config.extended);
+    let analysis_end = extended_start;
+    let analysis_start = analysis_end.saturating_sub(config.analysis);
+    let historic_start = analysis_start.saturating_sub(config.historic);
+    let historic = points_in(points, historic_start, analysis_start);
+    let analysis = points_in(points, analysis_start, analysis_end);
+    let extended = points_in(points, extended_start, now);
+    let cadence = estimate_cadence(points_in(
+        points,
+        historic_start,
+        now.max(historic_start + 1),
+    ));
+    window_coverage_from_counts(
+        historic.len(),
+        analysis.len(),
+        extended.len(),
+        cadence,
+        config,
+        now,
+    )
+}
+
+/// [`window_coverage`] from precomputed region point counts and an
+/// externally maintained cadence (the minimum positive timestamp gap over
+/// the scan range). The streaming engine's online-advance path already
+/// knows every region's point count from its partition bookkeeping and
+/// tracks the minimum gap incrementally per append, so it can produce the
+/// `partial` flag without rescanning the window's timestamps. Bit-identical
+/// to [`window_coverage`] given matching counts and cadence: both feed the
+/// same `coverage_fraction`.
+pub fn window_coverage_from_counts(
+    historic_present: usize,
+    analysis_present: usize,
+    extended_present: usize,
+    cadence: Option<u64>,
+    config: &WindowConfig,
+    now: Timestamp,
+) -> WindowCoverage {
+    let extended_start = now.saturating_sub(config.extended);
+    let analysis_end = extended_start;
+    let analysis_start = analysis_end.saturating_sub(config.analysis);
+    let historic_start = analysis_start.saturating_sub(config.historic);
+    WindowCoverage {
+        historic: coverage_fraction(
+            historic_present,
+            analysis_start.saturating_sub(historic_start),
+            cadence,
+        ),
+        analysis: coverage_fraction(
+            analysis_present,
+            analysis_end.saturating_sub(analysis_start),
+            cadence,
+        ),
+        extended: if config.extended == 0 {
+            1.0
+        } else {
+            coverage_fraction(extended_present, now.saturating_sub(extended_start), cadence)
+        },
+    }
+}
+
 /// Extracts the three windows from `series` for a scan at time `now`.
 ///
 /// Returns an error only when the historic or analysis window holds *no*
@@ -355,28 +427,7 @@ pub fn windows_from_points_into(
     values.extend(historic.iter().map(|p| p.value));
     values.extend(analysis.iter().map(|p| p.value));
     values.extend(extended.iter().map(|p| p.value));
-    let cadence = estimate_cadence(points_in(
-        points,
-        historic_start,
-        now.max(historic_start + 1),
-    ));
-    let coverage = WindowCoverage {
-        historic: coverage_fraction(
-            historic.len(),
-            analysis_start.saturating_sub(historic_start),
-            cadence,
-        ),
-        analysis: coverage_fraction(
-            analysis.len(),
-            analysis_end.saturating_sub(analysis_start),
-            cadence,
-        ),
-        extended: if config.extended == 0 {
-            1.0
-        } else {
-            coverage_fraction(extended.len(), now.saturating_sub(extended_start), cadence)
-        },
-    };
+    let coverage = window_coverage(points, config, now);
     Ok(WindowedData::from_parts(
         values,
         historic.len(),
@@ -743,6 +794,84 @@ mod tests {
         assert_eq!(snapshot_bounds(&cfg, 60), (0, 60));
         assert_eq!(snapshot_bounds(&cfg, 0), (0, 1));
         assert_eq!(snapshot_bounds(&cfg, 500), (325, 500));
+    }
+
+    #[test]
+    fn coverage_from_counts_matches_rescan_on_sparse_data() {
+        // The streaming engine's online-advance path feeds precomputed
+        // region counts and an incrementally maintained min-gap into
+        // `window_coverage_from_counts`; over sparse, bursty, and
+        // duplicate-timestamp data the verdict must be bit-identical to the
+        // timestamp-rescanning `window_coverage`.
+        let cfg = WindowConfig {
+            historic: 100,
+            analysis: 50,
+            extended: 25,
+            rerun_interval: 10,
+        };
+        let cases: Vec<Vec<DataPoint>> = vec![
+            // Regular cadence with a hole across the analysis window.
+            (0..200u64)
+                .filter(|t| !(130..150).contains(t))
+                .map(|t| DataPoint {
+                    timestamp: t,
+                    value: 1.0,
+                })
+                .collect(),
+            // Sparse cadence-5 samples plus duplicate timestamps.
+            (0..40u64)
+                .flat_map(|i| {
+                    let t = i * 5;
+                    [
+                        DataPoint {
+                            timestamp: t,
+                            value: 1.0,
+                        },
+                        DataPoint {
+                            timestamp: t,
+                            value: 2.0,
+                        },
+                    ]
+                })
+                .collect(),
+            // A single burst entirely inside the extended window.
+            (180..200u64)
+                .map(|t| DataPoint {
+                    timestamp: t,
+                    value: 1.0,
+                })
+                .collect(),
+            // One lonely point: cadence is unknowable.
+            vec![DataPoint {
+                timestamp: 160,
+                value: 1.0,
+            }],
+        ];
+        for (i, points) in cases.iter().enumerate() {
+            let rescan = window_coverage(points, &cfg, 200);
+            let (start, cad_end) = snapshot_bounds(&cfg, 200);
+            let historic = points_in(points, start, 125).len();
+            let analysis = points_in(points, 125, 175).len();
+            let extended = points_in(points, 175, 200).len();
+            let cadence = estimate_cadence(points_in(points, start, cad_end));
+            let counted =
+                window_coverage_from_counts(historic, analysis, extended, cadence, &cfg, 200);
+            assert_eq!(
+                rescan.historic.to_bits(),
+                counted.historic.to_bits(),
+                "case {i} historic"
+            );
+            assert_eq!(
+                rescan.analysis.to_bits(),
+                counted.analysis.to_bits(),
+                "case {i} analysis"
+            );
+            assert_eq!(
+                rescan.extended.to_bits(),
+                counted.extended.to_bits(),
+                "case {i} extended"
+            );
+        }
     }
 
     #[test]
