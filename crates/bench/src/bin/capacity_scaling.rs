@@ -174,8 +174,10 @@ fn main() {
     let now = suite_scan_time(LEN);
     // Hardware context for the thread-scaling table: with a single
     // available core the 1→8 thread rows are expected to be flat (the
-    // worker pool just adds scheduling overhead). Window extraction takes
-    // the store's shard lock in *read* mode, so it is not a serialization
+    // worker pool just adds scheduling overhead). Window extraction holds
+    // the store's shard lock briefly in write mode when the decode cache is
+    // enabled (read mode otherwise), but only to probe/fill the per-shard
+    // cache — series route across 16 shards, so it is not a serialization
     // point — see EXPERIMENTS.md "Thread scaling".
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -242,6 +244,18 @@ fn main() {
 
     // Per-stage cost attribution for the hot path.
     let (timings, _survivors) = stage_breakdown(&store, &ids, now);
+    // Decode-side counters after all scans and the stage breakdown: how
+    // many sealed blocks were actually decoded versus served from the
+    // per-shard decoded-block cache or answered from summaries alone.
+    let decode_stats = store.stats();
+    println!(
+        "decode: {} blocks decoded, {} cache hits, {} cache evictions, \
+         {:.1} KiB cached\n",
+        decode_stats.blocks_decoded(),
+        decode_stats.decode_cache_hits(),
+        decode_stats.decode_cache_evictions(),
+        decode_stats.decode_cache_bytes() as f64 / 1024.0,
+    );
     let stage_rows: Vec<Vec<String>> = timings
         .iter()
         .map(|t| {
@@ -284,10 +298,14 @@ fn main() {
          \"warm_series_per_sec\": {warm_rate:.1},\n  \
          \"cache_hit_rate\": {cache_hit_rate:.3},\n  \
          \"change_points\": {change_points},\n  \"reports\": {reports},\n  \
+         \"blocks_decoded\": {},\n  \
+         \"decode_cache_hits\": {},\n  \
          \"series_per_sec_by_threads\": {{\n{}\n  }},\n  \
          \"stage_ns_per_series\": {{\n{}\n  }}{baseline_json}\n}}\n",
         suite.len(),
         single_thread_rate,
+        decode_stats.blocks_decoded(),
+        decode_stats.decode_cache_hits(),
         rate_json.join(",\n"),
         stage_json.join(",\n"),
     );
@@ -338,5 +356,25 @@ fn main() {
             "storage footprint regressed: {bytes_per_point:.2} B/point > ceiling {ceiling:.2}"
         );
         println!("MAX_BYTES_PER_POINT guard passed: {bytes_per_point:.2} <= {ceiling:.2} B/point");
+    }
+    // CI latency guard: MAX_WINDOWING_NS (cold windowing ns/series,
+    // derived from the committed BENCH_pipeline.json's
+    // `stage_ns_per_series.windowing` with headroom) fails the run if cold
+    // window extraction regresses — e.g. the summary partitioning or the
+    // decode cache stops carrying the batch scan.
+    if let Some(ceiling) = std::env::var("MAX_WINDOWING_NS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        let windowing_ns = timings
+            .iter()
+            .find(|t| t.name == "windowing")
+            .map(|t| t.ns_per_series())
+            .unwrap_or(f64::INFINITY);
+        assert!(
+            windowing_ns <= ceiling,
+            "cold windowing regressed: {windowing_ns:.0} ns/series > ceiling {ceiling:.0}"
+        );
+        println!("MAX_WINDOWING_NS guard passed: {windowing_ns:.0} <= {ceiling:.0} ns/series");
     }
 }

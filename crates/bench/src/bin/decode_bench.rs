@@ -1,0 +1,137 @@
+//! Per-point cost of the two Gorilla block decoders.
+//!
+//! Times full-block decodes of the word-buffered decoder
+//! ([`SealedBlock::iter`]) and the retained bit-at-a-time legacy decoder
+//! ([`SealedBlock::reference_iter`]) over the same workload shapes the
+//! criterion `decode` bench sweeps: steady cadence, NaN bursts, and
+//! irregular cadence with timestamp jumps and repeated values, each at
+//! block sizes 128 / 900 / 4096.
+//!
+//! Results merge into `BENCH_pipeline.json` under `"decode_ns_per_point"`.
+//! `MAX_DECODE_RATIO` (default 1.3) bounds word/legacy on the 900-point
+//! steady shape — the blend sealed blocks actually hold — so a regression
+//! that loses the word decoder's advantage fails loudly.
+
+use fbd_bench::{decode_fixture, render_table, DECODE_SHAPES, DECODE_SIZES};
+use fbd_tsdb::SealedBlock;
+use std::time::Instant;
+
+fn consume_word(block: &SealedBlock) -> u64 {
+    let mut acc = 0u64;
+    for p in block.iter() {
+        acc ^= p.timestamp ^ p.value.to_bits();
+    }
+    acc
+}
+
+fn consume_legacy(block: &SealedBlock) -> u64 {
+    let mut acc = 0u64;
+    for p in block.reference_iter() {
+        acc ^= p.timestamp ^ p.value.to_bits();
+    }
+    acc
+}
+
+/// Median-of-runs ns/point for one decoder over one block.
+fn measure(block: &SealedBlock, legacy: bool) -> f64 {
+    let n = block.count() as usize;
+    // Enough iterations that one run covers >= ~1ms even for small blocks.
+    let iters = (1_000_000 / n).max(20);
+    let mut runs = [0f64; 5];
+    let mut sink = 0u64;
+    for run in &mut runs {
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink ^= if legacy {
+                consume_legacy(block)
+            } else {
+                consume_word(block)
+            };
+        }
+        *run = start.elapsed().as_nanos() as f64 / (iters * n) as f64;
+    }
+    assert!(sink != 1, "decode sink collapsed"); // keep the loop live
+    runs.sort_by(f64::total_cmp);
+    runs[2]
+}
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut entries: Vec<String> = Vec::new();
+    let mut steady_900 = (0.0f64, 0.0f64);
+    for shape in DECODE_SHAPES {
+        let mut fields: Vec<String> = Vec::new();
+        for n in DECODE_SIZES {
+            let points = decode_fixture(shape, n);
+            let block = SealedBlock::from_points(&points);
+            assert_eq!(block.count() as usize, n);
+            // The decoders must agree bit-for-bit before being timed.
+            let word: Vec<(u64, u64)> =
+                block.iter().map(|p| (p.timestamp, p.value.to_bits())).collect();
+            let legacy: Vec<(u64, u64)> = block
+                .reference_iter()
+                .map(|p| (p.timestamp, p.value.to_bits()))
+                .collect();
+            assert_eq!(word, legacy, "{shape}/{n}: decoders diverged");
+            let word_ns = measure(&block, false);
+            let legacy_ns = measure(&block, true);
+            if shape == "steady" && n == 900 {
+                steady_900 = (word_ns, legacy_ns);
+            }
+            rows.push(vec![
+                shape.to_string(),
+                n.to_string(),
+                format!("{word_ns:.2}"),
+                format!("{legacy_ns:.2}"),
+                format!("{:.2}x", legacy_ns / word_ns),
+            ]);
+            fields.push(format!(
+                "\"{n}\": {{ \"word\": {word_ns:.2}, \"legacy\": {legacy_ns:.2} }}"
+            ));
+        }
+        entries.push(format!("\"{shape}\": {{ {} }}", fields.join(", ")));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["shape", "points", "word ns/pt", "legacy ns/pt", "speedup"],
+            &rows,
+        )
+    );
+
+    let max_ratio = std::env::var("MAX_DECODE_RATIO")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.3);
+    let (word_ns, legacy_ns) = steady_900;
+    let ratio = word_ns / legacy_ns;
+    assert!(
+        ratio <= max_ratio,
+        "word decoder is {ratio:.2}x the legacy cost on steady/900 (cap {max_ratio:.2}x)"
+    );
+    println!("decode ratio guard passed: {ratio:.2}x <= {max_ratio:.2}x");
+
+    let entry = format!(
+        "\"decode_ns_per_point\": {{ {} }}",
+        entries.join(", ")
+    );
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => {
+            let body = existing.trim_end();
+            let body = body.strip_suffix('}').unwrap_or(body).trim_end();
+            // Replace a previous decode entry if present.
+            let body = match body.find(",\n  \"decode_ns_per_point\"") {
+                Some(pos) => &body[..pos],
+                None => body,
+            };
+            format!("{body},\n  {entry}\n}}\n")
+        }
+        Err(_) => format!("{{\n  {entry}\n}}\n"),
+    };
+    match std::fs::write(&out_path, &merged) {
+        Ok(()) => println!("merged decode_ns_per_point into {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

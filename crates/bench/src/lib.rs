@@ -263,6 +263,72 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
         .collect()
 }
 
+/// The three decoder workload shapes the decode micro-benchmarks run:
+/// steady cadence with smoothly varying finite values (the common case),
+/// the same cadence with NaN bursts (fault-window traffic), and irregular
+/// cadence with repeated values and timestamp jumps (every delta-of-delta
+/// and XOR escape class).
+pub const DECODE_SHAPES: [&str; 3] = ["steady", "nan_burst", "irregular"];
+
+/// Block sizes the decode micro-benchmarks sweep: a small partial block,
+/// the suite's standard series length, and a large block.
+pub const DECODE_SIZES: [usize; 3] = [128, 900, 4096];
+
+/// Deterministic point fixture for the decoder benchmarks; `shape` is one
+/// of [`DECODE_SHAPES`].
+pub fn decode_fixture(shape: &str, n: usize) -> Vec<fbd_tsdb::DataPoint> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (n as u64) << 7;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut ts = 0u64;
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = next();
+        let (gap, value) = match shape {
+            "steady" => (CADENCE, 1.0 + (r % 1000) as f64 / 5000.0),
+            "nan_burst" => {
+                // Ten-sample NaN runs every fifty samples: roughly the
+                // density a faulted host's counters show.
+                let v = if i % 50 < 10 {
+                    f64::NAN
+                } else {
+                    1.0 + (r % 1000) as f64 / 5000.0
+                };
+                (CADENCE, v)
+            }
+            "irregular" => {
+                let gap = match i % 7 {
+                    0 => 0,
+                    1 => 1,
+                    2 => CADENCE,
+                    3 => 3_600,
+                    4 => 1 << 21,
+                    _ => CADENCE + (r % 30),
+                };
+                // Repeat the previous value a third of the time so the
+                // XOR-zero class is exercised alongside wide payloads.
+                let v = if i % 3 == 0 {
+                    points
+                        .last()
+                        .map(|p: &fbd_tsdb::DataPoint| p.value)
+                        .unwrap_or(1.0)
+                } else {
+                    f64::from_bits(r)
+                };
+                (gap, v)
+            }
+            other => panic!("unknown decode shape {other:?}"),
+        };
+        ts = ts.saturating_add(if i == 0 { 0 } else { gap });
+        points.push(fbd_tsdb::DataPoint::new(ts, value));
+    }
+    points
+}
+
 /// Formats a Table 3 style reduction ("1/x") from counts.
 pub fn reduction(change_points: usize, remaining: usize) -> String {
     if remaining == 0 {

@@ -92,8 +92,8 @@ use fbd_stats::distributions::chi_squared_p_value;
 use fbd_stats::online;
 use fbd_stats::streaming::RollingStats;
 use fbd_tsdb::{
-    snapshot_bounds, window_coverage_from_counts, windows_from_points_into, DataPoint, MetricKind,
-    SeriesDelta, SeriesId, SeriesVersion, Timestamp, TsdbError, TsdbStore, WindowConfig,
+    snapshot_bounds, window_coverage_from_counts, windows_from_points_with_coverage, DataPoint,
+    MetricKind, SeriesDelta, SeriesId, SeriesVersion, Timestamp, TsdbError, TsdbStore, WindowConfig,
     WindowedData,
 };
 use fbd_sync::{LockDomain, OrderedMutex};
@@ -398,6 +398,10 @@ pub struct EngineStats {
     /// Level C attempts that could not prove a refutation and fell through
     /// to a full scan.
     pub online_fallbacks: u64,
+    /// Rounds answered without decoding or rebuilding windows — the sum of
+    /// every [`Prepared::Reuse`] return (Levels A/B, fault gates, Level C):
+    /// partition bookkeeping and block summaries alone settled the series.
+    pub summary_hits: u64,
     /// Fresh window builds handed to the detectors.
     pub scanned: u64,
     /// Series the engine could not serve (caller fell back to the store
@@ -427,6 +431,7 @@ struct Counters {
     gated: AtomicU64,
     advanced_online: AtomicU64,
     online_fallbacks: AtomicU64,
+    summary_hits: AtomicU64,
     scanned: AtomicU64,
     fallbacks: AtomicU64,
     buffer_growth: AtomicU64,
@@ -694,6 +699,7 @@ impl StreamingEngine {
                 &self.counters.reused_quiet
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            self.counters.summary_hits.fetch_add(1, Ordering::Relaxed);
             s.last = Some(RoundArtifacts {
                 now,
                 parts,
@@ -731,6 +737,7 @@ impl StreamingEngine {
         };
         if let Some(outcome) = gate {
             self.counters.gated.fetch_add(1, Ordering::Relaxed);
+            self.counters.summary_hits.fetch_add(1, Ordering::Relaxed);
             s.last = Some(RoundArtifacts {
                 now,
                 parts,
@@ -765,6 +772,7 @@ impl StreamingEngine {
                     partial: coverage.is_partial(min_coverage),
                 };
                 self.counters.advanced_online.fetch_add(1, Ordering::Relaxed);
+                self.counters.summary_hits.fetch_add(1, Ordering::Relaxed);
                 s.last = Some(RoundArtifacts {
                     now,
                     parts,
@@ -779,7 +787,20 @@ impl StreamingEngine {
         }
         let buffer_capacity = s.buffer.capacity();
         let buffer = std::mem::take(&mut s.buffer);
-        match windows_from_points_into(&s.points[s.start..], &self.config, now, buffer) {
+        // Fresh scans still need the value buffer, but the coverage verdict
+        // comes from the partitions and the incremental gap runs — the same
+        // O(1) expression the Level C arm uses — instead of the O(window)
+        // timestamp rescan inside `windows_from_points_into`.
+        let coverage = window_coverage_from_counts(
+            (parts.a - parts.h) as usize,
+            (parts.e - parts.a) as usize,
+            (parts.n - parts.e) as usize,
+            s.min_gap(parts.h + 1, parts.c),
+            &self.config,
+            now,
+        );
+        match windows_from_points_with_coverage(&s.points[s.start..], &self.config, now, buffer, coverage)
+        {
             Ok(windows) => {
                 self.counters.scanned.fetch_add(1, Ordering::Relaxed);
                 Prepared::Scan {
@@ -798,6 +819,7 @@ impl StreamingEngine {
                 // store path faithfully if it ever fires.
                 let outcome = CachedScan::NoData(e.to_string());
                 self.counters.gated.fetch_add(1, Ordering::Relaxed);
+                self.counters.summary_hits.fetch_add(1, Ordering::Relaxed);
                 s.last = Some(RoundArtifacts {
                     now,
                     parts,
@@ -990,6 +1012,7 @@ impl StreamingEngine {
             gated: c.gated.load(Ordering::Relaxed),
             advanced_online: c.advanced_online.load(Ordering::Relaxed),
             online_fallbacks: c.online_fallbacks.load(Ordering::Relaxed),
+            summary_hits: c.summary_hits.load(Ordering::Relaxed),
             scanned: c.scanned.load(Ordering::Relaxed),
             fallbacks: c.fallbacks.load(Ordering::Relaxed),
             buffer_growth: c.buffer_growth.load(Ordering::Relaxed),

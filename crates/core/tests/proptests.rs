@@ -1,5 +1,6 @@
 //! Property-based tests for the detection pipeline's invariants.
 
+use fbd_tsdb::window::extract_windows;
 use fbd_tsdb::{MetricKind, SeriesId, StoreConfig, TimeSeries, TsdbStore, WindowConfig};
 use fbdetect_core::change_point::ChangePointDetector;
 use fbdetect_core::config::{DetectorConfig, Threshold};
@@ -7,7 +8,7 @@ use fbdetect_core::dedup::same_merger::SameRegressionMerger;
 use fbdetect_core::long_term::LongTermDetector;
 use fbdetect_core::types::{Regression, RegressionKind};
 use fbdetect_core::went_away::WentAwayDetector;
-use fbdetect_core::{FaultKind, Pipeline, Quarantine, QuarantineConfig, ScanContext};
+use fbdetect_core::{FaultKind, Pipeline, Quarantine, QuarantineConfig, ScanContext, StreamingEngine};
 use proptest::prelude::*;
 
 fn config(threshold: f64) -> DetectorConfig {
@@ -435,7 +436,11 @@ proptest! {
         // health as a cold pipeline over a plain store holding the same
         // appends — across seals, appended tails, and NaN bursts.
         let cfg = config(0.05);
-        let packed = TsdbStore::with_config(StoreConfig { seal_limit, shard_budget_bytes: None });
+        let packed = TsdbStore::with_config(StoreConfig {
+            seal_limit,
+            shard_budget_bytes: None,
+            decode_cache_bytes: 8_192,
+        });
         let plain = TsdbStore::new();
         let mut ids = Vec::new();
         let mut frontier = 400u64;
@@ -488,5 +493,115 @@ proptest! {
         }
         // The comparison must actually have crossed sealed blocks.
         prop_assert!(packed.stats().sealed_blocks() > 0);
+    }
+
+    #[test]
+    fn tail_incremental_windows_match_cold_extraction(
+        seeds in prop::collection::vec(0u64..1000, 2..5),
+        chunks in prop::collection::vec((1usize..90, 0u8..10), 3..8),
+        seal_limit in 4u32..48,
+    ) {
+        // The streaming engine's tail-incremental path (decode only newly
+        // sealed blocks plus the mutable head, partition with summary
+        // counts) must yield windows byte-identical to a cold
+        // `extract_windows` over the full series, round after round with
+        // the watermark quantized to the rerun interval.
+        let wcfg = WindowConfig {
+            historic: 200,
+            analysis: 80,
+            extended: 40,
+            rerun_interval: 40,
+        };
+        let store = TsdbStore::with_config(StoreConfig {
+            seal_limit,
+            shard_budget_bytes: None,
+            decode_cache_bytes: 4_096,
+        });
+        let ids: Vec<SeriesId> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| SeriesId::new("svc", MetricKind::GCpu, format!("s{i}")))
+            .collect();
+        let id_refs: Vec<&SeriesId> = ids.iter().collect();
+        let mut engine = StreamingEngine::new(wcfg.clone());
+        // Pre-fill one full span so the historic region is never empty:
+        // every round from here on must take the scan (or reuse) path,
+        // never the data-quality gate.
+        let mut frontier = wcfg.total_span();
+        for (id, &seed) in ids.iter().zip(&seeds) {
+            for t in 0..frontier {
+                store.append(id, t, noisy_series(1, 1.0, 0.3, seed ^ (t << 10))[0]).unwrap();
+            }
+        }
+        let fingerprint = |w: &fbd_tsdb::WindowedData| {
+            let bits: Vec<u64> = w.all().iter().map(|v| v.to_bits()).collect();
+            (
+                bits,
+                w.historic_len(),
+                w.analysis_len(),
+                (
+                    w.coverage.historic.to_bits(),
+                    w.coverage.analysis.to_bits(),
+                    w.coverage.extended.to_bits(),
+                ),
+            )
+        };
+        for (round, &(appends, burst_sel)) in chunks.iter().enumerate() {
+            let nan_burst = burst_sel < 2;
+            for (s, (id, &seed)) in ids.iter().zip(&seeds).enumerate() {
+                for t in frontier..frontier + appends as u64 {
+                    let v = if nan_burst && s == 0 && t % 5 == 0 {
+                        f64::NAN
+                    } else {
+                        noisy_series(1, 1.0, 0.3, seed ^ (t << 10))[0]
+                    };
+                    store.append(id, t, v).unwrap();
+                }
+            }
+            frontier += appends as u64;
+            // Quantized watermark: rounds re-observe the same `now` until
+            // the frontier crosses the next rerun boundary.
+            let now = (frontier / wcfg.rerun_interval) * wcfg.rerun_interval;
+            engine.begin_round(&store, &id_refs, now);
+            for id in &ids {
+                match engine.prepare(id, 0.0, 0.0) {
+                    fbdetect_core::scan_state::Prepared::Scan { windows, token } => {
+                        let series = store.get(id).unwrap();
+                        let cold = extract_windows(&series, &wcfg, now);
+                        match cold {
+                            Ok(cold) => {
+                                prop_assert_eq!(
+                                    fingerprint(&windows),
+                                    fingerprint(&cold),
+                                    "round {}: tail-incremental diverged at now={}",
+                                    round,
+                                    now
+                                );
+                            }
+                            Err(e) => panic!("round {round}: cold extraction failed: {e}"),
+                        }
+                        engine.complete(
+                            id,
+                            token,
+                            Some(fbdetect_core::scan_state::CachedScan::Ok {
+                                short: None,
+                                long: None,
+                                partial: false,
+                            }),
+                            windows,
+                        );
+                    }
+                    fbdetect_core::scan_state::Prepared::Reuse(_) => {
+                        // Unchanged partitions at a held watermark: the
+                        // reused outcome was checked when it was produced.
+                    }
+                    fbdetect_core::scan_state::Prepared::Fallback => {
+                        panic!("round {round}: engine fell back for a tracked series")
+                    }
+                }
+            }
+        }
+        let stats = engine.stats();
+        prop_assert!(stats.scanned > 0, "no round ever exercised the scan path: {:?}", stats);
     }
 }

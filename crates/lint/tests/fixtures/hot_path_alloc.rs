@@ -17,6 +17,14 @@ pub fn good_step(xs: &[u64], scratch: &mut ScratchArena) -> u64 {
     buf.len() as u64
 }
 
+// fbd-lint::hot
+pub fn bad_decode_window(block: &SealedBlock) -> usize {
+    // Un-scratched decode buffer: every window extraction re-allocates
+    // the block's points instead of checking a buffer out of the arena.
+    let points: Vec<DataPoint> = block.iter().collect();
+    points.len()
+}
+
 pub fn cold() -> Vec<u64> {
     vec![1, 2, 3]
 }

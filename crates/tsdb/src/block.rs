@@ -32,15 +32,39 @@
 //! window field so a fully significant 64-bit XOR is representable without
 //! a special case.
 //!
+//! Every block additionally carries a [`BlockSummary`] computed while the
+//! block is built — point count, first/last timestamp, min/max/sum/sum-of-
+//! squares over the finite values (accumulated in append order, so the
+//! floating-point results are bit-stable against a full decode), non-finite
+//! count, and the extreme consecutive-timestamp gaps. Readers use the
+//! summary to answer coverage and moment queries without touching the bit
+//! stream; the bytes it occupies are charged to the store's resident-byte
+//! accounting ([`SUMMARY_BYTES`]).
+//!
 //! Blocks are built in memory and never deserialized from untrusted
 //! input — the on-disk snapshot format remains the text format in
-//! [`crate::snapshot`], which re-encodes on load. The decoder is still
-//! panic-free: a short or corrupt buffer terminates the iterator (with a
-//! `debug_assert` to surface the bug in tests) instead of panicking.
+//! [`crate::snapshot`], which re-encodes on load. The decoders are
+//! panic-free: a short or corrupt buffer terminates the iterator instead
+//! of panicking.
+//!
+//! Two decoders share the format: [`BlockIter`], the production decoder
+//! built on a buffered 64-bit word cursor ([`WordReader`]: one unaligned
+//! big-endian load refills up to seven bytes at a time, and the tag
+//! dispatch peeks several class bits in one shot), and
+//! [`ReferenceBlockIter`], the original bit-at-a-time decoder retained as
+//! the bit-exactness oracle for tests and proptests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::types::{DataPoint, Timestamp};
+
+/// Monotonic process-wide block id source. Every sealed block gets a
+/// fresh id, so an id can never be reused for different bytes — the
+/// property the shard decode cache relies on for ABA-safe keying
+/// (payload pointers are not stable identity: `Bytes` clones copy).
+static BLOCK_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Append-only bit sink over a growable byte buffer, MSB-first.
 #[derive(Debug)]
@@ -91,8 +115,10 @@ impl BitWriter {
     }
 }
 
-/// Bit-level cursor over an immutable byte slice. Every read returns
-/// `None` on overrun instead of panicking.
+/// Bit-level cursor over an immutable byte slice: the legacy reader, one
+/// bit per branch. Retained as the oracle the word-buffered decoder is
+/// checked against; every read returns `None` on overrun instead of
+/// panicking.
 #[derive(Debug)]
 struct BitReader<'a> {
     buf: &'a [u8],
@@ -131,13 +157,205 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Buffered 64-bit word cursor over an immutable byte slice, MSB-first.
+///
+/// The unconsumed stream prefix lives left-aligned in `bits`; a refill
+/// tops the window back up to ≥56 valid bits with a single unaligned
+/// big-endian load when eight source bytes remain (the branch-reduced
+/// fast path), falling back to byte-at-a-time near the end of the buffer.
+/// Absorbing whole bytes only means a reload may re-OR bits already
+/// present — they come from the same source bytes, so the OR is a no-op.
+///
+/// `remaining` counts stream bits not yet consumed (whether or not they
+/// are loaded), which is what makes overrun detection exact on corrupt or
+/// truncated payloads: a read past `remaining` returns `None` and the
+/// cursor refuses all further reads, mirroring the legacy reader's
+/// termination behavior.
+#[derive(Debug)]
+struct WordReader<'a> {
+    buf: &'a [u8],
+    /// Next byte of `buf` not yet absorbed into `bits`.
+    byte_pos: usize,
+    /// Unconsumed bits, left-aligned (bit 63 is the next stream bit).
+    bits: u64,
+    /// Number of valid bits in `bits` (0..=64).
+    avail: u32,
+    /// Stream bits not yet consumed, loaded or not.
+    remaining: usize,
+}
+
+impl<'a> WordReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, byte_pos: 0, bits: 0, avail: 0, remaining: buf.len() * 8 }
+    }
+
+    /// Tops `bits` up to ≥56 valid bits while source bytes remain.
+    #[inline]
+    fn refill(&mut self) {
+        if self.avail >= 56 {
+            return;
+        }
+        if let Some(window) = self.buf.get(self.byte_pos..self.byte_pos + 8) {
+            // Branch-reduced fast path: one unaligned big-endian load.
+            let w = u64::from_be_bytes(window.try_into().unwrap_or([0; 8]));
+            self.bits |= w >> self.avail;
+            let absorbed = (63 - self.avail) >> 3;
+            self.byte_pos += absorbed as usize;
+            self.avail += absorbed * 8;
+        } else {
+            while self.avail <= 56 {
+                let Some(&b) = self.buf.get(self.byte_pos) else { return };
+                self.bits |= u64::from(b) << (56 - self.avail);
+                self.avail += 8;
+                self.byte_pos += 1;
+            }
+        }
+    }
+
+    /// The next (up to) `n` unconsumed bits, left-padded with zeros when
+    /// fewer are loaded. Does not consume; callers must bound every
+    /// subsequent `read` so zero padding can never be mistaken for data.
+    #[inline]
+    fn peek(&mut self, n: u32) -> u64 {
+        debug_assert!((1..=56).contains(&n));
+        if self.avail < n {
+            self.refill();
+        }
+        self.bits >> (64 - n)
+    }
+
+    /// Consumes `n` already-peeked bits (`n` ≤ loaded and ≤ remaining).
+    #[inline]
+    fn consume(&mut self, n: u32) {
+        debug_assert!(n as usize <= self.remaining && n <= self.avail);
+        self.bits <<= n;
+        self.avail -= n;
+        self.remaining -= n as usize;
+    }
+
+    /// Reads `n ∈ 1..=56` bits, or `None` when the stream is exhausted.
+    #[inline]
+    fn read(&mut self, n: u32) -> Option<u64> {
+        debug_assert!((1..=56).contains(&n));
+        if self.remaining < n as usize {
+            self.remaining = 0;
+            return None;
+        }
+        if self.avail < n {
+            self.refill();
+        }
+        let out = self.bits >> (64 - n);
+        self.bits <<= n;
+        self.avail -= n;
+        self.remaining -= n as usize;
+        Some(out)
+    }
+
+    /// Reads `n ∈ 1..=64` bits (the 64-bit raw escapes split in two).
+    #[inline]
+    fn read_long(&mut self, n: u32) -> Option<u64> {
+        debug_assert!((1..=64).contains(&n));
+        if n <= 56 {
+            return self.read(n);
+        }
+        let hi = self.read(n - 32)?;
+        let lo = self.read(32)?;
+        Some((hi << 32) | lo)
+    }
+}
+
+/// Per-block statistics computed while the block is built, stored beside
+/// the compressed payload. Moment fields are accumulated in append order
+/// over the **finite** values, so they are bit-identical to what a full
+/// decode followed by the same left-to-right accumulation produces — the
+/// property the seal-time-summary proptests pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockSummary {
+    /// Number of points in the block.
+    pub count: u32,
+    /// Number of non-finite values (NaN and ±∞).
+    pub nan_count: u32,
+    /// Timestamp of the first point (0 for an empty block).
+    pub first_ts: Timestamp,
+    /// Timestamp of the last point (0 for an empty block).
+    pub last_ts: Timestamp,
+    /// Smallest positive consecutive-timestamp delta (0 when fewer than
+    /// two distinct timestamps): the block's cadence lower bound.
+    pub min_gap: u64,
+    /// Largest consecutive-timestamp delta (wrapping; 0 for < 2 points).
+    pub max_gap: u64,
+    /// Smallest finite value (+∞ when none).
+    pub min: f64,
+    /// Largest finite value (−∞ when none).
+    pub max: f64,
+    /// Sum of the finite values, accumulated in append order.
+    pub sum: f64,
+    /// Sum of squares of the finite values, accumulated in append order.
+    pub sum_sq: f64,
+}
+
+/// Resident bytes one [`BlockSummary`] occupies beside its block; charged
+/// into `resident_bytes` by the series/shard accounting.
+pub const SUMMARY_BYTES: usize = std::mem::size_of::<BlockSummary>();
+
+impl Default for BlockSummary {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl BlockSummary {
+    /// The summary of a block with no points.
+    pub const fn empty() -> Self {
+        BlockSummary {
+            count: 0,
+            nan_count: 0,
+            first_ts: 0,
+            last_ts: 0,
+            min_gap: 0,
+            max_gap: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Number of finite values in the block.
+    pub fn finite_count(&self) -> u32 {
+        self.count - self.nan_count
+    }
+
+    /// Folds one point into the summary; `record` must be called in
+    /// append order for the moment fields to stay decode-stable.
+    fn record(&mut self, point: DataPoint) {
+        if self.count == 0 {
+            self.first_ts = point.timestamp;
+        } else {
+            let gap = point.timestamp.wrapping_sub(self.last_ts);
+            self.max_gap = self.max_gap.max(gap);
+            if gap > 0 && (self.min_gap == 0 || gap < self.min_gap) {
+                self.min_gap = gap;
+            }
+        }
+        self.last_ts = point.timestamp;
+        if point.value.is_finite() {
+            self.min = self.min.min(point.value);
+            self.max = self.max.max(point.value);
+            self.sum += point.value;
+            self.sum_sq += point.value * point.value;
+        } else {
+            self.nan_count += 1;
+        }
+        self.count += 1;
+    }
+}
+
 /// Incremental encoder producing one [`SealedBlock`].
 #[derive(Debug)]
 pub struct BlockBuilder {
     bits: BitWriter,
-    count: u32,
-    first_ts: Timestamp,
-    last_ts: Timestamp,
+    summary: BlockSummary,
     prev_delta: u64,
     prev_value_bits: u64,
     prev_leading: u32,
@@ -163,9 +381,7 @@ impl BlockBuilder {
         // the buffer grows if the data is noisier.
         Self {
             bits: BitWriter::with_capacity(16 + points * 2),
-            count: 0,
-            first_ts: 0,
-            last_ts: 0,
+            summary: BlockSummary::empty(),
             prev_delta: 0,
             prev_value_bits: 0,
             prev_leading: 0,
@@ -176,12 +392,12 @@ impl BlockBuilder {
 
     /// Number of points encoded so far.
     pub fn count(&self) -> u32 {
-        self.count
+        self.summary.count
     }
 
     /// True when no point has been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.summary.count == 0
     }
 
     /// Compressed size in bytes if the block were sealed now.
@@ -194,21 +410,19 @@ impl BlockBuilder {
     /// monotonicity before points ever reach a builder.
     pub fn push(&mut self, point: DataPoint) {
         let value_bits = point.value.to_bits();
-        if self.count == 0 {
+        if self.summary.count == 0 {
             self.bits.push_bits(point.timestamp, 64);
             self.bits.push_bits(value_bits, 64);
-            self.first_ts = point.timestamp;
         } else {
             self.push_timestamp(point.timestamp);
             self.push_value(value_bits);
         }
-        self.last_ts = point.timestamp;
         self.prev_value_bits = value_bits;
-        self.count += 1;
+        self.summary.record(point);
     }
 
     fn push_timestamp(&mut self, ts: Timestamp) {
-        let delta = ts.wrapping_sub(self.last_ts);
+        let delta = ts.wrapping_sub(self.summary.last_ts);
         let dod = delta.wrapping_sub(self.prev_delta) as i64;
         self.prev_delta = delta;
         if dod == 0 {
@@ -259,21 +473,20 @@ impl BlockBuilder {
     pub fn seal(self) -> SealedBlock {
         SealedBlock {
             bytes: self.bits.finish(),
-            count: self.count,
-            first_ts: self.first_ts,
-            last_ts: self.last_ts,
+            summary: self.summary,
+            seq: BLOCK_SEQ.fetch_add(1, Ordering::Relaxed),
         }
     }
 }
 
-/// An immutable, compressed run of data points. Cloning is cheap: the
-/// payload is a reference-counted [`Bytes`].
+/// An immutable, compressed run of data points.
 #[derive(Debug, Clone)]
 pub struct SealedBlock {
     bytes: Bytes,
-    count: u32,
-    first_ts: Timestamp,
-    last_ts: Timestamp,
+    summary: BlockSummary,
+    /// Process-unique id stamped at seal time; clones share it (same
+    /// bytes, same identity). Used as the decode-cache key.
+    seq: u64,
 }
 
 impl SealedBlock {
@@ -288,34 +501,53 @@ impl SealedBlock {
 
     /// Number of points in the block.
     pub fn count(&self) -> u32 {
-        self.count
+        self.summary.count
     }
 
     /// True when the block holds no points.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.summary.count == 0
     }
 
     /// Timestamp of the first point (0 for an empty block).
     pub fn first_timestamp(&self) -> Timestamp {
-        self.first_ts
+        self.summary.first_ts
     }
 
     /// Timestamp of the last point (0 for an empty block).
     pub fn last_timestamp(&self) -> Timestamp {
-        self.last_ts
+        self.summary.last_ts
     }
 
-    /// Compressed payload size in bytes.
+    /// The seal-time statistics stored beside the payload.
+    pub fn summary(&self) -> &BlockSummary {
+        &self.summary
+    }
+
+    /// Process-unique identity of this block's payload. Never reused for
+    /// different bytes within a process, which makes it safe as a decode
+    /// cache key even across series replacement and eviction.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Compressed payload size in bytes (excluding [`SUMMARY_BYTES`]).
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
     }
 
-    /// Streaming decoder over the block's points.
+    /// The compressed payload bytes. Exposed for snapshotting and for the
+    /// corrupt-tail decoder proptests, which truncate and bit-flip real
+    /// payloads; mutating a copy never affects the sealed block.
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Streaming decoder over the block's points (word-buffered).
     pub fn iter(&self) -> BlockIter<'_> {
         BlockIter {
-            reader: BitReader::new(&self.bytes),
-            remaining: self.count,
+            reader: WordReader::new(&self.bytes),
+            remaining: self.summary.count,
             started: false,
             last_ts: 0,
             prev_delta: 0,
@@ -325,15 +557,43 @@ impl SealedBlock {
         }
     }
 
+    /// The original bit-at-a-time decoder, kept as the bit-exactness
+    /// oracle: tests and proptests compare [`SealedBlock::iter`] against
+    /// it point for point (including termination on corrupt tails).
+    pub fn reference_iter(&self) -> ReferenceBlockIter<'_> {
+        ReferenceBlockIter {
+            reader: BitReader::new(&self.bytes),
+            remaining: self.summary.count,
+            started: false,
+            last_ts: 0,
+            prev_delta: 0,
+            prev_value_bits: 0,
+            prev_leading: 0,
+            prev_sig_len: 0,
+        }
+    }
+
+    /// A block claiming `count` points over an arbitrary payload. Test
+    /// hook for the corrupt-tail decoder contracts: production blocks are
+    /// only ever built by [`BlockBuilder`].
+    #[doc(hidden)]
+    pub fn from_raw_parts(bytes: Vec<u8>, count: u32) -> Self {
+        SealedBlock {
+            bytes: Bytes::from(bytes),
+            summary: BlockSummary { count, ..BlockSummary::empty() },
+            seq: BLOCK_SEQ.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
     /// Decode every point, appending to `out`.
     pub fn decode_into(&self, out: &mut Vec<DataPoint>) {
-        out.reserve(self.count as usize);
+        out.reserve(self.summary.count as usize);
         out.extend(self.iter());
     }
 
     /// Decode every point into a fresh vector.
     pub fn to_points(&self) -> Vec<DataPoint> {
-        let mut out = Vec::with_capacity(self.count as usize);
+        let mut out = Vec::with_capacity(self.summary.count as usize);
         out.extend(self.iter());
         out
     }
@@ -351,12 +611,17 @@ impl<'a> IntoIterator for &'a SealedBlock {
 /// Streaming decoder; see [`SealedBlock::iter`].
 ///
 /// Yields exactly [`SealedBlock::count`] points for a well-formed block.
-/// A corrupt or truncated payload ends iteration early (never panics);
-/// `debug_assert` flags that case in test builds because blocks are only
-/// ever produced by [`BlockBuilder`] in-process.
+/// A corrupt or truncated payload ends iteration early, never panics —
+/// the contract the corrupt-tail proptests pin against the reference
+/// decoder.
+///
+/// Decoding runs on the [`WordReader`]: tag dispatch peeks the four
+/// possible delta-of-delta class bits (or the two value class bits) in a
+/// single masked compare instead of one branch per bit, and payloads are
+/// extracted with at most one refill per record.
 #[derive(Debug)]
 pub struct BlockIter<'a> {
-    reader: BitReader<'a>,
+    reader: WordReader<'a>,
     remaining: u32,
     started: bool,
     last_ts: Timestamp,
@@ -367,6 +632,129 @@ pub struct BlockIter<'a> {
 }
 
 impl BlockIter<'_> {
+    fn step(&mut self) -> Option<DataPoint> {
+        if !self.started {
+            self.started = true;
+            self.last_ts = self.reader.read_long(64)?;
+            self.prev_value_bits = self.reader.read_long(64)?;
+        } else {
+            self.last_ts = self.next_timestamp()?;
+            self.prev_value_bits = self.next_value_bits()?;
+        }
+        Some(DataPoint { timestamp: self.last_ts, value: f64::from_bits(self.prev_value_bits) })
+    }
+
+    /// Unrolled delta-of-delta dispatch: one 4-bit peek classifies the
+    /// record; zero padding past the end of the stream is harmless because
+    /// every consuming read below re-validates the remaining bit budget.
+    fn next_timestamp(&mut self) -> Option<Timestamp> {
+        let tag = self.reader.peek(4);
+        let dod: i64 = if tag & 0b1000 == 0 {
+            if self.reader.remaining < 1 {
+                return None;
+            }
+            self.reader.consume(1);
+            0
+        } else if tag & 0b0100 == 0 {
+            if self.reader.remaining < 2 {
+                return None;
+            }
+            self.reader.consume(2);
+            self.reader.read(7)? as i64 - 63
+        } else if tag & 0b0010 == 0 {
+            if self.reader.remaining < 3 {
+                return None;
+            }
+            self.reader.consume(3);
+            self.reader.read(9)? as i64 - 255
+        } else if tag & 0b0001 == 0 {
+            if self.reader.remaining < 4 {
+                return None;
+            }
+            self.reader.consume(4);
+            self.reader.read(12)? as i64 - 2047
+        } else {
+            if self.reader.remaining < 4 {
+                return None;
+            }
+            self.reader.consume(4);
+            self.reader.read_long(64)? as i64
+        };
+        self.prev_delta = self.prev_delta.wrapping_add(dod as u64);
+        Some(self.last_ts.wrapping_add(self.prev_delta))
+    }
+
+    fn next_value_bits(&mut self) -> Option<u64> {
+        let tag = self.reader.peek(2);
+        if tag & 0b10 == 0 {
+            if self.reader.remaining < 1 {
+                return None;
+            }
+            self.reader.consume(1);
+            return Some(self.prev_value_bits);
+        }
+        if self.reader.remaining < 2 {
+            return None;
+        }
+        self.reader.consume(2);
+        if tag & 0b01 == 1 {
+            // Fresh window: leading count + (length - 1) + payload, read
+            // as one 12-bit burst.
+            let header = self.reader.read(12)?;
+            self.prev_leading = (header >> 6) as u32;
+            self.prev_sig_len = (header & 0x3f) as u32 + 1;
+            if self.prev_leading + self.prev_sig_len > 64 {
+                return None; // corrupt window descriptor
+            }
+        }
+        let trailing = 64 - self.prev_leading - self.prev_sig_len;
+        let payload = self.reader.read_long(self.prev_sig_len)?;
+        Some(self.prev_value_bits ^ (payload << trailing))
+    }
+}
+
+impl Iterator for BlockIter<'_> {
+    type Item = DataPoint;
+
+    fn next(&mut self) -> Option<DataPoint> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.step() {
+            Some(point) => {
+                self.remaining -= 1;
+                Some(point)
+            }
+            None => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for BlockIter<'_> {}
+
+/// The retained legacy decoder; see [`SealedBlock::reference_iter`].
+/// Semantics are identical to [`BlockIter`] — same points, same
+/// termination on corrupt input — just one branch per bit.
+#[derive(Debug)]
+pub struct ReferenceBlockIter<'a> {
+    reader: BitReader<'a>,
+    remaining: u32,
+    started: bool,
+    last_ts: Timestamp,
+    prev_delta: u64,
+    prev_value_bits: u64,
+    prev_leading: u32,
+    prev_sig_len: u32,
+}
+
+impl ReferenceBlockIter<'_> {
     fn step(&mut self) -> Option<DataPoint> {
         if !self.started {
             self.started = true;
@@ -413,7 +801,7 @@ impl BlockIter<'_> {
     }
 }
 
-impl Iterator for BlockIter<'_> {
+impl Iterator for ReferenceBlockIter<'_> {
     type Item = DataPoint;
 
     fn next(&mut self) -> Option<DataPoint> {
@@ -426,7 +814,6 @@ impl Iterator for BlockIter<'_> {
                 Some(point)
             }
             None => {
-                debug_assert!(false, "truncated or corrupt compressed block");
                 self.remaining = 0;
                 None
             }
@@ -438,7 +825,7 @@ impl Iterator for BlockIter<'_> {
     }
 }
 
-impl ExactSizeIterator for BlockIter<'_> {}
+impl ExactSizeIterator for ReferenceBlockIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -458,6 +845,13 @@ mod tests {
                 want.timestamp
             );
         }
+        // The reference decoder must agree with the word-buffered one.
+        let reference: Vec<DataPoint> = block.reference_iter().collect();
+        assert_eq!(reference.len(), decoded.len());
+        for (fast, slow) in decoded.iter().zip(&reference) {
+            assert_eq!(fast.timestamp, slow.timestamp);
+            assert_eq!(fast.value.to_bits(), slow.value.to_bits());
+        }
         if let (Some(first), Some(last)) = (points.first(), points.last()) {
             assert_eq!(block.first_timestamp(), first.timestamp);
             assert_eq!(block.last_timestamp(), last.timestamp);
@@ -474,6 +868,7 @@ mod tests {
         assert!(block.is_empty());
         assert_eq!(block.iter().count(), 0);
         assert_eq!(block.byte_len(), 0);
+        assert_eq!(*block.summary(), BlockSummary::empty());
     }
 
     #[test]
@@ -613,5 +1008,75 @@ mod tests {
         b.push(dp(60, 1.0));
         assert!(b.byte_len() >= after_one);
         assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn summary_matches_full_decode() {
+        let values = [1.5, f64::NAN, -2.0, 7.25, f64::INFINITY, 0.5, 0.5];
+        let gaps = [0u64, 60, 60, 1, 4000, 60, 0];
+        let mut ts = 100u64;
+        let mut points = Vec::new();
+        for (v, g) in values.iter().zip(gaps) {
+            ts += g;
+            points.push(dp(ts, *v));
+        }
+        let block = SealedBlock::from_points(&points);
+        let s = block.summary();
+        // Recompute the summary from a full decode, in decode order.
+        let mut oracle = BlockSummary::empty();
+        for p in block.iter() {
+            oracle.record(p);
+        }
+        assert_eq!(*s, oracle);
+        assert_eq!(s.count, 7);
+        assert_eq!(s.nan_count, 2);
+        assert_eq!(s.finite_count(), 5);
+        assert_eq!(s.first_ts, 100);
+        assert_eq!(s.last_ts, 100 + 60 + 60 + 1 + 4000 + 60);
+        assert_eq!(s.min_gap, 1);
+        assert_eq!(s.max_gap, 4000);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 7.25);
+        let direct_sum: f64 = 1.5 + -2.0 + 7.25 + 0.5 + 0.5;
+        assert_eq!(s.sum.to_bits(), direct_sum.to_bits());
+    }
+
+    #[test]
+    fn summary_of_all_nan_block_keeps_sentinels() {
+        let points: Vec<DataPoint> = (0..4).map(|i| dp(i * 60, f64::NAN)).collect();
+        let block = SealedBlock::from_points(&points);
+        let s = block.summary();
+        assert_eq!(s.nan_count, 4);
+        assert_eq!(s.finite_count(), 0);
+        assert!(s.min.is_infinite() && s.min > 0.0);
+        assert!(s.max.is_infinite() && s.max < 0.0);
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn truncated_payload_terminates_both_decoders_identically() {
+        let points: Vec<DataPoint> =
+            (0..64).map(|i| dp(i * 60 + (i % 7), (i as f64).sin())).collect();
+        let block = SealedBlock::from_points(&points);
+        let full = block.byte_len();
+        for cut in [0usize, 1, 7, 15, 16, 17, full / 2, full.saturating_sub(1)] {
+            let truncated = SealedBlock::from_raw_parts(
+                block.bytes[..cut.min(full)].to_vec(),
+                block.count(),
+            );
+            let fast: Vec<DataPoint> = truncated.iter().collect();
+            let slow: Vec<DataPoint> = truncated.reference_iter().collect();
+            assert_eq!(fast.len(), slow.len(), "cut at {cut}");
+            for (a, b) in fast.iter().zip(&slow) {
+                assert_eq!(a.timestamp, b.timestamp, "cut at {cut}");
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_bytes_is_nonzero_and_stable() {
+        assert!(SUMMARY_BYTES >= 56);
+        assert_eq!(SUMMARY_BYTES, std::mem::size_of::<BlockSummary>());
     }
 }

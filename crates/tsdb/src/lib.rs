@@ -23,14 +23,15 @@ pub mod window;
 pub use block::{BlockBuilder, SealedBlock};
 pub use error::TsdbError;
 pub use scratch::ScratchPoints;
-pub use series::TimeSeries;
+pub use series::{SummaryBounds, TimeSeries};
 pub use store::{
     BatchAppendOutcome, SeriesDelta, SeriesVersion, ShardStats, StoreConfig, StoreStats, TsdbStore,
 };
 pub use types::{DataPoint, MetricKind, SeriesId, Timestamp};
 pub use window::{
     snapshot_bounds, window_coverage, window_coverage_from_counts, windows_from_points,
-    windows_from_points_into, WindowConfig, WindowCoverage, WindowedData,
+    windows_from_points_into, windows_from_points_with_coverage, WindowConfig, WindowCoverage,
+    WindowedData,
 };
 
 /// Convenience alias used by fallible routines in this crate.

@@ -18,9 +18,35 @@ use std::borrow::Cow;
 use crate::scratch::ScratchPoints;
 use fbd_stats::scratch::ScratchVec;
 
-use crate::block::SealedBlock;
+use crate::block::{BlockSummary, SealedBlock, SUMMARY_BYTES};
 use crate::types::{DataPoint, Timestamp};
 use crate::{Result, TsdbError};
+
+/// Zero-decode bounds over a `[start, end)` range of a series, computed by
+/// [`TimeSeries::summary_bounds`] from seal-time block summaries plus the
+/// uncompressed head. Block-derived figures cover every *overlapping* block
+/// whole, so they are conservative: value bounds are outer bounds and
+/// counts are upper bounds for the requested range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryBounds {
+    /// Upper bound on the number of stored points in the range (exact for
+    /// the head portion and for blocks fully inside the range).
+    pub count_max: usize,
+    /// Lower bound on the minimum finite value (`+∞` when none covered).
+    pub min: f64,
+    /// Upper bound on the maximum finite value (`−∞` when none covered).
+    pub max: f64,
+    /// Upper bound on the number of non-finite samples in the range.
+    pub nan_count_max: usize,
+    /// Smallest positive consecutive-timestamp gap observed within any
+    /// overlapping block or the head slice (0 when unknown). Gaps that
+    /// straddle block boundaries are not represented, so this is an upper
+    /// bound on the series' true minimum gap — still a valid cadence
+    /// estimate for coverage math, which only widens under a larger gap.
+    pub min_gap: Timestamp,
+    /// Number of sealed blocks a decode of the same range would touch.
+    pub blocks: usize,
+}
 
 /// An append-only, timestamp-ordered series of samples.
 ///
@@ -388,17 +414,131 @@ impl TimeSeries {
     }
 
     /// Bytes resident for this series under the accounting model used by
-    /// shard budgets: 16 bytes per uncompressed head point plus the
-    /// compressed payload of every sealed block. Container slack (vector
+    /// shard budgets: 16 bytes per uncompressed head point, the compressed
+    /// payload of every sealed block, plus [`SUMMARY_BYTES`] for the
+    /// seal-time summary stored beside each block. Container slack (vector
     /// capacity beyond length, block bookkeeping) is deliberately excluded
     /// so the number is stable across reallocation strategies.
     pub fn resident_bytes(&self) -> usize {
-        self.head.len() * std::mem::size_of::<DataPoint>() + self.sealed_bytes
+        self.head.len() * std::mem::size_of::<DataPoint>()
+            + self.sealed_bytes
+            + self.sealed.len() * SUMMARY_BYTES
     }
 
     /// Number of sealed (compressed) blocks.
     pub fn sealed_block_count(&self) -> usize {
         self.sealed.len()
+    }
+
+    /// The sealed blocks, oldest first. Read-only: callers may decode or
+    /// inspect summaries but never mutate sealed history.
+    pub fn sealed_blocks(&self) -> &[SealedBlock] {
+        &self.sealed
+    }
+
+    /// Seal-time summaries of the sealed blocks, oldest first — the
+    /// zero-decode view of compressed history.
+    pub fn summaries(&self) -> impl ExactSizeIterator<Item = &BlockSummary> {
+        self.sealed.iter().map(SealedBlock::summary)
+    }
+
+    /// The uncompressed head points (newest data, not yet sealed).
+    pub fn head(&self) -> &[DataPoint] {
+        &self.head
+    }
+
+    /// Number of sealed blocks a `[start, end)` range read decodes —
+    /// answered from summaries alone, mirroring [`TimeSeries::range_into`]'s
+    /// skip/break rules exactly.
+    pub fn overlapping_block_count(&self, start: Timestamp, end: Timestamp) -> u64 {
+        if start >= end {
+            return 0;
+        }
+        let mut n = 0;
+        for block in &self.sealed {
+            if block.last_timestamp() < start || block.is_empty() {
+                continue;
+            }
+            if block.first_timestamp() >= end {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of sealed blocks a tail-`n` read decodes — zero while the
+    /// head still covers the tail, mirroring [`TimeSeries::tail_scratch`]'s
+    /// walk-back exactly.
+    pub fn tail_block_count(&self, n: usize) -> u64 {
+        let n = n.min(self.len());
+        if n <= self.head.len() {
+            return 0;
+        }
+        let needed = n - self.head.len();
+        let mut start_block = self.sealed.len();
+        let mut covered = 0usize;
+        while start_block > 0 && covered < needed {
+            start_block -= 1;
+            covered += self.sealed[start_block].count() as usize;
+        }
+        (self.sealed.len() - start_block) as u64
+    }
+
+    /// Zero-decode bounds over `[start, end)`: seal-time summaries answer
+    /// for every overlapping sealed block (a superset of the range, so the
+    /// value bounds are outer bounds and the counts are upper bounds) and
+    /// an exact pass over the tiny uncompressed head tightens the rest.
+    /// This is what window-coverage estimates, the flat-series prefilter,
+    /// and Level C's `sliding_mean_bounds` inputs consume when the online
+    /// refuters clear a series without decoding it.
+    pub fn summary_bounds(&self, start: Timestamp, end: Timestamp) -> SummaryBounds {
+        let mut b = SummaryBounds {
+            count_max: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            nan_count_max: 0,
+            min_gap: 0,
+            blocks: 0,
+        };
+        if start >= end {
+            return b;
+        }
+        fn fold_gap(min_gap: &mut Timestamp, gap: Timestamp) {
+            if gap > 0 && (*min_gap == 0 || gap < *min_gap) {
+                *min_gap = gap;
+            }
+        }
+        for block in &self.sealed {
+            if block.last_timestamp() < start || block.is_empty() {
+                continue;
+            }
+            if block.first_timestamp() >= end {
+                break;
+            }
+            let s = block.summary();
+            b.blocks += 1;
+            b.count_max += s.count as usize;
+            b.min = b.min.min(s.min);
+            b.max = b.max.max(s.max);
+            b.nan_count_max += s.nan_count as usize;
+            fold_gap(&mut b.min_gap, s.min_gap);
+        }
+        let lo = self.head.partition_point(|p| p.timestamp < start);
+        let hi = self.head.partition_point(|p| p.timestamp < end);
+        for w in self.head[lo..hi].windows(2) {
+            fold_gap(&mut b.min_gap, w[1].timestamp - w[0].timestamp);
+        }
+        for p in &self.head[lo..hi] {
+            b.count_max += 1;
+            if p.value.is_finite() {
+                b.min = b.min.min(p.value);
+                b.max = b.max.max(p.value);
+            } else {
+                b.nan_count_max += 1;
+            }
+        }
+        b
     }
 
     /// Total compressed payload bytes across sealed blocks.
@@ -418,19 +558,22 @@ impl TimeSeries {
     }
 
     /// Drops the oldest sealed block, returning `(points, bytes)` freed.
-    /// A non-append mutation: bumps `version` so snapshot readers observe
-    /// a reset. Never touches the head.
+    /// `bytes` is the resident-byte delta — compressed payload plus the
+    /// block's [`SUMMARY_BYTES`] — so shard counters stay consistent with
+    /// [`TimeSeries::resident_bytes`]. A non-append mutation: bumps
+    /// `version` so snapshot readers observe a reset. Never touches the
+    /// head.
     pub(crate) fn evict_front_block(&mut self) -> Option<(usize, usize)> {
         if self.sealed.is_empty() {
             return None;
         }
         let block = self.sealed.remove(0);
         let points = block.count() as usize;
-        let bytes = block.byte_len();
+        let payload = block.byte_len();
         self.sealed_points -= points;
-        self.sealed_bytes -= bytes;
+        self.sealed_bytes -= payload;
         self.version = self.version.wrapping_add(1);
-        Some((points, bytes))
+        Some((points, payload + SUMMARY_BYTES))
     }
 
     /// Drops all points older than `cutoff` (exclusive). Returns how many
@@ -770,6 +913,49 @@ mod tests {
     }
 
     #[test]
+    fn resident_bytes_pins_the_accounting_formula() {
+        // The formula every consumer (shard counters, budget eviction,
+        // both benches' bytes_per_point) must agree on:
+        //   head_points * 16 + sealed payload + sealed_blocks * SUMMARY_BYTES
+        let mut s = TimeSeries::with_seal_limit(16);
+        for i in 0..70u64 {
+            s.append(i * 60, (i as f64).sin()).unwrap();
+        }
+        assert_eq!(s.sealed_block_count(), 4);
+        assert_eq!(s.head_len(), 6);
+        assert_eq!(
+            s.resident_bytes(),
+            s.head_len() * std::mem::size_of::<DataPoint>()
+                + s.sealed_bytes()
+                + s.sealed_block_count() * SUMMARY_BYTES
+        );
+        // Evicting a block frees exactly its payload plus its summary.
+        let front_payload = s.sealed_blocks()[0].byte_len();
+        let before = s.resident_bytes();
+        let (_, freed) = s.evict_front_block().unwrap();
+        assert_eq!(freed, front_payload + SUMMARY_BYTES);
+        assert_eq!(s.resident_bytes(), before - freed);
+    }
+
+    #[test]
+    fn summaries_expose_sealed_blocks_without_decode() {
+        let mut s = TimeSeries::with_seal_limit(8);
+        for i in 0..20u64 {
+            s.append(i * 60, i as f64).unwrap();
+        }
+        let sums: Vec<_> = s.summaries().collect();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].count, 8);
+        assert_eq!(sums[0].first_ts, 0);
+        assert_eq!(sums[0].last_ts, 7 * 60);
+        assert_eq!(sums[1].first_ts, 8 * 60);
+        assert_eq!(sums[0].min_gap, 60);
+        assert_eq!(sums[0].max_gap, 60);
+        assert_eq!(s.head().len(), 4);
+        assert_eq!(s.head()[0].timestamp, 16 * 60);
+    }
+
+    #[test]
     fn tail_to_vec_spans_blocks() {
         let mut s = TimeSeries::with_seal_limit(3);
         for i in 0..10 {
@@ -791,6 +977,67 @@ mod tests {
         }
         let scratch = s.values_scratch();
         assert_eq!(&*scratch, s.values().as_slice());
+    }
+
+    #[test]
+    fn block_count_helpers_mirror_decode_paths() {
+        let mut s = TimeSeries::with_seal_limit(4);
+        for i in 0..18u64 {
+            s.append(i * 10, i as f64).unwrap();
+        }
+        // Blocks: [0..30], [40..70], [80..110], [120..150]; head [160, 170].
+        assert_eq!(s.sealed_block_count(), 4);
+        assert_eq!(s.head_len(), 2);
+        // Range counts mirror range_into's skip/break rules.
+        assert_eq!(s.overlapping_block_count(0, 180), 4);
+        assert_eq!(s.overlapping_block_count(45, 85), 2);
+        assert_eq!(s.overlapping_block_count(160, 180), 0);
+        assert_eq!(s.overlapping_block_count(50, 50), 0);
+        // Tail counts mirror tail_scratch's walk-back: 0 while the head
+        // covers the tail, then whole blocks.
+        assert_eq!(s.tail_block_count(2), 0);
+        assert_eq!(s.tail_block_count(3), 1);
+        assert_eq!(s.tail_block_count(7), 2);
+        assert_eq!(s.tail_block_count(100), 4);
+    }
+
+    #[test]
+    fn summary_bounds_are_conservative_outer_bounds() {
+        let mut s = TimeSeries::with_seal_limit(4);
+        let values = [1.0, 5.0, f64::NAN, -2.0, 3.0, 4.0, 0.5, 9.0, 7.0, 6.0];
+        for (i, v) in values.iter().enumerate() {
+            s.append(i as u64 * 60, *v).unwrap();
+        }
+        // Blocks [0..180] and [240..420]; head [480, 540].
+        let full = s.summary_bounds(0, 1_000);
+        assert_eq!(full.blocks, 2);
+        assert_eq!(full.count_max, 10);
+        assert_eq!(full.nan_count_max, 1);
+        assert_eq!(full.min, -2.0);
+        assert_eq!(full.max, 9.0);
+        assert_eq!(full.min_gap, 60);
+        // A sub-range still charges every overlapping block whole: the
+        // bounds enclose the true decode of the same range.
+        let partial = s.summary_bounds(120, 300);
+        assert_eq!(partial.blocks, 2);
+        assert_eq!(partial.count_max, 8);
+        let decoded = s.range_to_vec(120, 300);
+        assert!(decoded.len() <= partial.count_max);
+        for p in &decoded {
+            if p.value.is_finite() {
+                assert!(p.value >= partial.min && p.value <= partial.max);
+            }
+        }
+        // Head-only range is exact.
+        let head = s.summary_bounds(480, 1_000);
+        assert_eq!(head.blocks, 0);
+        assert_eq!((head.count_max, head.nan_count_max), (2, 0));
+        assert_eq!((head.min, head.max), (6.0, 7.0));
+        assert_eq!(head.min_gap, 60);
+        // Inverted range is empty with sentinels intact.
+        let empty = s.summary_bounds(500, 100);
+        assert_eq!(empty.count_max, 0);
+        assert!(empty.min.is_infinite() && empty.max.is_infinite());
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! Concurrent store mapping series ids to time series.
 
+use crate::block::SealedBlock;
 use crate::scratch::ScratchPoints;
-use crate::series::TimeSeries;
+use crate::series::{SummaryBounds, TimeSeries};
 use crate::types::{DataPoint, SeriesId, Timestamp};
 use crate::window::{
     extract_windows, snapshot_bounds, windows_from_points, WindowConfig, WindowedData,
 };
 use crate::{Result, TsdbError};
 use fbd_sync::{LockDomain, OrderedRwLock};
-use std::collections::BTreeMap;
+// fbd-lint::allow(hash-order): HashMap backs the decode cache, which is only
+// probed by key; iteration never happens, so order cannot reach any output.
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A point-in-time observation of a series' mutation counters.
@@ -78,6 +82,14 @@ pub struct StoreConfig {
     /// shard fits. Mutable heads are never evicted, so recent data always
     /// survives. `None` disables enforcement.
     pub shard_budget_bytes: Option<usize>,
+    /// Per-shard byte budget for the decoded-block cache (16 bytes per
+    /// cached point); 0 disables caching entirely. The cache serves repeat
+    /// decodes on the read paths that revisit the same sealed blocks —
+    /// per-series window extraction and delta-snapshot tail/reset copies —
+    /// and is accounted separately from `shard_budget_bytes`
+    /// (`ShardStats::decode_cache_bytes`): it is a read accelerator, not
+    /// stored data, and evicting it never loses points.
+    pub decode_cache_bytes: usize,
 }
 
 impl StoreConfig {
@@ -87,9 +99,19 @@ impl StoreConfig {
     /// delta-of-delta and XOR windows amortize the 16-byte first sample.
     pub const DEFAULT_SEAL_LIMIT: u32 = 128;
 
-    /// Gorilla compression on, no memory budget.
+    /// Decoded-block cache budget [`StoreConfig::compressed`] enables per
+    /// shard: 2 MiB holds ~1,000 decoded 128-point blocks, enough that a
+    /// paper-shaped 2,000-series suite's scan range stays fully decoded
+    /// across one store's 16 shards.
+    pub const DEFAULT_DECODE_CACHE_BYTES: usize = 2 * 1024 * 1024;
+
+    /// Gorilla compression on, no memory budget, decode cache enabled.
     pub fn compressed() -> Self {
-        StoreConfig { seal_limit: Self::DEFAULT_SEAL_LIMIT, shard_budget_bytes: None }
+        StoreConfig {
+            seal_limit: Self::DEFAULT_SEAL_LIMIT,
+            shard_budget_bytes: None,
+            decode_cache_bytes: Self::DEFAULT_DECODE_CACHE_BYTES,
+        }
     }
 
     /// This config with a per-shard resident-byte budget.
@@ -121,6 +143,15 @@ pub struct ShardStats {
     pub evicted_blocks: u64,
     /// Points dropped by budget enforcement since the store was created.
     pub evicted_points: u64,
+    /// Bytes of decoded points currently held by the shard's decode cache
+    /// (16 per point; accounted separately from `resident_bytes`).
+    pub decode_cache_bytes: usize,
+    /// Cached-path block reads served without decoding.
+    pub decode_cache_hits: u64,
+    /// Cached-path block reads that had to decode (and then cached).
+    pub decode_cache_misses: u64,
+    /// Cache entries dropped to fit the decode-cache budget.
+    pub decode_cache_evictions: u64,
 }
 
 /// Store-wide storage statistics: one [`ShardStats`] per shard plus
@@ -129,6 +160,10 @@ pub struct ShardStats {
 pub struct StoreStats {
     /// Per-shard breakdown, indexed by shard number.
     pub shards: Vec<ShardStats>,
+    /// Sealed blocks decoded on read paths that bypass the decode cache
+    /// (batch snapshots, and all reads when the cache is disabled),
+    /// counted from summaries without touching the payloads.
+    pub direct_blocks_decoded: u64,
 }
 
 impl StoreStats {
@@ -172,6 +207,28 @@ impl StoreStats {
         self.shards.iter().map(|s| s.evicted_points).sum()
     }
 
+    /// Total sealed blocks decoded anywhere in the store: cache misses
+    /// plus direct (uncached-path) decodes.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.direct_blocks_decoded + self.shards.iter().map(|s| s.decode_cache_misses).sum::<u64>()
+    }
+
+    /// Total decoded-block cache hits.
+    pub fn decode_cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_cache_hits).sum()
+    }
+
+    /// Total decoded-block cache entries evicted to fit the cache budget.
+    pub fn decode_cache_evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_cache_evictions).sum()
+    }
+
+    /// Total bytes currently held by the decode caches (outside
+    /// [`StoreStats::resident_bytes`]).
+    pub fn decode_cache_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.decode_cache_bytes).sum()
+    }
+
     /// Resident bytes per stored point (0 when empty) — the headline
     /// compression number (16.0 for a fully uncompressed store).
     pub fn bytes_per_point(&self) -> f64 {
@@ -190,6 +247,207 @@ impl StoreStats {
     }
 }
 
+/// Shard-local cache of fully decoded sealed blocks, keyed by the block's
+/// process-unique seal sequence number ([`SealedBlock::seq`]) — never by
+/// payload identity, so a re-encoded or replaced block can never alias a
+/// stale entry. Overlapping window reads and consecutive rounds' tail
+/// reads of one series decode each block once; later reads memcpy.
+///
+/// Eviction is FIFO in insertion order with exact byte accounting (16 per
+/// cached point): entries are popped until the incoming block fits. One
+/// lone entry larger than the whole budget is admitted anyway (it will be
+/// the first popped on the next insert) — refusing it would make a small
+/// budget silently disable caching. Invalidation is precise where cheap
+/// (budget eviction removes the victim's entry) and wholesale where not
+/// (`expire_before` clears the shard's cache); stale entries for dropped
+/// blocks are otherwise harmless — their seq is never reissued — and the
+/// FIFO cycles them out.
+#[derive(Debug, Default)]
+struct DecodeCache {
+    /// Decoded points by block seq. Probed by key only — eviction order
+    /// comes from `queue`, never from map iteration.
+    // fbd-lint::allow(hash-order): keyed lookups only; never iterated
+    entries: HashMap<u64, Vec<DataPoint>>,
+    /// Insertion-ordered seqs; may lag `entries` after precise removals
+    /// (missing seqs are skipped at pop time).
+    queue: VecDeque<u64>,
+    resident_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DecodeCache {
+    /// The decoded points of `block`, decoding and caching on miss.
+    fn block_points(&mut self, block: &SealedBlock, budget: usize) -> &[DataPoint] {
+        let seq = block.seq();
+        if self.entries.contains_key(&seq) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let decoded = block.to_points();
+            let incoming = decoded.len() * std::mem::size_of::<DataPoint>();
+            while !self.entries.is_empty() && self.resident_bytes + incoming > budget {
+                let Some(old) = self.queue.pop_front() else {
+                    break;
+                };
+                if let Some(points) = self.entries.remove(&old) {
+                    self.resident_bytes -= points.len() * std::mem::size_of::<DataPoint>();
+                    self.evictions += 1;
+                }
+            }
+            self.resident_bytes += incoming;
+            self.queue.push_back(seq);
+            self.entries.insert(seq, decoded);
+        }
+        self.entries.get(&seq).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Drops one block's entry (budget eviction invalidation). Its queue
+    /// slot stays and is skipped when popped.
+    fn remove(&mut self, seq: u64) {
+        if let Some(points) = self.entries.remove(&seq) {
+            self.resident_bytes -= points.len() * std::mem::size_of::<DataPoint>();
+        }
+    }
+
+    /// Drops every entry (wholesale invalidation after expiry re-encoded
+    /// an unknown set of blocks). Counters are kept — they are lifetime
+    /// totals.
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.queue.clear();
+        self.resident_bytes = 0;
+    }
+}
+
+/// Appends the last `n` points of `series` to a fresh scratch buffer via
+/// the decode cache — bit-identical to [`TimeSeries::tail_scratch`], which
+/// decodes the same walk-back block run directly.
+fn tail_via_cache(
+    series: &TimeSeries,
+    decode: &mut DecodeCache,
+    budget: usize,
+    n: usize,
+) -> ScratchPoints {
+    let n = n.min(series.len());
+    let head = series.head();
+    let mut out = ScratchPoints::with_capacity(n);
+    if n <= head.len() {
+        out.extend_from_slice(&head[head.len() - n..]);
+        return out;
+    }
+    let needed = n - head.len();
+    let sealed = series.sealed_blocks();
+    let mut start_block = sealed.len();
+    let mut covered = 0usize;
+    while start_block > 0 && covered < needed {
+        start_block -= 1;
+        covered += sealed[start_block].count() as usize;
+    }
+    // The first `covered - needed` decoded points precede the tail.
+    let mut skip = covered - needed;
+    for block in &sealed[start_block..] {
+        let decoded = decode.block_points(block, budget);
+        if skip >= decoded.len() {
+            skip -= decoded.len();
+            continue;
+        }
+        out.extend_from_slice(&decoded[skip..]);
+        skip = 0;
+    }
+    out.extend_from_slice(head);
+    out
+}
+
+/// Appends the points of `series` in `[start, end)` to a fresh scratch
+/// buffer via the decode cache — bit-identical to
+/// [`TimeSeries::range_into`]: same block skip/break rules, and slicing a
+/// sorted decoded block by `partition_point` selects exactly the points
+/// its `skip_while`/`take_while` straddler walk would.
+fn range_via_cache(
+    series: &TimeSeries,
+    decode: &mut DecodeCache,
+    budget: usize,
+    start: Timestamp,
+    end: Timestamp,
+) -> ScratchPoints {
+    let mut out = ScratchPoints::with_capacity(0);
+    if start >= end {
+        return out;
+    }
+    for block in series.sealed_blocks() {
+        if block.last_timestamp() < start || block.is_empty() {
+            continue;
+        }
+        if block.first_timestamp() >= end {
+            break;
+        }
+        let decoded = decode.block_points(block, budget);
+        let lo = decoded.partition_point(|p| p.timestamp < start);
+        let hi = decoded.partition_point(|p| p.timestamp < end);
+        out.extend_from_slice(&decoded[lo..hi]);
+    }
+    let head = series.head();
+    let lo = head.partition_point(|p| p.timestamp < start);
+    let hi = head.partition_point(|p| p.timestamp < end);
+    out.extend_from_slice(&head[lo..hi]);
+    out
+}
+
+/// Classifies one series against a previously observed version and copies
+/// the minimal point set — the per-series body of
+/// [`TsdbStore::snapshot_deltas`]. Sealed-block decodes route through the
+/// shard's cache when one is passed; otherwise they are counted (from
+/// summaries, without decoding anything extra) into `direct`.
+fn classify_delta(
+    series: &TimeSeries,
+    known: Option<SeriesVersion>,
+    start: Timestamp,
+    mut cache: Option<(&mut DecodeCache, usize)>,
+    direct: &mut u64,
+) -> SeriesDelta {
+    let current = SeriesVersion {
+        version: series.version(),
+        appended: series.appended(),
+    };
+    match known {
+        Some(k) if k.version == current.version => SeriesDelta::Unchanged { version: current },
+        // Append-only since `k`: every mutation bumped both counters by
+        // one, so the deltas agree and equal the number of new tail points.
+        Some(k)
+            if current.version.wrapping_sub(k.version)
+                == current.appended.wrapping_sub(k.appended)
+                && current.appended.wrapping_sub(k.appended) <= series.len() as u64 =>
+        {
+            let new = current.appended.wrapping_sub(k.appended) as usize;
+            let tail = match cache.as_mut() {
+                Some((decode, budget)) => tail_via_cache(series, decode, *budget, new),
+                None => {
+                    *direct += series.tail_block_count(new);
+                    series.tail_scratch(new)
+                }
+            };
+            SeriesDelta::Appended { version: current, tail }
+        }
+        _ => {
+            let points = match cache.as_mut() {
+                Some((decode, budget)) => {
+                    range_via_cache(series, decode, *budget, start, Timestamp::MAX)
+                }
+                None => {
+                    *direct += series.overlapping_block_count(start, Timestamp::MAX);
+                    series.range_scratch(start, Timestamp::MAX)
+                }
+            };
+            SeriesDelta::Reset {
+                version: current,
+                points,
+            }
+        }
+    }
+}
+
 /// One lock domain: the series map plus its memory accounting. The
 /// resident counter is maintained incrementally (signed before/after delta
 /// around every mutation — sealing can *shrink* a series mid-append) so
@@ -200,6 +458,7 @@ struct Shard {
     resident_bytes: usize,
     evicted_blocks: u64,
     evicted_points: u64,
+    decode: DecodeCache,
 }
 
 impl Shard {
@@ -223,6 +482,10 @@ pub struct TsdbStore {
     /// way around.
     shards: Vec<OrderedRwLock<Shard>>,
     config: StoreConfig,
+    /// Sealed blocks decoded by read paths that bypass the decode cache —
+    /// counted from summaries ([`TimeSeries::overlapping_block_count`] /
+    /// [`TimeSeries::tail_block_count`]) so the tally itself never decodes.
+    direct_blocks_decoded: AtomicU64,
 }
 
 const SHARD_COUNT: usize = 16;
@@ -246,6 +509,7 @@ impl TsdbStore {
                 .map(|_| OrderedRwLock::new(LockDomain::StoreShard, Shard::default()))
                 .collect(),
             config,
+            direct_blocks_decoded: AtomicU64::new(0),
         }
     }
 
@@ -317,10 +581,17 @@ impl TsdbStore {
             let Some((_, id)) = victim else {
                 break;
             };
-            let Some((points, bytes)) = shard.map.get_mut(&id).and_then(TimeSeries::evict_front_block)
-            else {
+            let Some(series) = shard.map.get_mut(&id) else {
                 break;
             };
+            // Invalidate the victim's cache entry before the block is gone.
+            let front_seq = series.sealed_blocks().first().map(SealedBlock::seq);
+            let Some((points, bytes)) = series.evict_front_block() else {
+                break;
+            };
+            if let Some(seq) = front_seq {
+                shard.decode.remove(seq);
+            }
             shard.resident_bytes = shard.resident_bytes.saturating_sub(bytes);
             shard.evicted_blocks += 1;
             shard.evicted_points += points as u64;
@@ -419,6 +690,23 @@ impl TsdbStore {
         self.with_series(id, |s| s.last_timestamp())
     }
 
+    /// Zero-decode probe of one series' scan range: conservative count,
+    /// value, NaN, and cadence bounds assembled from seal-time block
+    /// summaries plus the uncompressed head, under the shard read lock —
+    /// no payload is touched. The bounds enclose what a decode of
+    /// `snapshot_bounds(config, now)` would observe, so prefilters (flat
+    /// series, coverage floors, Level C's `sliding_mean_bounds` inputs)
+    /// can clear a series without waking the decoder.
+    pub fn summary_probe(
+        &self,
+        id: &SeriesId,
+        config: &WindowConfig,
+        now: Timestamp,
+    ) -> Result<SummaryBounds> {
+        let (start, end) = snapshot_bounds(config, now);
+        self.with_series(id, |s| s.summary_bounds(start, end))
+    }
+
     /// Whether a series exists.
     pub fn contains(&self, id: &SeriesId) -> bool {
         self.shard(id).read().map.contains_key(id)
@@ -474,6 +762,10 @@ impl TsdbStore {
                     resident_bytes: shard.resident_bytes,
                     evicted_blocks: shard.evicted_blocks,
                     evicted_points: shard.evicted_points,
+                    decode_cache_bytes: shard.decode.resident_bytes,
+                    decode_cache_hits: shard.decode.hits,
+                    decode_cache_misses: shard.decode.misses,
+                    decode_cache_evictions: shard.decode.evictions,
                     ..ShardStats::default()
                 };
                 for series in shard.map.values() {
@@ -485,27 +777,60 @@ impl TsdbStore {
                 out
             })
             .collect();
-        StoreStats { shards }
+        StoreStats {
+            shards,
+            direct_blocks_decoded: self.direct_blocks_decoded.load(Ordering::Relaxed),
+        }
     }
 
     /// Extracts detection windows for one series at scan time `now`.
+    ///
+    /// With a decode cache configured, the scan range's sealed blocks are
+    /// served from (and retained in) the shard's cache under a short write
+    /// lock, so the overlapping windows of successive scans of one series
+    /// decode each block once; the result is bit-identical to the uncached
+    /// path. Batch scans should prefer [`TsdbStore::snapshot_windows`],
+    /// which stays on read locks.
     pub fn windows(
         &self,
         id: &SeriesId,
         config: &WindowConfig,
         now: Timestamp,
     ) -> Result<WindowedData> {
+        let budget = self.config.decode_cache_bytes;
+        if budget > 0 {
+            let (start, end) = snapshot_bounds(config, now);
+            let mut guard = self.shard(id).write();
+            let Shard { map, decode, .. } = &mut *guard;
+            let series = map
+                .get(id)
+                .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))?;
+            if series.sealed_block_count() == 0 {
+                return extract_windows(series, config, now);
+            }
+            let points = range_via_cache(series, decode, budget, start, end);
+            drop(guard);
+            return windows_from_points(&points, config, now);
+        }
         let shard = self.shard(id).read();
         let series = shard
             .map
             .get(id)
             .ok_or_else(|| TsdbError::SeriesNotFound(id.metric_id()))?;
+        let (start, end) = snapshot_bounds(config, now);
+        let decoded = series.overlapping_block_count(start, end);
+        if decoded > 0 {
+            self.direct_blocks_decoded.fetch_add(decoded, Ordering::Relaxed);
+        }
         extract_windows(series, config, now)
     }
 
     /// Extracts detection windows for a whole batch of series, holding each
-    /// shard's read lock once and only long enough to copy the raw scan
-    /// ranges out. All windowing work (boundary partitioning, cadence and
+    /// shard's lock once and only long enough to copy the raw scan ranges
+    /// out — in read mode normally, in write mode when a decode cache is
+    /// configured, so a round's batch scan decodes each sealed block once
+    /// and serves repeat reads (later rounds, overlapping windows) from the
+    /// cache. All windowing work (boundary partitioning, cadence and
     /// coverage estimation, buffer assembly) happens after the locks are
     /// released, so detection workers consuming the result never contend
     /// with writers. Per-entry results mirror [`TsdbStore::windows`] exactly,
@@ -517,22 +842,37 @@ impl TsdbStore {
         now: Timestamp,
     ) -> Vec<Result<WindowedData>> {
         let (start, end) = snapshot_bounds(config, now);
+        let budget = self.config.decode_cache_bytes;
         let mut copies: Vec<Option<Vec<DataPoint>>> = ids.iter().map(|_| None).collect();
         let mut by_shard: Vec<Vec<usize>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
         for (i, id) in ids.iter().enumerate() {
             by_shard[Self::shard_index(id)].push(i);
         }
+        let mut decoded = 0u64;
         for (shard, indices) in self.shards.iter().zip(&by_shard) {
             if indices.is_empty() {
                 continue;
             }
-            let shard = shard.read();
-            for &i in indices {
-                copies[i] = shard
-                    .map
-                    .get(ids[i])
-                    .map(|series| series.range_to_vec(start, end));
+            if budget > 0 {
+                let mut guard = shard.write();
+                let Shard { map, decode, .. } = &mut *guard;
+                for &i in indices {
+                    copies[i] = map
+                        .get(ids[i])
+                        .map(|series| range_via_cache(series, decode, budget, start, end).to_vec());
+                }
+            } else {
+                let shard = shard.read();
+                for &i in indices {
+                    copies[i] = shard.map.get(ids[i]).map(|series| {
+                        decoded += series.overlapping_block_count(start, end);
+                        series.range_to_vec(start, end)
+                    });
+                }
             }
+        }
+        if decoded > 0 {
+            self.direct_blocks_decoded.fetch_add(decoded, Ordering::Relaxed);
         }
         ids.iter()
             .zip(copies)
@@ -544,9 +884,12 @@ impl TsdbStore {
     }
 
     /// Captures what changed in a batch of series since previously observed
-    /// versions, copying only appended tails for append-only mutations. Like
-    /// [`TsdbStore::snapshot_windows`], each shard's read lock is held once,
-    /// for the duration of the raw point copies only.
+    /// versions, copying only appended tails for append-only mutations. Each
+    /// shard's lock is held once, for the duration of the raw point copies
+    /// only — in read mode normally, in write mode when a decode cache is
+    /// configured (tail copies that cross a fresh seal, and reset copies,
+    /// then serve repeat decodes of the same blocks from the cache; the
+    /// copied points are bit-identical either way).
     ///
     /// `known[i]` is the version of `ids[i]` from the caller's last
     /// observation (`None` for a first observation). Entries beyond
@@ -559,49 +902,50 @@ impl TsdbStore {
         now: Timestamp,
     ) -> Vec<SeriesDelta> {
         let (start, _) = snapshot_bounds(config, now);
+        let budget = self.config.decode_cache_bytes;
         let mut deltas: Vec<SeriesDelta> = ids.iter().map(|_| SeriesDelta::Missing).collect();
         let mut by_shard: Vec<Vec<usize>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
         for (i, id) in ids.iter().enumerate() {
             by_shard[Self::shard_index(id)].push(i);
         }
+        let mut direct = 0u64;
         for (shard, indices) in self.shards.iter().zip(&by_shard) {
             if indices.is_empty() {
                 continue;
             }
-            let shard = shard.read();
-            for &i in indices {
-                let Some(series) = shard.map.get(ids[i]) else {
-                    continue; // Stays `Missing`.
-                };
-                let current = SeriesVersion {
-                    version: series.version(),
-                    appended: series.appended(),
-                };
-                deltas[i] = match known.get(i).copied().flatten() {
-                    Some(k) if k.version == current.version => {
-                        SeriesDelta::Unchanged { version: current }
-                    }
-                    // Append-only since `k`: every mutation bumped both
-                    // counters by one, so the deltas agree and equal the
-                    // number of new tail points.
-                    Some(k)
-                        if current.version.wrapping_sub(k.version)
-                            == current.appended.wrapping_sub(k.appended)
-                            && current.appended.wrapping_sub(k.appended)
-                                <= series.len() as u64 =>
-                    {
-                        let new = current.appended.wrapping_sub(k.appended) as usize;
-                        SeriesDelta::Appended {
-                            version: current,
-                            tail: series.tail_scratch(new),
-                        }
-                    }
-                    _ => SeriesDelta::Reset {
-                        version: current,
-                        points: series.range_scratch(start, Timestamp::MAX),
-                    },
-                };
+            if budget > 0 {
+                let mut guard = shard.write();
+                let Shard { map, decode, .. } = &mut *guard;
+                for &i in indices {
+                    let Some(series) = map.get(ids[i]) else {
+                        continue; // Stays `Missing`.
+                    };
+                    deltas[i] = classify_delta(
+                        series,
+                        known.get(i).copied().flatten(),
+                        start,
+                        Some((&mut *decode, budget)),
+                        &mut direct,
+                    );
+                }
+            } else {
+                let shard = shard.read();
+                for &i in indices {
+                    let Some(series) = shard.map.get(ids[i]) else {
+                        continue; // Stays `Missing`.
+                    };
+                    deltas[i] = classify_delta(
+                        series,
+                        known.get(i).copied().flatten(),
+                        start,
+                        None,
+                        &mut direct,
+                    );
+                }
             }
+        }
+        if direct > 0 {
+            self.direct_blocks_decoded.fetch_add(direct, Ordering::Relaxed);
         }
         deltas
     }
@@ -613,14 +957,24 @@ impl TsdbStore {
         let mut removed = 0;
         for shard in &self.shards {
             let mut guard = shard.write();
-            let Shard { map, resident_bytes, .. } = &mut *guard;
+            let Shard { map, resident_bytes, decode, .. } = &mut *guard;
+            let before_retain = map.len();
+            let mut expired = 0usize;
             map.retain(|_, series| {
                 let before = series.resident_bytes();
-                removed += series.expire_before(cutoff);
+                let dropped = series.expire_before(cutoff);
+                expired += dropped;
+                removed += dropped;
                 *resident_bytes =
                     (*resident_bytes + series.resident_bytes()).saturating_sub(before);
                 !series.is_empty()
             });
+            // Expiry drops and re-encodes an unknown set of blocks;
+            // wholesale invalidation is the cheap correct answer (stale
+            // seqs could never alias, but they would squat on cache budget).
+            if expired > 0 || map.len() != before_retain {
+                decode.clear();
+            }
         }
         removed
     }
@@ -967,6 +1321,57 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_windows_served_from_decode_cache() {
+        let cfg = WindowConfig {
+            historic: 100 * 60,
+            analysis: 50 * 60,
+            extended: 25 * 60,
+            rerun_interval: 600,
+        };
+        let cached = TsdbStore::compressed();
+        let uncached = TsdbStore::with_config(StoreConfig {
+            seal_limit: StoreConfig::compressed().seal_limit,
+            shard_budget_bytes: None,
+            decode_cache_bytes: 0,
+        });
+        let mut ids = Vec::new();
+        for s in 0..8 {
+            let sid = id(&format!("s{s}"));
+            for t in 0..300u64 {
+                let v = ((t + s) as f64 * 0.01).sin();
+                cached.append(&sid, t * 60, v).unwrap();
+                uncached.append(&sid, t * 60, v).unwrap();
+            }
+            ids.push(sid);
+        }
+        let now = 290 * 60;
+        let refs: Vec<&SeriesId> = ids.iter().collect();
+        // First batch scan: every overlapping sealed block is a miss
+        // (counted into blocks_decoded); no hits yet, no re-decode either.
+        let first = cached.snapshot_windows(&refs, &cfg, now);
+        let stats = cached.stats();
+        assert!(stats.blocks_decoded() > 0, "seals must have been decoded");
+        assert_eq!(stats.decode_cache_hits(), 0);
+        let decoded_once = stats.blocks_decoded();
+        // Second identical scan: served entirely from the cache — the
+        // results stay byte-identical and the miss counter does not move.
+        let second = cached.snapshot_windows(&refs, &cfg, now);
+        assert_eq!(first, second);
+        let stats = cached.stats();
+        assert_eq!(stats.blocks_decoded(), decoded_once);
+        assert!(stats.decode_cache_hits() > 0, "repeat scan must hit the cache");
+        assert!(stats.decode_cache_bytes() > 0);
+        // The cache is a pure representation detail: the cache-off store
+        // (which decodes directly under a read lock) returns the same
+        // windows, and its direct decodes also land in blocks_decoded.
+        assert_eq!(first, uncached.snapshot_windows(&refs, &cfg, now));
+        let direct = uncached.stats();
+        assert!(direct.blocks_decoded() > 0);
+        assert_eq!(direct.decode_cache_hits(), 0);
+        assert_eq!(direct.decode_cache_bytes(), 0);
+    }
+
+    #[test]
     fn compressed_store_keeps_append_stride_across_seals() {
         let cfg = WindowConfig {
             historic: 100,
@@ -974,7 +1379,13 @@ mod tests {
             extended: 0,
             rerun_interval: 10,
         };
-        let store = TsdbStore::with_config(StoreConfig { seal_limit: 8, shard_budget_bytes: None });
+        // A small decode cache so the cross-seal tail copies exercise the
+        // cached write-lock path.
+        let store = TsdbStore::with_config(StoreConfig {
+            seal_limit: 8,
+            shard_budget_bytes: None,
+            decode_cache_bytes: 4_096,
+        });
         let a = id("a");
         for t in 0..20u64 {
             store.append(&a, t, t as f64).unwrap();
@@ -1029,7 +1440,11 @@ mod tests {
 
     #[test]
     fn budget_evicts_oldest_blocks_deterministically() {
-        let config = StoreConfig { seal_limit: 16, shard_budget_bytes: Some(2_000) };
+        let config = StoreConfig {
+            seal_limit: 16,
+            shard_budget_bytes: Some(2_000),
+            decode_cache_bytes: 2_048,
+        };
         let store = TsdbStore::with_config(config);
         // Everything lands in one series -> one shard; enough noisy data
         // that compressed blocks overflow 2 KB.
@@ -1072,7 +1487,11 @@ mod tests {
             extended: 0,
             rerun_interval: 600,
         };
-        let config = StoreConfig { seal_limit: 16, shard_budget_bytes: Some(1_000) };
+        let config = StoreConfig {
+            seal_limit: 16,
+            shard_budget_bytes: Some(1_000),
+            decode_cache_bytes: 0,
+        };
         let store = TsdbStore::with_config(config);
         let a = id("a");
         for t in 0..64u64 {

@@ -404,7 +404,40 @@ pub fn windows_from_points_into(
     points: &[DataPoint],
     config: &WindowConfig,
     now: Timestamp,
+    values: Vec<f64>,
+) -> Result<WindowedData> {
+    build_windows(points, config, now, values, None)
+}
+
+/// [`windows_from_points_into`] with a precomputed [`WindowCoverage`], for
+/// callers that already know the verdict without rescanning timestamps.
+/// The streaming engine's fresh-scan arm derives it from its partition
+/// bookkeeping and incremental gap runs via
+/// [`window_coverage_from_counts`] — bit-identical to what
+/// [`window_coverage`] would recompute over `points`, which is the
+/// contract: the caller MUST supply exactly that value, or warm and cold
+/// scans of the same data diverge.
+// fbd-lint::hot
+pub fn windows_from_points_with_coverage(
+    points: &[DataPoint],
+    config: &WindowConfig,
+    now: Timestamp,
+    values: Vec<f64>,
+    coverage: WindowCoverage,
+) -> Result<WindowedData> {
+    build_windows(points, config, now, values, Some(coverage))
+}
+
+/// Shared body of the two extraction entry points: partition, validate,
+/// fill the contiguous buffer, then attach the supplied coverage or
+/// rescan for it.
+// fbd-lint::hot
+fn build_windows(
+    points: &[DataPoint],
+    config: &WindowConfig,
+    now: Timestamp,
     mut values: Vec<f64>,
+    coverage: Option<WindowCoverage>,
 ) -> Result<WindowedData> {
     config.validate()?;
     let extended_start = now.saturating_sub(config.extended);
@@ -427,7 +460,10 @@ pub fn windows_from_points_into(
     values.extend(historic.iter().map(|p| p.value));
     values.extend(analysis.iter().map(|p| p.value));
     values.extend(extended.iter().map(|p| p.value));
-    let coverage = window_coverage(points, config, now);
+    let coverage = match coverage {
+        Some(c) => c,
+        None => window_coverage(points, config, now),
+    };
     Ok(WindowedData::from_parts(
         values,
         historic.len(),

@@ -167,6 +167,84 @@ proptest! {
     }
 
     #[test]
+    fn seal_time_summary_matches_full_decode(points in wild_points(400)) {
+        let block = SealedBlock::from_points(&points);
+        let s = *block.summary();
+        // Recompute every summary field from a full decode, accumulating
+        // the moments left-to-right exactly as seal time does: the fields
+        // must be bit-identical, not merely close.
+        let decoded = block.to_points();
+        prop_assert_eq!(decoded.len(), points.len());
+        let mut count = 0u32;
+        let mut nan_count = 0u32;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+        let (mut min_gap, mut max_gap) = (0u64, 0u64);
+        for (i, p) in decoded.iter().enumerate() {
+            if i > 0 {
+                let gap = p.timestamp.wrapping_sub(decoded[i - 1].timestamp);
+                max_gap = max_gap.max(gap);
+                if gap > 0 && (min_gap == 0 || gap < min_gap) {
+                    min_gap = gap;
+                }
+            }
+            if p.value.is_finite() {
+                min = min.min(p.value);
+                max = max.max(p.value);
+                sum += p.value;
+                sum_sq += p.value * p.value;
+            } else {
+                nan_count += 1;
+            }
+            count += 1;
+        }
+        prop_assert_eq!(s.count, count);
+        prop_assert_eq!(s.nan_count, nan_count);
+        prop_assert_eq!(s.finite_count(), count - nan_count);
+        if let (Some(first), Some(last)) = (decoded.first(), decoded.last()) {
+            prop_assert_eq!(s.first_ts, first.timestamp);
+            prop_assert_eq!(s.last_ts, last.timestamp);
+        }
+        prop_assert_eq!(s.min_gap, min_gap);
+        prop_assert_eq!(s.max_gap, max_gap);
+        prop_assert_eq!(s.min.to_bits(), min.to_bits());
+        prop_assert_eq!(s.max.to_bits(), max.to_bits());
+        prop_assert_eq!(s.sum.to_bits(), sum.to_bits());
+        prop_assert_eq!(s.sum_sq.to_bits(), sum_sq.to_bits());
+    }
+
+    #[test]
+    fn word_decoder_matches_legacy_on_corrupt_tails(
+        points in wild_points(200),
+        cut_frac in 0.0f64..1.0,
+        flip_sel in 0u8..4,
+        flip_pos in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let block = SealedBlock::from_points(&points);
+        let mut bytes = block.payload().to_vec();
+        // Truncate somewhere inside the payload, then (three cases in
+        // four) flip one bit of what is left, while still claiming the
+        // original count: the decoders must agree point-for-point and
+        // both stop cleanly.
+        bytes.truncate((bytes.len() as f64 * cut_frac) as usize);
+        if flip_sel > 0 && !bytes.is_empty() {
+            let pos = flip_pos % bytes.len();
+            bytes[pos] ^= 1 << flip_bit;
+        }
+        let corrupt = SealedBlock::from_raw_parts(bytes, block.count());
+        let word: Vec<(u64, u64)> = corrupt
+            .iter()
+            .map(|p| (p.timestamp, p.value.to_bits()))
+            .collect();
+        let legacy: Vec<(u64, u64)> = corrupt
+            .reference_iter()
+            .map(|p| (p.timestamp, p.value.to_bits()))
+            .collect();
+        prop_assert_eq!(word, legacy);
+    }
+
+    #[test]
     fn compressed_series_reads_match_uncompressed(
         points in wild_points(300),
         seal_limit in 1u32..64,
@@ -211,7 +289,11 @@ proptest! {
             extended: 0,
             rerun_interval: 60,
         };
-        let store = TsdbStore::with_config(StoreConfig { seal_limit, shard_budget_bytes: None });
+        let store = TsdbStore::with_config(StoreConfig {
+            seal_limit,
+            shard_budget_bytes: None,
+            decode_cache_bytes: 2_048,
+        });
         let id = SeriesId::new("svc", MetricKind::GCpu, "s");
         let mut t = 0u64;
         let mut known = None;
