@@ -1,0 +1,17 @@
+use fbd_tsdb::{BlockBuilder, DataPoint, SealedBlock};
+
+#[test]
+fn reuse_before_window_corruption() {
+    let mut b = BlockBuilder::new(2);
+    b.push(DataPoint { timestamp: 0, value: 1.0 });
+    b.push(DataPoint { timestamp: 60, value: 2.0 });
+    let block = b.seal();
+    let mut bytes = block.payload().to_vec();
+    // bit 138 is the second control bit of the first value record:
+    // '11' (fresh window) -> '10' (reuse) with no window ever set.
+    bytes[17] ^= 1 << 5;
+    let corrupt = SealedBlock::from_raw_parts(bytes, block.count());
+    let legacy: Vec<_> = corrupt.reference_iter().map(|p| (p.timestamp, p.value.to_bits())).collect();
+    let word: Vec<_> = corrupt.iter().map(|p| (p.timestamp, p.value.to_bits())).collect();
+    assert_eq!(word, legacy);
+}
